@@ -1,0 +1,303 @@
+//! Ablation benches for the design choices Section 3.2.1 calls out:
+//! piggybacking on/off, summary-assisted queries on/off, quadratic vs
+//! linear split, and directional (GBU) vs uniform (LBU) ε-extension.
+
+use bur_core::{
+    GbuParams, IndexOptions, LbuParams, RTreeIndex, SplitPolicy, UpdateStrategy,
+};
+use bur_workload::{Workload, WorkloadConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const N: usize = 15_000;
+
+fn gbu_opts(piggyback: bool, summary_queries: bool) -> IndexOptions {
+    IndexOptions {
+        strategy: UpdateStrategy::Generalized(GbuParams {
+            piggyback,
+            summary_queries,
+            ..GbuParams::default()
+        }),
+        ..IndexOptions::default()
+    }
+}
+
+fn setup(opts: IndexOptions) -> (RTreeIndex, Workload) {
+    let wl = Workload::generate(WorkloadConfig {
+        num_objects: N,
+        ..WorkloadConfig::default()
+    });
+    let index = RTreeIndex::bulk_load_in_memory(opts, &wl.items()).unwrap();
+    (index, wl)
+}
+
+fn bench_piggyback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-piggyback");
+    group.sample_size(15);
+    for (name, pb) in [("on", true), ("off", false)] {
+        let (mut index, mut wl) = setup(gbu_opts(pb, true));
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let op = wl.next_update();
+                black_box(index.update(op.oid, op.old, op.new).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_summary_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-summary-query");
+    group.sample_size(15);
+    let (mut index, mut wl) = setup(gbu_opts(true, true));
+    for _ in 0..N {
+        let op = wl.next_update();
+        index.update(op.oid, op.old, op.new).unwrap();
+    }
+    let mut buf = Vec::new();
+    group.bench_function("summary", |b| {
+        b.iter(|| {
+            let q = wl.next_query();
+            buf.clear();
+            index.query_into(&q.window, &mut buf).unwrap();
+            black_box(buf.len());
+        })
+    });
+    group.bench_function("plain", |b| {
+        b.iter(|| {
+            let q = wl.next_query();
+            buf.clear();
+            index.query_top_down(&q.window, &mut buf).unwrap();
+            black_box(buf.len());
+        })
+    });
+    group.finish();
+}
+
+fn bench_split_policy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation-split");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("quadratic", SplitPolicy::Quadratic),
+        ("linear", SplitPolicy::Linear),
+        ("rstar", SplitPolicy::RStar),
+    ] {
+        let wl = Workload::generate(WorkloadConfig {
+            num_objects: 5_000,
+            ..WorkloadConfig::default()
+        });
+        let items = wl.items();
+        let opts = IndexOptions {
+            split: policy,
+            ..IndexOptions::top_down()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                // Incremental build exercises the split path heavily.
+                let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+                for &(oid, p) in items.iter().take(2_000) {
+                    index.insert(oid, p).unwrap();
+                }
+                black_box(index.height());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_extension_style(c: &mut Criterion) {
+    // GBU's directional extension vs LBU's uniform extension, isolated on
+    // a slow-drift workload where extension is the dominant repair.
+    let mut group = c.benchmark_group("ablation-extension");
+    group.sample_size(15);
+    let slow = WorkloadConfig {
+        num_objects: N,
+        max_distance: 0.01,
+        ..WorkloadConfig::default()
+    };
+    for (name, opts) in [
+        (
+            "directional-gbu",
+            IndexOptions {
+                strategy: UpdateStrategy::Generalized(GbuParams {
+                    epsilon: 0.01,
+                    ..GbuParams::default()
+                }),
+                ..IndexOptions::default()
+            },
+        ),
+        (
+            "uniform-lbu",
+            IndexOptions {
+                strategy: UpdateStrategy::Localized(LbuParams { epsilon: 0.01, ..LbuParams::default() }),
+                ..IndexOptions::default()
+            },
+        ),
+        (
+            // Section 3.1's lazy-update R-tree: enlargement or top-down,
+            // no sibling shifts.
+            "kwon-lur",
+            IndexOptions {
+                strategy: UpdateStrategy::Localized(LbuParams::kwon(0.01)),
+                ..IndexOptions::default()
+            },
+        ),
+    ] {
+        let mut wl = Workload::generate(slow);
+        let mut index = RTreeIndex::bulk_load_in_memory(opts, &wl.items()).unwrap();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let op = wl.next_update();
+                black_box(index.update(op.oid, op.old, op.new).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert_policy(c: &mut Criterion) {
+    // The R*-variant extension: Guttman vs R* insertion (ChooseSubtree +
+    // forced reinsertion) — build cost and post-build query cost.
+    let mut group = c.benchmark_group("ablation-insert-policy");
+    group.sample_size(10);
+    let wl = Workload::generate(WorkloadConfig {
+        num_objects: 5_000,
+        ..WorkloadConfig::default()
+    });
+    let items = wl.items();
+    for (name, opts) in [
+        ("guttman-build", IndexOptions::top_down()),
+        ("rstar-build", IndexOptions::top_down().rstar()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+                for &(oid, p) in items.iter().take(2_000) {
+                    index.insert(oid, p).unwrap();
+                }
+                black_box(index.height());
+            })
+        });
+    }
+    for (name, opts) in [
+        ("guttman-query", IndexOptions::top_down()),
+        ("rstar-query", IndexOptions::top_down().rstar()),
+    ] {
+        let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+        for &(oid, p) in &items {
+            index.insert(oid, p).unwrap();
+        }
+        let mut wl = Workload::generate(WorkloadConfig {
+            num_objects: 5_000,
+            ..WorkloadConfig::default()
+        });
+        let mut buf = Vec::new();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let q = wl.next_query();
+                buf.clear();
+                index.query_into(&q.window, &mut buf).unwrap();
+                black_box(buf.len());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_bulk_loaders(c: &mut Criterion) {
+    // STR tiling vs Hilbert packing vs incremental insertion: build cost.
+    let mut group = c.benchmark_group("ablation-bulk-load");
+    group.sample_size(10);
+    let wl = Workload::generate(WorkloadConfig {
+        num_objects: 10_000,
+        ..WorkloadConfig::default()
+    });
+    let items = wl.items();
+    group.bench_function("str", |b| {
+        b.iter(|| {
+            black_box(
+                RTreeIndex::bulk_load_in_memory(IndexOptions::generalized(), &items).unwrap(),
+            )
+        })
+    });
+    group.bench_function("hilbert", |b| {
+        b.iter(|| {
+            black_box(
+                RTreeIndex::bulk_load_hilbert_in_memory(IndexOptions::generalized(), &items)
+                    .unwrap(),
+            )
+        })
+    });
+    group.bench_function("insert", |b| {
+        b.iter(|| {
+            let mut index = RTreeIndex::create_in_memory(IndexOptions::generalized()).unwrap();
+            for &(oid, p) in &items {
+                index.insert(oid, p).unwrap();
+            }
+            black_box(index.height());
+        })
+    });
+    group.finish();
+}
+
+fn bench_eviction_policy(c: &mut Criterion) {
+    // LRU (the experiments' policy) vs Clock (second chance) on the
+    // default update stream with a tight buffer.
+    use bur_storage::EvictionPolicy;
+    let mut group = c.benchmark_group("ablation-eviction");
+    group.sample_size(15);
+    for (name, policy) in [("lru", EvictionPolicy::Lru), ("clock", EvictionPolicy::Clock)] {
+        let opts = IndexOptions {
+            buffer_frames: 64,
+            eviction: policy,
+            ..IndexOptions::generalized()
+        };
+        let (mut index, mut wl) = setup(opts);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let op = wl.next_update();
+                black_box(index.update(op.oid, op.old, op.new).unwrap());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_knn(c: &mut Criterion) {
+    // The kNN extension: plain best-first descent vs the summary-seeded
+    // variant, and scaling in k.
+    let mut group = c.benchmark_group("knn");
+    group.sample_size(20);
+    let (index, mut wl) = setup(gbu_opts(true, true));
+    for k in [1usize, 10, 100] {
+        group.bench_function(format!("summary-k{k}"), |b| {
+            b.iter(|| {
+                let q = wl.next_query();
+                let p = q.window.center();
+                black_box(index.nearest_neighbors(p, k).unwrap());
+            })
+        });
+    }
+    let (index, mut wl) = setup(gbu_opts(true, false));
+    group.bench_function("plain-k10", |b| {
+        b.iter(|| {
+            let q = wl.next_query();
+            let p = q.window.center();
+            black_box(index.nearest_neighbors(p, 10).unwrap());
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_piggyback,
+    bench_summary_query,
+    bench_split_policy,
+    bench_extension_style,
+    bench_insert_policy,
+    bench_eviction_policy,
+    bench_bulk_loaders,
+    bench_knn
+);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion micro-benchmark: mixed update/query operation batches under
+//! the concurrent (DGL-locked) wrapper — the wall-clock companion to
+//! Figure 8.
+
+use bur_core::{ConcurrentIndex, IndexOptions, RTreeIndex};
+use bur_workload::{Workload, WorkloadConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_mixed(c: &mut Criterion) {
+    let n = 10_000;
+    let mut group = c.benchmark_group("mixed-50-50");
+    group.sample_size(15);
+    for (name, opts) in [
+        ("TD", IndexOptions::top_down()),
+        ("GBU", IndexOptions::generalized()),
+    ] {
+        let wl = Workload::generate(WorkloadConfig {
+            num_objects: n,
+            query_max_side: 0.01,
+            ..WorkloadConfig::default()
+        });
+        let index = RTreeIndex::bulk_load_in_memory(opts, &wl.items()).unwrap();
+        let index = ConcurrentIndex::new(index);
+        let mut parts = wl.split(1);
+        let part = &mut parts[0];
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                // One update + one query per iteration (a 50/50 mix).
+                let op = part.next_update();
+                index.update(op.oid, op.old, op.new).unwrap();
+                let q = part.next_query();
+                black_box(index.query(&q.window).unwrap().len());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mixed);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks: window queries against TD- and
+//! GBU-maintained trees (companion to Figures 5(b)/(d)).
+
+use bur_core::{IndexOptions, RTreeIndex};
+use bur_workload::{Workload, WorkloadConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn aged_index(opts: IndexOptions, n: usize, updates: usize) -> (RTreeIndex, Workload) {
+    let mut wl = Workload::generate(WorkloadConfig {
+        num_objects: n,
+        ..WorkloadConfig::default()
+    });
+    let mut index = RTreeIndex::bulk_load_in_memory(opts, &wl.items()).unwrap();
+    for _ in 0..updates {
+        let op = wl.next_update();
+        index.update(op.oid, op.old, op.new).unwrap();
+    }
+    (index, wl)
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let n = 20_000;
+    let mut group = c.benchmark_group("query");
+    group.sample_size(20);
+    for (name, opts) in [
+        ("TD-tree", IndexOptions::top_down()),
+        ("GBU-tree", IndexOptions::generalized()),
+    ] {
+        let (index, mut wl) = aged_index(opts, n, 2 * n);
+        let mut buf = Vec::new();
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let q = wl.next_query();
+                buf.clear();
+                index.query_into(&q.window, &mut buf).unwrap();
+                black_box(buf.len());
+            });
+        });
+    }
+    // Summary-assisted vs plain descent on the same GBU tree.
+    let (index, mut wl) = aged_index(IndexOptions::generalized(), n, 2 * n);
+    let mut buf = Vec::new();
+    group.bench_function("GBU-plain-descent", |b| {
+        b.iter(|| {
+            let q = wl.next_query();
+            buf.clear();
+            index.query_top_down(&q.window, &mut buf).unwrap();
+            black_box(buf.len());
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

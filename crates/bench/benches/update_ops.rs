@@ -1,0 +1,51 @@
+//! Criterion micro-benchmarks: one update under each strategy
+//! (the wall-clock companion to Figures 5(a)/(c)).
+
+use bur_core::{GbuParams, IndexOptions, LbuParams, RTreeIndex, UpdateStrategy};
+use bur_workload::{Workload, WorkloadConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn build(opts: IndexOptions, n: usize) -> (RTreeIndex, Workload) {
+    let wl = Workload::generate(WorkloadConfig {
+        num_objects: n,
+        ..WorkloadConfig::default()
+    });
+    let index = RTreeIndex::bulk_load_in_memory(opts, &wl.items()).unwrap();
+    (index, wl)
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let n = 20_000;
+    let mut group = c.benchmark_group("update");
+    group.sample_size(20);
+    for (name, opts) in [
+        ("TD", IndexOptions::top_down()),
+        (
+            "LBU",
+            IndexOptions {
+                strategy: UpdateStrategy::Localized(LbuParams::default()),
+                ..IndexOptions::default()
+            },
+        ),
+        (
+            "GBU",
+            IndexOptions {
+                strategy: UpdateStrategy::Generalized(GbuParams::default()),
+                ..IndexOptions::default()
+            },
+        ),
+    ] {
+        let (mut index, mut wl) = build(opts, n);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let op = wl.next_update();
+                black_box(index.update(op.oid, op.old, op.new).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

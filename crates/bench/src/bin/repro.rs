@@ -1,0 +1,76 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--scale smoke|default|paper] [--out DIR] <experiment>|all
+//! ```
+//!
+//! Prints each figure as an aligned table (the same series the paper
+//! plots) and writes a CSV per table under `--out` (default `results/`).
+
+use bur_bench::{figures, Scale};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro [--scale smoke|default|paper] [--out DIR] <experiment>|all\n\
+         experiments: {}",
+        figures::EXPERIMENTS.join(", ")
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Default;
+    let mut out_dir = PathBuf::from("results");
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let Some(v) = args.next().and_then(|s| Scale::parse(&s)) else {
+                    return usage();
+                };
+                scale = v;
+            }
+            "--out" => {
+                let Some(v) = args.next() else { return usage() };
+                out_dir = PathBuf::from(v);
+            }
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        return usage();
+    }
+
+    let run_list: Vec<String> = if targets.iter().any(|t| t == "all") {
+        figures::EXPERIMENTS.iter().map(|s| (*s).to_string()).collect()
+    } else {
+        targets
+    };
+
+    for name in &run_list {
+        let Some(tables) = figures::by_name(name, scale) else {
+            eprintln!("unknown experiment: {name}");
+            return usage();
+        };
+        for (i, table) in tables.iter().enumerate() {
+            table.print();
+            let suffix = if tables.len() > 1 {
+                format!("{name}-{}", (b'a' + i as u8) as char)
+            } else {
+                name.clone()
+            };
+            if let Err(e) = table.save_csv(&out_dir, &suffix) {
+                eprintln!("warning: could not save {suffix}.csv: {e}");
+            }
+        }
+    }
+    eprintln!("\nscale = {scale}; CSVs under {}", out_dir.display());
+    ExitCode::SUCCESS
+}

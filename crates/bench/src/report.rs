@@ -1,0 +1,136 @@
+//! Table printing and CSV output for the experiment harness.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A printable/saveable result table (one per figure).
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Title, e.g. `"Figure 5(a): varying epsilon — avg disk I/O, update"`.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    #[must_use]
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(line, "{:>width$}  ", cell, width = widths[i]);
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        let _ = writeln!(out, "{}", "-".repeat(total.min(120)));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        let stdout = std::io::stdout();
+        let mut lock = stdout.lock();
+        let _ = writeln!(lock, "\n{}", self.render());
+    }
+
+    /// Write as CSV under `dir/name.csv`.
+    pub fn save_csv(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join(","));
+        }
+        fs::write(dir.join(format!("{name}.csv")), out)
+    }
+}
+
+/// Format a float with sensible precision for report cells.
+#[must_use]
+pub fn fnum(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("Demo", &["x", "value"]);
+        t.row(vec!["0.003".into(), "12.5".into()]);
+        t.row(vec!["0.03".into(), "7".into()]);
+        let s = t.render();
+        assert!(s.contains("## Demo"));
+        assert!(s.contains("value"));
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("bur-report-{}", std::process::id()));
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.save_csv(&dir, "demo").unwrap();
+        let got = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert_eq!(got, "a,b\n1,2\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(0.1234567), "0.1235");
+        assert_eq!(fnum(12.345), "12.35");
+        assert_eq!(fnum(1234.5), "1234.5");
+    }
+}

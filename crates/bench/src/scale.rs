@@ -1,0 +1,124 @@
+//! Experiment scales.
+
+/// How big to run the experiments.
+///
+/// The paper uses 1 M objects, 1 M updates (up to 10 M in Figure 6(e))
+/// and 1 M queries. `Paper` reproduces that; `Default` keeps every ratio
+/// (updates = 2 × objects base unit, query window sizes, buffer
+/// percentages) at 1/10 of the object count so a full sweep finishes on
+/// a laptop; `Smoke` is for tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny: integration-test sized.
+    Smoke,
+    /// Laptop: 100 k objects.
+    Default,
+    /// The paper's original sizes: 1 M objects.
+    Paper,
+}
+
+impl Scale {
+    /// Parse CLI names.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "smoke" => Some(Self::Smoke),
+            "default" | "laptop" => Some(Self::Default),
+            "paper" | "full" => Some(Self::Paper),
+            _ => None,
+        }
+    }
+
+    /// Base number of objects ("database size" 1× unit).
+    #[must_use]
+    pub fn objects(&self) -> usize {
+        match self {
+            Self::Smoke => 3_000,
+            Self::Default => 100_000,
+            Self::Paper => 1_000_000,
+        }
+    }
+
+    /// Base number of updates (the paper's default equals the object
+    /// count; Figure 6(e) sweeps multiples of it).
+    #[must_use]
+    pub fn updates(&self) -> usize {
+        match self {
+            Self::Smoke => 6_000,
+            Self::Default => 100_000,
+            Self::Paper => 1_000_000,
+        }
+    }
+
+    /// Number of measured queries. The paper uses 1 M; queries are two
+    /// orders of magnitude more expensive than updates, so the scaled
+    /// runs use enough for a stable mean.
+    #[must_use]
+    pub fn queries(&self) -> usize {
+        match self {
+            Self::Smoke => 50,
+            Self::Default => 400,
+            Self::Paper => 10_000,
+        }
+    }
+
+    /// Duration of each throughput cell (Figure 8), milliseconds.
+    #[must_use]
+    pub fn throughput_millis(&self) -> u64 {
+        match self {
+            Self::Smoke => 200,
+            Self::Default => 1_500,
+            Self::Paper => 5_000,
+        }
+    }
+
+    /// Default maximum distance moved between updates. The paper's
+    /// Section 3.1 measurement (82 % of updates escape their leaf on a
+    /// 1 M-point uniform set when only in-place placement is allowed)
+    /// pins the paper's default near 0.003 — *sub-leaf-size movement*,
+    /// the locality-preserving regime that motivates bottom-up updates.
+    /// Scaled runs keep the same movement / leaf-side ratio (≈ 0.6).
+    #[must_use]
+    pub fn max_distance(&self) -> f32 {
+        match self {
+            Self::Smoke => 0.05,     // leaf side ≈ 0.095 at 3 k objects
+            Self::Default => 0.01,   // leaf side ≈ 0.017 at 100 k
+            Self::Paper => 0.003,    // leaf side ≈ 0.0054 at 1 M
+        }
+    }
+
+    /// Threads for the throughput study (the paper: 50).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        match self {
+            Self::Smoke => 8,
+            Self::Default | Self::Paper => 50,
+        }
+    }
+}
+
+impl std::fmt::Display for Scale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Self::Smoke => "smoke",
+            Self::Default => "default",
+            Self::Paper => "paper",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_sizes() {
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("PAPER"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("nope"), None);
+        assert!(Scale::Paper.objects() > Scale::Default.objects());
+        assert!(Scale::Default.objects() > Scale::Smoke.objects());
+        assert_eq!(Scale::Paper.objects(), 1_000_000);
+        assert_eq!(format!("{}", Scale::Default), "default");
+    }
+}

@@ -1,0 +1,191 @@
+//! Thread-safe index wrapper with DGL granule locking (Section 3.2.2).
+//!
+//! The paper runs its throughput study (Figure 8) with Dynamic Granular
+//! Locking: searchers lock the granules their window overlaps, updaters
+//! lock the granules of the leaves they touch, and "since a top-down
+//! operation needs to acquire locks for all overlapping granules in a
+//! top-down manner, it will meet up with locks made by the bottom-up
+//! updates, thus achieving consistency".
+//!
+//! This wrapper reproduces that *logical* locking discipline on top of a
+//! physically serialized index:
+//!
+//! * bottom-up updates (LBU/GBU) take an **X lock on the granule of the
+//!   object's current leaf** (located through the hash index) plus a
+//!   shared tree lock,
+//! * top-down updates, which may touch any part of the tree, take the
+//!   **tree granule exclusively**,
+//! * queries take the **tree granule shared**.
+//!
+//! Physical execution is serialized by an internal mutex — a deliberate
+//! model of the paper's testbed, where 50 client threads share one disk
+//! and throughput is governed by per-operation I/O cost rather than
+//! in-memory parallelism. Lock conflicts are resolved by try-and-retry
+//! (no blocking while holding the physical mutex), so the wrapper cannot
+//! deadlock.
+
+use crate::config::UpdateStrategy;
+use crate::error::CoreResult;
+use crate::node::ObjectId;
+use crate::stats::{OpStats, UpdateOutcome};
+use crate::RTreeIndex;
+use bur_dgl::{Granule, LockManager, LockMode};
+use bur_geom::{Point, Rect};
+use bur_storage::IoSnapshot;
+use parking_lot::Mutex;
+
+/// A thread-safe, DGL-locked wrapper around [`RTreeIndex`].
+pub struct ConcurrentIndex {
+    inner: Mutex<RTreeIndex>,
+    locks: LockManager,
+}
+
+impl std::fmt::Debug for ConcurrentIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConcurrentIndex")
+            .field("inner", &*self.inner.lock())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ConcurrentIndex {
+    /// Wrap an index for shared use.
+    #[must_use]
+    pub fn new(index: RTreeIndex) -> Self {
+        Self {
+            inner: Mutex::new(index),
+            locks: LockManager::new(),
+        }
+    }
+
+    /// Create a fresh index on an in-memory disk and wrap it (shorthand
+    /// for `ConcurrentIndex::new(RTreeIndex::create_in_memory(opts)?)`).
+    pub fn create_in_memory(opts: crate::config::IndexOptions) -> CoreResult<Self> {
+        Ok(Self::new(RTreeIndex::create_in_memory(opts)?))
+    }
+
+    /// Unwrap, returning the inner index.
+    #[must_use]
+    pub fn into_inner(self) -> RTreeIndex {
+        self.inner.into_inner()
+    }
+
+    /// The granule lock manager (exposed for tests).
+    #[must_use]
+    pub fn lock_manager(&self) -> &LockManager {
+        &self.locks
+    }
+
+    /// Move an object, acquiring the DGL granules its strategy requires.
+    pub fn update(&self, oid: ObjectId, old: Point, new: Point) -> CoreResult<UpdateOutcome> {
+        loop {
+            let mut index = self.inner.lock();
+            let bottom_up = !matches!(index.options().strategy, UpdateStrategy::TopDown);
+            if bottom_up {
+                let leaf = index.locate_leaf(oid)?;
+                let Some(leaf_pid) = leaf else {
+                    // Unknown object: let the strategy surface the error.
+                    return index.update(oid, old, new);
+                };
+                let tree_s = self.locks.try_lock(Granule::Tree, LockMode::Shared);
+                let leaf_x = self.locks.try_lock(Granule::Leaf(leaf_pid), LockMode::Exclusive);
+                match (tree_s, leaf_x) {
+                    (Ok(_t), Ok(_l)) => return index.update(oid, old, new),
+                    _ => {
+                        drop(index);
+                        std::thread::yield_now();
+                    }
+                }
+            } else {
+                match self.locks.try_lock(Granule::Tree, LockMode::Exclusive) {
+                    Ok(_g) => return index.update(oid, old, new),
+                    Err(_) => {
+                        drop(index);
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    /// Window query under a shared tree granule.
+    pub fn query(&self, window: &Rect) -> CoreResult<Vec<ObjectId>> {
+        loop {
+            let index = self.inner.lock();
+            match self.locks.try_lock(Granule::Tree, LockMode::Shared) {
+                Ok(_g) => return index.query(window),
+                Err(_) => {
+                    drop(index);
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Insert a fresh object (tree granule exclusive: inserts can split).
+    pub fn insert(&self, oid: ObjectId, position: Point) -> CoreResult<()> {
+        loop {
+            let mut index = self.inner.lock();
+            match self.locks.try_lock(Granule::Tree, LockMode::Exclusive) {
+                Ok(_g) => return index.insert(oid, position),
+                Err(_) => {
+                    drop(index);
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Delete an object (tree granule exclusive).
+    pub fn delete(&self, oid: ObjectId, position: Point) -> CoreResult<bool> {
+        loop {
+            let mut index = self.inner.lock();
+            match self.locks.try_lock(Granule::Tree, LockMode::Exclusive) {
+                Ok(_g) => return index.delete(oid, position),
+                Err(_) => {
+                    drop(index);
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Number of indexed objects.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.inner.lock().len()
+    }
+
+    /// `true` when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the physical I/O counters.
+    #[must_use]
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        self.inner.lock().io_stats().snapshot()
+    }
+
+    /// Snapshot of the operation counters.
+    pub fn with_op_stats<R>(&self, f: impl FnOnce(&OpStats) -> R) -> R {
+        f(self.inner.lock().op_stats())
+    }
+
+    /// Run the deep invariant check.
+    pub fn validate(&self) -> CoreResult<()> {
+        self.inner.lock().validate()
+    }
+}
+
+impl RTreeIndex {
+    /// The page currently holding `oid` according to the hash index
+    /// (`None` for TD indexes, which keep no secondary index).
+    pub fn locate_leaf(&self, oid: ObjectId) -> CoreResult<Option<bur_storage::PageId>> {
+        match &self.tree.hash {
+            Some(h) => Ok(h.get(oid)?),
+            None => Ok(None),
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! Index configuration: update strategy, tuning parameters, policies.
+
+use crate::error::{CoreError, CoreResult};
+use crate::node;
+
+/// The paper's three update techniques (Section 5 evaluates exactly
+/// these): top-down (TD), localized bottom-up (LBU, Algorithm 1) and
+/// generalized bottom-up (GBU, Algorithm 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UpdateStrategy {
+    /// Classic R-tree update: top-down delete followed by top-down
+    /// insert. Maintains no auxiliary structures.
+    TopDown,
+    /// Algorithm 1: direct leaf access through the object-id hash index,
+    /// uniform ε-enlargement bounded by the parent (reached through a
+    /// parent pointer stored in the leaf), sibling shift, TD fallback.
+    Localized(LbuParams),
+    /// Algorithm 2: adds the main-memory summary structure, directional
+    /// ε-enlargement (`iExtendMBR`), bit-vector sibling selection with
+    /// piggybacking, and multi-level ascent via `FindParent`.
+    Generalized(GbuParams),
+}
+
+impl UpdateStrategy {
+    /// Short display name used by the experiment harness ("TD"/"LBU"/"GBU").
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            UpdateStrategy::TopDown => "TD",
+            UpdateStrategy::Localized(_) => "LBU",
+            UpdateStrategy::Generalized(_) => "GBU",
+        }
+    }
+
+    /// Whether this strategy needs the secondary object-id hash index.
+    #[must_use]
+    pub fn needs_hash_index(&self) -> bool {
+        !matches!(self, UpdateStrategy::TopDown)
+    }
+
+    /// Whether leaves must carry parent pointers (LBU only; the paper
+    /// notes this maintenance burden as one of LBU's weaknesses).
+    #[must_use]
+    pub fn needs_parent_pointers(&self) -> bool {
+        matches!(self, UpdateStrategy::Localized(_))
+    }
+
+    /// Whether the main-memory summary structure is maintained (GBU).
+    #[must_use]
+    pub fn needs_summary(&self) -> bool {
+        matches!(self, UpdateStrategy::Generalized(_))
+    }
+}
+
+/// Tuning parameters of the localized bottom-up algorithm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LbuParams {
+    /// Uniform enlargement ε: the leaf MBR grows by ε in *all four*
+    /// directions (Kwon-style), bounded by the parent MBR.
+    pub epsilon: f32,
+    /// Attempt the sibling-shift step (Algorithm 1 step 5). Disabling it
+    /// reduces LBU to the Kwon et al. lazy-update R-tree of Section 3.1
+    /// — enlargement or bust — which the paper generalizes; exposed for
+    /// the ablation bench.
+    pub sibling_shift: bool,
+}
+
+impl Default for LbuParams {
+    fn default() -> Self {
+        // The paper's recommended small ε (Section 5.1.1).
+        Self {
+            epsilon: 0.003,
+            sibling_shift: true,
+        }
+    }
+}
+
+impl LbuParams {
+    /// The Kwon et al. lazy-update configuration (Section 3.1): uniform
+    /// δ-enlargement only, no sibling shifts.
+    #[must_use]
+    pub fn kwon(epsilon: f32) -> Self {
+        Self {
+            epsilon,
+            sibling_shift: false,
+        }
+    }
+}
+
+/// Tuning parameters of the generalized bottom-up algorithm
+/// (Section 3.2.1 lists all four).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GbuParams {
+    /// ε — maximum directional enlargement applied by `iExtendMBR`.
+    pub epsilon: f32,
+    /// τ — distance threshold: objects that moved further than τ since
+    /// their last update try the sibling shift *before* `iExtendMBR`;
+    /// slower objects try `iExtendMBR` first.
+    pub distance_threshold: f32,
+    /// L — maximum number of levels `FindParent` may ascend above the
+    /// leaf. `None` means "height − 1" (the paper's recommended maximum).
+    pub level_threshold: Option<u16>,
+    /// Piggyback other matching entries when shifting to a sibling
+    /// (Section 3.2.1 item 4). Exposed for the ablation bench.
+    pub piggyback: bool,
+    /// Answer window queries through the summary structure (prune
+    /// internal levels in memory). Exposed for the ablation bench.
+    pub summary_queries: bool,
+}
+
+impl Default for GbuParams {
+    fn default() -> Self {
+        // Paper defaults: ε = 0.003 (§5.1.1), τ = 0.03 (§5.1.2),
+        // L = height − 1 (§3.2.1 item 3).
+        Self {
+            epsilon: 0.003,
+            distance_threshold: 0.03,
+            level_threshold: None,
+            piggyback: true,
+            summary_queries: true,
+        }
+    }
+}
+
+/// How an overflowing node is split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitPolicy {
+    /// Guttman's quadratic split (the paper's R-tree; default).
+    Quadratic,
+    /// Guttman's linear split (cheaper CPU, worse grouping) — provided
+    /// for the ablation bench.
+    Linear,
+    /// The R*-tree topological split (Beckmann et al.): split axis by
+    /// minimum margin sum, distribution by minimum overlap. Part of the
+    /// R*-variant extension (the paper's future work applies bottom-up
+    /// updates to "members of the family of R-tree-based indexing
+    /// techniques"; the R*-tree is the most common member).
+    RStar,
+}
+
+/// How insertions descend and how overflow is treated — Guttman's
+/// original R-tree versus the R*-tree refinements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InsertPolicy {
+    /// Guttman ChooseLeaf (least area enlargement) and split-on-overflow.
+    /// This is the paper's R-tree and the default.
+    #[default]
+    Guttman,
+    /// R*-tree ChooseSubtree (minimum *overlap* enlargement when choosing
+    /// among leaf-parent entries) plus **forced reinsertion**: the first
+    /// overflow per level per insertion evicts the 30 % of entries whose
+    /// centers lie farthest from the node center and re-inserts them from
+    /// the root, instead of splitting.
+    RStar,
+}
+
+/// Construction-time options of an [`crate::RTreeIndex`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexOptions {
+    /// Page size in bytes (paper: 1024).
+    pub page_size: usize,
+    /// Buffer-pool capacity in frames (experiments size this as a
+    /// percentage of the data pages; the paper's default is 1 %).
+    pub buffer_frames: usize,
+    /// Update technique and its tuning parameters.
+    pub strategy: UpdateStrategy,
+    /// Node split policy.
+    pub split: SplitPolicy,
+    /// Insertion descent / overflow policy (Guttman or R*).
+    pub insert: InsertPolicy,
+    /// Buffer-pool replacement policy (LRU as in the paper's experiments,
+    /// or Clock for the ablation).
+    pub eviction: bur_storage::EvictionPolicy,
+    /// Minimum node fill as a fraction of capacity (Guttman's `m`);
+    /// deletes below this trigger CondenseTree reinsertion.
+    pub min_fill: f32,
+}
+
+impl Default for IndexOptions {
+    fn default() -> Self {
+        Self {
+            page_size: bur_storage::DEFAULT_PAGE_SIZE,
+            buffer_frames: 256,
+            strategy: UpdateStrategy::Generalized(GbuParams::default()),
+            split: SplitPolicy::Quadratic,
+            insert: InsertPolicy::Guttman,
+            eviction: bur_storage::EvictionPolicy::Lru,
+            min_fill: 0.4,
+        }
+    }
+}
+
+impl IndexOptions {
+    /// Validate option consistency; called by the index constructors.
+    pub fn validate(&self) -> CoreResult<()> {
+        if !(0.0..=0.5).contains(&self.min_fill) {
+            return Err(CoreError::BadConfig(format!(
+                "min_fill must be in [0, 0.5], got {}",
+                self.min_fill
+            )));
+        }
+        let leaf_cap = node::leaf_capacity(self.page_size);
+        let internal_cap = node::internal_capacity(self.page_size);
+        if leaf_cap < 4 || internal_cap < 4 {
+            return Err(CoreError::BadConfig(format!(
+                "page size {} holds only {leaf_cap} leaf / {internal_cap} internal entries; need >= 4",
+                self.page_size
+            )));
+        }
+        match self.strategy {
+            UpdateStrategy::Localized(p) if p.epsilon < 0.0 => Err(CoreError::BadConfig(
+                "LBU epsilon must be non-negative".into(),
+            )),
+            UpdateStrategy::Generalized(p) if p.epsilon < 0.0 || p.distance_threshold < 0.0 => {
+                Err(CoreError::BadConfig(
+                    "GBU epsilon and distance threshold must be non-negative".into(),
+                ))
+            }
+            _ => Ok(()),
+        }
+    }
+
+    /// Convenience: TD with otherwise default options.
+    #[must_use]
+    pub fn top_down() -> Self {
+        Self {
+            strategy: UpdateStrategy::TopDown,
+            ..Self::default()
+        }
+    }
+
+    /// Convenience: LBU with default parameters.
+    #[must_use]
+    pub fn localized() -> Self {
+        Self {
+            strategy: UpdateStrategy::Localized(LbuParams::default()),
+            ..Self::default()
+        }
+    }
+
+    /// Convenience: GBU with default parameters.
+    #[must_use]
+    pub fn generalized() -> Self {
+        Self {
+            strategy: UpdateStrategy::Generalized(GbuParams::default()),
+            ..Self::default()
+        }
+    }
+
+    /// Switch these options to the R*-tree variant (R* ChooseSubtree,
+    /// forced reinsertion, R* split) while keeping the update strategy —
+    /// the combination the paper's future work points at.
+    #[must_use]
+    pub fn rstar(mut self) -> Self {
+        self.insert = InsertPolicy::RStar;
+        self.split = SplitPolicy::RStar;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        IndexOptions::default().validate().unwrap();
+        IndexOptions::top_down().validate().unwrap();
+        IndexOptions::localized().validate().unwrap();
+        IndexOptions::generalized().validate().unwrap();
+        IndexOptions::generalized().rstar().validate().unwrap();
+    }
+
+    #[test]
+    fn rstar_conversion_keeps_strategy() {
+        let o = IndexOptions::localized().rstar();
+        assert_eq!(o.insert, InsertPolicy::RStar);
+        assert_eq!(o.split, SplitPolicy::RStar);
+        assert!(matches!(o.strategy, UpdateStrategy::Localized(_)));
+        assert_eq!(IndexOptions::default().insert, InsertPolicy::Guttman);
+    }
+
+    #[test]
+    fn strategy_requirements() {
+        assert!(!UpdateStrategy::TopDown.needs_hash_index());
+        assert!(UpdateStrategy::Localized(LbuParams::default()).needs_hash_index());
+        assert!(UpdateStrategy::Localized(LbuParams::default()).needs_parent_pointers());
+        assert!(!UpdateStrategy::Localized(LbuParams::default()).needs_summary());
+        assert!(UpdateStrategy::Generalized(GbuParams::default()).needs_summary());
+        assert!(!UpdateStrategy::Generalized(GbuParams::default()).needs_parent_pointers());
+        assert_eq!(UpdateStrategy::TopDown.name(), "TD");
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let o = IndexOptions {
+            min_fill: 0.9,
+            ..IndexOptions::default()
+        };
+        assert!(o.validate().is_err());
+        let o = IndexOptions {
+            page_size: 64,
+            ..IndexOptions::default()
+        };
+        assert!(o.validate().is_err());
+        let mut o = IndexOptions::generalized();
+        if let UpdateStrategy::Generalized(ref mut p) = o.strategy {
+            p.epsilon = -1.0;
+        }
+        assert!(o.validate().is_err());
+    }
+}

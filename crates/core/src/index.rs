@@ -1,0 +1,658 @@
+//! Public index facade: construction, the object API (insert / delete /
+//! update / query), persistence, and validation.
+
+use crate::config::{IndexOptions, UpdateStrategy};
+use crate::error::{CoreError, CoreResult};
+use crate::knn::{self, Neighbor};
+use crate::node::{LeafEntry, NodeEntries, ObjectId};
+use crate::stats::{OpStats, UpdateOutcome};
+use crate::summary::SummaryStructure;
+use crate::tree::RTree;
+use crate::{gbu, lbu, topdown};
+use bur_geom::{Point, Rect};
+use bur_hashindex::{HashIndexConfig, LinearHashIndex};
+use bur_storage::{
+    BufferPool, DiskBackend, IoStats, MemDisk, PageId, PoolConfig, INVALID_PAGE,
+};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+const META_MAGIC: u64 = 0x4255_5254_5245_4531; // "BURTREE1"
+const META_PAGE: PageId = 0;
+
+/// A disk-resident R-tree index over 2-D objects with configurable update
+/// strategy (TD / LBU / GBU).
+///
+/// ```
+/// use bur_core::{IndexOptions, RTreeIndex};
+/// use bur_geom::{Point, Rect};
+///
+/// let mut index = RTreeIndex::create_in_memory(IndexOptions::generalized()).unwrap();
+/// index.insert(1, Point::new(0.25, 0.5)).unwrap();
+/// index.insert(2, Point::new(0.75, 0.5)).unwrap();
+/// index.update(1, Point::new(0.25, 0.5), Point::new(0.26, 0.5)).unwrap();
+/// let hits = index.query(&Rect::new(0.0, 0.0, 0.5, 1.0)).unwrap();
+/// assert_eq!(hits, vec![1]);
+/// ```
+pub struct RTreeIndex {
+    pub(crate) tree: RTree,
+}
+
+impl std::fmt::Debug for RTreeIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RTreeIndex")
+            .field("strategy", &self.tree.opts.strategy.name())
+            .field("len", &self.tree.len)
+            .field("height", &self.tree.height)
+            .field("root", &self.tree.root)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RTreeIndex {
+    // ---- construction ----------------------------------------------------
+
+    /// Create a fresh index on an in-memory disk (the experiment default).
+    pub fn create_in_memory(opts: IndexOptions) -> CoreResult<Self> {
+        let disk = Arc::new(MemDisk::new(opts.page_size));
+        Self::create_on(disk, opts)
+    }
+
+    /// Create a fresh index on the given disk. The disk must be empty;
+    /// page 0 is reserved for index metadata.
+    pub fn create_on(disk: Arc<dyn DiskBackend>, opts: IndexOptions) -> CoreResult<Self> {
+        opts.validate()?;
+        if disk.page_size() != opts.page_size {
+            return Err(CoreError::BadConfig(format!(
+                "disk page size {} != configured {}",
+                disk.page_size(),
+                opts.page_size
+            )));
+        }
+        if disk.num_pages() != 0 {
+            return Err(CoreError::BadConfig(
+                "create_on requires an empty disk; use open_on".into(),
+            ));
+        }
+        let pool = Arc::new(BufferPool::new(
+            disk,
+            PoolConfig {
+                capacity: opts.buffer_frames,
+                policy: opts.eviction,
+            },
+        ));
+        // Reserve the metadata page before any other allocation.
+        let (meta_pid, guard) = pool.new_page()?;
+        debug_assert_eq!(meta_pid, META_PAGE);
+        guard.write().fill(0);
+        drop(guard);
+        let tree = RTree::create(pool, opts)?;
+        Ok(Self { tree })
+    }
+
+    /// Reopen a persisted index (see [`RTreeIndex::persist`]). The
+    /// summary structure is rebuilt from a tree scan (it is main-memory
+    /// state, exactly as in the paper); the hash index is reloaded when
+    /// present on disk or rebuilt when the requested strategy needs one
+    /// the stored index lacked.
+    pub fn open_on(disk: Arc<dyn DiskBackend>, opts: IndexOptions) -> CoreResult<Self> {
+        opts.validate()?;
+        if disk.page_size() != opts.page_size {
+            return Err(CoreError::BadConfig(format!(
+                "disk page size {} != configured {}",
+                disk.page_size(),
+                opts.page_size
+            )));
+        }
+        let pool = Arc::new(BufferPool::new(
+            disk,
+            PoolConfig {
+                capacity: opts.buffer_frames,
+                policy: opts.eviction,
+            },
+        ));
+        let payload = read_meta_chain(&pool)?;
+        let mut cur = MetaCursor::new(&payload);
+        if cur.u64() != META_MAGIC {
+            return Err(CoreError::BadConfig("not a bur index (bad magic)".into()));
+        }
+        let page_size = cur.u32() as usize;
+        if page_size != opts.page_size {
+            return Err(CoreError::BadConfig(format!(
+                "stored page size {page_size} != configured {}",
+                opts.page_size
+            )));
+        }
+        let flags = cur.u32();
+        let root = cur.u32();
+        let height = cur.u32() as u16;
+        let len = cur.u64();
+        let hash_head = cur.u32();
+        let free_count = cur.u32() as usize;
+        let free_pages: Vec<PageId> = (0..free_count).map(|_| cur.u32()).collect();
+
+        let stored_hash = flags & 1 != 0;
+        let hash = if stored_hash {
+            Some(LinearHashIndex::load(
+                pool.clone(),
+                HashIndexConfig::default(),
+                hash_head,
+            )?)
+        } else if opts.strategy.needs_hash_index() {
+            Some(LinearHashIndex::create(
+                pool.clone(),
+                HashIndexConfig::default(),
+            )?)
+        } else {
+            None
+        };
+        let summary = opts.strategy.needs_summary().then(SummaryStructure::new);
+        let mut tree = RTree {
+            pool,
+            opts,
+            root,
+            height,
+            len,
+            free_pages,
+            summary,
+            hash,
+            stats: OpStats::default(),
+            pending_reinserts: Vec::new(),
+            reinsert_armed: 0,
+            insert_active: false,
+        };
+        rebuild_memory_state(&mut tree, !stored_hash && opts.strategy.needs_hash_index())?;
+        Ok(Self { tree })
+    }
+
+    /// Write metadata (and the hash directory) so the index can be
+    /// reopened with [`RTreeIndex::open_on`]; flushes all dirty pages.
+    /// Intended as a shutdown step: each call allocates a fresh metadata
+    /// continuation chain.
+    pub fn persist(&mut self) -> CoreResult<()> {
+        let hash_head = match &self.tree.hash {
+            Some(h) => h.persist()?,
+            None => INVALID_PAGE,
+        };
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&META_MAGIC.to_le_bytes());
+        payload.extend_from_slice(&(self.tree.opts.page_size as u32).to_le_bytes());
+        let flags: u32 = u32::from(self.tree.hash.is_some());
+        payload.extend_from_slice(&flags.to_le_bytes());
+        payload.extend_from_slice(&self.tree.root.to_le_bytes());
+        payload.extend_from_slice(&u32::from(self.tree.height).to_le_bytes());
+        payload.extend_from_slice(&self.tree.len.to_le_bytes());
+        payload.extend_from_slice(&hash_head.to_le_bytes());
+        payload.extend_from_slice(&(self.tree.free_pages.len() as u32).to_le_bytes());
+        for &p in &self.tree.free_pages {
+            payload.extend_from_slice(&p.to_le_bytes());
+        }
+        write_meta_chain(&self.tree.pool, &payload)?;
+        self.tree.pool.flush_all()?;
+        Ok(())
+    }
+
+    // ---- object API --------------------------------------------------------
+
+    /// Insert a point object under a fresh id. With a hash index present
+    /// (LBU/GBU) duplicate ids are rejected; TD trusts the caller.
+    pub fn insert(&mut self, oid: ObjectId, position: Point) -> CoreResult<()> {
+        self.insert_rect(oid, Rect::from_point(position))
+    }
+
+    /// Insert an object with a rectangular extent.
+    pub fn insert_rect(&mut self, oid: ObjectId, rect: Rect) -> CoreResult<()> {
+        if !rect.is_valid() {
+            return Err(CoreError::BadConfig(format!("invalid rect {rect}")));
+        }
+        if let Some(h) = &self.tree.hash {
+            if h.get(oid)?.is_some() {
+                return Err(CoreError::DuplicateObject(oid));
+            }
+        }
+        self.tree.insert_object(LeafEntry { oid, rect })?;
+        self.tree.len += 1;
+        self.tree.stats.inserts.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Delete the object `oid` located at `position`. Returns `false`
+    /// when it is not indexed there.
+    pub fn delete(&mut self, oid: ObjectId, position: Point) -> CoreResult<bool> {
+        let found = self.tree.delete_object(oid, position)?;
+        if found {
+            self.tree.len -= 1;
+            self.tree.stats.deletes.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(found)
+    }
+
+    /// Move object `oid` from `old` to `new` using the configured update
+    /// strategy; returns which path the update took.
+    pub fn update(&mut self, oid: ObjectId, old: Point, new: Point) -> CoreResult<UpdateOutcome> {
+        let outcome = match self.tree.opts.strategy {
+            UpdateStrategy::TopDown => topdown::update(&mut self.tree, oid, old, new)?,
+            UpdateStrategy::Localized(p) => lbu::update(&mut self.tree, p, oid, old, new)?,
+            UpdateStrategy::Generalized(p) => gbu::update(&mut self.tree, p, oid, old, new)?,
+        };
+        self.tree.stats.record_update(outcome);
+        Ok(outcome)
+    }
+
+    /// Window query: ids of all objects whose rect intersects `window`.
+    /// GBU indexes answer through the summary structure unless configured
+    /// otherwise.
+    pub fn query(&self, window: &Rect) -> CoreResult<Vec<ObjectId>> {
+        let mut out = Vec::new();
+        self.query_into(window, &mut out)?;
+        Ok(out)
+    }
+
+    /// Window query into a reusable buffer.
+    pub fn query_into(&self, window: &Rect, out: &mut Vec<ObjectId>) -> CoreResult<()> {
+        self.tree.stats.queries.fetch_add(1, Ordering::Relaxed);
+        match self.tree.opts.strategy {
+            UpdateStrategy::Generalized(p) if p.summary_queries => {
+                self.tree.query_with_summary(window, out)
+            }
+            _ => self.tree.query_into(window, out),
+        }
+    }
+
+    /// Window query forced through the plain top-down descent (ablation).
+    pub fn query_top_down(&self, window: &Rect, out: &mut Vec<ObjectId>) -> CoreResult<()> {
+        self.tree.stats.queries.fetch_add(1, Ordering::Relaxed);
+        self.tree.query_into(window, out)
+    }
+
+    /// Exact-position query: ids of all objects whose rect contains
+    /// `position` (a degenerate window query).
+    pub fn point_query(&self, position: Point) -> CoreResult<Vec<ObjectId>> {
+        self.query(&Rect::from_point(position))
+    }
+
+    /// The `k` nearest neighbors of `query`, closest first (best-first
+    /// MINDIST search; see [`crate::Neighbor`]). GBU indexes with summary
+    /// queries enabled seed the search from the in-memory direct access
+    /// table, skipping reads of internal nodes above level 1. Ties are
+    /// broken arbitrarily. Library extension — the paper evaluates window
+    /// queries only.
+    pub fn nearest_neighbors(&self, query: Point, k: usize) -> CoreResult<Vec<Neighbor>> {
+        if !query.is_finite() {
+            return Err(CoreError::BadConfig(format!(
+                "non-finite kNN query point {query}"
+            )));
+        }
+        self.tree.stats.queries.fetch_add(1, Ordering::Relaxed);
+        match self.tree.opts.strategy {
+            UpdateStrategy::Generalized(p) if p.summary_queries => {
+                knn::nearest_with_summary(&self.tree, query, k)
+            }
+            _ => knn::nearest(&self.tree, query, k),
+        }
+    }
+
+    /// The single nearest neighbor of `query` (`None` on an empty index).
+    pub fn nearest_neighbor(&self, query: Point) -> CoreResult<Option<Neighbor>> {
+        Ok(self.nearest_neighbors(query, 1)?.into_iter().next())
+    }
+
+    /// All objects whose rect lies within Euclidean `radius` of `center`,
+    /// closest first. Implemented as a window query over the bounding
+    /// square followed by an exact distance filter.
+    pub fn within_distance(&self, center: Point, radius: f32) -> CoreResult<Vec<Neighbor>> {
+        if !center.is_finite() || !radius.is_finite() || radius < 0.0 {
+            return Err(CoreError::BadConfig(format!(
+                "invalid within_distance arguments: center {center}, radius {radius}"
+            )));
+        }
+        let window = Rect::new(
+            center.x - radius,
+            center.y - radius,
+            center.x + radius,
+            center.y + radius,
+        );
+        self.tree.stats.queries.fetch_add(1, Ordering::Relaxed);
+        let mut hits = Vec::new();
+        self.tree.query_entries_into(&window, &mut hits)?;
+        let mut out: Vec<Neighbor> = hits
+            .into_iter()
+            .filter_map(|e| {
+                let d2 = e.rect.distance_sq_to_point(&center);
+                (d2 <= radius * radius).then(|| Neighbor {
+                    oid: e.oid,
+                    distance: d2.sqrt(),
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| a.distance.total_cmp(&b.distance));
+        Ok(out)
+    }
+
+    /// Window query that returns object extents along with ids (the
+    /// entries as stored in the leaves).
+    pub fn query_entries(&self, window: &Rect) -> CoreResult<Vec<LeafEntry>> {
+        self.tree.stats.queries.fetch_add(1, Ordering::Relaxed);
+        let mut out = Vec::new();
+        self.tree.query_entries_into(window, &mut out)?;
+        Ok(out)
+    }
+
+    /// Number of objects intersecting `window` without keeping the ids.
+    pub fn count_in(&self, window: &Rect) -> CoreResult<usize> {
+        let mut out = Vec::new();
+        self.query_into(window, &mut out)?;
+        Ok(out.len())
+    }
+
+    // ---- introspection -------------------------------------------------------
+
+    /// Number of indexed objects.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.tree.len
+    }
+
+    /// `true` when no objects are indexed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tree.len == 0
+    }
+
+    /// Number of levels (1 = the root is a leaf).
+    #[must_use]
+    pub fn height(&self) -> u16 {
+        self.tree.height
+    }
+
+    /// The construction options.
+    #[must_use]
+    pub fn options(&self) -> &IndexOptions {
+        &self.tree.opts
+    }
+
+    /// Physical I/O counters of the underlying buffer pool.
+    #[must_use]
+    pub fn io_stats(&self) -> &IoStats {
+        self.tree.pool.stats()
+    }
+
+    /// Operation counters (update outcome classes, splits, ...).
+    #[must_use]
+    pub fn op_stats(&self) -> &OpStats {
+        &self.tree.stats
+    }
+
+    /// The buffer pool (shared with the hash index).
+    #[must_use]
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.tree.pool
+    }
+
+    /// The summary structure, when the strategy maintains one.
+    #[must_use]
+    pub fn summary(&self) -> Option<&SummaryStructure> {
+        self.tree.summary.as_ref()
+    }
+
+    /// Resize the buffer (frames of *unpinned* retention).
+    pub fn set_buffer_capacity(&self, frames: usize) -> CoreResult<()> {
+        self.tree.pool.set_capacity(frames)?;
+        Ok(())
+    }
+
+    /// Flush all dirty pages (counts physical writes).
+    pub fn flush(&self) -> CoreResult<()> {
+        self.tree.pool.flush_all()?;
+        Ok(())
+    }
+
+    /// Number of R-tree node pages currently reachable.
+    pub fn tree_pages(&self) -> CoreResult<u64> {
+        self.tree.node_count()
+    }
+
+    /// Number of pages used by the secondary hash index (0 without one).
+    #[must_use]
+    pub fn hash_pages(&self) -> usize {
+        self.tree.hash.as_ref().map_or(0, LinearHashIndex::page_count)
+    }
+
+    /// Total data pages (tree + hash) — what experiments size buffers
+    /// against ("buffer ... is 1 % of the database size").
+    pub fn data_pages(&self) -> CoreResult<u64> {
+        Ok(self.tree_pages()? + self.hash_pages() as u64)
+    }
+
+    /// Deep invariant check (structure, fill, containment, hash and
+    /// summary agreement). Expensive; intended for tests.
+    pub fn validate(&self) -> CoreResult<()> {
+        self.tree.validate()
+    }
+}
+
+// ---- open-time memory-state rebuild ------------------------------------------
+
+/// Scan the stored tree to rebuild the main-memory summary structure and
+/// (when requested) a hash index the stored image lacked.
+fn rebuild_memory_state(tree: &mut RTree, build_hash: bool) -> CoreResult<()> {
+    fn walk(
+        tree: &RTree,
+        pid: PageId,
+        summary: &mut Option<SummaryStructure>,
+        hash_entries: &mut Vec<(ObjectId, PageId)>,
+        build_hash: bool,
+        leaf_cap: usize,
+    ) -> CoreResult<()> {
+        let node = tree.read_node(pid)?;
+        match &node.entries {
+            NodeEntries::Leaf(v) => {
+                if let Some(s) = summary {
+                    s.set_leaf(pid, v.len() >= leaf_cap);
+                }
+                if build_hash {
+                    hash_entries.extend(v.iter().map(|e| (e.oid, pid)));
+                }
+            }
+            NodeEntries::Internal(v) => {
+                if let Some(s) = summary {
+                    s.upsert_internal(
+                        pid,
+                        node.level,
+                        node.mbr(),
+                        v.iter().map(|e| e.child).collect(),
+                    );
+                }
+                for e in v {
+                    walk(tree, e.child, summary, hash_entries, build_hash, leaf_cap)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    let mut summary = tree.summary.take();
+    if let Some(s) = &mut summary {
+        s.clear();
+    }
+    let mut hash_entries = Vec::new();
+    let leaf_cap = tree.leaf_cap();
+    walk(tree, tree.root, &mut summary, &mut hash_entries, build_hash, leaf_cap)?;
+    if let Some(s) = &mut summary {
+        let root = tree.read_node(tree.root)?;
+        s.set_root_mbr(root.mbr());
+    }
+    tree.summary = summary;
+    if build_hash {
+        let hash = tree.hash.as_ref().expect("caller created the hash");
+        for (oid, pid) in hash_entries {
+            hash.insert(oid, pid)?;
+        }
+    }
+    // LBU needs leaf parent pointers; repair any that are missing or
+    // stale (e.g. the stored image was built by a TD index).
+    if tree.opts.strategy.needs_parent_pointers() && tree.height >= 2 {
+        let mut level1 = Vec::new();
+        collect_level(tree, tree.root, 1, &mut level1)?;
+        for parent_pid in level1 {
+            let parent = tree.read_node(parent_pid)?;
+            let children: Vec<PageId> =
+                parent.internal_entries().iter().map(|e| e.child).collect();
+            for child in children {
+                let mut node = tree.read_node(child)?;
+                if node.parent != parent_pid {
+                    node.parent = parent_pid;
+                    tree.write_node(child, &node)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Collect the page ids of all nodes at `level`.
+fn collect_level(tree: &RTree, pid: PageId, level: u16, out: &mut Vec<PageId>) -> CoreResult<()> {
+    let node = tree.read_node(pid)?;
+    if node.level == level {
+        out.push(pid);
+        return Ok(());
+    }
+    if node.level > level {
+        if let NodeEntries::Internal(v) = &node.entries {
+            for e in v {
+                collect_level(tree, e.child, level, out)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---- metadata chain ------------------------------------------------------------
+
+/// Little-endian payload reader.
+struct MetaCursor<'a> {
+    data: &'a [u8],
+    off: usize,
+}
+
+impl<'a> MetaCursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, off: 0 }
+    }
+    fn u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.data[self.off..self.off + 4].try_into().unwrap());
+        self.off += 4;
+        v
+    }
+    fn u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.data[self.off..self.off + 8].try_into().unwrap());
+        self.off += 8;
+        v
+    }
+}
+
+/// Page-chain layout: `[next u32][len u16][data ...]`, head at page 0.
+fn write_meta_chain(pool: &BufferPool, payload: &[u8]) -> CoreResult<()> {
+    let chunk = pool.page_size() - 6;
+    let chunks: Vec<&[u8]> = if payload.is_empty() {
+        vec![&[]]
+    } else {
+        payload.chunks(chunk).collect()
+    };
+    let mut prev: Option<PageId> = None;
+    for (i, part) in chunks.iter().enumerate() {
+        let pid = if i == 0 {
+            META_PAGE
+        } else {
+            let (pid, guard) = pool.new_page()?;
+            drop(guard);
+            pid
+        };
+        let guard = pool.fetch_for_overwrite(pid)?;
+        {
+            let mut w = guard.write();
+            w.fill(0);
+            w[0..4].copy_from_slice(&INVALID_PAGE.to_le_bytes());
+            w[4..6].copy_from_slice(&(part.len() as u16).to_le_bytes());
+            w[6..6 + part.len()].copy_from_slice(part);
+        }
+        drop(guard);
+        if let Some(p) = prev {
+            let g = pool.fetch(p)?;
+            g.write()[0..4].copy_from_slice(&pid.to_le_bytes());
+        }
+        prev = Some(pid);
+    }
+    Ok(())
+}
+
+fn read_meta_chain(pool: &BufferPool) -> CoreResult<Vec<u8>> {
+    let mut payload = Vec::new();
+    let mut pid = META_PAGE;
+    let mut visited = std::collections::HashSet::new();
+    loop {
+        // A zeroed/garbage page can point anywhere, including back at page 0
+        // (`next == 0`); without the guard open() would spin forever.
+        if !visited.insert(pid) {
+            return Err(CoreError::BadConfig(
+                "not a bur index (bad magic in meta chain)".into(),
+            ));
+        }
+        let guard = pool.fetch(pid)?;
+        let data = guard.read();
+        let next = u32::from_le_bytes(data[0..4].try_into().unwrap());
+        let len = u16::from_le_bytes(data[4..6].try_into().unwrap()) as usize;
+        if len > data.len() - 6 {
+            return Err(CoreError::BadConfig(
+                "not a bur index (bad magic in meta chunk)".into(),
+            ));
+        }
+        payload.extend_from_slice(&data[6..6 + len]);
+        if next == INVALID_PAGE {
+            break;
+        }
+        pid = next;
+    }
+    Ok(payload)
+}
+
+impl RTreeIndex {
+    /// Diagnostic: `(leaf count, Σ leaf entry-rect area, Σ leaf margins,
+    /// object count, internal count)` measured from the parent entries
+    /// (the official rects). Used by tooling to quantify overlap.
+    pub fn leaf_geometry(&self) -> CoreResult<(u64, f64, f64, u64, u64)> {
+        fn walk(
+            t: &crate::tree::RTree,
+            pid: PageId,
+            acc: &mut (u64, f64, f64, u64, u64),
+        ) -> CoreResult<()> {
+            let node = t.read_node(pid)?;
+            match &node.entries {
+                NodeEntries::Leaf(v) => {
+                    acc.3 += v.len() as u64;
+                }
+                NodeEntries::Internal(v) => {
+                    acc.4 += 1;
+                    for e in v {
+                        if node.level == 1 {
+                            acc.0 += 1;
+                            acc.1 += f64::from(e.rect.area());
+                            acc.2 += f64::from(e.rect.margin());
+                        }
+                        walk(t, e.child, acc)?;
+                    }
+                }
+            }
+            Ok(())
+        }
+        let mut acc = (0, 0.0, 0.0, 0, 0);
+        walk(&self.tree, self.tree.root, &mut acc)?;
+        if self.tree.height == 1 {
+            acc.0 = 1;
+            let root = self.tree.read_node(self.tree.root)?;
+            acc.1 = f64::from(root.mbr().area());
+            acc.2 = f64::from(root.mbr().margin());
+        }
+        Ok(acc)
+    }
+}

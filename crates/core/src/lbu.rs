@@ -1,0 +1,144 @@
+//! Localized Bottom-Up update — Algorithm 1 of the paper.
+//!
+//! The sequence, kept deliberately faithful:
+//!
+//! 1. locate the leaf through the object-id hash index;
+//! 2. if the new location lies within the leaf MBR → update in place;
+//! 3. retrieve the **parent through the leaf's parent pointer**, enlarge
+//!    the leaf MBR by ε *equally in all directions* (Kwon-style), bounded
+//!    by the parent MBR; if the new location now fits → enlarge + update;
+//! 4. if deleting the entry would underflow the leaf → full top-down
+//!    update;
+//! 5. delete the entry; if a non-full sibling's MBR contains the new
+//!    location → insert there;
+//! 6. otherwise issue a standard R-tree insert from the root.
+//!
+//! LBU's structural costs — the parent pointers rewritten on every
+//! level-1 split and the sibling pages read just to check fullness — are
+//! incurred for real by this implementation; they are the reason the
+//! paper finds LBU can lose to TD once a buffer is present (Figure 6(g)).
+
+use crate::config::LbuParams;
+use crate::error::{CoreError, CoreResult};
+use crate::node::{LeafEntry, ObjectId};
+use crate::stats::UpdateOutcome;
+use crate::topdown;
+use crate::tree::RTree;
+use bur_geom::{Point, Rect};
+use bur_storage::INVALID_PAGE;
+
+/// Run one localized bottom-up update.
+pub(crate) fn update(
+    tree: &mut RTree,
+    params: LbuParams,
+    oid: ObjectId,
+    old: Point,
+    new: Point,
+) -> CoreResult<UpdateOutcome> {
+    // Step 1: hash probe for direct leaf access.
+    let hash = tree.hash.as_ref().expect("LBU requires the hash index");
+    let Some(leaf_pid) = hash.get(oid)? else {
+        return Err(CoreError::ObjectNotFound(oid));
+    };
+    let mut leaf = tree.read_node(leaf_pid)?;
+    let Some(idx) = leaf.oid_index(oid) else {
+        return Err(CoreError::CorruptNode {
+            pid: leaf_pid,
+            reason: "hash index points at a leaf without the object",
+        });
+    };
+    let new_rect = Rect::from_point(new);
+
+    // Step 2: in place when the tight leaf MBR already covers the target.
+    if leaf.mbr().contains_point(&new) || leaf_pid == tree.root {
+        leaf.leaf_entries_mut()[idx].rect = new_rect;
+        tree.write_node(leaf_pid, &leaf)?;
+        return Ok(UpdateOutcome::InPlace);
+    }
+
+    // Step 3: read the parent through the leaf's parent pointer.
+    let parent_pid = leaf.parent;
+    if parent_pid == INVALID_PAGE {
+        return Err(CoreError::CorruptNode {
+            pid: leaf_pid,
+            reason: "LBU leaf without parent pointer",
+        });
+    }
+    let mut parent = tree.read_node(parent_pid)?;
+    let pidx = parent
+        .child_index(leaf_pid)
+        .ok_or(CoreError::CorruptNode {
+            pid: parent_pid,
+            reason: "parent pointer target does not list the leaf",
+        })?;
+    let official = parent.internal_entries()[pidx].rect;
+    if official.contains_point(&new) {
+        // A previous enlargement already covers the target: pure in-place.
+        leaf.leaf_entries_mut()[idx].rect = new_rect;
+        tree.write_node(leaf_pid, &leaf)?;
+        return Ok(UpdateOutcome::InPlace);
+    }
+    // Uniform ε-enlargement, clipped to the parent MBR ("In order to
+    // preserve the R-tree structure, the expansion of a leaf MBR is
+    // bounded by its parent MBR").
+    let parent_mbr = parent.mbr();
+    let enlarged = official.expanded_uniform(params.epsilon).clipped_to(&parent_mbr);
+    if enlarged.contains_point(&new) {
+        parent.internal_entries_mut()[pidx].rect = enlarged;
+        tree.write_node(parent_pid, &parent)?;
+        leaf.leaf_entries_mut()[idx].rect = new_rect;
+        tree.write_node(leaf_pid, &leaf)?;
+        return Ok(UpdateOutcome::Extended);
+    }
+
+    // Step 4: a bottom-up delete must not underflow the leaf.
+    if leaf.count() <= tree.min_fill_leaf() {
+        return topdown::update(tree, oid, old, new);
+    }
+
+    // With sibling shifts disabled (the pure Kwon lazy-update mode of
+    // Section 3.1), a failed enlargement goes straight to a top-down
+    // update — "Otherwise, a top-down update is issued".
+    if !params.sibling_shift {
+        return topdown::update(tree, oid, old, new);
+    }
+
+    // Step 5: delete from the leaf, then look for a sibling whose MBR
+    // contains the new location and that is not full. LBU has no bit
+    // vector, so each candidate sibling is *read* to check fullness —
+    // the extra disk accesses the paper attributes to this strategy.
+    leaf.leaf_entries_mut().swap_remove(idx);
+    tree.write_node(leaf_pid, &leaf)?;
+    // Tighten the leaf's official MBR in the parent (in memory already);
+    // leaving the stale rectangle behind on every departure would make
+    // overlap ratchet outward with update volume.
+    let tight = leaf.mbr();
+    if parent.internal_entries()[pidx].rect != tight {
+        parent.internal_entries_mut()[pidx].rect = tight;
+        tree.write_node(parent_pid, &parent)?;
+    }
+    let leaf_cap = tree.leaf_cap();
+    let sibling_entries: Vec<(usize, bur_storage::PageId)> = parent
+        .internal_entries()
+        .iter()
+        .enumerate()
+        .filter(|(i, e)| *i != pidx && e.rect.contains_point(&new))
+        .map(|(i, e)| (i, e.child))
+        .collect();
+    for (_i, sib_pid) in sibling_entries {
+        let mut sib = tree.read_node(sib_pid)?;
+        if sib.count() < leaf_cap {
+            sib.leaf_entries_mut().push(LeafEntry::point(oid, new));
+            tree.write_node(sib_pid, &sib)?;
+            tree.hash_place(oid, sib_pid)?;
+            return Ok(UpdateOutcome::Shifted);
+        }
+    }
+
+    // Step 6: standard insert from the root (the hash entry is refreshed
+    // by the insert path).
+    tree.insert_object(LeafEntry::point(oid, new))?;
+    Ok(UpdateOutcome::Ascended {
+        levels: tree.height - 1,
+    })
+}

@@ -1,0 +1,54 @@
+//! # bur-core — bottom-up update R-trees
+//!
+//! A from-scratch, disk-resident R-tree implementing the three update
+//! techniques evaluated in *"Supporting Frequent Updates in R-Trees: A
+//! Bottom-Up Approach"* (Lee, Hsu, Jensen, Cui, Teo — VLDB 2003):
+//!
+//! * **TD** — the classic top-down delete + insert baseline,
+//! * **LBU** — localized bottom-up (Algorithm 1): hash-indexed leaf
+//!   access, uniform ε-enlargement through a parent pointer, sibling
+//!   shift,
+//! * **GBU** — generalized bottom-up (Algorithm 2): the paper's
+//!   contribution, built on a compact main-memory [`SummaryStructure`]
+//!   (direct access table over internal nodes + leaf-fullness bit
+//!   vector), directional `iExtendMBR`, τ-ordered repairs, piggybacked
+//!   sibling shifts and `FindParent` ascent.
+//!
+//! The tree lives on 1 KiB pages behind an LRU buffer pool
+//! ([`bur_storage`]) and keeps an on-disk linear-hash secondary index
+//! ([`bur_hashindex`]) from object ids to leaf pages, so every figure of
+//! the paper can be reproduced by counting physical page transfers.
+//!
+//! Entry point: [`RTreeIndex`]. Concurrency: [`ConcurrentIndex`]
+//! (DGL granule locks, Section 3.2.2).
+
+#![warn(missing_docs)]
+
+mod bulk;
+mod concurrent;
+mod config;
+pub mod cost_model;
+mod error;
+mod gbu;
+mod index;
+mod knn;
+mod lbu;
+mod node;
+mod split;
+mod stats;
+mod summary;
+mod topdown;
+mod tree;
+
+pub use concurrent::ConcurrentIndex;
+pub use config::{GbuParams, IndexOptions, InsertPolicy, LbuParams, SplitPolicy, UpdateStrategy};
+pub use error::{CoreError, CoreResult};
+pub use gbu::iextend_mbr;
+pub use knn::Neighbor;
+pub use index::RTreeIndex;
+pub use node::{
+    internal_capacity, leaf_capacity, InternalEntry, LeafEntry, Node, NodeEntries, ObjectId,
+    INTERNAL_ENTRY_SIZE, LEAF_ENTRY_SIZE,
+};
+pub use stats::{OpSnapshot, OpStats, UpdateOutcome};
+pub use summary::{SummaryEntry, SummaryStructure};

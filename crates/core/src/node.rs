@@ -1,0 +1,413 @@
+//! In-memory node representation and its on-page codec.
+//!
+//! Page layout (little-endian):
+//!
+//! ```text
+//! byte 0       magic: 0xD1 leaf, 0xD2 internal
+//! byte 1       level (0 = leaf)
+//! byte 2..4    entry count (u16)
+//! byte 4..8    parent page id (u32; INVALID_PAGE unless the strategy
+//!              maintains parent pointers — LBU does, TD/GBU do not)
+//! byte 8..16   reserved
+//! byte 16..    entries
+//! ```
+//!
+//! A leaf entry is 24 bytes (`oid u64` + 4×`f32` MBR); an internal entry
+//! is 20 bytes (`child u32` + 4×`f32` MBR). With the paper's 1024-byte
+//! pages this gives a leaf fanout of 42 and an internal fanout of 50, so
+//! a 1 M-object tree has 5 levels — the height the paper reports.
+
+use crate::error::{CoreError, CoreResult};
+use bur_geom::{Point, Rect};
+use bur_storage::{PageId, INVALID_PAGE};
+
+/// Object identifier stored in leaf entries ("a pointer to the object in
+/// the database" in Guttman's formulation).
+pub type ObjectId = u64;
+
+const MAGIC_LEAF: u8 = 0xD1;
+const MAGIC_INTERNAL: u8 = 0xD2;
+const HEADER_SIZE: usize = 16;
+/// Bytes per leaf entry.
+pub const LEAF_ENTRY_SIZE: usize = 24;
+/// Bytes per internal entry.
+pub const INTERNAL_ENTRY_SIZE: usize = 20;
+
+/// Maximum leaf entries for a page size.
+#[inline]
+#[must_use]
+pub fn leaf_capacity(page_size: usize) -> usize {
+    (page_size - HEADER_SIZE) / LEAF_ENTRY_SIZE
+}
+
+/// Maximum internal entries for a page size.
+#[inline]
+#[must_use]
+pub fn internal_capacity(page_size: usize) -> usize {
+    (page_size - HEADER_SIZE) / INTERNAL_ENTRY_SIZE
+}
+
+/// A leaf entry: one indexed object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeafEntry {
+    /// The object's identifier.
+    pub oid: ObjectId,
+    /// The object's MBR (a degenerate rectangle for points).
+    pub rect: Rect,
+}
+
+impl LeafEntry {
+    /// Entry for a point object.
+    #[must_use]
+    pub fn point(oid: ObjectId, p: Point) -> Self {
+        Self {
+            oid,
+            rect: Rect::from_point(p),
+        }
+    }
+}
+
+/// An internal entry: one child subtree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InternalEntry {
+    /// Page id of the child node.
+    pub child: PageId,
+    /// MBR bounding everything in the child subtree.
+    pub rect: Rect,
+}
+
+/// Entry storage of a node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeEntries {
+    /// Leaf node: object entries.
+    Leaf(Vec<LeafEntry>),
+    /// Internal node: child entries.
+    Internal(Vec<InternalEntry>),
+}
+
+/// A decoded R-tree node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Node {
+    /// Level in the tree: 0 for leaves, `height − 1` for the root.
+    pub level: u16,
+    /// Parent page id; [`INVALID_PAGE`] when parent pointers are not
+    /// maintained (TD and GBU modes).
+    pub parent: PageId,
+    /// The node's entries.
+    pub entries: NodeEntries,
+}
+
+impl Node {
+    /// Fresh empty leaf.
+    #[must_use]
+    pub fn new_leaf() -> Self {
+        Self {
+            level: 0,
+            parent: INVALID_PAGE,
+            entries: NodeEntries::Leaf(Vec::new()),
+        }
+    }
+
+    /// Fresh empty internal node at `level >= 1`.
+    #[must_use]
+    pub fn new_internal(level: u16) -> Self {
+        debug_assert!(level >= 1);
+        Self {
+            level,
+            parent: INVALID_PAGE,
+            entries: NodeEntries::Internal(Vec::new()),
+        }
+    }
+
+    /// `true` for leaves.
+    #[must_use]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self.entries, NodeEntries::Leaf(_))
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        match &self.entries {
+            NodeEntries::Leaf(v) => v.len(),
+            NodeEntries::Internal(v) => v.len(),
+        }
+    }
+
+    /// Tight MBR over all entries ([`Rect::EMPTY`] when empty).
+    #[must_use]
+    pub fn mbr(&self) -> Rect {
+        match &self.entries {
+            NodeEntries::Leaf(v) => v
+                .iter()
+                .fold(Rect::EMPTY, |acc, e| acc.union(&e.rect)),
+            NodeEntries::Internal(v) => v
+                .iter()
+                .fold(Rect::EMPTY, |acc, e| acc.union(&e.rect)),
+        }
+    }
+
+    /// Leaf entries (panics on internal nodes — a logic error upstream).
+    #[must_use]
+    pub fn leaf_entries(&self) -> &Vec<LeafEntry> {
+        match &self.entries {
+            NodeEntries::Leaf(v) => v,
+            NodeEntries::Internal(_) => panic!("leaf_entries() on internal node"),
+        }
+    }
+
+    /// Mutable leaf entries.
+    pub fn leaf_entries_mut(&mut self) -> &mut Vec<LeafEntry> {
+        match &mut self.entries {
+            NodeEntries::Leaf(v) => v,
+            NodeEntries::Internal(_) => panic!("leaf_entries_mut() on internal node"),
+        }
+    }
+
+    /// Internal entries (panics on leaves).
+    #[must_use]
+    pub fn internal_entries(&self) -> &Vec<InternalEntry> {
+        match &self.entries {
+            NodeEntries::Internal(v) => v,
+            NodeEntries::Leaf(_) => panic!("internal_entries() on leaf node"),
+        }
+    }
+
+    /// Mutable internal entries.
+    pub fn internal_entries_mut(&mut self) -> &mut Vec<InternalEntry> {
+        match &mut self.entries {
+            NodeEntries::Internal(v) => v,
+            NodeEntries::Leaf(_) => panic!("internal_entries_mut() on leaf node"),
+        }
+    }
+
+    /// Index of the entry pointing at `child`, if present.
+    #[must_use]
+    pub fn child_index(&self, child: PageId) -> Option<usize> {
+        self.internal_entries().iter().position(|e| e.child == child)
+    }
+
+    /// Index of the leaf entry for `oid`, if present.
+    #[must_use]
+    pub fn oid_index(&self, oid: ObjectId) -> Option<usize> {
+        self.leaf_entries().iter().position(|e| e.oid == oid)
+    }
+
+    /// Capacity of this node kind under `page_size`.
+    #[must_use]
+    pub fn capacity(&self, page_size: usize) -> usize {
+        if self.is_leaf() {
+            leaf_capacity(page_size)
+        } else {
+            internal_capacity(page_size)
+        }
+    }
+
+    // ---- codec ----------------------------------------------------------
+
+    /// Serialize into a page buffer (`buf.len()` = page size). Panics if
+    /// the node exceeds the page capacity — the tree must split first.
+    pub fn encode(&self, buf: &mut [u8]) {
+        let count = self.count();
+        debug_assert!(
+            count <= self.capacity(buf.len()),
+            "node with {count} entries exceeds page capacity"
+        );
+        buf[0] = if self.is_leaf() { MAGIC_LEAF } else { MAGIC_INTERNAL };
+        buf[1] = self.level as u8;
+        buf[2..4].copy_from_slice(&(count as u16).to_le_bytes());
+        buf[4..8].copy_from_slice(&self.parent.to_le_bytes());
+        buf[8..16].fill(0);
+        let mut off = HEADER_SIZE;
+        match &self.entries {
+            NodeEntries::Leaf(v) => {
+                for e in v {
+                    buf[off..off + 8].copy_from_slice(&e.oid.to_le_bytes());
+                    encode_rect(&e.rect, &mut buf[off + 8..off + 24]);
+                    off += LEAF_ENTRY_SIZE;
+                }
+            }
+            NodeEntries::Internal(v) => {
+                for e in v {
+                    buf[off..off + 4].copy_from_slice(&e.child.to_le_bytes());
+                    encode_rect(&e.rect, &mut buf[off + 4..off + 20]);
+                    off += INTERNAL_ENTRY_SIZE;
+                }
+            }
+        }
+    }
+
+    /// Deserialize from a page buffer.
+    pub fn decode(pid: PageId, buf: &[u8]) -> CoreResult<Node> {
+        let magic = buf[0];
+        let level = buf[1] as u16;
+        let count = u16::from_le_bytes([buf[2], buf[3]]) as usize;
+        let parent = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        let mut off = HEADER_SIZE;
+        match magic {
+            MAGIC_LEAF => {
+                if level != 0 {
+                    return Err(CoreError::CorruptNode {
+                        pid,
+                        reason: "leaf magic with non-zero level",
+                    });
+                }
+                if count > leaf_capacity(buf.len()) {
+                    return Err(CoreError::CorruptNode {
+                        pid,
+                        reason: "leaf count exceeds capacity",
+                    });
+                }
+                let mut v = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let oid = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+                    let rect = decode_rect(&buf[off + 8..off + 24]);
+                    v.push(LeafEntry { oid, rect });
+                    off += LEAF_ENTRY_SIZE;
+                }
+                Ok(Node {
+                    level,
+                    parent,
+                    entries: NodeEntries::Leaf(v),
+                })
+            }
+            MAGIC_INTERNAL => {
+                if level == 0 {
+                    return Err(CoreError::CorruptNode {
+                        pid,
+                        reason: "internal magic with level 0",
+                    });
+                }
+                if count > internal_capacity(buf.len()) {
+                    return Err(CoreError::CorruptNode {
+                        pid,
+                        reason: "internal count exceeds capacity",
+                    });
+                }
+                let mut v = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let child = u32::from_le_bytes(buf[off..off + 4].try_into().unwrap());
+                    let rect = decode_rect(&buf[off + 4..off + 20]);
+                    v.push(InternalEntry { child, rect });
+                    off += INTERNAL_ENTRY_SIZE;
+                }
+                Ok(Node {
+                    level,
+                    parent,
+                    entries: NodeEntries::Internal(v),
+                })
+            }
+            _ => Err(CoreError::CorruptNode {
+                pid,
+                reason: "bad magic byte",
+            }),
+        }
+    }
+}
+
+fn encode_rect(r: &Rect, buf: &mut [u8]) {
+    buf[0..4].copy_from_slice(&r.min_x.to_le_bytes());
+    buf[4..8].copy_from_slice(&r.min_y.to_le_bytes());
+    buf[8..12].copy_from_slice(&r.max_x.to_le_bytes());
+    buf[12..16].copy_from_slice(&r.max_y.to_le_bytes());
+}
+
+fn decode_rect(buf: &[u8]) -> Rect {
+    Rect::new(
+        f32::from_le_bytes(buf[0..4].try_into().unwrap()),
+        f32::from_le_bytes(buf[4..8].try_into().unwrap()),
+        f32::from_le_bytes(buf[8..12].try_into().unwrap()),
+        f32::from_le_bytes(buf[12..16].try_into().unwrap()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fanouts() {
+        // 1024-byte pages: leaf fanout 42, internal fanout 50 (paper
+        // geometry: 5 levels at 1M objects).
+        assert_eq!(leaf_capacity(1024), 42);
+        assert_eq!(internal_capacity(1024), 50);
+    }
+
+    #[test]
+    fn leaf_roundtrip() {
+        let mut n = Node::new_leaf();
+        n.parent = 77;
+        for i in 0..10u64 {
+            n.leaf_entries_mut().push(LeafEntry::point(
+                i,
+                Point::new(i as f32 * 0.1, 1.0 - i as f32 * 0.05),
+            ));
+        }
+        let mut buf = vec![0u8; 1024];
+        n.encode(&mut buf);
+        let back = Node::decode(0, &buf).unwrap();
+        assert_eq!(back, n);
+        assert_eq!(back.count(), 10);
+        assert!(back.is_leaf());
+        assert_eq!(back.parent, 77);
+        assert_eq!(back.oid_index(7), Some(7));
+        assert_eq!(back.oid_index(99), None);
+    }
+
+    #[test]
+    fn internal_roundtrip() {
+        let mut n = Node::new_internal(3);
+        for i in 0..20u32 {
+            n.internal_entries_mut().push(InternalEntry {
+                child: i * 2,
+                rect: Rect::new(0.0, 0.0, i as f32, 1.0),
+            });
+        }
+        let mut buf = vec![0u8; 1024];
+        n.encode(&mut buf);
+        let back = Node::decode(0, &buf).unwrap();
+        assert_eq!(back, n);
+        assert!(!back.is_leaf());
+        assert_eq!(back.level, 3);
+        assert_eq!(back.child_index(10), Some(5));
+        assert_eq!(back.child_index(11), None);
+    }
+
+    #[test]
+    fn mbr_is_union() {
+        let mut n = Node::new_leaf();
+        assert!(n.mbr().is_empty());
+        n.leaf_entries_mut()
+            .push(LeafEntry::point(1, Point::new(0.2, 0.3)));
+        n.leaf_entries_mut()
+            .push(LeafEntry::point(2, Point::new(0.8, 0.1)));
+        assert_eq!(n.mbr(), Rect::new(0.2, 0.1, 0.8, 0.3));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let buf = vec![0u8; 1024];
+        assert!(matches!(
+            Node::decode(5, &buf),
+            Err(CoreError::CorruptNode { pid: 5, .. })
+        ));
+        let mut buf = vec![0u8; 1024];
+        buf[0] = 0xD1;
+        buf[1] = 3; // leaf magic with level 3
+        assert!(Node::decode(0, &buf).is_err());
+        let mut buf = vec![0u8; 1024];
+        buf[0] = 0xD2; // internal with level 0
+        assert!(Node::decode(0, &buf).is_err());
+        let mut buf = vec![0u8; 1024];
+        buf[0] = 0xD1;
+        buf[2..4].copy_from_slice(&999u16.to_le_bytes()); // count too large
+        assert!(Node::decode(0, &buf).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf_entries")]
+    fn wrong_kind_access_panics() {
+        let n = Node::new_internal(1);
+        let _ = n.leaf_entries();
+    }
+}

@@ -1,0 +1,435 @@
+//! The paper's main-memory summary structure (Section 3.2).
+//!
+//! Two components:
+//!
+//! 1. a **direct access table** over the *internal* nodes — per entry the
+//!    node's MBR, its level and its child page ids, organized by level
+//!    ("All the entries are contiguous, and are organized according to the
+//!    levels of the internal nodes they correspond to"), and
+//! 2. a **bit vector** over the leaves marking which are full, so the
+//!    sibling-shift step of GBU never reads a sibling just to discover it
+//!    has no room.
+//!
+//! The table is maintained on every internal-node write (MBR change or
+//! split) and costs no disk I/O to consult. It serves three purposes in
+//! GBU: the O(1) root-MBR check, `FindParent` (Algorithm 3) without parent
+//! pointers, and in-memory pruning of internal levels during window
+//! queries.
+
+use bur_geom::{Point, Rect};
+use bur_storage::PageId;
+use std::collections::HashMap;
+
+/// One direct-access-table entry: a summary of one internal node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SummaryEntry {
+    /// Page id of the internal node.
+    pub pid: PageId,
+    /// MBR bounding all entries of the node ("The single MBR captured in
+    /// an entry ... bounds all MBRs stored in the entries of the
+    /// corresponding R-tree index node").
+    pub mbr: Rect,
+    /// Page ids of the node's children.
+    pub children: Vec<PageId>,
+}
+
+/// Growable bit vector keyed by page id.
+#[derive(Debug, Default, Clone)]
+struct BitVec {
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    fn set(&mut self, i: u32, v: bool) {
+        let (w, b) = ((i / 64) as usize, i % 64);
+        if w >= self.words.len() {
+            self.words.resize(w + 1, 0);
+        }
+        if v {
+            self.words[w] |= 1 << b;
+        } else {
+            self.words[w] &= !(1 << b);
+        }
+    }
+
+    fn get(&self, i: u32) -> bool {
+        let (w, b) = ((i / 64) as usize, i % 64);
+        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+    }
+
+    fn size_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// The main-memory summary structure.
+#[derive(Debug, Default)]
+pub struct SummaryStructure {
+    /// `levels[l - 1]` holds the entries of internal nodes at level `l`.
+    levels: Vec<Vec<SummaryEntry>>,
+    /// Direct access: page id → (level, index within the level's vec).
+    pos: HashMap<PageId, (u16, usize)>,
+    /// Bit vector: leaf is full.
+    leaf_full: BitVec,
+    /// Bit vector: page id is a live leaf (for maintenance checks).
+    leaf_present: BitVec,
+    /// Cached MBR of the root node. The paper's table covers internal
+    /// nodes only; caching the root MBR additionally makes the O(1) root
+    /// check of Algorithm 2 work even while the tree is a single leaf.
+    root_mbr: Rect,
+}
+
+impl SummaryStructure {
+    /// Empty summary.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            root_mbr: Rect::EMPTY,
+            ..Self::default()
+        }
+    }
+
+    /// Drop all state (used when rebuilding from a tree scan).
+    pub fn clear(&mut self) {
+        *self = Self::new();
+    }
+
+    // ---- direct access table maintenance --------------------------------
+
+    /// Install or refresh the entry of internal node `pid`. Called by the
+    /// tree whenever it writes an internal node, which covers both cases
+    /// the paper names: "The MBR of an entry ... is updated when we
+    /// propagate an MBR enlargement" and "When an internal node is split,
+    /// a new entry will be inserted".
+    pub fn upsert_internal(&mut self, pid: PageId, level: u16, mbr: Rect, children: Vec<PageId>) {
+        debug_assert!(level >= 1);
+        while self.levels.len() < level as usize {
+            self.levels.push(Vec::new());
+        }
+        match self.pos.get(&pid) {
+            Some(&(l, idx)) if l == level => {
+                let e = &mut self.levels[l as usize - 1][idx];
+                e.mbr = mbr;
+                e.children = children;
+            }
+            Some(&(l, _)) => {
+                // Level changed (root promotion patterns); reinstall.
+                debug_assert_ne!(l, level);
+                self.remove_internal(pid);
+                self.upsert_internal(pid, level, mbr, children);
+            }
+            None => {
+                let vec = &mut self.levels[level as usize - 1];
+                vec.push(SummaryEntry { pid, mbr, children });
+                self.pos.insert(pid, (level, vec.len() - 1));
+            }
+        }
+    }
+
+    /// Remove the entry of a deleted internal node.
+    pub fn remove_internal(&mut self, pid: PageId) {
+        if let Some((level, idx)) = self.pos.remove(&pid) {
+            let vec = &mut self.levels[level as usize - 1];
+            vec.swap_remove(idx);
+            if idx < vec.len() {
+                let moved = vec[idx].pid;
+                self.pos.insert(moved, (level, idx));
+            }
+            while self.levels.last().is_some_and(Vec::is_empty) {
+                self.levels.pop();
+            }
+        }
+    }
+
+    /// Look up the entry of an internal node.
+    #[must_use]
+    pub fn entry(&self, pid: PageId) -> Option<&SummaryEntry> {
+        let &(level, idx) = self.pos.get(&pid)?;
+        Some(&self.levels[level as usize - 1][idx])
+    }
+
+    /// Entries of one internal level (1 = parents of leaves).
+    #[must_use]
+    pub fn level_entries(&self, level: u16) -> &[SummaryEntry] {
+        self.levels
+            .get(level as usize - 1)
+            .map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of internal-node entries in the table.
+    #[must_use]
+    pub fn internal_count(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Highest internal level present (0 when the tree is a single leaf).
+    #[must_use]
+    pub fn top_level(&self) -> u16 {
+        self.levels.len() as u16
+    }
+
+    // ---- root MBR --------------------------------------------------------
+
+    /// Record the root MBR (tree calls this when the root node changes).
+    pub fn set_root_mbr(&mut self, mbr: Rect) {
+        self.root_mbr = mbr;
+    }
+
+    /// O(1) root-MBR check used by Algorithm 2's first step.
+    #[must_use]
+    pub fn root_mbr(&self) -> Rect {
+        self.root_mbr
+    }
+
+    // ---- leaf bit vector ---------------------------------------------------
+
+    /// Register a leaf and its fullness bit.
+    pub fn set_leaf(&mut self, pid: PageId, full: bool) {
+        self.leaf_present.set(pid, true);
+        self.leaf_full.set(pid, full);
+    }
+
+    /// Unregister a deleted leaf.
+    pub fn remove_leaf(&mut self, pid: PageId) {
+        self.leaf_present.set(pid, false);
+        self.leaf_full.set(pid, false);
+    }
+
+    /// `true` when the leaf is known and marked full — consulted before a
+    /// sibling shift "eliminating the need for additional disk accesses
+    /// to find a suitable sibling".
+    #[must_use]
+    pub fn is_leaf_full(&self, pid: PageId) -> bool {
+        self.leaf_full.get(pid)
+    }
+
+    /// `true` when `pid` is registered as a live leaf.
+    #[must_use]
+    pub fn has_leaf(&self, pid: PageId) -> bool {
+        self.leaf_present.get(pid)
+    }
+
+    // ---- FindParent (Algorithm 3) ----------------------------------------
+
+    /// Find the page id of the node's immediate parent by scanning the
+    /// direct access table at `level` (the node's level + 1), exactly as
+    /// Algorithm 3 matches "some child offset" against the node offset.
+    #[must_use]
+    pub fn find_parent_at(&self, node: PageId, level: u16) -> Option<PageId> {
+        self.level_entries(level)
+            .iter()
+            .find(|e| e.children.contains(&node))
+            .map(|e| e.pid)
+    }
+
+    /// Algorithm 3, FindParent: walk the ancestor chain of `leaf` upward
+    /// and return the first ancestor whose MBR contains `new_location`,
+    /// looking at most `max_ascent` levels above the leaf. When no
+    /// ancestor within range contains the location, the highest ancestor
+    /// inspected (the root when unrestricted) is returned — Algorithm 3's
+    /// "return(root offset)" fallback.
+    ///
+    /// Returns `(page id, level, contained)`.
+    #[must_use]
+    pub fn find_parent(
+        &self,
+        leaf: PageId,
+        new_location: Point,
+        max_ascent: u16,
+    ) -> Option<(PageId, u16, bool)> {
+        let mut node = leaf;
+        let mut best: Option<(PageId, u16, bool)> = None;
+        let top = self.top_level();
+        for level in 1..=top.min(max_ascent) {
+            let parent = self.find_parent_at(node, level)?;
+            let entry = self.entry(parent)?;
+            best = Some((parent, level, entry.mbr.contains_point(&new_location)));
+            if entry.mbr.contains_point(&new_location) {
+                return best;
+            }
+            node = parent;
+        }
+        best
+    }
+
+    // ---- summary-assisted queries ------------------------------------------
+
+    /// In-memory pruning for window queries: starting from the root entry
+    /// and walking the table level by level ("looking for overlaps until
+    /// the level above the leaf is reached"), return the page ids of the
+    /// level-1 internal nodes whose MBR overlaps `window`. Only those —
+    /// and then their overlapping leaves — need disk reads.
+    ///
+    /// Returns `None` when the table has no internal levels (single-leaf
+    /// tree) so the caller can fall back to a plain descent.
+    #[must_use]
+    pub fn query_level1_candidates(&self, root: PageId, window: &Rect) -> Option<Vec<PageId>> {
+        let top = self.top_level();
+        if top == 0 {
+            return None;
+        }
+        let root_entry = self.entry(root)?;
+        if !root_entry.mbr.intersects(window) {
+            return Some(Vec::new());
+        }
+        let mut frontier = vec![root];
+        let (mut level, _) = *self.pos.get(&root)?;
+        while level > 1 {
+            let mut next = Vec::new();
+            for pid in &frontier {
+                let entry = self.entry(*pid)?;
+                for child in &entry.children {
+                    if let Some(ce) = self.entry(*child) {
+                        if ce.mbr.intersects(window) {
+                            next.push(*child);
+                        }
+                    }
+                }
+            }
+            frontier = next;
+            level -= 1;
+        }
+        Some(frontier)
+    }
+
+    // ---- space accounting (Section 3.2 size claims) --------------------------
+
+    /// Approximate resident bytes of the direct access table.
+    #[must_use]
+    pub fn table_size_bytes(&self) -> usize {
+        let mut bytes = 0;
+        for level in &self.levels {
+            for e in level {
+                // pid + mbr + child vector payload.
+                bytes += 4 + 16 + 4 * e.children.len();
+            }
+        }
+        bytes
+    }
+
+    /// Approximate resident bytes of the leaf bit vectors.
+    #[must_use]
+    pub fn bitvec_size_bytes(&self) -> usize {
+        self.leaf_full.size_bytes() + self.leaf_present.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: f32, b: f32, c: f32, d: f32) -> Rect {
+        Rect::new(a, b, c, d)
+    }
+
+    /// Build the summary of a small 3-level tree:
+    /// root (pid 100, level 2) -> {10, 11} (level 1) -> leaves {1,2} and {3,4}.
+    fn sample() -> SummaryStructure {
+        let mut s = SummaryStructure::new();
+        s.upsert_internal(10, 1, r(0.0, 0.0, 0.5, 1.0), vec![1, 2]);
+        s.upsert_internal(11, 1, r(0.5, 0.0, 1.0, 1.0), vec![3, 4]);
+        s.upsert_internal(100, 2, r(0.0, 0.0, 1.0, 1.0), vec![10, 11]);
+        s.set_root_mbr(r(0.0, 0.0, 1.0, 1.0));
+        for leaf in [1, 2, 3, 4] {
+            s.set_leaf(leaf, false);
+        }
+        s.set_leaf(2, true);
+        s
+    }
+
+    #[test]
+    fn table_maintenance() {
+        let mut s = sample();
+        assert_eq!(s.internal_count(), 3);
+        assert_eq!(s.top_level(), 2);
+        assert_eq!(s.entry(10).unwrap().children, vec![1, 2]);
+        assert_eq!(s.level_entries(1).len(), 2);
+        assert_eq!(s.level_entries(2).len(), 1);
+        // MBR refresh.
+        s.upsert_internal(10, 1, r(0.0, 0.0, 0.6, 1.0), vec![1, 2, 5]);
+        assert_eq!(s.entry(10).unwrap().mbr, r(0.0, 0.0, 0.6, 1.0));
+        assert_eq!(s.entry(10).unwrap().children.len(), 3);
+        // Removal with swap fixup.
+        s.remove_internal(10);
+        assert!(s.entry(10).is_none());
+        assert_eq!(s.entry(11).unwrap().pid, 11);
+        assert_eq!(s.internal_count(), 2);
+    }
+
+    #[test]
+    fn leaf_bits() {
+        let mut s = sample();
+        assert!(s.is_leaf_full(2));
+        assert!(!s.is_leaf_full(1));
+        assert!(s.has_leaf(3));
+        s.set_leaf(1, true);
+        assert!(s.is_leaf_full(1));
+        s.remove_leaf(2);
+        assert!(!s.has_leaf(2));
+        assert!(!s.is_leaf_full(2));
+        // Bit vector grows on demand.
+        s.set_leaf(10_000, true);
+        assert!(s.is_leaf_full(10_000));
+        assert!(!s.is_leaf_full(9_999));
+    }
+
+    #[test]
+    fn find_parent_chain() {
+        let s = sample();
+        assert_eq!(s.find_parent_at(1, 1), Some(10));
+        assert_eq!(s.find_parent_at(3, 1), Some(11));
+        assert_eq!(s.find_parent_at(10, 2), Some(100));
+        assert_eq!(s.find_parent_at(99, 1), None);
+        // Point in parent 10's MBR: found at one level of ascent.
+        let got = s.find_parent(1, Point::new(0.4, 0.5), 3);
+        assert_eq!(got, Some((10, 1, true)));
+        // Point only in the root's MBR: two levels.
+        let got = s.find_parent(1, Point::new(0.9, 0.5), 3);
+        assert_eq!(got, Some((100, 2, true)));
+        // Restricted ascent: stops at level 1, not contained.
+        let got = s.find_parent(1, Point::new(0.9, 0.5), 1);
+        assert_eq!(got, Some((10, 1, false)));
+        // Point outside everything: root returned, contained = false.
+        let got = s.find_parent(1, Point::new(5.0, 5.0), 3);
+        assert_eq!(got, Some((100, 2, false)));
+    }
+
+    #[test]
+    fn query_candidates() {
+        let s = sample();
+        // Window overlapping only the left half.
+        let got = s
+            .query_level1_candidates(100, &r(0.1, 0.1, 0.3, 0.3))
+            .unwrap();
+        assert_eq!(got, vec![10]);
+        // Window overlapping both halves.
+        let got = s
+            .query_level1_candidates(100, &r(0.4, 0.4, 0.6, 0.6))
+            .unwrap();
+        assert_eq!(got, vec![10, 11]);
+        // Window outside the root.
+        let got = s
+            .query_level1_candidates(100, &r(2.0, 2.0, 3.0, 3.0))
+            .unwrap();
+        assert!(got.is_empty());
+        // Empty summary: no pruning possible.
+        let empty = SummaryStructure::new();
+        assert!(empty.query_level1_candidates(0, &Rect::UNIT).is_none());
+    }
+
+    #[test]
+    fn size_accounting() {
+        let s = sample();
+        // 3 entries: 2 with 2 children each and 1 with 2 children.
+        assert_eq!(s.table_size_bytes(), 3 * 20 + 6 * 4);
+        assert!(s.bitvec_size_bytes() >= 16);
+    }
+
+    #[test]
+    fn root_mbr_cache() {
+        let mut s = SummaryStructure::new();
+        assert!(s.root_mbr().is_empty());
+        s.set_root_mbr(r(0.0, 0.0, 0.5, 0.5));
+        assert_eq!(s.root_mbr(), r(0.0, 0.0, 0.5, 0.5));
+    }
+}

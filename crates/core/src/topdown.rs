@@ -1,0 +1,28 @@
+//! The traditional top-down update (the paper's TD baseline).
+//!
+//! "A traditional R-tree update first carries out a top-down search for
+//! the leaf node with the index entry of the object, deletes the entry,
+//! and then executes another and separate top-down search for the optimal
+//! location in which to insert the entry for the new object." Deletion may
+//! trigger CondenseTree reinsertion; insertion may trigger node splits —
+//! both are what make TD deteriorate under fast movement (Figure 5(g)).
+
+use crate::error::{CoreError, CoreResult};
+use crate::node::{LeafEntry, ObjectId};
+use crate::stats::UpdateOutcome;
+use crate::tree::RTree;
+use bur_geom::Point;
+
+/// Delete `oid` at `old` top-down, then insert it at `new` top-down.
+pub(crate) fn update(
+    tree: &mut RTree,
+    oid: ObjectId,
+    old: Point,
+    new: Point,
+) -> CoreResult<UpdateOutcome> {
+    if !tree.delete_object(oid, old)? {
+        return Err(CoreError::ObjectNotFound(oid));
+    }
+    tree.insert_object(LeafEntry::point(oid, new))?;
+    Ok(UpdateOutcome::TopDown)
+}

@@ -1,0 +1,1043 @@
+//! The disk-resident R-tree engine.
+//!
+//! This module implements Guttman's R-tree (insert with ChooseLeaf /
+//! AdjustTree and quadratic split, delete with FindLeaf / CondenseTree and
+//! forced reinsertion of orphaned entries, window queries) on top of the
+//! buffer pool, together with the maintenance hooks the bottom-up
+//! strategies rely on:
+//!
+//! * the **summary structure** is refreshed on every internal-node write
+//!   and every leaf write (fullness bit),
+//! * the **object-id hash index** is kept pointing at the current leaf of
+//!   every object whenever entries move between leaves,
+//! * **leaf parent pointers** (LBU mode) are rewritten when leaves are
+//!   re-homed by splits or reinsertion — the maintenance cost the paper
+//!   attributes to LBU.
+//!
+//! One representation decision matters for the bottom-up algorithms: a
+//! leaf's *official* MBR is the rectangle stored in its parent's entry.
+//! The leaf page itself only stores object rectangles, so the official
+//! MBR may be larger than their tight union after an ε-extension. All
+//! structural invariants therefore require *containment* (parent entry
+//! rect ⊇ child content), not equality; deletes re-tighten rectangles as
+//! they adjust the path.
+
+use crate::config::{IndexOptions, InsertPolicy};
+use crate::error::{CoreError, CoreResult};
+use crate::node::{
+    internal_capacity, leaf_capacity, InternalEntry, LeafEntry, Node, NodeEntries, ObjectId,
+};
+use crate::split;
+use crate::stats::OpStats;
+use crate::summary::SummaryStructure;
+use bur_geom::{Point, Rect};
+use bur_hashindex::{HashIndexConfig, LinearHashIndex};
+use bur_storage::{BufferPool, PageId, INVALID_PAGE};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// An entry being inserted: either an object (into a leaf) or a whole
+/// subtree (an internal entry re-inserted by CondenseTree or carried by a
+/// GBU ascent insert).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum AnyEntry {
+    /// Object entry; target node level 0.
+    Leaf(LeafEntry),
+    /// Subtree entry whose child node sits at `child_level`; target node
+    /// level `child_level + 1`.
+    Node(InternalEntry, u16),
+}
+
+impl AnyEntry {
+    fn rect(&self) -> Rect {
+        match self {
+            AnyEntry::Leaf(e) => e.rect,
+            AnyEntry::Node(e, _) => e.rect,
+        }
+    }
+
+    fn target_level(&self) -> u16 {
+        match self {
+            AnyEntry::Leaf(_) => 0,
+            AnyEntry::Node(_, child_level) => child_level + 1,
+        }
+    }
+}
+
+/// The R-tree plus its auxiliary structures.
+pub(crate) struct RTree {
+    pub(crate) pool: Arc<BufferPool>,
+    pub(crate) opts: IndexOptions,
+    pub(crate) root: PageId,
+    /// Number of levels (1 = the root is a leaf).
+    pub(crate) height: u16,
+    /// Number of indexed objects.
+    pub(crate) len: u64,
+    /// Pages freed by CondenseTree, reused before fresh allocation.
+    pub(crate) free_pages: Vec<PageId>,
+    /// GBU's main-memory summary structure.
+    pub(crate) summary: Option<SummaryStructure>,
+    /// Secondary object-id index (LBU + GBU).
+    pub(crate) hash: Option<LinearHashIndex>,
+    /// Operation counters.
+    pub(crate) stats: OpStats,
+    /// Entries evicted by R* forced reinsertion, re-inserted from the
+    /// root when the outermost insert finishes. Closest-to-center entries
+    /// sit at the top of the stack ("close reinsert").
+    pub(crate) pending_reinserts: Vec<AnyEntry>,
+    /// Bitmask of levels already treated by forced reinsertion during the
+    /// current outermost insert (R* OverflowTreatment fires once per
+    /// level per insertion; later overflows at that level split).
+    pub(crate) reinsert_armed: u32,
+    /// Reentrancy guard: `true` while an insert operation is running, so
+    /// nested inserts (reinsert drains) do not reset the armed mask.
+    pub(crate) insert_active: bool,
+}
+
+impl RTree {
+    /// Create an empty tree (root = empty leaf) over `pool`.
+    pub(crate) fn create(pool: Arc<BufferPool>, opts: IndexOptions) -> CoreResult<Self> {
+        opts.validate()?;
+        let hash = if opts.strategy.needs_hash_index() {
+            Some(LinearHashIndex::create(
+                pool.clone(),
+                HashIndexConfig::default(),
+            )?)
+        } else {
+            None
+        };
+        let summary = opts.strategy.needs_summary().then(SummaryStructure::new);
+        let (root, guard) = pool.new_page()?;
+        Node::new_leaf().encode(&mut guard.write());
+        drop(guard);
+        let mut tree = Self {
+            pool,
+            opts,
+            root,
+            height: 1,
+            len: 0,
+            free_pages: Vec::new(),
+            summary,
+            hash,
+            stats: OpStats::default(),
+            pending_reinserts: Vec::new(),
+            reinsert_armed: 0,
+            insert_active: false,
+        };
+        if let Some(s) = &mut tree.summary {
+            s.set_leaf(root, false);
+            s.set_root_mbr(Rect::EMPTY);
+        }
+        Ok(tree)
+    }
+
+    // ---- capacities -------------------------------------------------------
+
+    pub(crate) fn leaf_cap(&self) -> usize {
+        leaf_capacity(self.opts.page_size)
+    }
+
+    pub(crate) fn internal_cap(&self) -> usize {
+        internal_capacity(self.opts.page_size)
+    }
+
+    pub(crate) fn min_fill_leaf(&self) -> usize {
+        ((self.leaf_cap() as f32 * self.opts.min_fill) as usize).max(1)
+    }
+
+    pub(crate) fn min_fill_internal(&self) -> usize {
+        ((self.internal_cap() as f32 * self.opts.min_fill) as usize).max(1)
+    }
+
+    fn parent_pointers(&self) -> bool {
+        self.opts.strategy.needs_parent_pointers()
+    }
+
+    /// Root node level.
+    pub(crate) fn root_level(&self) -> u16 {
+        self.height - 1
+    }
+
+    // ---- node I/O ----------------------------------------------------------
+
+    /// Read and decode the node on `pid`.
+    pub(crate) fn read_node(&self, pid: PageId) -> CoreResult<Node> {
+        let guard = self.pool.fetch(pid)?;
+        let data = guard.read();
+        Node::decode(pid, &data)
+    }
+
+    /// Encode and write `node` to `pid`, refreshing the summary hooks.
+    pub(crate) fn write_node(&mut self, pid: PageId, node: &Node) -> CoreResult<()> {
+        let guard = self.pool.fetch_for_overwrite(pid)?;
+        node.encode(&mut guard.write());
+        drop(guard);
+        if let Some(s) = &mut self.summary {
+            if node.is_leaf() {
+                let full = node.count() >= leaf_capacity(self.opts.page_size);
+                s.set_leaf(pid, full);
+            } else {
+                let children = node.internal_entries().iter().map(|e| e.child).collect();
+                s.upsert_internal(pid, node.level, node.mbr(), children);
+            }
+            if pid == self.root {
+                s.set_root_mbr(node.mbr());
+            }
+        }
+        Ok(())
+    }
+
+    fn alloc_page(&mut self) -> CoreResult<PageId> {
+        if let Some(pid) = self.free_pages.pop() {
+            return Ok(pid);
+        }
+        let (pid, guard) = self.pool.new_page()?;
+        drop(guard);
+        Ok(pid)
+    }
+
+    fn free_page(&mut self, pid: PageId, was_leaf: bool) {
+        self.free_pages.push(pid);
+        if let Some(s) = &mut self.summary {
+            if was_leaf {
+                s.remove_leaf(pid);
+            } else {
+                s.remove_internal(pid);
+            }
+        }
+    }
+
+    /// Rewrite only the parent pointer of a node (LBU maintenance; one
+    /// read + one write per re-homed child).
+    fn set_parent_pointer(&mut self, pid: PageId, parent: PageId) -> CoreResult<()> {
+        let mut node = self.read_node(pid)?;
+        if node.parent != parent {
+            node.parent = parent;
+            self.write_node(pid, &node)?;
+        }
+        Ok(())
+    }
+
+    /// Update the hash index after `oid` moved to `leaf`.
+    pub(crate) fn hash_place(&mut self, oid: ObjectId, leaf: PageId) -> CoreResult<()> {
+        if let Some(h) = &self.hash {
+            h.insert(oid, leaf)?;
+        }
+        Ok(())
+    }
+
+    fn hash_remove(&mut self, oid: ObjectId) -> CoreResult<()> {
+        if let Some(h) = &self.hash {
+            h.remove(oid)?;
+        }
+        Ok(())
+    }
+
+    // ---- insertion ----------------------------------------------------------
+
+    /// Insert an object from the root (Guttman Insert).
+    pub(crate) fn insert_object(&mut self, entry: LeafEntry) -> CoreResult<()> {
+        self.insert_from(self.root, &[], AnyEntry::Leaf(entry))
+    }
+
+    /// Insert `entry` into the subtree rooted at `start`.
+    ///
+    /// `chain_above` lists `start`'s ancestors bottom-up (immediate parent
+    /// first, root last); it is empty when `start` is the root. The chain
+    /// is only touched when a split or an MBR change must propagate above
+    /// `start` — the case GBU's ascent avoids by picking an ancestor that
+    /// already contains the new location.
+    ///
+    /// When the insert policy is R*, an overflow on the way down may queue
+    /// evicted entries instead of splitting (forced reinsertion); the
+    /// outermost call drains that queue by re-inserting from the root.
+    pub(crate) fn insert_from(
+        &mut self,
+        start: PageId,
+        chain_above: &[PageId],
+        entry: AnyEntry,
+    ) -> CoreResult<()> {
+        let outermost = !self.insert_active;
+        if outermost {
+            self.insert_active = true;
+            self.reinsert_armed = 0;
+        }
+        let mut result = self.insert_from_inner(start, chain_above, entry);
+        if outermost {
+            // Close reinsert: the queue is stacked closest-to-center on
+            // top. Entries queued while draining are drained too; the
+            // per-level armed mask bounds the recursion (later overflows
+            // at a treated level split instead of re-queueing).
+            while result.is_ok() {
+                let Some(e) = self.pending_reinserts.pop() else {
+                    break;
+                };
+                result = self.insert_from_inner(self.root, &[], e);
+            }
+            if result.is_err() {
+                self.pending_reinserts.clear();
+            }
+            self.insert_active = false;
+        }
+        result
+    }
+
+    fn insert_from_inner(
+        &mut self,
+        start: PageId,
+        chain_above: &[PageId],
+        entry: AnyEntry,
+    ) -> CoreResult<()> {
+        let (old_mbr, new_mbr, split) = self.insert_rec(start, entry)?;
+        let mut child_pid = start;
+        let mut child_mbr = new_mbr;
+        let mut pending = split;
+        let mut changed = old_mbr != new_mbr;
+        for &anc in chain_above {
+            if pending.is_none() && !changed {
+                return Ok(());
+            }
+            let mut node = self.read_node(anc)?;
+            let idx = node
+                .child_index(child_pid)
+                .ok_or(CoreError::CorruptNode {
+                    pid: anc,
+                    reason: "ancestor chain does not link to child",
+                })?;
+            let old_anc_mbr = node.mbr();
+            // AdjustTree sets the entry to the child's exact MBR. This may
+            // *shrink* a previously ε-extended official rect — deliberate:
+            // the tight MBR covers every entry by construction, and
+            // re-tightening on arrival is what keeps overlap from
+            // ratcheting outward over millions of bottom-up updates.
+            node.internal_entries_mut()[idx].rect = child_mbr;
+            if let Some(e) = pending.take() {
+                if self.parent_pointers() && node.level == 1 {
+                    self.set_parent_pointer(e.child, anc)?;
+                }
+                node.internal_entries_mut().push(e);
+                if node.count() > self.internal_cap() {
+                    let (_, mbr_a, sp) = self.handle_overflow(anc, node)?;
+                    child_pid = anc;
+                    child_mbr = mbr_a;
+                    pending = sp;
+                    changed = true;
+                    continue;
+                }
+            }
+            let new_anc_mbr = node.mbr();
+            self.write_node(anc, &node)?;
+            child_pid = anc;
+            child_mbr = new_anc_mbr;
+            changed = old_anc_mbr != new_anc_mbr;
+        }
+        if let Some(e) = pending {
+            self.grow_root(child_pid, child_mbr, e)?;
+        }
+        Ok(())
+    }
+
+    /// Recursive descent: returns `(old mbr, new mbr, split entry)` of the
+    /// node on `pid`.
+    fn insert_rec(
+        &mut self,
+        pid: PageId,
+        entry: AnyEntry,
+    ) -> CoreResult<(Rect, Rect, Option<InternalEntry>)> {
+        let mut node = self.read_node(pid)?;
+        let old_mbr = node.mbr();
+        let target = entry.target_level();
+        debug_assert!(
+            node.level >= target,
+            "insert target level {target} above node level {}",
+            node.level
+        );
+        if node.level == target {
+            match entry {
+                AnyEntry::Leaf(e) => {
+                    node.leaf_entries_mut().push(e);
+                    self.hash_place(e.oid, pid)?;
+                }
+                AnyEntry::Node(e, child_level) => {
+                    if self.parent_pointers() && child_level == 0 {
+                        self.set_parent_pointer(e.child, pid)?;
+                    }
+                    node.internal_entries_mut().push(e);
+                }
+            }
+            if node.count() <= node.capacity(self.opts.page_size) {
+                let new_mbr = node.mbr();
+                self.write_node(pid, &node)?;
+                Ok((old_mbr, new_mbr, None))
+            } else {
+                let (_, mbr_a, sp) = self.handle_overflow(pid, node)?;
+                Ok((old_mbr, mbr_a, sp))
+            }
+        } else {
+            let idx = self.choose_subtree(&node, &entry.rect());
+            let child_pid = node.internal_entries()[idx].child;
+            let (child_old, child_new, sp) = self.insert_rec(child_pid, entry)?;
+            let rect_changed = child_old != child_new;
+            if sp.is_none() && !rect_changed {
+                // Nothing to adjust: the child absorbed the entry without
+                // growing — the TD best case of a single write at the leaf.
+                return Ok((old_mbr, old_mbr, None));
+            }
+            // Exact child MBR (see the ancestor-chain comment above).
+            node.internal_entries_mut()[idx].rect = child_new;
+            if let Some(e) = sp {
+                if self.parent_pointers() && node.level == 1 {
+                    self.set_parent_pointer(e.child, pid)?;
+                }
+                node.internal_entries_mut().push(e);
+                if node.count() > self.internal_cap() {
+                    let (_, mbr_a, sp2) = self.handle_overflow(pid, node)?;
+                    return Ok((old_mbr, mbr_a, sp2));
+                }
+            }
+            let new_mbr = node.mbr();
+            self.write_node(pid, &node)?;
+            Ok((old_mbr, new_mbr, None))
+        }
+    }
+
+    /// Pick the child subtree for an insertion. Guttman's R-tree uses the
+    /// least-enlargement criterion everywhere; the R* variant switches to
+    /// minimum *overlap* enlargement when choosing among the parents of
+    /// leaves (Beckmann's ChooseSubtree).
+    fn choose_subtree(&self, node: &Node, rect: &Rect) -> usize {
+        match self.opts.insert {
+            InsertPolicy::RStar if node.level == 1 => {
+                Self::choose_subtree_min_overlap(node, rect)
+            }
+            _ => Self::choose_subtree_guttman(node, rect),
+        }
+    }
+
+    /// Guttman ChooseLeaf criterion: least enlargement, ties by smaller
+    /// area.
+    fn choose_subtree_guttman(node: &Node, rect: &Rect) -> usize {
+        let entries = node.internal_entries();
+        debug_assert!(!entries.is_empty());
+        let mut best = 0;
+        let mut best_enlarge = f32::INFINITY;
+        let mut best_area = f32::INFINITY;
+        for (i, e) in entries.iter().enumerate() {
+            let enlarge = e.rect.enlargement(rect);
+            let area = e.rect.area();
+            if enlarge < best_enlarge || (enlarge == best_enlarge && area < best_area) {
+                best = i;
+                best_enlarge = enlarge;
+                best_area = area;
+            }
+        }
+        best
+    }
+
+    /// R* ChooseSubtree at the level above the leaves: the entry whose
+    /// absorption of `rect` increases the summed overlap with its sibling
+    /// entries the least; ties by area enlargement, then by area. O(n²)
+    /// in the fanout — acceptable at our fanout of ~50, and only paid on
+    /// one node per insertion.
+    fn choose_subtree_min_overlap(node: &Node, rect: &Rect) -> usize {
+        let entries = node.internal_entries();
+        debug_assert!(!entries.is_empty());
+        let mut best = 0;
+        let mut best_key = (f32::INFINITY, f32::INFINITY, f32::INFINITY);
+        for (i, e) in entries.iter().enumerate() {
+            let expanded = e.rect.union(rect);
+            let mut overlap_delta = 0.0;
+            for (j, s) in entries.iter().enumerate() {
+                if i != j {
+                    overlap_delta += expanded.intersection_area(&s.rect)
+                        - e.rect.intersection_area(&s.rect);
+                }
+            }
+            let key = (overlap_delta, e.rect.enlargement(rect), e.rect.area());
+            if key < best_key {
+                best = i;
+                best_key = key;
+            }
+        }
+        best
+    }
+
+    /// Fraction of an overflowing node's entries evicted by R* forced
+    /// reinsertion (Beckmann's recommended p = 30 %).
+    const RSTAR_REINSERT_FRACTION: f32 = 0.3;
+
+    /// Resolve an overflow: R* forced reinsertion when eligible (non-root,
+    /// first overflow at this level in the current insertion), a node
+    /// split otherwise. Same return shape as [`RTree::split_node`]; the
+    /// reinsertion arm reports no new sibling.
+    fn handle_overflow(
+        &mut self,
+        pid: PageId,
+        node: Node,
+    ) -> CoreResult<(PageId, Rect, Option<InternalEntry>)> {
+        let eligible = self.opts.insert == InsertPolicy::RStar
+            && pid != self.root
+            && node.level < 32
+            && self.reinsert_armed & (1 << node.level) == 0;
+        if !eligible {
+            return self.split_node(pid, node);
+        }
+        self.reinsert_armed |= 1 << node.level;
+        self.stats.forced_reinserts.fetch_add(1, Ordering::Relaxed);
+        let mut node = node;
+        let center = node.mbr().center();
+        let p = ((node.count() as f32) * Self::RSTAR_REINSERT_FRACTION).ceil() as usize;
+        let p = p.clamp(1, node.count() - 1);
+        // Sort by center distance ascending, evict the farthest p, and
+        // stack them farthest-first so the drain pops closest-first
+        // (Beckmann's "close reinsert").
+        match &mut node.entries {
+            NodeEntries::Leaf(v) => {
+                v.sort_by(|a, b| {
+                    a.rect
+                        .center()
+                        .distance_sq(&center)
+                        .total_cmp(&b.rect.center().distance_sq(&center))
+                });
+                let evicted = v.split_off(v.len() - p);
+                self.stats
+                    .forced_reinserted_entries
+                    .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+                self.pending_reinserts
+                    .extend(evicted.into_iter().rev().map(AnyEntry::Leaf));
+            }
+            NodeEntries::Internal(v) => {
+                v.sort_by(|a, b| {
+                    a.rect
+                        .center()
+                        .distance_sq(&center)
+                        .total_cmp(&b.rect.center().distance_sq(&center))
+                });
+                let evicted = v.split_off(v.len() - p);
+                self.stats
+                    .forced_reinserted_entries
+                    .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+                let child_level = node.level - 1;
+                self.pending_reinserts.extend(
+                    evicted
+                        .into_iter()
+                        .rev()
+                        .map(|e| AnyEntry::Node(e, child_level)),
+                );
+            }
+        }
+        let new_mbr = node.mbr();
+        self.write_node(pid, &node)?;
+        Ok((pid, new_mbr, None))
+    }
+
+    /// Split the overflowing `node` (already holding capacity + 1
+    /// entries). Writes both halves; returns `(new page id, mbr of the
+    /// surviving half, entry for the new half)`.
+    fn split_node(
+        &mut self,
+        pid: PageId,
+        node: Node,
+    ) -> CoreResult<(PageId, Rect, Option<InternalEntry>)> {
+        self.stats.splits.fetch_add(1, Ordering::Relaxed);
+        let min_fill = if node.is_leaf() {
+            self.min_fill_leaf()
+        } else {
+            self.min_fill_internal()
+        };
+        let new_pid = self.alloc_page()?;
+        let (node_a, node_b) = match node.entries {
+            NodeEntries::Leaf(entries) => {
+                let rects: Vec<Rect> = entries.iter().map(|e| e.rect).collect();
+                let (ga, gb) = split::split(&rects, min_fill, self.opts.split);
+                let a: Vec<LeafEntry> = ga.iter().map(|&i| entries[i]).collect();
+                let b: Vec<LeafEntry> = gb.iter().map(|&i| entries[i]).collect();
+                // Re-homed objects: point the hash index at the new leaf.
+                for e in &b {
+                    self.hash_place(e.oid, new_pid)?;
+                }
+                (
+                    Node {
+                        level: 0,
+                        parent: node.parent,
+                        entries: NodeEntries::Leaf(a),
+                    },
+                    Node {
+                        level: 0,
+                        parent: node.parent,
+                        entries: NodeEntries::Leaf(b),
+                    },
+                )
+            }
+            NodeEntries::Internal(entries) => {
+                let rects: Vec<Rect> = entries.iter().map(|e| e.rect).collect();
+                let (ga, gb) = split::split(&rects, min_fill, self.opts.split);
+                let a: Vec<InternalEntry> = ga.iter().map(|&i| entries[i]).collect();
+                let b: Vec<InternalEntry> = gb.iter().map(|&i| entries[i]).collect();
+                // Children moved under the new node: rewrite their parent
+                // pointers when the strategy maintains them (LBU, and only
+                // for leaves — the only pointers LBU uses).
+                if self.parent_pointers() && node.level == 1 {
+                    for e in &b {
+                        self.set_parent_pointer(e.child, new_pid)?;
+                    }
+                }
+                (
+                    Node {
+                        level: node.level,
+                        parent: node.parent,
+                        entries: NodeEntries::Internal(a),
+                    },
+                    Node {
+                        level: node.level,
+                        parent: node.parent,
+                        entries: NodeEntries::Internal(b),
+                    },
+                )
+            }
+        };
+        let mbr_a = node_a.mbr();
+        let mbr_b = node_b.mbr();
+        self.write_node(pid, &node_a)?;
+        self.write_node(new_pid, &node_b)?;
+        Ok((
+            new_pid,
+            mbr_a,
+            Some(InternalEntry {
+                child: new_pid,
+                rect: mbr_b,
+            }),
+        ))
+    }
+
+    /// Install a new root above the current one after a root split.
+    fn grow_root(
+        &mut self,
+        old_root: PageId,
+        old_root_mbr: Rect,
+        new_entry: InternalEntry,
+    ) -> CoreResult<()> {
+        let new_root_pid = self.alloc_page()?;
+        let level = self.height; // old root level + 1
+        let mut root_node = Node::new_internal(level);
+        root_node.internal_entries_mut().push(InternalEntry {
+            child: old_root,
+            rect: old_root_mbr,
+        });
+        root_node.internal_entries_mut().push(new_entry);
+        self.root = new_root_pid;
+        self.height += 1;
+        if self.parent_pointers() && level == 1 {
+            self.set_parent_pointer(old_root, new_root_pid)?;
+            self.set_parent_pointer(new_entry.child, new_root_pid)?;
+        }
+        self.write_node(new_root_pid, &root_node)?;
+        Ok(())
+    }
+
+    // ---- deletion -----------------------------------------------------------
+
+    /// Delete the entry of `oid` whose position is `pos`. Returns `false`
+    /// when no such entry exists. Does not touch [`RTree::len`] — the
+    /// public index layer owns the object count, because internal moves
+    /// (top-down updates) pair this with a re-insert.
+    pub(crate) fn delete_object(&mut self, oid: ObjectId, pos: Point) -> CoreResult<bool> {
+        let mut path: Vec<(PageId, usize)> = Vec::new();
+        let Some(leaf_pid) = self.find_leaf(self.root, oid, pos, &mut path)? else {
+            return Ok(false);
+        };
+        let mut leaf = self.read_node(leaf_pid)?;
+        let idx = leaf.oid_index(oid).expect("find_leaf returned this leaf");
+        leaf.leaf_entries_mut().swap_remove(idx);
+        self.hash_remove(oid)?;
+        self.condense_up(leaf_pid, leaf, path)?;
+        Ok(true)
+    }
+
+    /// Locate the leaf containing `oid` at `pos`, descending every subtree
+    /// whose rect contains the position (R-trees may need several partial
+    /// paths). Appends `(page, child index)` pairs for the successful
+    /// path.
+    fn find_leaf(
+        &self,
+        pid: PageId,
+        oid: ObjectId,
+        pos: Point,
+        path: &mut Vec<(PageId, usize)>,
+    ) -> CoreResult<Option<PageId>> {
+        let node = self.read_node(pid)?;
+        if node.is_leaf() {
+            return Ok(node.oid_index(oid).map(|_| pid));
+        }
+        for (i, e) in node.internal_entries().iter().enumerate() {
+            if e.rect.contains_point(&pos) {
+                path.push((pid, i));
+                if let Some(found) = self.find_leaf(e.child, oid, pos, path)? {
+                    return Ok(Some(found));
+                }
+                path.pop();
+            }
+        }
+        Ok(None)
+    }
+
+    /// CondenseTree: walk the recorded path upward, dissolving underfull
+    /// nodes and re-inserting their entries, then shrink the root.
+    fn condense_up(
+        &mut self,
+        leaf_pid: PageId,
+        leaf: Node,
+        mut path: Vec<(PageId, usize)>,
+    ) -> CoreResult<()> {
+        let mut orphan_objects: Vec<LeafEntry> = Vec::new();
+        let mut orphan_subtrees: Vec<(InternalEntry, u16)> = Vec::new();
+        let mut cur_pid = leaf_pid;
+        let mut cur = leaf;
+        loop {
+            let Some((parent_pid, idx)) = path.pop() else {
+                // cur is the root.
+                self.write_node(cur_pid, &cur)?;
+                break;
+            };
+            let min = if cur.is_leaf() {
+                self.min_fill_leaf()
+            } else {
+                self.min_fill_internal()
+            };
+            if cur.count() < min {
+                // Dissolve: orphan the entries, drop the node, remove its
+                // entry from the parent and keep condensing upward.
+                self.stats.condenses.fetch_add(1, Ordering::Relaxed);
+                match &cur.entries {
+                    NodeEntries::Leaf(v) => orphan_objects.extend(v.iter().copied()),
+                    NodeEntries::Internal(v) => {
+                        let child_level = cur.level - 1;
+                        orphan_subtrees.extend(v.iter().map(|e| (*e, child_level)));
+                    }
+                }
+                let was_leaf = cur.is_leaf();
+                self.free_page(cur_pid, was_leaf);
+                let mut parent = self.read_node(parent_pid)?;
+                debug_assert_eq!(parent.internal_entries()[idx].child, cur_pid);
+                parent.internal_entries_mut().swap_remove(idx);
+                cur_pid = parent_pid;
+                cur = parent;
+            } else {
+                // Keep: write it back and tighten rectangles up the path.
+                self.write_node(cur_pid, &cur)?;
+                let mut child_mbr = cur.mbr();
+                let mut child_pid = cur_pid;
+                // The immediate parent still has the recorded index; the
+                // levels above are adjusted by looking the child up.
+                let mut parent_link = Some((parent_pid, idx));
+                while let Some((p_pid, p_idx)) = parent_link {
+                    let mut parent = self.read_node(p_pid)?;
+                    debug_assert_eq!(parent.internal_entries()[p_idx].child, child_pid);
+                    if parent.internal_entries()[p_idx].rect == child_mbr {
+                        break; // no change propagates further
+                    }
+                    parent.internal_entries_mut()[p_idx].rect = child_mbr;
+                    self.write_node(p_pid, &parent)?;
+                    child_mbr = parent.mbr();
+                    child_pid = p_pid;
+                    parent_link = path.pop();
+                }
+                break;
+            }
+        }
+        // Re-insert orphans before shrinking the root so target levels
+        // still exist. Subtrees first (deepest levels first), then
+        // objects.
+        orphan_subtrees.sort_by_key(|&(_, level)| std::cmp::Reverse(level));
+        let reinserted = orphan_objects.len() + orphan_subtrees.len();
+        if reinserted > 0 {
+            self.stats
+                .reinserted_entries
+                .fetch_add(reinserted as u64, Ordering::Relaxed);
+        }
+        for (e, child_level) in orphan_subtrees {
+            self.insert_from(self.root, &[], AnyEntry::Node(e, child_level))?;
+        }
+        for e in orphan_objects {
+            self.insert_from(self.root, &[], AnyEntry::Leaf(e))?;
+        }
+        self.shrink_root()?;
+        Ok(())
+    }
+
+    /// While the root is internal with a single child, make that child the
+    /// root.
+    fn shrink_root(&mut self) -> CoreResult<()> {
+        loop {
+            let root = self.read_node(self.root)?;
+            if root.is_leaf() || root.count() != 1 {
+                // Refresh the cached root MBR (it may have been tightened).
+                if let Some(s) = &mut self.summary {
+                    s.set_root_mbr(root.mbr());
+                }
+                return Ok(());
+            }
+            let child = root.internal_entries()[0].child;
+            self.free_page(self.root, false);
+            self.root = child;
+            self.height -= 1;
+            if self.parent_pointers() {
+                let mut node = self.read_node(child)?;
+                if node.is_leaf() && node.parent != INVALID_PAGE {
+                    node.parent = INVALID_PAGE;
+                    self.write_node(child, &node)?;
+                }
+            }
+            // Re-register the new root's MBR.
+            let node = self.read_node(child)?;
+            if let Some(s) = &mut self.summary {
+                s.set_root_mbr(node.mbr());
+            }
+        }
+    }
+
+    // ---- queries ---------------------------------------------------------------
+
+    /// Plain top-down window query; appends matching object ids.
+    pub(crate) fn query_into(&self, window: &Rect, out: &mut Vec<ObjectId>) -> CoreResult<()> {
+        self.query_node(self.root, window, out)
+    }
+
+    fn query_node(&self, pid: PageId, window: &Rect, out: &mut Vec<ObjectId>) -> CoreResult<()> {
+        let node = self.read_node(pid)?;
+        match &node.entries {
+            NodeEntries::Leaf(v) => {
+                for e in v {
+                    if e.rect.intersects(window) {
+                        out.push(e.oid);
+                    }
+                }
+            }
+            NodeEntries::Internal(v) => {
+                for e in v {
+                    if e.rect.intersects(window) {
+                        self.query_node(e.child, window, out)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Summary-assisted window query (Section 3.2): internal levels are
+    /// pruned in memory; only overlapping level-1 nodes and their
+    /// overlapping leaves are read. Falls back to the plain descent when
+    /// the summary holds no internal levels.
+    pub(crate) fn query_with_summary(
+        &self,
+        window: &Rect,
+        out: &mut Vec<ObjectId>,
+    ) -> CoreResult<()> {
+        let Some(s) = &self.summary else {
+            return self.query_into(window, out);
+        };
+        let Some(level1) = s.query_level1_candidates(self.root, window) else {
+            return self.query_into(window, out);
+        };
+        for pid in level1 {
+            let node = self.read_node(pid)?;
+            for e in node.internal_entries() {
+                if e.rect.intersects(window) {
+                    let leaf = self.read_node(e.child)?;
+                    for le in leaf.leaf_entries() {
+                        if le.rect.intersects(window) {
+                            out.push(le.oid);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Window query that collects full leaf entries (id + rect). Same
+    /// traversal as [`RTree::query_into`]; used by distance queries and
+    /// tooling that needs object extents, not just ids.
+    pub(crate) fn query_entries_into(
+        &self,
+        window: &Rect,
+        out: &mut Vec<LeafEntry>,
+    ) -> CoreResult<()> {
+        self.query_entries_node(self.root, window, out)
+    }
+
+    fn query_entries_node(
+        &self,
+        pid: PageId,
+        window: &Rect,
+        out: &mut Vec<LeafEntry>,
+    ) -> CoreResult<()> {
+        let node = self.read_node(pid)?;
+        match &node.entries {
+            NodeEntries::Leaf(v) => {
+                for e in v {
+                    if e.rect.intersects(window) {
+                        out.push(*e);
+                    }
+                }
+            }
+            NodeEntries::Internal(v) => {
+                for e in v {
+                    if e.rect.intersects(window) {
+                        self.query_entries_node(e.child, window, out)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- validation ----------------------------------------------------------
+
+    /// Deep invariant check. Verifies structural soundness, containment,
+    /// fill factors, hash-index agreement and summary agreement. Used
+    /// pervasively by tests; costs a full tree scan.
+    pub(crate) fn validate(&self) -> CoreResult<()> {
+        let mut object_count = 0u64;
+        let mut leaf_count = 0u64;
+        self.validate_node(self.root, self.root_level(), None, &mut object_count, &mut leaf_count)?;
+        if object_count != self.len {
+            return Err(CoreError::InvariantViolation(format!(
+                "len says {} objects, tree holds {object_count}",
+                self.len
+            )));
+        }
+        if let Some(h) = &self.hash {
+            if h.len() as u64 != self.len {
+                return Err(CoreError::InvariantViolation(format!(
+                    "hash index has {} entries, tree holds {}",
+                    h.len(),
+                    self.len
+                )));
+            }
+        }
+        if let Some(s) = &self.summary {
+            let root = self.read_node(self.root)?;
+            if s.root_mbr() != root.mbr() {
+                return Err(CoreError::InvariantViolation(
+                    "summary root MBR differs from root node MBR".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_node(
+        &self,
+        pid: PageId,
+        expected_level: u16,
+        bound: Option<Rect>,
+        object_count: &mut u64,
+        leaf_count: &mut u64,
+    ) -> CoreResult<()> {
+        let node = self.read_node(pid)?;
+        let fail = |msg: String| Err(CoreError::InvariantViolation(format!("page {pid}: {msg}")));
+        if node.level != expected_level {
+            return fail(format!(
+                "level {} where {expected_level} expected",
+                node.level
+            ));
+        }
+        if node.count() > node.capacity(self.opts.page_size) {
+            return fail(format!("overfull node ({} entries)", node.count()));
+        }
+        let is_root = pid == self.root;
+        let min = if node.is_leaf() {
+            self.min_fill_leaf()
+        } else {
+            self.min_fill_internal()
+        };
+        if !is_root && node.count() < min {
+            return fail(format!("underfull node ({} < {min})", node.count()));
+        }
+        if is_root && !node.is_leaf() && node.count() < 2 {
+            return fail("internal root with fewer than 2 children".into());
+        }
+        if let Some(b) = bound {
+            if !b.contains_rect(&node.mbr()) {
+                return fail(format!(
+                    "content {} escapes parent entry rect {b}",
+                    node.mbr()
+                ));
+            }
+        }
+        match &node.entries {
+            NodeEntries::Leaf(v) => {
+                *leaf_count += 1;
+                *object_count += v.len() as u64;
+                if let Some(h) = &self.hash {
+                    for e in v {
+                        if h.get(e.oid)? != Some(pid) {
+                            return fail(format!("hash index does not map {} here", e.oid));
+                        }
+                    }
+                }
+                if let Some(s) = &self.summary {
+                    if !s.has_leaf(pid) {
+                        return fail("leaf missing from summary bit vector".into());
+                    }
+                    let full = v.len() >= self.leaf_cap();
+                    if s.is_leaf_full(pid) != full {
+                        return fail("summary fullness bit is stale".into());
+                    }
+                }
+            }
+            NodeEntries::Internal(v) => {
+                if let Some(s) = &self.summary {
+                    let Some(entry) = s.entry(pid) else {
+                        return fail("internal node missing from summary table".into());
+                    };
+                    if entry.mbr != node.mbr() {
+                        return fail("summary MBR is stale".into());
+                    }
+                    let children: Vec<PageId> = v.iter().map(|e| e.child).collect();
+                    if entry.children != children {
+                        return fail("summary child list is stale".into());
+                    }
+                }
+                for e in v {
+                    if self.parent_pointers() && node.level == 1 {
+                        let child = self.read_node(e.child)?;
+                        if child.parent != pid {
+                            return fail(format!(
+                                "leaf {} has parent pointer {} instead of {pid}",
+                                e.child, child.parent
+                            ));
+                        }
+                    }
+                    self.validate_node(
+                        e.child,
+                        expected_level - 1,
+                        Some(e.rect),
+                        object_count,
+                        leaf_count,
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Count pages owned by the tree proper (excludes hash pages): number
+    /// of nodes currently reachable. Used by experiments to size buffers.
+    pub(crate) fn node_count(&self) -> CoreResult<u64> {
+        fn walk(tree: &RTree, pid: PageId, acc: &mut u64) -> CoreResult<()> {
+            *acc += 1;
+            let node = tree.read_node(pid)?;
+            if let NodeEntries::Internal(v) = &node.entries {
+                for e in v {
+                    walk(tree, e.child, acc)?;
+                }
+            }
+            Ok(())
+        }
+        let mut acc = 0;
+        walk(self, self.root, &mut acc)?;
+        Ok(acc)
+    }
+}

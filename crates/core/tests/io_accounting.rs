@@ -1,0 +1,245 @@
+//! Ties the implementation to the paper's Section 4 cost accounting:
+//! with a 0 % buffer (every touched page is a physical transfer), each
+//! bottom-up outcome class must cost what the cost model says — plus the
+//! explicitly documented extras our implementation pays (the parent
+//! write on extension, hash maintenance on relocation).
+
+use bur_core::{GbuParams, IndexOptions, RTreeIndex, UpdateOutcome, UpdateStrategy};
+use bur_geom::Point;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn build_gbu(n: u64, seed: u64) -> (RTreeIndex, Vec<Point>) {
+    let opts = IndexOptions {
+        strategy: UpdateStrategy::Generalized(GbuParams {
+            epsilon: 0.005,
+            ..GbuParams::default()
+        }),
+        buffer_frames: 4096,
+        ..IndexOptions::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+    let mut positions = Vec::new();
+    for oid in 0..n {
+        let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+        index.insert(oid, p).unwrap();
+        positions.push(p);
+    }
+    index.set_buffer_capacity(0).unwrap();
+    index.pool().evict_all().unwrap();
+    (index, positions)
+}
+
+/// Run one update and return (outcome, physical I/O).
+fn one_update(
+    index: &mut RTreeIndex,
+    oid: u64,
+    old: Point,
+    new: Point,
+) -> (UpdateOutcome, u64) {
+    let before = index.io_stats().snapshot();
+    let outcome = index.update(oid, old, new).unwrap();
+    let delta = index.io_stats().snapshot().since(&before);
+    (outcome, delta.physical())
+}
+
+#[test]
+fn in_place_costs_exactly_three() {
+    // Case 1 of the paper's cost analysis: "one read and one write of
+    // the leaf node and an additional I/O to read the hash index" = 3.
+    let (mut index, positions) = build_gbu(3_000, 11);
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut checked = 0;
+    let mut exact = 0;
+    let mut positions = positions;
+    for _ in 0..400 {
+        let oid = rng.random_range(0..positions.len() as u64);
+        let old = positions[oid as usize];
+        // A tiny wiggle: usually within the leaf MBR.
+        let new = old.translated(
+            rng.random_range(-0.001..0.001),
+            rng.random_range(-0.001..0.001),
+        );
+        let (outcome, io) = one_update(&mut index, oid, old, new);
+        positions[oid as usize] = new;
+        if outcome == UpdateOutcome::InPlace {
+            // Exactly 3 (hash R + leaf R + leaf W); an occasional 4 when
+            // the hash probe walks one overflow page.
+            assert!(
+                io == 3 || io == 4,
+                "in-place must cost 3 (+1 for a hash overflow page), got {io}"
+            );
+            if io == 3 {
+                exact += 1;
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked > 100, "only {checked} in-place updates observed");
+    assert!(
+        exact * 4 > checked * 3,
+        "most in-place updates must cost exactly 3 ({exact}/{checked})"
+    );
+}
+
+#[test]
+fn extension_costs_paper_plus_parent_write() {
+    // Case 2a: paper charges 4 (hash R + leaf R/W + parent R). We also
+    // write the parent (the extension lives in the parent's entry), so 5.
+    let (mut index, positions) = build_gbu(3_000, 21);
+    let mut rng = StdRng::seed_from_u64(22);
+    let mut checked = 0;
+    let mut positions = positions;
+    for _ in 0..3_000 {
+        let oid = rng.random_range(0..positions.len() as u64);
+        let old = positions[oid as usize];
+        let new = old.translated(
+            rng.random_range(-0.004..0.004),
+            rng.random_range(-0.004..0.004),
+        );
+        let (outcome, io) = one_update(&mut index, oid, old, new);
+        positions[oid as usize] = new;
+        if outcome == UpdateOutcome::Extended {
+            // 5 = hash R + leaf R/W + parent R/W; +1 for a hash overflow
+            // page on the probe.
+            assert!(
+                io == 5 || io == 6,
+                "extension must cost 5 (+1 hash overflow), got {io}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked > 30, "only {checked} extensions observed");
+}
+
+#[test]
+fn shift_and_ascend_bounded_by_constant() {
+    // Cases 2b/3: with the direct access table the paper bounds the
+    // worst case at 7 I/Os; our implementation adds the source-tighten
+    // write, hash maintenance, and up to three piggybacked entries (each
+    // a hash R/W when nothing is buffered), so assert a constant bound
+    // rather than equality — crucially one that does NOT grow with tree
+    // height or distance moved.
+    let (mut index, positions) = build_gbu(4_000, 31);
+    let mut rng = StdRng::seed_from_u64(32);
+    let mut shifts = 0;
+    let mut ascents = 0;
+    let mut positions = positions;
+    for _ in 0..4_000 {
+        let oid = rng.random_range(0..positions.len() as u64);
+        let old = positions[oid as usize];
+        let new = old.translated(
+            rng.random_range(-0.08..0.08),
+            rng.random_range(-0.08..0.08),
+        );
+        let splits_before = index.op_stats().snapshot().splits;
+        let (outcome, io) = one_update(&mut index, oid, old, new);
+        let split_happened = index.op_stats().snapshot().splits != splits_before;
+        positions[oid as usize] = new;
+        if split_happened {
+            // Splits legitimately rewrite many pages (two nodes, the
+            // parent, and the hash entries of every re-homed object);
+            // the constant bound applies to the steady-state repairs.
+            continue;
+        }
+        match outcome {
+            UpdateOutcome::Shifted => {
+                assert!(io <= 18, "shift cost {io} exceeds bound");
+                shifts += 1;
+            }
+            UpdateOutcome::Ascended { .. } => {
+                assert!(io <= 18, "ascend cost {io} exceeds bound");
+                ascents += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(shifts > 50, "only {shifts} shifts observed");
+    assert!(ascents > 50, "only {ascents} ascents observed");
+}
+
+#[test]
+fn queries_never_write() {
+    let (index, _) = build_gbu(2_000, 41);
+    let before = index.io_stats().snapshot();
+    let _ = index
+        .query(&bur_geom::Rect::new(0.2, 0.2, 0.4, 0.4))
+        .unwrap();
+    let delta = index.io_stats().snapshot().since(&before);
+    assert!(delta.reads > 0);
+    assert_eq!(delta.writes, 0);
+}
+
+#[test]
+fn summary_queries_save_internal_reads() {
+    // Section 3.2: "we can exploit the summary structure to perform
+    // queries more efficiently" — the summary-assisted path must never
+    // read MORE pages than the plain descent, and must read strictly
+    // fewer on average (internal levels >= 2 are pruned in memory).
+    let (index, _) = build_gbu(6_000, 51);
+    let mut rng = StdRng::seed_from_u64(52);
+    let mut plain_total = 0u64;
+    let mut summary_total = 0u64;
+    for _ in 0..40 {
+        let x = rng.random_range(0.0..0.9);
+        let y = rng.random_range(0.0..0.9);
+        let w = bur_geom::Rect::new(x, y, x + 0.1, y + 0.1);
+        let mut buf = Vec::new();
+
+        index.pool().evict_all().unwrap();
+        let before = index.io_stats().snapshot();
+        index.query_top_down(&w, &mut buf).unwrap();
+        plain_total += index.io_stats().snapshot().since(&before).reads;
+        let plain_hits = buf.len();
+
+        buf.clear();
+        index.pool().evict_all().unwrap();
+        let before = index.io_stats().snapshot();
+        index.query_into(&w, &mut buf).unwrap();
+        summary_total += index.io_stats().snapshot().since(&before).reads;
+        assert_eq!(buf.len(), plain_hits, "same answers either way");
+    }
+    assert!(
+        summary_total < plain_total,
+        "summary-assisted queries must read fewer pages ({summary_total} vs {plain_total})"
+    );
+}
+
+#[test]
+fn gbu_cheaper_than_td_without_buffer() {
+    // The theorem of Section 4 in measurable form: averaged over a
+    // locality-preserving stream with no buffer, bottom-up beats
+    // top-down.
+    let (mut gbu, positions) = build_gbu(3_000, 61);
+    let mut td = {
+        let mut opts = IndexOptions::top_down();
+        opts.buffer_frames = 4096;
+        let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+        for (oid, &p) in positions.iter().enumerate() {
+            index.insert(oid as u64, p).unwrap();
+        }
+        index.set_buffer_capacity(0).unwrap();
+        index.pool().evict_all().unwrap();
+        index
+    };
+    let mut rng = StdRng::seed_from_u64(62);
+    let mut gbu_io = 0u64;
+    let mut td_io = 0u64;
+    let mut positions = positions;
+    for _ in 0..2_000 {
+        let oid = rng.random_range(0..positions.len() as u64);
+        let old = positions[oid as usize];
+        let new = old.translated(
+            rng.random_range(-0.02..0.02),
+            rng.random_range(-0.02..0.02),
+        );
+        gbu_io += one_update(&mut gbu, oid, old, new).1;
+        td_io += one_update(&mut td, oid, old, new).1;
+        positions[oid as usize] = new;
+    }
+    assert!(
+        gbu_io < td_io,
+        "unbuffered GBU ({gbu_io}) must beat TD ({td_io})"
+    );
+}

@@ -1,0 +1,179 @@
+//! The R*-variant extension: R* ChooseSubtree + forced reinsertion + R*
+//! split, combined with each of the paper's update strategies. The
+//! paper's future work is to apply bottom-up updates to "the members of
+//! the family of R-tree-based indexing techniques"; these tests pin down
+//! that the combination preserves every invariant and answers queries
+//! identically to the Guttman build.
+
+use bur_core::{IndexOptions, RTreeIndex};
+use bur_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn uniform_points(n: usize, seed: u64) -> Vec<(u64, Point)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n as u64)
+        .map(|oid| (oid, Point::new(rng.random::<f32>(), rng.random::<f32>())))
+        .collect()
+}
+
+fn build(opts: IndexOptions, pts: &[(u64, Point)]) -> RTreeIndex {
+    let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+    for &(oid, p) in pts {
+        index.insert(oid, p).unwrap();
+    }
+    index
+}
+
+fn sorted_query(index: &RTreeIndex, w: &Rect) -> Vec<u64> {
+    let mut v = index.query(w).unwrap();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn rstar_build_is_valid_for_every_strategy() {
+    let pts = uniform_points(3000, 41);
+    for opts in [
+        IndexOptions::top_down().rstar(),
+        IndexOptions::localized().rstar(),
+        IndexOptions::generalized().rstar(),
+    ] {
+        let index = build(opts, &pts);
+        index.validate().unwrap_or_else(|e| {
+            panic!("{} on R*: {e}", opts.strategy.name());
+        });
+        assert_eq!(index.len(), pts.len() as u64);
+        assert!(
+            index.op_stats().snapshot().forced_reinserts > 0,
+            "{}: forced reinsertion never fired",
+            opts.strategy.name()
+        );
+    }
+}
+
+#[test]
+fn rstar_and_guttman_answer_queries_identically() {
+    let pts = uniform_points(2000, 43);
+    let guttman = build(IndexOptions::top_down(), &pts);
+    let rstar = build(IndexOptions::top_down().rstar(), &pts);
+    let mut rng = StdRng::seed_from_u64(44);
+    for _ in 0..100 {
+        let x = rng.random::<f32>() * 0.9;
+        let y = rng.random::<f32>() * 0.9;
+        let w = Rect::new(x, y, x + 0.1, y + 0.1);
+        assert_eq!(sorted_query(&guttman, &w), sorted_query(&rstar, &w));
+    }
+}
+
+#[test]
+fn rstar_reduces_leaf_overlap() {
+    // The point of the R* heuristics: tighter, less overlapping leaves.
+    // Compare total level-1 entry-rect area after identical insertions.
+    let pts = uniform_points(5000, 47);
+    let guttman = build(IndexOptions::top_down(), &pts);
+    let rstar = build(IndexOptions::top_down().rstar(), &pts);
+    let (_, area_g, _, _, _) = guttman.leaf_geometry().unwrap();
+    let (_, area_r, _, _, _) = rstar.leaf_geometry().unwrap();
+    assert!(
+        area_r < area_g,
+        "R* leaf area {area_r} not below Guttman {area_g}"
+    );
+}
+
+#[test]
+fn rstar_query_io_not_worse_than_guttman() {
+    let pts = uniform_points(5000, 53);
+    let guttman = build(IndexOptions::top_down(), &pts);
+    let rstar = build(IndexOptions::top_down().rstar(), &pts);
+    let mut rng = StdRng::seed_from_u64(54);
+    let windows: Vec<Rect> = (0..200)
+        .map(|_| {
+            let x = rng.random::<f32>() * 0.9;
+            let y = rng.random::<f32>() * 0.9;
+            Rect::new(x, y, x + 0.1, y + 0.1)
+        })
+        .collect();
+    let cost = |index: &RTreeIndex| {
+        let before = index.pool().stats().snapshot();
+        for w in &windows {
+            index.query(w).unwrap();
+        }
+        index.pool().stats().snapshot().since(&before).fetches
+    };
+    let io_g = cost(&guttman);
+    let io_r = cost(&rstar);
+    assert!(
+        io_r <= io_g,
+        "R* logical query I/O {io_r} worse than Guttman {io_g}"
+    );
+}
+
+#[test]
+fn bottom_up_updates_work_on_rstar_trees() {
+    let pts = uniform_points(1500, 59);
+    for opts in [
+        IndexOptions::localized().rstar(),
+        IndexOptions::generalized().rstar(),
+    ] {
+        let mut index = build(opts, &pts);
+        let mut rng = StdRng::seed_from_u64(60);
+        let mut current: Vec<(u64, Point)> = pts.clone();
+        for round in 0..4 {
+            for (oid, p) in &mut current {
+                let np = Point::new(
+                    p.x + rng.random_range(-0.01..0.01f32),
+                    p.y + rng.random_range(-0.01..0.01f32),
+                );
+                index.update(*oid, *p, np).unwrap();
+                *p = np;
+            }
+            index.validate().unwrap_or_else(|e| {
+                panic!("{} on R*, round {round}: {e}", opts.strategy.name());
+            });
+        }
+        // Every object is still findable at its final position.
+        for &(oid, p) in &current {
+            let hits = index.point_query(p).unwrap();
+            assert!(hits.contains(&oid), "{oid} lost at {p}");
+        }
+        // Bottom-up paths actually fired (not everything fell back to TD).
+        let snap = index.op_stats().snapshot();
+        assert!(
+            snap.upd_in_place + snap.upd_extended + snap.upd_shifted + snap.upd_ascended
+                > snap.upd_top_down,
+            "{}: bottom-up paths starved on R* ({snap})",
+            opts.strategy.name()
+        );
+    }
+}
+
+#[test]
+fn rstar_handles_deletes_and_underflow() {
+    let pts = uniform_points(2000, 61);
+    let mut index = build(IndexOptions::generalized().rstar(), &pts);
+    // Delete 80% and validate; CondenseTree must compose with the R*
+    // insertion used for its re-inserts.
+    for &(oid, p) in pts.iter().filter(|(oid, _)| oid % 5 != 0) {
+        assert!(index.delete(oid, p).unwrap());
+    }
+    index.validate().unwrap();
+    assert_eq!(index.len(), (pts.len() / 5) as u64);
+    for &(oid, p) in pts.iter().filter(|(oid, _)| oid % 5 == 0) {
+        assert!(index.point_query(p).unwrap().contains(&oid));
+    }
+}
+
+#[test]
+fn forced_reinsertion_bounded_per_insert() {
+    // Forced reinsertion must terminate: a pathological same-point
+    // workload overflows the same leaf repeatedly.
+    let mut index = RTreeIndex::create_in_memory(IndexOptions::top_down().rstar()).unwrap();
+    for oid in 0..2000u64 {
+        index
+            .insert(oid, Point::new(0.5 + (oid % 7) as f32 * 1e-6, 0.5))
+            .unwrap();
+    }
+    index.validate().unwrap();
+    assert_eq!(index.len(), 2000);
+}

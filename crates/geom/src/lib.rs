@@ -1,0 +1,84 @@
+//! 2-D geometry primitives for the `bur` workspace.
+//!
+//! The paper ("Supporting Frequent Updates in R-Trees: A Bottom-Up
+//! Approach", VLDB 2003) indexes 2-D points moving inside the unit square,
+//! bounded by minimum bounding rectangles (MBRs). This crate provides the
+//! two value types everything else is built on:
+//!
+//! * [`Point`] — a 2-D point with `f32` coordinates (the on-page format of
+//!   the index stores coordinates as little-endian `f32`).
+//! * [`Rect`] — an axis-aligned rectangle used both as an MBR and as a
+//!   query window.
+//!
+//! All operations are total for *valid* geometry (finite coordinates,
+//! `min <= max` per axis). Invalid rectangles are representable — e.g. the
+//! [`Rect::EMPTY`] identity for unions — and every predicate documents how
+//! it treats them.
+
+#![warn(missing_docs)]
+
+pub mod hilbert;
+mod point;
+mod rect;
+
+pub use point::Point;
+pub use rect::Rect;
+
+/// A direction of movement along one axis, used by the directional MBR
+/// extension of the paper's Algorithm 4 (`iExtendMBR`): "if the object
+/// moves Northeast, we enlarge the MBR towards the North and East only".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AxisDir {
+    /// Moving towards negative coordinates (West / South).
+    Neg,
+    /// No movement along this axis.
+    None,
+    /// Moving towards positive coordinates (East / North).
+    Pos,
+}
+
+/// Movement of a point decomposed per axis, as needed by `iExtendMBR`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Movement {
+    /// Horizontal component (East = `Pos`).
+    pub x: AxisDir,
+    /// Vertical component (North = `Pos`).
+    pub y: AxisDir,
+}
+
+impl Movement {
+    /// Decompose the movement from `old` to `new` into per-axis directions.
+    #[must_use]
+    pub fn between(old: Point, new: Point) -> Self {
+        let x = if new.x > old.x {
+            AxisDir::Pos
+        } else if new.x < old.x {
+            AxisDir::Neg
+        } else {
+            AxisDir::None
+        };
+        let y = if new.y > old.y {
+            AxisDir::Pos
+        } else if new.y < old.y {
+            AxisDir::Neg
+        } else {
+            AxisDir::None
+        };
+        Self { x, y }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn movement_decomposition() {
+        let m = Movement::between(Point::new(0.5, 0.5), Point::new(0.7, 0.2));
+        assert_eq!(m.x, AxisDir::Pos);
+        assert_eq!(m.y, AxisDir::Neg);
+        let m = Movement::between(Point::new(0.5, 0.5), Point::new(0.5, 0.5));
+        assert_eq!(m.x, AxisDir::None);
+        assert_eq!(m.y, AxisDir::None);
+    }
+}

@@ -1,0 +1,124 @@
+//! 2-D points.
+
+use std::fmt;
+
+/// A 2-D point with `f32` coordinates.
+///
+/// Points are the objects indexed by the paper's experiments ("Each object
+/// is a 2D point in a unit square"). `f32` matches the on-page storage
+/// format of the index; the unit-square workloads need ~7 decimal digits of
+/// precision at most.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f32,
+    /// Vertical coordinate.
+    pub y: f32,
+}
+
+impl Point {
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Create a point from its coordinates.
+    #[inline]
+    #[must_use]
+    pub const fn new(x: f32, y: f32) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    #[inline]
+    #[must_use]
+    pub fn distance(&self, other: &Point) -> f32 {
+        self.distance_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (cheaper when only comparing distances).
+    #[inline]
+    #[must_use]
+    pub fn distance_sq(&self, other: &Point) -> f32 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Chebyshev (L∞) distance: the largest per-axis displacement. The
+    /// paper's distance threshold τ classifies objects as fast or slow by
+    /// "the distance moved in-between consecutive updates"; either norm
+    /// works, we expose both.
+    #[inline]
+    #[must_use]
+    pub fn chebyshev_distance(&self, other: &Point) -> f32 {
+        (self.x - other.x).abs().max((self.y - other.y).abs())
+    }
+
+    /// Componentwise translation.
+    #[inline]
+    #[must_use]
+    pub fn translated(&self, dx: f32, dy: f32) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+
+    /// Clamp each coordinate into `[lo, hi]` (used to keep moving objects
+    /// inside the unit data space).
+    #[inline]
+    #[must_use]
+    pub fn clamped(&self, lo: f32, hi: f32) -> Point {
+        Point::new(self.x.clamp(lo, hi), self.y.clamp(lo, hi))
+    }
+
+    /// `true` when both coordinates are finite numbers.
+    #[inline]
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f32, f32)> for Point {
+    fn from((x, y): (f32, f32)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(a.distance_sq(&b), 25.0);
+        assert_eq!(a.chebyshev_distance(&b), 4.0);
+        assert_eq!(a.distance(&a), 0.0);
+    }
+
+    #[test]
+    fn translate_and_clamp() {
+        let p = Point::new(0.875, 0.125).translated(0.25, -0.25);
+        assert_eq!(p, Point::new(1.125, -0.125));
+        assert_eq!(p.clamped(0.0, 1.0), Point::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Point::new(1.0, 2.0).is_finite());
+        assert!(!Point::new(f32::NAN, 0.0).is_finite());
+        assert!(!Point::new(0.0, f32::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn display_and_from() {
+        let p: Point = (1.5, 2.5).into();
+        assert_eq!(format!("{p}"), "(1.5, 2.5)");
+    }
+}

@@ -1,0 +1,439 @@
+//! Axis-aligned rectangles (MBRs and query windows).
+
+use crate::Point;
+use std::fmt;
+
+/// An axis-aligned rectangle `[min_x, max_x] × [min_y, max_y]`.
+///
+/// `Rect` is used both as the *minimum bounding rectangle* (MBR) stored in
+/// R-tree nodes and as a window-query argument. Rectangles are closed on
+/// all sides: a point on the boundary is *contained*, and two rectangles
+/// sharing only an edge *intersect* — this matches Guttman's original
+/// definitions and keeps the update algorithms simple (an object sitting
+/// exactly on a leaf MBR edge needs no extension).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    /// Smallest x coordinate.
+    pub min_x: f32,
+    /// Smallest y coordinate.
+    pub min_y: f32,
+    /// Largest x coordinate.
+    pub max_x: f32,
+    /// Largest y coordinate.
+    pub max_y: f32,
+}
+
+impl Rect {
+    /// The identity for [`Rect::union`]: contains nothing, unions to the
+    /// other operand. Encoded with inverted infinite bounds.
+    pub const EMPTY: Rect = Rect {
+        min_x: f32::INFINITY,
+        min_y: f32::INFINITY,
+        max_x: f32::NEG_INFINITY,
+        max_y: f32::NEG_INFINITY,
+    };
+
+    /// The unit square `[0,1]²` — the paper's normalized data space.
+    pub const UNIT: Rect = Rect {
+        min_x: 0.0,
+        min_y: 0.0,
+        max_x: 1.0,
+        max_y: 1.0,
+    };
+
+    /// Create a rectangle from its bounds. Callers must pass
+    /// `min <= max` per axis; use [`Rect::from_corners`] for unordered
+    /// input.
+    #[inline]
+    #[must_use]
+    pub const fn new(min_x: f32, min_y: f32, max_x: f32, max_y: f32) -> Self {
+        Self {
+            min_x,
+            min_y,
+            max_x,
+            max_y,
+        }
+    }
+
+    /// Create a rectangle from two arbitrary corner points.
+    #[inline]
+    #[must_use]
+    pub fn from_corners(a: Point, b: Point) -> Self {
+        Self {
+            min_x: a.x.min(b.x),
+            min_y: a.y.min(b.y),
+            max_x: a.x.max(b.x),
+            max_y: a.y.max(b.y),
+        }
+    }
+
+    /// The degenerate rectangle covering exactly one point.
+    #[inline]
+    #[must_use]
+    pub fn from_point(p: Point) -> Self {
+        Self::new(p.x, p.y, p.x, p.y)
+    }
+
+    /// A rectangle given its lower-left corner and side lengths.
+    #[inline]
+    #[must_use]
+    pub fn with_size(origin: Point, width: f32, height: f32) -> Self {
+        Self::new(origin.x, origin.y, origin.x + width, origin.y + height)
+    }
+
+    /// `true` when `min <= max` holds on both axes and all coordinates are
+    /// finite. [`Rect::EMPTY`] is *not* valid.
+    #[inline]
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        self.min_x <= self.max_x
+            && self.min_y <= self.max_y
+            && self.min_x.is_finite()
+            && self.min_y.is_finite()
+            && self.max_x.is_finite()
+            && self.max_y.is_finite()
+    }
+
+    /// `true` for rectangles that contain no point (inverted bounds).
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.min_x > self.max_x || self.min_y > self.max_y
+    }
+
+    /// Horizontal extent (0 for empty rectangles).
+    #[inline]
+    #[must_use]
+    pub fn width(&self) -> f32 {
+        (self.max_x - self.min_x).max(0.0)
+    }
+
+    /// Vertical extent (0 for empty rectangles).
+    #[inline]
+    #[must_use]
+    pub fn height(&self) -> f32 {
+        (self.max_y - self.min_y).max(0.0)
+    }
+
+    /// Area; 0 for empty or degenerate rectangles.
+    #[inline]
+    #[must_use]
+    pub fn area(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() * self.height()
+        }
+    }
+
+    /// Half-perimeter (the "margin" of R*-tree literature); 0 when empty.
+    #[inline]
+    #[must_use]
+    pub fn margin(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.width() + self.height()
+        }
+    }
+
+    /// Center point. Meaningless for empty rectangles.
+    #[inline]
+    #[must_use]
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_x + self.max_x) * 0.5,
+            (self.min_y + self.max_y) * 0.5,
+        )
+    }
+
+    /// `true` when the point lies inside or on the boundary.
+    #[inline]
+    #[must_use]
+    pub fn contains_point(&self, p: &Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// `true` when `other` lies entirely inside `self` (boundaries
+    /// included). Every rectangle contains the empty rectangle.
+    #[inline]
+    #[must_use]
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        if other.is_empty() {
+            return true;
+        }
+        other.min_x >= self.min_x
+            && other.max_x <= self.max_x
+            && other.min_y >= self.min_y
+            && other.max_y <= self.max_y
+    }
+
+    /// `true` when the rectangles share at least one point (closed-side
+    /// semantics: touching edges intersect). Empty rectangles intersect
+    /// nothing.
+    #[inline]
+    #[must_use]
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !(self.is_empty() || other.is_empty())
+            && self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// The overlap region, or [`Rect::EMPTY`] when disjoint.
+    #[inline]
+    #[must_use]
+    pub fn intersection(&self, other: &Rect) -> Rect {
+        if !self.intersects(other) {
+            return Rect::EMPTY;
+        }
+        Rect::new(
+            self.min_x.max(other.min_x),
+            self.min_y.max(other.min_y),
+            self.max_x.min(other.max_x),
+            self.max_y.min(other.max_y),
+        )
+    }
+
+    /// Area of the overlap region (0 when disjoint).
+    #[inline]
+    #[must_use]
+    pub fn intersection_area(&self, other: &Rect) -> f32 {
+        self.intersection(other).area()
+    }
+
+    /// Smallest rectangle covering both operands. [`Rect::EMPTY`] is the
+    /// identity.
+    #[inline]
+    #[must_use]
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect::new(
+            self.min_x.min(other.min_x),
+            self.min_y.min(other.min_y),
+            self.max_x.max(other.max_x),
+            self.max_y.max(other.max_y),
+        )
+    }
+
+    /// Smallest rectangle covering `self` and the point.
+    #[inline]
+    #[must_use]
+    pub fn union_point(&self, p: &Point) -> Rect {
+        self.union(&Rect::from_point(*p))
+    }
+
+    /// The extra area `area(self ∪ other) − area(self)` needed to absorb
+    /// `other`. This is Guttman's ChooseLeaf criterion.
+    #[inline]
+    #[must_use]
+    pub fn enlargement(&self, other: &Rect) -> f32 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Grow the rectangle by `delta` *equally in all directions* — the
+    /// Kwon-style lazy-update enlargement used by the localized bottom-up
+    /// algorithm (LBU, Algorithm 1 of the paper).
+    #[inline]
+    #[must_use]
+    pub fn expanded_uniform(&self, delta: f32) -> Rect {
+        Rect::new(
+            self.min_x - delta,
+            self.min_y - delta,
+            self.max_x + delta,
+            self.max_y + delta,
+        )
+    }
+
+    /// Clip the rectangle so it lies inside `bound`. Useful to keep an
+    /// enlarged leaf MBR inside its parent's MBR, which the paper requires
+    /// "in order to preserve the R-tree structure".
+    #[inline]
+    #[must_use]
+    pub fn clipped_to(&self, bound: &Rect) -> Rect {
+        Rect::new(
+            self.min_x.max(bound.min_x),
+            self.min_y.max(bound.min_y),
+            self.max_x.min(bound.max_x),
+            self.max_y.min(bound.max_y),
+        )
+    }
+
+    /// Euclidean distance from the rectangle to a point (0 when the point
+    /// is inside). Used for the "closest sibling" tie break.
+    #[must_use]
+    pub fn distance_to_point(&self, p: &Point) -> f32 {
+        self.distance_sq_to_point(p).sqrt()
+    }
+
+    /// Squared Euclidean distance from the rectangle to a point (0 when
+    /// the point is inside). This is the `MINDIST` bound of R-tree
+    /// nearest-neighbor search: no object inside the rectangle can be
+    /// closer than this, so a best-first traversal ordered by it visits
+    /// nodes in non-decreasing distance order.
+    #[inline]
+    #[must_use]
+    pub fn distance_sq_to_point(&self, p: &Point) -> f32 {
+        let dx = (self.min_x - p.x).max(0.0).max(p.x - self.max_x);
+        let dy = (self.min_y - p.y).max(0.0).max(p.y - self.max_y);
+        dx * dx + dy * dy
+    }
+
+    /// `true` when all coordinates are finite.
+    #[inline]
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.min_x.is_finite()
+            && self.min_y.is_finite()
+            && self.max_x.is_finite()
+            && self.max_y.is_finite()
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}, {}]x[{}, {}]",
+            self.min_x, self.max_x, self.min_y, self.max_y
+        )
+    }
+}
+
+impl From<Point> for Rect {
+    fn from(p: Point) -> Self {
+        Rect::from_point(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(a: f32, b: f32, c: f32, d: f32) -> Rect {
+        Rect::new(a, b, c, d)
+    }
+
+    #[test]
+    fn empty_identity() {
+        let x = r(0.1, 0.2, 0.5, 0.9);
+        assert_eq!(Rect::EMPTY.union(&x), x);
+        assert_eq!(x.union(&Rect::EMPTY), x);
+        assert!(Rect::EMPTY.is_empty());
+        assert!(!Rect::EMPTY.is_valid());
+        assert_eq!(Rect::EMPTY.area(), 0.0);
+        assert_eq!(Rect::EMPTY.margin(), 0.0);
+        assert!(!Rect::EMPTY.intersects(&x));
+        assert!(!x.intersects(&Rect::EMPTY));
+        assert!(x.contains_rect(&Rect::EMPTY));
+    }
+
+    #[test]
+    fn area_margin_size() {
+        let x = r(0.0, 0.0, 2.0, 3.0);
+        assert_eq!(x.area(), 6.0);
+        assert_eq!(x.margin(), 5.0);
+        assert_eq!(x.width(), 2.0);
+        assert_eq!(x.height(), 3.0);
+        assert_eq!(x.center(), Point::new(1.0, 1.5));
+        let p = Rect::from_point(Point::new(0.5, 0.5));
+        assert_eq!(p.area(), 0.0);
+        assert!(p.is_valid());
+    }
+
+    #[test]
+    fn containment_closed_boundaries() {
+        let x = r(0.0, 0.0, 1.0, 1.0);
+        assert!(x.contains_point(&Point::new(0.0, 0.0)));
+        assert!(x.contains_point(&Point::new(1.0, 1.0)));
+        assert!(x.contains_point(&Point::new(0.5, 1.0)));
+        assert!(!x.contains_point(&Point::new(1.0001, 0.5)));
+        assert!(x.contains_rect(&r(0.0, 0.0, 1.0, 1.0)));
+        assert!(x.contains_rect(&r(0.2, 0.2, 0.8, 0.8)));
+        assert!(!x.contains_rect(&r(0.2, 0.2, 1.2, 0.8)));
+    }
+
+    #[test]
+    fn intersection_touching_edges() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(1.0, 0.0, 2.0, 1.0); // shares the x=1 edge
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection_area(&b), 0.0);
+        let c = r(1.1, 0.0, 2.0, 1.0);
+        assert!(!a.intersects(&c));
+        assert!(a.intersection(&c).is_empty());
+    }
+
+    #[test]
+    fn intersection_region() {
+        let a = r(0.0, 0.0, 2.0, 2.0);
+        let b = r(1.0, 1.0, 3.0, 3.0);
+        assert_eq!(a.intersection(&b), r(1.0, 1.0, 2.0, 2.0));
+        assert_eq!(a.intersection_area(&b), 1.0);
+        assert_eq!(a.intersection(&b), b.intersection(&a));
+    }
+
+    #[test]
+    fn union_and_enlargement() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        let b = r(2.0, 2.0, 3.0, 3.0);
+        let u = a.union(&b);
+        assert_eq!(u, r(0.0, 0.0, 3.0, 3.0));
+        assert!(u.contains_rect(&a) && u.contains_rect(&b));
+        assert_eq!(a.enlargement(&b), 9.0 - 1.0);
+        assert_eq!(a.enlargement(&a), 0.0);
+        let up = a.union_point(&Point::new(-1.0, 0.5));
+        assert_eq!(up, r(-1.0, 0.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn uniform_expansion_and_clipping() {
+        let a = r(0.375, 0.375, 0.625, 0.625);
+        let e = a.expanded_uniform(0.125);
+        assert_eq!(e, r(0.25, 0.25, 0.75, 0.75));
+        let parent = r(0.375, 0.0, 1.0, 1.0);
+        let clipped = e.clipped_to(&parent);
+        assert_eq!(clipped, r(0.375, 0.25, 0.75, 0.75));
+        assert!(parent.contains_rect(&clipped));
+    }
+
+    #[test]
+    fn point_distance() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        assert_eq!(a.distance_to_point(&Point::new(0.5, 0.5)), 0.0);
+        assert_eq!(a.distance_to_point(&Point::new(2.0, 0.5)), 1.0);
+        assert_eq!(a.distance_to_point(&Point::new(1.0, 2.0)), 1.0);
+        let d = a.distance_to_point(&Point::new(2.0, 2.0));
+        assert!((d - std::f32::consts::SQRT_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn point_distance_squared() {
+        let a = r(0.0, 0.0, 1.0, 1.0);
+        // Inside and on the boundary: zero.
+        assert_eq!(a.distance_sq_to_point(&Point::new(0.5, 0.5)), 0.0);
+        assert_eq!(a.distance_sq_to_point(&Point::new(1.0, 1.0)), 0.0);
+        // Axis-aligned outside: per-axis distance squared.
+        assert_eq!(a.distance_sq_to_point(&Point::new(3.0, 0.5)), 4.0);
+        assert_eq!(a.distance_sq_to_point(&Point::new(0.5, -2.0)), 4.0);
+        // Diagonal outside: sum of both axes.
+        assert_eq!(a.distance_sq_to_point(&Point::new(2.0, 2.0)), 2.0);
+        // MINDIST lower-bounds the distance to any contained point.
+        let p = Point::new(1.7, -0.3);
+        for q in [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 1.0),
+        ] {
+            assert!(a.distance_sq_to_point(&p) <= p.distance_sq(&q) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn corners_constructor() {
+        let a = Rect::from_corners(Point::new(1.0, 0.0), Point::new(0.0, 1.0));
+        assert_eq!(a, r(0.0, 0.0, 1.0, 1.0));
+        let b = Rect::with_size(Point::new(0.25, 0.25), 0.5, 0.25);
+        assert_eq!(b, r(0.25, 0.25, 0.75, 0.5));
+    }
+}

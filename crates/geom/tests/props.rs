@@ -1,0 +1,97 @@
+//! Property-based tests for the geometry primitives.
+
+use bur_geom::{Point, Rect};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-10.0f32..10.0, -10.0f32..10.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_rect() -> impl Strategy<Value = Rect> {
+    (arb_point(), arb_point()).prop_map(|(a, b)| Rect::from_corners(a, b))
+}
+
+proptest! {
+    #[test]
+    fn union_contains_both(a in arb_rect(), b in arb_rect()) {
+        let u = a.union(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+        prop_assert!(u.area() + 1e-3 >= a.area().max(b.area()));
+    }
+
+    #[test]
+    fn union_commutative(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.union(&b), b.union(&a));
+    }
+
+    #[test]
+    fn union_idempotent(a in arb_rect()) {
+        prop_assert_eq!(a.union(&a), a);
+    }
+
+    #[test]
+    fn intersects_symmetric(a in arb_rect(), b in arb_rect()) {
+        prop_assert_eq!(a.intersects(&b), b.intersects(&a));
+    }
+
+    #[test]
+    fn containment_implies_intersection(a in arb_rect(), b in arb_rect()) {
+        if a.contains_rect(&b) && !b.is_empty() {
+            prop_assert!(a.intersects(&b));
+            prop_assert!(a.area() >= b.area() - 1e-3);
+        }
+    }
+
+    #[test]
+    fn intersection_contained_in_both(a in arb_rect(), b in arb_rect()) {
+        let i = a.intersection(&b);
+        if !i.is_empty() {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+        }
+    }
+
+    #[test]
+    fn enlargement_nonnegative(a in arb_rect(), b in arb_rect()) {
+        prop_assert!(a.enlargement(&b) >= -1e-3);
+    }
+
+    #[test]
+    fn point_union_contains_point(a in arb_rect(), p in arb_point()) {
+        let u = a.union_point(&p);
+        prop_assert!(u.contains_point(&p));
+        prop_assert!(u.contains_rect(&a));
+    }
+
+    #[test]
+    fn uniform_expansion_contains(a in arb_rect(), d in 0.0f32..2.0) {
+        let e = a.expanded_uniform(d);
+        prop_assert!(e.contains_rect(&a));
+    }
+
+    #[test]
+    fn clipping_respects_bound(a in arb_rect(), b in arb_rect()) {
+        let c = a.clipped_to(&b);
+        if !c.is_empty() {
+            prop_assert!(b.contains_rect(&c));
+            prop_assert!(a.contains_rect(&c));
+        }
+    }
+
+    #[test]
+    fn distance_zero_when_contained(a in arb_rect(), p in arb_point()) {
+        let d = a.distance_to_point(&p);
+        if a.contains_point(&p) {
+            prop_assert_eq!(d, 0.0);
+        }
+        if d > 1e-3 {
+            prop_assert!(!a.contains_point(&p));
+        }
+    }
+
+    #[test]
+    fn contains_point_consistent_with_rect(a in arb_rect(), p in arb_point()) {
+        prop_assert_eq!(a.contains_point(&p), a.contains_rect(&Rect::from_point(p)));
+    }
+}

@@ -1,0 +1,154 @@
+//! On-page bucket layout.
+//!
+//! ```text
+//! byte 0..2   count (u16, number of entries in this page)
+//! byte 4..8   overflow page id (u32, INVALID_PAGE when none)
+//! byte 8..    entries: [key u64 LE][value u32 LE] × count
+//! ```
+
+use crate::{Key, Value};
+use bur_storage::{PageId, INVALID_PAGE};
+
+const COUNT_OFF: usize = 0;
+const OVERFLOW_OFF: usize = 4;
+const ENTRIES_OFF: usize = 8;
+/// Bytes per entry: 8-byte key + 4-byte value.
+pub(crate) const ENTRY_SIZE: usize = 12;
+
+/// Number of entries a bucket page of `page_size` bytes can hold.
+#[inline]
+pub(crate) fn capacity(page_size: usize) -> usize {
+    (page_size - ENTRIES_OFF) / ENTRY_SIZE
+}
+
+/// Zero-copy view over a bucket page's bytes.
+pub(crate) struct BucketView<'a>(pub &'a [u8]);
+
+impl BucketView<'_> {
+    pub(crate) fn count(&self) -> usize {
+        u16::from_le_bytes([self.0[COUNT_OFF], self.0[COUNT_OFF + 1]]) as usize
+    }
+
+    pub(crate) fn overflow(&self) -> Option<PageId> {
+        let pid = u32::from_le_bytes(self.0[OVERFLOW_OFF..OVERFLOW_OFF + 4].try_into().unwrap());
+        (pid != INVALID_PAGE).then_some(pid)
+    }
+
+    pub(crate) fn entry(&self, i: usize) -> (Key, Value) {
+        let off = ENTRIES_OFF + i * ENTRY_SIZE;
+        let key = u64::from_le_bytes(self.0[off..off + 8].try_into().unwrap());
+        let value = u32::from_le_bytes(self.0[off + 8..off + 12].try_into().unwrap());
+        (key, value)
+    }
+
+    /// Linear scan for `key`; buckets are small (≈84 entries/KiB page).
+    pub(crate) fn find(&self, key: Key) -> Option<(usize, Value)> {
+        let n = self.count();
+        (0..n).find_map(|i| {
+            let (k, v) = self.entry(i);
+            (k == key).then_some((i, v))
+        })
+    }
+}
+
+/// Mutable view over a bucket page's bytes.
+pub(crate) struct BucketViewMut<'a>(pub &'a mut [u8]);
+
+impl BucketViewMut<'_> {
+    pub(crate) fn as_view(&self) -> BucketView<'_> {
+        BucketView(self.0)
+    }
+
+    pub(crate) fn set_count(&mut self, n: usize) {
+        self.0[COUNT_OFF..COUNT_OFF + 2].copy_from_slice(&(n as u16).to_le_bytes());
+    }
+
+    pub(crate) fn set_overflow(&mut self, pid: Option<PageId>) {
+        let raw = pid.unwrap_or(INVALID_PAGE);
+        self.0[OVERFLOW_OFF..OVERFLOW_OFF + 4].copy_from_slice(&raw.to_le_bytes());
+    }
+
+    pub(crate) fn set_entry(&mut self, i: usize, key: Key, value: Value) {
+        let off = ENTRIES_OFF + i * ENTRY_SIZE;
+        self.0[off..off + 8].copy_from_slice(&key.to_le_bytes());
+        self.0[off + 8..off + 12].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Append an entry; caller checks capacity.
+    pub(crate) fn push(&mut self, key: Key, value: Value) {
+        let n = self.as_view().count();
+        self.set_entry(n, key, value);
+        self.set_count(n + 1);
+    }
+
+    /// Remove entry `i` by swapping in the last entry (order-free).
+    pub(crate) fn swap_remove(&mut self, i: usize) {
+        let n = self.as_view().count();
+        debug_assert!(i < n);
+        if i + 1 < n {
+            let (k, v) = self.as_view().entry(n - 1);
+            self.set_entry(i, k, v);
+        }
+        self.set_count(n - 1);
+    }
+
+    /// Reset to an empty bucket with no overflow.
+    pub(crate) fn clear(&mut self) {
+        self.set_count(0);
+        self.set_overflow(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_math() {
+        assert_eq!(capacity(1024), (1024 - 8) / 12); // 84
+        assert_eq!(capacity(128), 10);
+    }
+
+    #[test]
+    fn push_find_remove_roundtrip() {
+        let mut page = vec![0u8; 256];
+        let mut b = BucketViewMut(&mut page);
+        b.clear();
+        b.push(100, 1);
+        b.push(200, 2);
+        b.push(300, 3);
+        let v = b.as_view();
+        assert_eq!(v.count(), 3);
+        assert_eq!(v.find(200), Some((1, 2)));
+        assert_eq!(v.find(999), None);
+        b.swap_remove(0); // 300 swaps into slot 0
+        let v = b.as_view();
+        assert_eq!(v.count(), 2);
+        assert_eq!(v.find(100), None);
+        assert_eq!(v.find(300), Some((0, 3)));
+        assert_eq!(v.find(200), Some((1, 2)));
+    }
+
+    #[test]
+    fn overflow_pointer() {
+        let mut page = vec![0u8; 128];
+        let mut b = BucketViewMut(&mut page);
+        b.clear();
+        assert_eq!(b.as_view().overflow(), None);
+        b.set_overflow(Some(77));
+        assert_eq!(b.as_view().overflow(), Some(77));
+        b.set_overflow(None);
+        assert_eq!(b.as_view().overflow(), None);
+    }
+
+    #[test]
+    fn remove_last_entry() {
+        let mut page = vec![0u8; 128];
+        let mut b = BucketViewMut(&mut page);
+        b.clear();
+        b.push(1, 10);
+        b.swap_remove(0);
+        assert_eq!(b.as_view().count(), 0);
+        assert_eq!(b.as_view().find(1), None);
+    }
+}

@@ -1,0 +1,612 @@
+//! Litwin linear hashing over buffer-pool pages.
+
+use crate::bucket::{capacity, BucketView, BucketViewMut};
+use crate::{mix, Key, Value};
+use bur_storage::{BufferPool, PageId, StorageResult};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Tuning knobs for [`LinearHashIndex`].
+#[derive(Debug, Clone, Copy)]
+pub struct HashIndexConfig {
+    /// Number of buckets at level 0. Must be a power of two.
+    pub initial_buckets: usize,
+    /// Split when `entries / (buckets * bucket_capacity)` exceeds this.
+    pub max_load: f64,
+}
+
+impl Default for HashIndexConfig {
+    fn default() -> Self {
+        Self {
+            initial_buckets: 4,
+            max_load: 0.75,
+        }
+    }
+}
+
+struct State {
+    /// Primary page of every bucket; index is the bucket number.
+    buckets: Vec<PageId>,
+    /// Current doubling round.
+    level: u32,
+    /// Next bucket to split in this round.
+    next: usize,
+    /// Total entries stored.
+    entries: usize,
+    /// Buckets at level 0.
+    initial: usize,
+    /// Pages released by collapsed overflow chains, reused before
+    /// allocating fresh pages (the disk itself is append-only).
+    free_pages: Vec<PageId>,
+    /// Overflow pages currently in use (for space accounting).
+    overflow_pages: usize,
+}
+
+impl State {
+    /// Bucket number for a key under the current split state.
+    fn bucket_of(&self, key: Key) -> usize {
+        let h = mix(key) as usize;
+        let n_low = self.initial << self.level;
+        let b = h & (n_low - 1);
+        if b < self.next {
+            h & (2 * n_low - 1)
+        } else {
+            b
+        }
+    }
+}
+
+/// A linear-hash index `object id → page id` stored in buffer-pool pages.
+///
+/// All probes and maintenance go through the shared [`BufferPool`], so the
+/// index contributes to (and is measured by) the same physical-I/O
+/// counters as the R-tree it serves. See the crate docs for the role this
+/// plays in the paper's cost model.
+///
+/// ```
+/// use bur_hashindex::{HashIndexConfig, LinearHashIndex};
+/// use bur_storage::{BufferPool, MemDisk, PoolConfig};
+/// use std::sync::Arc;
+///
+/// let pool = Arc::new(BufferPool::new(
+///     Arc::new(MemDisk::new(1024)),
+///     PoolConfig { capacity: 32, ..PoolConfig::default() },
+/// ));
+/// let index = LinearHashIndex::create(pool, HashIndexConfig::default()).unwrap();
+/// index.insert(42, 7).unwrap();          // object 42 lives on page 7
+/// assert_eq!(index.get(42).unwrap(), Some(7));
+/// index.insert(42, 9).unwrap();          // it moved to page 9
+/// assert_eq!(index.get(42).unwrap(), Some(9));
+/// assert_eq!(index.remove(42).unwrap(), Some(9));
+/// ```
+pub struct LinearHashIndex {
+    pool: Arc<BufferPool>,
+    config: HashIndexConfig,
+    state: Mutex<State>,
+}
+
+impl LinearHashIndex {
+    /// Create an empty index, allocating its initial bucket pages.
+    pub fn create(pool: Arc<BufferPool>, config: HashIndexConfig) -> StorageResult<Self> {
+        assert!(
+            config.initial_buckets.is_power_of_two(),
+            "initial_buckets must be a power of two"
+        );
+        let mut buckets = Vec::with_capacity(config.initial_buckets);
+        for _ in 0..config.initial_buckets {
+            let (pid, guard) = pool.new_page()?;
+            BucketViewMut(&mut guard.write()).clear();
+            buckets.push(pid);
+        }
+        Ok(Self {
+            pool,
+            config,
+            state: Mutex::new(State {
+                buckets,
+                level: 0,
+                next: 0,
+                entries: 0,
+                initial: config.initial_buckets,
+                free_pages: Vec::new(),
+                overflow_pages: 0,
+            }),
+        })
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.state.lock().entries
+    }
+
+    /// `true` when no entries are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total pages used (primary buckets + overflow pages). The
+    /// experiments size the buffer as a percentage of *all* data pages.
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        let s = self.state.lock();
+        s.buckets.len() + s.overflow_pages
+    }
+
+    /// Look up the page currently associated with `key`.
+    pub fn get(&self, key: Key) -> StorageResult<Option<Value>> {
+        let state = self.state.lock();
+        let mut pid = state.buckets[state.bucket_of(key)];
+        loop {
+            let guard = self.pool.fetch(pid)?;
+            let data = guard.read();
+            let view = BucketView(&data);
+            if let Some((_, v)) = view.find(key) {
+                return Ok(Some(v));
+            }
+            match view.overflow() {
+                Some(next) => pid = next,
+                None => return Ok(None),
+            }
+        }
+    }
+
+    /// Insert or replace; returns the previous value when the key existed.
+    pub fn insert(&self, key: Key, value: Value) -> StorageResult<Option<Value>> {
+        let mut state = self.state.lock();
+        let bucket = state.bucket_of(key);
+        let head = state.buckets[bucket];
+        let replaced = self.chain_upsert(head, key, value, &mut state)?;
+        if replaced.is_none() {
+            state.entries += 1;
+            self.maybe_split(&mut state)?;
+        }
+        Ok(replaced)
+    }
+
+    /// Remove a key; returns its value when present.
+    pub fn remove(&self, key: Key) -> StorageResult<Option<Value>> {
+        let mut state = self.state.lock();
+        let mut pid = state.buckets[state.bucket_of(key)];
+        loop {
+            let guard = self.pool.fetch(pid)?;
+            let found = {
+                let data = guard.read();
+                BucketView(&data).find(key)
+            };
+            if let Some((i, v)) = found {
+                BucketViewMut(&mut guard.write()).swap_remove(i);
+                state.entries -= 1;
+                return Ok(Some(v));
+            }
+            let next = {
+                let data = guard.read();
+                BucketView(&data).overflow()
+            };
+            match next {
+                Some(n) => pid = n,
+                None => return Ok(None),
+            }
+        }
+    }
+
+    /// Visit every `(key, value)` pair (test/diagnostic helper; touches
+    /// every page).
+    pub fn for_each<F: FnMut(Key, Value)>(&self, mut f: F) -> StorageResult<()> {
+        let state = self.state.lock();
+        for &head in &state.buckets {
+            let mut pid = Some(head);
+            while let Some(p) = pid {
+                let guard = self.pool.fetch(p)?;
+                let data = guard.read();
+                let view = BucketView(&data);
+                for i in 0..view.count() {
+                    let (k, v) = view.entry(i);
+                    f(k, v);
+                }
+                pid = view.overflow();
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert into a chain, replacing an existing key or appending to the
+    /// first page with room (allocating an overflow page when all full).
+    fn chain_upsert(
+        &self,
+        head: PageId,
+        key: Key,
+        value: Value,
+        state: &mut State,
+    ) -> StorageResult<Option<Value>> {
+        let cap = capacity(self.pool.page_size());
+        let mut pid = head;
+        let mut first_with_room: Option<PageId> = None;
+        loop {
+            let guard = self.pool.fetch(pid)?;
+            let (found, count, next) = {
+                let data = guard.read();
+                let view = BucketView(&data);
+                (view.find(key), view.count(), view.overflow())
+            };
+            if let Some((i, old)) = found {
+                BucketViewMut(&mut guard.write()).set_entry(i, key, value);
+                return Ok(Some(old));
+            }
+            if count < cap && first_with_room.is_none() {
+                first_with_room = Some(pid);
+            }
+            match next {
+                Some(n) => pid = n,
+                None => {
+                    // Key absent; place it.
+                    if let Some(slot) = first_with_room {
+                        let g = self.pool.fetch(slot)?;
+                        BucketViewMut(&mut g.write()).push(key, value);
+                    } else {
+                        // Chain full: append an overflow page.
+                        let new_pid = self.alloc_bucket_page(state)?;
+                        state.overflow_pages += 1;
+                        {
+                            let g = self.pool.fetch(new_pid)?;
+                            let mut w = g.write();
+                            let mut b = BucketViewMut(&mut w);
+                            b.clear();
+                            b.push(key, value);
+                        }
+                        BucketViewMut(&mut guard.write()).set_overflow(Some(new_pid));
+                    }
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    /// Allocate a bucket/overflow page, reusing freed pages first.
+    fn alloc_bucket_page(&self, state: &mut State) -> StorageResult<PageId> {
+        if let Some(pid) = state.free_pages.pop() {
+            let g = self.pool.fetch(pid)?;
+            BucketViewMut(&mut g.write()).clear();
+            return Ok(pid);
+        }
+        let (pid, guard) = self.pool.new_page()?;
+        BucketViewMut(&mut guard.write()).clear();
+        Ok(pid)
+    }
+
+    /// Split one bucket when over the configured load factor.
+    fn maybe_split(&self, state: &mut State) -> StorageResult<()> {
+        let cap = capacity(self.pool.page_size());
+        let load = state.entries as f64 / (state.buckets.len() * cap) as f64;
+        if load <= self.config.max_load {
+            return Ok(());
+        }
+        // Collect the split bucket's whole chain.
+        let split_bucket = state.next;
+        let head = state.buckets[split_bucket];
+        let mut entries: Vec<(Key, Value)> = Vec::new();
+        let mut pid = Some(head);
+        let mut chain_pages = Vec::new();
+        while let Some(p) = pid {
+            chain_pages.push(p);
+            let guard = self.pool.fetch(p)?;
+            let data = guard.read();
+            let view = BucketView(&data);
+            for i in 0..view.count() {
+                entries.push(view.entry(i));
+            }
+            pid = view.overflow();
+        }
+        // Release overflow pages (all but the primary) to the free list.
+        for &p in &chain_pages[1..] {
+            state.free_pages.push(p);
+            state.overflow_pages -= 1;
+        }
+        {
+            let g = self.pool.fetch(head)?;
+            BucketViewMut(&mut g.write()).clear();
+        }
+        // Create the image bucket.
+        let new_pid = self.alloc_bucket_page(state)?;
+        let new_bucket = state.buckets.len();
+        state.buckets.push(new_pid);
+        // Advance the split pointer *before* redistribution so that
+        // bucket_of routes keys with the widened mask.
+        let n_low = state.initial << state.level;
+        state.next += 1;
+        if state.next == n_low {
+            state.level += 1;
+            state.next = 0;
+        }
+        // Redistribute: each key lands in the old or the image bucket.
+        let wide_mask = 2 * n_low - 1;
+        for (k, v) in entries {
+            let target = if (mix(k) as usize) & wide_mask == split_bucket {
+                head
+            } else {
+                debug_assert_eq!((mix(k) as usize) & wide_mask, new_bucket);
+                state.buckets[new_bucket]
+            };
+            // No replacement possible here (keys are unique), and the
+            // entry count is unchanged, so bypass the load-factor check.
+            let prev = self.chain_upsert(target, k, v, state)?;
+            debug_assert!(prev.is_none());
+        }
+        let _ = new_pid;
+        Ok(())
+    }
+
+    // ---- persistence ----------------------------------------------------
+
+    /// Serialize the in-memory directory into a chain of pages; returns
+    /// the head page id. Call after quiescing writers; bucket pages are
+    /// already on disk once the pool is flushed.
+    pub fn persist(&self) -> StorageResult<PageId> {
+        let state = self.state.lock();
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&state.level.to_le_bytes());
+        payload.extend_from_slice(&(state.next as u64).to_le_bytes());
+        payload.extend_from_slice(&(state.entries as u64).to_le_bytes());
+        payload.extend_from_slice(&(state.initial as u32).to_le_bytes());
+        payload.extend_from_slice(&(state.overflow_pages as u64).to_le_bytes());
+        payload.extend_from_slice(&(state.buckets.len() as u32).to_le_bytes());
+        for &b in &state.buckets {
+            payload.extend_from_slice(&b.to_le_bytes());
+        }
+        payload.extend_from_slice(&(state.free_pages.len() as u32).to_le_bytes());
+        for &p in &state.free_pages {
+            payload.extend_from_slice(&p.to_le_bytes());
+        }
+        drop(state);
+        write_page_chain(&self.pool, &payload)
+    }
+
+    /// Reload an index persisted with [`LinearHashIndex::persist`].
+    pub fn load(
+        pool: Arc<BufferPool>,
+        config: HashIndexConfig,
+        head: PageId,
+    ) -> StorageResult<Self> {
+        let payload = read_page_chain(&pool, head)?;
+        let mut cur = Cursor::new(&payload);
+        let level = cur.u32();
+        let next = cur.u64() as usize;
+        let entries = cur.u64() as usize;
+        let initial = cur.u32() as usize;
+        let overflow_pages = cur.u64() as usize;
+        let n_buckets = cur.u32() as usize;
+        let buckets = (0..n_buckets).map(|_| cur.u32()).collect();
+        let n_free = cur.u32() as usize;
+        let free_pages = (0..n_free).map(|_| cur.u32()).collect();
+        Ok(Self {
+            pool,
+            config,
+            state: Mutex::new(State {
+                buckets,
+                level,
+                next,
+                entries,
+                initial,
+                free_pages,
+                overflow_pages,
+            }),
+        })
+    }
+}
+
+/// Little-endian payload reader for [`LinearHashIndex::load`].
+struct Cursor<'a> {
+    data: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, off: 0 }
+    }
+    fn u32(&mut self) -> u32 {
+        let v = u32::from_le_bytes(self.data[self.off..self.off + 4].try_into().unwrap());
+        self.off += 4;
+        v
+    }
+    fn u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.data[self.off..self.off + 8].try_into().unwrap());
+        self.off += 8;
+        v
+    }
+}
+
+/// Page-chain format: `[next u32][len u16][data ...]` per page.
+fn write_page_chain(pool: &BufferPool, payload: &[u8]) -> StorageResult<PageId> {
+    let chunk = pool.page_size() - 6;
+    let chunks: Vec<&[u8]> = if payload.is_empty() {
+        vec![&[]]
+    } else {
+        payload.chunks(chunk).collect()
+    };
+    let mut head = bur_storage::INVALID_PAGE;
+    let mut prev: Option<PageId> = None;
+    for part in &chunks {
+        let (pid, guard) = pool.new_page()?;
+        {
+            let mut w = guard.write();
+            w[0..4].copy_from_slice(&bur_storage::INVALID_PAGE.to_le_bytes());
+            w[4..6].copy_from_slice(&(part.len() as u16).to_le_bytes());
+            w[6..6 + part.len()].copy_from_slice(part);
+        }
+        if let Some(p) = prev {
+            let g = pool.fetch(p)?;
+            g.write()[0..4].copy_from_slice(&pid.to_le_bytes());
+        } else {
+            head = pid;
+        }
+        prev = Some(pid);
+    }
+    Ok(head)
+}
+
+fn read_page_chain(pool: &BufferPool, head: PageId) -> StorageResult<Vec<u8>> {
+    let mut payload = Vec::new();
+    let mut pid = head;
+    loop {
+        let guard = pool.fetch(pid)?;
+        let data = guard.read();
+        let next = u32::from_le_bytes(data[0..4].try_into().unwrap());
+        let len = u16::from_le_bytes(data[4..6].try_into().unwrap()) as usize;
+        payload.extend_from_slice(&data[6..6 + len]);
+        if next == bur_storage::INVALID_PAGE {
+            break;
+        }
+        pid = next;
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bur_storage::{MemDisk, PoolConfig};
+
+    fn make_pool(page_size: usize, capacity: usize) -> Arc<BufferPool> {
+        Arc::new(BufferPool::new(
+            Arc::new(MemDisk::new(page_size)),
+            PoolConfig { capacity, ..PoolConfig::default() },
+        ))
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let idx = LinearHashIndex::create(make_pool(256, 64), HashIndexConfig::default()).unwrap();
+        assert!(idx.is_empty());
+        assert_eq!(idx.insert(1, 100).unwrap(), None);
+        assert_eq!(idx.insert(2, 200).unwrap(), None);
+        assert_eq!(idx.get(1).unwrap(), Some(100));
+        assert_eq!(idx.get(2).unwrap(), Some(200));
+        assert_eq!(idx.get(3).unwrap(), None);
+        assert_eq!(idx.insert(1, 101).unwrap(), Some(100), "upsert replaces");
+        assert_eq!(idx.len(), 2);
+        assert_eq!(idx.remove(1).unwrap(), Some(101));
+        assert_eq!(idx.remove(1).unwrap(), None);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn growth_through_many_splits() {
+        let idx = LinearHashIndex::create(make_pool(128, 256), HashIndexConfig::default()).unwrap();
+        let n = 5_000u64;
+        for k in 0..n {
+            idx.insert(k, (k * 3) as u32).unwrap();
+        }
+        assert_eq!(idx.len(), n as usize);
+        for k in 0..n {
+            assert_eq!(idx.get(k).unwrap(), Some((k * 3) as u32), "key {k}");
+        }
+        assert_eq!(idx.get(n + 1).unwrap(), None);
+        // Page 128 holds 10 entries; 5000 entries need >= 500 pages.
+        assert!(idx.page_count() >= 500, "got {}", idx.page_count());
+    }
+
+    #[test]
+    fn delete_heavy_then_reinsert() {
+        let idx = LinearHashIndex::create(make_pool(128, 256), HashIndexConfig::default()).unwrap();
+        for k in 0..2_000u64 {
+            idx.insert(k, k as u32).unwrap();
+        }
+        for k in 0..2_000u64 {
+            if k % 2 == 0 {
+                assert_eq!(idx.remove(k).unwrap(), Some(k as u32));
+            }
+        }
+        assert_eq!(idx.len(), 1_000);
+        for k in 0..2_000u64 {
+            let expect = (k % 2 == 1).then_some(k as u32);
+            assert_eq!(idx.get(k).unwrap(), expect);
+        }
+        for k in 0..2_000u64 {
+            idx.insert(k, (k + 7) as u32).unwrap();
+        }
+        assert_eq!(idx.len(), 2_000);
+        for k in 0..2_000u64 {
+            assert_eq!(idx.get(k).unwrap(), Some((k + 7) as u32));
+        }
+    }
+
+    #[test]
+    fn for_each_sees_everything_once() {
+        let idx = LinearHashIndex::create(make_pool(128, 64), HashIndexConfig::default()).unwrap();
+        for k in 0..500u64 {
+            idx.insert(k, k as u32).unwrap();
+        }
+        let mut seen = std::collections::HashMap::new();
+        idx.for_each(|k, v| {
+            assert!(seen.insert(k, v).is_none(), "duplicate key {k}");
+        })
+        .unwrap();
+        assert_eq!(seen.len(), 500);
+        for k in 0..500u64 {
+            assert_eq!(seen[&k], k as u32);
+        }
+    }
+
+    #[test]
+    fn cold_probe_costs_about_one_read() {
+        let pool = make_pool(1024, 1024);
+        let idx = LinearHashIndex::create(pool.clone(), HashIndexConfig::default()).unwrap();
+        for k in 0..20_000u64 {
+            idx.insert(k, k as u32).unwrap();
+        }
+        pool.evict_all().unwrap();
+        pool.set_capacity(0).unwrap(); // no caching: every probe is cold
+        let before = pool.stats().snapshot();
+        let probes = 500;
+        for k in 0..probes {
+            idx.get(k * 37 % 20_000).unwrap();
+        }
+        let d = pool.stats().snapshot().since(&before);
+        let per_probe = d.reads as f64 / probes as f64;
+        // One primary bucket read, occasionally one overflow page.
+        assert!(
+            (1.0..1.5).contains(&per_probe),
+            "expected ~1 read per cold probe, got {per_probe}"
+        );
+    }
+
+    #[test]
+    fn persist_and_load_roundtrip() {
+        let pool = make_pool(256, 256);
+        let idx = LinearHashIndex::create(pool.clone(), HashIndexConfig::default()).unwrap();
+        for k in 0..3_000u64 {
+            idx.insert(k, (k * 11) as u32).unwrap();
+        }
+        let head = idx.persist().unwrap();
+        pool.flush_all().unwrap();
+        drop(idx);
+        let idx2 = LinearHashIndex::load(pool, HashIndexConfig::default(), head).unwrap();
+        assert_eq!(idx2.len(), 3_000);
+        for k in 0..3_000u64 {
+            assert_eq!(idx2.get(k).unwrap(), Some((k * 11) as u32));
+        }
+        // The reloaded index must keep working (splits continue correctly).
+        for k in 3_000..4_000u64 {
+            idx2.insert(k, k as u32).unwrap();
+        }
+        for k in 0..4_000u64 {
+            let expect = if k < 3_000 { (k * 11) as u32 } else { k as u32 };
+            assert_eq!(idx2.get(k).unwrap(), Some(expect));
+        }
+    }
+
+    #[test]
+    fn values_can_collide() {
+        // Different keys mapping to the same value (many objects on one
+        // leaf page) must coexist.
+        let idx = LinearHashIndex::create(make_pool(128, 64), HashIndexConfig::default()).unwrap();
+        for k in 0..100u64 {
+            idx.insert(k, 7).unwrap();
+        }
+        assert_eq!(idx.len(), 100);
+        for k in 0..100u64 {
+            assert_eq!(idx.get(k).unwrap(), Some(7));
+        }
+    }
+}

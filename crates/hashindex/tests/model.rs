@@ -1,0 +1,80 @@
+//! Model-based property test: the paged linear-hash index must behave
+//! exactly like `std::collections::HashMap` under arbitrary operation
+//! sequences (including sequences long enough to force bucket splits and
+//! overflow chains).
+
+use bur_hashindex::{HashIndexConfig, LinearHashIndex};
+use bur_storage::{BufferPool, MemDisk, PoolConfig};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u64, u32),
+    Remove(u64),
+    Get(u64),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // Small key space so operations collide often.
+    prop_oneof![
+        (0u64..64, 0u32..1000).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0u64..64).prop_map(Op::Remove),
+        (0u64..64).prop_map(Op::Get),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn behaves_like_hashmap(ops in proptest::collection::vec(arb_op(), 1..400)) {
+        // Tiny pages (10 entries each) force splits and overflows early.
+        let pool = Arc::new(BufferPool::new(
+            Arc::new(MemDisk::new(128)),
+            PoolConfig { capacity: 16, ..PoolConfig::default() },
+        ));
+        let idx = LinearHashIndex::create(pool, HashIndexConfig::default()).unwrap();
+        let mut model: HashMap<u64, u32> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    let got = idx.insert(k, v).unwrap();
+                    let expect = model.insert(k, v);
+                    prop_assert_eq!(got, expect);
+                }
+                Op::Remove(k) => {
+                    let got = idx.remove(k).unwrap();
+                    let expect = model.remove(&k);
+                    prop_assert_eq!(got, expect);
+                }
+                Op::Get(k) => {
+                    let got = idx.get(k).unwrap();
+                    let expect = model.get(&k).copied();
+                    prop_assert_eq!(got, expect);
+                }
+            }
+            prop_assert_eq!(idx.len(), model.len());
+        }
+        // Final full comparison via iteration.
+        let mut seen = HashMap::new();
+        idx.for_each(|k, v| { seen.insert(k, v); }).unwrap();
+        prop_assert_eq!(seen, model);
+    }
+
+    #[test]
+    fn bulk_insert_then_verify(n in 100usize..1500) {
+        let pool = Arc::new(BufferPool::new(
+            Arc::new(MemDisk::new(128)),
+            PoolConfig { capacity: 64, ..PoolConfig::default() },
+        ));
+        let idx = LinearHashIndex::create(pool, HashIndexConfig::default()).unwrap();
+        for k in 0..n as u64 {
+            idx.insert(k, (k % 97) as u32).unwrap();
+        }
+        prop_assert_eq!(idx.len(), n);
+        for k in 0..n as u64 {
+            prop_assert_eq!(idx.get(k).unwrap(), Some((k % 97) as u32));
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! An O(1) intrusive LRU list over page ids.
+//!
+//! The buffer pool keeps *unpinned* frames in this list: most recently
+//! used at the front, eviction victims popped from the back. All three
+//! operations (`push_front`, `remove`, `pop_back`) are O(1) via a
+//! doubly-linked list threaded through a hash map.
+
+use crate::PageId;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, Copy)]
+struct Links {
+    prev: Option<PageId>,
+    next: Option<PageId>,
+}
+
+/// Doubly-linked LRU queue of page ids.
+#[derive(Debug, Default)]
+pub(crate) struct LruList {
+    links: HashMap<PageId, Links>,
+    head: Option<PageId>,
+    tail: Option<PageId>,
+}
+
+impl LruList {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.links.len()
+    }
+
+    pub(crate) fn contains(&self, pid: PageId) -> bool {
+        self.links.contains_key(&pid)
+    }
+
+    /// Insert `pid` as most-recently-used. Panics if already present
+    /// (callers must `remove` first); this catches accounting bugs early.
+    pub(crate) fn push_front(&mut self, pid: PageId) {
+        debug_assert!(!self.contains(pid), "page {pid} already in LRU list");
+        let old_head = self.head;
+        self.links.insert(
+            pid,
+            Links {
+                prev: None,
+                next: old_head,
+            },
+        );
+        if let Some(h) = old_head {
+            self.links.get_mut(&h).expect("head must be linked").prev = Some(pid);
+        }
+        self.head = Some(pid);
+        if self.tail.is_none() {
+            self.tail = Some(pid);
+        }
+    }
+
+    /// Remove `pid` from the list; returns `false` when absent.
+    pub(crate) fn remove(&mut self, pid: PageId) -> bool {
+        let Some(links) = self.links.remove(&pid) else {
+            return false;
+        };
+        match links.prev {
+            Some(p) => self.links.get_mut(&p).expect("prev must be linked").next = links.next,
+            None => self.head = links.next,
+        }
+        match links.next {
+            Some(n) => self.links.get_mut(&n).expect("next must be linked").prev = links.prev,
+            None => self.tail = links.prev,
+        }
+        true
+    }
+
+    /// Pop the least-recently-used page id.
+    pub(crate) fn pop_back(&mut self) -> Option<PageId> {
+        let victim = self.tail?;
+        self.remove(victim);
+        Some(victim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_when_no_touches() {
+        let mut l = LruList::new();
+        for pid in 0..5 {
+            l.push_front(pid);
+        }
+        assert_eq!(l.len(), 5);
+        // 0 was pushed first => least recently used.
+        assert_eq!(l.pop_back(), Some(0));
+        assert_eq!(l.pop_back(), Some(1));
+        assert_eq!(l.len(), 3);
+    }
+
+    #[test]
+    fn touch_moves_to_front() {
+        let mut l = LruList::new();
+        for pid in 0..4 {
+            l.push_front(pid);
+        }
+        // Touch page 0: remove + re-push.
+        assert!(l.remove(0));
+        l.push_front(0);
+        assert_eq!(l.pop_back(), Some(1));
+        assert_eq!(l.pop_back(), Some(2));
+        assert_eq!(l.pop_back(), Some(3));
+        assert_eq!(l.pop_back(), Some(0));
+        assert_eq!(l.pop_back(), None);
+    }
+
+    #[test]
+    fn remove_middle_head_tail() {
+        let mut l = LruList::new();
+        for pid in 0..3 {
+            l.push_front(pid);
+        }
+        assert!(l.remove(1)); // middle
+        assert!(l.remove(2)); // head
+        assert!(l.remove(0)); // tail (and only element)
+        assert_eq!(l.len(), 0);
+        assert_eq!(l.pop_back(), None);
+        assert!(!l.remove(7));
+    }
+
+    #[test]
+    fn interleaved_operations() {
+        let mut l = LruList::new();
+        l.push_front(10);
+        l.push_front(20);
+        assert_eq!(l.pop_back(), Some(10));
+        l.push_front(30);
+        assert!(l.contains(20));
+        assert!(l.contains(30));
+        assert_eq!(l.pop_back(), Some(20));
+        assert_eq!(l.pop_back(), Some(30));
+        assert_eq!(l.pop_back(), None);
+        assert_eq!(l.len(), 0);
+    }
+
+    #[test]
+    fn model_check_against_vecdeque() {
+        use std::collections::VecDeque;
+        let mut l = LruList::new();
+        let mut model: VecDeque<PageId> = VecDeque::new();
+        // Deterministic pseudo-random op sequence.
+        let mut state = 0x9e3779b9u32;
+        for _ in 0..2000 {
+            state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+            let op = state % 3;
+            let pid = (state >> 8) % 32;
+            match op {
+                0 => {
+                    if !l.contains(pid) {
+                        l.push_front(pid);
+                        model.push_front(pid);
+                    }
+                }
+                1 => {
+                    let was = l.remove(pid);
+                    let model_had = model.iter().any(|&x| x == pid);
+                    assert_eq!(was, model_had);
+                    model.retain(|&x| x != pid);
+                }
+                _ => {
+                    assert_eq!(l.pop_back(), model.pop_back());
+                }
+            }
+            assert_eq!(l.len(), model.len());
+        }
+    }
+}

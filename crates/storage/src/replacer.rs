@@ -1,0 +1,260 @@
+//! Frame replacement policies.
+//!
+//! The paper runs every experiment behind a buffer and cites Leutenegger
+//! & Lopez ("The Effect of Buffering on the Performance of R-Trees") for
+//! the setup; that study compares replacement policies on R-tree page
+//! streams. The pool therefore supports two:
+//!
+//! * **LRU** (default, and what the experiments use): exact
+//!   least-recently-used via a doubly-linked list.
+//! * **Clock** (second chance): an approximation that trades exactness
+//!   for O(1) state per frame and no list maintenance on hits — what
+//!   production buffer managers typically deploy.
+//!
+//! Both implement one interface over *unpinned* page ids: `insert` when a
+//! frame loses its last pin, `remove` when it is re-pinned, `evict` to
+//! pick a victim.
+
+use crate::lru::LruList;
+use crate::PageId;
+use std::collections::HashMap;
+
+/// Which replacement policy a [`crate::BufferPool`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Exact least-recently-used (the experiments' policy).
+    #[default]
+    Lru,
+    /// Clock / second chance: a frame's reference bit is set on insert
+    /// and spends one sweep being cleared before the frame is evictable.
+    Clock,
+}
+
+/// Policy-dispatched replacement state.
+#[derive(Debug)]
+pub(crate) enum Replacer {
+    Lru(LruList),
+    Clock(ClockRing),
+}
+
+impl Replacer {
+    pub(crate) fn new(policy: EvictionPolicy) -> Self {
+        match policy {
+            EvictionPolicy::Lru => Replacer::Lru(LruList::new()),
+            EvictionPolicy::Clock => Replacer::Clock(ClockRing::default()),
+        }
+    }
+
+    /// Number of unpinned frames tracked.
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Replacer::Lru(l) => l.len(),
+            Replacer::Clock(c) => c.live,
+        }
+    }
+
+    /// Track a frame that just lost its last pin.
+    pub(crate) fn insert(&mut self, pid: PageId) {
+        match self {
+            Replacer::Lru(l) => l.push_front(pid),
+            Replacer::Clock(c) => c.insert(pid),
+        }
+    }
+
+    /// Stop tracking a frame (it was re-pinned or force-evicted).
+    /// Returns `false` when the frame was not tracked.
+    pub(crate) fn remove(&mut self, pid: PageId) -> bool {
+        match self {
+            Replacer::Lru(l) => l.remove(pid),
+            Replacer::Clock(c) => c.remove(pid),
+        }
+    }
+
+    /// Choose and untrack a victim; `None` when empty.
+    pub(crate) fn evict(&mut self) -> Option<PageId> {
+        match self {
+            Replacer::Lru(l) => l.pop_back(),
+            Replacer::Clock(c) => c.evict(),
+        }
+    }
+}
+
+/// A clock over a growable slot vector. Removed entries leave tombstones
+/// that the sweep skips; the vector is compacted when tombstones dominate
+/// so memory stays proportional to the live count.
+#[derive(Debug, Default)]
+pub(crate) struct ClockRing {
+    /// `(pid, referenced)` or a tombstone.
+    slots: Vec<Option<(PageId, bool)>>,
+    /// pid → slot index.
+    pos: HashMap<PageId, usize>,
+    /// The clock hand: next slot the sweep examines.
+    hand: usize,
+    /// Number of live (non-tombstone) slots.
+    live: usize,
+}
+
+impl ClockRing {
+    fn insert(&mut self, pid: PageId) {
+        debug_assert!(!self.pos.contains_key(&pid), "page {pid} already in clock");
+        self.pos.insert(pid, self.slots.len());
+        self.slots.push(Some((pid, true)));
+        self.live += 1;
+    }
+
+    fn remove(&mut self, pid: PageId) -> bool {
+        match self.pos.remove(&pid) {
+            Some(idx) => {
+                self.slots[idx] = None;
+                self.live -= 1;
+                self.maybe_compact();
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn evict(&mut self) -> Option<PageId> {
+        if self.live == 0 {
+            return None;
+        }
+        // At most two sweeps: the first clears reference bits, the second
+        // must find a victim.
+        for _ in 0..2 * self.slots.len() {
+            if self.hand >= self.slots.len() {
+                self.hand = 0;
+            }
+            let idx = self.hand;
+            self.hand += 1;
+            match &mut self.slots[idx] {
+                None => {}
+                Some((_, referenced @ true)) => *referenced = false, // second chance
+                Some((pid, false)) => {
+                    let pid = *pid;
+                    self.slots[idx] = None;
+                    self.pos.remove(&pid);
+                    self.live -= 1;
+                    self.maybe_compact();
+                    return Some(pid);
+                }
+            }
+        }
+        unreachable!("a live entry must be evictable within two sweeps");
+    }
+
+    /// Rebuild without tombstones, preserving sweep order from the hand.
+    fn maybe_compact(&mut self) {
+        if self.slots.len() < 32 || self.slots.len() < 2 * self.live.max(1) {
+            return;
+        }
+        let n = self.slots.len();
+        let mut fresh = Vec::with_capacity(self.live);
+        for i in 0..n {
+            let idx = (self.hand + i) % n;
+            if let Some(entry) = self.slots[idx] {
+                fresh.push(Some(entry));
+            }
+        }
+        self.pos = fresh
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.expect("compacted entries are live").0, i))
+            .collect();
+        self.slots = fresh;
+        self.hand = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_gives_second_chance() {
+        let mut r = Replacer::new(EvictionPolicy::Clock);
+        r.insert(1);
+        r.insert(2);
+        r.insert(3);
+        // First sweep clears 1, 2, 3's bits; the sweep continues and
+        // evicts 1 (oldest with a cleared bit).
+        assert_eq!(r.evict(), Some(1));
+        // Re-reference 2 by re-pin/unpin: remove + insert sets its bit.
+        assert!(r.remove(2));
+        r.insert(2);
+        // 3's bit is already clear → evicted before the re-referenced 2.
+        assert_eq!(r.evict(), Some(3));
+        assert_eq!(r.evict(), Some(2));
+        assert_eq!(r.evict(), None);
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn lru_exact_order() {
+        let mut r = Replacer::new(EvictionPolicy::Lru);
+        r.insert(1);
+        r.insert(2);
+        r.insert(3);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.evict(), Some(1));
+        assert!(r.remove(2));
+        r.insert(2); // 2 becomes most recent
+        assert_eq!(r.evict(), Some(3));
+        assert_eq!(r.evict(), Some(2));
+        assert_eq!(r.evict(), None);
+    }
+
+    #[test]
+    fn remove_absent_is_false() {
+        for policy in [EvictionPolicy::Lru, EvictionPolicy::Clock] {
+            let mut r = Replacer::new(policy);
+            assert!(!r.remove(9));
+            r.insert(9);
+            assert!(r.remove(9));
+            assert!(!r.remove(9));
+            assert_eq!(r.evict(), None);
+        }
+    }
+
+    #[test]
+    fn clock_compaction_preserves_entries() {
+        let mut r = Replacer::new(EvictionPolicy::Clock);
+        // Heavy churn to force tombstone buildup and compaction.
+        for pid in 0..200u32 {
+            r.insert(pid);
+        }
+        for pid in 0..150u32 {
+            assert!(r.remove(pid));
+        }
+        assert_eq!(r.len(), 50);
+        // All 50 survivors must come out exactly once.
+        let mut evicted = Vec::new();
+        while let Some(pid) = r.evict() {
+            evicted.push(pid);
+        }
+        evicted.sort_unstable();
+        let expect: Vec<u32> = (150..200).collect();
+        assert_eq!(evicted, expect);
+    }
+
+    #[test]
+    fn clock_interleaved_churn_is_consistent() {
+        let mut r = Replacer::new(EvictionPolicy::Clock);
+        let mut tracked = std::collections::HashSet::new();
+        for round in 0..500u32 {
+            let pid = round % 37;
+            if tracked.contains(&pid) {
+                assert!(r.remove(pid));
+                tracked.remove(&pid);
+            } else {
+                r.insert(pid);
+                tracked.insert(pid);
+            }
+            if round % 11 == 0 {
+                if let Some(victim) = r.evict() {
+                    assert!(tracked.remove(&victim), "evicted untracked {victim}");
+                }
+            }
+            assert_eq!(r.len(), tracked.len());
+        }
+    }
+}

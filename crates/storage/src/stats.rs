@@ -1,0 +1,183 @@
+//! Physical/logical I/O accounting.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic I/O counters owned by a [`crate::BufferPool`].
+///
+/// *Physical* reads and writes are transfers between the pool and the
+/// disk; *logical* fetches count every page request regardless of whether
+/// it hit the pool. The paper's "Avg Disk I/O" metric is
+/// `(physical reads + physical writes) / operations`, measured as deltas
+/// of [`IoSnapshot`]s around each batch of operations.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    reads: AtomicU64,
+    writes: AtomicU64,
+    fetches: AtomicU64,
+    allocations: AtomicU64,
+}
+
+impl IoStats {
+    /// Fresh zeroed counters.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one physical page read.
+    #[inline]
+    pub fn record_read(&self) {
+        self.reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one physical page write.
+    #[inline]
+    pub fn record_write(&self) {
+        self.writes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one logical fetch (hit or miss).
+    #[inline]
+    pub fn record_fetch(&self) {
+        self.fetches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one page allocation.
+    #[inline]
+    pub fn record_allocation(&self) {
+        self.allocations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Capture the current counter values.
+    #[must_use]
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            fetches: self.fetches.load(Ordering::Relaxed),
+            allocations: self.allocations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero (between experiment phases).
+    pub fn reset(&self) {
+        self.reads.store(0, Ordering::Relaxed);
+        self.writes.store(0, Ordering::Relaxed);
+        self.fetches.store(0, Ordering::Relaxed);
+        self.allocations.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`IoStats`], supporting subtraction to obtain
+/// per-phase deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct IoSnapshot {
+    /// Physical page reads.
+    pub reads: u64,
+    /// Physical page writes.
+    pub writes: u64,
+    /// Logical fetches (pool hits + misses).
+    pub fetches: u64,
+    /// Pages allocated.
+    pub allocations: u64,
+}
+
+impl IoSnapshot {
+    /// Total physical transfers — the paper's "disk I/O".
+    #[must_use]
+    pub fn physical(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Counter-wise difference `self − earlier` (saturating).
+    #[must_use]
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads.saturating_sub(earlier.reads),
+            writes: self.writes.saturating_sub(earlier.writes),
+            fetches: self.fetches.saturating_sub(earlier.fetches),
+            allocations: self.allocations.saturating_sub(earlier.allocations),
+        }
+    }
+
+    /// Buffer hit ratio over this snapshot's window (`1 − reads/fetches`);
+    /// `None` when no fetches happened.
+    #[must_use]
+    pub fn hit_ratio(&self) -> Option<f64> {
+        if self.fetches == 0 {
+            None
+        } else {
+            Some(1.0 - self.reads as f64 / self.fetches as f64)
+        }
+    }
+}
+
+impl fmt::Display for IoSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "reads={} writes={} fetches={} allocs={}",
+            self.reads, self.writes, self.fetches, self.allocations
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let s = IoStats::new();
+        s.record_read();
+        s.record_read();
+        s.record_write();
+        s.record_fetch();
+        s.record_allocation();
+        let snap = s.snapshot();
+        assert_eq!(snap.reads, 2);
+        assert_eq!(snap.writes, 1);
+        assert_eq!(snap.fetches, 1);
+        assert_eq!(snap.allocations, 1);
+        assert_eq!(snap.physical(), 3);
+    }
+
+    #[test]
+    fn delta_between_snapshots() {
+        let s = IoStats::new();
+        s.record_read();
+        let a = s.snapshot();
+        s.record_read();
+        s.record_write();
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.reads, 1);
+        assert_eq!(d.writes, 1);
+        assert_eq!(d.physical(), 2);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = IoStats::new();
+        s.record_read();
+        s.reset();
+        assert_eq!(s.snapshot(), IoSnapshot::default());
+    }
+
+    #[test]
+    fn hit_ratio() {
+        let mut snap = IoSnapshot::default();
+        assert!(snap.hit_ratio().is_none());
+        snap.fetches = 10;
+        snap.reads = 2;
+        assert!((snap.hit_ratio().unwrap() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = IoStats::new();
+        s.record_write();
+        assert!(s.snapshot().to_string().contains("writes=1"));
+    }
+}

@@ -1,0 +1,147 @@
+//! Initial data distributions (Table 1: Uniform, Gaussian, Skewed).
+
+use bur_geom::Point;
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Initial placement of the objects over the unit square.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DataDistribution {
+    /// Independently uniform per axis (the paper's default).
+    #[default]
+    Uniform,
+    /// Clustered around the center of the space: per-axis normal with
+    /// mean 0.5 and σ = 0.15, clamped to the unit square. Sampled with
+    /// Box–Muller (no extra dependency).
+    Gaussian,
+    /// Mass concentrated near the origin corner: per-axis `u³` for
+    /// uniform `u`, leaving most of the space empty — which is what makes
+    /// the paper's skewed queries cheap (Figure 6(d)).
+    Skewed,
+}
+
+impl DataDistribution {
+    /// Parse the names used by the experiment harness CLI.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "uniform" => Some(Self::Uniform),
+            "gaussian" | "normal" => Some(Self::Gaussian),
+            "skew" | "skewed" => Some(Self::Skewed),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Uniform => "Uniform",
+            Self::Gaussian => "Gaussian",
+            Self::Skewed => "Skew",
+        }
+    }
+
+    /// Draw one initial position.
+    pub fn sample(&self, rng: &mut StdRng) -> Point {
+        match self {
+            Self::Uniform => Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0)),
+            Self::Gaussian => {
+                let (a, b) = box_muller(rng);
+                Point::new(
+                    (0.5 + 0.15 * a).clamp(0.0, 1.0),
+                    (0.5 + 0.15 * b).clamp(0.0, 1.0),
+                )
+            }
+            Self::Skewed => {
+                let u: f32 = rng.random_range(0.0..1.0);
+                let v: f32 = rng.random_range(0.0..1.0);
+                Point::new(u * u * u, v * v * v)
+            }
+        }
+    }
+}
+
+/// One Box–Muller draw: two independent standard normals.
+fn box_muller(rng: &mut StdRng) -> (f32, f32) {
+    // Avoid ln(0).
+    let u1: f32 = rng.random_range(f32::MIN_POSITIVE..1.0);
+    let u2: f32 = rng.random_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f32::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn samples(d: DataDistribution, n: usize) -> Vec<Point> {
+        let mut rng = StdRng::seed_from_u64(42);
+        (0..n).map(|_| d.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn all_samples_in_unit_square() {
+        for d in [
+            DataDistribution::Uniform,
+            DataDistribution::Gaussian,
+            DataDistribution::Skewed,
+        ] {
+            for p in samples(d, 5_000) {
+                assert!((0.0..=1.0).contains(&p.x), "{d:?}: {p}");
+                assert!((0.0..=1.0).contains(&p.y), "{d:?}: {p}");
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_covers_quadrants_evenly() {
+        let pts = samples(DataDistribution::Uniform, 10_000);
+        let q1 = pts.iter().filter(|p| p.x < 0.5 && p.y < 0.5).count();
+        assert!((2_000..3_000).contains(&q1), "quadrant count {q1}");
+    }
+
+    #[test]
+    fn gaussian_concentrates_center() {
+        let pts = samples(DataDistribution::Gaussian, 10_000);
+        let near = pts
+            .iter()
+            .filter(|p| (p.x - 0.5).abs() < 0.3 && (p.y - 0.5).abs() < 0.3)
+            .count();
+        // 2σ box captures ~91 % of mass per axis.
+        assert!(near > 8_500, "only {near} near center");
+    }
+
+    #[test]
+    fn skewed_concentrates_origin() {
+        let pts = samples(DataDistribution::Skewed, 10_000);
+        let near = pts.iter().filter(|p| p.x < 0.25 && p.y < 0.25).count();
+        // u³ < 0.25 for u < 0.63 per axis → ~39 % jointly.
+        assert!(near > 3_000, "only {near} near origin");
+        let far = pts.iter().filter(|p| p.x > 0.75 && p.y > 0.75).count();
+        assert!(far < 500, "{far} in the far corner");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = samples(DataDistribution::Gaussian, 100);
+        let b = samples(DataDistribution::Gaussian, 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(
+            DataDistribution::parse("uniform"),
+            Some(DataDistribution::Uniform)
+        );
+        assert_eq!(
+            DataDistribution::parse("Gaussian"),
+            Some(DataDistribution::Gaussian)
+        );
+        assert_eq!(DataDistribution::parse("skew"), Some(DataDistribution::Skewed));
+        assert_eq!(DataDistribution::parse("zipf"), None);
+        assert_eq!(DataDistribution::Skewed.name(), "Skew");
+    }
+}

@@ -1,0 +1,489 @@
+//! The workload generator: evolving object positions, update steps and
+//! query windows.
+
+use crate::DataDistribution;
+use bur_geom::{Point, Rect};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// How objects move between consecutive updates.
+///
+/// The paper's experiments use random-direction movement; Section 5.1.4
+/// additionally discusses "larger movement or persistent movement
+/// according to a trend" as the case GBU's ascent handles. GSTD (the
+/// generator the paper emulates) supports both modes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum MovementModel {
+    /// Direction uniform per step — diffusive motion (paper default).
+    #[default]
+    RandomWalk,
+    /// Each object keeps a persistent heading assigned at generation
+    /// time; every step deviates from it by at most `jitter` radians —
+    /// ballistic motion that drifts across leaf boundaries in a stable
+    /// direction ("persistent movement according to a trend").
+    Trend {
+        /// Maximum per-step angular deviation from the heading (radians).
+        jitter: f32,
+    },
+}
+
+/// Generator configuration (one row of the paper's Table 1 sweep space).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of moving objects ("Database size").
+    pub num_objects: usize,
+    /// Initial placement.
+    pub distribution: DataDistribution,
+    /// Maximum distance an object travels between consecutive updates;
+    /// the travelled distance is uniform in `[0, max_distance]` with a
+    /// uniformly random direction. Paper default: 0.06.
+    pub max_distance: f32,
+    /// Direction model for the movement (random walk or trend).
+    pub movement: MovementModel,
+    /// Query rectangles are uniform with both dimensions in
+    /// `[0, query_max_side]`. Paper default: 0.1 (0.01 for the
+    /// throughput study).
+    pub query_max_side: f32,
+    /// RNG seed — every stream derived from this config is deterministic.
+    pub seed: u64,
+    /// Clamp positions to the unit square. The paper does *not* clamp:
+    /// Section 5.1.3 attributes TD's degradation partly to "objects
+    /// beyond the root MBR", i.e. the population diffuses outward and
+    /// the index must expand with it. Clamping is available for tests
+    /// that need bounded coordinates.
+    pub clamp: bool,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            num_objects: 100_000,
+            distribution: DataDistribution::Uniform,
+            max_distance: 0.06,
+            movement: MovementModel::RandomWalk,
+            query_max_side: 0.1,
+            seed: 0x6057_D003,
+            clamp: false,
+        }
+    }
+}
+
+/// One update step: object `oid` moves from `old` to `new`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateOp {
+    /// Object identifier (dense, `0..num_objects`).
+    pub oid: u64,
+    /// Position before the move.
+    pub old: Point,
+    /// Position after the move.
+    pub new: Point,
+}
+
+/// One query step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryOp {
+    /// The query window.
+    pub window: Rect,
+}
+
+/// An evolving moving-object workload.
+///
+/// The generator owns the current position of every object so that
+/// update streams are *consistent*: each step reports the true previous
+/// position, which the index's `update(oid, old, new)` API requires —
+/// exactly like a real monitoring application that knows the last
+/// reported state of each object.
+///
+/// ```
+/// use bur_workload::{Workload, WorkloadConfig};
+///
+/// let mut wl = Workload::generate(WorkloadConfig {
+///     num_objects: 100,
+///     seed: 7,
+///     ..WorkloadConfig::default()
+/// });
+/// let op = wl.next_update();
+/// assert_eq!(wl.positions()[op.oid as usize], op.new);
+/// let q = wl.next_query();
+/// assert!(q.window.is_valid());
+/// ```
+#[derive(Debug)]
+pub struct Workload {
+    config: WorkloadConfig,
+    positions: Vec<Point>,
+    /// Per-object heading, populated only for [`MovementModel::Trend`].
+    headings: Vec<f32>,
+    rng: StdRng,
+}
+
+/// Sample the movement direction for one step.
+fn step_direction(rng: &mut StdRng, movement: MovementModel, heading: f32) -> f32 {
+    match movement {
+        MovementModel::RandomWalk => rng.random_range(0.0..std::f32::consts::TAU),
+        MovementModel::Trend { jitter } => {
+            if jitter > 0.0 {
+                heading + rng.random_range(-jitter..=jitter)
+            } else {
+                heading
+            }
+        }
+    }
+}
+
+impl Workload {
+    /// Generate the initial object placement.
+    #[must_use]
+    pub fn generate(config: WorkloadConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let positions: Vec<Point> = (0..config.num_objects)
+            .map(|_| config.distribution.sample(&mut rng))
+            .collect();
+        let headings = match config.movement {
+            MovementModel::RandomWalk => Vec::new(),
+            MovementModel::Trend { .. } => (0..config.num_objects)
+                .map(|_| rng.random_range(0.0..std::f32::consts::TAU))
+                .collect(),
+        };
+        Self {
+            config,
+            positions,
+            headings,
+            rng,
+        }
+    }
+
+    /// The configuration this workload was generated from.
+    #[must_use]
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Current position of every object (index = oid).
+    #[must_use]
+    pub fn positions(&self) -> &[Point] {
+        &self.positions
+    }
+
+    /// `(oid, position)` pairs for bulk loading.
+    #[must_use]
+    pub fn items(&self) -> Vec<(u64, Point)> {
+        self.positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i as u64, p))
+            .collect()
+    }
+
+    /// Produce the next update step: a uniformly chosen object travels a
+    /// uniform distance in `[0, max_distance]` in a direction given by
+    /// the movement model (uniform for the random walk, near its
+    /// persistent heading for trend movement).
+    pub fn next_update(&mut self) -> UpdateOp {
+        let oid = self.rng.random_range(0..self.positions.len() as u64);
+        let old = self.positions[oid as usize];
+        let dist = self.rng.random_range(0.0..=self.config.max_distance);
+        let heading = self.headings.get(oid as usize).copied().unwrap_or(0.0);
+        let theta = step_direction(&mut self.rng, self.config.movement, heading);
+        let mut new = old.translated(dist * theta.cos(), dist * theta.sin());
+        if self.config.clamp {
+            new = new.clamped(0.0, 1.0);
+        }
+        self.positions[oid as usize] = new;
+        UpdateOp { oid, old, new }
+    }
+
+    /// Produce the next query window: uniform position, dimensions
+    /// uniform in `[0, query_max_side]`, clipped to the unit square.
+    pub fn next_query(&mut self) -> QueryOp {
+        let w = self.rng.random_range(0.0..=self.config.query_max_side);
+        let h = self.rng.random_range(0.0..=self.config.query_max_side);
+        let x = self.rng.random_range(0.0..(1.0 - w).max(f32::MIN_POSITIVE));
+        let y = self.rng.random_range(0.0..(1.0 - h).max(f32::MIN_POSITIVE));
+        QueryOp {
+            window: Rect::new(x, y, x + w, y + h),
+        }
+    }
+
+    /// Split the workload into `parts` disjoint sub-workloads (by object
+    /// id range) for multi-threaded drivers: each part owns its objects'
+    /// positions, so concurrent updates never disagree about an object's
+    /// previous position. Part `i` receives a distinct derived seed.
+    #[must_use]
+    pub fn split(self, parts: usize) -> Vec<PartWorkload> {
+        assert!(parts >= 1);
+        let chunk = self.positions.len().div_ceil(parts);
+        let mut out = Vec::with_capacity(parts);
+        for (i, slice) in self.positions.chunks(chunk).enumerate() {
+            let lo = i * chunk;
+            let headings = if self.headings.is_empty() {
+                Vec::new()
+            } else {
+                self.headings[lo..(lo + slice.len()).min(self.headings.len())].to_vec()
+            };
+            out.push(PartWorkload {
+                base_oid: lo as u64,
+                positions: slice.to_vec(),
+                headings,
+                max_distance: self.config.max_distance,
+                movement: self.config.movement,
+                query_max_side: self.config.query_max_side,
+                clamp: self.config.clamp,
+                rng: StdRng::seed_from_u64(self.config.seed ^ (0x9E37 + i as u64 * 0x51_7CC1)),
+            });
+        }
+        out
+    }
+}
+
+/// A thread-private slice of a [`Workload`] (see [`Workload::split`]).
+#[derive(Debug)]
+pub struct PartWorkload {
+    base_oid: u64,
+    positions: Vec<Point>,
+    headings: Vec<f32>,
+    max_distance: f32,
+    movement: MovementModel,
+    query_max_side: f32,
+    clamp: bool,
+    rng: StdRng,
+}
+
+impl PartWorkload {
+    /// Next update within this part's object range.
+    pub fn next_update(&mut self) -> UpdateOp {
+        let local = self.rng.random_range(0..self.positions.len() as u64);
+        let old = self.positions[local as usize];
+        let dist = self.rng.random_range(0.0..=self.max_distance);
+        let heading = self.headings.get(local as usize).copied().unwrap_or(0.0);
+        let theta = step_direction(&mut self.rng, self.movement, heading);
+        let mut new = old.translated(dist * theta.cos(), dist * theta.sin());
+        if self.clamp {
+            new = new.clamped(0.0, 1.0);
+        }
+        self.positions[local as usize] = new;
+        UpdateOp {
+            oid: self.base_oid + local,
+            old,
+            new,
+        }
+    }
+
+    /// Next query window.
+    pub fn next_query(&mut self) -> QueryOp {
+        let w = self.rng.random_range(0.0..=self.query_max_side);
+        let h = self.rng.random_range(0.0..=self.query_max_side);
+        let x = self.rng.random_range(0.0..(1.0 - w).max(f32::MIN_POSITIVE));
+        let y = self.rng.random_range(0.0..(1.0 - h).max(f32::MIN_POSITIVE));
+        QueryOp {
+            window: Rect::new(x, y, x + w, y + h),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(n: usize) -> WorkloadConfig {
+        WorkloadConfig {
+            num_objects: n,
+            ..WorkloadConfig::default()
+        }
+    }
+
+    #[test]
+    fn initial_positions_deterministic() {
+        let a = Workload::generate(config(500));
+        let b = Workload::generate(config(500));
+        assert_eq!(a.positions(), b.positions());
+        assert_eq!(a.items().len(), 500);
+        assert_eq!(a.items()[7].0, 7);
+    }
+
+    #[test]
+    fn updates_respect_max_distance_and_bounds() {
+        let mut w = Workload::generate(WorkloadConfig {
+            num_objects: 200,
+            max_distance: 0.03,
+            clamp: true,
+            ..WorkloadConfig::default()
+        });
+        for _ in 0..5_000 {
+            let op = w.next_update();
+            // Movement before clamping is bounded by max_distance; the
+            // clamp can only shorten it.
+            assert!(
+                op.old.distance(&op.new) <= 0.03 + 1e-6,
+                "moved too far: {} -> {}",
+                op.old,
+                op.new
+            );
+            assert!((0.0..=1.0).contains(&op.new.x));
+            assert!((0.0..=1.0).contains(&op.new.y));
+            // Generator state is consistent.
+            assert_eq!(w.positions()[op.oid as usize], op.new);
+        }
+    }
+
+    #[test]
+    fn update_old_positions_track_reality() {
+        let mut w = Workload::generate(config(50));
+        let mut shadow: Vec<Point> = w.positions().to_vec();
+        for _ in 0..2_000 {
+            let op = w.next_update();
+            assert_eq!(shadow[op.oid as usize], op.old, "stale old position");
+            shadow[op.oid as usize] = op.new;
+        }
+    }
+
+    #[test]
+    fn queries_within_unit_square_and_size() {
+        let mut w = Workload::generate(WorkloadConfig {
+            num_objects: 10,
+            query_max_side: 0.1,
+            ..WorkloadConfig::default()
+        });
+        for _ in 0..2_000 {
+            let q = w.next_query().window;
+            assert!(q.is_valid());
+            assert!(q.width() <= 0.1 + 1e-6);
+            assert!(q.height() <= 0.1 + 1e-6);
+            assert!(Rect::UNIT.contains_rect(&q), "query {q} escapes");
+        }
+    }
+
+    #[test]
+    fn split_partitions_objects() {
+        let w = Workload::generate(config(1_000));
+        let before = w.positions().to_vec();
+        let mut parts = w.split(4);
+        assert_eq!(parts.len(), 4);
+        // Each part updates only its own range.
+        let mut seen = std::collections::HashSet::new();
+        for (i, part) in parts.iter_mut().enumerate() {
+            for _ in 0..200 {
+                let op = part.next_update();
+                let lo = i as u64 * 250;
+                assert!((lo..lo + 250).contains(&op.oid), "oid {} in part {i}", op.oid);
+                seen.insert(op.oid);
+            }
+        }
+        assert!(seen.len() > 300, "parts should cover many objects");
+        // Initial positions agreed with the unsplit workload.
+        let w2 = Workload::generate(config(1_000));
+        assert_eq!(w2.positions(), &before[..]);
+    }
+
+    #[test]
+    fn trend_movement_is_ballistic() {
+        // Over many steps, trend movement covers distance linearly while
+        // a random walk diffuses (~√steps): net displacement of trending
+        // objects must dwarf the random walk's.
+        let steps = 200 * 64;
+        let displacement = |movement: MovementModel| {
+            let mut w = Workload::generate(WorkloadConfig {
+                num_objects: 64,
+                max_distance: 0.01,
+                movement,
+                ..WorkloadConfig::default()
+            });
+            let start = w.positions().to_vec();
+            for _ in 0..steps {
+                w.next_update();
+            }
+            let total: f32 = w
+                .positions()
+                .iter()
+                .zip(&start)
+                .map(|(a, b)| a.distance(b))
+                .sum();
+            total / 64.0
+        };
+        let walk = displacement(MovementModel::RandomWalk);
+        let trend = displacement(MovementModel::Trend { jitter: 0.1 });
+        assert!(
+            trend > 3.0 * walk,
+            "trend displacement {trend} not ballistic vs walk {walk}"
+        );
+    }
+
+    #[test]
+    fn zero_jitter_trend_moves_in_a_straight_line() {
+        let mut w = Workload::generate(WorkloadConfig {
+            num_objects: 4,
+            max_distance: 0.01,
+            movement: MovementModel::Trend { jitter: 0.0 },
+            ..WorkloadConfig::default()
+        });
+        // Record each object's per-step unit direction; all steps of one
+        // object must agree.
+        let mut dirs: Vec<Option<(f32, f32)>> = vec![None; 4];
+        for _ in 0..400 {
+            let op = w.next_update();
+            let (dx, dy) = (op.new.x - op.old.x, op.new.y - op.old.y);
+            let len = (dx * dx + dy * dy).sqrt();
+            if len < 1e-4 {
+                continue; // too short: f32 cancellation destroys the direction
+            }
+            let d = (dx / len, dy / len);
+            match dirs[op.oid as usize] {
+                None => dirs[op.oid as usize] = Some(d),
+                Some((ux, uy)) => {
+                    assert!(
+                        (ux - d.0).abs() < 1e-2 && (uy - d.1).abs() < 1e-2,
+                        "object {} changed direction: {:?} vs {:?}",
+                        op.oid,
+                        (ux, uy),
+                        d
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_preserves_trend_headings() {
+        let w = Workload::generate(WorkloadConfig {
+            num_objects: 100,
+            max_distance: 0.01,
+            movement: MovementModel::Trend { jitter: 0.0 },
+            ..WorkloadConfig::default()
+        });
+        let mut parts = w.split(4);
+        // Straight-line movement must hold within each part as well.
+        for part in &mut parts {
+            let mut dirs: std::collections::HashMap<u64, (f32, f32)> = Default::default();
+            for _ in 0..200 {
+                let op = part.next_update();
+                let (dx, dy) = (op.new.x - op.old.x, op.new.y - op.old.y);
+                let len = (dx * dx + dy * dy).sqrt();
+                if len < 1e-4 {
+                    continue;
+                }
+                let d = (dx / len, dy / len);
+                if let Some((ux, uy)) = dirs.insert(op.oid, d) {
+                    assert!(
+                        (ux - d.0).abs() < 1e-2 && (uy - d.1).abs() < 1e-2,
+                        "object {} changed direction inside a part",
+                        op.oid
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_distinct_streams() {
+        let mut a = Workload::generate(WorkloadConfig {
+            seed: 1,
+            ..config(100)
+        });
+        let mut b = Workload::generate(WorkloadConfig {
+            seed: 2,
+            ..config(100)
+        });
+        let ops_a: Vec<UpdateOp> = (0..10).map(|_| a.next_update()).collect();
+        let ops_b: Vec<UpdateOp> = (0..10).map(|_| b.next_update()).collect();
+        assert_ne!(ops_a, ops_b);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the workload generator.
+
+use bur_workload::{DataDistribution, MovementModel, Workload, WorkloadConfig};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = WorkloadConfig> {
+    (
+        1usize..500,
+        0u8..3,
+        0.001f32..0.2,
+        prop_oneof![
+            Just(MovementModel::RandomWalk),
+            (0.0f32..1.5).prop_map(|jitter| MovementModel::Trend { jitter }),
+        ],
+        0.01f32..0.3,
+        any::<u64>(),
+        any::<bool>(),
+    )
+        .prop_map(|(n, d, max_dist, movement, q, seed, clamp)| WorkloadConfig {
+            num_objects: n,
+            distribution: match d {
+                0 => DataDistribution::Uniform,
+                1 => DataDistribution::Gaussian,
+                _ => DataDistribution::Skewed,
+            },
+            max_distance: max_dist,
+            movement,
+            query_max_side: q,
+            seed,
+            clamp,
+        })
+}
+
+proptest! {
+    #[test]
+    fn generation_is_deterministic(cfg in arb_config()) {
+        let mut a = Workload::generate(cfg);
+        let mut b = Workload::generate(cfg);
+        prop_assert_eq!(a.positions(), b.positions());
+        for _ in 0..20 {
+            prop_assert_eq!(a.next_update(), b.next_update());
+            prop_assert_eq!(a.next_query(), b.next_query());
+        }
+    }
+
+    #[test]
+    fn initial_positions_inside_unit_square(cfg in arb_config()) {
+        let w = Workload::generate(cfg);
+        for p in w.positions() {
+            prop_assert!((0.0..=1.0).contains(&p.x));
+            prop_assert!((0.0..=1.0).contains(&p.y));
+        }
+    }
+
+    #[test]
+    fn moves_bounded_and_tracked(cfg in arb_config()) {
+        let mut w = Workload::generate(cfg);
+        let mut shadow = w.positions().to_vec();
+        for _ in 0..100 {
+            let op = w.next_update();
+            prop_assert_eq!(shadow[op.oid as usize], op.old, "stale old position");
+            // The step (before any clamping) is bounded by max_distance;
+            // clamping can only shorten it.
+            prop_assert!(
+                op.old.distance(&op.new) <= cfg.max_distance + 1e-5,
+                "move too long: {} -> {}", op.old, op.new
+            );
+            if cfg.clamp {
+                prop_assert!((0.0..=1.0).contains(&op.new.x));
+                prop_assert!((0.0..=1.0).contains(&op.new.y));
+            }
+            shadow[op.oid as usize] = op.new;
+        }
+        prop_assert_eq!(&shadow[..], w.positions());
+    }
+
+    #[test]
+    fn queries_valid_and_bounded(cfg in arb_config()) {
+        let mut w = Workload::generate(cfg);
+        for _ in 0..100 {
+            let q = w.next_query().window;
+            prop_assert!(q.is_valid());
+            prop_assert!(q.width() <= cfg.query_max_side + 1e-5);
+            prop_assert!(q.height() <= cfg.query_max_side + 1e-5);
+        }
+    }
+
+    #[test]
+    fn split_partitions_ids_exactly(cfg in arb_config(), parts in 1usize..8) {
+        let w = Workload::generate(cfg);
+        let n = w.positions().len();
+        let mut split = w.split(parts);
+        // Drive every part; every produced oid must fall in the part's
+        // disjoint range and collectively stay within 0..n.
+        let chunk = n.div_ceil(parts);
+        for (i, part) in split.iter_mut().enumerate() {
+            for _ in 0..20 {
+                let op = part.next_update();
+                let lo = (i * chunk) as u64;
+                let hi = (((i + 1) * chunk).min(n)) as u64;
+                prop_assert!((lo..hi).contains(&op.oid), "oid {} outside part {i}", op.oid);
+            }
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Fleet tracking: the moving-object scenario that motivates the paper.
+//!
+//! A fleet of vehicles reports positions continuously; dispatch runs
+//! window queries concurrently. This example compares the classic
+//! top-down update strategy with the paper's generalized bottom-up
+//! strategy on the *same* stream, reporting average physical I/O per
+//! operation and the distribution of bottom-up outcomes.
+//!
+//! ```sh
+//! cargo run --release --example fleet_tracking
+//! ```
+
+use bur::prelude::*;
+
+const VEHICLES: usize = 20_000;
+const REPORTS: usize = 60_000;
+const QUERIES: usize = 200;
+
+fn drive(opts: IndexOptions, label: &str) -> CoreResult<()> {
+    // City fleet: positions clustered around a few depots (Gaussian),
+    // short hops between reports (locality-preserving updates), each
+    // vehicle drifting along its route (trend movement).
+    let mut workload = Workload::generate(WorkloadConfig {
+        num_objects: VEHICLES,
+        distribution: DataDistribution::Gaussian,
+        max_distance: 0.008, // short hops relative to the city
+        movement: MovementModel::Trend { jitter: 0.4 },
+        query_max_side: 0.05,
+        seed: 0xF1EE7,
+        clamp: false,
+    });
+
+    let mut index = RTreeIndex::create_in_memory(opts)?;
+    for (oid, pos) in workload.items() {
+        index.insert(oid, pos)?;
+    }
+
+    // Size the buffer like the paper: 1 % of the database pages.
+    let pages = index.data_pages()?;
+    index.set_buffer_capacity((pages as f64 * 0.01).round() as usize)?;
+    index.pool().evict_all()?;
+    index.io_stats().reset();
+    index.op_stats().reset();
+
+    // Position reports stream in.
+    let before = index.io_stats().snapshot();
+    for _ in 0..REPORTS {
+        let op = workload.next_update();
+        index.update(op.oid, op.old, op.new)?;
+    }
+    let upd_io = index.io_stats().snapshot().since(&before);
+
+    // Dispatch queries: "which vehicles are near this incident?"
+    let before = index.io_stats().snapshot();
+    let mut found = 0usize;
+    for _ in 0..QUERIES {
+        let q = workload.next_query();
+        found += index.query(&q.window)?.len();
+    }
+    let qry_io = index.io_stats().snapshot().since(&before);
+
+    println!("--- {label} ---");
+    println!(
+        "  updates: {:.2} I/O per position report",
+        upd_io.physical() as f64 / REPORTS as f64
+    );
+    println!(
+        "  queries: {:.1} I/O per dispatch query ({} vehicles found)",
+        qry_io.physical() as f64 / QUERIES as f64,
+        found
+    );
+    println!("  {}", index.op_stats().snapshot());
+    index.validate()?;
+    Ok(())
+}
+
+fn main() -> CoreResult<()> {
+    println!(
+        "fleet of {VEHICLES} vehicles, {REPORTS} position reports, {QUERIES} dispatch queries\n"
+    );
+    drive(IndexOptions::top_down(), "top-down updates (classic R-tree)")?;
+    drive(
+        IndexOptions::generalized(),
+        "generalized bottom-up updates (the paper)",
+    )?;
+    Ok(())
+}

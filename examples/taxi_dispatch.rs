@@ -1,0 +1,83 @@
+//! Taxi dispatch: nearest-neighbor matching over a moving fleet.
+//!
+//! Taxis stream position updates (bottom-up, GBU); riders request rides
+//! and the dispatcher answers with the k closest available taxis (the
+//! library's best-first kNN extension) plus a surge check counting taxis
+//! inside the pickup zone (`within_distance`).
+//!
+//! ```sh
+//! cargo run --release --example taxi_dispatch
+//! ```
+
+use bur::prelude::*;
+
+const TAXIS: usize = 10_000;
+const TICKS: usize = 40_000;
+const REQUESTS: usize = 500;
+
+fn main() -> CoreResult<()> {
+    // Taxis cruise along persistent headings (trend movement) through a
+    // city whose demand is densest downtown (Gaussian placement).
+    let mut city = Workload::generate(WorkloadConfig {
+        num_objects: TAXIS,
+        distribution: DataDistribution::Gaussian,
+        max_distance: 0.003,
+        movement: MovementModel::Trend { jitter: 0.5 },
+        query_max_side: 0.04,
+        seed: 0x7A_C515,
+        clamp: true, // taxis stay inside the city limits
+    });
+
+    let mut index = RTreeIndex::create_in_memory(IndexOptions::generalized())?;
+    for (oid, pos) in city.items() {
+        index.insert(oid, pos)?;
+    }
+    println!("fleet of {TAXIS} taxis indexed (height {})", index.height());
+
+    index.io_stats().reset();
+    index.op_stats().reset();
+
+    // Interleave position updates with dispatch requests.
+    let mut matched = 0usize;
+    let mut surge_zones = 0usize;
+    let requests_every = TICKS / REQUESTS;
+    for tick in 0..TICKS {
+        let op = city.next_update();
+        index.update(op.oid, op.old, op.new)?;
+
+        if tick % requests_every == 0 {
+            // A rider appears where a taxi just was (demand follows the
+            // fleet density).
+            let rider = Point::new(op.new.x, op.new.y);
+
+            // Dispatch: the three closest taxis.
+            let candidates = index.nearest_neighbors(rider, 3)?;
+            matched += usize::from(!candidates.is_empty());
+
+            // Surge pricing: fewer than 5 taxis within 0.02 of the rider.
+            let nearby = index.within_distance(rider, 0.02)?;
+            surge_zones += usize::from(nearby.len() < 5);
+        }
+    }
+
+    let io = index.io_stats().snapshot();
+    let ops = index.op_stats().snapshot();
+    println!("{TICKS} position updates, {REQUESTS} dispatch requests");
+    println!(
+        "  update paths: {} in place, {} extended, {} shifted, {} ascended, {} top-down",
+        ops.upd_in_place, ops.upd_extended, ops.upd_shifted, ops.upd_ascended, ops.upd_top_down
+    );
+    println!(
+        "  {matched}/{REQUESTS} requests matched; {surge_zones} returned a surge zone"
+    );
+    println!(
+        "  physical I/O: {} reads, {} writes ({:.2} per operation)",
+        io.reads,
+        io.writes,
+        io.physical() as f64 / (TICKS + 2 * REQUESTS) as f64
+    );
+
+    index.validate()?;
+    println!("index invariants verified");
+    Ok(())
+}

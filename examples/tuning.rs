@@ -1,0 +1,91 @@
+//! Tuning ε, τ and L: a miniature version of the paper's sensitivity
+//! study (Section 5.1), runnable in seconds.
+//!
+//! Shows how the three GBU knobs trade update cost against query cost on
+//! one fixed workload, using the physical-I/O counters of the buffer
+//! pool. See `cargo run --release -p bur-bench --bin repro` for the full
+//! figure reproduction.
+//!
+//! ```sh
+//! cargo run --release --example tuning
+//! ```
+
+use bur::prelude::*;
+
+const OBJECTS: usize = 20_000;
+const UPDATES: usize = 40_000;
+const QUERIES: usize = 100;
+
+fn measure(opts: IndexOptions) -> CoreResult<(f64, f64)> {
+    let mut workload = Workload::generate(WorkloadConfig {
+        num_objects: OBJECTS,
+        max_distance: 0.02,
+        query_max_side: 0.1,
+        seed: 42,
+        ..WorkloadConfig::default()
+    });
+    let mut index = RTreeIndex::create_in_memory(opts)?;
+    for (oid, pos) in workload.items() {
+        index.insert(oid, pos)?;
+    }
+    let pages = index.data_pages()?;
+    index.set_buffer_capacity((pages as f64 * 0.01).round() as usize)?;
+    index.pool().evict_all()?;
+    index.io_stats().reset();
+
+    let before = index.io_stats().snapshot();
+    for _ in 0..UPDATES {
+        let op = workload.next_update();
+        index.update(op.oid, op.old, op.new)?;
+    }
+    let upd = index.io_stats().snapshot().since(&before).physical() as f64 / UPDATES as f64;
+
+    let before = index.io_stats().snapshot();
+    for _ in 0..QUERIES {
+        let q = workload.next_query();
+        index.query(&q.window)?;
+    }
+    let qry = index.io_stats().snapshot().since(&before).physical() as f64 / QUERIES as f64;
+    Ok((upd, qry))
+}
+
+fn gbu(epsilon: f32, tau: f32, level: Option<u16>) -> IndexOptions {
+    IndexOptions {
+        strategy: UpdateStrategy::Generalized(GbuParams {
+            epsilon,
+            distance_threshold: tau,
+            level_threshold: level,
+            ..GbuParams::default()
+        }),
+        ..IndexOptions::default()
+    }
+}
+
+fn main() -> CoreResult<()> {
+    println!("{OBJECTS} objects, {UPDATES} updates, {QUERIES} queries; I/O per op\n");
+
+    println!("epsilon sweep (tau = 0.03, L = max):");
+    for eps in [0.0f32, 0.003, 0.01, 0.03] {
+        let (u, q) = measure(gbu(eps, 0.03, None))?;
+        println!("  eps={eps:<6}  update {u:5.2}   query {q:6.1}");
+    }
+
+    println!("\ntau sweep (eps = 0.003, L = max):");
+    for tau in [0.0f32, 0.03, 1.0] {
+        let (u, q) = measure(gbu(0.003, tau, None))?;
+        println!("  tau={tau:<6}  update {u:5.2}   query {q:6.1}");
+    }
+
+    println!("\nlevel-threshold sweep (eps = 0.003, tau = 0.03):");
+    for level in [0u16, 1, 2, 3] {
+        let (u, q) = measure(gbu(0.003, 0.03, Some(level)))?;
+        println!("  L={level:<8}  update {u:5.2}   query {q:6.1}");
+    }
+
+    println!("\nbaselines:");
+    let (u, q) = measure(IndexOptions::top_down())?;
+    println!("  TD        update {u:5.2}   query {q:6.1}");
+    let (u, q) = measure(IndexOptions::localized())?;
+    println!("  LBU       update {u:5.2}   query {q:6.1}");
+    Ok(())
+}

@@ -1,0 +1,269 @@
+//! `burctl` — inspect and exercise persisted `bur` index files.
+//!
+//! ```text
+//! burctl build <file> [--objects N] [--strategy td|lbu|gbu] [--seed S]
+//! burctl info <file>
+//! burctl validate <file>
+//! burctl query <file> <min_x> <min_y> <max_x> <max_y>
+//! burctl knn <file> <x> <y> <k>
+//! burctl stats <file> [--updates N]
+//! ```
+//!
+//! `build` creates a demonstration index from a seeded uniform workload;
+//! the other commands open an existing file read-only (except `stats`,
+//! which drives updates and reports I/O and outcome counters).
+
+use bur::core::{IndexOptions, RTreeIndex};
+use bur::geom::{Point, Rect};
+use bur::storage::FileDisk;
+use bur::workload::{Workload, WorkloadConfig};
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n\
+         \x20 burctl build <file> [--objects N] [--strategy td|lbu|gbu] [--seed S]\n\
+         \x20 burctl info <file>\n\
+         \x20 burctl validate <file>\n\
+         \x20 burctl query <file> <min_x> <min_y> <max_x> <max_y>\n\
+         \x20 burctl knn <file> <x> <y> <k>\n\
+         \x20 burctl stats <file> [--updates N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_strategy(s: &str) -> Option<IndexOptions> {
+    match s {
+        "td" => Some(IndexOptions::top_down()),
+        "lbu" => Some(IndexOptions::localized()),
+        "gbu" => Some(IndexOptions::generalized()),
+        _ => None,
+    }
+}
+
+fn open(path: &str, opts: IndexOptions) -> Result<RTreeIndex, String> {
+    let disk = FileDisk::open(path, opts.page_size)
+        .map_err(|e| format!("cannot open {path}: {e}"))?;
+    RTreeIndex::open_on(Arc::new(disk), opts).map_err(|e| format!("cannot load {path}: {e}"))
+}
+
+fn cmd_build(path: &str, rest: &[String]) -> Result<(), String> {
+    let mut objects = 50_000usize;
+    let mut opts = IndexOptions::generalized();
+    let mut seed = 42u64;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--objects" => {
+                objects = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--objects needs a number")?;
+            }
+            "--strategy" => {
+                opts = it
+                    .next()
+                    .and_then(|v| parse_strategy(v))
+                    .ok_or("--strategy needs td|lbu|gbu")?;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs a number")?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let disk = FileDisk::create(path, opts.page_size)
+        .map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut index = RTreeIndex::create_on(Arc::new(disk), opts)
+        .map_err(|e| format!("cannot init index: {e}"))?;
+    let workload = Workload::generate(WorkloadConfig {
+        num_objects: objects,
+        seed,
+        ..WorkloadConfig::default()
+    });
+    for (oid, p) in workload.items() {
+        index
+            .insert(oid, p)
+            .map_err(|e| format!("insert {oid}: {e}"))?;
+    }
+    index.persist().map_err(|e| format!("persist: {e}"))?;
+    println!(
+        "built {path}: {} objects, strategy {}, height {}, {} tree pages",
+        index.len(),
+        index.options().strategy.name(),
+        index.height(),
+        index.tree_pages().map_err(|e| e.to_string())?,
+    );
+    Ok(())
+}
+
+fn cmd_info(path: &str) -> Result<(), String> {
+    let index = open(path, IndexOptions::generalized())?;
+    println!("file          : {path}");
+    println!("objects       : {}", index.len());
+    println!("height        : {}", index.height());
+    println!("page size     : {} B", index.options().page_size);
+    println!(
+        "tree pages    : {}",
+        index.tree_pages().map_err(|e| e.to_string())?
+    );
+    println!("hash pages    : {}", index.hash_pages());
+    if let Some(s) = index.summary() {
+        println!(
+            "summary       : {} internal entries, {} B table + {} B bit vectors",
+            s.internal_count(),
+            s.table_size_bytes(),
+            s.bitvec_size_bytes()
+        );
+        let mbr = s.root_mbr();
+        println!("root MBR      : {mbr}");
+    }
+    Ok(())
+}
+
+fn cmd_validate(path: &str) -> Result<(), String> {
+    let index = open(path, IndexOptions::generalized())?;
+    index
+        .validate()
+        .map_err(|e| format!("INVALID index: {e}"))?;
+    println!("ok: {} objects, all invariants hold", index.len());
+    Ok(())
+}
+
+fn cmd_query(path: &str, rest: &[String]) -> Result<(), String> {
+    let nums: Vec<f32> = rest
+        .iter()
+        .map(|s| s.parse().map_err(|_| format!("bad coordinate {s}")))
+        .collect::<Result<_, _>>()?;
+    let [min_x, min_y, max_x, max_y] = nums[..] else {
+        return Err("query needs 4 coordinates".into());
+    };
+    let index = open(path, IndexOptions::generalized())?;
+    let window = Rect::new(min_x, min_y, max_x, max_y);
+    if !window.is_valid() {
+        return Err(format!("invalid window {window}"));
+    }
+    let mut hits = index.query(&window).map_err(|e| e.to_string())?;
+    hits.sort_unstable();
+    println!("{} objects in {window}:", hits.len());
+    for chunk in hits.chunks(10) {
+        println!(
+            "  {}",
+            chunk
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+    Ok(())
+}
+
+fn cmd_knn(path: &str, rest: &[String]) -> Result<(), String> {
+    let [x, y, k] = rest else {
+        return Err("knn needs x y k".into());
+    };
+    let x: f32 = x.parse().map_err(|_| "bad x")?;
+    let y: f32 = y.parse().map_err(|_| "bad y")?;
+    let k: usize = k.parse().map_err(|_| "bad k")?;
+    let index = open(path, IndexOptions::generalized())?;
+    let neighbors = index
+        .nearest_neighbors(Point::new(x, y), k)
+        .map_err(|e| e.to_string())?;
+    println!("{} nearest neighbors of ({x}, {y}):", neighbors.len());
+    for n in neighbors {
+        println!("  oid {:>8}  distance {:.6}", n.oid, n.distance);
+    }
+    Ok(())
+}
+
+fn cmd_stats(path: &str, rest: &[String]) -> Result<(), String> {
+    let mut updates = 10_000usize;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--updates" => {
+                updates = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--updates needs a number")?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let mut index = open(path, IndexOptions::generalized())?;
+    // Rebuild the same workload state the file was built from is not
+    // possible in general; instead move objects found by sampling leaves.
+    let all = index
+        .query_entries(&Rect::new(
+            f32::MIN / 4.0,
+            f32::MIN / 4.0,
+            f32::MAX / 4.0,
+            f32::MAX / 4.0,
+        ))
+        .map_err(|e| e.to_string())?;
+    if all.is_empty() {
+        return Err("index is empty".into());
+    }
+    index.io_stats().reset();
+    index.op_stats().reset();
+    let before = index.io_stats().snapshot();
+    for i in 0..updates {
+        let e = &all[i % all.len()];
+        let old = e.rect.center();
+        let step = 0.002 * ((i % 7) as f32 - 3.0);
+        let new = Point::new(old.x + step, old.y + step * 0.5);
+        index
+            .update(e.oid, old, new)
+            .map_err(|err| format!("update {}: {err}", e.oid))?;
+        // Move it back so repeated runs see a stable file.
+        index
+            .update(e.oid, new, old)
+            .map_err(|err| format!("restore {}: {err}", e.oid))?;
+    }
+    let io = index.io_stats().snapshot().since(&before);
+    println!(
+        "{} updates: {:.3} physical I/O per update ({})",
+        updates * 2,
+        io.physical() as f64 / (updates * 2) as f64,
+        index.op_stats().snapshot()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => return usage(),
+    };
+    if matches!(cmd, "--help" | "-h" | "help") {
+        usage();
+        return ExitCode::SUCCESS;
+    }
+    let Some((path, rest)) = rest.split_first() else {
+        return usage();
+    };
+    let result = match cmd {
+        "build" => cmd_build(path, rest),
+        "info" => cmd_info(path),
+        "validate" => cmd_validate(path),
+        "query" => cmd_query(path, rest),
+        "knn" => cmd_knn(path, rest),
+        "stats" => cmd_stats(path, rest),
+        _ => {
+            return usage();
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("burctl {cmd}: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! # bur — Bottom-Up update R-trees
+//!
+//! A production-quality Rust reproduction of *"Supporting Frequent
+//! Updates in R-Trees: A Bottom-Up Approach"* (Lee, Hsu, Jensen, Cui,
+//! Teo — VLDB 2003): a disk-resident R-tree whose updates can be served
+//! *bottom-up* — in place, by bounded MBR extension, by shifting to a
+//! sibling leaf, or by re-inserting from the lowest bounding ancestor —
+//! instead of the classic top-down delete + insert.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`core`] (`bur-core`) — the index: [`core::RTreeIndex`],
+//!   update strategies (TD / LBU / GBU), the main-memory summary
+//!   structure, cost model and the DGL-locked [`core::ConcurrentIndex`];
+//! * [`geom`] (`bur-geom`) — points and rectangles;
+//! * [`storage`] (`bur-storage`) — page store, disks, LRU buffer pool,
+//!   I/O accounting;
+//! * [`hashindex`] (`bur-hashindex`) — the paged linear-hash secondary
+//!   index (object id → leaf page);
+//! * [`dgl`] (`bur-dgl`) — Dynamic Granular Locking;
+//! * [`workload`] (`bur-workload`) — the GSTD-like moving-object
+//!   workload generator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use bur::prelude::*;
+//!
+//! // A GBU (generalized bottom-up) index on an in-memory disk.
+//! let mut index = RTreeIndex::create_in_memory(IndexOptions::generalized()).unwrap();
+//! index.insert(1, Point::new(0.2, 0.2)).unwrap();
+//! index.insert(2, Point::new(0.8, 0.8)).unwrap();
+//!
+//! // Objects move; updates are served bottom-up whenever possible.
+//! let outcome = index.update(1, Point::new(0.2, 0.2), Point::new(0.21, 0.2)).unwrap();
+//! assert_eq!(outcome, UpdateOutcome::InPlace);
+//!
+//! // Window queries.
+//! let hits = index.query(&Rect::new(0.0, 0.0, 0.5, 0.5)).unwrap();
+//! assert_eq!(hits, vec![1]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use bur_core as core;
+pub use bur_dgl as dgl;
+pub use bur_geom as geom;
+pub use bur_hashindex as hashindex;
+pub use bur_storage as storage;
+pub use bur_workload as workload;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use bur_core::{
+        ConcurrentIndex, CoreError, CoreResult, GbuParams, IndexOptions, InsertPolicy, LbuParams,
+        Neighbor, ObjectId, RTreeIndex, SplitPolicy, UpdateOutcome, UpdateStrategy,
+    };
+    pub use bur_geom::{Point, Rect};
+    pub use bur_storage::{FileDisk, IoSnapshot, MemDisk};
+    pub use bur_workload::{DataDistribution, MovementModel, Workload, WorkloadConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work() {
+        let mut index = RTreeIndex::create_in_memory(IndexOptions::top_down()).unwrap();
+        index.insert(1, Point::new(0.5, 0.5)).unwrap();
+        assert_eq!(index.len(), 1);
+    }
+}

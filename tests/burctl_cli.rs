@@ -1,0 +1,110 @@
+//! End-to-end tests of the `burctl` binary: build a real index file,
+//! then drive every subcommand through the CLI surface exactly as a user
+//! would.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn burctl(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_burctl"))
+        .args(args)
+        .output()
+        .expect("burctl spawns")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bur-ctl-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn full_cli_workflow() {
+    let file = tmp("workflow.bur");
+    let path = file.to_str().unwrap();
+
+    // build
+    let out = burctl(&["build", path, "--objects", "2000", "--strategy", "gbu"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout(&out).contains("2000 objects"));
+
+    // info
+    let out = burctl(&["info", path]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("objects       : 2000"), "{text}");
+    assert!(text.contains("summary"), "{text}");
+
+    // validate
+    let out = burctl(&["validate", path]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("all invariants hold"));
+
+    // query
+    let out = burctl(&["query", path, "0.0", "0.0", "1.0", "1.0"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("2000 objects in"));
+
+    // knn
+    let out = burctl(&["knn", path, "0.5", "0.5", "3"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("3 nearest neighbors"), "{text}");
+    assert_eq!(text.matches("oid").count(), 3, "{text}");
+
+    // stats (round-trip updates leave the file unchanged)
+    let out = burctl(&["stats", path, "--updates", "50"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout(&out).contains("I/O per update"));
+    let out = burctl(&["validate", path]);
+    assert!(out.status.success());
+
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn build_with_td_strategy() {
+    let file = tmp("td.bur");
+    let path = file.to_str().unwrap();
+    let out = burctl(&["build", path, "--objects", "500", "--strategy", "td"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("strategy TD"));
+    // A TD-built file opens fine under the GBU-opening commands (the
+    // summary and hash index are rebuilt on open).
+    let out = burctl(&["validate", path]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn helpful_errors() {
+    // No args → usage on stderr, failure exit.
+    let out = burctl(&[]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    // Unknown subcommand.
+    let out = burctl(&["frobnicate", "/tmp/x"]);
+    assert!(!out.status.success());
+
+    // Missing file.
+    let out = burctl(&["info", "/nonexistent/nope.bur"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot open"));
+
+    // Bad window.
+    let file = tmp("err.bur");
+    let path = file.to_str().unwrap();
+    assert!(burctl(&["build", path, "--objects", "100"]).status.success());
+    let out = burctl(&["query", path, "0.9", "0.0", "0.1", "1.0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid window"));
+    // Bad flag value.
+    let out = burctl(&["build", path, "--strategy", "quantum"]);
+    assert!(!out.status.success());
+    std::fs::remove_file(&file).ok();
+}

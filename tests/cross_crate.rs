@@ -1,0 +1,147 @@
+//! Cross-crate integration: the workload generator driving the index
+//! through the facade, with all strategies answering identically.
+
+use bur::prelude::*;
+use bur::workload::Workload;
+
+fn run_stream(opts: IndexOptions, wl_cfg: WorkloadConfig, updates: usize) -> RTreeIndex {
+    let mut wl = Workload::generate(wl_cfg);
+    let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+    for (oid, p) in wl.items() {
+        index.insert(oid, p).unwrap();
+    }
+    for _ in 0..updates {
+        let op = wl.next_update();
+        index.update(op.oid, op.old, op.new).unwrap();
+    }
+    index
+}
+
+#[test]
+fn all_strategies_answer_identically_after_same_stream() {
+    let wl_cfg = WorkloadConfig {
+        num_objects: 3_000,
+        max_distance: 0.04,
+        seed: 99,
+        ..WorkloadConfig::default()
+    };
+    let td = run_stream(IndexOptions::top_down(), wl_cfg, 9_000);
+    let lbu = run_stream(IndexOptions::localized(), wl_cfg, 9_000);
+    let gbu = run_stream(IndexOptions::generalized(), wl_cfg, 9_000);
+    td.validate().unwrap();
+    lbu.validate().unwrap();
+    gbu.validate().unwrap();
+
+    let mut wl = Workload::generate(wl_cfg);
+    for _ in 0..40 {
+        let q = wl.next_query();
+        let mut a = td.query(&q.window).unwrap();
+        let mut b = lbu.query(&q.window).unwrap();
+        let mut c = gbu.query(&q.window).unwrap();
+        a.sort_unstable();
+        b.sort_unstable();
+        c.sort_unstable();
+        assert_eq!(a, b, "TD vs LBU mismatch on {}", q.window);
+        assert_eq!(a, c, "TD vs GBU mismatch on {}", q.window);
+    }
+}
+
+#[test]
+fn every_distribution_supported_end_to_end() {
+    for dist in [
+        DataDistribution::Uniform,
+        DataDistribution::Gaussian,
+        DataDistribution::Skewed,
+    ] {
+        let wl_cfg = WorkloadConfig {
+            num_objects: 2_000,
+            distribution: dist,
+            max_distance: 0.03,
+            seed: 5,
+            ..WorkloadConfig::default()
+        };
+        let index = run_stream(IndexOptions::generalized(), wl_cfg, 4_000);
+        index.validate().unwrap();
+        assert_eq!(index.len(), 2_000);
+        // The whole population is findable.
+        let world = Rect::new(-5.0, -5.0, 6.0, 6.0);
+        assert_eq!(index.query(&world).unwrap().len(), 2_000);
+    }
+}
+
+#[test]
+fn unclamped_objects_can_leave_the_unit_square() {
+    // The paper's workload lets objects diffuse beyond the initial data
+    // space ("objects beyond the root MBR are inserted"); the index must
+    // follow them out.
+    let wl_cfg = WorkloadConfig {
+        num_objects: 500,
+        max_distance: 0.2,
+        seed: 1,
+        clamp: false,
+        ..WorkloadConfig::default()
+    };
+    let index = run_stream(IndexOptions::generalized(), wl_cfg, 20_000);
+    index.validate().unwrap();
+    let inside = index.query(&Rect::UNIT).unwrap().len();
+    let everywhere = index
+        .query(&Rect::new(-50.0, -50.0, 51.0, 51.0))
+        .unwrap()
+        .len();
+    assert_eq!(everywhere, 500);
+    assert!(
+        inside < everywhere,
+        "after heavy diffusion some objects must sit outside the unit square"
+    );
+}
+
+#[test]
+fn io_accounting_matches_across_facade() {
+    // The facade exposes the same counters the bench harness uses.
+    let wl_cfg = WorkloadConfig {
+        num_objects: 1_000,
+        seed: 3,
+        ..WorkloadConfig::default()
+    };
+    let index = run_stream(IndexOptions::generalized(), wl_cfg, 1_000);
+    index.pool().evict_all().unwrap();
+    index.io_stats().reset();
+    let before = index.io_stats().snapshot();
+    let _ = index.query(&Rect::new(0.4, 0.4, 0.6, 0.6)).unwrap();
+    let delta = index.io_stats().snapshot().since(&before);
+    assert!(delta.reads > 0, "cold query must read pages");
+    assert_eq!(delta.writes, 0, "queries must not write");
+}
+
+#[test]
+fn concurrent_and_plain_agree() {
+    let wl_cfg = WorkloadConfig {
+        num_objects: 1_500,
+        max_distance: 0.03,
+        seed: 8,
+        ..WorkloadConfig::default()
+    };
+    let plain = run_stream(IndexOptions::generalized(), wl_cfg, 3_000);
+
+    // Same stream through the concurrent wrapper (single-threaded so the
+    // op order is identical).
+    let mut wl = Workload::generate(wl_cfg);
+    let mut base = RTreeIndex::create_in_memory(IndexOptions::generalized()).unwrap();
+    for (oid, p) in wl.items() {
+        base.insert(oid, p).unwrap();
+    }
+    let shared = ConcurrentIndex::new(base);
+    for _ in 0..3_000 {
+        let op = wl.next_update();
+        shared.update(op.oid, op.old, op.new).unwrap();
+    }
+    let mut wl2 = Workload::generate(wl_cfg);
+    for _ in 0..20 {
+        let q = wl2.next_query();
+        let mut a = plain.query(&q.window).unwrap();
+        let mut b = shared.query(&q.window).unwrap();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}

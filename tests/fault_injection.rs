@@ -1,0 +1,159 @@
+//! Failure-injection drills: disk faults must surface as clean
+//! `CoreError::Storage` values — never panics — and transient faults must
+//! not poison the index. Uses the deterministic [`FaultyDisk`] wrapper.
+
+use bur::core::{CoreError, IndexOptions, RTreeIndex};
+use bur::geom::{Point, Rect};
+use bur::storage::{FaultKind, FaultyDisk, MemDisk};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+/// An index of `n` uniform points on a fault-injectable disk.
+fn build(opts: IndexOptions, n: usize, seed: u64) -> (RTreeIndex, Arc<FaultyDisk>, Vec<Point>) {
+    let disk = Arc::new(FaultyDisk::new(Arc::new(MemDisk::new(opts.page_size))));
+    let mut index = RTreeIndex::create_on(disk.clone(), opts).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pts = Vec::with_capacity(n);
+    for oid in 0..n as u64 {
+        let p = Point::new(rng.random::<f32>(), rng.random::<f32>());
+        index.insert(oid, p).unwrap();
+        pts.push(p);
+    }
+    (index, disk, pts)
+}
+
+#[test]
+fn read_fault_surfaces_as_storage_error() {
+    let (index, disk, _) = build(IndexOptions::generalized(), 2000, 3);
+    // Force queries to touch the disk.
+    index.pool().evict_all().unwrap();
+    disk.fail_always(FaultKind::Read);
+    let err = index.query(&Rect::new(0.1, 0.1, 0.4, 0.4)).unwrap_err();
+    assert!(
+        matches!(err, CoreError::Storage(_)),
+        "expected a storage error, got {err}"
+    );
+    assert!(disk.injected_faults() > 0);
+}
+
+#[test]
+fn transient_read_fault_recovers() {
+    let (index, disk, _) = build(IndexOptions::generalized(), 2000, 5);
+    index.pool().evict_all().unwrap();
+    let window = Rect::new(0.2, 0.2, 0.5, 0.5);
+    disk.fail_next(FaultKind::Read, 1);
+    let _ = index.query(&window); // may fail, must not panic
+    disk.clear_faults();
+    // The failed read must not have been cached as valid data.
+    let hits = index.query(&window).unwrap();
+    assert!(!hits.is_empty());
+    index.validate().unwrap();
+}
+
+#[test]
+fn query_failure_does_not_corrupt_index() {
+    let (index, disk, pts) = build(IndexOptions::top_down(), 3000, 7);
+    index.pool().evict_all().unwrap();
+    disk.fail_next(FaultKind::Read, 3);
+    for _ in 0..5 {
+        let _ = index.query(&Rect::new(0.0, 0.0, 1.0, 1.0));
+    }
+    disk.clear_faults();
+    index.validate().unwrap();
+    // Every object is still present.
+    let all = index.query(&Rect::new(-10.0, -10.0, 10.0, 10.0)).unwrap();
+    assert_eq!(all.len(), pts.len());
+}
+
+#[test]
+fn insert_failure_reports_error_not_panic() {
+    let opts = IndexOptions::generalized();
+    let disk = Arc::new(FaultyDisk::new(Arc::new(MemDisk::new(opts.page_size))));
+    let mut index = RTreeIndex::create_on(disk.clone(), opts).unwrap();
+    // Tiny pool so inserts must do physical I/O; then kill the disk.
+    index.set_buffer_capacity(2).unwrap();
+    let mut failures = 0;
+    let mut rng = StdRng::seed_from_u64(11);
+    for oid in 0..5000u64 {
+        if oid == 2000 {
+            disk.fail_always(FaultKind::Write);
+            disk.fail_always(FaultKind::Read);
+        }
+        if oid == 2600 {
+            disk.clear_faults();
+        }
+        let p = Point::new(rng.random::<f32>(), rng.random::<f32>());
+        match index.insert(oid, p) {
+            Ok(()) => {}
+            Err(CoreError::Storage(_)) => failures += 1,
+            Err(other) => panic!("unexpected error class: {other}"),
+        }
+    }
+    assert!(failures > 0, "the dead-disk window must fail some inserts");
+    assert!(!index.is_empty());
+}
+
+#[test]
+fn sync_failure_surfaces_through_persist() {
+    let opts = IndexOptions::generalized();
+    let disk = Arc::new(FaultyDisk::new(Arc::new(MemDisk::new(opts.page_size))));
+    let mut index = RTreeIndex::create_on(disk.clone(), opts).unwrap();
+    index.insert(1, Point::new(0.5, 0.5)).unwrap();
+    disk.fail_always(FaultKind::Sync);
+    // MemDisk syncs are no-ops, but persist must still propagate the
+    // injected failure from flush_all's sync.
+    let err = index.persist().unwrap_err();
+    assert!(matches!(err, CoreError::Storage(_)), "got {err}");
+    disk.clear_faults();
+    index.persist().unwrap();
+}
+
+#[test]
+fn updates_survive_fault_windows() {
+    let (mut index, disk, mut pts) = build(IndexOptions::generalized(), 2000, 13);
+    index.set_buffer_capacity(8).unwrap();
+    let mut rng = StdRng::seed_from_u64(14);
+    let mut errors = 0;
+    let mut applied = 0;
+    for step in 0..4000 {
+        // A fault window of 50 operations every 1000 steps.
+        if step % 1000 == 600 {
+            disk.fail_next(FaultKind::Read, 25);
+            disk.fail_next(FaultKind::Write, 25);
+        }
+        let oid = rng.random_range(0..pts.len() as u64);
+        let old = pts[oid as usize];
+        let new = Point::new(
+            old.x + rng.random_range(-0.01..0.01f32),
+            old.y + rng.random_range(-0.01..0.01f32),
+        );
+        match index.update(oid, old, new) {
+            Ok(_) => {
+                pts[oid as usize] = new;
+                applied += 1;
+            }
+            Err(CoreError::Storage(_)) => {
+                errors += 1;
+                // The update may have half-applied (deleted but not
+                // re-inserted). Resynchronize our shadow copy with the
+                // index: whichever of old/new is present wins; a lost
+                // object is re-inserted — exactly what a monitoring
+                // application's retry would do.
+                disk.clear_faults();
+                if index.point_query(new).unwrap().contains(&oid) {
+                    pts[oid as usize] = new;
+                } else if !index.point_query(old).unwrap().contains(&oid) {
+                    index.insert(oid, old).unwrap_or_else(|e| {
+                        panic!("re-insert of {oid} failed: {e}");
+                    });
+                }
+            }
+            Err(other) => panic!("unexpected error class: {other}"),
+        }
+    }
+    assert!(errors > 0, "fault windows must trip some updates");
+    assert!(applied > 3000, "most updates must succeed");
+    index.validate().unwrap();
+    assert_eq!(index.len(), pts.len() as u64);
+}

@@ -1,0 +1,206 @@
+//! Cross-crate persistence tests: indexes written to a file-backed disk
+//! must reopen bit-identically (same answers), across strategies and
+//! even across *strategy switches* (the reopen path rebuilds whatever
+//! main-memory or secondary state the new strategy needs).
+
+use bur::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmpfile(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bur-persist-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn populate(index: &mut RTreeIndex, rng: &mut StdRng, n: u64) -> Vec<Point> {
+    let mut positions = Vec::new();
+    for oid in 0..n {
+        let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+        index.insert(oid, p).unwrap();
+        positions.push(p);
+    }
+    positions
+}
+
+fn churn(index: &mut RTreeIndex, positions: &mut [Point], rng: &mut StdRng, updates: usize) {
+    for _ in 0..updates {
+        let oid = rng.random_range(0..positions.len() as u64);
+        let old = positions[oid as usize];
+        let new = old.translated(rng.random_range(-0.05..0.05), rng.random_range(-0.05..0.05));
+        index.update(oid, old, new).unwrap();
+        positions[oid as usize] = new;
+    }
+}
+
+fn queries_match(a: &RTreeIndex, b: &RTreeIndex, rng: &mut StdRng) {
+    for _ in 0..20 {
+        let x = rng.random_range(0.0..0.8);
+        let y = rng.random_range(0.0..0.8);
+        let w = Rect::new(x, y, x + 0.2, y + 0.2);
+        let mut ra = a.query(&w).unwrap();
+        let mut rb = b.query(&w).unwrap();
+        ra.sort_unstable();
+        rb.sort_unstable();
+        assert_eq!(ra, rb, "reopened index answers differ on {w}");
+    }
+}
+
+#[test]
+fn persist_reopen_roundtrip_all_strategies() {
+    for (name, opts) in [
+        ("td", IndexOptions::top_down()),
+        ("lbu", IndexOptions::localized()),
+        ("gbu", IndexOptions::generalized()),
+    ] {
+        let path = tmpfile(&format!("roundtrip-{name}.bur"));
+        let mut rng = StdRng::seed_from_u64(404);
+        let mut reference = RTreeIndex::create_in_memory(opts).unwrap();
+        {
+            // Build the durable index and an identical in-memory twin.
+            let disk = Arc::new(FileDisk::create(&path, opts.page_size).unwrap());
+            let mut index = RTreeIndex::create_on(disk, opts).unwrap();
+            let mut rng2 = StdRng::seed_from_u64(404);
+            let positions = populate(&mut index, &mut rng, 1_500);
+            let ref_positions = populate(&mut reference, &mut rng2, 1_500);
+            assert_eq!(positions, ref_positions);
+            churn(&mut index, &mut positions.clone(), &mut StdRng::seed_from_u64(9), 2_000);
+            churn(&mut reference, &mut positions.clone(), &mut StdRng::seed_from_u64(9), 2_000);
+            index.persist().unwrap();
+            assert_eq!(index.len(), 1_500);
+        }
+
+        let disk = Arc::new(FileDisk::open(&path, opts.page_size).unwrap());
+        let reopened = RTreeIndex::open_on(disk, opts).unwrap();
+        assert_eq!(reopened.len(), 1_500, "{name}");
+        reopened.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        queries_match(&reopened, &reference, &mut StdRng::seed_from_u64(5));
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[test]
+fn reopened_index_keeps_working() {
+    let opts = IndexOptions::generalized();
+    let path = tmpfile("keeps-working.bur");
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut positions;
+    {
+        let disk = Arc::new(FileDisk::create(&path, opts.page_size).unwrap());
+        let mut index = RTreeIndex::create_on(disk, opts).unwrap();
+        positions = populate(&mut index, &mut rng, 2_000);
+        index.persist().unwrap();
+    }
+    let disk = Arc::new(FileDisk::open(&path, opts.page_size).unwrap());
+    let mut index = RTreeIndex::open_on(disk, opts).unwrap();
+    // Updates, inserts, deletes and queries must all work post-reopen.
+    churn(&mut index, &mut positions, &mut rng, 3_000);
+    for oid in 2_000..2_200u64 {
+        index
+            .insert(oid, Point::new(rng.random_range(0.0..1.0), 0.5))
+            .unwrap();
+    }
+    for oid in 0..100u64 {
+        assert!(index.delete(oid, positions[oid as usize]).unwrap());
+    }
+    assert_eq!(index.len(), 2_000 + 200 - 100);
+    index.validate().unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn strategy_switch_on_reopen() {
+    // Build with TD (no hash index on disk), reopen as GBU: the hash
+    // index and summary must be rebuilt from the stored tree.
+    let td = IndexOptions::top_down();
+    let path = tmpfile("switch.bur");
+    let mut rng = StdRng::seed_from_u64(123);
+    {
+        let disk = Arc::new(FileDisk::create(&path, td.page_size).unwrap());
+        let mut index = RTreeIndex::create_on(disk, td).unwrap();
+        populate(&mut index, &mut rng, 1_200);
+        index.persist().unwrap();
+    }
+    let gbu = IndexOptions::generalized();
+    let disk = Arc::new(FileDisk::open(&path, gbu.page_size).unwrap());
+    let mut index = RTreeIndex::open_on(disk, gbu).unwrap();
+    assert_eq!(index.len(), 1_200);
+    index.validate().unwrap();
+    assert!(index.hash_pages() > 0, "hash index must have been rebuilt");
+    assert!(index.summary().is_some());
+    // Bottom-up updates must work on the rebuilt state.
+    let mut rng2 = StdRng::seed_from_u64(123);
+    let mut positions = Vec::new();
+    for _ in 0..1_200 {
+        positions.push(Point::new(
+            rng2.random_range(0.0..1.0),
+            rng2.random_range(0.0..1.0),
+        ));
+    }
+    churn(&mut index, &mut positions, &mut rng, 2_000);
+    index.validate().unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn lbu_reopen_repairs_parent_pointers() {
+    // Build with GBU (no parent pointers), reopen as LBU: the reopen
+    // path must install leaf parent pointers before LBU updates run.
+    let gbu = IndexOptions::generalized();
+    let path = tmpfile("parents.bur");
+    let mut rng = StdRng::seed_from_u64(31);
+    {
+        let disk = Arc::new(FileDisk::create(&path, gbu.page_size).unwrap());
+        let mut index = RTreeIndex::create_on(disk, gbu).unwrap();
+        populate(&mut index, &mut rng, 1_500);
+        index.persist().unwrap();
+    }
+    let lbu = IndexOptions::localized();
+    let disk = Arc::new(FileDisk::open(&path, lbu.page_size).unwrap());
+    let mut index = RTreeIndex::open_on(disk, lbu).unwrap();
+    index.validate().unwrap(); // validate() checks leaf parent pointers in LBU mode
+    let mut rng2 = StdRng::seed_from_u64(31);
+    let mut positions = Vec::new();
+    for _ in 0..1_500 {
+        positions.push(Point::new(
+            rng2.random_range(0.0..1.0),
+            rng2.random_range(0.0..1.0),
+        ));
+    }
+    churn(&mut index, &mut positions, &mut rng, 2_000);
+    index.validate().unwrap();
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn open_rejects_garbage_and_mismatched_page_size() {
+    let opts = IndexOptions::generalized();
+    let path = tmpfile("garbage.bur");
+    {
+        // A file with one zeroed page is not a bur index.
+        let disk = FileDisk::create(&path, opts.page_size).unwrap();
+        use bur::storage::DiskBackend;
+        disk.allocate().unwrap();
+    }
+    let disk = Arc::new(FileDisk::open(&path, opts.page_size).unwrap());
+    let err = RTreeIndex::open_on(disk, opts).unwrap_err();
+    assert!(err.to_string().contains("magic"), "got: {err}");
+
+    // Page-size mismatch is rejected before any parsing.
+    let path2 = tmpfile("mismatch.bur");
+    {
+        let disk = Arc::new(FileDisk::create(&path2, 2048).unwrap());
+        let mut o = opts;
+        o.page_size = 2048;
+        let mut index = RTreeIndex::create_on(disk, o).unwrap();
+        index.insert(1, Point::new(0.5, 0.5)).unwrap();
+        index.persist().unwrap();
+    }
+    let disk = Arc::new(FileDisk::open(&path2, 1024).unwrap());
+    let err = RTreeIndex::open_on(disk, opts).unwrap_err();
+    assert!(err.to_string().contains("page size"), "got: {err}");
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&path2).ok();
+}
