@@ -2,9 +2,7 @@
 //! piggybacking on/off, summary-assisted queries on/off, quadratic vs
 //! linear split, and directional (GBU) vs uniform (LBU) ε-extension.
 
-use bur_core::{
-    GbuParams, IndexOptions, LbuParams, RTreeIndex, SplitPolicy, UpdateStrategy,
-};
+use bur_core::{GbuParams, IndexOptions, LbuParams, RTreeIndex, SplitPolicy, UpdateStrategy};
 use bur_workload::{Workload, WorkloadConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -129,7 +127,10 @@ fn bench_extension_style(c: &mut Criterion) {
         (
             "uniform-lbu",
             IndexOptions {
-                strategy: UpdateStrategy::Localized(LbuParams { epsilon: 0.01, ..LbuParams::default() }),
+                strategy: UpdateStrategy::Localized(LbuParams {
+                    epsilon: 0.01,
+                    ..LbuParams::default()
+                }),
                 ..IndexOptions::default()
             },
         ),
@@ -215,9 +216,7 @@ fn bench_bulk_loaders(c: &mut Criterion) {
     let items = wl.items();
     group.bench_function("str", |b| {
         b.iter(|| {
-            black_box(
-                RTreeIndex::bulk_load_in_memory(IndexOptions::generalized(), &items).unwrap(),
-            )
+            black_box(RTreeIndex::bulk_load_in_memory(IndexOptions::generalized(), &items).unwrap())
         })
     });
     group.bench_function("hilbert", |b| {
@@ -246,7 +245,10 @@ fn bench_eviction_policy(c: &mut Criterion) {
     use bur_storage::EvictionPolicy;
     let mut group = c.benchmark_group("ablation-eviction");
     group.sample_size(15);
-    for (name, policy) in [("lru", EvictionPolicy::Lru), ("clock", EvictionPolicy::Clock)] {
+    for (name, policy) in [
+        ("lru", EvictionPolicy::Lru),
+        ("clock", EvictionPolicy::Clock),
+    ] {
         let opts = IndexOptions {
             buffer_frames: 64,
             eviction: policy,

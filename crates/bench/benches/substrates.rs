@@ -18,7 +18,9 @@ fn bench_geom(c: &mut Criterion) {
     let mut group = c.benchmark_group("geom");
     group.bench_function("union", |bch| bch.iter(|| black_box(a.union(&b))));
     group.bench_function("intersects", |bch| bch.iter(|| black_box(a.intersects(&b))));
-    group.bench_function("enlargement", |bch| bch.iter(|| black_box(a.enlargement(&b))));
+    group.bench_function("enlargement", |bch| {
+        bch.iter(|| black_box(a.enlargement(&b)))
+    });
     group.bench_function("contains_point", |bch| {
         bch.iter(|| black_box(a.contains_point(&p)))
     });
@@ -26,7 +28,13 @@ fn bench_geom(c: &mut Criterion) {
 }
 
 fn bench_pool(c: &mut Criterion) {
-    let pool = BufferPool::new(Arc::new(MemDisk::new(1024)), PoolConfig { capacity: 64, ..PoolConfig::default() });
+    let pool = BufferPool::new(
+        Arc::new(MemDisk::new(1024)),
+        PoolConfig {
+            capacity: 64,
+            ..PoolConfig::default()
+        },
+    );
     let mut pids = Vec::new();
     for _ in 0..256 {
         let (pid, g) = pool.new_page().unwrap();
@@ -58,7 +66,10 @@ fn bench_pool(c: &mut Criterion) {
 fn bench_hash(c: &mut Criterion) {
     let pool = Arc::new(BufferPool::new(
         Arc::new(MemDisk::new(1024)),
-        PoolConfig { capacity: 512, ..PoolConfig::default() },
+        PoolConfig {
+            capacity: 512,
+            ..PoolConfig::default()
+        },
     ));
     let idx = LinearHashIndex::create(pool, HashIndexConfig::default()).unwrap();
     for k in 0..50_000u64 {

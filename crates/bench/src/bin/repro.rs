@@ -1,8 +1,11 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale smoke|default|paper] [--out DIR] <experiment>|all
+//! repro [--scale smoke|default|paper] [--smoke] [--out DIR] <experiment>|all
 //! ```
+//!
+//! `--smoke` is the CI shorthand for `--scale smoke all`: it forces smoke
+//! scale and, when no experiment is named, runs the full sweep.
 //!
 //! Prints each figure as an aligned table (the same series the paper
 //! plots) and writes a CSV per table under `--out` (default `results/`).
@@ -13,7 +16,7 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: repro [--scale smoke|default|paper] [--out DIR] <experiment>|all\n\
+        "usage: repro [--scale smoke|default|paper] [--smoke] [--out DIR] <experiment>|all\n\
          experiments: {}",
         figures::EXPERIMENTS.join(", ")
     );
@@ -24,6 +27,7 @@ fn main() -> ExitCode {
     let mut scale = Scale::Default;
     let mut out_dir = PathBuf::from("results");
     let mut targets: Vec<String> = Vec::new();
+    let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -33,6 +37,7 @@ fn main() -> ExitCode {
                 };
                 scale = v;
             }
+            "--smoke" => smoke = true,
             "--out" => {
                 let Some(v) = args.next() else { return usage() };
                 out_dir = PathBuf::from(v);
@@ -44,12 +49,21 @@ fn main() -> ExitCode {
             other => targets.push(other.to_string()),
         }
     }
+    if smoke {
+        scale = Scale::Smoke;
+        if targets.is_empty() {
+            targets.push("all".to_string());
+        }
+    }
     if targets.is_empty() {
         return usage();
     }
 
     let run_list: Vec<String> = if targets.iter().any(|t| t == "all") {
-        figures::EXPERIMENTS.iter().map(|s| (*s).to_string()).collect()
+        figures::EXPERIMENTS
+            .iter()
+            .map(|s| (*s).to_string())
+            .collect()
     } else {
         targets
     };

@@ -34,7 +34,10 @@ fn td() -> IndexOptions {
 /// LBU with a given ε.
 fn lbu(epsilon: f32) -> IndexOptions {
     IndexOptions {
-        strategy: UpdateStrategy::Localized(LbuParams { epsilon, ..LbuParams::default() }),
+        strategy: UpdateStrategy::Localized(LbuParams {
+            epsilon,
+            ..LbuParams::default()
+        }),
         ..IndexOptions::default()
     }
 }
@@ -53,7 +56,12 @@ fn gbu(epsilon: f32, tau: f32, level: Option<u16>) -> IndexOptions {
     }
 }
 
-fn cell(scale: Scale, index: IndexOptions, workload: WorkloadConfig, buffer_pct: f64) -> Measurement {
+fn cell(
+    scale: Scale,
+    index: IndexOptions,
+    workload: WorkloadConfig,
+    buffer_pct: f64,
+) -> Measurement {
     cell_with(scale, index, workload, buffer_pct, scale.updates())
 }
 
@@ -237,7 +245,12 @@ pub fn fig6_level(scale: Scale) -> Vec<Table> {
         let mut upd_row = vec![fnum(d as f64), fnum(t.update_io), fnum(l.update_io)];
         let mut qry_row = vec![fnum(d as f64), fnum(t.query_io), fnum(l.query_io)];
         for level in 0..=3u16 {
-            let g = cell(scale, gbu(DEFAULT_EPSILON, DEFAULT_TAU, Some(level)), wl, 1.0);
+            let g = cell(
+                scale,
+                gbu(DEFAULT_EPSILON, DEFAULT_TAU, Some(level)),
+                wl,
+                1.0,
+            );
             upd_row.push(fnum(g.update_io));
             qry_row.push(fnum(g.query_io));
         }
@@ -305,7 +318,13 @@ pub fn fig6_updates(scale: Scale) -> Vec<Table> {
         eprintln!("fig6-updates: U={updates}");
         let t = cell_with(scale, td(), wl, 1.0, updates);
         let l = cell_with(scale, lbu(DEFAULT_EPSILON), wl, 1.0, updates);
-        let g = cell_with(scale, gbu(DEFAULT_EPSILON, DEFAULT_TAU, None), wl, 1.0, updates);
+        let g = cell_with(
+            scale,
+            gbu(DEFAULT_EPSILON, DEFAULT_TAU, None),
+            wl,
+            1.0,
+            updates,
+        );
         upd.row(vec![
             updates.to_string(),
             fnum(t.update_io),
@@ -426,7 +445,8 @@ pub fn summary_size(scale: Scale) -> Vec<Table> {
     let table_bytes = summary.table_size_bytes() as u64;
     let bitvec_bytes = summary.bitvec_size_bytes() as u64;
     let tree_bytes = tree_pages * index.options().page_size as u64;
-    let entry_ratio = table_bytes as f64 / internal.max(1) as f64 / index.options().page_size as f64;
+    let entry_ratio =
+        table_bytes as f64 / internal.max(1) as f64 / index.options().page_size as f64;
     let node_ratio = internal as f64 / tree_pages as f64;
     let space_ratio = table_bytes as f64 / tree_bytes as f64;
 
@@ -520,11 +540,7 @@ pub fn ext_rstar(scale: Scale) -> Vec<Table> {
         let mk = |o: IndexOptions| if rstar { o.rstar() } else { o };
         let t = cell(scale, mk(td()), wl, 1.0);
         let g = cell(scale, mk(gbu(DEFAULT_EPSILON, DEFAULT_TAU, None)), wl, 1.0);
-        upd.row(vec![
-            name.to_string(),
-            fnum(t.update_io),
-            fnum(g.update_io),
-        ]);
+        upd.row(vec![name.to_string(), fnum(t.update_io), fnum(g.update_io)]);
         qry.row(vec![name.to_string(), fnum(t.query_io), fnum(g.query_io)]);
     }
     vec![upd, qry]

@@ -81,8 +81,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Measurement {
             // inserting one object at a time like the paper.
             let mut build_opts = cfg.index;
             build_opts.buffer_frames = 4096;
-            let mut index =
-                RTreeIndex::create_in_memory(build_opts).expect("create failed");
+            let mut index = RTreeIndex::create_in_memory(build_opts).expect("create failed");
             for &(oid, p) in &items {
                 index.insert(oid, p).expect("build insert failed");
             }
@@ -91,8 +90,8 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Measurement {
     };
 
     let data_pages = index.data_pages().expect("page count");
-    let buffer_frames = ((data_pages as f64 * cfg.buffer_pct / 100.0).round() as usize)
-        .min(data_pages as usize);
+    let buffer_frames =
+        ((data_pages as f64 * cfg.buffer_pct / 100.0).round() as usize).min(data_pages as usize);
     index
         .set_buffer_capacity(buffer_frames)
         .expect("buffer resize");
@@ -106,9 +105,7 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Measurement {
     let t0 = Instant::now();
     for _ in 0..cfg.updates {
         let op = wl.next_update();
-        index
-            .update(op.oid, op.old, op.new)
-            .expect("update failed");
+        index.update(op.oid, op.old, op.new).expect("update failed");
     }
     let update_secs = t0.elapsed().as_secs_f64();
     let io_updates = index.io_stats().snapshot().since(&io_before);
@@ -168,7 +165,11 @@ mod tests {
     #[test]
     fn runner_produces_sane_measurements() {
         let m = run_experiment(&small_cfg(IndexOptions::generalized()));
-        assert!(m.update_io > 0.0 && m.update_io < 50.0, "update io {}", m.update_io);
+        assert!(
+            m.update_io > 0.0 && m.update_io < 50.0,
+            "update io {}",
+            m.update_io
+        );
         assert!(m.query_io > 0.0, "query io {}", m.query_io);
         assert!(m.height >= 3);
         assert!(m.data_pages > 50);

@@ -80,9 +80,9 @@ impl Scale {
     #[must_use]
     pub fn max_distance(&self) -> f32 {
         match self {
-            Self::Smoke => 0.05,     // leaf side ≈ 0.095 at 3 k objects
-            Self::Default => 0.01,   // leaf side ≈ 0.017 at 100 k
-            Self::Paper => 0.003,    // leaf side ≈ 0.0054 at 1 M
+            Self::Smoke => 0.05,   // leaf side ≈ 0.095 at 3 k objects
+            Self::Default => 0.01, // leaf side ≈ 0.017 at 100 k
+            Self::Paper => 0.003,  // leaf side ≈ 0.0054 at 1 M
         }
     }
 

@@ -19,12 +19,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// One throughput cell: ops/second at `update_pct` % updates.
-pub fn measure_tps(
-    opts: IndexOptions,
-    scale: Scale,
-    update_pct: u32,
-    duration: Duration,
-) -> f64 {
+pub fn measure_tps(opts: IndexOptions, scale: Scale, update_pct: u32, duration: Duration) -> f64 {
     let wl_cfg = WorkloadConfig {
         num_objects: scale.objects(),
         query_max_side: 0.01, // the paper's throughput queries
@@ -55,7 +50,7 @@ pub fn measure_tps(
                 let mut rng = StdRng::seed_from_u64(0xF168 + t as u64);
                 let mut local = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    if rng.random_range(0..100) < update_pct {
+                    if rng.random_range(0u32..100) < update_pct {
                         let op = part.next_update();
                         index.update(op.oid, op.old, op.new).expect("update");
                     } else {
@@ -83,7 +78,10 @@ pub fn fig8(scale: Scale) -> Vec<Table> {
         (
             "LBU",
             IndexOptions {
-                strategy: UpdateStrategy::Localized(LbuParams { epsilon: 0.003, ..LbuParams::default() }),
+                strategy: UpdateStrategy::Localized(LbuParams {
+                    epsilon: 0.003,
+                    ..LbuParams::default()
+                }),
                 ..IndexOptions::default()
             },
         ),

@@ -30,7 +30,12 @@ pub const BULK_FILL: f64 = 0.66;
 /// such that every chunk holds at least `min` and at most `cap` items
 /// (possible whenever `min <= cap / 2`, which the index config enforces).
 /// The trailing chunk is rebalanced rather than left underfull.
-fn balanced_chunks(len: usize, target: usize, min: usize, cap: usize) -> Vec<std::ops::Range<usize>> {
+fn balanced_chunks(
+    len: usize,
+    target: usize,
+    min: usize,
+    cap: usize,
+) -> Vec<std::ops::Range<usize>> {
     if len == 0 {
         return Vec::new();
     }
@@ -40,7 +45,10 @@ fn balanced_chunks(len: usize, target: usize, min: usize, cap: usize) -> Vec<std
     }
     let base = len / r;
     let extra = len % r;
-    debug_assert!(base + usize::from(extra > 0) <= cap || r == 1, "chunk exceeds capacity");
+    debug_assert!(
+        base + usize::from(extra > 0) <= cap || r == 1,
+        "chunk exceeds capacity"
+    );
     let mut out = Vec::with_capacity(r);
     let mut start = 0;
     for i in 0..r {
@@ -100,7 +108,10 @@ impl RTreeIndex {
                 }
                 let mbr = node.mbr();
                 tree.write_node(pid, &node)?;
-                level_entries.push(InternalEntry { child: pid, rect: mbr });
+                level_entries.push(InternalEntry {
+                    child: pid,
+                    rect: mbr,
+                });
             }
         }
 
@@ -135,7 +146,10 @@ impl RTreeIndex {
                     }
                     let mbr = node.mbr();
                     tree.write_node(pid, &node)?;
-                    next.push(InternalEntry { child: pid, rect: mbr });
+                    next.push(InternalEntry {
+                        child: pid,
+                        rect: mbr,
+                    });
                 }
             }
             level_entries = next;
@@ -182,8 +196,12 @@ impl RTreeIndex {
         sorted.sort_by_key(|&(_, p)| bur_geom::hilbert::hilbert_key(p, ORDER));
 
         let mut level_entries: Vec<InternalEntry> = Vec::new();
-        for run_range in balanced_chunks(sorted.len(), leaf_fill, leaf_min.min(sorted.len()), leaf_cap)
-        {
+        for run_range in balanced_chunks(
+            sorted.len(),
+            leaf_fill,
+            leaf_min.min(sorted.len()),
+            leaf_cap,
+        ) {
             let run = &sorted[run_range];
             let pid = tree.bulk_alloc()?;
             let mut node = Node::new_leaf();
@@ -193,7 +211,10 @@ impl RTreeIndex {
             }
             let mbr = node.mbr();
             tree.write_node(pid, &node)?;
-            level_entries.push(InternalEntry { child: pid, rect: mbr });
+            level_entries.push(InternalEntry {
+                child: pid,
+                rect: mbr,
+            });
         }
 
         // ---- internal levels: children are already curve-ordered, so
@@ -218,7 +239,10 @@ impl RTreeIndex {
                 }
                 let mbr = node.mbr();
                 tree.write_node(pid, &node)?;
-                next.push(InternalEntry { child: pid, rect: mbr });
+                next.push(InternalEntry {
+                    child: pid,
+                    rect: mbr,
+                });
             }
             level_entries = next;
             level += 1;

@@ -88,7 +88,9 @@ impl ConcurrentIndex {
                     return index.update(oid, old, new);
                 };
                 let tree_s = self.locks.try_lock(Granule::Tree, LockMode::Shared);
-                let leaf_x = self.locks.try_lock(Granule::Leaf(leaf_pid), LockMode::Exclusive);
+                let leaf_x = self
+                    .locks
+                    .try_lock(Granule::Leaf(leaf_pid), LockMode::Exclusive);
                 match (tree_s, leaf_x) {
                     (Ok(_t), Ok(_l)) => return index.update(oid, old, new),
                     _ => {

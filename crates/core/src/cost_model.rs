@@ -84,9 +84,7 @@ pub struct BottomUpCases {
 /// Split a bottom-up update into the paper's three cases.
 #[must_use]
 pub fn bottom_up_cases(d: f64, s: (f64, f64), epsilon: f64) -> BottomUpCases {
-    let stay = |w: f64, h: f64| -> f64 {
-        (1.0 - d / w).max(0.0) * (1.0 - d / h).max(0.0)
-    };
+    let stay = |w: f64, h: f64| -> f64 { (1.0 - d / w).max(0.0) * (1.0 - d / h).max(0.0) };
     let p_stay = stay(s.0, s.1).clamp(0.0, 1.0);
     let p_within_ext = stay(s.0 + epsilon, s.1 + epsilon).clamp(0.0, 1.0);
     let p_extend = (p_within_ext - p_stay).max(0.0);

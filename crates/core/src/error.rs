@@ -68,10 +68,15 @@ mod tests {
     fn display_covers_variants() {
         assert!(CoreError::DuplicateObject(5).to_string().contains('5'));
         assert!(CoreError::ObjectNotFound(9).to_string().contains('9'));
-        assert!(CoreError::CorruptNode { pid: 3, reason: "bad magic" }
+        assert!(CoreError::CorruptNode {
+            pid: 3,
+            reason: "bad magic"
+        }
+        .to_string()
+        .contains("bad magic"));
+        assert!(CoreError::InvariantViolation("x".into())
             .to_string()
-            .contains("bad magic"));
-        assert!(CoreError::InvariantViolation("x".into()).to_string().contains('x'));
+            .contains('x'));
         assert!(CoreError::BadConfig("y".into()).to_string().contains('y'));
         let e: CoreError = StorageError::DiskFull.into();
         assert!(e.to_string().contains("full"));

@@ -109,10 +109,9 @@ pub(crate) fn update(
             "summary has no parent for leaf {leaf_pid}"
         )));
     };
-    let parent_mbr = summary
-        .entry(parent_pid)
-        .map(|e| e.mbr)
-        .ok_or_else(|| CoreError::InvariantViolation(format!("no summary entry for {parent_pid}")))?;
+    let parent_mbr = summary.entry(parent_pid).map(|e| e.mbr).ok_or_else(|| {
+        CoreError::InvariantViolation(format!("no summary entry for {parent_pid}"))
+    })?;
 
     // The distance threshold τ (Section 3.2.1 item 2): fast movers
     // attempt the sibling shift before the extension.
@@ -122,12 +121,10 @@ pub(crate) fn update(
     // Both repairs need the parent node; read it once (1 I/O — the
     // paper's "R parent" charge).
     let mut parent = tree.read_node(parent_pid)?;
-    let pidx = parent
-        .child_index(leaf_pid)
-        .ok_or(CoreError::CorruptNode {
-            pid: parent_pid,
-            reason: "summary parent does not list the leaf",
-        })?;
+    let pidx = parent.child_index(leaf_pid).ok_or(CoreError::CorruptNode {
+        pid: parent_pid,
+        reason: "summary parent does not list the leaf",
+    })?;
     let official = parent.internal_entries()[pidx].rect;
     if official.contains_point(&new) {
         // A previous extension already covers the target.
@@ -137,9 +134,18 @@ pub(crate) fn update(
     }
 
     if extend_first {
-        if let Some(outcome) =
-            try_extend(tree, params, &mut leaf, leaf_pid, idx, &mut parent, parent_pid, pidx, parent_mbr, new)?
-        {
+        if let Some(outcome) = try_extend(
+            tree,
+            params,
+            &mut leaf,
+            leaf_pid,
+            idx,
+            &mut parent,
+            parent_pid,
+            pidx,
+            parent_mbr,
+            new,
+        )? {
             return Ok(outcome);
         }
     }
@@ -152,7 +158,15 @@ pub(crate) fn update(
     leaf.leaf_entries_mut().swap_remove(idx);
 
     if let Some(outcome) = try_shift(
-        tree, params, &mut leaf, leaf_pid, &mut parent, parent_pid, pidx, oid, new,
+        tree,
+        params,
+        &mut leaf,
+        leaf_pid,
+        &mut parent,
+        parent_pid,
+        pidx,
+        oid,
+        new,
     )? {
         return Ok(outcome);
     }
@@ -164,9 +178,18 @@ pub(crate) fn update(
         let idx = leaf.count() - 1;
         // Re-point the entry at the *old* location for try_extend's
         // in-place write of the new one.
-        if let Some(outcome) =
-            try_extend(tree, params, &mut leaf, leaf_pid, idx, &mut parent, parent_pid, pidx, parent_mbr, new)?
-        {
+        if let Some(outcome) = try_extend(
+            tree,
+            params,
+            &mut leaf,
+            leaf_pid,
+            idx,
+            &mut parent,
+            parent_pid,
+            pidx,
+            parent_mbr,
+            new,
+        )? {
             return Ok(outcome);
         }
         leaf.leaf_entries_mut().swap_remove(idx);
@@ -304,7 +327,8 @@ fn try_shift(
     // overfill the sibling.
     if params.piggyback {
         const MAX_PIGGYBACK: u64 = 3;
-        let sib_rect = parent.internal_entries()[parent.child_index(sib_pid).expect("sibling entry")].rect;
+        let sib_rect =
+            parent.internal_entries()[parent.child_index(sib_pid).expect("sibling entry")].rect;
         let min_keep = tree.min_fill_leaf() + 2;
         let mut moved = 0u64;
         let mut i = 0;

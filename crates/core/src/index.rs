@@ -11,9 +11,7 @@ use crate::tree::RTree;
 use crate::{gbu, lbu, topdown};
 use bur_geom::{Point, Rect};
 use bur_hashindex::{HashIndexConfig, LinearHashIndex};
-use bur_storage::{
-    BufferPool, DiskBackend, IoStats, MemDisk, PageId, PoolConfig, INVALID_PAGE,
-};
+use bur_storage::{BufferPool, DiskBackend, IoStats, MemDisk, PageId, PoolConfig, INVALID_PAGE};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -415,7 +413,10 @@ impl RTreeIndex {
     /// Number of pages used by the secondary hash index (0 without one).
     #[must_use]
     pub fn hash_pages(&self) -> usize {
-        self.tree.hash.as_ref().map_or(0, LinearHashIndex::page_count)
+        self.tree
+            .hash
+            .as_ref()
+            .map_or(0, LinearHashIndex::page_count)
     }
 
     /// Total data pages (tree + hash) — what experiments size buffers
@@ -477,7 +478,14 @@ fn rebuild_memory_state(tree: &mut RTree, build_hash: bool) -> CoreResult<()> {
     }
     let mut hash_entries = Vec::new();
     let leaf_cap = tree.leaf_cap();
-    walk(tree, tree.root, &mut summary, &mut hash_entries, build_hash, leaf_cap)?;
+    walk(
+        tree,
+        tree.root,
+        &mut summary,
+        &mut hash_entries,
+        build_hash,
+        leaf_cap,
+    )?;
     if let Some(s) = &mut summary {
         let root = tree.read_node(tree.root)?;
         s.set_root_mbr(root.mbr());
@@ -496,8 +504,7 @@ fn rebuild_memory_state(tree: &mut RTree, build_hash: bool) -> CoreResult<()> {
         collect_level(tree, tree.root, 1, &mut level1)?;
         for parent_pid in level1 {
             let parent = tree.read_node(parent_pid)?;
-            let children: Vec<PageId> =
-                parent.internal_entries().iter().map(|e| e.child).collect();
+            let children: Vec<PageId> = parent.internal_entries().iter().map(|e| e.child).collect();
             for child in children {
                 let mut node = tree.read_node(child)?;
                 if node.parent != parent_pid {

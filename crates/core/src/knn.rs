@@ -165,10 +165,7 @@ mod tests {
     use rand::{RngExt, SeedableRng};
 
     fn brute_force(objects: &[(ObjectId, Point)], query: Point, k: usize) -> Vec<f32> {
-        let mut d: Vec<f32> = objects
-            .iter()
-            .map(|(_, p)| p.distance(&query))
-            .collect();
+        let mut d: Vec<f32> = objects.iter().map(|(_, p)| p.distance(&query)).collect();
         d.sort_by(f32::total_cmp);
         d.truncate(k);
         d
@@ -248,17 +245,21 @@ mod tests {
     #[test]
     fn k_zero_and_empty_tree() {
         let index = RTreeIndex::create_in_memory(IndexOptions::generalized()).unwrap();
-        assert!(index.nearest_neighbors(Point::new(0.5, 0.5), 5).unwrap().is_empty());
+        assert!(index
+            .nearest_neighbors(Point::new(0.5, 0.5), 5)
+            .unwrap()
+            .is_empty());
         let (index, _) = populated(IndexOptions::generalized(), 10, 3);
-        assert!(index.nearest_neighbors(Point::new(0.5, 0.5), 0).unwrap().is_empty());
+        assert!(index
+            .nearest_neighbors(Point::new(0.5, 0.5), 0)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
     fn k_larger_than_population_returns_everything() {
         let (index, objects) = populated(IndexOptions::top_down(), 37, 5);
-        let got = index
-            .nearest_neighbors(Point::new(0.2, 0.2), 1000)
-            .unwrap();
+        let got = index.nearest_neighbors(Point::new(0.2, 0.2), 1000).unwrap();
         assert_eq!(got.len(), objects.len());
         let mut oids: Vec<ObjectId> = got.iter().map(|n| n.oid).collect();
         oids.sort_unstable();

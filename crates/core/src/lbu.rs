@@ -65,12 +65,10 @@ pub(crate) fn update(
         });
     }
     let mut parent = tree.read_node(parent_pid)?;
-    let pidx = parent
-        .child_index(leaf_pid)
-        .ok_or(CoreError::CorruptNode {
-            pid: parent_pid,
-            reason: "parent pointer target does not list the leaf",
-        })?;
+    let pidx = parent.child_index(leaf_pid).ok_or(CoreError::CorruptNode {
+        pid: parent_pid,
+        reason: "parent pointer target does not list the leaf",
+    })?;
     let official = parent.internal_entries()[pidx].rect;
     if official.contains_point(&new) {
         // A previous enlargement already covers the target: pure in-place.
@@ -82,7 +80,9 @@ pub(crate) fn update(
     // preserve the R-tree structure, the expansion of a leaf MBR is
     // bounded by its parent MBR").
     let parent_mbr = parent.mbr();
-    let enlarged = official.expanded_uniform(params.epsilon).clipped_to(&parent_mbr);
+    let enlarged = official
+        .expanded_uniform(params.epsilon)
+        .clipped_to(&parent_mbr);
     if enlarged.contains_point(&new) {
         parent.internal_entries_mut()[pidx].rect = enlarged;
         tree.write_node(parent_pid, &parent)?;

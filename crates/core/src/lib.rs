@@ -44,8 +44,8 @@ pub use concurrent::ConcurrentIndex;
 pub use config::{GbuParams, IndexOptions, InsertPolicy, LbuParams, SplitPolicy, UpdateStrategy};
 pub use error::{CoreError, CoreResult};
 pub use gbu::iextend_mbr;
-pub use knn::Neighbor;
 pub use index::RTreeIndex;
+pub use knn::Neighbor;
 pub use node::{
     internal_capacity, leaf_capacity, InternalEntry, LeafEntry, Node, NodeEntries, ObjectId,
     INTERNAL_ENTRY_SIZE, LEAF_ENTRY_SIZE,

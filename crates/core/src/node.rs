@@ -138,12 +138,8 @@ impl Node {
     #[must_use]
     pub fn mbr(&self) -> Rect {
         match &self.entries {
-            NodeEntries::Leaf(v) => v
-                .iter()
-                .fold(Rect::EMPTY, |acc, e| acc.union(&e.rect)),
-            NodeEntries::Internal(v) => v
-                .iter()
-                .fold(Rect::EMPTY, |acc, e| acc.union(&e.rect)),
+            NodeEntries::Leaf(v) => v.iter().fold(Rect::EMPTY, |acc, e| acc.union(&e.rect)),
+            NodeEntries::Internal(v) => v.iter().fold(Rect::EMPTY, |acc, e| acc.union(&e.rect)),
         }
     }
 
@@ -184,7 +180,9 @@ impl Node {
     /// Index of the entry pointing at `child`, if present.
     #[must_use]
     pub fn child_index(&self, child: PageId) -> Option<usize> {
-        self.internal_entries().iter().position(|e| e.child == child)
+        self.internal_entries()
+            .iter()
+            .position(|e| e.child == child)
     }
 
     /// Index of the leaf entry for `oid`, if present.
@@ -213,7 +211,11 @@ impl Node {
             count <= self.capacity(buf.len()),
             "node with {count} entries exceeds page capacity"
         );
-        buf[0] = if self.is_leaf() { MAGIC_LEAF } else { MAGIC_INTERNAL };
+        buf[0] = if self.is_leaf() {
+            MAGIC_LEAF
+        } else {
+            MAGIC_INTERNAL
+        };
         buf[1] = self.level as u8;
         buf[2..4].copy_from_slice(&(count as u16).to_le_bytes());
         buf[4..8].copy_from_slice(&self.parent.to_le_bytes());

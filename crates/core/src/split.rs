@@ -39,12 +39,7 @@ fn split_rstar(rects: &[Rect], min_fill: usize) -> (Vec<usize>, Vec<usize>) {
     let min_fill = min_fill.max(1);
 
     // Four sort orders: (axis, by lower / by upper bound).
-    let keys: [fn(&Rect) -> f32; 4] = [
-        |r| r.min_x,
-        |r| r.max_x,
-        |r| r.min_y,
-        |r| r.max_y,
-    ];
+    let keys: [fn(&Rect) -> f32; 4] = [|r| r.min_x, |r| r.max_x, |r| r.min_y, |r| r.max_y];
 
     // Per axis: margin sum over all distributions of both its sorts.
     let mut axis_margin = [0.0f64; 2];
@@ -252,7 +247,10 @@ mod tests {
         let mut all: Vec<usize> = a.iter().chain(b.iter()).copied().collect();
         all.sort_unstable();
         let expect: Vec<usize> = (0..rects.len()).collect();
-        assert_eq!(all, expect, "{policy:?}: partition must cover all exactly once");
+        assert_eq!(
+            all, expect,
+            "{policy:?}: partition must cover all exactly once"
+        );
     }
 
     #[test]
@@ -305,10 +303,7 @@ mod tests {
 
     #[test]
     fn two_entries() {
-        let rects = vec![
-            Rect::new(0.0, 0.0, 0.1, 0.1),
-            Rect::new(0.9, 0.9, 1.0, 1.0),
-        ];
+        let rects = vec![Rect::new(0.0, 0.0, 0.1, 0.1), Rect::new(0.9, 0.9, 1.0, 1.0)];
         for policy in ALL_POLICIES {
             let (a, b) = split(&rects, 1, policy);
             assert_eq!(a.len(), 1);
@@ -374,12 +369,18 @@ mod tests {
             .iter()
             .map(|&i| rects[i].min_x)
             .fold(f32::NEG_INFINITY, f32::max);
-        let min_b = b.iter().map(|&i| rects[i].min_x).fold(f32::INFINITY, f32::min);
+        let min_b = b
+            .iter()
+            .map(|&i| rects[i].min_x)
+            .fold(f32::INFINITY, f32::min);
         let max_b = b
             .iter()
             .map(|&i| rects[i].min_x)
             .fold(f32::NEG_INFINITY, f32::max);
-        let min_a = a.iter().map(|&i| rects[i].min_x).fold(f32::INFINITY, f32::min);
+        let min_a = a
+            .iter()
+            .map(|&i| rects[i].min_x)
+            .fold(f32::INFINITY, f32::min);
         assert!(
             max_a <= min_b || max_b <= min_a,
             "groups interleave: {a:?} / {b:?}"

@@ -298,12 +298,10 @@ impl RTree {
                 return Ok(());
             }
             let mut node = self.read_node(anc)?;
-            let idx = node
-                .child_index(child_pid)
-                .ok_or(CoreError::CorruptNode {
-                    pid: anc,
-                    reason: "ancestor chain does not link to child",
-                })?;
+            let idx = node.child_index(child_pid).ok_or(CoreError::CorruptNode {
+                pid: anc,
+                reason: "ancestor chain does not link to child",
+            })?;
             let old_anc_mbr = node.mbr();
             // AdjustTree sets the entry to the child's exact MBR. This may
             // *shrink* a previously ε-extended official rect — deliberate:
@@ -407,9 +405,7 @@ impl RTree {
     /// leaves (Beckmann's ChooseSubtree).
     fn choose_subtree(&self, node: &Node, rect: &Rect) -> usize {
         match self.opts.insert {
-            InsertPolicy::RStar if node.level == 1 => {
-                Self::choose_subtree_min_overlap(node, rect)
-            }
+            InsertPolicy::RStar if node.level == 1 => Self::choose_subtree_min_overlap(node, rect),
             _ => Self::choose_subtree_guttman(node, rect),
         }
     }
@@ -449,8 +445,8 @@ impl RTree {
             let mut overlap_delta = 0.0;
             for (j, s) in entries.iter().enumerate() {
                 if i != j {
-                    overlap_delta += expanded.intersection_area(&s.rect)
-                        - e.rect.intersection_area(&s.rect);
+                    overlap_delta +=
+                        expanded.intersection_area(&s.rect) - e.rect.intersection_area(&s.rect);
                 }
             }
             let key = (overlap_delta, e.rect.enlargement(rect), e.rect.area());
@@ -900,7 +896,13 @@ impl RTree {
     pub(crate) fn validate(&self) -> CoreResult<()> {
         let mut object_count = 0u64;
         let mut leaf_count = 0u64;
-        self.validate_node(self.root, self.root_level(), None, &mut object_count, &mut leaf_count)?;
+        self.validate_node(
+            self.root,
+            self.root_level(),
+            None,
+            &mut object_count,
+            &mut leaf_count,
+        )?;
         if object_count != self.len {
             return Err(CoreError::InvariantViolation(format!(
                 "len says {} objects, tree holds {object_count}",

@@ -60,7 +60,10 @@ fn strategies() -> Vec<(&'static str, IndexOptions)> {
     gbu2.split = SplitPolicy::Linear;
     // An LBU variant with zero epsilon (sibling shifts only).
     let lbu0 = IndexOptions {
-        strategy: UpdateStrategy::Localized(LbuParams { epsilon: 0.0, ..LbuParams::default() }),
+        strategy: UpdateStrategy::Localized(LbuParams {
+            epsilon: 0.0,
+            ..LbuParams::default()
+        }),
         buffer_frames: small_buffer,
         ..IndexOptions::default()
     };
@@ -108,7 +111,9 @@ fn random_workload_matches_baseline() {
             index.insert(oid, p).unwrap();
             base.insert(oid, p);
         }
-        index.validate().unwrap_or_else(|e| panic!("{name}: after inserts: {e}"));
+        index
+            .validate()
+            .unwrap_or_else(|e| panic!("{name}: after inserts: {e}"));
         assert_eq!(index.len(), 2_000);
         compare(name, &index, &base, &mut rng, 20);
 
@@ -118,15 +123,14 @@ fn random_workload_matches_baseline() {
             let old = base.objects[&oid];
             let dist = if i % 5 == 0 { 0.3 } else { 0.02 };
             let new = old
-                .translated(
-                    rng.random_range(-dist..dist),
-                    rng.random_range(-dist..dist),
-                )
+                .translated(rng.random_range(-dist..dist), rng.random_range(-dist..dist))
                 .clamped(0.0, 1.0);
             index.update(oid, old, new).unwrap();
             base.update(oid, new);
         }
-        index.validate().unwrap_or_else(|e| panic!("{name}: after updates: {e}"));
+        index
+            .validate()
+            .unwrap_or_else(|e| panic!("{name}: after updates: {e}"));
         compare(name, &index, &base, &mut rng, 20);
 
         // Phase 3: deletes (every third object) interleaved with updates.
@@ -135,7 +139,9 @@ fn random_workload_matches_baseline() {
             assert!(index.delete(oid, p).unwrap(), "{name}: delete {oid}");
             base.delete(oid);
         }
-        index.validate().unwrap_or_else(|e| panic!("{name}: after deletes: {e}"));
+        index
+            .validate()
+            .unwrap_or_else(|e| panic!("{name}: after deletes: {e}"));
         assert_eq!(index.len() as usize, base.objects.len());
         compare(name, &index, &base, &mut rng, 20);
 
@@ -145,7 +151,9 @@ fn random_workload_matches_baseline() {
             index.insert(oid, p).unwrap();
             base.insert(oid, p);
         }
-        index.validate().unwrap_or_else(|e| panic!("{name}: after reinserts: {e}"));
+        index
+            .validate()
+            .unwrap_or_else(|e| panic!("{name}: after reinserts: {e}"));
         compare(name, &index, &base, &mut rng, 20);
     }
 }
@@ -302,7 +310,11 @@ fn shrinks_back_after_mass_delete() {
     }
     index.validate().unwrap();
     assert_eq!(index.len(), 10);
-    assert!(index.height() <= 2, "tree must shrink, is {}", index.height());
+    assert!(
+        index.height() <= 2,
+        "tree must shrink, is {}",
+        index.height()
+    );
     let mut all = index.query(&Rect::UNIT).unwrap();
     all.sort_unstable();
     assert_eq!(all, (2_990..3_000).collect::<Vec<_>>());
@@ -311,10 +323,13 @@ fn shrinks_back_after_mass_delete() {
 #[test]
 fn bulk_load_agrees_with_incremental() {
     let mut rng = StdRng::seed_from_u64(11);
-    let items: Vec<(u64, Point)> = (0..5_000u64).map(|oid| (oid, rand_point(&mut rng))).collect();
+    let items: Vec<(u64, Point)> = (0..5_000u64)
+        .map(|oid| (oid, rand_point(&mut rng)))
+        .collect();
     for (name, opts) in strategies() {
         let bulk = RTreeIndex::bulk_load_in_memory(opts, &items).unwrap();
-        bulk.validate().unwrap_or_else(|e| panic!("{name} bulk: {e}"));
+        bulk.validate()
+            .unwrap_or_else(|e| panic!("{name} bulk: {e}"));
         assert_eq!(bulk.len(), 5_000);
         let mut incr = RTreeIndex::create_in_memory(opts).unwrap();
         for &(oid, p) in &items {
@@ -334,7 +349,9 @@ fn bulk_load_agrees_with_incremental() {
 #[test]
 fn bulk_load_utilization_near_66_percent() {
     let mut rng = StdRng::seed_from_u64(13);
-    let items: Vec<(u64, Point)> = (0..20_000u64).map(|oid| (oid, rand_point(&mut rng))).collect();
+    let items: Vec<(u64, Point)> = (0..20_000u64)
+        .map(|oid| (oid, rand_point(&mut rng)))
+        .collect();
     let index = RTreeIndex::bulk_load_in_memory(IndexOptions::top_down(), &items).unwrap();
     // Leaf fanout 42 at 66 % fill → ~27 entries/leaf → ~740 leaves; the
     // whole tree should be within a whisker of n / (42*0.66) + internals.
@@ -358,8 +375,5 @@ fn point_query_and_count() {
     assert_eq!(at, vec![1, 2]);
     assert!(index.point_query(Point::new(0.5, 0.5)).unwrap().is_empty());
     assert_eq!(index.count_in(&Rect::UNIT).unwrap(), 3);
-    assert_eq!(
-        index.count_in(&Rect::new(0.5, 0.5, 1.0, 1.0)).unwrap(),
-        1
-    );
+    assert_eq!(index.count_in(&Rect::new(0.5, 0.5, 1.0, 1.0)).unwrap(), 1);
 }

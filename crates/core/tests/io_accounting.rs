@@ -32,12 +32,7 @@ fn build_gbu(n: u64, seed: u64) -> (RTreeIndex, Vec<Point>) {
 }
 
 /// Run one update and return (outcome, physical I/O).
-fn one_update(
-    index: &mut RTreeIndex,
-    oid: u64,
-    old: Point,
-    new: Point,
-) -> (UpdateOutcome, u64) {
+fn one_update(index: &mut RTreeIndex, oid: u64, old: Point, new: Point) -> (UpdateOutcome, u64) {
     let before = index.io_stats().snapshot();
     let outcome = index.update(oid, old, new).unwrap();
     let delta = index.io_stats().snapshot().since(&before);
@@ -129,10 +124,7 @@ fn shift_and_ascend_bounded_by_constant() {
     for _ in 0..4_000 {
         let oid = rng.random_range(0..positions.len() as u64);
         let old = positions[oid as usize];
-        let new = old.translated(
-            rng.random_range(-0.08..0.08),
-            rng.random_range(-0.08..0.08),
-        );
+        let new = old.translated(rng.random_range(-0.08..0.08), rng.random_range(-0.08..0.08));
         let splits_before = index.op_stats().snapshot().splits;
         let (outcome, io) = one_update(&mut index, oid, old, new);
         let split_happened = index.op_stats().snapshot().splits != splits_before;
@@ -230,10 +222,7 @@ fn gbu_cheaper_than_td_without_buffer() {
     for _ in 0..2_000 {
         let oid = rng.random_range(0..positions.len() as u64);
         let old = positions[oid as usize];
-        let new = old.translated(
-            rng.random_range(-0.02..0.02),
-            rng.random_range(-0.02..0.02),
-        );
+        let new = old.translated(rng.random_range(-0.02..0.02), rng.random_range(-0.02..0.02));
         gbu_io += one_update(&mut gbu, oid, old, new).1;
         td_io += one_update(&mut td, oid, old, new).1;
         positions[oid as usize] = new;

@@ -4,8 +4,8 @@
 //! kNN / distance-query extensions.
 
 use bur_core::{
-    internal_capacity, leaf_capacity, GbuParams, IndexOptions, InternalEntry, LbuParams,
-    LeafEntry, Node, RTreeIndex, SplitPolicy, UpdateStrategy,
+    internal_capacity, leaf_capacity, GbuParams, IndexOptions, InternalEntry, LbuParams, LeafEntry,
+    Node, RTreeIndex, SplitPolicy, UpdateStrategy,
 };
 use bur_geom::{Point, Rect};
 use proptest::prelude::*;
@@ -36,7 +36,10 @@ fn strategies() -> Vec<IndexOptions> {
     vec![
         IndexOptions::top_down(),
         IndexOptions {
-            strategy: UpdateStrategy::Localized(LbuParams { epsilon: 0.01, ..LbuParams::default() }),
+            strategy: UpdateStrategy::Localized(LbuParams {
+                epsilon: 0.01,
+                ..LbuParams::default()
+            }),
             ..IndexOptions::default()
         },
         IndexOptions {
@@ -87,9 +90,7 @@ fn apply_ops(opts: IndexOptions, ops: &[Op]) -> Result<(), TestCaseError> {
                 if let Some(old) = model.remove(k) {
                     prop_assert!(index.delete(u64::from(*k), old).unwrap());
                 } else {
-                    prop_assert!(!index
-                        .delete(u64::from(*k), Point::new(0.5, 0.5))
-                        .unwrap());
+                    prop_assert!(!index.delete(u64::from(*k), Point::new(0.5, 0.5)).unwrap());
                 }
             }
             Op::Query((x, y), (w, h)) => {

@@ -1,9 +1,7 @@
 //! Strategy-specific behaviour: the knobs of Section 3.2.1 must do what
 //! the paper says they do, observably.
 
-use bur_core::{
-    GbuParams, IndexOptions, LbuParams, RTreeIndex, UpdateOutcome, UpdateStrategy,
-};
+use bur_core::{GbuParams, IndexOptions, LbuParams, RTreeIndex, UpdateOutcome, UpdateStrategy};
 use bur_geom::{Point, Rect};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -25,10 +23,7 @@ fn churn(index: &mut RTreeIndex, positions: &mut [Point], seed: u64, updates: us
     for _ in 0..updates {
         let oid = rng.random_range(0..positions.len() as u64);
         let old = positions[oid as usize];
-        let new = old.translated(
-            rng.random_range(-dist..dist),
-            rng.random_range(-dist..dist),
-        );
+        let new = old.translated(rng.random_range(-dist..dist), rng.random_range(-dist..dist));
         index.update(oid, old, new).unwrap();
         positions[oid as usize] = new;
     }
@@ -53,9 +48,7 @@ fn td_keeps_no_auxiliary_structures() {
     // And every TD update reports the TopDown outcome.
     let snap_before = index.op_stats().snapshot();
     let items = uniform_points(2_000, 1);
-    index
-        .update(7, items[7].1, Point::new(0.5, 0.5))
-        .unwrap();
+    index.update(7, items[7].1, Point::new(0.5, 0.5)).unwrap();
     let d = index.op_stats().snapshot().since(&snap_before);
     assert_eq!(d.upd_top_down, 1);
     assert_eq!(d.updates, 1);
@@ -149,10 +142,7 @@ fn level_threshold_limits_ascent() {
     for _ in 0..6_000 {
         let oid = rng.random_range(0..positions.len() as u64);
         let old = positions[oid as usize];
-        let new = old.translated(
-            rng.random_range(-0.1..0.1),
-            rng.random_range(-0.1..0.1),
-        );
+        let new = old.translated(rng.random_range(-0.1..0.1), rng.random_range(-0.1..0.1));
         let outcome = index.update(oid, old, new).unwrap();
         if let UpdateOutcome::Ascended { levels } = outcome {
             assert!(
@@ -198,9 +188,7 @@ fn gbu_far_jump_outside_root_goes_top_down() {
         index.insert(oid, p).unwrap();
     }
     let items = uniform_points(2_000, 10);
-    let outcome = index
-        .update(42, items[42].1, Point::new(5.0, 5.0))
-        .unwrap();
+    let outcome = index.update(42, items[42].1, Point::new(5.0, 5.0)).unwrap();
     assert_eq!(outcome, UpdateOutcome::TopDown);
     // The object is now findable at its far position.
     let hits = index.query(&Rect::new(4.9, 4.9, 5.1, 5.1)).unwrap();
@@ -214,7 +202,10 @@ fn lbu_extension_bounded_by_parent() {
     // MBR; validate() enforces the containment invariant after heavy
     // extension-driven churn.
     let opts = IndexOptions {
-        strategy: UpdateStrategy::Localized(LbuParams { epsilon: 0.5, ..LbuParams::default() }),
+        strategy: UpdateStrategy::Localized(LbuParams {
+            epsilon: 0.5,
+            ..LbuParams::default()
+        }),
         ..IndexOptions::default()
     };
     let mut index = RTreeIndex::create_in_memory(opts).unwrap();
@@ -293,10 +284,7 @@ fn ascended_outcome_levels_are_sane() {
     for _ in 0..5_000 {
         let oid = rng.random_range(0..positions.len() as u64);
         let old = positions[oid as usize];
-        let new = old.translated(
-            rng.random_range(-0.08..0.08),
-            rng.random_range(-0.08..0.08),
-        );
+        let new = old.translated(rng.random_range(-0.08..0.08), rng.random_range(-0.08..0.08));
         if let UpdateOutcome::Ascended { levels } = index.update(oid, old, new).unwrap() {
             assert!(levels >= 1 && levels <= max_levels, "ascent {levels}");
             seen_ascent = true;

@@ -281,7 +281,11 @@ mod tests {
         let m = LockManager::new();
         let _s = m.lock(Granule::External(3), LockMode::Shared, T).unwrap();
         let err = m
-            .lock(Granule::External(3), LockMode::Exclusive, Duration::from_millis(50))
+            .lock(
+                Granule::External(3),
+                LockMode::Exclusive,
+                Duration::from_millis(50),
+            )
             .err();
         assert_eq!(err, Some(TryLockError::Timeout));
     }
@@ -361,14 +365,21 @@ mod tests {
             // Bottom-up update into leaf 2: blocks until scan drops.
             let started = Instant::now();
             let _g = m2
-                .lock(Granule::Leaf(2), LockMode::Exclusive, Duration::from_secs(5))
+                .lock(
+                    Granule::Leaf(2),
+                    LockMode::Exclusive,
+                    Duration::from_secs(5),
+                )
                 .unwrap();
             started.elapsed()
         });
         std::thread::sleep(Duration::from_millis(80));
         drop(scan);
         let waited = updater.join().unwrap();
-        assert!(waited >= Duration::from_millis(60), "updater must wait for scan");
+        assert!(
+            waited >= Duration::from_millis(60),
+            "updater must wait for scan"
+        );
     }
 
     #[test]
@@ -387,7 +398,11 @@ mod tests {
                         let g = ((t * 31 + i * 7) % 4) as u32;
                         if i % 3 == 0 {
                             let _x = m
-                                .lock(Granule::Leaf(g), LockMode::Exclusive, Duration::from_secs(10))
+                                .lock(
+                                    Granule::Leaf(g),
+                                    LockMode::Exclusive,
+                                    Duration::from_secs(10),
+                                )
                                 .unwrap();
                             let c = &counters[g as usize];
                             let v = c.load(Ordering::SeqCst);

@@ -20,7 +20,10 @@ pub fn hilbert_side(order: u32) -> u64 {
 #[must_use]
 pub fn hilbert_index(mut x: u64, mut y: u64, order: u32) -> u64 {
     let side = hilbert_side(order);
-    debug_assert!(x < side && y < side, "cell ({x}, {y}) outside order-{order} grid");
+    debug_assert!(
+        x < side && y < side,
+        "cell ({x}, {y}) outside order-{order} grid"
+    );
     let mut d: u64 = 0;
     let mut s = side / 2;
     while s > 0 {

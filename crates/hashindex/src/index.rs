@@ -470,7 +470,10 @@ mod tests {
     fn make_pool(page_size: usize, capacity: usize) -> Arc<BufferPool> {
         Arc::new(BufferPool::new(
             Arc::new(MemDisk::new(page_size)),
-            PoolConfig { capacity, ..PoolConfig::default() },
+            PoolConfig {
+                capacity,
+                ..PoolConfig::default()
+            },
         ))
     }
 

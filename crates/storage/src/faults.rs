@@ -230,7 +230,10 @@ mod tests {
         d.fail_nth(FaultKind::Read, 1);
         d.read(0, &mut buf).unwrap(); // read #0
         let err = d.read(0, &mut buf).unwrap_err(); // read #1: injected
-        assert!(matches!(err, StorageError::InjectedFault { op: "read", .. }));
+        assert!(matches!(
+            err,
+            StorageError::InjectedFault { op: "read", .. }
+        ));
         d.read(0, &mut buf).unwrap(); // read #2 passes again
         assert_eq!(d.injected_faults(), 1);
     }

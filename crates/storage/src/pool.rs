@@ -329,7 +329,10 @@ mod tests {
     fn pool(capacity: usize) -> BufferPool {
         BufferPool::new(
             Arc::new(MemDisk::new(128)),
-            PoolConfig { capacity, ..PoolConfig::default() },
+            PoolConfig {
+                capacity,
+                ..PoolConfig::default()
+            },
         )
     }
 
@@ -511,7 +514,13 @@ mod tests {
     #[test]
     fn concurrent_fetch_stress() {
         let disk = Arc::new(MemDisk::new(128));
-        let p = Arc::new(BufferPool::new(disk, PoolConfig { capacity: 4, ..PoolConfig::default() }));
+        let p = Arc::new(BufferPool::new(
+            disk,
+            PoolConfig {
+                capacity: 4,
+                ..PoolConfig::default()
+            },
+        ));
         let mut pids = Vec::new();
         for i in 0..16u8 {
             let (pid, g) = p.new_page().unwrap();

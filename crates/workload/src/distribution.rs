@@ -140,7 +140,10 @@ mod tests {
             DataDistribution::parse("Gaussian"),
             Some(DataDistribution::Gaussian)
         );
-        assert_eq!(DataDistribution::parse("skew"), Some(DataDistribution::Skewed));
+        assert_eq!(
+            DataDistribution::parse("skew"),
+            Some(DataDistribution::Skewed)
+        );
         assert_eq!(DataDistribution::parse("zipf"), None);
         assert_eq!(DataDistribution::Skewed.name(), "Skew");
     }

@@ -364,7 +364,11 @@ mod tests {
             for _ in 0..200 {
                 let op = part.next_update();
                 let lo = i as u64 * 250;
-                assert!((lo..lo + 250).contains(&op.oid), "oid {} in part {i}", op.oid);
+                assert!(
+                    (lo..lo + 250).contains(&op.oid),
+                    "oid {} in part {i}",
+                    op.oid
+                );
                 seen.insert(op.oid);
             }
         }

@@ -16,19 +16,21 @@ fn arb_config() -> impl Strategy<Value = WorkloadConfig> {
         any::<u64>(),
         any::<bool>(),
     )
-        .prop_map(|(n, d, max_dist, movement, q, seed, clamp)| WorkloadConfig {
-            num_objects: n,
-            distribution: match d {
-                0 => DataDistribution::Uniform,
-                1 => DataDistribution::Gaussian,
-                _ => DataDistribution::Skewed,
+        .prop_map(
+            |(n, d, max_dist, movement, q, seed, clamp)| WorkloadConfig {
+                num_objects: n,
+                distribution: match d {
+                    0 => DataDistribution::Uniform,
+                    1 => DataDistribution::Gaussian,
+                    _ => DataDistribution::Skewed,
+                },
+                max_distance: max_dist,
+                movement,
+                query_max_side: q,
+                seed,
+                clamp,
             },
-            max_distance: max_dist,
-            movement,
-            query_max_side: q,
-            seed,
-            clamp,
-        })
+        )
 }
 
 proptest! {

@@ -78,7 +78,10 @@ fn main() -> CoreResult<()> {
     println!(
         "fleet of {VEHICLES} vehicles, {REPORTS} position reports, {QUERIES} dispatch queries\n"
     );
-    drive(IndexOptions::top_down(), "top-down updates (classic R-tree)")?;
+    drive(
+        IndexOptions::top_down(),
+        "top-down updates (classic R-tree)",
+    )?;
     drive(
         IndexOptions::generalized(),
         "generalized bottom-up updates (the paper)",

@@ -67,9 +67,7 @@ fn main() -> CoreResult<()> {
         "  update paths: {} in place, {} extended, {} shifted, {} ascended, {} top-down",
         ops.upd_in_place, ops.upd_extended, ops.upd_shifted, ops.upd_ascended, ops.upd_top_down
     );
-    println!(
-        "  {matched}/{REQUESTS} requests matched; {surge_zones} returned a surge zone"
-    );
+    println!("  {matched}/{REQUESTS} requests matched; {surge_zones} returned a surge zone");
     println!(
         "  physical I/O: {} reads, {} writes ({:.2} per operation)",
         io.reads,

@@ -69,7 +69,10 @@ fn main() -> CoreResult<()> {
         "{OBJECTS} objects, {THREADS} client threads, {}s per cell\n",
         RUN_FOR.as_secs_f64()
     );
-    println!("{:>10} {:>14} {:>14}", "% updates", "TD (ops/s)", "GBU (ops/s)");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "% updates", "TD (ops/s)", "GBU (ops/s)"
+    );
     for update_pct in [0, 25, 50, 75, 100] {
         let td = run_mix(IndexOptions::top_down(), update_pct)?;
         let gbu = run_mix(IndexOptions::generalized(), update_pct)?;

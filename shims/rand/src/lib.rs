@@ -1,0 +1,228 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The `bur` workspace must build with **no network access**, so instead of
+//! the crates.io `rand` it uses this dependency-free shim exposing the small
+//! slice of the rand 0.9 API the workspace needs:
+//!
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator, seedable via
+//!   [`SeedableRng::seed_from_u64`] (splitmix64 seed expansion, like the real
+//!   `rand` does for small seeds);
+//! * [`RngExt::random`] / [`RngExt::random_range`] — uniform sampling of
+//!   primitives and of `Range` / `RangeInclusive` bounds.
+//!
+//! Determinism is part of the contract: the workload generator and the
+//! experiment harness seed every RNG explicitly so runs are reproducible
+//! bit-for-bit, and tests rely on that.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Random number generators.
+pub mod rngs {
+    pub use crate::std_rng::StdRng;
+}
+
+mod std_rng;
+
+/// A source of random 32/64-bit words.
+pub trait RngCore {
+    /// Next uniformly distributed 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next uniformly distributed 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed, expanding it with splitmix64.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from the full value range
+/// (`f32`/`f64` are sampled uniformly from `[0, 1)`).
+pub trait Uniform: Sized {
+    /// Draw one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// Range-like arguments accepted by [`RngExt::random_range`].
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range. Panics on an empty range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Convenience sampling methods, available on every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Sample a value of a [`Uniform`] type (`bool`, integers, unit-interval
+    /// floats).
+    fn random<T: Uniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a half-open or inclusive range.
+    ///
+    /// Panics if the range is empty, matching `rand`.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Sample a boolean that is `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> RngExt for R {}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl Uniform for $t {
+            #[allow(clippy::cast_possible_truncation)]
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Uniform for u128 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Uniform for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Uniform for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 24 high bits → uniform in [0, 1) with full f32 mantissa precision.
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Uniform for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+macro_rules! sample_range_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide);
+                let v = rng.next_u64() as $wide % span;
+                self.start.wrapping_add(v as $t)
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_possible_wrap)]
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide).wrapping_add(1);
+                // span == 0 means the whole domain: any word is in range.
+                let v = if span == 0 { rng.next_u64() as $wide } else { rng.next_u64() as $wide % span };
+                start.wrapping_add(v as $t)
+            }
+        }
+    )*};
+}
+
+sample_range_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64
+);
+
+macro_rules! sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let unit = <$t as Uniform>::sample(rng);
+                let v = self.start + unit * (self.end - self.start);
+                // Floating rounding can land exactly on `end`; stay half-open.
+                if v >= self.end { self.start } else { v }
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let unit = <$t as Uniform>::sample(rng);
+                (start + unit * (end - start)).clamp(start, end)
+            }
+        }
+    )*};
+}
+
+sample_range_float!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.random::<u64>()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.random::<u64>()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(-0.25f32..0.75);
+            assert!((-0.25..0.75).contains(&v));
+            let n = rng.random_range(3usize..9);
+            assert!((3..9).contains(&n));
+            let m = rng.random_range(0.0f32..=1.0);
+            assert!((0.0..=1.0).contains(&m));
+            let i = rng.random_range(-5i32..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut lo = false;
+        let mut hi = false;
+        for _ in 0..10_000 {
+            let v: f32 = rng.random();
+            assert!((0.0..1.0).contains(&v));
+            lo |= v < 0.1;
+            hi |= v > 0.9;
+        }
+        assert!(lo && hi, "samples should span the unit interval");
+    }
+}

@@ -43,8 +43,8 @@ fn parse_strategy(s: &str) -> Option<IndexOptions> {
 }
 
 fn open(path: &str, opts: IndexOptions) -> Result<RTreeIndex, String> {
-    let disk = FileDisk::open(path, opts.page_size)
-        .map_err(|e| format!("cannot open {path}: {e}"))?;
+    let disk =
+        FileDisk::open(path, opts.page_size).map_err(|e| format!("cannot open {path}: {e}"))?;
     RTreeIndex::open_on(Arc::new(disk), opts).map_err(|e| format!("cannot load {path}: {e}"))
 }
 
@@ -76,8 +76,8 @@ fn cmd_build(path: &str, rest: &[String]) -> Result<(), String> {
             other => return Err(format!("unknown flag {other}")),
         }
     }
-    let disk = FileDisk::create(path, opts.page_size)
-        .map_err(|e| format!("cannot create {path}: {e}"))?;
+    let disk =
+        FileDisk::create(path, opts.page_size).map_err(|e| format!("cannot create {path}: {e}"))?;
     let mut index = RTreeIndex::create_on(Arc::new(disk), opts)
         .map_err(|e| format!("cannot init index: {e}"))?;
     let workload = Workload::generate(WorkloadConfig {

@@ -47,7 +47,10 @@ fn spatial_query_toolkit() {
     assert_eq!(index.count_in(&w).unwrap(), 9);
 
     // Nearest neighbors: the grid point itself, then its 4-neighborhood.
-    let nn = index.nearest_neighbor(Point::new(0.05, 0.05)).unwrap().unwrap();
+    let nn = index
+        .nearest_neighbor(Point::new(0.05, 0.05))
+        .unwrap()
+        .unwrap();
     assert_eq!(nn.oid, 0);
     assert!(nn.distance < 1e-6);
     let n5 = index.nearest_neighbors(Point::new(0.05, 0.05), 5).unwrap();
@@ -72,7 +75,10 @@ fn durable_index_lifecycle() {
         let mut index = RTreeIndex::create_on(disk, opts).unwrap();
         for i in 0..500u64 {
             index
-                .insert(i, Point::new((i % 25) as f32 / 25.0, (i / 25) as f32 / 25.0))
+                .insert(
+                    i,
+                    Point::new((i % 25) as f32 / 25.0, (i / 25) as f32 / 25.0),
+                )
                 .unwrap();
         }
         index.persist().unwrap();
@@ -97,8 +103,7 @@ fn durable_index_lifecycle() {
 fn rstar_variant_is_a_drop_in() {
     // Switching to the R* variant is one builder call; everything else —
     // updates, queries, kNN, validation — is unchanged.
-    let mut index =
-        RTreeIndex::create_in_memory(IndexOptions::generalized().rstar()).unwrap();
+    let mut index = RTreeIndex::create_in_memory(IndexOptions::generalized().rstar()).unwrap();
     assert_eq!(index.options().insert, InsertPolicy::RStar);
     assert_eq!(index.options().split, SplitPolicy::RStar);
     let mut workload = Workload::generate(WorkloadConfig {
@@ -171,10 +176,7 @@ fn concurrent_index_round_trip() {
             s.spawn(move || {
                 for i in 0..500u64 {
                     let oid = t * 500 + i;
-                    let p = Point::new(
-                        (oid % 50) as f32 / 50.0,
-                        (oid / 50 % 50) as f32 / 50.0,
-                    );
+                    let p = Point::new((oid % 50) as f32 / 50.0, (oid / 50 % 50) as f32 / 50.0);
                     index.insert(oid, p).unwrap();
                 }
             });
@@ -204,9 +206,7 @@ fn error_paths_are_informative() {
     assert!(!index.delete(42, Point::new(0.5, 0.5)).unwrap());
 
     // Invalid geometry is rejected up front.
-    assert!(index
-        .insert_rect(8, Rect::new(0.5, 0.5, 0.4, 0.6))
-        .is_err());
+    assert!(index.insert_rect(8, Rect::new(0.5, 0.5, 0.4, 0.6)).is_err());
     assert!(index
         .nearest_neighbors(Point::new(f32::NAN, 0.0), 1)
         .is_err());

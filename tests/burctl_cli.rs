@@ -29,7 +29,11 @@ fn full_cli_workflow() {
 
     // build
     let out = burctl(&["build", path, "--objects", "2000", "--strategy", "gbu"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout(&out).contains("2000 objects"));
 
     // info
@@ -58,7 +62,11 @@ fn full_cli_workflow() {
 
     // stats (round-trip updates leave the file unchanged)
     let out = burctl(&["stats", path, "--updates", "50"]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(stdout(&out).contains("I/O per update"));
     let out = burctl(&["validate", path]);
     assert!(out.status.success());
@@ -76,7 +84,11 @@ fn build_with_td_strategy() {
     // A TD-built file opens fine under the GBU-opening commands (the
     // summary and hash index are rebuilt on open).
     let out = burctl(&["validate", path]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     std::fs::remove_file(&file).ok();
 }
 
@@ -99,7 +111,9 @@ fn helpful_errors() {
     // Bad window.
     let file = tmp("err.bur");
     let path = file.to_str().unwrap();
-    assert!(burctl(&["build", path, "--objects", "100"]).status.success());
+    assert!(burctl(&["build", path, "--objects", "100"])
+        .status
+        .success());
     let out = burctl(&["query", path, "0.9", "0.0", "0.1", "1.0"]);
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("invalid window"));

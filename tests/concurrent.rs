@@ -70,10 +70,7 @@ fn concurrent_inserts_and_deletes() {
             s.spawn(move || {
                 for i in 0..300u64 {
                     let oid = 10_000 + t * 1_000 + i;
-                    let p = Point::new(
-                        (oid % 97) as f32 / 97.0,
-                        (oid % 89) as f32 / 89.0,
-                    );
+                    let p = Point::new((oid % 97) as f32 / 97.0, (oid % 89) as f32 / 89.0);
                     index.insert(oid, p).unwrap();
                 }
             });

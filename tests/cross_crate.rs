@@ -18,6 +18,30 @@ fn run_stream(opts: IndexOptions, wl_cfg: WorkloadConfig, updates: usize) -> RTr
 }
 
 #[test]
+fn prelude_covers_the_quickstart_flow() {
+    // The exact facade journey from the crate docs, through `bur::prelude`
+    // re-exports only: create-in-memory → insert → bottom-up update →
+    // window query. Guards the prelude surface against accidental drift.
+    let mut index = RTreeIndex::create_in_memory(IndexOptions::generalized()).unwrap();
+    index.insert(1, Point::new(0.2, 0.2)).unwrap();
+    index.insert(2, Point::new(0.8, 0.8)).unwrap();
+
+    // A small move is absorbed bottom-up without touching the leaf MBR.
+    let outcome = index
+        .update(1, Point::new(0.2, 0.2), Point::new(0.21, 0.2))
+        .unwrap();
+    assert_eq!(outcome, UpdateOutcome::InPlace);
+
+    let mut hits = index.query(&Rect::new(0.0, 0.0, 0.5, 0.5)).unwrap();
+    hits.sort_unstable();
+    assert_eq!(hits, vec![1]);
+    let mut all = index.query(&Rect::UNIT).unwrap();
+    all.sort_unstable();
+    assert_eq!(all, vec![1, 2]);
+    index.validate().unwrap();
+}
+
+#[test]
 fn all_strategies_answer_identically_after_same_stream() {
     let wl_cfg = WorkloadConfig {
         num_objects: 3_000,

@@ -66,8 +66,18 @@ fn persist_reopen_roundtrip_all_strategies() {
             let positions = populate(&mut index, &mut rng, 1_500);
             let ref_positions = populate(&mut reference, &mut rng2, 1_500);
             assert_eq!(positions, ref_positions);
-            churn(&mut index, &mut positions.clone(), &mut StdRng::seed_from_u64(9), 2_000);
-            churn(&mut reference, &mut positions.clone(), &mut StdRng::seed_from_u64(9), 2_000);
+            churn(
+                &mut index,
+                &mut positions.clone(),
+                &mut StdRng::seed_from_u64(9),
+                2_000,
+            );
+            churn(
+                &mut reference,
+                &mut positions.clone(),
+                &mut StdRng::seed_from_u64(9),
+                2_000,
+            );
             index.persist().unwrap();
             assert_eq!(index.len(), 1_500);
         }
@@ -75,7 +85,9 @@ fn persist_reopen_roundtrip_all_strategies() {
         let disk = Arc::new(FileDisk::open(&path, opts.page_size).unwrap());
         let reopened = RTreeIndex::open_on(disk, opts).unwrap();
         assert_eq!(reopened.len(), 1_500, "{name}");
-        reopened.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+        reopened
+            .validate()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
         queries_match(&reopened, &reference, &mut StdRng::seed_from_u64(5));
         std::fs::remove_file(&path).ok();
     }
