@@ -1,0 +1,67 @@
+//! Criterion micro-benchmark: what durability costs per update.
+//!
+//! Three configurations over the same seeded GBU workload:
+//!
+//! * `off` — the paper's setup, no write-ahead log (baseline);
+//! * `wal` — every update logged and group-committed, no checkpoints in
+//!   the measured window;
+//! * `wal+ckpt` — logging plus an aggressive checkpoint cadence, so the
+//!   measured window pays for pool flushes and log rewinds too.
+//!
+//! All three run on an in-memory disk: the numbers isolate the CPU and
+//! page-copy overhead of the logging protocol itself, not `fsync`
+//! latency (which `SyncPolicy` amortizes in real deployments).
+
+use bur_core::{Durability, IndexOptions, RTreeIndex, WalOptions};
+use bur_storage::SyncPolicy;
+use bur_workload::{Workload, WorkloadConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn build(opts: IndexOptions, n: usize) -> (RTreeIndex, Workload) {
+    let wl = Workload::generate(WorkloadConfig {
+        num_objects: n,
+        ..WorkloadConfig::default()
+    });
+    let index = RTreeIndex::bulk_load_in_memory(opts, &wl.items()).unwrap();
+    (index, wl)
+}
+
+fn bench_wal_overhead(c: &mut Criterion) {
+    let n = 20_000;
+    let mut group = c.benchmark_group("wal_overhead");
+    group.sample_size(20);
+    for (name, durability) in [
+        ("off", Durability::None),
+        (
+            "wal",
+            Durability::Wal(WalOptions {
+                sync: SyncPolicy::GroupCommit(64),
+                checkpoint_every: u64::MAX,
+            }),
+        ),
+        (
+            "wal+ckpt",
+            Durability::Wal(WalOptions {
+                sync: SyncPolicy::GroupCommit(64),
+                checkpoint_every: 512,
+            }),
+        ),
+    ] {
+        let opts = IndexOptions::generalized().with_durability(durability);
+        let (mut index, mut wl) = build(opts, n);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let op = wl.next_update();
+                black_box(index.update(op.oid, op.old, op.new).unwrap());
+            });
+        });
+        if let Some(stats) = index.wal_stats() {
+            println!("  [{name}] {stats}");
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wal_overhead);
+criterion_main!(benches);

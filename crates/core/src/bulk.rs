@@ -80,6 +80,13 @@ impl RTreeIndex {
         if items.is_empty() {
             return Ok(index);
         }
+        // A durable build logs nothing page-by-page: the final checkpoint
+        // flushes the finished tree as the base image anyway, and gating
+        // every bulk write would pin the whole index in memory.
+        let durable = index.tree.wal.is_some();
+        if durable {
+            index.tree.pool.set_wal_mode(false);
+        }
         let tree = &mut index.tree;
 
         // ---- leaf level: sort by x, tile into vertical slices, sort each
@@ -160,6 +167,12 @@ impl RTreeIndex {
         let root_entry = level_entries[0];
         tree.bulk_set_root(root_entry.child)?;
         tree.len = items.len() as u64;
+        // A durable index checkpoints the freshly built tree as its base
+        // image; one checkpoint is far cheaper than logging every page.
+        if durable {
+            tree.pool.set_wal_mode(true);
+        }
+        index.tree.wal_checkpoint()?;
         Ok(index)
     }
 
@@ -185,6 +198,12 @@ impl RTreeIndex {
         let mut index = Self::create_on(disk, opts)?;
         if items.is_empty() {
             return Ok(index);
+        }
+        // See bulk_load_on: a durable build relies on the final
+        // checkpoint, not per-page logging.
+        let durable = index.tree.wal.is_some();
+        if durable {
+            index.tree.pool.set_wal_mode(false);
         }
         let tree = &mut index.tree;
 
@@ -251,6 +270,10 @@ impl RTreeIndex {
         let root_entry = level_entries[0];
         tree.bulk_set_root(root_entry.child)?;
         tree.len = items.len() as u64;
+        if durable {
+            tree.pool.set_wal_mode(true);
+        }
+        index.tree.wal_checkpoint()?;
         Ok(index)
     }
 }

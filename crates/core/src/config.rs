@@ -122,6 +122,44 @@ impl Default for GbuParams {
     }
 }
 
+/// Durability mode of an index.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Durability {
+    /// No write-ahead log (the paper's experimental setup and the
+    /// default): updates are durable only after an explicit
+    /// [`crate::RTreeIndex::persist`] and a clean shutdown.
+    #[default]
+    None,
+    /// Write-ahead logging via `bur-wal`: page images of every operation
+    /// are logged before dirty pages may reach the disk, commits follow
+    /// the configured sync cadence, and the index recovers from a crash
+    /// with [`crate::RTreeIndex::recover_on`].
+    Wal(WalOptions),
+}
+
+/// Tuning for [`Durability::Wal`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WalOptions {
+    /// When commit records are made durable (`fsync` cadence). With
+    /// [`bur_storage::SyncPolicy::EveryCommit`] every acknowledged
+    /// operation survives a crash; group commit trades the tail of
+    /// unsynced operations for throughput.
+    pub sync: bur_storage::SyncPolicy,
+    /// Take a fuzzy checkpoint (flush the pool, rewind the log) every
+    /// this many commits. Bounds both recovery replay time and the log's
+    /// page footprint. Must be at least 1.
+    pub checkpoint_every: u64,
+}
+
+impl Default for WalOptions {
+    fn default() -> Self {
+        Self {
+            sync: bur_storage::SyncPolicy::EveryCommit,
+            checkpoint_every: 256,
+        }
+    }
+}
+
 /// How an overflowing node is split.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SplitPolicy {
@@ -174,6 +212,9 @@ pub struct IndexOptions {
     /// Minimum node fill as a fraction of capacity (Guttman's `m`);
     /// deletes below this trigger CondenseTree reinsertion.
     pub min_fill: f32,
+    /// Durability mode: none (default, the paper's setup) or write-ahead
+    /// logged with crash recovery.
+    pub durability: Durability,
 }
 
 impl Default for IndexOptions {
@@ -186,6 +227,7 @@ impl Default for IndexOptions {
             insert: InsertPolicy::Guttman,
             eviction: bur_storage::EvictionPolicy::Lru,
             min_fill: 0.4,
+            durability: Durability::None,
         }
     }
 }
@@ -206,6 +248,13 @@ impl IndexOptions {
                 "page size {} holds only {leaf_cap} leaf / {internal_cap} internal entries; need >= 4",
                 self.page_size
             )));
+        }
+        if let Durability::Wal(w) = self.durability {
+            if w.checkpoint_every == 0 {
+                return Err(CoreError::BadConfig(
+                    "checkpoint_every must be at least 1".into(),
+                ));
+            }
         }
         match self.strategy {
             UpdateStrategy::Localized(p) if p.epsilon < 0.0 => Err(CoreError::BadConfig(
@@ -247,6 +296,24 @@ impl IndexOptions {
         }
     }
 
+    /// Convenience: a durable GBU index — write-ahead logged with the
+    /// default sync cadence (every commit) and checkpoint interval.
+    #[must_use]
+    pub fn durable() -> Self {
+        Self {
+            durability: Durability::Wal(WalOptions::default()),
+            ..Self::generalized()
+        }
+    }
+
+    /// Switch these options to write-ahead-logged durability while
+    /// keeping everything else.
+    #[must_use]
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
     /// Switch these options to the R*-tree variant (R* ChooseSubtree,
     /// forced reinsertion, R* split) while keeping the update strategy —
     /// the combination the paper's future work points at.
@@ -269,6 +336,19 @@ mod tests {
         IndexOptions::localized().validate().unwrap();
         IndexOptions::generalized().validate().unwrap();
         IndexOptions::generalized().rstar().validate().unwrap();
+        IndexOptions::durable().validate().unwrap();
+    }
+
+    #[test]
+    fn durability_knobs() {
+        assert_eq!(IndexOptions::default().durability, Durability::None);
+        let o = IndexOptions::durable();
+        assert!(matches!(o.durability, Durability::Wal(_)));
+        let o = IndexOptions::top_down().with_durability(Durability::Wal(WalOptions {
+            checkpoint_every: 0,
+            ..WalOptions::default()
+        }));
+        assert!(o.validate().is_err(), "checkpoint_every 0 is rejected");
     }
 
     #[test]

@@ -1,22 +1,43 @@
 //! Public index facade: construction, the object API (insert / delete /
 //! update / query), persistence, and validation.
 
-use crate::config::{IndexOptions, UpdateStrategy};
+use crate::config::{Durability, IndexOptions, UpdateStrategy};
 use crate::error::{CoreError, CoreResult};
 use crate::knn::{self, Neighbor};
+use crate::meta::{read_meta_chain, write_meta_chain, MetaSnapshot, META_PAGE, WAL_ANCHOR};
 use crate::node::{LeafEntry, NodeEntries, ObjectId};
 use crate::stats::{OpStats, UpdateOutcome};
 use crate::summary::SummaryStructure;
-use crate::tree::RTree;
+use crate::tree::{RTree, WalHandle};
 use crate::{gbu, lbu, topdown};
 use bur_geom::{Point, Rect};
 use bur_hashindex::{HashIndexConfig, LinearHashIndex};
 use bur_storage::{BufferPool, DiskBackend, IoStats, MemDisk, PageId, PoolConfig, INVALID_PAGE};
+use bur_wal::{Wal, WalRecord, WalStatsSnapshot};
+use std::path::Path;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-const META_MAGIC: u64 = 0x4255_5254_5245_4531; // "BURTREE1"
-const META_PAGE: PageId = 0;
+/// What [`RTreeIndex::recover_on`] did to bring an index back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Records that survived in the log (all kinds).
+    pub scanned_records: u64,
+    /// Page images replayed onto the base image.
+    pub replayed_images: u64,
+    /// Committed operations covered by the replay.
+    pub committed_ops: u64,
+    /// LSN of the recovery point (last durable commit or checkpoint).
+    pub recovered_lsn: u64,
+    /// Objects in the recovered index.
+    pub recovered_len: u64,
+    /// Log generation that was scanned.
+    pub log_generation: u32,
+    /// `true` when the log ended in a torn record (expected after a
+    /// power cut mid-write; the torn tail was not acknowledged and is
+    /// discarded).
+    pub torn_tail: bool,
+}
 
 /// A disk-resident R-tree index over 2-D objects with configurable update
 /// strategy (TD / LBU / GBU).
@@ -84,8 +105,33 @@ impl RTreeIndex {
         debug_assert_eq!(meta_pid, META_PAGE);
         guard.write().fill(0);
         drop(guard);
-        let tree = RTree::create(pool, opts)?;
-        Ok(Self { tree })
+        // A durable index reserves the WAL anchor as page 1, before any
+        // tree page, so recovery always knows where the log starts.
+        let wal = match opts.durability {
+            Durability::Wal(wopts) => {
+                pool.set_wal_mode(true);
+                let wal = Wal::create(pool.disk().clone(), wopts.sync)?;
+                if wal.anchor() != WAL_ANCHOR {
+                    return Err(CoreError::BadConfig(format!(
+                        "WAL anchor landed on page {} instead of {WAL_ANCHOR}",
+                        wal.anchor()
+                    )));
+                }
+                Some(WalHandle {
+                    wal,
+                    opts: wopts,
+                    commits_since_checkpoint: 0,
+                })
+            }
+            Durability::None => None,
+        };
+        let mut tree = RTree::create(pool, opts)?;
+        tree.wal = wal;
+        let mut index = Self { tree };
+        // Seed the log with a checkpoint of the empty tree: the base
+        // image recovery starts from.
+        index.tree.wal_checkpoint()?;
+        Ok(index)
     }
 
     /// Reopen a persisted index (see [`RTreeIndex::persist`]). The
@@ -93,7 +139,19 @@ impl RTreeIndex {
     /// state, exactly as in the paper); the hash index is reloaded when
     /// present on disk or rebuilt when the requested strategy needs one
     /// the stored index lacked.
+    ///
+    /// Durability is a property of the *file*, not of the caller's
+    /// options: with [`Durability::Wal`] options — or whenever the stored
+    /// metadata records a WAL anchor — this delegates to
+    /// [`RTreeIndex::recover_on`] (upgrading `opts` with default
+    /// [`crate::WalOptions`] when the caller asked for none). Replaying
+    /// the log is always safe (a cleanly shut down log replays to exactly
+    /// the stored image), and opening a durable file *without* its log
+    /// would let unlogged page writes race a stale log generation.
     pub fn open_on(disk: Arc<dyn DiskBackend>, opts: IndexOptions) -> CoreResult<Self> {
+        if matches!(opts.durability, Durability::Wal(_)) {
+            return Ok(Self::recover_on(disk, opts)?.0);
+        }
         opts.validate()?;
         if disk.page_size() != opts.page_size {
             return Err(CoreError::BadConfig(format!(
@@ -103,38 +161,45 @@ impl RTreeIndex {
             )));
         }
         let pool = Arc::new(BufferPool::new(
-            disk,
+            disk.clone(),
             PoolConfig {
                 capacity: opts.buffer_frames,
                 policy: opts.eviction,
             },
         ));
         let payload = read_meta_chain(&pool)?;
-        let mut cur = MetaCursor::new(&payload);
-        if cur.u64() != META_MAGIC {
-            return Err(CoreError::BadConfig("not a bur index (bad magic)".into()));
-        }
-        let page_size = cur.u32() as usize;
-        if page_size != opts.page_size {
+        let snap = MetaSnapshot::decode(&payload)?;
+        if snap.page_size != opts.page_size {
             return Err(CoreError::BadConfig(format!(
-                "stored page size {page_size} != configured {}",
-                opts.page_size
+                "stored page size {} != configured {}",
+                snap.page_size, opts.page_size
             )));
         }
-        let flags = cur.u32();
-        let root = cur.u32();
-        let height = cur.u32() as u16;
-        let len = cur.u64();
-        let hash_head = cur.u32();
-        let free_count = cur.u32() as usize;
-        let free_pages: Vec<PageId> = (0..free_count).map(|_| cur.u32()).collect();
+        if snap.wal_anchor != INVALID_PAGE {
+            // The file is WAL-durable: reattach its log instead of
+            // mutating pages behind a stale generation.
+            drop(pool);
+            let opts = opts.with_durability(Durability::Wal(crate::config::WalOptions::default()));
+            return Ok(Self::recover_on(disk, opts)?.0);
+        }
+        Ok(Self {
+            tree: Self::tree_from_snapshot(pool, opts, &snap)?,
+        })
+    }
 
-        let stored_hash = flags & 1 != 0;
-        let hash = if stored_hash {
+    /// Build the tree (and rebuild whatever main-memory or secondary
+    /// state the strategy needs) from a metadata snapshot whose pages are
+    /// already readable through `pool`.
+    fn tree_from_snapshot(
+        pool: Arc<BufferPool>,
+        opts: IndexOptions,
+        snap: &MetaSnapshot,
+    ) -> CoreResult<RTree> {
+        let hash = if snap.stored_hash() {
             Some(LinearHashIndex::load(
                 pool.clone(),
                 HashIndexConfig::default(),
-                hash_head,
+                snap.hash_head,
             )?)
         } else if opts.strategy.needs_hash_index() {
             Some(LinearHashIndex::create(
@@ -148,46 +213,198 @@ impl RTreeIndex {
         let mut tree = RTree {
             pool,
             opts,
-            root,
-            height,
-            len,
-            free_pages,
+            root: snap.root,
+            height: snap.height,
+            len: snap.len,
+            free_pages: snap.free_pages.clone(),
             summary,
             hash,
             stats: OpStats::default(),
             pending_reinserts: Vec::new(),
             reinsert_armed: 0,
             insert_active: false,
+            wal: None,
         };
-        rebuild_memory_state(&mut tree, !stored_hash && opts.strategy.needs_hash_index())?;
-        Ok(Self { tree })
+        rebuild_memory_state(
+            &mut tree,
+            !snap.stored_hash() && opts.strategy.needs_hash_index(),
+        )?;
+        Ok(tree)
     }
 
     /// Write metadata (and the hash directory) so the index can be
     /// reopened with [`RTreeIndex::open_on`]; flushes all dirty pages.
     /// Intended as a shutdown step: each call allocates a fresh metadata
-    /// continuation chain.
+    /// continuation chain. On a durable index this is a
+    /// [`RTreeIndex::checkpoint`].
     pub fn persist(&mut self) -> CoreResult<()> {
+        if self.tree.wal.is_some() {
+            return self.tree.wal_checkpoint();
+        }
         let hash_head = match &self.tree.hash {
             Some(h) => h.persist()?,
             None => INVALID_PAGE,
         };
-        let mut payload = Vec::new();
-        payload.extend_from_slice(&META_MAGIC.to_le_bytes());
-        payload.extend_from_slice(&(self.tree.opts.page_size as u32).to_le_bytes());
-        let flags: u32 = u32::from(self.tree.hash.is_some());
-        payload.extend_from_slice(&flags.to_le_bytes());
-        payload.extend_from_slice(&self.tree.root.to_le_bytes());
-        payload.extend_from_slice(&u32::from(self.tree.height).to_le_bytes());
-        payload.extend_from_slice(&self.tree.len.to_le_bytes());
-        payload.extend_from_slice(&hash_head.to_le_bytes());
-        payload.extend_from_slice(&(self.tree.free_pages.len() as u32).to_le_bytes());
-        for &p in &self.tree.free_pages {
-            payload.extend_from_slice(&p.to_le_bytes());
-        }
+        let payload = self.tree.meta_snapshot(hash_head).encode();
         write_meta_chain(&self.tree.pool, &payload)?;
         self.tree.pool.flush_all()?;
         Ok(())
+    }
+
+    /// Take a fuzzy checkpoint now: sync the log, flush every page as the
+    /// new base image, and rewind the log. Bounds recovery replay to the
+    /// operations committed after this call. Equivalent to
+    /// [`RTreeIndex::persist`] on a non-durable index.
+    pub fn checkpoint(&mut self) -> CoreResult<()> {
+        if self.tree.wal.is_some() {
+            self.tree.wal_checkpoint()
+        } else {
+            self.persist()
+        }
+    }
+
+    /// `true` when the index write-ahead-logs its updates.
+    #[must_use]
+    pub fn is_durable(&self) -> bool {
+        self.tree.wal.is_some()
+    }
+
+    /// Log activity counters, when the index is durable.
+    #[must_use]
+    pub fn wal_stats(&self) -> Option<WalStatsSnapshot> {
+        self.tree.wal.as_ref().map(|h| h.wal.stats())
+    }
+
+    /// Recover a durable index from `disk` after a crash (ARIES-style
+    /// redo): scan the write-ahead log, replay every page image up to the
+    /// last durable commit onto the surviving base image, rebuild the
+    /// main-memory summary structure / hash index / parent pointers the
+    /// strategy needs, and checkpoint so the log is clean again. Safe to
+    /// call on a cleanly shut down index (the replay is then a no-op).
+    ///
+    /// `opts.durability` must be [`Durability::Wal`]; a disk that was
+    /// never durable (no log at its anchor page) is rejected.
+    pub fn recover_on(
+        disk: Arc<dyn DiskBackend>,
+        opts: IndexOptions,
+    ) -> CoreResult<(Self, RecoveryReport)> {
+        opts.validate()?;
+        let Durability::Wal(wopts) = opts.durability else {
+            return Err(CoreError::BadConfig(
+                "recover_on requires IndexOptions with Durability::Wal (e.g. IndexOptions::durable())".into(),
+            ));
+        };
+        if disk.page_size() != opts.page_size {
+            return Err(CoreError::BadConfig(format!(
+                "disk page size {} != configured {}",
+                disk.page_size(),
+                opts.page_size
+            )));
+        }
+        let pool = Arc::new(BufferPool::new(
+            disk.clone(),
+            PoolConfig {
+                capacity: opts.buffer_frames,
+                policy: opts.eviction,
+            },
+        ));
+        let (wal, scanned) = Wal::reopen(disk, WAL_ANCHOR, wopts.sync)?;
+        if !scanned.valid {
+            return Err(CoreError::BadConfig(
+                "no write-ahead log on this disk (index not created with Durability::Wal?)".into(),
+            ));
+        }
+        // The recovery point is the last commit or checkpoint; images
+        // after it belong to an operation that was never acknowledged.
+        let mut recovery_point: Option<usize> = None;
+        let mut meta_bytes: Option<&Vec<u8>> = None;
+        for (i, (_lsn, rec)) in scanned.records.iter().enumerate() {
+            if let WalRecord::Commit { meta } | WalRecord::Checkpoint { meta } = rec {
+                recovery_point = Some(i);
+                meta_bytes = Some(meta);
+            }
+        }
+        let mut report = RecoveryReport {
+            scanned_records: scanned.records.len() as u64,
+            log_generation: scanned.generation,
+            torn_tail: scanned.torn_tail,
+            ..RecoveryReport::default()
+        };
+        let snap = if let (Some(cut), Some(meta_bytes)) = (recovery_point, meta_bytes) {
+            let snap = MetaSnapshot::decode(meta_bytes)?;
+            report.recovered_lsn = scanned.records[cut].0;
+            // Redo: replay page images in log order. Full images are
+            // idempotent, so no page-level LSN comparison is needed.
+            for (_lsn, rec) in &scanned.records[..=cut] {
+                match rec {
+                    WalRecord::PageImage { pid, data } => {
+                        if data.len() != opts.page_size {
+                            return Err(CoreError::BadConfig(format!(
+                                "logged image of page {pid} has {} bytes, expected {}",
+                                data.len(),
+                                opts.page_size
+                            )));
+                        }
+                        // The crash may have lost trailing allocations the
+                        // image depends on; re-extend the disk first.
+                        while *pid >= pool.disk().num_pages() {
+                            pool.disk().allocate()?;
+                        }
+                        let guard = pool.fetch_for_overwrite(*pid)?;
+                        guard.write().copy_from_slice(data);
+                        drop(guard);
+                        report.replayed_images += 1;
+                    }
+                    WalRecord::Commit { .. } => report.committed_ops += 1,
+                    WalRecord::Checkpoint { .. } => {}
+                }
+            }
+            snap
+        } else {
+            // No commit or checkpoint survived in the log. The one benign
+            // way here: the crash cut the checkpoint *rewind* itself, after
+            // the base image (including the metadata chain) was fully
+            // flushed but before the fresh generation's checkpoint record
+            // landed. The metadata chain is then the recovery point and
+            // there is nothing to replay.
+            let payload = read_meta_chain(&pool).map_err(|e| {
+                CoreError::BadConfig(format!(
+                    "write-ahead log holds no recovery point and the metadata chain is \
+                     unreadable ({e})"
+                ))
+            })?;
+            MetaSnapshot::decode(&payload)?
+        };
+        if snap.page_size != opts.page_size {
+            return Err(CoreError::BadConfig(format!(
+                "logged page size {} != configured {}",
+                snap.page_size, opts.page_size
+            )));
+        }
+        report.recovered_len = snap.len;
+        // Rebuild the index over the replayed image (summary structure,
+        // hash index and parent pointers included), then checkpoint: the
+        // disk becomes a clean base image and the log restarts.
+        let mut tree = Self::tree_from_snapshot(pool, opts, &snap)?;
+        tree.wal = Some(WalHandle {
+            wal,
+            opts: wopts,
+            commits_since_checkpoint: 0,
+        });
+        tree.pool.set_wal_mode(true);
+        let mut index = Self { tree };
+        index.tree.wal_checkpoint()?;
+        Ok((index, report))
+    }
+
+    /// Recover a durable index from a file (see
+    /// [`RTreeIndex::recover_on`]).
+    pub fn recover<P: AsRef<Path>>(
+        path: P,
+        opts: IndexOptions,
+    ) -> CoreResult<(Self, RecoveryReport)> {
+        let disk = bur_storage::FileDisk::open(path, opts.page_size)?;
+        Self::recover_on(Arc::new(disk), opts)
     }
 
     // ---- object API --------------------------------------------------------
@@ -211,6 +428,7 @@ impl RTreeIndex {
         self.tree.insert_object(LeafEntry { oid, rect })?;
         self.tree.len += 1;
         self.tree.stats.inserts.fetch_add(1, Ordering::Relaxed);
+        self.tree.wal_commit()?;
         Ok(())
     }
 
@@ -221,6 +439,7 @@ impl RTreeIndex {
         if found {
             self.tree.len -= 1;
             self.tree.stats.deletes.fetch_add(1, Ordering::Relaxed);
+            self.tree.wal_commit()?;
         }
         Ok(found)
     }
@@ -234,6 +453,7 @@ impl RTreeIndex {
             UpdateStrategy::Generalized(p) => gbu::update(&mut self.tree, p, oid, old, new)?,
         };
         self.tree.stats.record_update(outcome);
+        self.tree.wal_commit()?;
         Ok(outcome)
     }
 
@@ -532,95 +752,6 @@ fn collect_level(tree: &RTree, pid: PageId, level: u16, out: &mut Vec<PageId>) -
         }
     }
     Ok(())
-}
-
-// ---- metadata chain ------------------------------------------------------------
-
-/// Little-endian payload reader.
-struct MetaCursor<'a> {
-    data: &'a [u8],
-    off: usize,
-}
-
-impl<'a> MetaCursor<'a> {
-    fn new(data: &'a [u8]) -> Self {
-        Self { data, off: 0 }
-    }
-    fn u32(&mut self) -> u32 {
-        let v = u32::from_le_bytes(self.data[self.off..self.off + 4].try_into().unwrap());
-        self.off += 4;
-        v
-    }
-    fn u64(&mut self) -> u64 {
-        let v = u64::from_le_bytes(self.data[self.off..self.off + 8].try_into().unwrap());
-        self.off += 8;
-        v
-    }
-}
-
-/// Page-chain layout: `[next u32][len u16][data ...]`, head at page 0.
-fn write_meta_chain(pool: &BufferPool, payload: &[u8]) -> CoreResult<()> {
-    let chunk = pool.page_size() - 6;
-    let chunks: Vec<&[u8]> = if payload.is_empty() {
-        vec![&[]]
-    } else {
-        payload.chunks(chunk).collect()
-    };
-    let mut prev: Option<PageId> = None;
-    for (i, part) in chunks.iter().enumerate() {
-        let pid = if i == 0 {
-            META_PAGE
-        } else {
-            let (pid, guard) = pool.new_page()?;
-            drop(guard);
-            pid
-        };
-        let guard = pool.fetch_for_overwrite(pid)?;
-        {
-            let mut w = guard.write();
-            w.fill(0);
-            w[0..4].copy_from_slice(&INVALID_PAGE.to_le_bytes());
-            w[4..6].copy_from_slice(&(part.len() as u16).to_le_bytes());
-            w[6..6 + part.len()].copy_from_slice(part);
-        }
-        drop(guard);
-        if let Some(p) = prev {
-            let g = pool.fetch(p)?;
-            g.write()[0..4].copy_from_slice(&pid.to_le_bytes());
-        }
-        prev = Some(pid);
-    }
-    Ok(())
-}
-
-fn read_meta_chain(pool: &BufferPool) -> CoreResult<Vec<u8>> {
-    let mut payload = Vec::new();
-    let mut pid = META_PAGE;
-    let mut visited = std::collections::HashSet::new();
-    loop {
-        // A zeroed/garbage page can point anywhere, including back at page 0
-        // (`next == 0`); without the guard open() would spin forever.
-        if !visited.insert(pid) {
-            return Err(CoreError::BadConfig(
-                "not a bur index (bad magic in meta chain)".into(),
-            ));
-        }
-        let guard = pool.fetch(pid)?;
-        let data = guard.read();
-        let next = u32::from_le_bytes(data[0..4].try_into().unwrap());
-        let len = u16::from_le_bytes(data[4..6].try_into().unwrap()) as usize;
-        if len > data.len() - 6 {
-            return Err(CoreError::BadConfig(
-                "not a bur index (bad magic in meta chunk)".into(),
-            ));
-        }
-        payload.extend_from_slice(&data[6..6 + len]);
-        if next == INVALID_PAGE {
-            break;
-        }
-        pid = next;
-    }
-    Ok(payload)
 }
 
 impl RTreeIndex {

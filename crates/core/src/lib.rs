@@ -33,6 +33,7 @@ mod gbu;
 mod index;
 mod knn;
 mod lbu;
+mod meta;
 mod node;
 mod split;
 mod stats;
@@ -41,10 +42,15 @@ mod topdown;
 mod tree;
 
 pub use concurrent::ConcurrentIndex;
-pub use config::{GbuParams, IndexOptions, InsertPolicy, LbuParams, SplitPolicy, UpdateStrategy};
+pub use config::{
+    Durability, GbuParams, IndexOptions, InsertPolicy, LbuParams, SplitPolicy, UpdateStrategy,
+    WalOptions,
+};
 pub use error::{CoreError, CoreResult};
 pub use gbu::iextend_mbr;
-pub use index::RTreeIndex;
+pub use index::{RTreeIndex, RecoveryReport};
+// Re-exported so durability consumers need no direct `bur-wal` dependency.
+pub use bur_wal::WalStatsSnapshot;
 pub use knn::Neighbor;
 pub use node::{
     internal_capacity, leaf_capacity, InternalEntry, LeafEntry, Node, NodeEntries, ObjectId,

@@ -1,0 +1,258 @@
+//! Index metadata snapshots and their on-disk page chains.
+//!
+//! A [`MetaSnapshot`] is the serialized "superblock" of an index: root
+//! page, height, object count, hash-index directory head, free list and
+//! WAL anchor. It is written in two places:
+//!
+//! * the **metadata page chain** headed at page 0 — what
+//!   [`crate::RTreeIndex::open_on`] reads on a clean open;
+//! * inside every WAL **commit/checkpoint record** — what recovery uses,
+//!   so a crash can never leave the superblock behind the log.
+
+use crate::error::{CoreError, CoreResult};
+use bur_storage::{BufferPool, PageId, INVALID_PAGE};
+
+/// Magic opening every metadata payload ("BURTREE1").
+pub(crate) const META_MAGIC: u64 = 0x4255_5254_5245_4531;
+
+/// The metadata chain head: always page 0.
+pub(crate) const META_PAGE: PageId = 0;
+
+/// The WAL anchor page of a durable index: always page 1 (allocated
+/// right after the metadata page, before any tree page).
+pub(crate) const WAL_ANCHOR: PageId = 1;
+
+/// All index state that lives outside the tree pages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct MetaSnapshot {
+    /// Page size the index was built with.
+    pub page_size: usize,
+    /// Root node page.
+    pub root: PageId,
+    /// Tree height (1 = the root is a leaf).
+    pub height: u16,
+    /// Number of indexed objects.
+    pub len: u64,
+    /// Head of the persisted hash directory chain, or [`INVALID_PAGE`]
+    /// when the snapshot carries no hash image (recovery rebuilds it from
+    /// the tree instead).
+    pub hash_head: PageId,
+    /// Pages freed by CondenseTree, available for reuse.
+    pub free_pages: Vec<PageId>,
+    /// WAL anchor page, or [`INVALID_PAGE`] for a non-durable index.
+    pub wal_anchor: PageId,
+}
+
+impl MetaSnapshot {
+    /// `true` when the snapshot includes a persisted hash directory.
+    pub fn stored_hash(&self) -> bool {
+        self.hash_head != INVALID_PAGE
+    }
+
+    /// Serialize to the little-endian wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(44 + 4 * self.free_pages.len());
+        payload.extend_from_slice(&META_MAGIC.to_le_bytes());
+        payload.extend_from_slice(&(self.page_size as u32).to_le_bytes());
+        let flags: u32 =
+            u32::from(self.stored_hash()) | (u32::from(self.wal_anchor != INVALID_PAGE) << 1);
+        payload.extend_from_slice(&flags.to_le_bytes());
+        payload.extend_from_slice(&self.root.to_le_bytes());
+        payload.extend_from_slice(&u32::from(self.height).to_le_bytes());
+        payload.extend_from_slice(&self.len.to_le_bytes());
+        payload.extend_from_slice(&self.hash_head.to_le_bytes());
+        payload.extend_from_slice(&self.wal_anchor.to_le_bytes());
+        payload.extend_from_slice(&(self.free_pages.len() as u32).to_le_bytes());
+        for &p in &self.free_pages {
+            payload.extend_from_slice(&p.to_le_bytes());
+        }
+        payload
+    }
+
+    /// Parse the wire format; rejects bad magic and truncated payloads.
+    pub fn decode(payload: &[u8]) -> CoreResult<Self> {
+        let mut cur = MetaCursor::new(payload);
+        if cur.u64()? != META_MAGIC {
+            return Err(CoreError::BadConfig("not a bur index (bad magic)".into()));
+        }
+        let page_size = cur.u32()? as usize;
+        let flags = cur.u32()?;
+        let root = cur.u32()?;
+        let height = cur.u32()? as u16;
+        let len = cur.u64()?;
+        let hash_head = cur.u32()?;
+        let wal_anchor = cur.u32()?;
+        let free_count = cur.u32()? as usize;
+        let mut free_pages = Vec::with_capacity(free_count.min(1 << 16));
+        for _ in 0..free_count {
+            free_pages.push(cur.u32()?);
+        }
+        let snap = Self {
+            page_size,
+            root,
+            height,
+            len,
+            hash_head,
+            free_pages,
+            wal_anchor,
+        };
+        if snap.stored_hash() != (flags & 1 != 0)
+            || (snap.wal_anchor != INVALID_PAGE) != (flags & 2 != 0)
+        {
+            return Err(CoreError::BadConfig(
+                "corrupt index metadata (flag mismatch)".into(),
+            ));
+        }
+        Ok(snap)
+    }
+}
+
+/// Bounds-checked little-endian payload reader.
+struct MetaCursor<'a> {
+    data: &'a [u8],
+    off: usize,
+}
+
+impl<'a> MetaCursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, off: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> CoreResult<&'a [u8]> {
+        if self.off + n > self.data.len() {
+            return Err(CoreError::BadConfig(
+                "truncated index metadata payload".into(),
+            ));
+        }
+        let s = &self.data[self.off..self.off + n];
+        self.off += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> CoreResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> CoreResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+// ---- metadata page chain -------------------------------------------------
+
+/// Page-chain layout: `[next u32][len u16][data ...]`, head at page 0.
+/// Each call lays out a fresh continuation chain when the payload does
+/// not fit on the head page.
+pub(crate) fn write_meta_chain(pool: &BufferPool, payload: &[u8]) -> CoreResult<()> {
+    let chunk = pool.page_size() - 6;
+    let chunks: Vec<&[u8]> = if payload.is_empty() {
+        vec![&[]]
+    } else {
+        payload.chunks(chunk).collect()
+    };
+    let mut prev: Option<PageId> = None;
+    for (i, part) in chunks.iter().enumerate() {
+        let pid = if i == 0 {
+            META_PAGE
+        } else {
+            let (pid, guard) = pool.new_page()?;
+            drop(guard);
+            pid
+        };
+        let guard = pool.fetch_for_overwrite(pid)?;
+        {
+            let mut w = guard.write();
+            w.fill(0);
+            w[0..4].copy_from_slice(&INVALID_PAGE.to_le_bytes());
+            w[4..6].copy_from_slice(&(part.len() as u16).to_le_bytes());
+            w[6..6 + part.len()].copy_from_slice(part);
+        }
+        drop(guard);
+        if let Some(p) = prev {
+            let g = pool.fetch(p)?;
+            g.write()[0..4].copy_from_slice(&pid.to_le_bytes());
+        }
+        prev = Some(pid);
+    }
+    Ok(())
+}
+
+/// Read the metadata chain headed at page 0 back into one payload.
+pub(crate) fn read_meta_chain(pool: &BufferPool) -> CoreResult<Vec<u8>> {
+    let mut payload = Vec::new();
+    let mut pid = META_PAGE;
+    let mut visited = std::collections::HashSet::new();
+    loop {
+        // A zeroed/garbage page can point anywhere, including back at page 0
+        // (`next == 0`); without the guard open() would spin forever.
+        if !visited.insert(pid) {
+            return Err(CoreError::BadConfig(
+                "not a bur index (bad magic in meta chain)".into(),
+            ));
+        }
+        let guard = pool.fetch(pid)?;
+        let data = guard.read();
+        let next = u32::from_le_bytes(data[0..4].try_into().unwrap());
+        let len = u16::from_le_bytes(data[4..6].try_into().unwrap()) as usize;
+        if len > data.len() - 6 {
+            return Err(CoreError::BadConfig(
+                "not a bur index (bad magic in meta chunk)".into(),
+            ));
+        }
+        payload.extend_from_slice(&data[6..6 + len]);
+        if next == INVALID_PAGE {
+            break;
+        }
+        pid = next;
+    }
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let snap = MetaSnapshot {
+            page_size: 1024,
+            root: 7,
+            height: 3,
+            len: 123_456,
+            hash_head: 42,
+            free_pages: vec![9, 11, 13],
+            wal_anchor: 1,
+        };
+        let decoded = MetaSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+        assert!(decoded.stored_hash());
+
+        let bare = MetaSnapshot {
+            hash_head: INVALID_PAGE,
+            wal_anchor: INVALID_PAGE,
+            free_pages: vec![],
+            ..snap
+        };
+        let decoded = MetaSnapshot::decode(&bare.encode()).unwrap();
+        assert!(!decoded.stored_hash());
+        assert_eq!(decoded.wal_anchor, INVALID_PAGE);
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(MetaSnapshot::decode(&[]).is_err());
+        assert!(MetaSnapshot::decode(&[0u8; 12]).is_err());
+        let snap = MetaSnapshot {
+            page_size: 1024,
+            root: 2,
+            height: 1,
+            len: 0,
+            hash_head: INVALID_PAGE,
+            free_pages: vec![],
+            wal_anchor: INVALID_PAGE,
+        };
+        let mut bytes = snap.encode();
+        bytes.truncate(bytes.len() - 2);
+        assert!(MetaSnapshot::decode(&bytes).is_err(), "truncated payload");
+    }
+}

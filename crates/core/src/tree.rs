@@ -22,8 +22,9 @@
 //! rect ⊇ child content), not equality; deletes re-tighten rectangles as
 //! they adjust the path.
 
-use crate::config::{IndexOptions, InsertPolicy};
+use crate::config::{IndexOptions, InsertPolicy, WalOptions};
 use crate::error::{CoreError, CoreResult};
+use crate::meta::{self, MetaSnapshot};
 use crate::node::{
     internal_capacity, leaf_capacity, InternalEntry, LeafEntry, Node, NodeEntries, ObjectId,
 };
@@ -33,8 +34,19 @@ use crate::summary::SummaryStructure;
 use bur_geom::{Point, Rect};
 use bur_hashindex::{HashIndexConfig, LinearHashIndex};
 use bur_storage::{BufferPool, PageId, INVALID_PAGE};
+use bur_wal::{Wal, WalRecord};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+/// A live write-ahead log attached to the tree ([`crate::Durability::Wal`]).
+pub(crate) struct WalHandle {
+    /// The log itself.
+    pub(crate) wal: Wal,
+    /// Sync cadence and checkpoint interval.
+    pub(crate) opts: WalOptions,
+    /// Commits since the last checkpoint (drives the cadence).
+    pub(crate) commits_since_checkpoint: u64,
+}
 
 /// An entry being inserted: either an object (into a leaf) or a whole
 /// subtree (an internal entry re-inserted by CondenseTree or carried by a
@@ -92,6 +104,8 @@ pub(crate) struct RTree {
     /// Reentrancy guard: `true` while an insert operation is running, so
     /// nested inserts (reinsert drains) do not reset the armed mask.
     pub(crate) insert_active: bool,
+    /// Write-ahead log, when the index is durable.
+    pub(crate) wal: Option<WalHandle>,
 }
 
 impl RTree {
@@ -123,6 +137,7 @@ impl RTree {
             pending_reinserts: Vec::new(),
             reinsert_armed: 0,
             insert_active: false,
+            wal: None,
         };
         if let Some(s) = &mut tree.summary {
             s.set_leaf(root, false);
@@ -230,6 +245,86 @@ impl RTree {
         if let Some(h) = &self.hash {
             h.remove(oid)?;
         }
+        Ok(())
+    }
+
+    // ---- write-ahead logging -------------------------------------------------
+
+    /// Current metadata snapshot; `hash_head` is [`INVALID_PAGE`] unless
+    /// the hash directory was just persisted.
+    pub(crate) fn meta_snapshot(&self, hash_head: PageId) -> MetaSnapshot {
+        MetaSnapshot {
+            page_size: self.opts.page_size,
+            root: self.root,
+            height: self.height,
+            len: self.len,
+            hash_head,
+            free_pages: self.free_pages.clone(),
+            wal_anchor: self.wal.as_ref().map_or(INVALID_PAGE, |h| h.wal.anchor()),
+        }
+    }
+
+    /// Commit the operation that just finished: append an image of every
+    /// page it touched plus a commit record carrying the metadata
+    /// snapshot, apply the sync policy, and checkpoint when the cadence
+    /// says so. No-op without a WAL.
+    pub(crate) fn wal_commit(&mut self) -> CoreResult<()> {
+        if self.wal.is_none() {
+            return Ok(());
+        }
+        let touched = self.pool.touched_pages();
+        {
+            let handle = self.wal.as_ref().expect("checked above");
+            for pid in touched {
+                let data = {
+                    let guard = self.pool.fetch(pid)?;
+                    let bytes = guard.read();
+                    bytes.to_vec()
+                };
+                let lsn = handle.wal.append(&WalRecord::PageImage { pid, data })?;
+                self.pool.note_page_logged(pid, lsn);
+            }
+        }
+        let meta = self.meta_snapshot(INVALID_PAGE).encode();
+        let handle = self.wal.as_mut().expect("checked above");
+        let (_lsn, durable) = handle.wal.commit(meta)?;
+        if durable {
+            self.pool.set_durable_lsn(handle.wal.durable_lsn());
+        }
+        handle.commits_since_checkpoint += 1;
+        if handle.commits_since_checkpoint >= handle.opts.checkpoint_every {
+            self.wal_checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Fuzzy checkpoint: make the log durable, persist the hash
+    /// directory and metadata chain, flush every frame (the disk becomes
+    /// a complete base image), then rewind the log onto its own pages.
+    /// No-op without a WAL.
+    pub(crate) fn wal_checkpoint(&mut self) -> CoreResult<()> {
+        if self.wal.is_none() {
+            return Ok(());
+        }
+        {
+            let handle = self.wal.as_ref().expect("checked above");
+            handle.wal.sync()?;
+            self.pool.set_durable_lsn(handle.wal.durable_lsn());
+        }
+        let hash_head = match &self.hash {
+            Some(h) => h.persist()?,
+            None => INVALID_PAGE,
+        };
+        let payload = self.meta_snapshot(hash_head).encode();
+        meta::write_meta_chain(&self.pool, &payload)?;
+        // The metadata/hash-directory writes above are part of the new
+        // base image, not of any commit: drop their gate state and flush.
+        self.pool.wal_checkpoint_reset();
+        self.pool.flush_all()?;
+        let handle = self.wal.as_mut().expect("checked above");
+        handle.wal.checkpoint_rewind(payload)?;
+        handle.commits_since_checkpoint = 0;
+        self.pool.set_durable_lsn(handle.wal.durable_lsn());
         Ok(())
     }
 

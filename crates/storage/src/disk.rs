@@ -253,20 +253,36 @@ mod tests {
         roundtrip(&MemDisk::new(256));
     }
 
+    /// Unit-test-local RAII dir (the integration tests share a richer
+    /// helper in `tests/common`); removing only the file would leak the
+    /// directory itself.
+    struct TestDir(std::path::PathBuf);
+
+    impl TestDir {
+        fn new(tag: &str) -> Self {
+            let dir = std::env::temp_dir().join(format!("bur-{tag}-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            Self(dir)
+        }
+    }
+
+    impl Drop for TestDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
     #[test]
     fn filedisk_roundtrip() {
-        let dir = std::env::temp_dir().join(format!("bur-filedisk-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("roundtrip.pages");
+        let dir = TestDir::new("filedisk");
+        let path = dir.0.join("roundtrip.pages");
         roundtrip(&FileDisk::create(&path, 256).unwrap());
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn filedisk_reopen_preserves_pages() {
-        let dir = std::env::temp_dir().join(format!("bur-filedisk-re-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("reopen.pages");
+        let dir = TestDir::new("filedisk-re");
+        let path = dir.0.join("reopen.pages");
         let payload = vec![42u8; 128];
         {
             let d = FileDisk::create(&path, 128).unwrap();
@@ -281,7 +297,6 @@ mod tests {
             d.read(0, &mut buf).unwrap();
             assert_eq!(buf, payload);
         }
-        std::fs::remove_file(&path).ok();
     }
 
     #[test]

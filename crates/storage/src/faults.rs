@@ -24,6 +24,19 @@ pub enum FaultKind {
     Allocate,
     /// Fail `sync` calls.
     Sync,
+    /// A power cut: the disk persists `after_writes` more writes, tears
+    /// the write after that (only the first half of the page reaches the
+    /// platter) and then stops persisting entirely — every later write,
+    /// allocation and sync fails and leaves the disk unchanged. Reads
+    /// keep working so recovery tooling can inspect what survived.
+    ///
+    /// Install with [`FaultyDisk::inject`] (the positional `fail_*`
+    /// installers only understand the plain operation kinds).
+    TornWrite {
+        /// Number of writes that still reach stable storage before the
+        /// cut (the cut write itself is the `after_writes`-th from now).
+        after_writes: u64,
+    },
 }
 
 impl FaultKind {
@@ -33,6 +46,7 @@ impl FaultKind {
             FaultKind::Write => "write",
             FaultKind::Allocate => "allocate",
             FaultKind::Sync => "sync",
+            FaultKind::TornWrite { .. } => "torn-write",
         }
     }
 }
@@ -48,6 +62,9 @@ enum Rule {
     Page { kind: FaultKind, pid: PageId },
     /// Fail everything of `kind` until cleared (a dead disk).
     Always { kind: FaultKind },
+    /// Power cut at absolute write sequence number `at`: write `at` is
+    /// torn (half-persisted), and all mutations after it are lost.
+    PowerCut { at: u64 },
 }
 
 /// A [`DiskBackend`] decorator that injects deterministic faults.
@@ -123,6 +140,43 @@ impl FaultyDisk {
         self.rules.lock().push(Rule::Always { kind });
     }
 
+    /// Install a fault by kind. For [`FaultKind::TornWrite`] this arms a
+    /// power cut relative to the current write sequence; every other kind
+    /// behaves like [`FaultyDisk::fail_always`].
+    pub fn inject(&self, kind: FaultKind) {
+        match kind {
+            FaultKind::TornWrite { after_writes } => {
+                let base = self.writes.load(Ordering::Relaxed);
+                self.rules.lock().push(Rule::PowerCut {
+                    at: base + after_writes,
+                });
+            }
+            k => self.fail_always(k),
+        }
+    }
+
+    /// The write sequence number at which an armed power cut tears (the
+    /// earliest, when several are installed); `None` without one.
+    #[must_use]
+    pub fn power_cut_at(&self) -> Option<u64> {
+        self.rules
+            .lock()
+            .iter()
+            .filter_map(|r| match *r {
+                Rule::PowerCut { at } => Some(at),
+                _ => None,
+            })
+            .min()
+    }
+
+    /// `true` once an armed power cut has fired (the torn write happened;
+    /// nothing after it persisted).
+    #[must_use]
+    pub fn power_cut_triggered(&self) -> bool {
+        self.power_cut_at()
+            .is_some_and(|at| self.writes.load(Ordering::Relaxed) > at)
+    }
+
     /// Remove all rules; the disk behaves transparently again.
     pub fn clear_faults(&self) {
         self.rules.lock().clear();
@@ -137,7 +191,7 @@ impl FaultyDisk {
     fn seq(&self, kind: FaultKind) -> u64 {
         match kind {
             FaultKind::Read => self.reads.load(Ordering::Relaxed),
-            FaultKind::Write => self.writes.load(Ordering::Relaxed),
+            FaultKind::Write | FaultKind::TornWrite { .. } => self.writes.load(Ordering::Relaxed),
             FaultKind::Allocate => self.allocs.load(Ordering::Relaxed),
             FaultKind::Sync => self.syncs.load(Ordering::Relaxed),
         }
@@ -147,21 +201,40 @@ impl FaultyDisk {
     fn check(&self, kind: FaultKind, pid: Option<PageId>) -> StorageResult<()> {
         let counter = match kind {
             FaultKind::Read => &self.reads,
-            FaultKind::Write => &self.writes,
+            FaultKind::Write | FaultKind::TornWrite { .. } => &self.writes,
             FaultKind::Allocate => &self.allocs,
             FaultKind::Sync => &self.syncs,
         };
         let seq = counter.fetch_add(1, Ordering::Relaxed);
+        self.check_seq(kind, seq, pid)
+    }
+
+    /// Decide whether the `seq`-th operation of `kind` fails, without
+    /// touching the counters (the caller already accounted it).
+    fn check_seq(&self, kind: FaultKind, seq: u64, pid: Option<PageId>) -> StorageResult<()> {
         let hit = self.rules.lock().iter().any(|rule| match *rule {
             Rule::NthOps { kind: k, from, to } => k == kind && (from..to).contains(&seq),
             Rule::Page { kind: k, pid: p } => k == kind && pid == Some(p),
             Rule::Always { kind: k } => k == kind,
+            Rule::PowerCut { .. } => false, // handled by the write/sync paths
         });
         if hit {
             self.injected.fetch_add(1, Ordering::Relaxed);
             return Err(StorageError::InjectedFault {
                 op: kind.label(),
                 pid,
+            });
+        }
+        Ok(())
+    }
+
+    /// `true` when a power cut forbids the mutation (cut already fired).
+    fn power_lost(&self) -> StorageResult<()> {
+        if self.power_cut_triggered() {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            return Err(StorageError::InjectedFault {
+                op: "torn-write",
+                pid: None,
             });
         }
         Ok(())
@@ -178,6 +251,7 @@ impl DiskBackend for FaultyDisk {
     }
 
     fn allocate(&self) -> StorageResult<PageId> {
+        self.power_lost()?;
         self.check(FaultKind::Allocate, None)?;
         self.inner.allocate()
     }
@@ -188,11 +262,38 @@ impl DiskBackend for FaultyDisk {
     }
 
     fn write(&self, pid: PageId, buf: &[u8]) -> StorageResult<()> {
-        self.check(FaultKind::Write, Some(pid))?;
+        let seq = self.writes.fetch_add(1, Ordering::Relaxed);
+        if let Some(at) = self.power_cut_at() {
+            if seq == at {
+                // The cut write is torn: only the first half of the page
+                // reaches stable storage; the rest keeps its old content.
+                let mut torn = vec![0u8; buf.len()];
+                if self.inner.read(pid, &mut torn).is_err() {
+                    torn.fill(0);
+                }
+                let half = buf.len() / 2;
+                torn[..half].copy_from_slice(&buf[..half]);
+                let _ = self.inner.write(pid, &torn);
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return Err(StorageError::InjectedFault {
+                    op: "torn-write",
+                    pid: Some(pid),
+                });
+            }
+            if seq > at {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return Err(StorageError::InjectedFault {
+                    op: "torn-write",
+                    pid: Some(pid),
+                });
+            }
+        }
+        self.check_seq(FaultKind::Write, seq, Some(pid))?;
         self.inner.write(pid, buf)
     }
 
     fn sync(&self) -> StorageResult<()> {
+        self.power_lost()?;
         self.check(FaultKind::Sync, None)?;
         self.inner.sync()
     }
@@ -289,6 +390,80 @@ mod tests {
         ));
         assert_eq!(d.num_pages(), 4, "failed allocation must not allocate");
         assert_eq!(d.allocate().unwrap(), 4);
+    }
+
+    #[test]
+    fn torn_write_cuts_power_at_boundary() {
+        let d = faulty();
+        let a = vec![0xAAu8; 128];
+        let b = vec![0xBBu8; 128];
+        d.write(0, &a).unwrap();
+        d.inject(FaultKind::TornWrite { after_writes: 1 });
+        assert!(!d.power_cut_triggered());
+        // Write #0 after arming still persists.
+        d.write(1, &a).unwrap();
+        // Write #1 is the cut: torn, and reported as a fault.
+        let err = d.write(0, &b).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                StorageError::InjectedFault {
+                    op: "torn-write",
+                    ..
+                }
+            ),
+            "got {err}"
+        );
+        assert!(d.power_cut_triggered());
+        // The torn page holds the new first half and the old second half.
+        let mut got = vec![0u8; 128];
+        d.read(0, &mut got).unwrap();
+        assert!(got[..64].iter().all(|&x| x == 0xBB), "new prefix persisted");
+        assert!(got[64..].iter().all(|&x| x == 0xAA), "old suffix survives");
+        // Everything after the cut is lost: writes, allocations, syncs.
+        assert!(d.write(1, &b).is_err());
+        d.read(1, &mut got).unwrap();
+        assert_eq!(got, a, "post-cut write must not persist");
+        assert!(d.allocate().is_err());
+        assert_eq!(d.num_pages(), 4);
+        assert!(d.sync().is_err());
+        // Reads still serve the surviving image (recovery inspects it).
+        d.read(1, &mut got).unwrap();
+        assert!(d.injected_faults() >= 4);
+        // Power restored: the disk works again.
+        d.clear_faults();
+        d.write(1, &b).unwrap();
+        d.sync().unwrap();
+        assert!(d.power_cut_at().is_none());
+    }
+
+    #[test]
+    fn torn_write_zero_budget_tears_next_write() {
+        let d = faulty();
+        d.inject(FaultKind::TornWrite { after_writes: 0 });
+        assert_eq!(d.power_cut_at(), Some(0));
+        let buf = vec![0x11u8; 128];
+        assert!(d.write(2, &buf).is_err(), "the very next write is the cut");
+        let mut got = vec![0u8; 128];
+        d.read(2, &mut got).unwrap();
+        assert!(got[..64].iter().all(|&x| x == 0x11));
+        assert!(got[64..].iter().all(|&x| x == 0));
+        // Sync before any further write also fails: the cut has fired.
+        assert!(d.sync().is_err());
+    }
+
+    #[test]
+    fn inject_of_plain_kind_is_fail_always() {
+        let d = faulty();
+        d.inject(FaultKind::Read);
+        let mut buf = vec![0u8; 128];
+        assert!(d.read(0, &mut buf).is_err());
+        d.clear_faults();
+        d.read(0, &mut buf).unwrap();
+        assert_eq!(
+            FaultKind::TornWrite { after_writes: 3 }.label(),
+            "torn-write"
+        );
     }
 
     #[test]

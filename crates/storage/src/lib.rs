@@ -25,6 +25,16 @@
 //! is over capacity, triggers LRU eviction. Callers that hold several
 //! guards at once (e.g. a root-to-leaf path) must acquire latches in a
 //! consistent order; the R-tree crate always latches parent before child.
+//!
+//! # Write-ahead-log mode
+//!
+//! [`BufferPool::set_wal_mode`] switches the pool into a WAL-aware mode
+//! for `bur-wal`-backed durability: every write-latched page is tracked
+//! as *touched*, and a dirty frame may not be written back to disk until
+//! its last logged image is durable (`page_lsn <= durable_lsn`) — the
+//! classic WAL rule, plus no-steal for pages touched since the last
+//! commit. Frames that cannot be written back simply stay resident, so
+//! the pool may transiently exceed its capacity between commits.
 
 #![warn(missing_docs)]
 
@@ -45,6 +55,28 @@ pub use stats::{IoSnapshot, IoStats};
 
 /// Identifier of a page on a disk. Pages are allocated densely from 0.
 pub type PageId = u32;
+
+/// A log sequence number: the position of a record in a write-ahead log.
+/// Strictly increasing over the life of an index; 0 means "none yet".
+pub type Lsn = u64;
+
+/// When a write-ahead log makes appended records durable (`fsync`
+/// cadence). Consumed by `bur-wal`; defined here because the WAL-aware
+/// [`BufferPool`] mode and the log must agree on what "durable" means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Sync on every commit record: an acknowledged operation is always
+    /// durable. The strongest (and slowest) setting; the default.
+    #[default]
+    EveryCommit,
+    /// Group commit: sync once every `n` commits. Operations between
+    /// syncs are acknowledged before they are durable and may be lost to
+    /// a crash; throughput improves by amortizing the sync cost.
+    GroupCommit(u32),
+    /// Sync only at checkpoints and explicit flushes. Maximum
+    /// throughput, weakest durability.
+    Manual,
+}
 
 /// Sentinel for "no page" (e.g. a leaf's missing parent pointer).
 pub const INVALID_PAGE: PageId = PageId::MAX;

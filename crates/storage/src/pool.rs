@@ -1,10 +1,10 @@
 //! Write-back buffer pool (LRU or Clock replacement).
 
 use crate::replacer::Replacer;
-use crate::{DiskBackend, EvictionPolicy, IoStats, PageId, StorageResult};
+use crate::{DiskBackend, EvictionPolicy, IoStats, Lsn, PageId, StorageResult};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Buffer pool configuration.
@@ -46,6 +46,18 @@ struct PoolState {
     replacer: Replacer,
 }
 
+/// Bookkeeping for the WAL-aware pool mode (see the crate docs).
+#[derive(Default)]
+struct WalGate {
+    /// Pages write-latched since their last logged image ("touched"):
+    /// their current content is not in the log yet, so writing them back
+    /// would steal uncommitted data onto disk.
+    touched: HashSet<PageId>,
+    /// LSN of the last logged image of each page. A dirty frame may only
+    /// be written back once the log is durable past this LSN.
+    page_lsn: HashMap<PageId, Lsn>,
+}
+
 /// An LRU write-back buffer pool over a [`DiskBackend`].
 ///
 /// * fetch hit — no physical I/O;
@@ -78,6 +90,14 @@ pub struct BufferPool {
     capacity: AtomicUsize,
     state: Mutex<PoolState>,
     stats: IoStats,
+    /// WAL-aware mode switch. Off by default; the hot paths only pay one
+    /// relaxed atomic load while it stays off.
+    wal_mode: AtomicBool,
+    /// Touched-page and page-LSN tracking, live only in WAL mode.
+    /// Lock order: `state` before `wal_gate` (never the reverse).
+    wal_gate: Mutex<WalGate>,
+    /// Highest LSN known durable in the log.
+    durable_lsn: AtomicU64,
 }
 
 impl BufferPool {
@@ -92,7 +112,76 @@ impl BufferPool {
                 replacer: Replacer::new(config.policy),
             }),
             stats: IoStats::new(),
+            wal_mode: AtomicBool::new(false),
+            wal_gate: Mutex::new(WalGate::default()),
+            durable_lsn: AtomicU64::new(0),
         }
+    }
+
+    // ---- WAL-aware mode --------------------------------------------------
+
+    /// Switch the WAL-aware mode on or off (see the crate docs). Turning
+    /// it off clears all gate state.
+    pub fn set_wal_mode(&self, enabled: bool) {
+        self.wal_mode.store(enabled, Ordering::Relaxed);
+        if !enabled {
+            let mut gate = self.wal_gate.lock();
+            gate.touched.clear();
+            gate.page_lsn.clear();
+        }
+    }
+
+    /// `true` when the WAL-aware mode is active.
+    #[must_use]
+    pub fn wal_mode(&self) -> bool {
+        self.wal_mode.load(Ordering::Relaxed)
+    }
+
+    /// Pages write-latched since their last logged image, sorted for
+    /// deterministic log layouts. These are the pages a commit must log.
+    #[must_use]
+    pub fn touched_pages(&self) -> Vec<PageId> {
+        let gate = self.wal_gate.lock();
+        let mut v: Vec<PageId> = gate.touched.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Record that the current content of `pid` was appended to the log
+    /// as `lsn`: the page is no longer touched, and becomes writable back
+    /// to disk once the log is durable past `lsn`.
+    pub fn note_page_logged(&self, pid: PageId, lsn: Lsn) {
+        let mut gate = self.wal_gate.lock();
+        gate.touched.remove(&pid);
+        gate.page_lsn.insert(pid, lsn);
+    }
+
+    /// Publish the log's durable horizon; frames whose last image lies at
+    /// or below it become flushable.
+    pub fn set_durable_lsn(&self, lsn: Lsn) {
+        self.durable_lsn.store(lsn, Ordering::Relaxed);
+    }
+
+    /// The published durable horizon.
+    #[must_use]
+    pub fn durable_lsn(&self) -> Lsn {
+        self.durable_lsn.load(Ordering::Relaxed)
+    }
+
+    /// LSN of the last logged image of `pid`, when one was noted.
+    #[must_use]
+    pub fn page_lsn(&self, pid: PageId) -> Option<Lsn> {
+        self.wal_gate.lock().page_lsn.get(&pid).copied()
+    }
+
+    /// Checkpoint reset: after the caller has made the log durable and is
+    /// about to flush every frame as the new base image, all per-page
+    /// gate state is obsolete. Clears touched pages and page LSNs so the
+    /// following [`BufferPool::flush_all`] writes everything.
+    pub fn wal_checkpoint_reset(&self) {
+        let mut gate = self.wal_gate.lock();
+        gate.touched.clear();
+        gate.page_lsn.clear();
     }
 
     /// Page size of the underlying disk.
@@ -205,11 +294,16 @@ impl BufferPool {
             pins: AtomicUsize::new(1),
         });
         state.table.insert(pid, frame.clone());
+        // The frame is dirty from birth: gate it like any other write.
+        if self.wal_mode.load(Ordering::Relaxed) {
+            self.wal_gate.lock().touched.insert(pid);
+        }
         Ok(PageRef { pool: self, frame })
     }
 
     /// Write all dirty frames back to disk (counting physical writes) and
-    /// sync the backend. Frames stay resident.
+    /// sync the backend. Frames stay resident. In WAL mode, frames whose
+    /// last image is not yet durable in the log are silently skipped.
     pub fn flush_all(&self) -> StorageResult<()> {
         let state = self.state.lock();
         for frame in state.table.values() {
@@ -219,15 +313,36 @@ impl BufferPool {
     }
 
     /// Flush dirty frames and drop every unpinned frame — a cold cache.
+    /// In WAL mode, frames that may not leave memory yet stay resident.
     pub fn evict_all(&self) -> StorageResult<()> {
         let mut state = self.state.lock();
+        let mut retained = Vec::new();
+        let mut result = Ok(());
         while let Some(victim) = state.replacer.evict() {
             let frame = state
                 .table
-                .remove(&victim)
+                .get(&victim)
+                .cloned()
                 .expect("replacer entry must be resident");
-            self.write_back(&frame)?;
+            match self.write_back(&frame) {
+                Ok(true) => {
+                    state.table.remove(&victim);
+                }
+                Ok(false) => retained.push(victim),
+                Err(e) => {
+                    // Keep the frame (and the already-popped victims)
+                    // reachable by the replacer; report the error after
+                    // restoring consistency.
+                    retained.push(victim);
+                    result = Err(e);
+                    break;
+                }
+            }
         }
+        for pid in retained {
+            state.replacer.insert(pid);
+        }
+        result?;
         // Pinned frames (if any) are flushed but stay resident.
         for frame in state.table.values() {
             self.write_back(frame)?;
@@ -235,27 +350,70 @@ impl BufferPool {
         self.disk.sync()
     }
 
-    /// Write one frame back if dirty.
-    fn write_back(&self, frame: &Frame) -> StorageResult<()> {
+    /// Write one frame back if dirty. Returns `false` when the WAL gate
+    /// forbids it (uncommitted content, or image not yet durable): the
+    /// frame keeps its dirty bit and must stay resident.
+    fn write_back(&self, frame: &Frame) -> StorageResult<bool> {
+        if !frame.dirty.load(Ordering::Relaxed) {
+            return Ok(true);
+        }
+        if self.wal_mode.load(Ordering::Relaxed) {
+            let gate = self.wal_gate.lock();
+            let blocked = gate.touched.contains(&frame.pid)
+                || gate
+                    .page_lsn
+                    .get(&frame.pid)
+                    .is_some_and(|&lsn| lsn > self.durable_lsn.load(Ordering::Relaxed));
+            if blocked {
+                return Ok(false);
+            }
+        }
         if frame.dirty.swap(false, Ordering::Relaxed) {
             let data = frame.data.read();
-            self.disk.write(frame.pid, &data)?;
+            if let Err(e) = self.disk.write(frame.pid, &data) {
+                // Restore the dirty bit (under the read latch, so no
+                // concurrent writer can be lost): the frame still holds
+                // the only copy and the next flush must retry it.
+                frame.dirty.store(true, Ordering::Relaxed);
+                return Err(e);
+            }
             self.stats.record_write();
         }
-        Ok(())
+        Ok(true)
     }
 
     fn enforce_capacity(&self, state: &mut PoolState) -> StorageResult<()> {
         let cap = self.capacity.load(Ordering::Relaxed);
+        let mut retained = Vec::new();
+        let mut result = Ok(());
         while state.replacer.len() > cap {
-            let victim = state.replacer.evict().expect("len > cap >= 0");
+            let Some(victim) = state.replacer.evict() else {
+                break;
+            };
             let frame = state
                 .table
-                .remove(&victim)
+                .get(&victim)
+                .cloned()
                 .expect("replacer entry must be resident");
-            self.write_back(&frame)?;
+            match self.write_back(&frame) {
+                Ok(true) => {
+                    state.table.remove(&victim);
+                }
+                Ok(false) => retained.push(victim), // WAL gate: stay resident
+                Err(e) => {
+                    // The disk rejected the write-back. Keep the frame (and
+                    // its dirty data) in memory so nothing is lost; the
+                    // error resurfaces on the next explicit flush.
+                    retained.push(victim);
+                    result = Err(e);
+                    break;
+                }
+            }
         }
-        Ok(())
+        for pid in retained {
+            state.replacer.insert(pid);
+        }
+        result
     }
 
     /// Called by [`PageRef::drop`].
@@ -270,11 +428,10 @@ impl BufferPool {
             // lock, so the accounting here is exact.
             if state.table.contains_key(&frame.pid) {
                 state.replacer.insert(frame.pid);
-                // Eviction failures have nowhere to go from a destructor;
-                // a failed write-back here would mean the backing store
-                // rejected a page it previously served, which is a bug.
-                self.enforce_capacity(&mut state)
-                    .expect("write-back during eviction failed");
+                // A write-back failure here has nowhere to report from a
+                // destructor; enforce_capacity retains the frame (no data
+                // is lost) and the error resurfaces on the next flush.
+                let _ = self.enforce_capacity(&mut state);
             }
         }
     }
@@ -302,9 +459,14 @@ impl PageRef<'_> {
         self.frame.data.read()
     }
 
-    /// Acquire the exclusive latch and mark the frame dirty.
+    /// Acquire the exclusive latch and mark the frame dirty (and, in WAL
+    /// mode, touched — its content must be logged before it may be
+    /// written back).
     pub fn write(&self) -> RwLockWriteGuard<'_, Box<[u8]>> {
         self.frame.dirty.store(true, Ordering::Relaxed);
+        if self.pool.wal_mode.load(Ordering::Relaxed) {
+            self.pool.wal_gate.lock().touched.insert(self.frame.pid);
+        }
         self.frame.data.write()
     }
 
@@ -593,6 +755,126 @@ mod tests {
         drop(g);
         assert_eq!(p.stats().snapshot().allocations, 1);
         assert_eq!(p.disk().num_pages(), 1);
+    }
+
+    #[test]
+    fn wal_gate_blocks_touched_pages() {
+        let p = pool(0); // capacity 0: everything evicts on unpin normally
+        p.set_wal_mode(true);
+        assert!(p.wal_mode());
+        let (pid, g) = p.new_page().unwrap();
+        g.write()[0] = 7;
+        let before = p.stats().snapshot();
+        drop(g); // would evict+write without the gate
+        assert_eq!(p.stats().snapshot().since(&before).writes, 0);
+        assert_eq!(p.resident(), 1, "uncommitted frame must stay resident");
+        assert_eq!(p.touched_pages(), vec![pid]);
+        // flush_all skips it too.
+        p.flush_all().unwrap();
+        assert_eq!(p.stats().snapshot().since(&before).writes, 0);
+        // Log the image but keep it beyond the durable horizon: still held.
+        p.note_page_logged(pid, 5);
+        assert!(p.touched_pages().is_empty());
+        assert_eq!(p.page_lsn(pid), Some(5));
+        p.evict_all().unwrap();
+        assert_eq!(p.resident(), 1, "undurable frame must stay resident");
+        // Durable horizon catches up: the frame drains normally.
+        p.set_durable_lsn(5);
+        assert_eq!(p.durable_lsn(), 5);
+        p.evict_all().unwrap();
+        assert_eq!(p.resident(), 0);
+        let d = p.stats().snapshot().since(&before);
+        assert_eq!(d.writes, 1);
+        assert_eq!(p.fetch(pid).unwrap().read()[0], 7);
+    }
+
+    #[test]
+    fn wal_checkpoint_reset_unblocks_everything() {
+        let p = pool(8);
+        p.set_wal_mode(true);
+        let (_a, ga) = p.new_page().unwrap();
+        let (_b, gb) = p.new_page().unwrap();
+        ga.write()[0] = 1;
+        gb.write()[0] = 2;
+        drop(ga);
+        drop(gb);
+        let before = p.stats().snapshot();
+        p.flush_all().unwrap();
+        assert_eq!(p.stats().snapshot().since(&before).writes, 0);
+        p.wal_checkpoint_reset();
+        p.flush_all().unwrap();
+        assert_eq!(p.stats().snapshot().since(&before).writes, 2);
+        // Disabling WAL mode clears the gate as well.
+        let (_c, gc) = p.new_page().unwrap();
+        gc.write()[0] = 3;
+        drop(gc);
+        p.set_wal_mode(false);
+        assert!(p.touched_pages().is_empty());
+        p.flush_all().unwrap();
+        assert_eq!(p.stats().snapshot().since(&before).writes, 3);
+    }
+
+    #[test]
+    fn transient_write_fault_keeps_frame_dirty_for_retry() {
+        use crate::{FaultKind, FaultyDisk};
+        let disk = Arc::new(FaultyDisk::new(Arc::new(MemDisk::new(128))));
+        let p = BufferPool::new(
+            disk.clone(),
+            PoolConfig {
+                capacity: 8,
+                ..PoolConfig::default()
+            },
+        );
+        let (pid, g) = p.new_page().unwrap();
+        g.write()[3] = 77;
+        drop(g);
+        disk.fail_next(FaultKind::Write, 1);
+        assert!(p.flush_all().is_err(), "the injected fault must surface");
+        disk.clear_faults();
+        // The frame must still be dirty: this flush has to write it.
+        let before = p.stats().snapshot();
+        p.flush_all().unwrap();
+        assert_eq!(p.stats().snapshot().since(&before).writes, 1);
+        p.evict_all().unwrap();
+        assert_eq!(p.fetch(pid).unwrap().read()[3], 77, "data reached disk");
+    }
+
+    #[test]
+    fn evict_all_error_keeps_frames_reachable() {
+        use crate::{FaultKind, FaultyDisk};
+        let disk = Arc::new(FaultyDisk::new(Arc::new(MemDisk::new(128))));
+        let p = BufferPool::new(
+            disk.clone(),
+            PoolConfig {
+                capacity: 8,
+                ..PoolConfig::default()
+            },
+        );
+        for i in 0..4u8 {
+            let (_pid, g) = p.new_page().unwrap();
+            g.write()[0] = i;
+            drop(g);
+        }
+        disk.fail_next(FaultKind::Write, 1);
+        assert!(p.evict_all().is_err());
+        disk.clear_faults();
+        // Every frame popped before/at the error must still be evictable.
+        p.evict_all().unwrap();
+        assert_eq!(p.resident(), 0);
+        for pid in 0..4u32 {
+            assert_eq!(p.fetch(pid).unwrap().read()[0] as u32, pid);
+        }
+    }
+
+    #[test]
+    fn wal_mode_off_is_transparent() {
+        let p = pool(0);
+        let (pid, g) = p.new_page().unwrap();
+        g.write()[0] = 9;
+        drop(g);
+        assert_eq!(p.resident(), 0, "default mode still evicts eagerly");
+        assert!(p.touched_pages().is_empty());
+        assert_eq!(p.page_lsn(pid), None);
     }
 
     #[test]

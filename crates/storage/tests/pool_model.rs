@@ -12,11 +12,27 @@ fn arb_policy() -> impl Strategy<Value = EvictionPolicy> {
     prop_oneof![Just(EvictionPolicy::Lru), Just(EvictionPolicy::Clock)]
 }
 
+/// Number of distinct pages among the held guards (a page may be pinned
+/// several times but occupies one frame).
+fn distinct_pids(pinned: &[bur_storage::PageRef<'_>]) -> usize {
+    let mut ids: Vec<u32> = pinned.iter().map(|g| g.pid()).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids.len()
+}
+
 #[derive(Debug, Clone)]
 enum Op {
     New(u8),
     Write(u8, u8),
+    /// Blind write through `fetch_for_overwrite`: overwrites the whole
+    /// page without reading the old content from disk.
+    BlindWrite(u8, u8),
     Read(u8),
+    /// Fetch a page and *hold* the guard across later operations.
+    Pin(u8),
+    /// Drop the oldest held guard.
+    Unpin,
     Flush,
     EvictAll,
     SetCapacity(u8),
@@ -26,7 +42,10 @@ fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         1 => any::<u8>().prop_map(Op::New),
         4 => (any::<u8>(), any::<u8>()).prop_map(|(p, v)| Op::Write(p, v)),
+        2 => (any::<u8>(), any::<u8>()).prop_map(|(p, v)| Op::BlindWrite(p, v)),
         4 => any::<u8>().prop_map(Op::Read),
+        2 => any::<u8>().prop_map(Op::Pin),
+        2 => Just(Op::Unpin),
         1 => Just(Op::Flush),
         1 => Just(Op::EvictAll),
         1 => (0u8..8).prop_map(Op::SetCapacity),
@@ -47,6 +66,8 @@ proptest! {
         // Model: page id -> the byte we last wrote at offset 7.
         let mut model: HashMap<u32, u8> = HashMap::new();
         let mut pids: Vec<u32> = Vec::new();
+        // Guards held open across operations (pinned frames).
+        let mut pinned = Vec::new();
         for op in ops {
             match op {
                 Op::New(v) => {
@@ -64,6 +85,19 @@ proptest! {
                     drop(guard);
                     model.insert(pid, v);
                 }
+                Op::BlindWrite(which, v) => {
+                    if pids.is_empty() { continue; }
+                    let pid = pids[which as usize % pids.len()];
+                    let guard = pool.fetch_for_overwrite(pid).unwrap();
+                    {
+                        // Contract: a blind write overwrites the whole page.
+                        let mut w = guard.write();
+                        w.fill(0);
+                        w[7] = v;
+                    }
+                    drop(guard);
+                    model.insert(pid, v);
+                }
                 Op::Read(which) => {
                     if pids.is_empty() { continue; }
                     let pid = pids[which as usize % pids.len()];
@@ -71,21 +105,40 @@ proptest! {
                     let got = guard.read()[7];
                     prop_assert_eq!(got, model[&pid], "page {} corrupted", pid);
                 }
+                Op::Pin(which) => {
+                    if pids.is_empty() { continue; }
+                    let pid = pids[which as usize % pids.len()];
+                    pinned.push(pool.fetch(pid).unwrap());
+                }
+                Op::Unpin => {
+                    if !pinned.is_empty() {
+                        pinned.remove(0);
+                    }
+                }
                 Op::Flush => pool.flush_all().unwrap(),
                 Op::EvictAll => pool.evict_all().unwrap(),
                 Op::SetCapacity(c) => pool.set_capacity(c as usize).unwrap(),
             }
-            // Conservation: fetches >= physical reads; resident frames
-            // bounded by capacity once nothing is pinned.
+            // Conservation: fetches >= physical reads; pinned frames are
+            // always resident and still serve fresh content.
             let snap = pool.stats().snapshot();
             prop_assert!(snap.fetches >= snap.reads);
+            prop_assert!(pool.resident() >= distinct_pids(&pinned));
+            for guard in &pinned {
+                prop_assert_eq!(guard.read()[7], model[&guard.pid()],
+                    "pinned page {} corrupted", guard.pid());
+            }
         }
-        // Final audit: every page readable with the right content.
+        // Final audit: every page readable with the right content, even
+        // while some frames are still pinned.
         for (&pid, &v) in &model {
             let guard = pool.fetch(pid).unwrap();
             prop_assert_eq!(guard.read()[7], v);
         }
-        // After evicting everything, the disk alone must hold the truth.
+        // Dropping the pins and evicting everything: the disk alone must
+        // hold the truth (pinned frames were flushed, not lost).
+        pool.evict_all().unwrap();
+        drop(pinned);
         pool.evict_all().unwrap();
         prop_assert_eq!(pool.resident(), 0);
         for (&pid, &v) in &model {

@@ -1,0 +1,767 @@
+//! The log: a byte stream of CRC-framed records chunked into a chain of
+//! pages on a [`DiskBackend`], rewound in place at every checkpoint.
+//!
+//! # On-disk layout
+//!
+//! Every log page starts with a 14-byte header:
+//!
+//! ```text
+//! [magic u32 = "BWAL"] [generation u32] [next PageId u32] [used u16]
+//! ```
+//!
+//! followed by `used` bytes of record stream. Records span page
+//! boundaries freely; each is framed as
+//!
+//! ```text
+//! [len u32] [crc32 u32] [kind u8] [lsn u64] [payload ...]
+//! ```
+//!
+//! with the CRC covering `kind..payload`. Within one page the stream is
+//! append-only, so a torn rewrite of the tail page (power cut half-way
+//! through the sector) either reproduces the old bytes exactly or breaks
+//! the CRC of the record under the tear — either way [`scan`] stops at a
+//! well-defined prefix and reports `torn_tail`.
+//!
+//! A checkpoint *rewinds* the log: the chain's pages are recycled, the
+//! generation number is bumped, and a fresh stream starts at the anchor
+//! page with a [`WalRecord::Checkpoint`]. Stale pages of older
+//! generations are ignored by [`scan`] (generation mismatch ends the
+//! chain), so the log never grows past one generation of records.
+
+use crate::{crc32, WalRecord};
+use bur_storage::{DiskBackend, Lsn, PageId, StorageResult, SyncPolicy, INVALID_PAGE};
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Magic number opening every log page ("BWAL", little-endian).
+pub const WAL_PAGE_MAGIC: u32 = 0x4C41_5742;
+
+/// Log page header size in bytes.
+const HDR: usize = 14;
+
+/// Record frame header size ahead of the body (`len` + `crc`).
+const FRAME: usize = 8;
+
+/// Body prefix: kind tag + LSN.
+const BODY_PREFIX: usize = 9;
+
+fn wal_state_error(msg: &'static str) -> bur_storage::StorageError {
+    bur_storage::StorageError::Io(std::io::Error::other(msg))
+}
+
+/// Mutable log state behind the [`Wal`] lock.
+struct WalInner {
+    generation: u32,
+    /// Page currently being filled.
+    cur: PageId,
+    /// In-memory image of `cur` (header rewritten on every page write).
+    buf: Box<[u8]>,
+    /// Bytes of record stream in `cur`.
+    used: usize,
+    /// Pages of the current generation, anchor first.
+    chain: Vec<PageId>,
+    /// Recycled pages from previous generations.
+    spare: Vec<PageId>,
+    next_lsn: Lsn,
+    last_lsn: Lsn,
+    durable_lsn: Lsn,
+    /// `cur` holds appended bytes not yet written to the disk.
+    dirty_tail: bool,
+    commits_since_sync: u32,
+    /// Set by [`Wal::reopen`]: the log must be rewound (checkpointed)
+    /// before new records may be appended.
+    needs_rewind: bool,
+}
+
+/// Monotonic counters describing log activity since creation.
+#[derive(Debug, Default)]
+struct WalCounters {
+    records: AtomicU64,
+    images: AtomicU64,
+    commits: AtomicU64,
+    checkpoints: AtomicU64,
+    syncs: AtomicU64,
+    page_writes: AtomicU64,
+    bytes_appended: AtomicU64,
+    rewinds: AtomicU64,
+}
+
+/// A point-in-time view of a [`Wal`]'s counters and positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalStatsSnapshot {
+    /// Records appended (all kinds).
+    pub records: u64,
+    /// Page-image records appended.
+    pub images: u64,
+    /// Commit records appended.
+    pub commits: u64,
+    /// Checkpoints taken (log rewinds).
+    pub checkpoints: u64,
+    /// Durable syncs performed.
+    pub syncs: u64,
+    /// Physical log-page writes.
+    pub page_writes: u64,
+    /// Record-stream bytes appended.
+    pub bytes_appended: u64,
+    /// Log rewinds (equals checkpoints; kept separate for clarity).
+    pub rewinds: u64,
+    /// Highest LSN assigned.
+    pub last_lsn: Lsn,
+    /// Highest LSN known durable.
+    pub durable_lsn: Lsn,
+    /// Current log generation.
+    pub generation: u32,
+    /// Pages owned by the log (current chain + recycled spares).
+    pub log_pages: usize,
+}
+
+impl fmt::Display for WalStatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "gen {} lsn {} (durable {}) | {} records ({} images, {} commits, {} checkpoints) \
+             | {} B appended, {} page writes, {} syncs, {} pages",
+            self.generation,
+            self.last_lsn,
+            self.durable_lsn,
+            self.records,
+            self.images,
+            self.commits,
+            self.checkpoints,
+            self.bytes_appended,
+            self.page_writes,
+            self.syncs,
+            self.log_pages
+        )
+    }
+}
+
+/// The write-ahead log. See the [crate docs](crate) for the protocol;
+/// the on-disk layout is documented at the top of this source file.
+pub struct Wal {
+    disk: Arc<dyn DiskBackend>,
+    anchor: PageId,
+    policy: SyncPolicy,
+    inner: Mutex<WalInner>,
+    counters: WalCounters,
+}
+
+impl Wal {
+    /// Create a fresh log: allocates the anchor page and writes an empty
+    /// generation-1 stream to it.
+    pub fn create(disk: Arc<dyn DiskBackend>, policy: SyncPolicy) -> StorageResult<Self> {
+        let anchor = disk.allocate()?;
+        let ps = disk.page_size();
+        let wal = Self {
+            disk,
+            anchor,
+            policy,
+            inner: Mutex::new(WalInner {
+                generation: 1,
+                cur: anchor,
+                buf: vec![0u8; ps].into_boxed_slice(),
+                used: 0,
+                chain: vec![anchor],
+                spare: Vec::new(),
+                next_lsn: 1,
+                last_lsn: 0,
+                durable_lsn: 0,
+                dirty_tail: false,
+                commits_since_sync: 0,
+                needs_rewind: false,
+            }),
+            counters: WalCounters::default(),
+        };
+        {
+            let mut inner = wal.inner.lock();
+            wal.write_cur_page(&mut inner, INVALID_PAGE)?;
+        }
+        Ok(wal)
+    }
+
+    /// Reopen an existing log for recovery: scans it and returns the
+    /// surviving records. The log is positioned *read-only* — it must be
+    /// rewound with [`Wal::checkpoint_rewind`] (after replaying the
+    /// records and flushing the new base image) before appending again.
+    pub fn reopen(
+        disk: Arc<dyn DiskBackend>,
+        anchor: PageId,
+        policy: SyncPolicy,
+    ) -> StorageResult<(Self, ScanResult)> {
+        let scanned = scan(disk.as_ref(), anchor)?;
+        let ps = disk.page_size();
+        let last = scanned.records.last().map_or(0, |&(lsn, _)| lsn);
+        let wal = Self {
+            disk,
+            anchor,
+            policy,
+            inner: Mutex::new(WalInner {
+                generation: scanned.generation,
+                cur: anchor,
+                buf: vec![0u8; ps].into_boxed_slice(),
+                used: 0,
+                chain: vec![anchor],
+                spare: scanned
+                    .pages
+                    .iter()
+                    .copied()
+                    .filter(|&p| p != anchor)
+                    .collect(),
+                next_lsn: last + 1,
+                last_lsn: last,
+                durable_lsn: last,
+                dirty_tail: false,
+                commits_since_sync: 0,
+                needs_rewind: true,
+            }),
+            counters: WalCounters::default(),
+        };
+        Ok((wal, scanned))
+    }
+
+    /// The anchor (first) page of the log chain.
+    #[must_use]
+    pub fn anchor(&self) -> PageId {
+        self.anchor
+    }
+
+    /// The configured sync cadence.
+    #[must_use]
+    pub fn policy(&self) -> SyncPolicy {
+        self.policy
+    }
+
+    /// Highest LSN assigned so far.
+    #[must_use]
+    pub fn last_lsn(&self) -> Lsn {
+        self.inner.lock().last_lsn
+    }
+
+    /// Highest LSN known durable (on disk and synced).
+    #[must_use]
+    pub fn durable_lsn(&self) -> Lsn {
+        self.inner.lock().durable_lsn
+    }
+
+    /// Counter snapshot for tooling and benches.
+    #[must_use]
+    pub fn stats(&self) -> WalStatsSnapshot {
+        let inner = self.inner.lock();
+        WalStatsSnapshot {
+            records: self.counters.records.load(Ordering::Relaxed),
+            images: self.counters.images.load(Ordering::Relaxed),
+            commits: self.counters.commits.load(Ordering::Relaxed),
+            checkpoints: self.counters.checkpoints.load(Ordering::Relaxed),
+            syncs: self.counters.syncs.load(Ordering::Relaxed),
+            page_writes: self.counters.page_writes.load(Ordering::Relaxed),
+            bytes_appended: self.counters.bytes_appended.load(Ordering::Relaxed),
+            rewinds: self.counters.rewinds.load(Ordering::Relaxed),
+            last_lsn: inner.last_lsn,
+            durable_lsn: inner.durable_lsn,
+            generation: inner.generation,
+            log_pages: inner.chain.len() + inner.spare.len(),
+        }
+    }
+
+    /// Append one record; returns its LSN. The record is durable only
+    /// after the next [`Wal::sync`] (or automatic sync via
+    /// [`Wal::commit`]'s policy).
+    pub fn append(&self, rec: &WalRecord) -> StorageResult<Lsn> {
+        let mut inner = self.inner.lock();
+        self.append_inner(&mut inner, rec)
+    }
+
+    /// Append a [`WalRecord::Commit`] and apply the sync policy. Returns
+    /// `(lsn, durable)` where `durable` says whether this commit is
+    /// already synced.
+    pub fn commit(&self, meta: Vec<u8>) -> StorageResult<(Lsn, bool)> {
+        let mut inner = self.inner.lock();
+        let lsn = self.append_inner(&mut inner, &WalRecord::Commit { meta })?;
+        inner.commits_since_sync += 1;
+        let do_sync = match self.policy {
+            SyncPolicy::EveryCommit => true,
+            SyncPolicy::GroupCommit(n) => inner.commits_since_sync >= n.max(1),
+            SyncPolicy::Manual => false,
+        };
+        if do_sync {
+            self.sync_inner(&mut inner)?;
+        }
+        self.counters.commits.fetch_add(1, Ordering::Relaxed);
+        Ok((lsn, do_sync))
+    }
+
+    /// Make every appended record durable: write the tail page and sync
+    /// the disk.
+    pub fn sync(&self) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        self.sync_inner(&mut inner)
+    }
+
+    /// Checkpoint: recycle the current generation's pages, start a fresh
+    /// generation at the anchor whose first record is a
+    /// [`WalRecord::Checkpoint`] carrying `meta`, and sync it. The caller
+    /// must have flushed the buffer pool *before* this, so the on-disk
+    /// pages are a complete base image for `meta`.
+    pub fn checkpoint_rewind(&self, meta: Vec<u8>) -> StorageResult<Lsn> {
+        let mut inner = self.inner.lock();
+        let old_chain = std::mem::take(&mut inner.chain);
+        inner
+            .spare
+            .extend(old_chain.into_iter().filter(|&p| p != self.anchor));
+        inner.generation = inner.generation.wrapping_add(1);
+        inner.cur = self.anchor;
+        inner.used = 0;
+        inner.buf.fill(0);
+        inner.chain = vec![self.anchor];
+        inner.dirty_tail = true; // the fresh header must reach the disk
+        inner.needs_rewind = false;
+        inner.commits_since_sync = 0;
+        let lsn = self.append_inner(&mut inner, &WalRecord::Checkpoint { meta })?;
+        self.sync_inner(&mut inner)?;
+        self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+        self.counters.rewinds.fetch_add(1, Ordering::Relaxed);
+        Ok(lsn)
+    }
+
+    // ---- internals -------------------------------------------------------
+
+    fn append_inner(&self, inner: &mut WalInner, rec: &WalRecord) -> StorageResult<Lsn> {
+        if inner.needs_rewind {
+            return Err(wal_state_error(
+                "wal: reopened log must be checkpoint-rewound before appending",
+            ));
+        }
+        let lsn = inner.next_lsn;
+        inner.next_lsn += 1;
+        inner.last_lsn = lsn;
+
+        let mut body = Vec::with_capacity(BODY_PREFIX + 16);
+        body.push(rec.kind());
+        body.extend_from_slice(&lsn.to_le_bytes());
+        match rec {
+            WalRecord::PageImage { pid, data } => {
+                body.extend_from_slice(&pid.to_le_bytes());
+                body.extend_from_slice(data);
+                self.counters.images.fetch_add(1, Ordering::Relaxed);
+            }
+            WalRecord::Commit { meta } => {
+                body.extend_from_slice(meta);
+            }
+            WalRecord::Checkpoint { meta } => {
+                body.extend_from_slice(meta);
+            }
+        }
+        let mut frame = Vec::with_capacity(FRAME + body.len());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&body).to_le_bytes());
+        frame.extend_from_slice(&body);
+
+        let cap = self.disk.page_size() - HDR;
+        let mut off = 0;
+        while off < frame.len() {
+            if inner.used == cap {
+                self.advance_page(inner)?;
+            }
+            let n = (cap - inner.used).min(frame.len() - off);
+            let start = HDR + inner.used;
+            inner.buf[start..start + n].copy_from_slice(&frame[off..off + n]);
+            inner.used += n;
+            off += n;
+            inner.dirty_tail = true;
+        }
+        self.counters.records.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .bytes_appended
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        Ok(lsn)
+    }
+
+    /// Finalize the (full) current page with a pointer to a fresh page
+    /// and switch to it.
+    fn advance_page(&self, inner: &mut WalInner) -> StorageResult<()> {
+        let next = match inner.spare.pop() {
+            Some(p) => p,
+            None => self.disk.allocate()?,
+        };
+        self.write_cur_page(inner, next)?;
+        inner.chain.push(next);
+        inner.cur = next;
+        inner.used = 0;
+        inner.buf.fill(0);
+        inner.dirty_tail = false;
+        Ok(())
+    }
+
+    /// Write the current page image (header + stream) to the disk.
+    fn write_cur_page(&self, inner: &mut WalInner, next: PageId) -> StorageResult<()> {
+        inner.buf[0..4].copy_from_slice(&WAL_PAGE_MAGIC.to_le_bytes());
+        inner.buf[4..8].copy_from_slice(&inner.generation.to_le_bytes());
+        inner.buf[8..12].copy_from_slice(&next.to_le_bytes());
+        inner.buf[12..14].copy_from_slice(&(inner.used as u16).to_le_bytes());
+        self.disk.write(inner.cur, &inner.buf)?;
+        self.counters.page_writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn sync_inner(&self, inner: &mut WalInner) -> StorageResult<()> {
+        if inner.dirty_tail {
+            self.write_cur_page(inner, INVALID_PAGE)?;
+            inner.dirty_tail = false;
+        }
+        self.disk.sync()?;
+        inner.durable_lsn = inner.last_lsn;
+        inner.commits_since_sync = 0;
+        self.counters.syncs.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// What [`scan`] found in a log chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanResult {
+    /// `false` when the anchor page is not a log page at all (no magic):
+    /// every other field is empty/zero then.
+    pub valid: bool,
+    /// Generation of the scanned chain.
+    pub generation: u32,
+    /// Surviving records in LSN order.
+    pub records: Vec<(Lsn, WalRecord)>,
+    /// Pages of the chain, anchor first.
+    pub pages: Vec<PageId>,
+    /// `true` when the stream ended in a torn or stale record (crash
+    /// artifact) rather than cleanly.
+    pub torn_tail: bool,
+    /// Total record-stream bytes seen (including any torn tail).
+    pub stream_bytes: usize,
+}
+
+/// Read a log chain from `anchor` and parse every surviving record.
+/// Read-only: used by recovery and by `burctl wal-stats`.
+pub fn scan(disk: &dyn DiskBackend, anchor: PageId) -> StorageResult<ScanResult> {
+    let ps = disk.page_size();
+    let cap = ps - HDR;
+    let mut out = ScanResult {
+        valid: false,
+        generation: 0,
+        records: Vec::new(),
+        pages: Vec::new(),
+        torn_tail: false,
+        stream_bytes: 0,
+    };
+    if anchor >= disk.num_pages() {
+        return Ok(out);
+    }
+    let mut buf = vec![0u8; ps];
+    disk.read(anchor, &mut buf)?;
+    let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+    if magic != WAL_PAGE_MAGIC {
+        return Ok(out);
+    }
+    out.valid = true;
+    out.generation = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+
+    // Collect the stream across the chain.
+    let mut stream = Vec::new();
+    let mut pid = anchor;
+    loop {
+        out.pages.push(pid);
+        let next = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+        let used = u16::from_le_bytes(buf[12..14].try_into().unwrap()) as usize;
+        if used > cap {
+            out.torn_tail = true;
+            break;
+        }
+        stream.extend_from_slice(&buf[HDR..HDR + used]);
+        if next == INVALID_PAGE {
+            break;
+        }
+        if next >= disk.num_pages() || out.pages.contains(&next) {
+            // The pointer outruns the disk (allocation lost to the crash)
+            // or loops (stale garbage): stop at what we have.
+            out.torn_tail = true;
+            break;
+        }
+        if disk.read(next, &mut buf).is_err() {
+            out.torn_tail = true;
+            break;
+        }
+        let magic = u32::from_le_bytes(buf[0..4].try_into().unwrap());
+        let gen = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        if magic != WAL_PAGE_MAGIC || gen != out.generation {
+            // The next page was never (re)written under this generation:
+            // the chain ends here.
+            out.torn_tail = true;
+            break;
+        }
+        pid = next;
+    }
+    out.stream_bytes = stream.len();
+
+    // Parse records until the stream ends or breaks.
+    let mut off = 0;
+    let mut prev_lsn = 0;
+    while off + FRAME <= stream.len() {
+        let len = u32::from_le_bytes(stream[off..off + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(stream[off + 4..off + 8].try_into().unwrap());
+        if len < BODY_PREFIX || off + FRAME + len > stream.len() {
+            out.torn_tail = true;
+            break;
+        }
+        let body = &stream[off + FRAME..off + FRAME + len];
+        if crc32(body) != crc {
+            out.torn_tail = true;
+            break;
+        }
+        let kind = body[0];
+        let lsn = u64::from_le_bytes(body[1..9].try_into().unwrap());
+        if lsn <= prev_lsn {
+            // Stale bytes from an earlier pass over a recycled page.
+            out.torn_tail = true;
+            break;
+        }
+        let payload = &body[BODY_PREFIX..];
+        let rec = match kind {
+            1 => {
+                if payload.len() < 4 {
+                    out.torn_tail = true;
+                    break;
+                }
+                WalRecord::PageImage {
+                    pid: u32::from_le_bytes(payload[0..4].try_into().unwrap()),
+                    data: payload[4..].to_vec(),
+                }
+            }
+            2 => WalRecord::Commit {
+                meta: payload.to_vec(),
+            },
+            3 => WalRecord::Checkpoint {
+                meta: payload.to_vec(),
+            },
+            _ => {
+                out.torn_tail = true;
+                break;
+            }
+        };
+        out.records.push((lsn, rec));
+        prev_lsn = lsn;
+        off += FRAME + len;
+    }
+    if off < stream.len() && !out.torn_tail {
+        out.torn_tail = true;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bur_storage::MemDisk;
+
+    fn disk(ps: usize) -> Arc<MemDisk> {
+        Arc::new(MemDisk::new(ps))
+    }
+
+    fn image(pid: PageId, fill: u8, ps: usize) -> WalRecord {
+        WalRecord::PageImage {
+            pid,
+            data: vec![fill; ps],
+        }
+    }
+
+    #[test]
+    fn append_scan_roundtrip() {
+        let d = disk(256);
+        let wal = Wal::create(d.clone(), SyncPolicy::EveryCommit).unwrap();
+        let l1 = wal.append(&image(9, 0xAA, 256)).unwrap();
+        let l2 = wal.append(&image(10, 0xBB, 256)).unwrap();
+        let (l3, durable) = wal.commit(b"meta-1".to_vec()).unwrap();
+        assert!(durable);
+        assert!(l1 < l2 && l2 < l3);
+        assert_eq!(wal.durable_lsn(), l3);
+
+        let s = scan(d.as_ref(), wal.anchor()).unwrap();
+        assert!(s.valid);
+        assert!(!s.torn_tail);
+        assert_eq!(s.generation, 1);
+        assert_eq!(s.records.len(), 3);
+        assert_eq!(s.records[0], (l1, image(9, 0xAA, 256)));
+        assert_eq!(
+            s.records[2],
+            (
+                l3,
+                WalRecord::Commit {
+                    meta: b"meta-1".to_vec()
+                }
+            )
+        );
+        // Two images of a 256-byte page cannot fit in one 256-byte log
+        // page: the chain must have grown.
+        assert!(s.pages.len() >= 2, "chain: {:?}", s.pages);
+    }
+
+    #[test]
+    fn records_span_pages() {
+        let d = disk(128);
+        let wal = Wal::create(d.clone(), SyncPolicy::Manual).unwrap();
+        // One image is larger than a whole log page.
+        let rec = WalRecord::PageImage {
+            pid: 3,
+            data: (0..128).map(|i| i as u8).collect(),
+        };
+        wal.append(&rec).unwrap();
+        wal.sync().unwrap();
+        let s = scan(d.as_ref(), wal.anchor()).unwrap();
+        assert_eq!(s.records.len(), 1);
+        assert_eq!(s.records[0].1, rec);
+        assert!(!s.torn_tail);
+    }
+
+    #[test]
+    fn unsynced_tail_is_invisible_after_crash() {
+        let d = disk(256);
+        let wal = Wal::create(d.clone(), SyncPolicy::Manual).unwrap();
+        wal.append(&image(1, 1, 64)).unwrap();
+        wal.sync().unwrap();
+        // Appended but never synced: lives only in the tail buffer.
+        wal.append(&image(2, 2, 64)).unwrap();
+        drop(wal); // crash
+        let s = scan(d.as_ref(), 0).unwrap();
+        assert_eq!(s.records.len(), 1, "only the synced record survives");
+        assert!(!s.torn_tail, "a clean prefix is not a torn tail");
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_clipped() {
+        let d = disk(256);
+        let wal = Wal::create(d.clone(), SyncPolicy::Manual).unwrap();
+        wal.append(&image(1, 1, 64)).unwrap();
+        wal.append(&image(2, 2, 64)).unwrap();
+        wal.sync().unwrap();
+        let anchor = wal.anchor();
+        let pages = scan(d.as_ref(), anchor).unwrap().pages;
+        // Corrupt the last bytes of the stream on the tail page.
+        let tail = *pages.last().unwrap();
+        let mut buf = vec![0u8; 256];
+        d.read(tail, &mut buf).unwrap();
+        let used = u16::from_le_bytes(buf[12..14].try_into().unwrap()) as usize;
+        for b in &mut buf[HDR + used - 8..HDR + used] {
+            *b ^= 0xFF;
+        }
+        d.write(tail, &buf).unwrap();
+
+        let s = scan(d.as_ref(), anchor).unwrap();
+        assert!(s.torn_tail);
+        assert_eq!(s.records.len(), 1, "the intact prefix survives");
+        assert_eq!(s.records[0].1, image(1, 1, 64));
+    }
+
+    #[test]
+    fn rewind_recycles_pages_and_bumps_generation() {
+        let d = disk(256);
+        let wal = Wal::create(d.clone(), SyncPolicy::EveryCommit).unwrap();
+        for round in 0..5u8 {
+            for p in 0..4 {
+                wal.append(&image(p, round, 200)).unwrap();
+            }
+            wal.commit(vec![round]).unwrap();
+            wal.checkpoint_rewind(vec![round, round]).unwrap();
+        }
+        let stats = wal.stats();
+        assert_eq!(stats.checkpoints, 5);
+        // The chain is recycled: the disk must not have grown by five
+        // rounds' worth of log pages.
+        let after_one_round = stats.log_pages;
+        assert!(
+            d.num_pages() as usize <= after_one_round + 1,
+            "log leaked pages: {} on disk, {} owned",
+            d.num_pages(),
+            after_one_round
+        );
+        let s = scan(d.as_ref(), wal.anchor()).unwrap();
+        assert_eq!(s.generation, 6);
+        assert_eq!(s.records.len(), 1, "rewind discards earlier generations");
+        assert_eq!(s.records[0].1, WalRecord::Checkpoint { meta: vec![4, 4] });
+        assert!(!s.torn_tail);
+    }
+
+    #[test]
+    fn group_commit_policy_batches_syncs() {
+        let d = disk(256);
+        let wal = Wal::create(d, SyncPolicy::GroupCommit(3)).unwrap();
+        let mut durables = Vec::new();
+        for i in 0..7u8 {
+            let (_, durable) = wal.commit(vec![i]).unwrap();
+            durables.push(durable);
+        }
+        assert_eq!(
+            durables,
+            vec![false, false, true, false, false, true, false]
+        );
+        assert!(wal.durable_lsn() < wal.last_lsn());
+        wal.sync().unwrap();
+        assert_eq!(wal.durable_lsn(), wal.last_lsn());
+        assert_eq!(wal.stats().commits, 7);
+        assert_eq!(wal.stats().records, 7);
+    }
+
+    #[test]
+    fn manual_policy_never_syncs_on_commit() {
+        let d = disk(256);
+        let wal = Wal::create(d, SyncPolicy::Manual).unwrap();
+        let before = wal.stats().syncs;
+        for i in 0..4u8 {
+            let (_, durable) = wal.commit(vec![i]).unwrap();
+            assert!(!durable);
+        }
+        assert_eq!(wal.stats().syncs, before);
+    }
+
+    #[test]
+    fn reopen_requires_rewind_before_append() {
+        let d = disk(256);
+        let anchor;
+        {
+            let wal = Wal::create(d.clone(), SyncPolicy::EveryCommit).unwrap();
+            anchor = wal.anchor();
+            wal.append(&image(5, 5, 100)).unwrap();
+            wal.commit(b"m".to_vec()).unwrap();
+        }
+        let (wal, s) = Wal::reopen(d.clone(), anchor, SyncPolicy::EveryCommit).unwrap();
+        assert!(s.valid);
+        assert_eq!(s.records.len(), 2);
+        assert!(wal.append(&image(1, 1, 8)).is_err(), "append before rewind");
+        wal.checkpoint_rewind(b"base".to_vec()).unwrap();
+        wal.append(&image(1, 1, 8)).unwrap();
+        wal.commit(b"m2".to_vec()).unwrap();
+        let s = scan(d.as_ref(), anchor).unwrap();
+        assert_eq!(s.records.len(), 3, "checkpoint + image + commit");
+        assert!(matches!(s.records[0].1, WalRecord::Checkpoint { .. }));
+        // LSNs continued past the pre-crash log.
+        assert!(s.records[0].0 > 2);
+    }
+
+    #[test]
+    fn reopen_of_garbage_is_invalid_not_fatal() {
+        let d = disk(256);
+        d.allocate().unwrap(); // a zeroed page is not a log
+        let s = scan(d.as_ref(), 0).unwrap();
+        assert!(!s.valid);
+        assert!(s.records.is_empty());
+        let s = scan(d.as_ref(), 7).unwrap(); // out of bounds
+        assert!(!s.valid);
+    }
+
+    #[test]
+    fn stats_display_is_readable() {
+        let d = disk(256);
+        let wal = Wal::create(d, SyncPolicy::EveryCommit).unwrap();
+        wal.append(&image(1, 1, 32)).unwrap();
+        wal.commit(vec![]).unwrap();
+        let text = wal.stats().to_string();
+        assert!(text.contains("records"), "{text}");
+        assert!(text.contains("gen 1"), "{text}");
+        assert_eq!(wal.policy(), SyncPolicy::EveryCommit);
+    }
+}

@@ -1,21 +1,26 @@
 //! `burctl` — inspect and exercise persisted `bur` index files.
 //!
 //! ```text
-//! burctl build <file> [--objects N] [--strategy td|lbu|gbu] [--seed S]
+//! burctl build <file> [--objects N] [--strategy td|lbu|gbu] [--seed S] [--durable]
 //! burctl info <file>
 //! burctl validate <file>
 //! burctl query <file> <min_x> <min_y> <max_x> <max_y>
 //! burctl knn <file> <x> <y> <k>
 //! burctl stats <file> [--updates N]
+//! burctl recover <file> [--strategy td|lbu|gbu]
+//! burctl wal-stats <file>
 //! ```
 //!
 //! `build` creates a demonstration index from a seeded uniform workload;
 //! the other commands open an existing file read-only (except `stats`,
-//! which drives updates and reports I/O and outcome counters).
+//! which drives updates and reports I/O and outcome counters, and
+//! `recover`, which replays the write-ahead log of a `--durable` index
+//! after a crash and checkpoints the result).
 
 use bur::core::{IndexOptions, RTreeIndex};
 use bur::geom::{Point, Rect};
 use bur::storage::FileDisk;
+use bur::wal::WalRecord;
 use bur::workload::{Workload, WorkloadConfig};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -23,12 +28,14 @@ use std::sync::Arc;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n\
-         \x20 burctl build <file> [--objects N] [--strategy td|lbu|gbu] [--seed S]\n\
+         \x20 burctl build <file> [--objects N] [--strategy td|lbu|gbu] [--seed S] [--durable]\n\
          \x20 burctl info <file>\n\
          \x20 burctl validate <file>\n\
          \x20 burctl query <file> <min_x> <min_y> <max_x> <max_y>\n\
          \x20 burctl knn <file> <x> <y> <k>\n\
-         \x20 burctl stats <file> [--updates N]"
+         \x20 burctl stats <file> [--updates N]\n\
+         \x20 burctl recover <file> [--strategy td|lbu|gbu]\n\
+         \x20 burctl wal-stats <file>"
     );
     ExitCode::FAILURE
 }
@@ -52,6 +59,7 @@ fn cmd_build(path: &str, rest: &[String]) -> Result<(), String> {
     let mut objects = 50_000usize;
     let mut opts = IndexOptions::generalized();
     let mut seed = 42u64;
+    let mut durable = false;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -73,8 +81,12 @@ fn cmd_build(path: &str, rest: &[String]) -> Result<(), String> {
                     .and_then(|v| v.parse().ok())
                     .ok_or("--seed needs a number")?;
             }
+            "--durable" => durable = true,
             other => return Err(format!("unknown flag {other}")),
         }
+    }
+    if durable {
+        opts = opts.with_durability(bur::core::Durability::Wal(bur::core::WalOptions::default()));
     }
     let disk =
         FileDisk::create(path, opts.page_size).map_err(|e| format!("cannot create {path}: {e}"))?;
@@ -235,6 +247,83 @@ fn cmd_stats(path: &str, rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_recover(path: &str, rest: &[String]) -> Result<(), String> {
+    let mut opts = IndexOptions::generalized();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--strategy" => {
+                opts = it
+                    .next()
+                    .and_then(|v| parse_strategy(v))
+                    .ok_or("--strategy needs td|lbu|gbu")?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let opts = opts.with_durability(bur::core::Durability::Wal(bur::core::WalOptions::default()));
+    let (index, report) = RTreeIndex::recover(path, opts).map_err(|e| format!("recover: {e}"))?;
+    index
+        .validate()
+        .map_err(|e| format!("recovered index is INVALID: {e}"))?;
+    println!(
+        "recovered {path}: {} objects at lsn {} (log gen {})",
+        report.recovered_len, report.recovered_lsn, report.log_generation
+    );
+    println!(
+        "replayed {} page images across {} committed ops ({} log records scanned{})",
+        report.replayed_images,
+        report.committed_ops,
+        report.scanned_records,
+        if report.torn_tail {
+            ", torn tail discarded"
+        } else {
+            ""
+        }
+    );
+    println!("checkpointed; all invariants hold");
+    Ok(())
+}
+
+fn cmd_wal_stats(path: &str) -> Result<(), String> {
+    let opts = IndexOptions::generalized();
+    let disk =
+        FileDisk::open(path, opts.page_size).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let scan = bur::wal::scan(&disk, 1).map_err(|e| format!("scan: {e}"))?;
+    if !scan.valid {
+        return Err("no write-ahead log in this file (built without --durable?)".into());
+    }
+    let (mut images, mut commits, mut checkpoints) = (0u64, 0u64, 0u64);
+    for (_, rec) in &scan.records {
+        match rec {
+            WalRecord::PageImage { .. } => images += 1,
+            WalRecord::Commit { .. } => commits += 1,
+            WalRecord::Checkpoint { .. } => checkpoints += 1,
+        }
+    }
+    println!("file          : {path}");
+    println!("generation    : {}", scan.generation);
+    println!("log pages     : {}", scan.pages.len());
+    println!("stream bytes  : {}", scan.stream_bytes);
+    println!(
+        "records       : {} ({images} images, {commits} commits, {checkpoints} checkpoints)",
+        scan.records.len()
+    );
+    if let Some(&(first, _)) = scan.records.first() {
+        let last = scan.records.last().map(|&(l, _)| l).unwrap_or(first);
+        println!("lsn range     : {first}..={last}");
+    }
+    println!(
+        "tail          : {}",
+        if scan.torn_tail {
+            "TORN (crash artifact; discarded on recovery)"
+        } else {
+            "clean"
+        }
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
@@ -255,6 +344,8 @@ fn main() -> ExitCode {
         "query" => cmd_query(path, rest),
         "knn" => cmd_knn(path, rest),
         "stats" => cmd_stats(path, rest),
+        "recover" => cmd_recover(path, rest),
+        "wal-stats" => cmd_wal_stats(path),
         _ => {
             return usage();
         }

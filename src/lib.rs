@@ -17,6 +17,8 @@
 //!   I/O accounting;
 //! * [`hashindex`] (`bur-hashindex`) — the paged linear-hash secondary
 //!   index (object id → leaf page);
+//! * [`wal`] (`bur-wal`) — write-ahead logging, fuzzy checkpoints and
+//!   crash recovery for durable indexes;
 //! * [`dgl`] (`bur-dgl`) — Dynamic Granular Locking;
 //! * [`workload`] (`bur-workload`) — the GSTD-like moving-object
 //!   workload generator.
@@ -39,6 +41,30 @@
 //! let hits = index.query(&Rect::new(0.0, 0.0, 0.5, 0.5)).unwrap();
 //! assert_eq!(hits, vec![1]);
 //! ```
+//!
+//! ## Durability
+//!
+//! By default an index is durable only after an explicit
+//! [`core::RTreeIndex::persist`] (the paper's experimental setup). With
+//! [`core::IndexOptions::durable`] every acknowledged update is
+//! write-ahead logged before it is acknowledged, the pool checkpoints on
+//! a cadence, and a crash — even one that tears a page write in half —
+//! recovers with [`core::RTreeIndex::recover`]:
+//!
+//! ```
+//! use bur::prelude::*;
+//! use bur::storage::MemDisk;
+//! use std::sync::Arc;
+//!
+//! let disk = Arc::new(MemDisk::new(1024));
+//! let mut index = RTreeIndex::create_on(disk.clone(), IndexOptions::durable()).unwrap();
+//! index.insert(1, Point::new(0.4, 0.4)).unwrap(); // logged + synced
+//! drop(index); // crash: no persist(), no clean shutdown
+//!
+//! let (recovered, report) = RTreeIndex::recover_on(disk, IndexOptions::durable()).unwrap();
+//! assert_eq!(recovered.len(), 1);
+//! assert_eq!(report.committed_ops, 1);
+//! ```
 
 #![warn(missing_docs)]
 
@@ -47,16 +73,18 @@ pub use bur_dgl as dgl;
 pub use bur_geom as geom;
 pub use bur_hashindex as hashindex;
 pub use bur_storage as storage;
+pub use bur_wal as wal;
 pub use bur_workload as workload;
 
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use bur_core::{
-        ConcurrentIndex, CoreError, CoreResult, GbuParams, IndexOptions, InsertPolicy, LbuParams,
-        Neighbor, ObjectId, RTreeIndex, SplitPolicy, UpdateOutcome, UpdateStrategy,
+        ConcurrentIndex, CoreError, CoreResult, Durability, GbuParams, IndexOptions, InsertPolicy,
+        LbuParams, Neighbor, ObjectId, RTreeIndex, RecoveryReport, SplitPolicy, UpdateOutcome,
+        UpdateStrategy, WalOptions,
     };
     pub use bur_geom::{Point, Rect};
-    pub use bur_storage::{FileDisk, IoSnapshot, MemDisk};
+    pub use bur_storage::{FileDisk, IoSnapshot, MemDisk, SyncPolicy};
     pub use bur_workload::{DataDistribution, MovementModel, Workload, WorkloadConfig};
 }
 

@@ -2,7 +2,10 @@
 //! library touches, exercised the way the README and examples present it.
 //! These are breadth tests — each one covers a workflow, not a corner.
 
+mod common;
+
 use bur::prelude::*;
+use common::TempDir;
 use std::sync::Arc;
 
 #[test]
@@ -66,9 +69,8 @@ fn spatial_query_toolkit() {
 
 #[test]
 fn durable_index_lifecycle() {
-    let dir = std::env::temp_dir().join(format!("bur-adopt-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join("lifecycle.bur");
+    let dir = TempDir::new("adopt");
+    let path = dir.file("lifecycle.bur");
     let opts = IndexOptions::generalized();
     {
         let disk = Arc::new(FileDisk::create(&path, opts.page_size).unwrap());
@@ -96,7 +98,6 @@ fn durable_index_lifecycle() {
         let nn = index.nearest_neighbors(Point::new(0.5, 0.5), 3).unwrap();
         assert_eq!(nn.len(), 3);
     }
-    std::fs::remove_file(&path).ok();
 }
 
 #[test]

@@ -2,7 +2,9 @@
 //! then drive every subcommand through the CLI surface exactly as a user
 //! would.
 
-use std::path::PathBuf;
+mod common;
+
+use common::TempDir;
 use std::process::{Command, Output};
 
 fn burctl(args: &[&str]) -> Output {
@@ -12,19 +14,14 @@ fn burctl(args: &[&str]) -> Output {
         .expect("burctl spawns")
 }
 
-fn tmp(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("bur-ctl-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    dir.join(name)
-}
-
 fn stdout(out: &Output) -> String {
     String::from_utf8_lossy(&out.stdout).into_owned()
 }
 
 #[test]
 fn full_cli_workflow() {
-    let file = tmp("workflow.bur");
+    let dir = TempDir::new("ctl");
+    let file = dir.file("workflow.bur");
     let path = file.to_str().unwrap();
 
     // build
@@ -70,13 +67,12 @@ fn full_cli_workflow() {
     assert!(stdout(&out).contains("I/O per update"));
     let out = burctl(&["validate", path]);
     assert!(out.status.success());
-
-    std::fs::remove_file(&file).ok();
 }
 
 #[test]
 fn build_with_td_strategy() {
-    let file = tmp("td.bur");
+    let dir = TempDir::new("ctl");
+    let file = dir.file("td.bur");
     let path = file.to_str().unwrap();
     let out = burctl(&["build", path, "--objects", "500", "--strategy", "td"]);
     assert!(out.status.success());
@@ -89,7 +85,66 @@ fn build_with_td_strategy() {
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
-    std::fs::remove_file(&file).ok();
+}
+
+#[test]
+fn durable_build_recover_and_wal_stats() {
+    let dir = TempDir::new("ctl");
+    let file = dir.file("durable.bur");
+    let path = file.to_str().unwrap();
+
+    // build --durable
+    let out = burctl(&["build", path, "--objects", "400", "--durable"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("400 objects"));
+
+    // wal-stats: a clean log with exactly the shutdown checkpoint.
+    let out = burctl(&["wal-stats", path]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("checkpoints)"), "{text}");
+    assert!(text.contains("tail          : clean"), "{text}");
+
+    // recover: a no-op replay that still validates and checkpoints.
+    let out = burctl(&["recover", path]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("recovered"), "{text}");
+    assert!(text.contains("400 objects"), "{text}");
+    assert!(text.contains("all invariants hold"), "{text}");
+
+    // The recovered file still answers queries through the normal path.
+    let out = burctl(&["query", path, "0.0", "0.0", "1.0", "1.0"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("400 objects in"));
+
+    // wal-stats on a non-durable file fails with a helpful message.
+    let plain = dir.file("plain.bur");
+    let plain_path = plain.to_str().unwrap();
+    assert!(burctl(&["build", plain_path, "--objects", "100"])
+        .status
+        .success());
+    let out = burctl(&["wal-stats", plain_path]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("no write-ahead log"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = burctl(&["recover", plain_path]);
+    assert!(!out.status.success());
 }
 
 #[test]
@@ -109,7 +164,8 @@ fn helpful_errors() {
     assert!(String::from_utf8_lossy(&out.stderr).contains("cannot open"));
 
     // Bad window.
-    let file = tmp("err.bur");
+    let dir = TempDir::new("ctl");
+    let file = dir.file("err.bur");
     let path = file.to_str().unwrap();
     assert!(burctl(&["build", path, "--objects", "100"])
         .status
@@ -120,5 +176,4 @@ fn helpful_errors() {
     // Bad flag value.
     let out = burctl(&["build", path, "--strategy", "quantum"]);
     assert!(!out.status.success());
-    std::fs::remove_file(&file).ok();
 }

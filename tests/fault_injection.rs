@@ -2,9 +2,12 @@
 //! `CoreError::Storage` values — never panics — and transient faults must
 //! not poison the index. Uses the deterministic [`FaultyDisk`] wrapper.
 
+mod common;
+
 use bur::core::{CoreError, IndexOptions, RTreeIndex};
 use bur::geom::{Point, Rect};
-use bur::storage::{FaultKind, FaultyDisk, MemDisk};
+use bur::storage::{FaultKind, FaultyDisk, FileDisk, MemDisk};
+use common::TempDir;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::Arc;
@@ -107,6 +110,48 @@ fn sync_failure_surfaces_through_persist() {
     assert!(matches!(err, CoreError::Storage(_)), "got {err}");
     disk.clear_faults();
     index.persist().unwrap();
+}
+
+#[test]
+fn power_cut_on_file_disk_surfaces_cleanly_and_platter_survives() {
+    // A TornWrite power cut against a *real file*: the process sees clean
+    // errors (never panics), and the file afterwards holds exactly the
+    // pre-cut image plus one torn page — which a durable index turns into
+    // lossless recovery (tests/recovery.rs); here we assert the failure
+    // surface itself.
+    let dir = TempDir::new("faults");
+    let path = dir.file("powercut.bur");
+    let opts = IndexOptions::generalized();
+    let file = Arc::new(FileDisk::create(&path, opts.page_size).unwrap());
+    let disk = Arc::new(FaultyDisk::new(file));
+    let mut index = RTreeIndex::create_on(disk.clone(), opts).unwrap();
+    index.set_buffer_capacity(4).unwrap(); // force steady write-back traffic
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut acked = 0u64;
+    disk.inject(FaultKind::TornWrite { after_writes: 120 });
+    let mut failures = 0;
+    for oid in 0..20_000u64 {
+        let p = Point::new(rng.random::<f32>(), rng.random::<f32>());
+        match index.insert(oid, p) {
+            Ok(()) => acked += 1,
+            Err(CoreError::Storage(_)) => {
+                failures += 1;
+                if failures > 3 {
+                    break;
+                }
+            }
+            Err(other) => panic!("unexpected error class: {other}"),
+        }
+    }
+    assert!(disk.power_cut_triggered(), "the cut must have fired");
+    assert!(acked > 0 && failures > 0);
+    drop(index);
+    // The surviving file still opens page-wise (reads are unaffected).
+    let reopened = FileDisk::open(&path, opts.page_size).unwrap();
+    use bur::storage::DiskBackend;
+    assert!(reopened.num_pages() > 0);
+    let mut buf = vec![0u8; opts.page_size];
+    reopened.read(0, &mut buf).unwrap();
 }
 
 #[test]

@@ -3,17 +3,13 @@
 //! even across *strategy switches* (the reopen path rebuilds whatever
 //! main-memory or secondary state the new strategy needs).
 
+mod common;
+
 use bur::prelude::*;
+use common::TempDir;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::path::PathBuf;
 use std::sync::Arc;
-
-fn tmpfile(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!("bur-persist-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    dir.join(name)
-}
 
 fn populate(index: &mut RTreeIndex, rng: &mut StdRng, n: u64) -> Vec<Point> {
     let mut positions = Vec::new();
@@ -55,7 +51,8 @@ fn persist_reopen_roundtrip_all_strategies() {
         ("lbu", IndexOptions::localized()),
         ("gbu", IndexOptions::generalized()),
     ] {
-        let path = tmpfile(&format!("roundtrip-{name}.bur"));
+        let dir = TempDir::new("persist");
+        let path = dir.file(&format!("roundtrip-{name}.bur"));
         let mut rng = StdRng::seed_from_u64(404);
         let mut reference = RTreeIndex::create_in_memory(opts).unwrap();
         {
@@ -89,14 +86,14 @@ fn persist_reopen_roundtrip_all_strategies() {
             .validate()
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         queries_match(&reopened, &reference, &mut StdRng::seed_from_u64(5));
-        std::fs::remove_file(&path).ok();
     }
 }
 
 #[test]
 fn reopened_index_keeps_working() {
     let opts = IndexOptions::generalized();
-    let path = tmpfile("keeps-working.bur");
+    let dir = TempDir::new("persist");
+    let path = dir.file("keeps-working.bur");
     let mut rng = StdRng::seed_from_u64(77);
     let mut positions;
     {
@@ -119,7 +116,6 @@ fn reopened_index_keeps_working() {
     }
     assert_eq!(index.len(), 2_000 + 200 - 100);
     index.validate().unwrap();
-    std::fs::remove_file(&path).ok();
 }
 
 #[test]
@@ -127,7 +123,8 @@ fn strategy_switch_on_reopen() {
     // Build with TD (no hash index on disk), reopen as GBU: the hash
     // index and summary must be rebuilt from the stored tree.
     let td = IndexOptions::top_down();
-    let path = tmpfile("switch.bur");
+    let dir = TempDir::new("persist");
+    let path = dir.file("switch.bur");
     let mut rng = StdRng::seed_from_u64(123);
     {
         let disk = Arc::new(FileDisk::create(&path, td.page_size).unwrap());
@@ -153,7 +150,6 @@ fn strategy_switch_on_reopen() {
     }
     churn(&mut index, &mut positions, &mut rng, 2_000);
     index.validate().unwrap();
-    std::fs::remove_file(&path).ok();
 }
 
 #[test]
@@ -161,7 +157,8 @@ fn lbu_reopen_repairs_parent_pointers() {
     // Build with GBU (no parent pointers), reopen as LBU: the reopen
     // path must install leaf parent pointers before LBU updates run.
     let gbu = IndexOptions::generalized();
-    let path = tmpfile("parents.bur");
+    let dir = TempDir::new("persist");
+    let path = dir.file("parents.bur");
     let mut rng = StdRng::seed_from_u64(31);
     {
         let disk = Arc::new(FileDisk::create(&path, gbu.page_size).unwrap());
@@ -183,13 +180,13 @@ fn lbu_reopen_repairs_parent_pointers() {
     }
     churn(&mut index, &mut positions, &mut rng, 2_000);
     index.validate().unwrap();
-    std::fs::remove_file(&path).ok();
 }
 
 #[test]
 fn open_rejects_garbage_and_mismatched_page_size() {
     let opts = IndexOptions::generalized();
-    let path = tmpfile("garbage.bur");
+    let dir = TempDir::new("persist");
+    let path = dir.file("garbage.bur");
     {
         // A file with one zeroed page is not a bur index.
         let disk = FileDisk::create(&path, opts.page_size).unwrap();
@@ -201,7 +198,7 @@ fn open_rejects_garbage_and_mismatched_page_size() {
     assert!(err.to_string().contains("magic"), "got: {err}");
 
     // Page-size mismatch is rejected before any parsing.
-    let path2 = tmpfile("mismatch.bur");
+    let path2 = dir.file("mismatch.bur");
     {
         let disk = Arc::new(FileDisk::create(&path2, 2048).unwrap());
         let mut o = opts;
@@ -213,6 +210,4 @@ fn open_rejects_garbage_and_mismatched_page_size() {
     let disk = Arc::new(FileDisk::open(&path2, 1024).unwrap());
     let err = RTreeIndex::open_on(disk, opts).unwrap_err();
     assert!(err.to_string().contains("page size"), "got: {err}");
-    std::fs::remove_file(&path).ok();
-    std::fs::remove_file(&path2).ok();
 }

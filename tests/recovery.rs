@@ -1,0 +1,529 @@
+//! Deterministic crash-point drills for the `bur-wal` durability layer.
+//!
+//! The contract under test (the acceptance criteria of the WAL work):
+//! a seeded workload interrupted by a power cut at an *arbitrary write
+//! boundary* — the cut write itself torn in half — recovers with
+//!
+//! * **zero lost acknowledged updates**: every operation that returned
+//!   `Ok` before the cut is present in the recovered index,
+//! * **nothing invented**: the failed operation and anything after it is
+//!   absent,
+//! * an intact GBU summary structure and hash index (`validate()` checks
+//!   both against the tree),
+//! * window and kNN answers equal to a sequential oracle.
+//!
+//! The drill runs for all three update strategies and a spread of cut
+//! points, entirely on a `FaultyDisk`-wrapped `MemDisk`, so every run is
+//! reproducible.
+
+mod common;
+
+use bur::prelude::*;
+use bur::storage::{FaultKind, FaultyDisk, MemDisk};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const PAGE: usize = 1024;
+
+fn durable(base: IndexOptions, checkpoint_every: u64, sync: SyncPolicy) -> IndexOptions {
+    base.with_durability(Durability::Wal(WalOptions {
+        sync,
+        checkpoint_every,
+    }))
+}
+
+/// Brute-force oracle answers over the acknowledged positions.
+struct Oracle {
+    positions: Vec<Point>,
+}
+
+impl Oracle {
+    fn window(&self, w: &Rect) -> Vec<u64> {
+        let mut ids: Vec<u64> = self
+            .positions
+            .iter()
+            .enumerate()
+            .filter(|&(_, p)| w.contains_point(p))
+            .map(|(i, _)| i as u64)
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    fn knn(&self, q: Point, k: usize) -> Vec<(u64, f32)> {
+        let mut d: Vec<(u64, f32)> = self
+            .positions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i as u64, p.distance_sq(&q).sqrt()))
+            .collect();
+        d.sort_by(|a, b| a.1.total_cmp(&b.1));
+        d.truncate(k);
+        d
+    }
+}
+
+/// Run one seeded drill: populate, arm the power cut, churn until the
+/// cut fires, "crash", recover from what the platter holds, and compare
+/// against the oracle of acknowledged updates.
+fn crash_drill(name: &str, base: IndexOptions, cut_after: u64, seed: u64) {
+    let n: u64 = 500;
+    let opts = durable(base, 64, SyncPolicy::EveryCommit);
+    let inner = Arc::new(MemDisk::new(PAGE));
+    let faulty = Arc::new(FaultyDisk::new(inner.clone()));
+    let mut index = RTreeIndex::create_on(faulty.clone(), opts).unwrap();
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut positions = Vec::with_capacity(n as usize);
+    for oid in 0..n {
+        let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+        index.insert(oid, p).unwrap();
+        positions.push(p);
+    }
+
+    // Power cut: `cut_after` more disk writes land, the next is torn,
+    // everything after is void.
+    faulty.inject(FaultKind::TornWrite {
+        after_writes: cut_after,
+    });
+    // The op that observes the cut returns Err, but its outcome is
+    // genuinely unknown (standard commit-ack semantics): the cut may
+    // have landed after its commit record was durably synced — e.g.
+    // inside the piggybacked checkpoint — or before. Recovery must land
+    // it on exactly one of old/new; every *acknowledged* op is exact.
+    let mut pending: Option<(u64, Point, Point)> = None;
+    for _step in 0..100_000 {
+        let oid = rng.random_range(0..n);
+        let old = positions[oid as usize];
+        let new = Point::new(
+            (old.x + rng.random_range(-0.05..0.05f32)).clamp(0.0, 1.0),
+            (old.y + rng.random_range(-0.05..0.05f32)).clamp(0.0, 1.0),
+        );
+        match index.update(oid, old, new) {
+            Ok(_) => positions[oid as usize] = new, // acknowledged
+            Err(_) => {
+                pending = Some((oid, old, new));
+                break;
+            }
+        }
+    }
+    let pending = pending
+        .unwrap_or_else(|| panic!("{name}: the power cut never fired (cut_after {cut_after})"));
+    drop(index); // crash — only `inner` (the platter) survives
+
+    let (recovered, report) = RTreeIndex::recover_on(inner.clone(), opts)
+        .unwrap_or_else(|e| panic!("{name}: recovery failed after cut at {cut_after}: {e}"));
+    // Resolve the unknown-outcome op: it must be atomically at old or at
+    // new, never both, never elsewhere.
+    {
+        let (oid, old, new) = pending;
+        let at_new = recovered.point_query(new).unwrap().contains(&oid);
+        let at_old = recovered.point_query(old).unwrap().contains(&oid);
+        assert!(
+            at_new || at_old,
+            "{name}: interrupted op on {oid} vanished (cut {cut_after})"
+        );
+        assert!(
+            !(at_new && at_old) || old == new,
+            "{name}: interrupted op on {oid} applied twice (cut {cut_after})"
+        );
+        if at_new {
+            positions[oid as usize] = new;
+        }
+    }
+    let oracle = Oracle { positions };
+
+    // Structural invariants: tree, hash index, GBU summary, LBU parent
+    // pointers are all cross-checked by validate().
+    recovered
+        .validate()
+        .unwrap_or_else(|e| panic!("{name}: recovered index invalid: {e}"));
+    assert_eq!(recovered.len(), n, "{name}: object count");
+    if matches!(base.strategy, UpdateStrategy::Generalized(_)) {
+        assert!(recovered.summary().is_some(), "{name}: summary rebuilt");
+    }
+    assert_eq!(report.recovered_len, n);
+    assert!(report.recovered_lsn > 0);
+
+    // Zero lost acknowledged updates & nothing invented: the full id/
+    // position set matches the oracle exactly.
+    let everything = Rect::new(-1.0, -1.0, 2.0, 2.0);
+    let mut all = recovered.query(&everything).unwrap();
+    all.sort_unstable();
+    let expect: Vec<u64> = (0..n).collect();
+    assert_eq!(all, expect, "{name}: recovered id set");
+    for (oid, p) in oracle.positions.iter().enumerate() {
+        let at = recovered.point_query(*p).unwrap();
+        assert!(
+            at.contains(&(oid as u64)),
+            "{name}: acknowledged position of object {oid} lost (cut {cut_after})"
+        );
+    }
+
+    // Query answers equal the sequential oracle.
+    let mut qrng = StdRng::seed_from_u64(seed ^ 0xDEAD);
+    for _ in 0..15 {
+        let x = qrng.random_range(0.0..0.8);
+        let y = qrng.random_range(0.0..0.8);
+        let w = Rect::new(x, y, x + qrng.random_range(0.05..0.3f32), y + 0.2);
+        let mut got = recovered.query(&w).unwrap();
+        got.sort_unstable();
+        assert_eq!(got, oracle.window(&w), "{name}: window {w}");
+    }
+    for _ in 0..10 {
+        let q = Point::new(qrng.random_range(0.0..1.0), qrng.random_range(0.0..1.0));
+        let got = recovered.nearest_neighbors(q, 5).unwrap();
+        let want = oracle.knn(q, 5);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            // Compare by distance (ties may order differently).
+            assert!(
+                (g.distance - w.1).abs() <= 1e-6,
+                "{name}: kNN of {q}: got {} at {}, oracle {} at {}",
+                g.oid,
+                g.distance,
+                w.0,
+                w.1
+            );
+        }
+    }
+
+    // The recovered index is live: it keeps absorbing durable updates.
+    let mut recovered = recovered;
+    recovered
+        .update(0, oracle.positions[0], Point::new(0.5, 0.5))
+        .unwrap();
+    recovered.validate().unwrap();
+}
+
+#[test]
+fn crash_recovery_drill_td() {
+    for (i, cut) in [5u64, 37, 111, 260].into_iter().enumerate() {
+        crash_drill("TD", IndexOptions::top_down(), cut, 900 + i as u64);
+    }
+}
+
+#[test]
+fn crash_recovery_drill_lbu() {
+    for (i, cut) in [3u64, 29, 97, 301].into_iter().enumerate() {
+        crash_drill("LBU", IndexOptions::localized(), cut, 1700 + i as u64);
+    }
+}
+
+#[test]
+fn crash_recovery_drill_gbu() {
+    for (i, cut) in [7u64, 43, 150, 333].into_iter().enumerate() {
+        crash_drill("GBU", IndexOptions::generalized(), cut, 2600 + i as u64);
+    }
+}
+
+/// Dense sweep: arm the cut before the first operation and walk it
+/// across every write boundary in a band, so tears land in initial
+/// checkpoints, log appends, data flushes and rewinds alike. Smaller
+/// workload than the main drills, but every boundary in the band is hit.
+#[test]
+fn crash_recovery_survives_every_write_boundary_in_band() {
+    for cut in (0..120u64).step_by(1) {
+        let opts = durable(IndexOptions::generalized(), 16, SyncPolicy::EveryCommit);
+        let inner = Arc::new(MemDisk::new(PAGE));
+        let faulty = Arc::new(FaultyDisk::new(inner.clone()));
+        faulty.inject(FaultKind::TornWrite { after_writes: cut });
+        let mut rng = StdRng::seed_from_u64(7000 + cut);
+        let mut acked: Vec<(u64, Point)> = Vec::new();
+        let mut pending: Option<(u64, Option<Point>, Point)> = None; // (oid, old, new)
+        let run = (|| -> Result<(), ()> {
+            let mut index = RTreeIndex::create_on(faulty.clone(), opts).map_err(|_| ())?;
+            for oid in 0..80u64 {
+                let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+                if index.insert(oid, p).is_err() {
+                    pending = Some((oid, None, p));
+                    return Err(());
+                }
+                acked.push((oid, p));
+            }
+            for _ in 0..400 {
+                let i = rng.random_range(0..acked.len() as u64) as usize;
+                let (oid, old) = acked[i];
+                let new = Point::new(
+                    (old.x + rng.random_range(-0.05..0.05f32)).clamp(0.0, 1.0),
+                    (old.y + rng.random_range(-0.05..0.05f32)).clamp(0.0, 1.0),
+                );
+                if index.update(oid, old, new).is_err() {
+                    pending = Some((oid, Some(old), new));
+                    return Err(());
+                }
+                acked[i].1 = new;
+            }
+            Ok(())
+        })();
+        assert!(run.is_err(), "cut {cut}: the power cut never fired");
+        if acked.is_empty() && pending.is_none() {
+            continue; // create_on itself was cut: nothing was ever acknowledged
+        }
+
+        match RTreeIndex::recover_on(inner, opts) {
+            Ok((recovered, _report)) => {
+                recovered
+                    .validate()
+                    .unwrap_or_else(|e| panic!("cut {cut}: invalid after recovery: {e}"));
+                let mut expect: Vec<(u64, Point)> = acked.clone();
+                if let Some((oid, old, new)) = pending {
+                    let at_new = recovered.point_query(new).unwrap().contains(&oid);
+                    match old {
+                        Some(old) => {
+                            let at_old = recovered.point_query(old).unwrap().contains(&oid);
+                            assert!(at_new || at_old, "cut {cut}: op on {oid} vanished");
+                            let i = expect.iter().position(|&(o, _)| o == oid).unwrap();
+                            expect[i].1 = if at_new { new } else { old };
+                        }
+                        None => {
+                            if at_new {
+                                expect.push((oid, new));
+                            }
+                        }
+                    }
+                }
+                assert_eq!(recovered.len(), expect.len() as u64, "cut {cut}");
+                for (oid, p) in expect {
+                    assert!(
+                        recovered.point_query(p).unwrap().contains(&oid),
+                        "cut {cut}: acknowledged op on {oid} lost"
+                    );
+                }
+            }
+            Err(e) => {
+                // Recovery may only fail when *nothing* was ever
+                // acknowledged (the cut landed inside create_on's very
+                // first checkpoint).
+                assert!(
+                    acked.is_empty(),
+                    "cut {cut}: recovery refused with {} acked ops: {e}",
+                    acked.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn crash_during_population_loses_no_acknowledged_insert() {
+    let opts = durable(IndexOptions::generalized(), 32, SyncPolicy::EveryCommit);
+    let inner = Arc::new(MemDisk::new(PAGE));
+    let faulty = Arc::new(FaultyDisk::new(inner.clone()));
+    let mut index = RTreeIndex::create_on(faulty.clone(), opts).unwrap();
+    faulty.inject(FaultKind::TornWrite { after_writes: 180 });
+    let mut rng = StdRng::seed_from_u64(5150);
+    let mut acked: Vec<(u64, Point)> = Vec::new();
+    let mut pending: Option<(u64, Point)> = None;
+    for oid in 0..10_000u64 {
+        let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+        match index.insert(oid, p) {
+            Ok(()) => acked.push((oid, p)),
+            Err(_) => {
+                pending = Some((oid, p)); // unknown outcome (see drill)
+                break;
+            }
+        }
+    }
+    assert!(!acked.is_empty(), "some inserts must land before the cut");
+    assert!(pending.is_some(), "the cut must fire");
+    drop(index);
+
+    let (recovered, _report) = RTreeIndex::recover_on(inner, opts).unwrap();
+    recovered.validate().unwrap();
+    let (pid, pp) = pending.unwrap();
+    let pending_survived = recovered.point_query(pp).unwrap().contains(&pid);
+    assert_eq!(
+        recovered.len(),
+        acked.len() as u64 + u64::from(pending_survived)
+    );
+    for (oid, p) in acked {
+        assert!(
+            recovered.point_query(p).unwrap().contains(&oid),
+            "acknowledged insert {oid} lost"
+        );
+    }
+}
+
+#[test]
+fn group_commit_recovers_to_a_consistent_acknowledged_state() {
+    // With group commit, the unsynced tail may or may not survive (the
+    // log pages might have reached the platter before the cut). The
+    // guarantee is weaker but precise: every object recovers to *a*
+    // position it actually held, and everything synced is a floor.
+    let opts = durable(
+        IndexOptions::generalized(),
+        1_000_000,
+        SyncPolicy::GroupCommit(8),
+    );
+    let inner = Arc::new(MemDisk::new(PAGE));
+    let faulty = Arc::new(FaultyDisk::new(inner.clone()));
+    let mut index = RTreeIndex::create_on(faulty.clone(), opts).unwrap();
+    let n = 300u64;
+    let mut rng = StdRng::seed_from_u64(808);
+    let mut history: HashMap<u64, Vec<Point>> = HashMap::new();
+    for oid in 0..n {
+        let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+        index.insert(oid, p).unwrap();
+        history.insert(oid, vec![p]);
+    }
+    // A manual checkpoint pins a durable floor mid-stream.
+    index.checkpoint().unwrap();
+    let floor: HashMap<u64, Point> = history.iter().map(|(&k, v)| (k, v[0])).collect();
+    let _ = floor; // positions at the checkpoint: each history[0]
+
+    faulty.inject(FaultKind::TornWrite { after_writes: 120 });
+    loop {
+        let oid = rng.random_range(0..n);
+        let old = *history[&oid].last().unwrap();
+        let new = Point::new(
+            (old.x + rng.random_range(-0.04..0.04f32)).clamp(0.0, 1.0),
+            (old.y + rng.random_range(-0.04..0.04f32)).clamp(0.0, 1.0),
+        );
+        match index.update(oid, old, new) {
+            Ok(_) => history.get_mut(&oid).unwrap().push(new),
+            Err(_) => {
+                // Unknown outcome: either position is legitimate.
+                history.get_mut(&oid).unwrap().push(new);
+                break;
+            }
+        }
+    }
+    drop(index);
+
+    let (recovered, _report) = RTreeIndex::recover_on(inner, opts).unwrap();
+    recovered.validate().unwrap();
+    assert_eq!(recovered.len(), n);
+    for (oid, hist) in &history {
+        let found = hist
+            .iter()
+            .any(|p| recovered.point_query(*p).unwrap().contains(oid));
+        assert!(found, "object {oid} recovered to a position it never held");
+    }
+}
+
+#[test]
+fn clean_shutdown_recovery_is_a_noop_and_open_routes_through_it() {
+    let dir = common::TempDir::new("recovery");
+    let path = dir.file("clean.bur");
+    let opts = durable(IndexOptions::generalized(), 64, SyncPolicy::EveryCommit);
+    let mut rng = StdRng::seed_from_u64(4242);
+    let mut positions = Vec::new();
+    {
+        let disk = Arc::new(FileDisk::create(&path, PAGE).unwrap());
+        let mut index = RTreeIndex::create_on(disk, opts).unwrap();
+        for oid in 0..800u64 {
+            let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+            index.insert(oid, p).unwrap();
+            positions.push(p);
+        }
+        index.persist().unwrap(); // checkpoint + clean shutdown
+    }
+    // open_on with durable options routes through recovery.
+    let disk = Arc::new(FileDisk::open(&path, PAGE).unwrap());
+    let index = RTreeIndex::open_on(disk, opts).unwrap();
+    assert_eq!(index.len(), 800);
+    index.validate().unwrap();
+    assert!(index.is_durable());
+    assert!(index.wal_stats().is_some());
+
+    // Durability is a property of the file: opening with *non-durable*
+    // options still reattaches the WAL (otherwise unlogged page writes
+    // would race the stale log generation on a later recover).
+    let disk = Arc::new(FileDisk::open(&path, PAGE).unwrap());
+    let mut index = RTreeIndex::open_on(disk, IndexOptions::generalized()).unwrap();
+    assert!(
+        index.is_durable(),
+        "durable file must reattach its log on open"
+    );
+    let p0 = positions[0];
+    index.update(0, p0, Point::new(0.99, 0.99)).unwrap();
+    drop(index); // crash without persist: the update must still survive
+    let (index, _) = RTreeIndex::recover(&path, opts).unwrap();
+    assert!(index
+        .point_query(Point::new(0.99, 0.99))
+        .unwrap()
+        .contains(&0));
+    drop(index);
+
+    // recover() twice in a row: idempotent.
+    let (index, r1) = RTreeIndex::recover(&path, opts).unwrap();
+    assert_eq!(r1.recovered_len, 800);
+    drop(index);
+    let (index, r2) = RTreeIndex::recover(&path, opts).unwrap();
+    assert_eq!(r2.recovered_len, 800);
+    index.validate().unwrap();
+}
+
+#[test]
+fn recover_rejects_non_durable_disks_and_options() {
+    let opts = IndexOptions::generalized();
+    let disk = Arc::new(MemDisk::new(PAGE));
+    let mut index = RTreeIndex::create_on(disk.clone(), opts).unwrap();
+    index.insert(1, Point::new(0.1, 0.1)).unwrap();
+    index.persist().unwrap();
+    drop(index);
+    // Non-durable options are rejected outright.
+    let err = RTreeIndex::recover_on(disk.clone(), opts).unwrap_err();
+    assert!(err.to_string().contains("Durability::Wal"), "got: {err}");
+    // Durable options on a disk that never had a log are rejected too
+    // (page 1 is a tree page, not a WAL anchor).
+    let err = RTreeIndex::recover_on(disk, IndexOptions::durable()).unwrap_err();
+    assert!(err.to_string().contains("write-ahead log"), "got: {err}");
+}
+
+#[test]
+fn durable_index_survives_strategy_switch_on_recovery() {
+    // Build durable GBU, crash, recover as durable LBU: the log replay
+    // plus the rebuild installs the hash index and parent pointers LBU
+    // needs.
+    let gbu = durable(IndexOptions::generalized(), 64, SyncPolicy::EveryCommit);
+    let inner = Arc::new(MemDisk::new(PAGE));
+    let faulty = Arc::new(FaultyDisk::new(inner.clone()));
+    let mut index = RTreeIndex::create_on(faulty.clone(), gbu).unwrap();
+    let mut rng = StdRng::seed_from_u64(31337);
+    let mut positions = Vec::new();
+    for oid in 0..600u64 {
+        let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
+        index.insert(oid, p).unwrap();
+        positions.push(p);
+    }
+    faulty.inject(FaultKind::TornWrite { after_writes: 50 });
+    let mut pending: Option<(u64, Point, Point)> = None;
+    for _ in 0..100_000 {
+        let oid = rng.random_range(0..600);
+        let old = positions[oid as usize];
+        let new = Point::new(
+            (old.x + 0.01).clamp(0.0, 1.0),
+            (old.y - 0.01).clamp(0.0, 1.0),
+        );
+        match index.update(oid, old, new) {
+            Ok(_) => positions[oid as usize] = new,
+            Err(_) => {
+                pending = Some((oid, old, new));
+                break;
+            }
+        }
+    }
+    drop(index);
+
+    let lbu = durable(IndexOptions::localized(), 64, SyncPolicy::EveryCommit);
+    let (mut recovered, _) = RTreeIndex::recover_on(inner, lbu).unwrap();
+    recovered.validate().unwrap(); // checks LBU parent pointers
+    if let Some((oid, _old, new)) = pending {
+        if recovered.point_query(new).unwrap().contains(&oid) {
+            positions[oid as usize] = new; // unknown outcome resolved
+        }
+    }
+    for (oid, p) in positions.iter().enumerate() {
+        assert!(recovered.point_query(*p).unwrap().contains(&(oid as u64)));
+    }
+    // LBU updates work on the recovered state.
+    let old = positions[7];
+    recovered
+        .update(7, old, Point::new(old.x, (old.y + 0.002).clamp(0.0, 1.0)))
+        .unwrap();
+    recovered.validate().unwrap();
+}
