@@ -1,18 +1,26 @@
 //! Criterion micro-benchmark: what durability costs per update.
 //!
-//! Three configurations over the same seeded GBU workload:
+//! Five configurations over the same seeded GBU workload:
 //!
 //! * `off` — the paper's setup, no write-ahead log (baseline);
-//! * `wal` — every update logged and group-committed, no checkpoints in
-//!   the measured window;
-//! * `wal+ckpt` — logging plus an aggressive checkpoint cadence, so the
-//!   measured window pays for pool flushes and log rewinds too.
+//! * `wal-full` — every update logged as full 1 KiB page images (the
+//!   pre-delta protocol), group-committed, no checkpoints in the
+//!   measured window;
+//! * `wal` — delta logging (byte-range diffs with full-image anchors),
+//!   group-committed, no checkpoints;
+//! * `wal+ckpt` — delta logging plus an aggressive checkpoint cadence,
+//!   so the measured window pays for pool flushes and log rewinds too;
+//! * `wal+async+batch` — the full durable fast path: delta logging,
+//!   asynchronous group commit (background sync thread) and per-batch
+//!   commit records.
 //!
-//! All three run on an in-memory disk: the numbers isolate the CPU and
-//! page-copy overhead of the logging protocol itself, not `fsync`
-//! latency (which `SyncPolicy` amortizes in real deployments).
+//! All configurations run on an in-memory disk: the numbers isolate the
+//! CPU and page-copy overhead of the logging protocol itself, not
+//! `fsync` latency (which `SyncPolicy` amortizes in real deployments).
+//! `cargo run -p bur-bench --bin walbench` measures the same matrix
+//! outside criterion and records it as `BENCH_wal.json`.
 
-use bur_core::{Durability, IndexOptions, RTreeIndex, WalOptions};
+use bur_core::{DeltaPolicy, Durability, IndexOptions, RTreeIndex, WalOptions};
 use bur_storage::SyncPolicy;
 use bur_workload::{Workload, WorkloadConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -34,10 +42,20 @@ fn bench_wal_overhead(c: &mut Criterion) {
     for (name, durability) in [
         ("off", Durability::None),
         (
+            "wal-full",
+            Durability::Wal(WalOptions {
+                sync: SyncPolicy::GroupCommit(64),
+                checkpoint_every: u64::MAX,
+                delta: DeltaPolicy::full_images(),
+                batch_ops: 1,
+            }),
+        ),
+        (
             "wal",
             Durability::Wal(WalOptions {
                 sync: SyncPolicy::GroupCommit(64),
                 checkpoint_every: u64::MAX,
+                ..WalOptions::default()
             }),
         ),
         (
@@ -45,6 +63,16 @@ fn bench_wal_overhead(c: &mut Criterion) {
             Durability::Wal(WalOptions {
                 sync: SyncPolicy::GroupCommit(64),
                 checkpoint_every: 512,
+                ..WalOptions::default()
+            }),
+        ),
+        (
+            "wal+async+batch",
+            Durability::Wal(WalOptions {
+                sync: SyncPolicy::Async,
+                checkpoint_every: 512,
+                batch_ops: 8,
+                ..WalOptions::default()
             }),
         ),
     ] {
@@ -56,6 +84,7 @@ fn bench_wal_overhead(c: &mut Criterion) {
                 black_box(index.update(op.oid, op.old, op.new).unwrap());
             });
         });
+        index.flush_commits().unwrap();
         if let Some(stats) = index.wal_stats() {
             println!("  [{name}] {stats}");
         }

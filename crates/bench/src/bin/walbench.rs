@@ -1,0 +1,237 @@
+//! `walbench` — measure what durability costs per update and record it
+//! as a machine-readable perf artifact.
+//!
+//! ```text
+//! walbench [--objects N] [--updates N] [--out FILE]
+//! ```
+//!
+//! Runs the in-place update workload (seeded GBU, in-memory disk — the
+//! `wal_overhead` criterion bench's setup) against a matrix of durability
+//! configurations and writes `BENCH_wal.json` (dependency-free JSON):
+//! per-update wall time, logged bytes per update, and the headline
+//! ratios — durable-vs-volatile latency and full-image-vs-delta log
+//! volume. CI uploads the file as an artifact so future PRs have a perf
+//! trajectory to regress against; the targets recorded inside
+//! (`latency_ratio_max: 2.0`, `log_reduction_min: 3.0`) are evaluated
+//! against the `wal-delta-batch` configuration (deltas + batched
+//! synchronous group commit — the durable fast path for a single update
+//! stream; the async config is recorded alongside for the multi-writer
+//! trajectory).
+
+use bur_core::{DeltaPolicy, Durability, IndexOptions, RTreeIndex, WalOptions};
+use bur_storage::SyncPolicy;
+use bur_workload::{Workload, WorkloadConfig};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct ConfigResult {
+    name: &'static str,
+    ns_per_update: f64,
+    log_bytes_per_update: f64,
+    deltas: u64,
+    images: u64,
+    syncs: u64,
+}
+
+fn measure(
+    name: &'static str,
+    durability: Durability,
+    objects: usize,
+    updates: usize,
+) -> ConfigResult {
+    let opts = IndexOptions::generalized().with_durability(durability);
+    // Short movements — the workload regime the paper's bottom-up
+    // techniques target, where GBU serves almost every update in place
+    // (one leaf page touched per operation).
+    let wl = Workload::generate(WorkloadConfig {
+        num_objects: objects,
+        max_distance: 0.004,
+        ..WorkloadConfig::default()
+    });
+    let mut index = RTreeIndex::bulk_load_in_memory(opts, &wl.items()).expect("bulk load");
+    let mut wl = wl;
+    // Warm the pool and the log's delta tracks.
+    for _ in 0..updates / 4 {
+        let op = wl.next_update();
+        index.update(op.oid, op.old, op.new).expect("warmup update");
+    }
+    let before = index.wal_stats();
+    let start = Instant::now();
+    for _ in 0..updates {
+        let op = wl.next_update();
+        index.update(op.oid, op.old, op.new).expect("update");
+    }
+    index.flush_commits().expect("flush");
+    index.wait_durable().expect("wait durable");
+    let elapsed = start.elapsed();
+    let (bytes, deltas, images, syncs) = match (before, index.wal_stats()) {
+        (Some(b), Some(a)) => (
+            a.bytes_appended - b.bytes_appended,
+            a.deltas - b.deltas,
+            a.images - b.images,
+            a.syncs - b.syncs,
+        ),
+        _ => (0, 0, 0, 0),
+    };
+    ConfigResult {
+        name,
+        ns_per_update: elapsed.as_nanos() as f64 / updates as f64,
+        log_bytes_per_update: bytes as f64 / updates as f64,
+        deltas,
+        images,
+        syncs,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut objects = 20_000usize;
+    let mut updates = 30_000usize;
+    let mut out = String::from("BENCH_wal.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--objects" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => objects = v,
+                None => return usage(),
+            },
+            "--updates" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => updates = v,
+                None => return usage(),
+            },
+            "--out" => match args.next() {
+                Some(v) => out = v,
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    // All durable configurations share the checkpoint cadence (4096 ops
+    // per generation bounds recovery replay) so the before/after numbers
+    // isolate the logging protocol, not the checkpoint frequency.
+    const CKPT: u64 = 4096;
+    let configs = [
+        ("off", Durability::None),
+        (
+            "wal-full-images",
+            Durability::Wal(WalOptions {
+                sync: SyncPolicy::GroupCommit(64),
+                checkpoint_every: CKPT,
+                delta: DeltaPolicy::full_images(),
+                batch_ops: 1,
+            }),
+        ),
+        (
+            "wal-delta",
+            Durability::Wal(WalOptions {
+                sync: SyncPolicy::GroupCommit(64),
+                checkpoint_every: CKPT,
+                ..WalOptions::default()
+            }),
+        ),
+        (
+            // GroupCommit counts commit *records*; with 8-op batches,
+            // 8 records ≈ the same 64-op sync cadence as `wal-delta`.
+            "wal-delta-batch",
+            Durability::Wal(WalOptions {
+                sync: SyncPolicy::GroupCommit(8),
+                checkpoint_every: CKPT,
+                batch_ops: 8,
+                ..WalOptions::default()
+            }),
+        ),
+        (
+            "wal-delta-async-batch",
+            Durability::Wal(WalOptions {
+                sync: SyncPolicy::Async,
+                checkpoint_every: CKPT,
+                batch_ops: 8,
+                ..WalOptions::default()
+            }),
+        ),
+    ];
+    let results: Vec<ConfigResult> = configs
+        .into_iter()
+        .map(|(name, d)| {
+            let r = measure(name, d, objects, updates);
+            eprintln!(
+                "{:>22}: {:8.0} ns/update, {:7.1} log B/update ({} images, {} deltas, {} syncs)",
+                r.name, r.ns_per_update, r.log_bytes_per_update, r.images, r.deltas, r.syncs
+            );
+            r
+        })
+        .collect();
+
+    // Headline numbers: the full durable fast path (deltas + commit
+    // batching) against the volatile baseline, and against the pre-delta
+    // full-image protocol for log volume.
+    let volatile = results[0].ns_per_update;
+    let full_bytes = results[1].log_bytes_per_update;
+    let fast = &results[3];
+    let latency_ratio = fast.ns_per_update / volatile;
+    let log_reduction = if fast.log_bytes_per_update > 0.0 {
+        full_bytes / fast.log_bytes_per_update
+    } else {
+        f64::INFINITY
+    };
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"wal_overhead\",");
+    let _ = writeln!(json, "  \"objects\": {objects},");
+    let _ = writeln!(json, "  \"updates_measured\": {updates},");
+    let _ = writeln!(json, "  \"configs\": [");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"ns_per_update\": {:.1}, \"log_bytes_per_update\": {:.1}, \
+             \"images\": {}, \"deltas\": {}, \"syncs\": {}}}{}",
+            r.name,
+            r.ns_per_update,
+            r.log_bytes_per_update,
+            r.images,
+            r.deltas,
+            r.syncs,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"durable_vs_volatile_latency_ratio\": {latency_ratio:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"log_bytes_reduction_full_vs_delta\": {log_reduction:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"targets\": {{\"latency_ratio_max\": 2.0, \"log_reduction_min\": 3.0}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"targets_met\": {}",
+        latency_ratio <= 2.0 && log_reduction >= 3.0
+    );
+    let _ = writeln!(json, "}}");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("walbench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "\ndurable/volatile latency ratio: {latency_ratio:.2}x (target <= 2.0x)\n\
+         log bytes full/delta reduction: {log_reduction:.2}x (target >= 3.0x)\n\
+         written to {out}"
+    );
+    ExitCode::SUCCESS
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: walbench [--objects N] [--updates N] [--out FILE]");
+    ExitCode::FAILURE
+}

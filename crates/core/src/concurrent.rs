@@ -29,15 +29,22 @@ use crate::error::CoreResult;
 use crate::node::ObjectId;
 use crate::stats::{OpStats, UpdateOutcome};
 use crate::RTreeIndex;
-use bur_dgl::{Granule, LockManager, LockMode};
+use bur_dgl::{CommitBatch, CommitBatcher, Granule, LockManager, LockMode};
 use bur_geom::{Point, Rect};
 use bur_storage::IoSnapshot;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 /// A thread-safe, DGL-locked wrapper around [`RTreeIndex`].
 pub struct ConcurrentIndex {
     inner: Mutex<RTreeIndex>,
     locks: LockManager,
+    /// Per-granule commit hooks accumulated between group commit records
+    /// (durable indexes with commit batching enabled; see
+    /// [`ConcurrentIndex::set_commit_batching`]).
+    batcher: CommitBatcher,
+    /// Batch size; 0 or 1 means per-operation commits.
+    batch_target: AtomicU32,
 }
 
 impl std::fmt::Debug for ConcurrentIndex {
@@ -55,6 +62,8 @@ impl ConcurrentIndex {
         Self {
             inner: Mutex::new(index),
             locks: LockManager::new(),
+            batcher: CommitBatcher::new(),
+            batch_target: AtomicU32::new(1),
         }
     }
 
@@ -76,6 +85,55 @@ impl ConcurrentIndex {
         &self.locks
     }
 
+    /// Enable per-granule commit batching on a durable index: each write
+    /// registers a commit hook under the granule it locked, and every
+    /// `ops` operations the accumulated hooks are flushed as **one**
+    /// group commit record (see [`RTreeIndex::set_commit_batch`]). This
+    /// recovers write concurrency under WAL mode — the per-operation
+    /// critical section no longer pays page logging or a sync — at group
+    /// commit's durability window (the unflushed tail of a batch may be
+    /// lost to a crash). `1` restores per-operation commits. No-op on a
+    /// non-durable index.
+    pub fn set_commit_batching(&self, ops: u32) -> CoreResult<()> {
+        let ops = ops.max(1);
+        let mut index = self.inner.lock();
+        index.set_commit_batch(ops)?;
+        self.batch_target.store(ops, Ordering::Relaxed);
+        if index.pending_commits() == 0 {
+            self.batcher.drain();
+        }
+        Ok(())
+    }
+
+    /// Flush any operations pending in the current commit batch as one
+    /// group commit record; returns the per-granule hooks it covered.
+    pub fn flush_commits(&self) -> CoreResult<CommitBatch> {
+        let mut index = self.inner.lock();
+        index.flush_commits()?;
+        Ok(self.batcher.drain())
+    }
+
+    /// `(operations batched, group commit records written)` over the
+    /// wrapper's lifetime — the batching compression ratio.
+    #[must_use]
+    pub fn commit_batch_totals(&self) -> (u64, u64) {
+        self.batcher.totals()
+    }
+
+    /// Register a finished write on `granule` with the commit batcher and
+    /// drain the hooks whenever the core has just flushed a batch (its
+    /// pending count returns to zero — on the batch boundary or a
+    /// piggybacked checkpoint).
+    fn after_write(&self, index: &mut RTreeIndex, granule: Granule) {
+        if self.batch_target.load(Ordering::Relaxed) <= 1 || !index.is_durable() {
+            return;
+        }
+        self.batcher.note(granule);
+        if index.pending_commits() == 0 {
+            self.batcher.drain();
+        }
+    }
+
     /// Move an object, acquiring the DGL granules its strategy requires.
     pub fn update(&self, oid: ObjectId, old: Point, new: Point) -> CoreResult<UpdateOutcome> {
         loop {
@@ -92,7 +150,11 @@ impl ConcurrentIndex {
                     .locks
                     .try_lock(Granule::Leaf(leaf_pid), LockMode::Exclusive);
                 match (tree_s, leaf_x) {
-                    (Ok(_t), Ok(_l)) => return index.update(oid, old, new),
+                    (Ok(_t), Ok(_l)) => {
+                        let outcome = index.update(oid, old, new)?;
+                        self.after_write(&mut index, Granule::Leaf(leaf_pid));
+                        return Ok(outcome);
+                    }
                     _ => {
                         drop(index);
                         std::thread::yield_now();
@@ -100,7 +162,11 @@ impl ConcurrentIndex {
                 }
             } else {
                 match self.locks.try_lock(Granule::Tree, LockMode::Exclusive) {
-                    Ok(_g) => return index.update(oid, old, new),
+                    Ok(_g) => {
+                        let outcome = index.update(oid, old, new)?;
+                        self.after_write(&mut index, Granule::Tree);
+                        return Ok(outcome);
+                    }
                     Err(_) => {
                         drop(index);
                         std::thread::yield_now();
@@ -129,7 +195,11 @@ impl ConcurrentIndex {
         loop {
             let mut index = self.inner.lock();
             match self.locks.try_lock(Granule::Tree, LockMode::Exclusive) {
-                Ok(_g) => return index.insert(oid, position),
+                Ok(_g) => {
+                    index.insert(oid, position)?;
+                    self.after_write(&mut index, Granule::Tree);
+                    return Ok(());
+                }
                 Err(_) => {
                     drop(index);
                     std::thread::yield_now();
@@ -143,7 +213,13 @@ impl ConcurrentIndex {
         loop {
             let mut index = self.inner.lock();
             match self.locks.try_lock(Granule::Tree, LockMode::Exclusive) {
-                Ok(_g) => return index.delete(oid, position),
+                Ok(_g) => {
+                    let found = index.delete(oid, position)?;
+                    if found {
+                        self.after_write(&mut index, Granule::Tree);
+                    }
+                    return Ok(found);
+                }
                 Err(_) => {
                     drop(index);
                     std::thread::yield_now();

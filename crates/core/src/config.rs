@@ -143,12 +143,27 @@ pub struct WalOptions {
     /// When commit records are made durable (`fsync` cadence). With
     /// [`bur_storage::SyncPolicy::EveryCommit`] every acknowledged
     /// operation survives a crash; group commit trades the tail of
-    /// unsynced operations for throughput.
+    /// unsynced operations for throughput;
+    /// [`bur_storage::SyncPolicy::Async`] moves the syncs to a background
+    /// thread entirely, so committers overlap log I/O.
     pub sync: bur_storage::SyncPolicy,
     /// Take a fuzzy checkpoint (flush the pool, rewind the log) every
-    /// this many commits. Bounds both recovery replay time and the log's
-    /// page footprint. Must be at least 1.
+    /// this many committed operations. Bounds both recovery replay time
+    /// and the log's page footprint. Must be at least 1.
     pub checkpoint_every: u64,
+    /// Delta-logging policy: when the log may record a byte-range diff of
+    /// a touched page instead of its full image (see
+    /// [`bur_wal::DeltaPolicy`]). On by default — in-place bottom-up
+    /// updates touch a few dozen bytes of a 1 KiB page, so deltas cut log
+    /// volume several-fold at no durability cost.
+    pub delta: bur_wal::DeltaPolicy,
+    /// Commit batching: write one commit record (and apply the sync
+    /// cadence once) per this many operations instead of per operation.
+    /// `1` (the default) keeps per-operation commit semantics; larger
+    /// values trade the unflushed tail of a batch — same crash window as
+    /// group commit — for a shorter durable critical section per update.
+    /// Must be at least 1. See [`crate::RTreeIndex::set_commit_batch`].
+    pub batch_ops: u32,
 }
 
 impl Default for WalOptions {
@@ -156,6 +171,8 @@ impl Default for WalOptions {
         Self {
             sync: bur_storage::SyncPolicy::EveryCommit,
             checkpoint_every: 256,
+            delta: bur_wal::DeltaPolicy::default(),
+            batch_ops: 1,
         }
     }
 }
@@ -254,6 +271,9 @@ impl IndexOptions {
                 return Err(CoreError::BadConfig(
                     "checkpoint_every must be at least 1".into(),
                 ));
+            }
+            if w.batch_ops == 0 {
+                return Err(CoreError::BadConfig("batch_ops must be at least 1".into()));
             }
         }
         match self.strategy {

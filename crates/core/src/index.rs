@@ -23,8 +23,10 @@ use std::sync::Arc;
 pub struct RecoveryReport {
     /// Records that survived in the log (all kinds).
     pub scanned_records: u64,
-    /// Page images replayed onto the base image.
+    /// Full page images replayed onto the base image.
     pub replayed_images: u64,
+    /// Page deltas replayed on top of those images.
+    pub replayed_deltas: u64,
     /// Committed operations covered by the replay.
     pub committed_ops: u64,
     /// LSN of the recovery point (last durable commit or checkpoint).
@@ -110,17 +112,19 @@ impl RTreeIndex {
         let wal = match opts.durability {
             Durability::Wal(wopts) => {
                 pool.set_wal_mode(true);
-                let wal = Wal::create(pool.disk().clone(), wopts.sync)?;
+                let wal = Wal::create_with(pool.disk().clone(), wopts.sync, wopts.delta)?;
                 if wal.anchor() != WAL_ANCHOR {
                     return Err(CoreError::BadConfig(format!(
                         "WAL anchor landed on page {} instead of {WAL_ANCHOR}",
                         wal.anchor()
                     )));
                 }
+                attach_durable_watcher(&wal, &pool);
                 Some(WalHandle {
                     wal,
                     opts: wopts,
                     commits_since_checkpoint: 0,
+                    pending_ops: 0,
                 })
             }
             Durability::None => None,
@@ -167,7 +171,7 @@ impl RTreeIndex {
                 policy: opts.eviction,
             },
         ));
-        let payload = read_meta_chain(&pool)?;
+        let (payload, meta_cont) = read_meta_chain(&pool)?;
         let snap = MetaSnapshot::decode(&payload)?;
         if snap.page_size != opts.page_size {
             return Err(CoreError::BadConfig(format!(
@@ -182,9 +186,9 @@ impl RTreeIndex {
             let opts = opts.with_durability(Durability::Wal(crate::config::WalOptions::default()));
             return Ok(Self::recover_on(disk, opts)?.0);
         }
-        Ok(Self {
-            tree: Self::tree_from_snapshot(pool, opts, &snap)?,
-        })
+        let mut tree = Self::tree_from_snapshot(pool, opts, &snap)?;
+        tree.meta_chain_pages = meta_cont;
+        Ok(Self { tree })
     }
 
     /// Build the tree (and rebuild whatever main-memory or secondary
@@ -224,6 +228,7 @@ impl RTreeIndex {
             reinsert_armed: 0,
             insert_active: false,
             wal: None,
+            meta_chain_pages: Vec::new(),
         };
         rebuild_memory_state(
             &mut tree,
@@ -246,7 +251,7 @@ impl RTreeIndex {
             None => INVALID_PAGE,
         };
         let payload = self.tree.meta_snapshot(hash_head).encode();
-        write_meta_chain(&self.tree.pool, &payload)?;
+        write_meta_chain(&self.tree.pool, &payload, &mut self.tree.meta_chain_pages)?;
         self.tree.pool.flush_all()?;
         Ok(())
     }
@@ -273,6 +278,51 @@ impl RTreeIndex {
     #[must_use]
     pub fn wal_stats(&self) -> Option<WalStatsSnapshot> {
         self.tree.wal.as_ref().map(|h| h.wal.stats())
+    }
+
+    /// Change the commit batch size at runtime (see
+    /// [`crate::WalOptions::batch_ops`]): operations accumulate until
+    /// `ops` of them are flushed as one group commit record. `1` restores
+    /// per-operation commits. Values of 0 are treated as 1. No-op on a
+    /// non-durable index.
+    pub fn set_commit_batch(&mut self, ops: u32) -> CoreResult<()> {
+        if let Some(h) = self.tree.wal.as_mut() {
+            h.opts.batch_ops = ops.max(1);
+            if h.pending_ops >= u64::from(h.opts.batch_ops) {
+                self.tree.wal_flush_commit()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush any operations pending in the current commit batch as one
+    /// group commit record (see [`RTreeIndex::set_commit_batch`]). No-op
+    /// when nothing is pending or the index is not durable.
+    pub fn flush_commits(&mut self) -> CoreResult<()> {
+        self.tree.wal_flush_commit()
+    }
+
+    /// Operations finished but not yet covered by a commit record (always
+    /// 0 without commit batching).
+    #[must_use]
+    pub fn pending_commits(&self) -> u64 {
+        self.tree.wal.as_ref().map_or(0, |h| h.pending_ops)
+    }
+
+    /// Block until every acknowledged operation is durable in the log.
+    /// Under [`bur_storage::SyncPolicy::Async`] this waits for the
+    /// background sync thread to pass the current tail; under the
+    /// synchronous policies it syncs inline. Operations still pending in
+    /// a commit batch are flushed first. No-op on a non-durable index.
+    pub fn wait_durable(&mut self) -> CoreResult<()> {
+        if self.tree.wal.is_none() {
+            return Ok(());
+        }
+        self.tree.wal_flush_commit()?;
+        let handle = self.tree.wal.as_ref().expect("checked above");
+        let watermark = handle.wal.wait_durable(handle.wal.last_lsn())?;
+        self.tree.pool.set_durable_lsn(watermark);
+        Ok(())
     }
 
     /// Recover a durable index from `disk` after a crash (ARIES-style
@@ -308,7 +358,7 @@ impl RTreeIndex {
                 policy: opts.eviction,
             },
         ));
-        let (wal, scanned) = Wal::reopen(disk, WAL_ANCHOR, wopts.sync)?;
+        let (wal, scanned) = Wal::reopen_with(disk, WAL_ANCHOR, wopts.sync, wopts.delta)?;
         if !scanned.valid {
             return Err(CoreError::BadConfig(
                 "no write-ahead log on this disk (index not created with Durability::Wal?)".into(),
@@ -333,9 +383,15 @@ impl RTreeIndex {
         let snap = if let (Some(cut), Some(meta_bytes)) = (recovery_point, meta_bytes) {
             let snap = MetaSnapshot::decode(meta_bytes)?;
             report.recovered_lsn = scanned.records[cut].0;
-            // Redo: replay page images in log order. Full images are
-            // idempotent, so no page-level LSN comparison is needed.
-            for (_lsn, rec) in &scanned.records[..=cut] {
+            // Redo: replay page records in log order. The first record of
+            // every page in a generation is a full image (the delta
+            // encoder anchors there), so replay never depends on the
+            // pre-crash content of a page — each delta applies onto the
+            // state produced by the records before it, which `page_lsns`
+            // verifies against the delta's recorded base.
+            let mut page_lsns: std::collections::HashMap<PageId, u64> =
+                std::collections::HashMap::new();
+            for (lsn, rec) in &scanned.records[..=cut] {
                 match rec {
                     WalRecord::PageImage { pid, data } => {
                         if data.len() != opts.page_size {
@@ -353,7 +409,33 @@ impl RTreeIndex {
                         let guard = pool.fetch_for_overwrite(*pid)?;
                         guard.write().copy_from_slice(data);
                         drop(guard);
+                        page_lsns.insert(*pid, *lsn);
                         report.replayed_images += 1;
+                    }
+                    WalRecord::PageDelta {
+                        pid,
+                        base_lsn,
+                        ranges,
+                    } => {
+                        match page_lsns.get(pid) {
+                            Some(&last) if last == *base_lsn => {}
+                            _ => {
+                                return Err(CoreError::BadConfig(format!(
+                                    "delta for page {pid} at lsn {lsn} does not chain to a \
+                                     replayed image (corrupt log)"
+                                )))
+                            }
+                        }
+                        let guard = pool.fetch(*pid)?;
+                        if !bur_wal::apply_delta(&mut guard.write(), ranges) {
+                            return Err(CoreError::BadConfig(format!(
+                                "delta for page {pid} at lsn {lsn} exceeds the page bounds \
+                                 (corrupt log)"
+                            )));
+                        }
+                        drop(guard);
+                        page_lsns.insert(*pid, *lsn);
+                        report.replayed_deltas += 1;
                     }
                     WalRecord::Commit { .. } => report.committed_ops += 1,
                     WalRecord::Checkpoint { .. } => {}
@@ -367,7 +449,7 @@ impl RTreeIndex {
             // flushed but before the fresh generation's checkpoint record
             // landed. The metadata chain is then the recovery point and
             // there is nothing to replay.
-            let payload = read_meta_chain(&pool).map_err(|e| {
+            let (payload, _pages) = read_meta_chain(&pool).map_err(|e| {
                 CoreError::BadConfig(format!(
                     "write-ahead log holds no recovery point and the metadata chain is \
                      unreadable ({e})"
@@ -382,14 +464,29 @@ impl RTreeIndex {
             )));
         }
         report.recovered_len = snap.len;
+        // The on-disk metadata chain (from the last completed checkpoint)
+        // is superseded the moment we re-checkpoint below; hand its
+        // continuation pages to the chain recycler. Walked defensively —
+        // a crash inside the chain rewrite can leave torn links, and a
+        // torn `next` pointer could name a *live* tree page, so the pages
+        // are only trusted (and later overwritten by the recycler) when
+        // the walked payload round-trips as a genuine metadata snapshot.
+        let meta_cont = read_meta_chain(&pool)
+            .ok()
+            .filter(|(payload, _)| MetaSnapshot::decode(payload).is_ok())
+            .map(|(_, pages)| pages)
+            .unwrap_or_default();
         // Rebuild the index over the replayed image (summary structure,
         // hash index and parent pointers included), then checkpoint: the
         // disk becomes a clean base image and the log restarts.
         let mut tree = Self::tree_from_snapshot(pool, opts, &snap)?;
+        tree.meta_chain_pages = meta_cont;
+        attach_durable_watcher(&wal, &tree.pool);
         tree.wal = Some(WalHandle {
             wal,
             opts: wopts,
             commits_since_checkpoint: 0,
+            pending_ops: 0,
         });
         tree.pool.set_wal_mode(true);
         let mut index = Self { tree };
@@ -650,6 +747,15 @@ impl RTreeIndex {
     pub fn validate(&self) -> CoreResult<()> {
         self.tree.validate()
     }
+}
+
+/// Register the buffer pool as the log's durable-LSN watcher: background
+/// syncs (the [`bur_storage::SyncPolicy::Async`] group committer) unblock
+/// gated page flushes the moment their batch lands, without the pool
+/// polling the log.
+fn attach_durable_watcher(wal: &Wal, pool: &Arc<BufferPool>) {
+    let pool = pool.clone();
+    wal.set_durable_watcher(Box::new(move |lsn| pool.set_durable_lsn(lsn)));
 }
 
 // ---- open-time memory-state rebuild ------------------------------------------

@@ -50,7 +50,7 @@ pub use error::{CoreError, CoreResult};
 pub use gbu::iextend_mbr;
 pub use index::{RTreeIndex, RecoveryReport};
 // Re-exported so durability consumers need no direct `bur-wal` dependency.
-pub use bur_wal::WalStatsSnapshot;
+pub use bur_wal::{DeltaPolicy, WalStatsSnapshot};
 pub use knn::Neighbor;
 pub use node::{
     internal_capacity, leaf_capacity, InternalEntry, LeafEntry, Node, NodeEntries, ObjectId,

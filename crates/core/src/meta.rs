@@ -103,6 +103,14 @@ impl MetaSnapshot {
                 "corrupt index metadata (flag mismatch)".into(),
             ));
         }
+        // Every writer emits exactly this layout; trailing bytes mean a
+        // torn or mis-linked chain and must not pass as a valid snapshot
+        // (recovery trusts a decodable chain's pages for recycling).
+        if cur.off != payload.len() {
+            return Err(CoreError::BadConfig(
+                "corrupt index metadata (trailing bytes)".into(),
+            ));
+        }
         Ok(snap)
     }
 }
@@ -141,22 +149,41 @@ impl<'a> MetaCursor<'a> {
 // ---- metadata page chain -------------------------------------------------
 
 /// Page-chain layout: `[next u32][len u16][data ...]`, head at page 0.
-/// Each call lays out a fresh continuation chain when the payload does
-/// not fit on the head page.
-pub(crate) fn write_meta_chain(pool: &BufferPool, payload: &[u8]) -> CoreResult<()> {
+///
+/// Continuation pages (when the payload does not fit on the head page)
+/// are drawn from `chain_pool` — the pages the *previous* chain occupied,
+/// as returned by [`read_meta_chain`] or by the last write — before any
+/// fresh allocation. On return, `chain_pool` holds the new chain's
+/// continuation pages plus any leftover spares, so superseded chains are
+/// recycled in place instead of leaking one continuation run per
+/// checkpoint.
+pub(crate) fn write_meta_chain(
+    pool: &BufferPool,
+    payload: &[u8],
+    chain_pool: &mut Vec<PageId>,
+) -> CoreResult<()> {
     let chunk = pool.page_size() - 6;
     let chunks: Vec<&[u8]> = if payload.is_empty() {
         vec![&[]]
     } else {
         payload.chunks(chunk).collect()
     };
+    let mut avail = std::mem::take(chain_pool);
+    let mut used = Vec::new();
     let mut prev: Option<PageId> = None;
     for (i, part) in chunks.iter().enumerate() {
         let pid = if i == 0 {
             META_PAGE
         } else {
-            let (pid, guard) = pool.new_page()?;
-            drop(guard);
+            let pid = match avail.pop() {
+                Some(p) => p,
+                None => {
+                    let (pid, guard) = pool.new_page()?;
+                    drop(guard);
+                    pid
+                }
+            };
+            used.push(pid);
             pid
         };
         let guard = pool.fetch_for_overwrite(pid)?;
@@ -174,12 +201,17 @@ pub(crate) fn write_meta_chain(pool: &BufferPool, payload: &[u8]) -> CoreResult<
         }
         prev = Some(pid);
     }
+    avail.extend(used);
+    *chain_pool = avail;
     Ok(())
 }
 
-/// Read the metadata chain headed at page 0 back into one payload.
-pub(crate) fn read_meta_chain(pool: &BufferPool) -> CoreResult<Vec<u8>> {
+/// Read the metadata chain headed at page 0 back into one payload, also
+/// returning the continuation pages it occupies (page 0 excluded) so the
+/// next [`write_meta_chain`] can recycle them.
+pub(crate) fn read_meta_chain(pool: &BufferPool) -> CoreResult<(Vec<u8>, Vec<PageId>)> {
     let mut payload = Vec::new();
+    let mut pages = Vec::new();
     let mut pid = META_PAGE;
     let mut visited = std::collections::HashSet::new();
     loop {
@@ -200,12 +232,15 @@ pub(crate) fn read_meta_chain(pool: &BufferPool) -> CoreResult<Vec<u8>> {
             ));
         }
         payload.extend_from_slice(&data[6..6 + len]);
+        if pid != META_PAGE {
+            pages.push(pid);
+        }
         if next == INVALID_PAGE {
             break;
         }
         pid = next;
     }
-    Ok(payload)
+    Ok((payload, pages))
 }
 
 #[cfg(test)]

@@ -34,7 +34,7 @@ use crate::summary::SummaryStructure;
 use bur_geom::{Point, Rect};
 use bur_hashindex::{HashIndexConfig, LinearHashIndex};
 use bur_storage::{BufferPool, PageId, INVALID_PAGE};
-use bur_wal::{Wal, WalRecord};
+use bur_wal::Wal;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -42,10 +42,14 @@ use std::sync::Arc;
 pub(crate) struct WalHandle {
     /// The log itself.
     pub(crate) wal: Wal,
-    /// Sync cadence and checkpoint interval.
+    /// Sync cadence, checkpoint interval, delta policy, batch size.
     pub(crate) opts: WalOptions,
-    /// Commits since the last checkpoint (drives the cadence).
+    /// Committed operations since the last checkpoint (drives the
+    /// cadence).
     pub(crate) commits_since_checkpoint: u64,
+    /// Operations finished but not yet covered by a commit record
+    /// (commit batching; flushed once `opts.batch_ops` accumulate).
+    pub(crate) pending_ops: u64,
 }
 
 /// An entry being inserted: either an object (into a leaf) or a whole
@@ -106,6 +110,9 @@ pub(crate) struct RTree {
     pub(crate) insert_active: bool,
     /// Write-ahead log, when the index is durable.
     pub(crate) wal: Option<WalHandle>,
+    /// Pages owned by the on-disk metadata continuation chain (plus
+    /// spares); recycled by every persist/checkpoint instead of leaking.
+    pub(crate) meta_chain_pages: Vec<PageId>,
 }
 
 impl RTree {
@@ -138,6 +145,7 @@ impl RTree {
             reinsert_armed: 0,
             insert_active: false,
             wal: None,
+            meta_chain_pages: Vec::new(),
         };
         if let Some(s) = &mut tree.summary {
             s.set_leaf(root, false);
@@ -264,26 +272,43 @@ impl RTree {
         }
     }
 
-    /// Commit the operation that just finished: append an image of every
-    /// page it touched plus a commit record carrying the metadata
-    /// snapshot, apply the sync policy, and checkpoint when the cadence
-    /// says so. No-op without a WAL.
+    /// Note the operation that just finished for the write-ahead log and
+    /// commit it — or, with commit batching ([`WalOptions::batch_ops`] >
+    /// 1), defer until a batch has accumulated. No-op without a WAL.
     pub(crate) fn wal_commit(&mut self) -> CoreResult<()> {
-        if self.wal.is_none() {
+        let Some(handle) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        handle.pending_ops += 1;
+        if handle.pending_ops < u64::from(handle.opts.batch_ops.max(1)) {
+            return Ok(());
+        }
+        self.wal_flush_commit()
+    }
+
+    /// Flush every pending operation as one group commit: append an
+    /// image or delta of every page touched since the last commit plus a
+    /// single commit record carrying the metadata snapshot, apply the
+    /// sync policy, and checkpoint when the cadence says so. No-op when
+    /// nothing is pending.
+    pub(crate) fn wal_flush_commit(&mut self) -> CoreResult<()> {
+        let Some(handle) = self.wal.as_ref() else {
+            return Ok(());
+        };
+        if handle.pending_ops == 0 {
             return Ok(());
         }
         let touched = self.pool.touched_pages();
-        {
-            let handle = self.wal.as_ref().expect("checked above");
-            for pid in touched {
-                let data = {
-                    let guard = self.pool.fetch(pid)?;
-                    let bytes = guard.read();
-                    bytes.to_vec()
-                };
-                let lsn = handle.wal.append(&WalRecord::PageImage { pid, data })?;
-                self.pool.note_page_logged(pid, lsn);
-            }
+        for pid in touched {
+            // The log's delta encoder picks a byte-range diff against the
+            // page's previous image in this generation, or a full image
+            // at anchors and first touches. The page bytes are borrowed
+            // straight from the frame (read-latched for the append) —
+            // no per-page copy on the commit path.
+            let guard = self.pool.fetch(pid)?;
+            let lsn = handle.wal.append_page(pid, &guard.read())?;
+            drop(guard);
+            self.pool.note_page_logged(pid, lsn);
         }
         let meta = self.meta_snapshot(INVALID_PAGE).encode();
         let handle = self.wal.as_mut().expect("checked above");
@@ -291,7 +316,8 @@ impl RTree {
         if durable {
             self.pool.set_durable_lsn(handle.wal.durable_lsn());
         }
-        handle.commits_since_checkpoint += 1;
+        handle.commits_since_checkpoint += handle.pending_ops;
+        handle.pending_ops = 0;
         if handle.commits_since_checkpoint >= handle.opts.checkpoint_every {
             self.wal_checkpoint()?;
         }
@@ -299,15 +325,20 @@ impl RTree {
     }
 
     /// Fuzzy checkpoint: make the log durable, persist the hash
-    /// directory and metadata chain, flush every frame (the disk becomes
-    /// a complete base image), then rewind the log onto its own pages.
-    /// No-op without a WAL.
+    /// directory and metadata chain (recycling the superseded chains'
+    /// pages), flush every frame (the disk becomes a complete base
+    /// image), then rewind the log onto its own pages. Any operations
+    /// still pending in a commit batch are absorbed: the checkpoint
+    /// itself is their recovery point. No-op without a WAL.
     pub(crate) fn wal_checkpoint(&mut self) -> CoreResult<()> {
         if self.wal.is_none() {
             return Ok(());
         }
         {
-            let handle = self.wal.as_ref().expect("checked above");
+            let handle = self.wal.as_mut().expect("checked above");
+            // Pending batched ops need no commit record: the full flush
+            // below lands their pages in the base image.
+            handle.pending_ops = 0;
             handle.wal.sync()?;
             self.pool.set_durable_lsn(handle.wal.durable_lsn());
         }
@@ -316,7 +347,7 @@ impl RTree {
             None => INVALID_PAGE,
         };
         let payload = self.meta_snapshot(hash_head).encode();
-        meta::write_meta_chain(&self.pool, &payload)?;
+        meta::write_meta_chain(&self.pool, &payload, &mut self.meta_chain_pages)?;
         // The metadata/hash-directory writes above are part of the new
         // base image, not of any commit: drop their gate state and flush.
         self.pool.wal_checkpoint_reset();

@@ -25,8 +25,10 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod manager;
 
+pub use batch::{CommitBatch, CommitBatcher};
 pub use manager::{LockGuard, LockManager, LockMode, LockSetGuard, TryLockError};
 
 /// A lockable granule. The paper associates "each entry in the direct

@@ -40,6 +40,12 @@ struct State {
     free_pages: Vec<PageId>,
     /// Overflow pages currently in use (for space accounting).
     overflow_pages: usize,
+    /// Pages owned by the persisted directory chain (plus spares from
+    /// chains that shrank). [`LinearHashIndex::persist`] recycles them for
+    /// the next chain instead of allocating a fresh run every time, so
+    /// repeated checkpoints of a durable index no longer leak a
+    /// directory's worth of pages each.
+    chain: Vec<PageId>,
 }
 
 impl State {
@@ -109,6 +115,7 @@ impl LinearHashIndex {
                 initial: config.initial_buckets,
                 free_pages: Vec::new(),
                 overflow_pages: 0,
+                chain: Vec::new(),
             }),
         })
     }
@@ -341,8 +348,16 @@ impl LinearHashIndex {
     /// Serialize the in-memory directory into a chain of pages; returns
     /// the head page id. Call after quiescing writers; bucket pages are
     /// already on disk once the pool is flushed.
+    ///
+    /// The previous chain's pages are recycled for the new chain (the old
+    /// chain is superseded the moment this returns), so repeated persists
+    /// keep the directory's page footprint flat instead of leaking one
+    /// chain per call.
     pub fn persist(&self) -> StorageResult<PageId> {
-        let state = self.state.lock();
+        let mut state = self.state.lock();
+        // The old chain (and any spares from earlier shrinks) becomes the
+        // allocation pool for the new one.
+        let mut avail = std::mem::take(&mut state.chain);
         let mut payload = Vec::new();
         payload.extend_from_slice(&state.level.to_le_bytes());
         payload.extend_from_slice(&(state.next as u64).to_le_bytes());
@@ -357,8 +372,12 @@ impl LinearHashIndex {
         for &p in &state.free_pages {
             payload.extend_from_slice(&p.to_le_bytes());
         }
-        drop(state);
-        write_page_chain(&self.pool, &payload)
+        let (head, used) = write_page_chain(&self.pool, &payload, &mut avail)?;
+        // Retain both the live chain and any leftover spares for the next
+        // persist; neither may be handed out as bucket pages.
+        avail.extend(used);
+        state.chain = avail;
+        Ok(head)
     }
 
     /// Reload an index persisted with [`LinearHashIndex::persist`].
@@ -367,7 +386,7 @@ impl LinearHashIndex {
         config: HashIndexConfig,
         head: PageId,
     ) -> StorageResult<Self> {
-        let payload = read_page_chain(&pool, head)?;
+        let (payload, chain) = read_page_chain(&pool, head)?;
         let mut cur = Cursor::new(&payload);
         let level = cur.u32();
         let next = cur.u64() as usize;
@@ -389,6 +408,7 @@ impl LinearHashIndex {
                 initial,
                 free_pages,
                 overflow_pages,
+                chain,
             }),
         })
     }
@@ -416,8 +436,14 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Page-chain format: `[next u32][len u16][data ...]` per page.
-fn write_page_chain(pool: &BufferPool, payload: &[u8]) -> StorageResult<PageId> {
+/// Page-chain format: `[next u32][len u16][data ...]` per page. Pages are
+/// taken from `avail` (the superseded chain) before allocating fresh
+/// ones; returns the head and every page the new chain occupies.
+fn write_page_chain(
+    pool: &BufferPool,
+    payload: &[u8],
+    avail: &mut Vec<PageId>,
+) -> StorageResult<(PageId, Vec<PageId>)> {
     let chunk = pool.page_size() - 6;
     let chunks: Vec<&[u8]> = if payload.is_empty() {
         vec![&[]]
@@ -425,15 +451,27 @@ fn write_page_chain(pool: &BufferPool, payload: &[u8]) -> StorageResult<PageId> 
         payload.chunks(chunk).collect()
     };
     let mut head = bur_storage::INVALID_PAGE;
+    let mut used = Vec::with_capacity(chunks.len());
     let mut prev: Option<PageId> = None;
     for part in &chunks {
-        let (pid, guard) = pool.new_page()?;
+        let pid = match avail.pop() {
+            Some(p) => p,
+            None => {
+                let (pid, guard) = pool.new_page()?;
+                drop(guard);
+                pid
+            }
+        };
+        let guard = pool.fetch_for_overwrite(pid)?;
         {
             let mut w = guard.write();
+            w.fill(0);
             w[0..4].copy_from_slice(&bur_storage::INVALID_PAGE.to_le_bytes());
             w[4..6].copy_from_slice(&(part.len() as u16).to_le_bytes());
             w[6..6 + part.len()].copy_from_slice(part);
         }
+        drop(guard);
+        used.push(pid);
         if let Some(p) = prev {
             let g = pool.fetch(p)?;
             g.write()[0..4].copy_from_slice(&pid.to_le_bytes());
@@ -442,24 +480,42 @@ fn write_page_chain(pool: &BufferPool, payload: &[u8]) -> StorageResult<PageId> 
         }
         prev = Some(pid);
     }
-    Ok(head)
+    Ok((head, used))
 }
 
-fn read_page_chain(pool: &BufferPool, head: PageId) -> StorageResult<Vec<u8>> {
+/// Read a chain back; returns the payload and the pages it occupies (so
+/// a reloaded index keeps recycling its directory chain). A cycle or an
+/// oversized chunk length means a corrupt chain: surfaced as an error,
+/// never a panic or an endless walk.
+fn read_page_chain(pool: &BufferPool, head: PageId) -> StorageResult<(Vec<u8>, Vec<PageId>)> {
+    fn corrupt(msg: &'static str) -> bur_storage::StorageError {
+        bur_storage::StorageError::Io(std::io::Error::other(msg))
+    }
     let mut payload = Vec::new();
+    let mut pages = Vec::new();
+    let mut seen = std::collections::HashSet::new();
     let mut pid = head;
     loop {
+        if !seen.insert(pid) {
+            return Err(corrupt("hash directory chain loops (corrupt chain)"));
+        }
         let guard = pool.fetch(pid)?;
         let data = guard.read();
         let next = u32::from_le_bytes(data[0..4].try_into().unwrap());
         let len = u16::from_le_bytes(data[4..6].try_into().unwrap()) as usize;
+        if len > data.len() - 6 {
+            return Err(corrupt(
+                "hash directory chunk overruns its page (corrupt chain)",
+            ));
+        }
         payload.extend_from_slice(&data[6..6 + len]);
+        pages.push(pid);
         if next == bur_storage::INVALID_PAGE {
             break;
         }
         pid = next;
     }
-    Ok(payload)
+    Ok((payload, pages))
 }
 
 #[cfg(test)]
@@ -596,6 +652,44 @@ mod tests {
         for k in 0..4_000u64 {
             let expect = if k < 3_000 { (k * 11) as u32 } else { k as u32 };
             assert_eq!(idx2.get(k).unwrap(), Some(expect));
+        }
+    }
+
+    #[test]
+    fn repeated_persists_recycle_the_directory_chain() {
+        let pool = make_pool(256, 256);
+        let idx = LinearHashIndex::create(pool.clone(), HashIndexConfig::default()).unwrap();
+        for k in 0..3_000u64 {
+            idx.insert(k, (k * 3) as u32).unwrap();
+        }
+        // First persist lays out the steady-state chain.
+        let head0 = idx.persist().unwrap();
+        let baseline = pool.disk().num_pages();
+        let mut last_head = head0;
+        for _ in 0..10 {
+            last_head = idx.persist().unwrap();
+        }
+        assert_eq!(
+            pool.disk().num_pages(),
+            baseline,
+            "superseded directory chains must be recycled, not leaked"
+        );
+        pool.flush_all().unwrap();
+        // The recycled chain still loads correctly — including after a
+        // reload (the chain pages are rediscovered by the walk).
+        let idx2 =
+            LinearHashIndex::load(pool.clone(), HashIndexConfig::default(), last_head).unwrap();
+        assert_eq!(idx2.len(), 3_000);
+        let head3 = idx2.persist().unwrap();
+        assert_eq!(
+            pool.disk().num_pages(),
+            baseline,
+            "recycling must survive a reload"
+        );
+        pool.flush_all().unwrap();
+        let idx3 = LinearHashIndex::load(pool, HashIndexConfig::default(), head3).unwrap();
+        for k in (0..3_000u64).step_by(97) {
+            assert_eq!(idx3.get(k).unwrap(), Some((k * 3) as u32));
         }
     }
 

@@ -73,6 +73,14 @@ pub enum SyncPolicy {
     /// syncs are acknowledged before they are durable and may be lost to
     /// a crash; throughput improves by amortizing the sync cost.
     GroupCommit(u32),
+    /// Asynchronous group commit: every commit *requests* a sync and
+    /// returns immediately; a background thread batches the requests into
+    /// as few `fsync`s as the device allows and publishes the durable-LSN
+    /// watermark as each batch lands. Committers overlap log I/O instead
+    /// of serialising on it; callers that need a hard ack wait on the
+    /// watermark. Same crash window as [`SyncPolicy::GroupCommit`]: an
+    /// acknowledged-but-unsynced tail may be lost.
+    Async,
     /// Sync only at checkpoints and explicit flushes. Maximum
     /// throughput, weakest durability.
     Manual,

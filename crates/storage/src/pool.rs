@@ -44,6 +44,13 @@ struct PoolState {
     table: HashMap<PageId, Arc<Frame>>,
     /// Unpinned frames, ordered by the configured replacement policy.
     replacer: Replacer,
+    /// Unpinned frames the WAL gate refused to evict (uncommitted or not
+    /// yet durable). Parked out of the replacer so capacity sweeps never
+    /// rescan them; they re-enter when the durable LSN advances
+    /// ([`BufferPool::set_durable_lsn`]), on a checkpoint reset, or when
+    /// they are re-pinned. Invariant: an unpinned resident frame is in
+    /// exactly one of `replacer` / `parked`.
+    parked: HashSet<PageId>,
 }
 
 /// Bookkeeping for the WAL-aware pool mode (see the crate docs).
@@ -110,6 +117,7 @@ impl BufferPool {
             state: Mutex::new(PoolState {
                 table: HashMap::new(),
                 replacer: Replacer::new(config.policy),
+                parked: HashSet::new(),
             }),
             stats: IoStats::new(),
             wal_mode: AtomicBool::new(false),
@@ -125,9 +133,13 @@ impl BufferPool {
     pub fn set_wal_mode(&self, enabled: bool) {
         self.wal_mode.store(enabled, Ordering::Relaxed);
         if !enabled {
-            let mut gate = self.wal_gate.lock();
-            gate.touched.clear();
-            gate.page_lsn.clear();
+            let mut state = self.state.lock();
+            {
+                let mut gate = self.wal_gate.lock();
+                gate.touched.clear();
+                gate.page_lsn.clear();
+            }
+            Self::unpark_all(&mut state);
         }
     }
 
@@ -157,9 +169,37 @@ impl BufferPool {
     }
 
     /// Publish the log's durable horizon; frames whose last image lies at
-    /// or below it become flushable.
+    /// or below it become flushable. Parked frames the gate had turned
+    /// away re-enter the replacer here (and the capacity is re-enforced),
+    /// so eviction is event-driven instead of rescanning blocked frames
+    /// on every unpin.
     pub fn set_durable_lsn(&self, lsn: Lsn) {
         self.durable_lsn.store(lsn, Ordering::Relaxed);
+        if !self.wal_mode.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut state = self.state.lock();
+        if state.parked.is_empty() {
+            return;
+        }
+        let unparked: Vec<PageId> = {
+            let gate = self.wal_gate.lock();
+            state
+                .parked
+                .iter()
+                .copied()
+                .filter(|pid| {
+                    !gate.touched.contains(pid) && gate.page_lsn.get(pid).is_none_or(|&l| l <= lsn)
+                })
+                .collect()
+        };
+        for pid in unparked {
+            state.parked.remove(&pid);
+            state.replacer.insert(pid);
+        }
+        // Write-back errors have nowhere to report from here; the frames
+        // are retained and the error resurfaces on the next flush.
+        let _ = self.enforce_capacity(&mut state);
     }
 
     /// The published durable horizon.
@@ -176,12 +216,17 @@ impl BufferPool {
 
     /// Checkpoint reset: after the caller has made the log durable and is
     /// about to flush every frame as the new base image, all per-page
-    /// gate state is obsolete. Clears touched pages and page LSNs so the
-    /// following [`BufferPool::flush_all`] writes everything.
+    /// gate state is obsolete. Clears touched pages and page LSNs (so the
+    /// following [`BufferPool::flush_all`] writes everything) and unparks
+    /// every gated frame.
     pub fn wal_checkpoint_reset(&self) {
-        let mut gate = self.wal_gate.lock();
-        gate.touched.clear();
-        gate.page_lsn.clear();
+        let mut state = self.state.lock();
+        {
+            let mut gate = self.wal_gate.lock();
+            gate.touched.clear();
+            gate.page_lsn.clear();
+        }
+        Self::unpark_all(&mut state);
     }
 
     /// Page size of the underlying disk.
@@ -218,7 +263,9 @@ impl BufferPool {
     pub fn set_capacity(&self, capacity: usize) -> StorageResult<()> {
         self.capacity.store(capacity, Ordering::Relaxed);
         let mut state = self.state.lock();
-        self.enforce_capacity(&mut state)
+        // Exhaustive (unbudgeted): an explicit shrink must land fully.
+        Self::unpark_all(&mut state);
+        self.enforce_capacity_inner(&mut state, usize::MAX)
     }
 
     /// Allocate a fresh zeroed page and return it pinned.
@@ -246,6 +293,7 @@ impl BufferPool {
             let prev = frame.pins.fetch_add(1, Ordering::Relaxed);
             if prev == 0 {
                 state.replacer.remove(pid);
+                state.parked.remove(&pid);
             }
             return Ok(PageRef { pool: self, frame });
         }
@@ -284,6 +332,7 @@ impl BufferPool {
             let prev = frame.pins.fetch_add(1, Ordering::Relaxed);
             if prev == 0 {
                 state.replacer.remove(pid);
+                state.parked.remove(&pid);
             }
             return Ok(PageRef { pool: self, frame });
         }
@@ -316,6 +365,9 @@ impl BufferPool {
     /// In WAL mode, frames that may not leave memory yet stay resident.
     pub fn evict_all(&self) -> StorageResult<()> {
         let mut state = self.state.lock();
+        // Give parked frames another chance: the gate may have opened
+        // since they were turned away (the loop re-parks the rest).
+        Self::unpark_all(&mut state);
         let mut retained = Vec::new();
         let mut result = Ok(());
         while let Some(victim) = state.replacer.evict() {
@@ -328,7 +380,9 @@ impl BufferPool {
                 Ok(true) => {
                     state.table.remove(&victim);
                 }
-                Ok(false) => retained.push(victim),
+                Ok(false) => {
+                    state.parked.insert(victim);
+                }
                 Err(e) => {
                     // Keep the frame (and the already-popped victims)
                     // reachable by the replacer; report the error after
@@ -382,11 +436,28 @@ impl BufferPool {
         Ok(true)
     }
 
+    /// Per-unpin capacity enforcement. Bounded: in WAL mode, dirty frames
+    /// whose image is not yet durable cannot be written back, and between
+    /// syncs there can be far more of them than the capacity. Without a
+    /// budget every unpin would rescan all of them (O(resident) per
+    /// operation); with one, each call examines a bounded slice and
+    /// blocked victims re-enter at the MRU end, so successive sweeps
+    /// rotate through different candidates and still reclaim every
+    /// evictable frame.
     fn enforce_capacity(&self, state: &mut PoolState) -> StorageResult<()> {
+        self.enforce_capacity_inner(state, 64)
+    }
+
+    fn enforce_capacity_inner(
+        &self,
+        state: &mut PoolState,
+        mut budget: usize,
+    ) -> StorageResult<()> {
         let cap = self.capacity.load(Ordering::Relaxed);
         let mut retained = Vec::new();
         let mut result = Ok(());
-        while state.replacer.len() > cap {
+        while state.replacer.len() > cap && budget > 0 {
+            budget -= 1;
             let Some(victim) = state.replacer.evict() else {
                 break;
             };
@@ -399,7 +470,11 @@ impl BufferPool {
                 Ok(true) => {
                     state.table.remove(&victim);
                 }
-                Ok(false) => retained.push(victim), // WAL gate: stay resident
+                Ok(false) => {
+                    // WAL gate: park out of the replacer until the
+                    // durable horizon advances (no rescans meanwhile).
+                    state.parked.insert(victim);
+                }
                 Err(e) => {
                     // The disk rejected the write-back. Keep the frame (and
                     // its dirty data) in memory so nothing is lost; the
@@ -414,6 +489,15 @@ impl BufferPool {
             state.replacer.insert(pid);
         }
         result
+    }
+
+    /// Move every parked frame back into the replacer (gate state
+    /// changed wholesale; eviction sweeps re-park whatever is still
+    /// blocked).
+    fn unpark_all(state: &mut PoolState) {
+        for pid in std::mem::take(&mut state.parked) {
+            state.replacer.insert(pid);
+        }
     }
 
     /// Called by [`PageRef::drop`].
@@ -786,6 +870,56 @@ mod tests {
         let d = p.stats().snapshot().since(&before);
         assert_eq!(d.writes, 1);
         assert_eq!(p.fetch(pid).unwrap().read()[0], 7);
+    }
+
+    #[test]
+    fn gate_blocked_frames_park_and_unpark_on_durable_advance() {
+        // Many undurable frames over a tiny capacity: the pool must stay
+        // correct, and the durable-LSN advance must drain them without
+        // the caller issuing explicit flushes.
+        let p = pool(2);
+        p.set_wal_mode(true);
+        let mut pids = Vec::new();
+        for i in 0..20u8 {
+            let (pid, g) = p.new_page().unwrap();
+            g.write()[0] = i;
+            drop(g);
+            p.note_page_logged(pid, u64::from(i) + 1);
+            pids.push(pid);
+        }
+        // Nothing durable: everything is resident (parked), nothing hit
+        // the disk.
+        assert_eq!(p.resident(), 20);
+        assert_eq!(p.stats().snapshot().writes, 0);
+        // Half become durable: the advance evicts down toward capacity.
+        p.set_durable_lsn(10);
+        assert!(p.resident() <= 12, "resident: {}", p.resident());
+        // All durable: the pool drains to its capacity.
+        p.set_durable_lsn(20);
+        assert_eq!(p.resident(), 2);
+        // Data survived the parked phase.
+        for (i, &pid) in pids.iter().enumerate() {
+            assert_eq!(p.fetch(pid).unwrap().read()[0] as usize, i);
+        }
+    }
+
+    #[test]
+    fn parked_frame_can_be_refetched_and_modified() {
+        let p = pool(0);
+        p.set_wal_mode(true);
+        let (pid, g) = p.new_page().unwrap();
+        g.write()[0] = 1;
+        drop(g); // parked (touched, unlogged)
+        assert_eq!(p.resident(), 1);
+        // Re-pin the parked frame, modify, unpin: still gated, no loss.
+        let g = p.fetch(pid).unwrap();
+        g.write()[0] = 2;
+        drop(g);
+        assert_eq!(p.resident(), 1);
+        p.note_page_logged(pid, 7);
+        p.set_durable_lsn(7); // unparks and (capacity 0) evicts + writes
+        assert_eq!(p.resident(), 0);
+        assert_eq!(p.fetch(pid).unwrap().read()[0], 2);
     }
 
     #[test]

@@ -12,8 +12,15 @@
 //! * **records** ([`WalRecord`]) — LSN-stamped page images plus commit
 //!   and checkpoint records that carry an opaque metadata snapshot of the
 //!   index (root, height, object count, ...);
+//! * **delta records** ([`WalRecord::PageDelta`]) — byte-range diffs of a
+//!   page against its previous logged image within the same generation.
+//!   In-place bottom-up updates touch a few dozen bytes of a 1 KiB page,
+//!   so deltas cut log volume several-fold; full images are re-emitted as
+//!   periodic *anchors* ([`DeltaPolicy`]) so redo stays a bounded replay
+//!   of one generation;
 //! * **group commit** — the sync cadence is a [`SyncPolicy`]: every
-//!   commit, every *n* commits, or manual;
+//!   commit, every *n* commits, asynchronous (a background sync thread
+//!   batches `fsync`s and publishes durable-LSN watermarks), or manual;
 //! * **checkpoints as rewind** — a checkpoint makes the log durable,
 //!   flushes the buffer pool as the new base image, then *rewinds* the
 //!   log onto its own pages under a fresh generation number, reusing them
@@ -22,7 +29,9 @@
 //!   image up to the last durable commit, in order, onto the surviving
 //!   base image. Records are CRC-framed and generation-tagged, so a torn
 //!   tail (a write cut mid-page by power loss) is detected and discarded,
-//!   never replayed.
+//!   never replayed. Delta chains replay onto the full image that anchors
+//!   them — the first record of every page in a generation is always a
+//!   full image, so redo never depends on pre-crash disk content.
 //!
 //! The protocol is ARIES-style redo-only: the WAL-aware
 //! [`BufferPool`](bur_storage::BufferPool) mode guarantees no page leaves
@@ -54,13 +63,64 @@ mod log;
 pub use bur_storage::{Lsn, SyncPolicy};
 pub use log::{scan, ScanResult, Wal, WalStatsSnapshot, WAL_PAGE_MAGIC};
 
+/// When [`Wal::append_page`] may log a byte-range delta instead of a full
+/// page image.
+///
+/// Deltas are only ever taken against the previous logged image of the
+/// same page *within the current log generation*; the first image of a
+/// page after a checkpoint is always full. `anchor_every` bounds how long
+/// a delta chain may grow before a fresh full image (an *anchor*) is
+/// forced, so replay work per page stays bounded even within one
+/// generation and a single corrupt delta cannot poison an unbounded
+/// suffix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaPolicy {
+    /// Log deltas at all. Off reproduces the original full-image log.
+    pub enabled: bool,
+    /// Force a full-image anchor every this many records per page (one
+    /// anchor followed by `anchor_every - 1` deltas). Values below 2
+    /// disable deltas.
+    pub anchor_every: u32,
+}
+
+impl Default for DeltaPolicy {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            anchor_every: 16,
+        }
+    }
+}
+
+impl DeltaPolicy {
+    /// A policy that always logs full page images (the pre-delta format).
+    #[must_use]
+    pub fn full_images() -> Self {
+        Self {
+            enabled: false,
+            anchor_every: 16,
+        }
+    }
+}
+
+/// One contiguous byte range rewritten by a [`WalRecord::PageDelta`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaRange {
+    /// Byte offset of the range within the page.
+    pub offset: u16,
+    /// The new bytes at `offset`.
+    pub bytes: Vec<u8>,
+}
+
 /// One record in the log.
 ///
 /// Page images are *physical* redo: replaying them in log order is
-/// idempotent, so recovery needs no page-level LSN comparison. Commit and
-/// checkpoint records carry the index's serialized metadata snapshot
-/// (opaque bytes owned by `bur-core`), which makes every commit a
-/// consistent recovery point.
+/// idempotent, so recovery needs no page-level LSN comparison. Page
+/// deltas are physical too but *chained*: each applies onto the page
+/// state produced by the record `base_lsn`, which in-order replay
+/// guarantees is already in place. Commit and checkpoint records carry
+/// the index's serialized metadata snapshot (opaque bytes owned by
+/// `bur-core`), which makes every commit a consistent recovery point.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WalRecord {
     /// The full content of page `pid` as of the enclosing commit.
@@ -70,8 +130,19 @@ pub enum WalRecord {
         /// The page bytes (exactly one page).
         data: Vec<u8>,
     },
-    /// One index operation committed; `meta` is the index metadata
-    /// snapshot taken *after* the operation.
+    /// Byte ranges of page `pid` that changed since its previous logged
+    /// image (`base_lsn`) in the same generation.
+    PageDelta {
+        /// The page this delta belongs to.
+        pid: bur_storage::PageId,
+        /// LSN of the page's previous image/delta record — the state this
+        /// delta applies onto. Replay verifies the chain is unbroken.
+        base_lsn: Lsn,
+        /// Changed ranges, ascending and non-overlapping.
+        ranges: Vec<DeltaRange>,
+    },
+    /// One index operation (or batch of operations) committed; `meta` is
+    /// the index metadata snapshot taken *after* the last of them.
     Commit {
         /// Serialized index metadata (opaque to the log).
         meta: Vec<u8>,
@@ -85,37 +156,89 @@ pub enum WalRecord {
 }
 
 impl WalRecord {
-    /// Record kind tag on the wire.
-    pub(crate) fn kind(&self) -> u8 {
-        match self {
-            WalRecord::PageImage { .. } => 1,
-            WalRecord::Commit { .. } => 2,
-            WalRecord::Checkpoint { .. } => 3,
-        }
-    }
-
-    /// Short display name ("image" / "commit" / "checkpoint").
+    /// Short display name ("image" / "delta" / "commit" / "checkpoint").
     #[must_use]
     pub fn name(&self) -> &'static str {
         match self {
             WalRecord::PageImage { .. } => "image",
+            WalRecord::PageDelta { .. } => "delta",
             WalRecord::Commit { .. } => "commit",
             WalRecord::Checkpoint { .. } => "checkpoint",
         }
     }
 }
 
-/// CRC-32 (IEEE 802.3 polynomial, bitwise). Small and dependency-free;
-/// the log only needs torn-tail detection, not cryptographic strength.
+/// Apply the ranges of a [`WalRecord::PageDelta`] onto a page buffer.
+/// Returns `false` (page untouched beyond already-applied ranges) when a
+/// range falls outside the buffer — a corrupt record.
 #[must_use]
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
+pub fn apply_delta(page: &mut [u8], ranges: &[DeltaRange]) -> bool {
+    for r in ranges {
+        let start = r.offset as usize;
+        let end = start + r.bytes.len();
+        if end > page.len() {
+            return false;
+        }
+        page[start..end].copy_from_slice(&r.bytes);
+    }
+    true
+}
+
+/// CRC-32 slice-by-8 lookup tables (IEEE 802.3 polynomial), built at
+/// compile time. `T[0]` is the classic byte table; `T[k][b]` extends a
+/// byte's contribution `k` positions further into the stream, so eight
+/// bytes fold in one step.
+const CRC32_TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
             let mask = (crc & 1).wrapping_neg();
             crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            bit += 1;
         }
+        tables[0][i] = crc;
+        i += 1;
+    }
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
+};
+
+/// CRC-32 (IEEE 802.3 polynomial, slice-by-8). Small and
+/// dependency-free; the log only needs torn-tail detection, not
+/// cryptographic strength. Folding eight bytes per step keeps the CRC
+/// off the durable-update critical path (every appended record is
+/// framed with one).
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    const T: &[[u32; 256]; 8] = &CRC32_TABLES;
+    let mut crc = 0xFFFF_FFFFu32;
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        let lo = u32::from_le_bytes(c[0..4].try_into().unwrap()) ^ crc;
+        let hi = u32::from_le_bytes(c[4..8].try_into().unwrap());
+        crc = T[7][(lo & 0xFF) as usize]
+            ^ T[6][((lo >> 8) & 0xFF) as usize]
+            ^ T[5][((lo >> 16) & 0xFF) as usize]
+            ^ T[4][(lo >> 24) as usize]
+            ^ T[3][(hi & 0xFF) as usize]
+            ^ T[2][((hi >> 8) & 0xFF) as usize]
+            ^ T[1][((hi >> 16) & 0xFF) as usize]
+            ^ T[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ T[0][((crc ^ u32::from(b)) & 0xFF) as usize];
     }
     !crc
 }
@@ -141,7 +264,53 @@ mod tests {
             .name(),
             "image"
         );
+        assert_eq!(
+            WalRecord::PageDelta {
+                pid: 0,
+                base_lsn: 1,
+                ranges: vec![]
+            }
+            .name(),
+            "delta"
+        );
         assert_eq!(WalRecord::Commit { meta: vec![] }.name(), "commit");
         assert_eq!(WalRecord::Checkpoint { meta: vec![] }.name(), "checkpoint");
+    }
+
+    #[test]
+    fn apply_delta_bounds_checked() {
+        let mut page = vec![0u8; 16];
+        let ok = apply_delta(
+            &mut page,
+            &[
+                DeltaRange {
+                    offset: 2,
+                    bytes: vec![9, 9],
+                },
+                DeltaRange {
+                    offset: 14,
+                    bytes: vec![7, 7],
+                },
+            ],
+        );
+        assert!(ok);
+        assert_eq!(page[2], 9);
+        assert_eq!(page[15], 7);
+        let bad = apply_delta(
+            &mut page,
+            &[DeltaRange {
+                offset: 15,
+                bytes: vec![1, 1],
+            }],
+        );
+        assert!(!bad, "out-of-bounds range must be rejected");
+    }
+
+    #[test]
+    fn delta_policy_defaults() {
+        let p = DeltaPolicy::default();
+        assert!(p.enabled);
+        assert!(p.anchor_every >= 2);
+        assert!(!DeltaPolicy::full_images().enabled);
     }
 }

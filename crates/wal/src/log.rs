@@ -16,21 +16,35 @@
 //! [len u32] [crc32 u32] [kind u8] [lsn u64] [payload ...]
 //! ```
 //!
-//! with the CRC covering `kind..payload`. Within one page the stream is
-//! append-only, so a torn rewrite of the tail page (power cut half-way
-//! through the sector) either reproduces the old bytes exactly or breaks
-//! the CRC of the record under the tear — either way [`scan`] stops at a
-//! well-defined prefix and reports `torn_tail`.
+//! with the CRC covering `kind..payload`. Page-delta payloads (kind 4)
+//! are `[pid u32] [base_lsn u64] [count u16]` followed by `count` ranges
+//! of `[offset u16] [len u16] [bytes ...]`.
+//!
+//! Within one page the stream is append-only, so a torn rewrite of the
+//! tail page (power cut half-way through the sector) either reproduces
+//! the old bytes exactly or breaks the CRC of the record under the tear —
+//! either way [`scan`] stops at a well-defined prefix and reports
+//! `torn_tail`.
 //!
 //! A checkpoint *rewinds* the log: the chain's pages are recycled, the
 //! generation number is bumped, and a fresh stream starts at the anchor
 //! page with a [`WalRecord::Checkpoint`]. Stale pages of older
 //! generations are ignored by [`scan`] (generation mismatch ends the
 //! chain), so the log never grows past one generation of records.
+//!
+//! # Async group commit
+//!
+//! Under [`SyncPolicy::Async`] the `Wal` owns a background sync thread.
+//! A commit appends its record, flags a sync request and returns; the
+//! thread wakes, snapshots the tail page to disk, releases the log lock,
+//! syncs the device, and then publishes the durable-LSN watermark (to
+//! [`Wal::wait_durable`] waiters and the registered watcher). Commits
+//! that land while a sync is in flight are batched into the next one.
 
-use crate::{crc32, WalRecord};
+use crate::{crc32, DeltaPolicy, DeltaRange, WalRecord};
 use bur_storage::{DiskBackend, Lsn, PageId, StorageResult, SyncPolicy, INVALID_PAGE};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -47,8 +61,23 @@ const FRAME: usize = 8;
 /// Body prefix: kind tag + LSN.
 const BODY_PREFIX: usize = 9;
 
+/// A run of equal bytes shorter than this is folded into the surrounding
+/// changed ranges when diffing a page: each extra range costs a 4-byte
+/// header, so splitting on tiny gaps would grow the record.
+const DIFF_MERGE_GAP: usize = 8;
+
 fn wal_state_error(msg: &'static str) -> bur_storage::StorageError {
     bur_storage::StorageError::Io(std::io::Error::other(msg))
+}
+
+/// The previous logged image of a page within the current generation —
+/// the base the next delta is diffed against.
+struct PageTrack {
+    data: Box<[u8]>,
+    /// LSN of the record that produced `data`.
+    last_lsn: Lsn,
+    /// Records since the last full-image anchor.
+    since_anchor: u32,
 }
 
 /// Mutable log state behind the [`Wal`] lock.
@@ -73,6 +102,15 @@ struct WalInner {
     /// Set by [`Wal::reopen`]: the log must be rewound (checkpointed)
     /// before new records may be appended.
     needs_rewind: bool,
+    /// Per-page delta-encoder state, cleared at every rewind.
+    tracks: HashMap<PageId, PageTrack>,
+    /// Async: the background thread should sync as soon as it can.
+    sync_requested: bool,
+    /// Async: the background thread must exit.
+    shutdown: bool,
+    /// Async: a background sync failed; surfaced to the next caller that
+    /// asks about durability.
+    sync_error: Option<bur_storage::StorageError>,
 }
 
 /// Monotonic counters describing log activity since creation.
@@ -80,6 +118,9 @@ struct WalInner {
 struct WalCounters {
     records: AtomicU64,
     images: AtomicU64,
+    deltas: AtomicU64,
+    delta_bytes: AtomicU64,
+    delta_saved_bytes: AtomicU64,
     commits: AtomicU64,
     checkpoints: AtomicU64,
     syncs: AtomicU64,
@@ -93,8 +134,15 @@ struct WalCounters {
 pub struct WalStatsSnapshot {
     /// Records appended (all kinds).
     pub records: u64,
-    /// Page-image records appended.
+    /// Full page-image records appended (delta anchors included).
     pub images: u64,
+    /// Page-delta records appended.
+    pub deltas: u64,
+    /// Record-stream bytes spent on delta records (frame + body).
+    pub delta_bytes: u64,
+    /// Bytes the delta encoder avoided appending, versus logging a full
+    /// image for each delta record.
+    pub delta_saved_bytes: u64,
     /// Commit records appended.
     pub commits: u64,
     /// Checkpoints taken (log rewinds).
@@ -121,16 +169,19 @@ impl fmt::Display for WalStatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "gen {} lsn {} (durable {}) | {} records ({} images, {} commits, {} checkpoints) \
-             | {} B appended, {} page writes, {} syncs, {} pages",
+            "gen {} lsn {} (durable {}) | {} records ({} images, {} deltas, {} commits, \
+             {} checkpoints) | {} B appended ({} B saved by deltas), {} page writes, {} syncs, \
+             {} pages",
             self.generation,
             self.last_lsn,
             self.durable_lsn,
             self.records,
             self.images,
+            self.deltas,
             self.commits,
             self.checkpoints,
             self.bytes_appended,
+            self.delta_saved_bytes,
             self.page_writes,
             self.syncs,
             self.log_pages
@@ -138,196 +189,57 @@ impl fmt::Display for WalStatsSnapshot {
     }
 }
 
-/// The write-ahead log. See the [crate docs](crate) for the protocol;
-/// the on-disk layout is documented at the top of this source file.
-pub struct Wal {
+/// A record about to be appended, borrowing its payload. Internal twin of
+/// [`WalRecord`] so the hot path ([`Wal::append_page`]) never copies a
+/// page just to wrap it in an owned enum.
+enum RecordRef<'a> {
+    Image {
+        pid: PageId,
+        data: &'a [u8],
+    },
+    Delta {
+        pid: PageId,
+        base_lsn: Lsn,
+        ranges: &'a [DeltaRange],
+    },
+    Commit(&'a [u8]),
+    Checkpoint(&'a [u8]),
+}
+
+impl RecordRef<'_> {
+    fn kind(&self) -> u8 {
+        match self {
+            RecordRef::Image { .. } => 1,
+            RecordRef::Commit(_) => 2,
+            RecordRef::Checkpoint(_) => 3,
+            RecordRef::Delta { .. } => 4,
+        }
+    }
+}
+
+/// Callback invoked with each new durable-LSN watermark.
+type DurableWatcher = Box<dyn Fn(Lsn) + Send + Sync>;
+
+/// State shared between the [`Wal`] handle and its background syncer.
+struct WalShared {
     disk: Arc<dyn DiskBackend>,
     anchor: PageId,
     policy: SyncPolicy,
+    delta: DeltaPolicy,
     inner: Mutex<WalInner>,
     counters: WalCounters,
+    /// Wakes the background syncer (sync requested or shutdown).
+    sync_signal: Condvar,
+    /// Wakes threads blocked in [`Wal::wait_durable`].
+    durable_signal: Condvar,
+    /// Called (outside the log lock) with the new durable LSN after every
+    /// background sync; lets the buffer pool unblock gated flushes
+    /// without polling.
+    watcher: Mutex<Option<DurableWatcher>>,
 }
 
-impl Wal {
-    /// Create a fresh log: allocates the anchor page and writes an empty
-    /// generation-1 stream to it.
-    pub fn create(disk: Arc<dyn DiskBackend>, policy: SyncPolicy) -> StorageResult<Self> {
-        let anchor = disk.allocate()?;
-        let ps = disk.page_size();
-        let wal = Self {
-            disk,
-            anchor,
-            policy,
-            inner: Mutex::new(WalInner {
-                generation: 1,
-                cur: anchor,
-                buf: vec![0u8; ps].into_boxed_slice(),
-                used: 0,
-                chain: vec![anchor],
-                spare: Vec::new(),
-                next_lsn: 1,
-                last_lsn: 0,
-                durable_lsn: 0,
-                dirty_tail: false,
-                commits_since_sync: 0,
-                needs_rewind: false,
-            }),
-            counters: WalCounters::default(),
-        };
-        {
-            let mut inner = wal.inner.lock();
-            wal.write_cur_page(&mut inner, INVALID_PAGE)?;
-        }
-        Ok(wal)
-    }
-
-    /// Reopen an existing log for recovery: scans it and returns the
-    /// surviving records. The log is positioned *read-only* — it must be
-    /// rewound with [`Wal::checkpoint_rewind`] (after replaying the
-    /// records and flushing the new base image) before appending again.
-    pub fn reopen(
-        disk: Arc<dyn DiskBackend>,
-        anchor: PageId,
-        policy: SyncPolicy,
-    ) -> StorageResult<(Self, ScanResult)> {
-        let scanned = scan(disk.as_ref(), anchor)?;
-        let ps = disk.page_size();
-        let last = scanned.records.last().map_or(0, |&(lsn, _)| lsn);
-        let wal = Self {
-            disk,
-            anchor,
-            policy,
-            inner: Mutex::new(WalInner {
-                generation: scanned.generation,
-                cur: anchor,
-                buf: vec![0u8; ps].into_boxed_slice(),
-                used: 0,
-                chain: vec![anchor],
-                spare: scanned
-                    .pages
-                    .iter()
-                    .copied()
-                    .filter(|&p| p != anchor)
-                    .collect(),
-                next_lsn: last + 1,
-                last_lsn: last,
-                durable_lsn: last,
-                dirty_tail: false,
-                commits_since_sync: 0,
-                needs_rewind: true,
-            }),
-            counters: WalCounters::default(),
-        };
-        Ok((wal, scanned))
-    }
-
-    /// The anchor (first) page of the log chain.
-    #[must_use]
-    pub fn anchor(&self) -> PageId {
-        self.anchor
-    }
-
-    /// The configured sync cadence.
-    #[must_use]
-    pub fn policy(&self) -> SyncPolicy {
-        self.policy
-    }
-
-    /// Highest LSN assigned so far.
-    #[must_use]
-    pub fn last_lsn(&self) -> Lsn {
-        self.inner.lock().last_lsn
-    }
-
-    /// Highest LSN known durable (on disk and synced).
-    #[must_use]
-    pub fn durable_lsn(&self) -> Lsn {
-        self.inner.lock().durable_lsn
-    }
-
-    /// Counter snapshot for tooling and benches.
-    #[must_use]
-    pub fn stats(&self) -> WalStatsSnapshot {
-        let inner = self.inner.lock();
-        WalStatsSnapshot {
-            records: self.counters.records.load(Ordering::Relaxed),
-            images: self.counters.images.load(Ordering::Relaxed),
-            commits: self.counters.commits.load(Ordering::Relaxed),
-            checkpoints: self.counters.checkpoints.load(Ordering::Relaxed),
-            syncs: self.counters.syncs.load(Ordering::Relaxed),
-            page_writes: self.counters.page_writes.load(Ordering::Relaxed),
-            bytes_appended: self.counters.bytes_appended.load(Ordering::Relaxed),
-            rewinds: self.counters.rewinds.load(Ordering::Relaxed),
-            last_lsn: inner.last_lsn,
-            durable_lsn: inner.durable_lsn,
-            generation: inner.generation,
-            log_pages: inner.chain.len() + inner.spare.len(),
-        }
-    }
-
-    /// Append one record; returns its LSN. The record is durable only
-    /// after the next [`Wal::sync`] (or automatic sync via
-    /// [`Wal::commit`]'s policy).
-    pub fn append(&self, rec: &WalRecord) -> StorageResult<Lsn> {
-        let mut inner = self.inner.lock();
-        self.append_inner(&mut inner, rec)
-    }
-
-    /// Append a [`WalRecord::Commit`] and apply the sync policy. Returns
-    /// `(lsn, durable)` where `durable` says whether this commit is
-    /// already synced.
-    pub fn commit(&self, meta: Vec<u8>) -> StorageResult<(Lsn, bool)> {
-        let mut inner = self.inner.lock();
-        let lsn = self.append_inner(&mut inner, &WalRecord::Commit { meta })?;
-        inner.commits_since_sync += 1;
-        let do_sync = match self.policy {
-            SyncPolicy::EveryCommit => true,
-            SyncPolicy::GroupCommit(n) => inner.commits_since_sync >= n.max(1),
-            SyncPolicy::Manual => false,
-        };
-        if do_sync {
-            self.sync_inner(&mut inner)?;
-        }
-        self.counters.commits.fetch_add(1, Ordering::Relaxed);
-        Ok((lsn, do_sync))
-    }
-
-    /// Make every appended record durable: write the tail page and sync
-    /// the disk.
-    pub fn sync(&self) -> StorageResult<()> {
-        let mut inner = self.inner.lock();
-        self.sync_inner(&mut inner)
-    }
-
-    /// Checkpoint: recycle the current generation's pages, start a fresh
-    /// generation at the anchor whose first record is a
-    /// [`WalRecord::Checkpoint`] carrying `meta`, and sync it. The caller
-    /// must have flushed the buffer pool *before* this, so the on-disk
-    /// pages are a complete base image for `meta`.
-    pub fn checkpoint_rewind(&self, meta: Vec<u8>) -> StorageResult<Lsn> {
-        let mut inner = self.inner.lock();
-        let old_chain = std::mem::take(&mut inner.chain);
-        inner
-            .spare
-            .extend(old_chain.into_iter().filter(|&p| p != self.anchor));
-        inner.generation = inner.generation.wrapping_add(1);
-        inner.cur = self.anchor;
-        inner.used = 0;
-        inner.buf.fill(0);
-        inner.chain = vec![self.anchor];
-        inner.dirty_tail = true; // the fresh header must reach the disk
-        inner.needs_rewind = false;
-        inner.commits_since_sync = 0;
-        let lsn = self.append_inner(&mut inner, &WalRecord::Checkpoint { meta })?;
-        self.sync_inner(&mut inner)?;
-        self.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
-        self.counters.rewinds.fetch_add(1, Ordering::Relaxed);
-        Ok(lsn)
-    }
-
-    // ---- internals -------------------------------------------------------
-
-    fn append_inner(&self, inner: &mut WalInner, rec: &WalRecord) -> StorageResult<Lsn> {
+impl WalShared {
+    fn append_inner(&self, inner: &mut WalInner, rec: &RecordRef<'_>) -> StorageResult<Lsn> {
         if inner.needs_rewind {
             return Err(wal_state_error(
                 "wal: reopened log must be checkpoint-rewound before appending",
@@ -341,15 +253,30 @@ impl Wal {
         body.push(rec.kind());
         body.extend_from_slice(&lsn.to_le_bytes());
         match rec {
-            WalRecord::PageImage { pid, data } => {
+            RecordRef::Image { pid, data } => {
                 body.extend_from_slice(&pid.to_le_bytes());
                 body.extend_from_slice(data);
                 self.counters.images.fetch_add(1, Ordering::Relaxed);
             }
-            WalRecord::Commit { meta } => {
+            RecordRef::Delta {
+                pid,
+                base_lsn,
+                ranges,
+            } => {
+                body.extend_from_slice(&pid.to_le_bytes());
+                body.extend_from_slice(&base_lsn.to_le_bytes());
+                body.extend_from_slice(&(ranges.len() as u16).to_le_bytes());
+                for r in *ranges {
+                    body.extend_from_slice(&r.offset.to_le_bytes());
+                    body.extend_from_slice(&(r.bytes.len() as u16).to_le_bytes());
+                    body.extend_from_slice(&r.bytes);
+                }
+                self.counters.deltas.fetch_add(1, Ordering::Relaxed);
+            }
+            RecordRef::Commit(meta) => {
                 body.extend_from_slice(meta);
             }
-            WalRecord::Checkpoint { meta } => {
+            RecordRef::Checkpoint(meta) => {
                 body.extend_from_slice(meta);
             }
         }
@@ -357,6 +284,11 @@ impl Wal {
         frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(&body).to_le_bytes());
         frame.extend_from_slice(&body);
+        if let RecordRef::Delta { .. } = rec {
+            self.counters
+                .delta_bytes
+                .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        }
 
         let cap = self.disk.page_size() - HDR;
         let mut off = 0;
@@ -416,6 +348,497 @@ impl Wal {
         self.counters.syncs.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
+
+    fn notify_watcher(&self, lsn: Lsn) {
+        let watcher = self.watcher.lock();
+        if let Some(f) = watcher.as_ref() {
+            f(lsn);
+        }
+    }
+
+    /// The background group-committer (Async policy). Batches every sync
+    /// request that arrives while a device sync is in flight into the
+    /// next one, and syncs the device *outside* the log lock so appenders
+    /// overlap the I/O.
+    fn syncer_loop(self: &Arc<Self>) {
+        loop {
+            let target = {
+                let mut inner = self.inner.lock();
+                while !inner.sync_requested && !inner.shutdown {
+                    self.sync_signal.wait(&mut inner);
+                }
+                if inner.shutdown {
+                    // Exit without a final sync: dropping the log models a
+                    // crash in tests, and clean shutdowns checkpoint
+                    // (which syncs synchronously) before dropping.
+                    return;
+                }
+                inner.sync_requested = false;
+                if inner.dirty_tail {
+                    if let Err(e) = self.write_cur_page(&mut inner, INVALID_PAGE) {
+                        inner.sync_error = Some(e);
+                        drop(inner);
+                        self.durable_signal.notify_all();
+                        continue;
+                    }
+                    inner.dirty_tail = false;
+                }
+                // Everything at or below this LSN is fully written to log
+                // pages; later appends may rewrite the tail page but only
+                // ever extend its (append-only) stream.
+                inner.last_lsn
+            };
+            let synced = self.disk.sync();
+            let ok = synced.is_ok();
+            {
+                let mut inner = self.inner.lock();
+                match synced {
+                    Ok(()) => {
+                        if target > inner.durable_lsn {
+                            inner.durable_lsn = target;
+                        }
+                        inner.commits_since_sync = 0;
+                        self.counters.syncs.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => inner.sync_error = Some(e),
+                }
+            }
+            self.durable_signal.notify_all();
+            if ok {
+                self.notify_watcher(target);
+            }
+        }
+    }
+}
+
+/// The write-ahead log. See the [crate docs](crate) for the protocol;
+/// the on-disk layout is documented at the top of this source file.
+pub struct Wal {
+    shared: Arc<WalShared>,
+    /// Background group-committer, live only under [`SyncPolicy::Async`].
+    syncer: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Wal {
+    /// Create a fresh log with the default [`DeltaPolicy`]: allocates the
+    /// anchor page and writes an empty generation-1 stream to it.
+    pub fn create(disk: Arc<dyn DiskBackend>, policy: SyncPolicy) -> StorageResult<Self> {
+        Self::create_with(disk, policy, DeltaPolicy::default())
+    }
+
+    /// Create a fresh log with an explicit delta policy.
+    pub fn create_with(
+        disk: Arc<dyn DiskBackend>,
+        policy: SyncPolicy,
+        delta: DeltaPolicy,
+    ) -> StorageResult<Self> {
+        let anchor = disk.allocate()?;
+        let ps = disk.page_size();
+        let shared = Arc::new(WalShared {
+            disk,
+            anchor,
+            policy,
+            delta,
+            inner: Mutex::new(WalInner {
+                generation: 1,
+                cur: anchor,
+                buf: vec![0u8; ps].into_boxed_slice(),
+                used: 0,
+                chain: vec![anchor],
+                spare: Vec::new(),
+                next_lsn: 1,
+                last_lsn: 0,
+                durable_lsn: 0,
+                dirty_tail: false,
+                commits_since_sync: 0,
+                needs_rewind: false,
+                tracks: HashMap::new(),
+                sync_requested: false,
+                shutdown: false,
+                sync_error: None,
+            }),
+            counters: WalCounters::default(),
+            sync_signal: Condvar::new(),
+            durable_signal: Condvar::new(),
+            watcher: Mutex::new(None),
+        });
+        {
+            let mut inner = shared.inner.lock();
+            shared.write_cur_page(&mut inner, INVALID_PAGE)?;
+        }
+        Ok(Self::finish(shared))
+    }
+
+    /// Reopen an existing log for recovery with the default
+    /// [`DeltaPolicy`]: scans it and returns the surviving records. The
+    /// log is positioned *read-only* — it must be rewound with
+    /// [`Wal::checkpoint_rewind`] (after replaying the records and
+    /// flushing the new base image) before appending again.
+    pub fn reopen(
+        disk: Arc<dyn DiskBackend>,
+        anchor: PageId,
+        policy: SyncPolicy,
+    ) -> StorageResult<(Self, ScanResult)> {
+        Self::reopen_with(disk, anchor, policy, DeltaPolicy::default())
+    }
+
+    /// Reopen with an explicit delta policy (see [`Wal::reopen`]).
+    pub fn reopen_with(
+        disk: Arc<dyn DiskBackend>,
+        anchor: PageId,
+        policy: SyncPolicy,
+        delta: DeltaPolicy,
+    ) -> StorageResult<(Self, ScanResult)> {
+        let scanned = scan(disk.as_ref(), anchor)?;
+        let ps = disk.page_size();
+        let last = scanned.records.last().map_or(0, |&(lsn, _)| lsn);
+        let shared = Arc::new(WalShared {
+            disk,
+            anchor,
+            policy,
+            delta,
+            inner: Mutex::new(WalInner {
+                generation: scanned.generation,
+                cur: anchor,
+                buf: vec![0u8; ps].into_boxed_slice(),
+                used: 0,
+                chain: vec![anchor],
+                spare: scanned
+                    .pages
+                    .iter()
+                    .copied()
+                    .filter(|&p| p != anchor)
+                    .collect(),
+                next_lsn: last + 1,
+                last_lsn: last,
+                durable_lsn: last,
+                dirty_tail: false,
+                commits_since_sync: 0,
+                needs_rewind: true,
+                tracks: HashMap::new(),
+                sync_requested: false,
+                shutdown: false,
+                sync_error: None,
+            }),
+            counters: WalCounters::default(),
+            sync_signal: Condvar::new(),
+            durable_signal: Condvar::new(),
+            watcher: Mutex::new(None),
+        });
+        Ok((Self::finish(shared), scanned))
+    }
+
+    /// Spawn the background syncer when the policy asks for one.
+    fn finish(shared: Arc<WalShared>) -> Self {
+        let syncer = if shared.policy == SyncPolicy::Async {
+            let s = shared.clone();
+            Some(std::thread::spawn(move || s.syncer_loop()))
+        } else {
+            None
+        };
+        Self { shared, syncer }
+    }
+
+    /// The anchor (first) page of the log chain.
+    #[must_use]
+    pub fn anchor(&self) -> PageId {
+        self.shared.anchor
+    }
+
+    /// The configured sync cadence.
+    #[must_use]
+    pub fn policy(&self) -> SyncPolicy {
+        self.shared.policy
+    }
+
+    /// The configured delta policy.
+    #[must_use]
+    pub fn delta_policy(&self) -> DeltaPolicy {
+        self.shared.delta
+    }
+
+    /// Highest LSN assigned so far.
+    #[must_use]
+    pub fn last_lsn(&self) -> Lsn {
+        self.shared.inner.lock().last_lsn
+    }
+
+    /// Highest LSN known durable (on disk and synced).
+    #[must_use]
+    pub fn durable_lsn(&self) -> Lsn {
+        self.shared.inner.lock().durable_lsn
+    }
+
+    /// Register the durable-LSN watcher: called (outside the log lock)
+    /// after every *background* sync with the new watermark. Synchronous
+    /// sync paths report durability through their return values instead.
+    pub fn set_durable_watcher(&self, f: Box<dyn Fn(Lsn) + Send + Sync>) {
+        *self.shared.watcher.lock() = Some(f);
+    }
+
+    /// Block until every record at or below `lsn` is durable; returns the
+    /// durable watermark. Under [`SyncPolicy::Async`] this waits on the
+    /// background thread; under the synchronous policies it syncs inline.
+    pub fn wait_durable(&self, lsn: Lsn) -> StorageResult<Lsn> {
+        let mut inner = self.shared.inner.lock();
+        loop {
+            // Success first: a caller whose records are already durable
+            // must not be handed a later batch's sync failure (that error
+            // stays queued for a waiter it actually affects).
+            if inner.durable_lsn >= lsn {
+                return Ok(inner.durable_lsn);
+            }
+            if let Some(e) = inner.sync_error.take() {
+                return Err(e);
+            }
+            if self.syncer.is_none() {
+                self.shared.sync_inner(&mut inner)?;
+                continue;
+            }
+            inner.sync_requested = true;
+            self.shared.sync_signal.notify_all();
+            self.shared.durable_signal.wait(&mut inner);
+        }
+    }
+
+    /// Counter snapshot for tooling and benches.
+    #[must_use]
+    pub fn stats(&self) -> WalStatsSnapshot {
+        let c = &self.shared.counters;
+        let inner = self.shared.inner.lock();
+        WalStatsSnapshot {
+            records: c.records.load(Ordering::Relaxed),
+            images: c.images.load(Ordering::Relaxed),
+            deltas: c.deltas.load(Ordering::Relaxed),
+            delta_bytes: c.delta_bytes.load(Ordering::Relaxed),
+            delta_saved_bytes: c.delta_saved_bytes.load(Ordering::Relaxed),
+            commits: c.commits.load(Ordering::Relaxed),
+            checkpoints: c.checkpoints.load(Ordering::Relaxed),
+            syncs: c.syncs.load(Ordering::Relaxed),
+            page_writes: c.page_writes.load(Ordering::Relaxed),
+            bytes_appended: c.bytes_appended.load(Ordering::Relaxed),
+            rewinds: c.rewinds.load(Ordering::Relaxed),
+            last_lsn: inner.last_lsn,
+            durable_lsn: inner.durable_lsn,
+            generation: inner.generation,
+            log_pages: inner.chain.len() + inner.spare.len(),
+        }
+    }
+
+    /// Append one record; returns its LSN. The record is durable only
+    /// after the next [`Wal::sync`] (or automatic sync via
+    /// [`Wal::commit`]'s policy).
+    pub fn append(&self, rec: &WalRecord) -> StorageResult<Lsn> {
+        let mut inner = self.shared.inner.lock();
+        let rref = match rec {
+            WalRecord::PageImage { pid, data } => RecordRef::Image { pid: *pid, data },
+            WalRecord::PageDelta {
+                pid,
+                base_lsn,
+                ranges,
+            } => RecordRef::Delta {
+                pid: *pid,
+                base_lsn: *base_lsn,
+                ranges,
+            },
+            WalRecord::Commit { meta } => RecordRef::Commit(meta),
+            WalRecord::Checkpoint { meta } => RecordRef::Checkpoint(meta),
+        };
+        self.shared.append_inner(&mut inner, &rref)
+    }
+
+    /// Log the current content of page `pid`, letting the delta encoder
+    /// choose between a full image and a [`WalRecord::PageDelta`] against
+    /// the page's previous image in this generation (see [`DeltaPolicy`]).
+    /// Returns the record's LSN. `data` must be exactly one page; a copy
+    /// is retained as the base for the page's next delta (reusing the
+    /// page's existing track buffer, so the steady state allocates
+    /// nothing).
+    pub fn append_page(&self, pid: PageId, data: &[u8]) -> StorageResult<Lsn> {
+        let shared = &self.shared;
+        let delta = shared.delta;
+        let mut inner = shared.inner.lock();
+        let deltas_on =
+            delta.enabled && delta.anchor_every >= 2 && data.len() <= usize::from(u16::MAX);
+        if deltas_on {
+            if let Some(track) = inner.tracks.get(&pid) {
+                if track.data.len() == data.len() && track.since_anchor + 1 < delta.anchor_every {
+                    let ranges = diff_ranges(&track.data, data);
+                    let delta_body: usize =
+                        14 + ranges.iter().map(|r| 4 + r.bytes.len()).sum::<usize>();
+                    // Worth a delta only when it actually beats the full
+                    // image (a full rewrite degenerates to one big range).
+                    if delta_body < 4 + data.len() {
+                        let base_lsn = track.last_lsn;
+                        let lsn = shared.append_inner(
+                            &mut inner,
+                            &RecordRef::Delta {
+                                pid,
+                                base_lsn,
+                                ranges: &ranges,
+                            },
+                        )?;
+                        shared
+                            .counters
+                            .delta_saved_bytes
+                            .fetch_add((4 + data.len() - delta_body) as u64, Ordering::Relaxed);
+                        let track = inner.tracks.get_mut(&pid).expect("track checked above");
+                        track.data.copy_from_slice(data);
+                        track.last_lsn = lsn;
+                        track.since_anchor += 1;
+                        return Ok(lsn);
+                    }
+                }
+            }
+        }
+        let lsn = shared.append_inner(&mut inner, &RecordRef::Image { pid, data })?;
+        if deltas_on {
+            match inner.tracks.get_mut(&pid) {
+                Some(track) if track.data.len() == data.len() => {
+                    track.data.copy_from_slice(data);
+                    track.last_lsn = lsn;
+                    track.since_anchor = 0;
+                }
+                _ => {
+                    inner.tracks.insert(
+                        pid,
+                        PageTrack {
+                            data: data.to_vec().into_boxed_slice(),
+                            last_lsn: lsn,
+                            since_anchor: 0,
+                        },
+                    );
+                }
+            }
+        }
+        Ok(lsn)
+    }
+
+    /// Append a [`WalRecord::Commit`] and apply the sync policy. Returns
+    /// `(lsn, durable)` where `durable` says whether this commit is
+    /// already synced. Under [`SyncPolicy::Async`] the commit returns
+    /// immediately with `durable == false` and the background thread
+    /// syncs it as part of the next batch ([`Wal::wait_durable`] blocks
+    /// until then).
+    pub fn commit(&self, meta: Vec<u8>) -> StorageResult<(Lsn, bool)> {
+        let mut inner = self.shared.inner.lock();
+        let lsn = self
+            .shared
+            .append_inner(&mut inner, &RecordRef::Commit(&meta))?;
+        inner.commits_since_sync += 1;
+        let do_sync = match self.shared.policy {
+            SyncPolicy::EveryCommit => true,
+            SyncPolicy::GroupCommit(n) => inner.commits_since_sync >= n.max(1),
+            SyncPolicy::Async => {
+                inner.sync_requested = true;
+                self.shared.sync_signal.notify_all();
+                false
+            }
+            SyncPolicy::Manual => false,
+        };
+        if do_sync {
+            self.shared.sync_inner(&mut inner)?;
+        }
+        self.shared.counters.commits.fetch_add(1, Ordering::Relaxed);
+        Ok((lsn, do_sync))
+    }
+
+    /// Make every appended record durable: write the tail page and sync
+    /// the disk (inline, regardless of policy).
+    pub fn sync(&self) -> StorageResult<()> {
+        let mut inner = self.shared.inner.lock();
+        if let Some(e) = inner.sync_error.take() {
+            return Err(e);
+        }
+        self.shared.sync_inner(&mut inner)
+    }
+
+    /// Checkpoint: recycle the current generation's pages, start a fresh
+    /// generation at the anchor whose first record is a
+    /// [`WalRecord::Checkpoint`] carrying `meta`, and sync it. The caller
+    /// must have flushed the buffer pool *before* this, so the on-disk
+    /// pages are a complete base image for `meta`.
+    pub fn checkpoint_rewind(&self, meta: Vec<u8>) -> StorageResult<Lsn> {
+        let mut inner = self.shared.inner.lock();
+        let old_chain = std::mem::take(&mut inner.chain);
+        inner
+            .spare
+            .extend(old_chain.into_iter().filter(|&p| p != self.shared.anchor));
+        inner.generation = inner.generation.wrapping_add(1);
+        inner.cur = self.shared.anchor;
+        inner.used = 0;
+        inner.buf.fill(0);
+        inner.chain = vec![self.shared.anchor];
+        inner.dirty_tail = true; // the fresh header must reach the disk
+        inner.needs_rewind = false;
+        inner.commits_since_sync = 0;
+        // The new generation's first image of every page is full again.
+        inner.tracks.clear();
+        let lsn = self
+            .shared
+            .append_inner(&mut inner, &RecordRef::Checkpoint(&meta))?;
+        self.shared.sync_inner(&mut inner)?;
+        self.shared
+            .counters
+            .checkpoints
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.counters.rewinds.fetch_add(1, Ordering::Relaxed);
+        Ok(lsn)
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        if let Some(handle) = self.syncer.take() {
+            {
+                let mut inner = self.shared.inner.lock();
+                inner.shutdown = true;
+            }
+            self.shared.sync_signal.notify_all();
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Diff `new` against `old` (equal lengths) into ascending changed
+/// ranges, folding gaps shorter than [`DIFF_MERGE_GAP`] equal bytes into
+/// the surrounding ranges.
+fn diff_ranges(old: &[u8], new: &[u8]) -> Vec<DeltaRange> {
+    debug_assert_eq!(old.len(), new.len());
+    let n = new.len();
+    let mut ranges = Vec::new();
+    let mut i = 0;
+    while i < n {
+        // Fast-skip equal prefixes in 8-byte chunks.
+        while i + 8 <= n && old[i..i + 8] == new[i..i + 8] {
+            i += 8;
+        }
+        while i < n && old[i] == new[i] {
+            i += 1;
+        }
+        if i == n {
+            break;
+        }
+        let start = i;
+        let mut end = i + 1;
+        let mut j = i + 1;
+        let mut gap = 0;
+        while j < n && gap < DIFF_MERGE_GAP {
+            if old[j] != new[j] {
+                end = j + 1;
+                gap = 0;
+            } else {
+                gap += 1;
+            }
+            j += 1;
+        }
+        ranges.push(DeltaRange {
+            offset: start as u16,
+            bytes: new[start..end].to_vec(),
+        });
+        i = end;
+    }
+    ranges
 }
 
 /// What [`scan`] found in a log chain.
@@ -539,6 +962,13 @@ pub fn scan(disk: &dyn DiskBackend, anchor: PageId) -> StorageResult<ScanResult>
             3 => WalRecord::Checkpoint {
                 meta: payload.to_vec(),
             },
+            4 => match parse_delta(payload) {
+                Some(rec) => rec,
+                None => {
+                    out.torn_tail = true;
+                    break;
+                }
+            },
             _ => {
                 out.torn_tail = true;
                 break;
@@ -554,9 +984,47 @@ pub fn scan(disk: &dyn DiskBackend, anchor: PageId) -> StorageResult<ScanResult>
     Ok(out)
 }
 
+/// Parse a [`WalRecord::PageDelta`] payload; `None` on any bound
+/// violation (treated as a torn record by the caller).
+fn parse_delta(payload: &[u8]) -> Option<WalRecord> {
+    if payload.len() < 14 {
+        return None;
+    }
+    let pid = u32::from_le_bytes(payload[0..4].try_into().unwrap());
+    let base_lsn = u64::from_le_bytes(payload[4..12].try_into().unwrap());
+    let count = u16::from_le_bytes(payload[12..14].try_into().unwrap()) as usize;
+    let mut ranges = Vec::with_capacity(count.min(1 << 12));
+    let mut off = 14;
+    for _ in 0..count {
+        if off + 4 > payload.len() {
+            return None;
+        }
+        let offset = u16::from_le_bytes(payload[off..off + 2].try_into().unwrap());
+        let len = u16::from_le_bytes(payload[off + 2..off + 4].try_into().unwrap()) as usize;
+        off += 4;
+        if off + len > payload.len() {
+            return None;
+        }
+        ranges.push(DeltaRange {
+            offset,
+            bytes: payload[off..off + len].to_vec(),
+        });
+        off += len;
+    }
+    if off != payload.len() {
+        return None;
+    }
+    Some(WalRecord::PageDelta {
+        pid,
+        base_lsn,
+        ranges,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::apply_delta;
     use bur_storage::MemDisk;
 
     fn disk(ps: usize) -> Arc<MemDisk> {
@@ -762,6 +1230,236 @@ mod tests {
         let text = wal.stats().to_string();
         assert!(text.contains("records"), "{text}");
         assert!(text.contains("gen 1"), "{text}");
+        assert!(text.contains("deltas"), "{text}");
         assert_eq!(wal.policy(), SyncPolicy::EveryCommit);
+    }
+
+    // ---- delta records ---------------------------------------------------
+
+    #[test]
+    fn append_page_logs_full_then_delta() {
+        let d = disk(256);
+        let wal = Wal::create(d.clone(), SyncPolicy::Manual).unwrap();
+        let mut page = vec![0u8; 256];
+        page[10] = 1;
+        let l1 = wal.append_page(7, &page).unwrap();
+        page[10] = 2;
+        page[200] = 9;
+        let l2 = wal.append_page(7, &page).unwrap();
+        wal.sync().unwrap();
+
+        let stats = wal.stats();
+        assert_eq!(stats.images, 1, "first touch is a full image");
+        assert_eq!(stats.deltas, 1);
+        assert!(
+            stats.delta_saved_bytes > 150,
+            "saved: {}",
+            stats.delta_saved_bytes
+        );
+
+        let s = scan(d.as_ref(), wal.anchor()).unwrap();
+        assert_eq!(s.records.len(), 2);
+        let (lsn1, WalRecord::PageImage { pid: 7, data }) = &s.records[0] else {
+            panic!("first record must be a full image: {:?}", s.records[0]);
+        };
+        assert_eq!(*lsn1, l1);
+        let (
+            lsn2,
+            WalRecord::PageDelta {
+                pid: 7,
+                base_lsn,
+                ranges,
+            },
+        ) = &s.records[1]
+        else {
+            panic!("second record must be a delta: {:?}", s.records[1]);
+        };
+        assert_eq!(*lsn2, l2);
+        assert_eq!(*base_lsn, l1, "delta chains to the previous image");
+        // Replaying the chain reproduces the final page.
+        let mut replayed = data.clone();
+        assert!(apply_delta(&mut replayed, ranges));
+        assert_eq!(replayed, page);
+    }
+
+    #[test]
+    fn anchor_cadence_forces_full_images() {
+        let d = disk(512);
+        let wal = Wal::create_with(
+            d.clone(),
+            SyncPolicy::Manual,
+            DeltaPolicy {
+                enabled: true,
+                anchor_every: 4,
+            },
+        )
+        .unwrap();
+        let mut page = vec![0u8; 512];
+        for i in 0..12u8 {
+            page[i as usize] = i + 1;
+            wal.append_page(3, &page).unwrap();
+        }
+        wal.sync().unwrap();
+        let stats = wal.stats();
+        // Records 1, 5, 9 are anchors (every 4th), the rest deltas.
+        assert_eq!(stats.images, 3, "{stats}");
+        assert_eq!(stats.deltas, 9, "{stats}");
+        // Replay the mixed chain and compare against the final state.
+        let s = scan(d.as_ref(), wal.anchor()).unwrap();
+        let mut replayed = vec![0u8; 512];
+        for (_, rec) in &s.records {
+            match rec {
+                WalRecord::PageImage { data, .. } => replayed.copy_from_slice(data),
+                WalRecord::PageDelta { ranges, .. } => {
+                    assert!(apply_delta(&mut replayed, ranges));
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(replayed, page);
+    }
+
+    #[test]
+    fn full_rewrite_falls_back_to_full_image() {
+        let d = disk(256);
+        let wal = Wal::create(d.clone(), SyncPolicy::Manual).unwrap();
+        wal.append_page(1, &[0xAA; 256]).unwrap();
+        // Every byte changed: a delta would be bigger than the image.
+        wal.append_page(1, &[0x55; 256]).unwrap();
+        let stats = wal.stats();
+        assert_eq!(stats.images, 2);
+        assert_eq!(stats.deltas, 0);
+    }
+
+    #[test]
+    fn disabled_delta_policy_always_logs_full_images() {
+        let d = disk(256);
+        let wal =
+            Wal::create_with(d.clone(), SyncPolicy::Manual, DeltaPolicy::full_images()).unwrap();
+        let mut page = vec![0u8; 256];
+        for i in 0..5u8 {
+            page[0] = i;
+            wal.append_page(2, &page).unwrap();
+        }
+        assert_eq!(wal.stats().images, 5);
+        assert_eq!(wal.stats().deltas, 0);
+        assert_eq!(wal.delta_policy(), DeltaPolicy::full_images());
+    }
+
+    #[test]
+    fn rewind_resets_delta_chains() {
+        let d = disk(256);
+        let wal = Wal::create(d.clone(), SyncPolicy::EveryCommit).unwrap();
+        let mut page = vec![0u8; 256];
+        wal.append_page(4, &page).unwrap();
+        page[3] = 1;
+        wal.append_page(4, &page).unwrap();
+        wal.commit(vec![1]).unwrap();
+        wal.checkpoint_rewind(vec![2]).unwrap();
+        // First touch after the rewind must be a full image again.
+        page[3] = 2;
+        wal.append_page(4, &page).unwrap();
+        wal.commit(vec![3]).unwrap();
+        let s = scan(d.as_ref(), wal.anchor()).unwrap();
+        assert!(
+            matches!(s.records[1].1, WalRecord::PageImage { .. }),
+            "post-rewind image must be full: {:?}",
+            s.records[1].1
+        );
+    }
+
+    #[test]
+    fn diff_ranges_merges_small_gaps() {
+        let old = vec![0u8; 64];
+        let mut new = old.clone();
+        new[10] = 1;
+        new[12] = 1; // 1-byte gap: merged
+        new[40] = 1; // far away: separate range
+        let ranges = diff_ranges(&old, &new);
+        assert_eq!(ranges.len(), 2, "{ranges:?}");
+        assert_eq!(ranges[0].offset, 10);
+        assert_eq!(ranges[0].bytes, vec![1, 0, 1]);
+        assert_eq!(ranges[1].offset, 40);
+        assert_eq!(ranges[1].bytes, vec![1]);
+        // Round-trip.
+        let mut replayed = old.clone();
+        assert!(apply_delta(&mut replayed, &ranges));
+        assert_eq!(replayed, new);
+    }
+
+    #[test]
+    fn diff_ranges_empty_for_identical_pages() {
+        let page = vec![7u8; 128];
+        assert!(diff_ranges(&page, &page).is_empty());
+    }
+
+    // ---- async group commit ---------------------------------------------
+
+    #[test]
+    fn async_commit_returns_immediately_and_becomes_durable() {
+        let d = disk(256);
+        let wal = Wal::create(d.clone(), SyncPolicy::Async).unwrap();
+        let mut last = 0;
+        for i in 0..10u8 {
+            wal.append_page(1, &vec![i; 256]).unwrap();
+            let (lsn, durable) = wal.commit(vec![i]).unwrap();
+            assert!(!durable, "async commits never sync inline");
+            last = lsn;
+        }
+        let watermark = wal.wait_durable(last).unwrap();
+        assert!(watermark >= last);
+        assert_eq!(wal.durable_lsn(), watermark);
+        let stats = wal.stats();
+        assert!(
+            stats.syncs <= stats.commits,
+            "background thread batches syncs: {stats}"
+        );
+        // Everything survives a scan.
+        let s = scan(d.as_ref(), wal.anchor()).unwrap();
+        assert_eq!(
+            s.records
+                .iter()
+                .filter(|(_, r)| r.name() == "commit")
+                .count(),
+            10
+        );
+    }
+
+    #[test]
+    fn async_watcher_publishes_watermarks() {
+        use std::sync::atomic::AtomicU64;
+        let d = disk(256);
+        let wal = Wal::create(d, SyncPolicy::Async).unwrap();
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = seen.clone();
+        wal.set_durable_watcher(Box::new(move |lsn| {
+            seen2.fetch_max(lsn, Ordering::Relaxed);
+        }));
+        let (lsn, _) = wal.commit(b"x".to_vec()).unwrap();
+        wal.wait_durable(lsn).unwrap();
+        assert!(seen.load(Ordering::Relaxed) >= lsn);
+    }
+
+    #[test]
+    fn async_checkpoint_rewind_is_synchronous() {
+        let d = disk(256);
+        let wal = Wal::create(d.clone(), SyncPolicy::Async).unwrap();
+        wal.append_page(2, &[9; 256]).unwrap();
+        wal.commit(vec![1]).unwrap();
+        wal.checkpoint_rewind(vec![2]).unwrap();
+        assert_eq!(wal.durable_lsn(), wal.last_lsn());
+        let s = scan(d.as_ref(), wal.anchor()).unwrap();
+        assert_eq!(s.records.len(), 1);
+        assert!(matches!(s.records[0].1, WalRecord::Checkpoint { .. }));
+        drop(wal); // must join the syncer without hanging
+    }
+
+    #[test]
+    fn wait_durable_inline_without_background_thread() {
+        let d = disk(256);
+        let wal = Wal::create(d, SyncPolicy::Manual).unwrap();
+        let (lsn, durable) = wal.commit(vec![1]).unwrap();
+        assert!(!durable);
+        assert_eq!(wal.wait_durable(lsn).unwrap(), lsn);
     }
 }

@@ -35,7 +35,14 @@ fn usage() -> ExitCode {
          \x20 burctl knn <file> <x> <y> <k>\n\
          \x20 burctl stats <file> [--updates N]\n\
          \x20 burctl recover <file> [--strategy td|lbu|gbu]\n\
-         \x20 burctl wal-stats <file>"
+         \x20 burctl wal-stats <file>\n\
+         \n\
+         wal-stats reads the write-ahead log of a --durable file and reports,\n\
+         besides the generation / page / LSN figures: full-image vs delta\n\
+         record counts (`N full images, M deltas`), the wire bytes the delta\n\
+         encoder spent and saved versus full-image logging (`delta bytes`),\n\
+         and the observed anchor cadence (page records per full-image anchor\n\
+         — the configured ceiling is WalOptions::delta.anchor_every)."
     );
     ExitCode::FAILURE
 }
@@ -271,8 +278,10 @@ fn cmd_recover(path: &str, rest: &[String]) -> Result<(), String> {
         report.recovered_len, report.recovered_lsn, report.log_generation
     );
     println!(
-        "replayed {} page images across {} committed ops ({} log records scanned{})",
+        "replayed {} full page images + {} deltas across {} committed ops \
+         ({} log records scanned{})",
         report.replayed_images,
+        report.replayed_deltas,
         report.committed_ops,
         report.scanned_records,
         if report.torn_tail {
@@ -289,14 +298,27 @@ fn cmd_wal_stats(path: &str) -> Result<(), String> {
     let opts = IndexOptions::generalized();
     let disk =
         FileDisk::open(path, opts.page_size).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let page_size = opts.page_size as u64;
     let scan = bur::wal::scan(&disk, 1).map_err(|e| format!("scan: {e}"))?;
     if !scan.valid {
         return Err("no write-ahead log in this file (built without --durable?)".into());
     }
-    let (mut images, mut commits, mut checkpoints) = (0u64, 0u64, 0u64);
+    let (mut images, mut deltas, mut commits, mut checkpoints) = (0u64, 0u64, 0u64, 0u64);
+    let (mut delta_bytes, mut delta_saved) = (0u64, 0u64);
     for (_, rec) in &scan.records {
         match rec {
             WalRecord::PageImage { .. } => images += 1,
+            WalRecord::PageDelta { ranges, .. } => {
+                deltas += 1;
+                // Wire size of the delta payload (pid + base_lsn + count
+                // + ranges) versus the full image it replaced (pid + page
+                // bytes) — the same accounting as `Wal`'s
+                // `delta_saved_bytes` counter, so the two tools agree.
+                let payload: u64 =
+                    14 + ranges.iter().map(|r| 4 + r.bytes.len() as u64).sum::<u64>();
+                delta_bytes += payload;
+                delta_saved += (4 + page_size).saturating_sub(payload);
+            }
             WalRecord::Commit { .. } => commits += 1,
             WalRecord::Checkpoint { .. } => checkpoints += 1,
         }
@@ -306,9 +328,20 @@ fn cmd_wal_stats(path: &str) -> Result<(), String> {
     println!("log pages     : {}", scan.pages.len());
     println!("stream bytes  : {}", scan.stream_bytes);
     println!(
-        "records       : {} ({images} images, {commits} commits, {checkpoints} checkpoints)",
+        "records       : {} ({images} full images, {deltas} deltas, {commits} commits, \
+         {checkpoints} checkpoints)",
         scan.records.len()
     );
+    println!("delta bytes   : {delta_bytes} on the wire, {delta_saved} saved vs full images");
+    if images + deltas > 0 {
+        // Observed anchor cadence: page records per full-image anchor.
+        // (The configured ceiling is WalOptions::delta.anchor_every.)
+        println!(
+            "anchor cadence: {:.1} page records per full image ({:.0}% deltas)",
+            (images + deltas) as f64 / images.max(1) as f64,
+            100.0 * deltas as f64 / (images + deltas) as f64
+        );
+    }
     if let Some(&(first, _)) = scan.records.first() {
         let last = scan.records.last().map(|&(l, _)| l).unwrap_or(first);
         println!("lsn range     : {first}..={last}");

@@ -79,9 +79,9 @@ pub use bur_workload as workload;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use bur_core::{
-        ConcurrentIndex, CoreError, CoreResult, Durability, GbuParams, IndexOptions, InsertPolicy,
-        LbuParams, Neighbor, ObjectId, RTreeIndex, RecoveryReport, SplitPolicy, UpdateOutcome,
-        UpdateStrategy, WalOptions,
+        ConcurrentIndex, CoreError, CoreResult, DeltaPolicy, Durability, GbuParams, IndexOptions,
+        InsertPolicy, LbuParams, Neighbor, ObjectId, RTreeIndex, RecoveryReport, SplitPolicy,
+        UpdateOutcome, UpdateStrategy, WalOptions,
     };
     pub use bur_geom::{Point, Rect};
     pub use bur_storage::{FileDisk, IoSnapshot, MemDisk, SyncPolicy};

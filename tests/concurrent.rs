@@ -154,3 +154,67 @@ fn io_and_op_snapshots_accessible_concurrently() {
     let ops = index.with_op_stats(|s| s.snapshot());
     assert_eq!(ops.updates, 400);
 }
+
+#[test]
+fn per_granule_commit_batching_under_wal() {
+    // A durable index with per-granule commit batching: multi-threaded
+    // bottom-up updates accumulate commit hooks per leaf granule and are
+    // flushed as one group commit record per batch; the flushed state
+    // survives a crash-free reopen exactly.
+    let n = 2_000;
+    let wopts = WalOptions {
+        sync: SyncPolicy::EveryCommit,
+        checkpoint_every: 1_000_000,
+        batch_ops: 1, // raised through the wrapper below
+        ..WalOptions::default()
+    };
+    let opts = IndexOptions::generalized().with_durability(Durability::Wal(wopts));
+    let workload = Workload::generate(WorkloadConfig {
+        num_objects: n,
+        max_distance: 0.02,
+        seed: 0xBA7C,
+        ..WorkloadConfig::default()
+    });
+    let mut inner = RTreeIndex::create_in_memory(opts).unwrap();
+    for (oid, p) in workload.items() {
+        inner.insert(oid, p).unwrap();
+    }
+    inner.checkpoint().unwrap();
+    let base_commits = inner.wal_stats().unwrap().commits;
+    let index = ConcurrentIndex::new(inner);
+    index.set_commit_batching(16).unwrap();
+
+    let threads = 8;
+    let per_thread = 200u64;
+    let parts = workload.split(threads);
+    std::thread::scope(|s| {
+        for mut part in parts {
+            let index = &index;
+            s.spawn(move || {
+                for _ in 0..per_thread {
+                    let op = part.next_update();
+                    index.update(op.oid, op.old, op.new).unwrap();
+                }
+            });
+        }
+    });
+    let tail = index.flush_commits().unwrap();
+    let total_ops = threads as u64 * per_thread;
+    let (batched_ops, batches) = index.commit_batch_totals();
+    assert_eq!(batched_ops, total_ops, "every update must be batched");
+    assert!(
+        batches <= total_ops / 8,
+        "batching must compress commits: {batches} batches for {total_ops} ops"
+    );
+    assert!(tail.ops < 16, "tail batch is partial: {}", tail.ops);
+    index.validate().unwrap();
+
+    let inner = index.into_inner();
+    let commits = inner.wal_stats().unwrap().commits - base_commits;
+    assert!(
+        commits <= total_ops / 8,
+        "one commit record per batch expected: {commits} for {total_ops} ops"
+    );
+    assert_eq!(inner.pending_commits(), 0);
+    assert_eq!(inner.len(), n as u64);
+}
