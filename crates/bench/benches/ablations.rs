@@ -2,7 +2,9 @@
 //! piggybacking on/off, summary-assisted queries on/off, quadratic vs
 //! linear split, and directional (GBU) vs uniform (LBU) ε-extension.
 
-use bur_core::{GbuParams, IndexOptions, LbuParams, RTreeIndex, SplitPolicy, UpdateStrategy};
+use bur_core::{
+    GbuParams, IndexBuilder, IndexOptions, LbuParams, RTreeIndex, SplitPolicy, UpdateStrategy,
+};
 use bur_workload::{Workload, WorkloadConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -92,7 +94,7 @@ fn bench_split_policy(c: &mut Criterion) {
         group.bench_function(name, |b| {
             b.iter(|| {
                 // Incremental build exercises the split path heavily.
-                let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+                let mut index = IndexBuilder::with_options(opts).build_index().unwrap();
                 for &(oid, p) in items.iter().take(2_000) {
                     index.insert(oid, p).unwrap();
                 }
@@ -172,7 +174,7 @@ fn bench_insert_policy(c: &mut Criterion) {
     ] {
         group.bench_function(name, |b| {
             b.iter(|| {
-                let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+                let mut index = IndexBuilder::with_options(opts).build_index().unwrap();
                 for &(oid, p) in items.iter().take(2_000) {
                     index.insert(oid, p).unwrap();
                 }
@@ -184,7 +186,7 @@ fn bench_insert_policy(c: &mut Criterion) {
         ("guttman-query", IndexOptions::top_down()),
         ("rstar-query", IndexOptions::top_down().rstar()),
     ] {
-        let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+        let mut index = IndexBuilder::with_options(opts).build_index().unwrap();
         for &(oid, p) in &items {
             index.insert(oid, p).unwrap();
         }
@@ -229,7 +231,9 @@ fn bench_bulk_loaders(c: &mut Criterion) {
     });
     group.bench_function("insert", |b| {
         b.iter(|| {
-            let mut index = RTreeIndex::create_in_memory(IndexOptions::generalized()).unwrap();
+            let mut index = IndexBuilder::with_options(IndexOptions::generalized())
+                .build_index()
+                .unwrap();
             for &(oid, p) in &items {
                 index.insert(oid, p).unwrap();
             }

@@ -1,8 +1,8 @@
 //! Criterion micro-benchmark: mixed update/query operation batches under
-//! the concurrent (DGL-locked) wrapper — the wall-clock companion to
+//! the shared (DGL-locked) `Bur` handle — the wall-clock companion to
 //! Figure 8.
 
-use bur_core::{ConcurrentIndex, IndexOptions, RTreeIndex};
+use bur_core::{Bur, IndexOptions, RTreeIndex};
 use bur_workload::{Workload, WorkloadConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -21,7 +21,7 @@ fn bench_mixed(c: &mut Criterion) {
             ..WorkloadConfig::default()
         });
         let index = RTreeIndex::bulk_load_in_memory(opts, &wl.items()).unwrap();
-        let index = ConcurrentIndex::new(index);
+        let index = Bur::from_index(index);
         let mut parts = wl.split(1);
         let part = &mut parts[0];
         group.bench_function(name, |b| {
@@ -30,7 +30,7 @@ fn bench_mixed(c: &mut Criterion) {
                 let op = part.next_update();
                 index.update(op.oid, op.old, op.new).unwrap();
                 let q = part.next_query();
-                black_box(index.query(&q.window).unwrap().len());
+                black_box(index.query(&q.window).unwrap().count());
             });
         });
     }

@@ -48,6 +48,7 @@ fn bench_wal_overhead(c: &mut Criterion) {
                 checkpoint_every: u64::MAX,
                 delta: DeltaPolicy::full_images(),
                 batch_ops: 1,
+                ..WalOptions::default()
             }),
         ),
         (

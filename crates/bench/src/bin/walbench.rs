@@ -15,8 +15,12 @@
 //! (`latency_ratio_max: 2.0`, `log_reduction_min: 3.0`) are evaluated
 //! against the `wal-delta-batch` configuration (deltas + batched
 //! synchronous group commit — the durable fast path for a single update
-//! stream; the async config is recorded alongside for the multi-writer
-//! trajectory).
+//! stream). Two async rows record the single-writer async-commit gap:
+//! `wal-delta-async-batch` with the sync-request debounce off
+//! (`async_coalesce: 1`, the pre-debounce behavior — one condvar signal
+//! and usually a tail-page write per commit record) and
+//! `wal-delta-async-coalesce` with the default debounce + ~2 ms
+//! coalescing window.
 
 use bur_core::{DeltaPolicy, Durability, IndexOptions, RTreeIndex, WalOptions};
 use bur_storage::SyncPolicy;
@@ -124,6 +128,7 @@ fn main() -> ExitCode {
                 checkpoint_every: CKPT,
                 delta: DeltaPolicy::full_images(),
                 batch_ops: 1,
+                ..WalOptions::default()
             }),
         ),
         (
@@ -146,7 +151,24 @@ fn main() -> ExitCode {
             }),
         ),
         (
+            // Async *without* the sync-request debounce (async_coalesce
+            // 1 reproduces the pre-debounce behavior: one sync request —
+            // condvar signal + tail write — per commit record). This is
+            // the "before" row of the single-writer async-commit gap.
             "wal-delta-async-batch",
+            Durability::Wal(WalOptions {
+                sync: SyncPolicy::Async,
+                checkpoint_every: CKPT,
+                batch_ops: 8,
+                async_coalesce: 1,
+                ..WalOptions::default()
+            }),
+        ),
+        (
+            // Async with the default sync-request debounce + coalescing
+            // window: single-threaded streams stop paying a condvar +
+            // tail-write round per commit (the "after" row).
+            "wal-delta-async-coalesce",
             Durability::Wal(WalOptions {
                 sync: SyncPolicy::Async,
                 checkpoint_every: CKPT,

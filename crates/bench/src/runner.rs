@@ -81,7 +81,9 @@ pub fn run_experiment(cfg: &ExperimentConfig) -> Measurement {
             // inserting one object at a time like the paper.
             let mut build_opts = cfg.index;
             build_opts.buffer_frames = 4096;
-            let mut index = RTreeIndex::create_in_memory(build_opts).expect("create failed");
+            let mut index = bur_core::IndexBuilder::with_options(build_opts)
+                .build_index()
+                .expect("create failed");
             for &(oid, p) in &items {
                 index.insert(oid, p).expect("build insert failed");
             }

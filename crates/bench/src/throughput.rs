@@ -11,7 +11,7 @@
 
 use crate::report::{fnum, Table};
 use crate::scale::Scale;
-use bur_core::{ConcurrentIndex, GbuParams, IndexOptions, LbuParams, RTreeIndex, UpdateStrategy};
+use bur_core::{Bur, GbuParams, IndexOptions, LbuParams, RTreeIndex, UpdateStrategy};
 use bur_workload::{Workload, WorkloadConfig};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -34,7 +34,7 @@ pub fn measure_tps(opts: IndexOptions, scale: Scale, update_pct: u32, duration: 
         .set_buffer_capacity((data_pages as f64 * 0.01).round() as usize)
         .expect("buffer");
     index.pool().evict_all().expect("cold start");
-    let index = ConcurrentIndex::new(index);
+    let index = Bur::from_index(index);
 
     let threads = scale.threads();
     let parts = workload.split(threads);
@@ -55,7 +55,9 @@ pub fn measure_tps(opts: IndexOptions, scale: Scale, update_pct: u32, duration: 
                         index.update(op.oid, op.old, op.new).expect("update");
                     } else {
                         let q = part.next_query();
-                        index.query(&q.window).expect("query");
+                        // Consume the streaming cursor (recycles its
+                        // buffer on drop).
+                        index.query(&q.window).expect("query").count();
                     }
                     local += 1;
                 }

@@ -1,0 +1,220 @@
+//! Mixed-operation write batches — the batch-first write path.
+//!
+//! The paper's point is that updates are the hot path; a production
+//! index therefore wants to *amortize* the per-operation costs (commit
+//! records, sync cadence, lock round-trips) across many operations. A
+//! [`Batch`] is an ordered list of mixed [`Op`]s applied in one call:
+//! on a durable index the whole batch is covered by **one** write-ahead
+//! log group commit record, so a crash either keeps the entire batch or
+//! none of it (all-or-nothing per group commit record).
+//!
+//! Build a batch with the fluent helpers and hand it to
+//! [`crate::Bur::apply`] (or [`crate::RTreeIndex::apply_batch`] when
+//! single-threaded):
+//!
+//! ```
+//! use bur_core::{Batch, IndexBuilder};
+//! use bur_geom::Point;
+//!
+//! let bur = IndexBuilder::generalized().build().unwrap();
+//! let mut batch = Batch::new();
+//! batch
+//!     .insert(1, Point::new(0.2, 0.2))
+//!     .insert(2, Point::new(0.8, 0.8))
+//!     .update(1, Point::new(0.2, 0.2), Point::new(0.21, 0.2));
+//! let ticket = bur.apply(&batch).unwrap();
+//! assert_eq!(ticket.report().applied, 3);
+//! assert_eq!(bur.len(), 2);
+//! ```
+
+use crate::node::ObjectId;
+use bur_geom::{Point, Rect};
+
+/// One operation in a [`Batch`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Insert an object with a rectangular extent (a point object is a
+    /// degenerate rect; see [`Batch::insert`]).
+    Insert {
+        /// Fresh object id (duplicates are rejected on LBU/GBU indexes).
+        oid: ObjectId,
+        /// The object's extent.
+        rect: Rect,
+    },
+    /// Move an object from `old` to `new` with the index's configured
+    /// update strategy (the bottom-up hot path).
+    Update {
+        /// The object to move.
+        oid: ObjectId,
+        /// Where the object currently is.
+        old: Point,
+        /// Where it goes.
+        new: Point,
+    },
+    /// Delete the object `oid` located at `position`. A miss is counted
+    /// in [`BatchReport::missing_deletes`], not an error.
+    Delete {
+        /// The object to remove.
+        oid: ObjectId,
+        /// Where the object is indexed.
+        position: Point,
+    },
+}
+
+impl Op {
+    /// Short display name ("insert" / "update" / "delete").
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Insert { .. } => "insert",
+            Op::Update { .. } => "update",
+            Op::Delete { .. } => "delete",
+        }
+    }
+}
+
+/// An ordered batch of mixed write operations, applied atomically with
+/// respect to the write-ahead log (see the crate docs).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Batch {
+    ops: Vec<Op>,
+}
+
+impl Batch {
+    /// An empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty batch with room for `n` operations.
+    #[must_use]
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            ops: Vec::with_capacity(n),
+        }
+    }
+
+    /// Queue a point-object insert.
+    pub fn insert(&mut self, oid: ObjectId, position: Point) -> &mut Self {
+        self.push(Op::Insert {
+            oid,
+            rect: Rect::from_point(position),
+        })
+    }
+
+    /// Queue an insert with a rectangular extent.
+    pub fn insert_rect(&mut self, oid: ObjectId, rect: Rect) -> &mut Self {
+        self.push(Op::Insert { oid, rect })
+    }
+
+    /// Queue a move from `old` to `new`.
+    pub fn update(&mut self, oid: ObjectId, old: Point, new: Point) -> &mut Self {
+        self.push(Op::Update { oid, old, new })
+    }
+
+    /// Queue a delete of `oid` at `position`.
+    pub fn delete(&mut self, oid: ObjectId, position: Point) -> &mut Self {
+        self.push(Op::Delete { oid, position })
+    }
+
+    /// Queue an already-built [`Op`].
+    pub fn push(&mut self, op: Op) -> &mut Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// The queued operations, in application order.
+    #[must_use]
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of queued operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Drop every queued operation, keeping the allocation (for reuse
+    /// across rounds of a load loop).
+    pub fn clear(&mut self) {
+        self.ops.clear();
+    }
+}
+
+impl FromIterator<Op> for Batch {
+    fn from_iter<I: IntoIterator<Item = Op>>(iter: I) -> Self {
+        Self {
+            ops: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Op> for Batch {
+    fn extend<I: IntoIterator<Item = Op>>(&mut self, iter: I) {
+        self.ops.extend(iter);
+    }
+}
+
+/// What applying a [`Batch`] did, per operation class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Operations applied (equals the batch length on success).
+    pub applied: u64,
+    /// Inserts performed.
+    pub inserted: u64,
+    /// Updates performed.
+    pub updated: u64,
+    /// Deletes that found (and removed) their object.
+    pub deleted: u64,
+    /// Deletes whose object was not indexed at the stated position
+    /// (counted, not an error — batch streams are often replayed).
+    pub missing_deletes: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_builders_queue_in_order() {
+        let mut b = Batch::with_capacity(4);
+        b.insert(1, Point::new(0.1, 0.1))
+            .update(1, Point::new(0.1, 0.1), Point::new(0.2, 0.2))
+            .delete(1, Point::new(0.2, 0.2));
+        b.insert_rect(2, Rect::new(0.0, 0.0, 0.5, 0.5));
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_empty());
+        assert_eq!(b.ops()[0].name(), "insert");
+        assert_eq!(b.ops()[1].name(), "update");
+        assert_eq!(b.ops()[2].name(), "delete");
+        assert!(matches!(b.ops()[3], Op::Insert { oid: 2, .. }));
+        b.clear();
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn batch_collects_from_op_iterators() {
+        let ops = vec![
+            Op::Insert {
+                oid: 9,
+                rect: Rect::from_point(Point::new(0.3, 0.3)),
+            },
+            Op::Delete {
+                oid: 9,
+                position: Point::new(0.3, 0.3),
+            },
+        ];
+        let mut b: Batch = ops.iter().copied().collect();
+        assert_eq!(b.len(), 2);
+        b.extend(ops);
+        assert_eq!(b.len(), 4);
+    }
+}

@@ -1,0 +1,367 @@
+//! One construction path for every index: backend × open mode ×
+//! durability × strategy.
+//!
+//! [`IndexBuilder`] subsumes the four historical constructors
+//! (`create_in_memory` / `create_on` / `open_on` / `recover_on`) and
+//! `recover`, which are deprecated shims now. Pick a strategy, point the
+//! builder at a backend, choose an [`OpenMode`], and build either the
+//! clonable [`Bur`] handle (the default — shared, DGL-locked,
+//! batch-first) or a raw [`RTreeIndex`] for single-threaded embedding.
+//!
+//! ```
+//! use bur_core::IndexBuilder;
+//! use bur_geom::Point;
+//!
+//! // A durable GBU index on an in-memory disk, as one shared handle.
+//! let bur = IndexBuilder::generalized().durable().build().unwrap();
+//! bur.insert(1, Point::new(0.4, 0.4)).unwrap();
+//! assert_eq!(bur.len(), 1);
+//! ```
+
+use crate::config::{Durability, IndexOptions, UpdateStrategy, WalOptions};
+use crate::error::{CoreError, CoreResult};
+use crate::handle::Bur;
+use crate::index::{RTreeIndex, RecoveryReport};
+use bur_storage::{DiskBackend, FileDisk, SyncPolicy};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// How the builder treats the backend's existing content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OpenMode {
+    /// Build a fresh index. The backend must be empty (a file backend is
+    /// created; an existing file is rejected rather than clobbered).
+    #[default]
+    Create,
+    /// Open a persisted index. Durability is a property of the *file*:
+    /// when the stored metadata records a write-ahead log — or the
+    /// options ask for one — the log is replayed first (always safe; a
+    /// cleanly shut down log replays to exactly the stored image).
+    Open,
+    /// Recover a durable index after a crash: replay the write-ahead log
+    /// up to the last durable commit, rebuild in-memory state, and
+    /// checkpoint. The [`RecoveryReport`] is available from
+    /// [`IndexBuilder::build_with_report`] /
+    /// [`Bur::recovery_report`].
+    Recover,
+}
+
+/// Which page store the index lives on.
+enum Backend {
+    /// A fresh in-memory disk (the experiment default).
+    Memory,
+    /// A page file at this path.
+    File(PathBuf),
+    /// A caller-supplied disk (fault-injection wrappers, shared disks).
+    Disk(Arc<dyn DiskBackend>),
+}
+
+/// Builder for every way of constructing an index — see the
+/// crate docs.
+///
+/// Defaults: GBU strategy with paper tuning, in-memory backend,
+/// [`OpenMode::Create`], no durability.
+#[must_use = "builders do nothing until `build*` is called"]
+pub struct IndexBuilder {
+    opts: IndexOptions,
+    mode: OpenMode,
+    backend: Backend,
+}
+
+impl Default for IndexBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IndexBuilder {
+    /// Default options (GBU), in-memory backend, create mode.
+    pub fn new() -> Self {
+        Self::with_options(IndexOptions::default())
+    }
+
+    /// Start from explicit [`IndexOptions`].
+    pub fn with_options(opts: IndexOptions) -> Self {
+        Self {
+            opts,
+            mode: OpenMode::Create,
+            backend: Backend::Memory,
+        }
+    }
+
+    /// Start from the classic top-down (TD) update strategy.
+    pub fn top_down() -> Self {
+        Self::with_options(IndexOptions::top_down())
+    }
+
+    /// Start from the localized bottom-up (LBU) strategy.
+    pub fn localized() -> Self {
+        Self::with_options(IndexOptions::localized())
+    }
+
+    /// Start from the generalized bottom-up (GBU) strategy — the
+    /// paper's contribution and the default.
+    pub fn generalized() -> Self {
+        Self::with_options(IndexOptions::generalized())
+    }
+
+    // ---- options ---------------------------------------------------------
+
+    /// Replace the update strategy.
+    pub fn strategy(mut self, strategy: UpdateStrategy) -> Self {
+        self.opts.strategy = strategy;
+        self
+    }
+
+    /// Page size in bytes (paper default: 1024).
+    pub fn page_size(mut self, bytes: usize) -> Self {
+        self.opts.page_size = bytes;
+        self
+    }
+
+    /// Buffer-pool capacity in frames.
+    pub fn buffer_frames(mut self, frames: usize) -> Self {
+        self.opts.buffer_frames = frames;
+        self
+    }
+
+    /// Write-ahead-logged durability with default [`WalOptions`].
+    pub fn durable(mut self) -> Self {
+        self.opts.durability = Durability::Wal(WalOptions::default());
+        self
+    }
+
+    /// Explicit durability mode.
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.opts.durability = durability;
+        self
+    }
+
+    /// Set the WAL sync cadence, turning durability on (with otherwise
+    /// default [`WalOptions`]) if it was off.
+    pub fn sync_policy(mut self, sync: SyncPolicy) -> Self {
+        let mut wopts = match self.opts.durability {
+            Durability::Wal(w) => w,
+            Durability::None => WalOptions::default(),
+        };
+        wopts.sync = sync;
+        self.opts.durability = Durability::Wal(wopts);
+        self
+    }
+
+    /// Set the WAL commit batch size (one group commit record per this
+    /// many operations), turning durability on if it was off.
+    pub fn commit_batch(mut self, ops: u32) -> Self {
+        let mut wopts = match self.opts.durability {
+            Durability::Wal(w) => w,
+            Durability::None => WalOptions::default(),
+        };
+        wopts.batch_ops = ops;
+        self.opts.durability = Durability::Wal(wopts);
+        self
+    }
+
+    /// Arbitrary option tweaks in one closure (escape hatch for the
+    /// long tail: split policy, eviction, min fill, ...).
+    pub fn tune(mut self, f: impl FnOnce(&mut IndexOptions)) -> Self {
+        f(&mut self.opts);
+        self
+    }
+
+    /// The options as configured so far.
+    #[must_use]
+    pub fn options(&self) -> &IndexOptions {
+        &self.opts
+    }
+
+    // ---- backend ---------------------------------------------------------
+
+    /// A fresh in-memory disk (the default backend).
+    pub fn in_memory(mut self) -> Self {
+        self.backend = Backend::Memory;
+        self
+    }
+
+    /// A page file at `path` (created in [`OpenMode::Create`], opened
+    /// otherwise).
+    pub fn file(mut self, path: impl Into<PathBuf>) -> Self {
+        self.backend = Backend::File(path.into());
+        self
+    }
+
+    /// A caller-supplied disk backend (fault-injection wrappers, shared
+    /// in-memory disks for crash drills, ...).
+    pub fn disk(mut self, disk: Arc<dyn DiskBackend>) -> Self {
+        self.backend = Backend::Disk(disk);
+        self
+    }
+
+    // ---- open mode -------------------------------------------------------
+
+    /// Set the open mode explicitly.
+    pub fn mode(mut self, mode: OpenMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Build a fresh index ([`OpenMode::Create`], the default).
+    pub fn create(self) -> Self {
+        self.mode(OpenMode::Create)
+    }
+
+    /// Open a persisted index ([`OpenMode::Open`]).
+    pub fn open(self) -> Self {
+        self.mode(OpenMode::Open)
+    }
+
+    /// Recover a durable index after a crash ([`OpenMode::Recover`]).
+    pub fn recover(self) -> Self {
+        self.mode(OpenMode::Recover)
+    }
+
+    // ---- build -----------------------------------------------------------
+
+    /// Build the clonable, DGL-locked [`Bur`] handle (the primary entry
+    /// point; share it across threads by cloning).
+    pub fn build(self) -> CoreResult<Bur> {
+        let (index, report) = self.build_index_with_report()?;
+        Ok(Bur::from_index_with_report(index, report))
+    }
+
+    /// Build a [`Bur`] handle and return the recovery report alongside
+    /// (`None` unless the build actually replayed a log).
+    pub fn build_with_report(self) -> CoreResult<(Bur, Option<RecoveryReport>)> {
+        let (index, report) = self.build_index_with_report()?;
+        Ok((Bur::from_index_with_report(index, report), report))
+    }
+
+    /// Build a raw single-threaded [`RTreeIndex`] (benches, CLI tools,
+    /// anything that wants `&mut` access without a lock).
+    pub fn build_index(self) -> CoreResult<RTreeIndex> {
+        Ok(self.build_index_with_report()?.0)
+    }
+
+    /// Build a raw [`RTreeIndex`] and the recovery report, when the
+    /// build replayed a log.
+    pub fn build_index_with_report(self) -> CoreResult<(RTreeIndex, Option<RecoveryReport>)> {
+        let Self {
+            mut opts,
+            mode,
+            backend,
+        } = self;
+        if matches!(mode, OpenMode::Recover) && matches!(opts.durability, Durability::None) {
+            // Recovery presupposes a log; upgrade quietly like `open`
+            // does for files whose metadata records a WAL anchor.
+            opts = opts.with_durability(Durability::Wal(WalOptions::default()));
+        }
+        let disk: Arc<dyn DiskBackend> = match backend {
+            Backend::Memory => {
+                if !matches!(mode, OpenMode::Create) {
+                    return Err(CoreError::BadConfig(
+                        "a fresh in-memory backend can only be created; \
+                         pass the shared disk of an existing index with `disk(...)`"
+                            .into(),
+                    ));
+                }
+                Arc::new(bur_storage::MemDisk::new(opts.page_size))
+            }
+            Backend::File(path) => {
+                let disk = if matches!(mode, OpenMode::Create) {
+                    FileDisk::create(&path, opts.page_size)
+                } else {
+                    FileDisk::open(&path, opts.page_size)
+                };
+                Arc::new(disk.map_err(|e| {
+                    CoreError::BadConfig(format!("cannot open {}: {e}", path.display()))
+                })?)
+            }
+            Backend::Disk(disk) => disk,
+        };
+        match mode {
+            OpenMode::Create => Ok((RTreeIndex::create_on_inner(disk, opts)?, None)),
+            OpenMode::Open => Ok((RTreeIndex::open_on_inner(disk, opts)?, None)),
+            OpenMode::Recover => {
+                let (index, report) = RTreeIndex::recover_on_inner(disk, opts)?;
+                Ok((index, Some(report)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bur_geom::Point;
+    use bur_storage::MemDisk;
+
+    #[test]
+    fn create_open_recover_roundtrip_on_shared_disk() {
+        let disk = Arc::new(MemDisk::new(1024));
+        let mut index = IndexBuilder::generalized()
+            .durable()
+            .disk(disk.clone())
+            .build_index()
+            .unwrap();
+        index.insert(1, Point::new(0.4, 0.4)).unwrap();
+        drop(index); // crash: no clean shutdown
+
+        let (recovered, report) = IndexBuilder::generalized()
+            .disk(disk.clone())
+            .recover()
+            .build_index_with_report()
+            .unwrap();
+        assert_eq!(recovered.len(), 1);
+        let report = report.expect("recover mode must produce a report");
+        assert_eq!(report.committed_ops, 1);
+        drop(recovered);
+
+        // `open` on a durable disk replays the (clean) log too.
+        let reopened = IndexBuilder::generalized()
+            .disk(disk)
+            .open()
+            .build_index()
+            .unwrap();
+        assert_eq!(reopened.len(), 1);
+        assert!(reopened.is_durable());
+    }
+
+    #[test]
+    fn in_memory_backend_rejects_open_modes() {
+        for mode in [OpenMode::Open, OpenMode::Recover] {
+            let err = IndexBuilder::new().mode(mode).build_index().unwrap_err();
+            assert!(
+                err.to_string().contains("in-memory"),
+                "unexpected error: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn option_knobs_reach_the_index() {
+        let index = IndexBuilder::top_down()
+            .page_size(2048)
+            .buffer_frames(64)
+            .tune(|o| o.min_fill = 0.3)
+            .build_index()
+            .unwrap();
+        assert_eq!(index.options().page_size, 2048);
+        assert_eq!(index.options().buffer_frames, 64);
+        assert!((index.options().min_fill - 0.3).abs() < f32::EPSILON);
+        assert!(matches!(index.options().strategy, UpdateStrategy::TopDown));
+        assert!(!index.is_durable());
+    }
+
+    #[test]
+    fn sync_policy_and_commit_batch_imply_durability() {
+        let b = IndexBuilder::new().sync_policy(SyncPolicy::Manual);
+        let Durability::Wal(w) = b.options().durability else {
+            panic!("sync_policy must enable the WAL");
+        };
+        assert_eq!(w.sync, SyncPolicy::Manual);
+        let b = IndexBuilder::new().commit_batch(16);
+        let Durability::Wal(w) = b.options().durability else {
+            panic!("commit_batch must enable the WAL");
+        };
+        assert_eq!(w.batch_ops, 16);
+    }
+}

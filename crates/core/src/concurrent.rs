@@ -1,56 +1,35 @@
-//! Thread-safe index wrapper with DGL granule locking (Section 3.2.2).
+//! Deprecated thread-safe wrapper, absorbed by [`crate::Bur`].
 //!
-//! The paper runs its throughput study (Figure 8) with Dynamic Granular
-//! Locking: searchers lock the granules their window overlaps, updaters
-//! lock the granules of the leaves they touch, and "since a top-down
-//! operation needs to acquire locks for all overlapping granules in a
-//! top-down manner, it will meet up with locks made by the bottom-up
-//! updates, thus achieving consistency".
-//!
-//! This wrapper reproduces that *logical* locking discipline on top of a
-//! physically serialized index:
-//!
-//! * bottom-up updates (LBU/GBU) take an **X lock on the granule of the
-//!   object's current leaf** (located through the hash index) plus a
-//!   shared tree lock,
-//! * top-down updates, which may touch any part of the tree, take the
-//!   **tree granule exclusively**,
-//! * queries take the **tree granule shared**.
-//!
-//! Physical execution is serialized by an internal mutex — a deliberate
-//! model of the paper's testbed, where 50 client threads share one disk
-//! and throughput is governed by per-operation I/O cost rather than
-//! in-memory parallelism. Lock conflicts are resolved by try-and-retry
-//! (no blocking while holding the physical mutex), so the wrapper cannot
-//! deadlock.
+//! [`ConcurrentIndex`] was the original DGL-locked wrapper around
+//! [`RTreeIndex`] (Section 3.2.2 of the paper). Its locking discipline
+//! and commit batching now live in the clonable [`Bur`] handle —
+//! multi-threaded callers no longer choose between two types. This
+//! wrapper delegates everything to an internal `Bur` and survives for
+//! one release as a migration shim.
 
-use crate::config::UpdateStrategy;
+#![allow(deprecated)]
+
+use crate::config::IndexOptions;
 use crate::error::CoreResult;
+use crate::handle::Bur;
 use crate::node::ObjectId;
 use crate::stats::{OpStats, UpdateOutcome};
 use crate::RTreeIndex;
-use bur_dgl::{CommitBatch, CommitBatcher, Granule, LockManager, LockMode};
+use bur_dgl::{CommitBatch, LockManager};
 use bur_geom::{Point, Rect};
 use bur_storage::IoSnapshot;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU32, Ordering};
 
-/// A thread-safe, DGL-locked wrapper around [`RTreeIndex`].
+/// A thread-safe, DGL-locked wrapper around [`RTreeIndex`] — use the
+/// clonable [`Bur`] handle instead.
+#[deprecated(since = "0.2.0", note = "use the clonable `Bur` handle instead")]
 pub struct ConcurrentIndex {
-    inner: Mutex<RTreeIndex>,
-    locks: LockManager,
-    /// Per-granule commit hooks accumulated between group commit records
-    /// (durable indexes with commit batching enabled; see
-    /// [`ConcurrentIndex::set_commit_batching`]).
-    batcher: CommitBatcher,
-    /// Batch size; 0 or 1 means per-operation commits.
-    batch_target: AtomicU32,
+    handle: Bur,
 }
 
 impl std::fmt::Debug for ConcurrentIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ConcurrentIndex")
-            .field("inner", &*self.inner.lock())
+            .field("handle", &self.handle)
             .finish_non_exhaustive()
     }
 }
@@ -60,200 +39,94 @@ impl ConcurrentIndex {
     #[must_use]
     pub fn new(index: RTreeIndex) -> Self {
         Self {
-            inner: Mutex::new(index),
-            locks: LockManager::new(),
-            batcher: CommitBatcher::new(),
-            batch_target: AtomicU32::new(1),
+            handle: Bur::from_index(index),
         }
     }
 
-    /// Create a fresh index on an in-memory disk and wrap it (shorthand
-    /// for `ConcurrentIndex::new(RTreeIndex::create_in_memory(opts)?)`).
-    pub fn create_in_memory(opts: crate::config::IndexOptions) -> CoreResult<Self> {
-        Ok(Self::new(RTreeIndex::create_in_memory(opts)?))
+    /// Create a fresh index on an in-memory disk and wrap it.
+    pub fn create_in_memory(opts: IndexOptions) -> CoreResult<Self> {
+        Ok(Self::new(RTreeIndex::create_in_memory_inner(opts)?))
     }
 
     /// Unwrap, returning the inner index.
     #[must_use]
     pub fn into_inner(self) -> RTreeIndex {
-        self.inner.into_inner()
+        self.handle
+            .try_into_index()
+            .unwrap_or_else(|_| unreachable!("the shim never clones its handle"))
     }
 
     /// The granule lock manager (exposed for tests).
     #[must_use]
     pub fn lock_manager(&self) -> &LockManager {
-        &self.locks
+        self.handle.lock_manager()
     }
 
-    /// Enable per-granule commit batching on a durable index: each write
-    /// registers a commit hook under the granule it locked, and every
-    /// `ops` operations the accumulated hooks are flushed as **one**
-    /// group commit record (see [`RTreeIndex::set_commit_batch`]). This
-    /// recovers write concurrency under WAL mode — the per-operation
-    /// critical section no longer pays page logging or a sync — at group
-    /// commit's durability window (the unflushed tail of a batch may be
-    /// lost to a crash). `1` restores per-operation commits. No-op on a
-    /// non-durable index.
+    /// Enable per-granule commit batching (see
+    /// [`Bur::set_commit_batching`]).
     pub fn set_commit_batching(&self, ops: u32) -> CoreResult<()> {
-        let ops = ops.max(1);
-        let mut index = self.inner.lock();
-        index.set_commit_batch(ops)?;
-        self.batch_target.store(ops, Ordering::Relaxed);
-        if index.pending_commits() == 0 {
-            self.batcher.drain();
-        }
-        Ok(())
+        self.handle.set_commit_batching(ops)
     }
 
     /// Flush any operations pending in the current commit batch as one
     /// group commit record; returns the per-granule hooks it covered.
     pub fn flush_commits(&self) -> CoreResult<CommitBatch> {
-        let mut index = self.inner.lock();
-        index.flush_commits()?;
-        Ok(self.batcher.drain())
+        Ok(self.handle.commit()?.into_commit_batch())
     }
 
     /// `(operations batched, group commit records written)` over the
-    /// wrapper's lifetime — the batching compression ratio.
+    /// wrapper's lifetime.
     #[must_use]
     pub fn commit_batch_totals(&self) -> (u64, u64) {
-        self.batcher.totals()
-    }
-
-    /// Register a finished write on `granule` with the commit batcher and
-    /// drain the hooks whenever the core has just flushed a batch (its
-    /// pending count returns to zero — on the batch boundary or a
-    /// piggybacked checkpoint).
-    fn after_write(&self, index: &mut RTreeIndex, granule: Granule) {
-        if self.batch_target.load(Ordering::Relaxed) <= 1 || !index.is_durable() {
-            return;
-        }
-        self.batcher.note(granule);
-        if index.pending_commits() == 0 {
-            self.batcher.drain();
-        }
+        self.handle.commit_batch_totals()
     }
 
     /// Move an object, acquiring the DGL granules its strategy requires.
     pub fn update(&self, oid: ObjectId, old: Point, new: Point) -> CoreResult<UpdateOutcome> {
-        loop {
-            let mut index = self.inner.lock();
-            let bottom_up = !matches!(index.options().strategy, UpdateStrategy::TopDown);
-            if bottom_up {
-                let leaf = index.locate_leaf(oid)?;
-                let Some(leaf_pid) = leaf else {
-                    // Unknown object: let the strategy surface the error.
-                    return index.update(oid, old, new);
-                };
-                let tree_s = self.locks.try_lock(Granule::Tree, LockMode::Shared);
-                let leaf_x = self
-                    .locks
-                    .try_lock(Granule::Leaf(leaf_pid), LockMode::Exclusive);
-                match (tree_s, leaf_x) {
-                    (Ok(_t), Ok(_l)) => {
-                        let outcome = index.update(oid, old, new)?;
-                        self.after_write(&mut index, Granule::Leaf(leaf_pid));
-                        return Ok(outcome);
-                    }
-                    _ => {
-                        drop(index);
-                        std::thread::yield_now();
-                    }
-                }
-            } else {
-                match self.locks.try_lock(Granule::Tree, LockMode::Exclusive) {
-                    Ok(_g) => {
-                        let outcome = index.update(oid, old, new)?;
-                        self.after_write(&mut index, Granule::Tree);
-                        return Ok(outcome);
-                    }
-                    Err(_) => {
-                        drop(index);
-                        std::thread::yield_now();
-                    }
-                }
-            }
-        }
+        self.handle.update(oid, old, new)
     }
 
     /// Window query under a shared tree granule.
     pub fn query(&self, window: &Rect) -> CoreResult<Vec<ObjectId>> {
-        loop {
-            let index = self.inner.lock();
-            match self.locks.try_lock(Granule::Tree, LockMode::Shared) {
-                Ok(_g) => return index.query(window),
-                Err(_) => {
-                    drop(index);
-                    std::thread::yield_now();
-                }
-            }
-        }
+        Ok(self.handle.query(window)?.collect())
     }
 
     /// Insert a fresh object (tree granule exclusive: inserts can split).
     pub fn insert(&self, oid: ObjectId, position: Point) -> CoreResult<()> {
-        loop {
-            let mut index = self.inner.lock();
-            match self.locks.try_lock(Granule::Tree, LockMode::Exclusive) {
-                Ok(_g) => {
-                    index.insert(oid, position)?;
-                    self.after_write(&mut index, Granule::Tree);
-                    return Ok(());
-                }
-                Err(_) => {
-                    drop(index);
-                    std::thread::yield_now();
-                }
-            }
-        }
+        self.handle.insert(oid, position)
     }
 
     /// Delete an object (tree granule exclusive).
     pub fn delete(&self, oid: ObjectId, position: Point) -> CoreResult<bool> {
-        loop {
-            let mut index = self.inner.lock();
-            match self.locks.try_lock(Granule::Tree, LockMode::Exclusive) {
-                Ok(_g) => {
-                    let found = index.delete(oid, position)?;
-                    if found {
-                        self.after_write(&mut index, Granule::Tree);
-                    }
-                    return Ok(found);
-                }
-                Err(_) => {
-                    drop(index);
-                    std::thread::yield_now();
-                }
-            }
-        }
+        self.handle.delete(oid, position)
     }
 
     /// Number of indexed objects.
     #[must_use]
     pub fn len(&self) -> u64 {
-        self.inner.lock().len()
+        self.handle.len()
     }
 
     /// `true` when empty.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.handle.is_empty()
     }
 
     /// Snapshot of the physical I/O counters.
     #[must_use]
     pub fn io_snapshot(&self) -> IoSnapshot {
-        self.inner.lock().io_stats().snapshot()
+        self.handle.io_snapshot()
     }
 
     /// Snapshot of the operation counters.
     pub fn with_op_stats<R>(&self, f: impl FnOnce(&OpStats) -> R) -> R {
-        f(self.inner.lock().op_stats())
+        self.handle.with_op_stats(f)
     }
 
     /// Run the deep invariant check.
     pub fn validate(&self) -> CoreResult<()> {
-        self.inner.lock().validate()
+        self.handle.validate()
     }
 }
 
@@ -265,5 +138,38 @@ impl RTreeIndex {
             Some(h) => Ok(h.get(oid)?),
             None => Ok(None),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The migration shim keeps the old surface working for one release:
+    /// everything still routes through the `Bur` machinery.
+    #[test]
+    fn shim_round_trips_through_the_handle() {
+        let index = ConcurrentIndex::create_in_memory(IndexOptions::generalized()).unwrap();
+        index.insert(1, Point::new(0.2, 0.2)).unwrap();
+        index.insert(2, Point::new(0.8, 0.8)).unwrap();
+        index
+            .update(1, Point::new(0.2, 0.2), Point::new(0.3, 0.3))
+            .unwrap();
+        assert!(index.delete(2, Point::new(0.8, 0.8)).unwrap());
+        assert!(!index.is_empty());
+        assert_eq!(index.len(), 1);
+        assert_eq!(
+            index.query(&Rect::new(0.0, 0.0, 1.0, 1.0)).unwrap(),
+            vec![1]
+        );
+        assert_eq!(index.lock_manager().locked_granules(), 0);
+        index.set_commit_batching(4).unwrap(); // no-op: not durable
+        assert_eq!(index.flush_commits().unwrap().ops, 0);
+        assert_eq!(index.commit_batch_totals().1, 0);
+        assert!(index.io_snapshot().fetches > 0);
+        index.with_op_stats(|s| assert_eq!(s.snapshot().updates, 1));
+        index.validate().unwrap();
+        let inner = index.into_inner();
+        assert_eq!(inner.len(), 1);
     }
 }

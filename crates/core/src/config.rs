@@ -164,6 +164,16 @@ pub struct WalOptions {
     /// group commit — for a shorter durable critical section per update.
     /// Must be at least 1. See [`crate::RTreeIndex::set_commit_batch`].
     pub batch_ops: u32,
+    /// Async sync-request debounce: under
+    /// [`bur_storage::SyncPolicy::Async`], request a background sync
+    /// only every this many commit records instead of per commit (the
+    /// log's ~2 ms coalescing window bounds the added durability lag;
+    /// `wait_durable` remains the hard ack either way). `1` restores a
+    /// request per commit — the pre-debounce behavior, which makes
+    /// single-threaded streams pay a condvar signal plus a tail-page
+    /// write per round. Must be at least 1. Ignored by the synchronous
+    /// sync policies.
+    pub async_coalesce: u32,
 }
 
 impl Default for WalOptions {
@@ -173,6 +183,7 @@ impl Default for WalOptions {
             checkpoint_every: 256,
             delta: bur_wal::DeltaPolicy::default(),
             batch_ops: 1,
+            async_coalesce: bur_wal::DEFAULT_ASYNC_COALESCE,
         }
     }
 }
@@ -274,6 +285,11 @@ impl IndexOptions {
             }
             if w.batch_ops == 0 {
                 return Err(CoreError::BadConfig("batch_ops must be at least 1".into()));
+            }
+            if w.async_coalesce == 0 {
+                return Err(CoreError::BadConfig(
+                    "async_coalesce must be at least 1".into(),
+                ));
             }
         }
         match self.strategy {

@@ -28,6 +28,16 @@ pub enum CoreError {
     InvariantViolation(String),
     /// The options are inconsistent (e.g. a page too small for one entry).
     BadConfig(String),
+    /// An operation inside a [`crate::Batch`] failed. Operations before
+    /// `op_index` were applied (and, on a durable index, flushed as the
+    /// batch's group commit record); the failing operation and everything
+    /// after it were not.
+    Batch {
+        /// Zero-based position of the failing operation in the batch.
+        op_index: usize,
+        /// Why that operation failed.
+        source: Box<CoreError>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -41,6 +51,9 @@ impl fmt::Display for CoreError {
             CoreError::ObjectNotFound(oid) => write!(f, "object {oid} not found"),
             CoreError::InvariantViolation(msg) => write!(f, "invariant violation: {msg}"),
             CoreError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
+            CoreError::Batch { op_index, source } => {
+                write!(f, "batch operation #{op_index} failed: {source}")
+            }
         }
     }
 }
@@ -49,6 +62,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CoreError::Storage(e) => Some(e),
+            CoreError::Batch { source, .. } => Some(source),
             _ => None,
         }
     }

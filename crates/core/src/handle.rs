@@ -1,0 +1,716 @@
+//! The shared index handle: one clonable type for every caller.
+//!
+//! [`Bur`] wraps the single-threaded [`RTreeIndex`] engine in `Arc`
+//! internals with the DGL granule-locking discipline the paper's
+//! throughput study uses (Section 3.2.2): bottom-up updates X-lock the
+//! granule of the leaf they touch under a shared tree granule, while
+//! structure-modifying operations (inserts, deletes, top-down updates)
+//! and whole-batch applies take the granules they need exclusively.
+//! Clone the handle freely — clones share the same index.
+//!
+//! The write path is **batch-first**: [`Bur::apply`] takes a [`Batch`]
+//! of mixed operations, applies it under one lock acquisition, and — on
+//! a durable index — flushes it as **one** write-ahead-log group commit
+//! record (atomic under crashes). Every write entry point returns or
+//! leads to a [`CommitTicket`] whose [`CommitTicket::wait`] rides the
+//! log's durable-LSN watermark: the hard ack under
+//! [`bur_storage::SyncPolicy::Async`], an instant no-op when the commit
+//! already synced inline.
+//!
+//! Queries stream: [`Bur::query`] returns a [`QueryCursor`] backed by a
+//! buffer recycled across calls (zero per-call allocation in steady
+//! state) instead of a freshly allocated `Vec<ObjectId>`.
+//!
+//! ```
+//! use bur_core::{Batch, IndexBuilder};
+//! use bur_geom::{Point, Rect};
+//!
+//! let bur = IndexBuilder::generalized().durable().build().unwrap();
+//! let mut batch = Batch::new();
+//! for oid in 0..32u64 {
+//!     batch.insert(oid, Point::new(oid as f32 / 32.0, 0.5));
+//! }
+//! let ticket = bur.apply(&batch).unwrap();
+//! ticket.wait().unwrap(); // durable: one group commit record covers all 32
+//! let hits: Vec<u64> = bur.query(&Rect::new(0.0, 0.0, 0.5, 1.0)).unwrap().collect();
+//! assert_eq!(hits.len(), 17);
+//! ```
+
+use crate::batch::{Batch, BatchReport, Op};
+use crate::config::{IndexOptions, UpdateStrategy};
+use crate::error::{CoreError, CoreResult};
+use crate::index::{RTreeIndex, RecoveryReport};
+use crate::knn::Neighbor;
+use crate::node::ObjectId;
+use crate::stats::{OpStats, UpdateOutcome};
+use bur_dgl::{CommitBatch, CommitBatcher, Granule, LockGuard, LockManager, LockMode};
+use bur_geom::{Point, Rect};
+use bur_storage::IoSnapshot;
+use bur_wal::{Lsn, WalStatsSnapshot, WalWaiter};
+use parking_lot::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// At most this many spare query buffers are kept for recycling; extra
+/// cursors dropped concurrently just free their buffer.
+const SPARE_BUFFERS: usize = 16;
+
+/// Shared state behind every clone of a [`Bur`] handle.
+struct BurShared {
+    inner: Mutex<RTreeIndex>,
+    locks: LockManager,
+    /// Per-granule commit hooks accumulated between group commit records
+    /// (see [`Bur::set_commit_batching`] and [`Bur::apply`]).
+    batcher: CommitBatcher,
+    /// Single-op commit batch size; 0 or 1 means per-operation commits.
+    batch_target: AtomicU32,
+    /// Durable-watermark waiter, cached once (durable indexes only).
+    waiter: Option<WalWaiter>,
+    /// What recovery replayed, when the handle was built in recover mode.
+    recovery: Option<RecoveryReport>,
+    /// Recycled query-result buffers ([`QueryCursor`] hot path).
+    spare_ids: Mutex<Vec<Vec<ObjectId>>>,
+}
+
+impl BurShared {
+    /// Return a query buffer to the recycling pool (cleared first; the
+    /// pool is capped at [`SPARE_BUFFERS`], extras are simply freed).
+    /// The single home of the recycling policy — `Bur::query`'s error
+    /// path and `QueryCursor::drop` both land here.
+    fn recycle(&self, mut buf: Vec<ObjectId>) {
+        buf.clear();
+        let mut spares = self.spare_ids.lock();
+        if spares.len() < SPARE_BUFFERS {
+            spares.push(buf);
+        }
+    }
+}
+
+/// The clonable, thread-safe index handle.
+#[derive(Clone)]
+pub struct Bur {
+    shared: Arc<BurShared>,
+}
+
+impl std::fmt::Debug for Bur {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bur")
+            .field("inner", &*self.shared.inner.lock())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Bur {
+    /// Wrap an existing single-threaded index in a shared handle.
+    /// (Usually you build the handle directly with
+    /// [`crate::IndexBuilder::build`].)
+    #[must_use]
+    pub fn from_index(index: RTreeIndex) -> Self {
+        Self::from_index_with_report(index, None)
+    }
+
+    pub(crate) fn from_index_with_report(
+        index: RTreeIndex,
+        recovery: Option<RecoveryReport>,
+    ) -> Self {
+        let waiter = index.wal_waiter();
+        Self {
+            shared: Arc::new(BurShared {
+                inner: Mutex::new(index),
+                locks: LockManager::new(),
+                batcher: CommitBatcher::new(),
+                batch_target: AtomicU32::new(1),
+                waiter,
+                recovery,
+                spare_ids: Mutex::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Unwrap into the inner [`RTreeIndex`]; fails (returning the handle)
+    /// when other clones are still alive.
+    pub fn try_into_index(self) -> Result<RTreeIndex, Self> {
+        match Arc::try_unwrap(self.shared) {
+            Ok(shared) => Ok(shared.inner.into_inner()),
+            Err(shared) => Err(Self { shared }),
+        }
+    }
+
+    /// The granule lock manager (exposed for tests).
+    #[must_use]
+    pub fn lock_manager(&self) -> &LockManager {
+        &self.shared.locks
+    }
+
+    /// What recovery replayed when this handle was built in
+    /// [`crate::OpenMode::Recover`] (or `open` of a durable file that
+    /// needed replay through the builder's recover path); `None` for
+    /// fresh or cleanly opened non-durable indexes.
+    #[must_use]
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        self.shared.recovery
+    }
+
+    // ---- locking helpers -------------------------------------------------
+
+    /// Acquire the physical index lock plus the tree granule in `mode`,
+    /// try-and-retry (no blocking while holding the physical mutex, so
+    /// the handle cannot deadlock).
+    fn lock_tree(&self, mode: LockMode) -> (MutexGuard<'_, RTreeIndex>, LockGuard<'_>) {
+        loop {
+            let index = self.shared.inner.lock();
+            match self.shared.locks.try_lock(Granule::Tree, mode) {
+                Ok(guard) => return (index, guard),
+                Err(_) => {
+                    drop(index);
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Register a finished write on `granule` with the commit batcher and
+    /// drain the hooks whenever the core has just flushed a batch (its
+    /// pending count returns to zero — on the batch boundary or a
+    /// piggybacked checkpoint).
+    fn after_write(&self, index: &mut RTreeIndex, granule: Granule) {
+        if self.shared.batch_target.load(Ordering::Relaxed) <= 1 || !index.is_durable() {
+            return;
+        }
+        self.shared.batcher.note(granule);
+        if index.pending_commits() == 0 {
+            self.shared.batcher.drain();
+        }
+    }
+
+    /// Build a ticket covering everything flushed so far (call with the
+    /// index lock still held, so the LSN covers exactly this commit).
+    fn ticket(&self, index: &RTreeIndex, report: BatchReport, hooks: CommitBatch) -> CommitTicket {
+        CommitTicket {
+            report,
+            hooks,
+            lsn: index.last_lsn().unwrap_or(0),
+            waiter: self.shared.waiter.clone(),
+        }
+    }
+
+    // ---- batch-first writes ----------------------------------------------
+
+    /// Apply a [`Batch`] of mixed operations atomically with respect to
+    /// the write-ahead log: the whole batch is flushed as **one** group
+    /// commit record (plus any single operations already pending in the
+    /// current commit batch), so a crash recovers all of it or none of
+    /// it. Returns a [`CommitTicket`]; under
+    /// [`bur_storage::SyncPolicy::Async`], [`CommitTicket::wait`] is the
+    /// hard durability ack.
+    ///
+    /// Locking: a batch of pure bottom-up updates X-locks the granules
+    /// of the leaves it touches under a shared tree granule (concurrent
+    /// batches on disjoint leaves do not conflict logically); a batch
+    /// containing inserts, deletes or top-down updates takes the tree
+    /// granule exclusively.
+    pub fn apply(&self, batch: &Batch) -> CoreResult<CommitTicket> {
+        if batch.is_empty() {
+            let index = self.shared.inner.lock();
+            return Ok(self.ticket(&index, BatchReport::default(), CommitBatch::default()));
+        }
+        loop {
+            let mut index = self.shared.inner.lock();
+            // Resolve the granule of every operation. Bottom-up updates
+            // lock the leaf currently holding their object; anything
+            // else (or an unknown object, which the strategy will turn
+            // into an error) escalates to the whole tree.
+            let bottom_up = !matches!(index.options().strategy, UpdateStrategy::TopDown);
+            let mut per_op: Vec<Granule> = Vec::with_capacity(batch.len());
+            let mut tree_x = false;
+            for op in batch.ops() {
+                match op {
+                    Op::Update { oid, .. } if bottom_up => match index.locate_leaf(*oid)? {
+                        Some(pid) => per_op.push(Granule::Leaf(pid)),
+                        None => {
+                            tree_x = true;
+                            break;
+                        }
+                    },
+                    _ => {
+                        tree_x = true;
+                        break;
+                    }
+                }
+            }
+            let mut guards: Vec<LockGuard<'_>> = Vec::new();
+            let locked = if tree_x {
+                per_op.clear();
+                match self
+                    .shared
+                    .locks
+                    .try_lock(Granule::Tree, LockMode::Exclusive)
+                {
+                    Ok(g) => {
+                        guards.push(g);
+                        true
+                    }
+                    Err(_) => false,
+                }
+            } else {
+                // Shared tree + X on the distinct leaves, in sorted
+                // order (the deadlock-avoidance protocol of `lock_set`).
+                let mut distinct = per_op.clone();
+                distinct.sort_unstable();
+                distinct.dedup();
+                match self.shared.locks.try_lock(Granule::Tree, LockMode::Shared) {
+                    Ok(g) => {
+                        guards.push(g);
+                        distinct.into_iter().all(|g| {
+                            match self.shared.locks.try_lock(g, LockMode::Exclusive) {
+                                Ok(guard) => {
+                                    guards.push(guard);
+                                    true
+                                }
+                                Err(_) => false,
+                            }
+                        })
+                    }
+                    Err(_) => false,
+                }
+            };
+            if !locked {
+                drop(guards);
+                drop(index);
+                std::thread::yield_now();
+                continue;
+            }
+            let result = index.apply_batch(batch);
+            // A group commit record covered everything applied (the
+            // whole batch, or — on error — the prefix before the failing
+            // op, which `apply_batch` flushed before surfacing it): note
+            // the covered granules and drain the hooks as one commit
+            // batch, so nothing lingers to be misattributed to a later
+            // ticket.
+            let applied = match &result {
+                Ok(report) => report.applied as usize,
+                Err(CoreError::Batch { op_index, .. }) => *op_index,
+                Err(_) => 0,
+            };
+            let hooks = if index.is_durable() {
+                if tree_x {
+                    self.shared.batcher.note_n(Granule::Tree, applied as u64);
+                } else {
+                    // Aggregate runs so a huge batch costs O(distinct
+                    // granules) batcher round-trips, not O(ops), inside
+                    // the serialized critical section.
+                    let mut counted = per_op[..applied].to_vec();
+                    counted.sort_unstable();
+                    let mut i = 0;
+                    while i < counted.len() {
+                        let granule = counted[i];
+                        let mut n = 1u64;
+                        while i + (n as usize) < counted.len() && counted[i + n as usize] == granule
+                        {
+                            n += 1;
+                        }
+                        self.shared.batcher.note_n(granule, n);
+                        i += n as usize;
+                    }
+                }
+                self.shared.batcher.drain()
+            } else {
+                CommitBatch::default()
+            };
+            let report = result?;
+            return Ok(self.ticket(&index, report, hooks));
+        }
+    }
+
+    /// Flush any single operations pending in the current commit batch
+    /// (see [`Bur::set_commit_batching`]) as one group commit record and
+    /// return the covering [`CommitTicket`]. A no-op ticket when nothing
+    /// was pending.
+    pub fn commit(&self) -> CoreResult<CommitTicket> {
+        let mut index = self.shared.inner.lock();
+        let pending = index.pending_commits();
+        index.flush_commits()?;
+        let hooks = self.shared.batcher.drain();
+        let report = BatchReport {
+            applied: pending,
+            ..BatchReport::default()
+        };
+        Ok(self.ticket(&index, report, hooks))
+    }
+
+    /// Block until every acknowledged operation is durable in the log
+    /// (operations pending in a commit batch are flushed first); returns
+    /// the durable watermark. No-op (returning 0) on a non-durable
+    /// index. Unlike the ticketed wait, this holds no index lock while
+    /// waiting.
+    pub fn wait_durable(&self) -> CoreResult<Lsn> {
+        self.commit()?.wait()
+    }
+
+    // ---- single-operation writes -----------------------------------------
+
+    /// Insert a fresh point object (tree granule exclusive: inserts can
+    /// split).
+    pub fn insert(&self, oid: ObjectId, position: Point) -> CoreResult<()> {
+        let (mut index, _tree) = self.lock_tree(LockMode::Exclusive);
+        index.insert(oid, position)?;
+        self.after_write(&mut index, Granule::Tree);
+        Ok(())
+    }
+
+    /// Insert a fresh object with a rectangular extent.
+    pub fn insert_rect(&self, oid: ObjectId, rect: Rect) -> CoreResult<()> {
+        let (mut index, _tree) = self.lock_tree(LockMode::Exclusive);
+        index.insert_rect(oid, rect)?;
+        self.after_write(&mut index, Granule::Tree);
+        Ok(())
+    }
+
+    /// Delete an object (tree granule exclusive). Returns `false` when
+    /// it is not indexed at `position`.
+    pub fn delete(&self, oid: ObjectId, position: Point) -> CoreResult<bool> {
+        let (mut index, _tree) = self.lock_tree(LockMode::Exclusive);
+        let found = index.delete(oid, position)?;
+        if found {
+            self.after_write(&mut index, Granule::Tree);
+        }
+        Ok(found)
+    }
+
+    /// Move an object, acquiring the DGL granules its strategy requires:
+    /// bottom-up updates take the granule of the object's current leaf
+    /// exclusively under a shared tree granule; top-down updates take
+    /// the tree granule exclusively.
+    pub fn update(&self, oid: ObjectId, old: Point, new: Point) -> CoreResult<UpdateOutcome> {
+        loop {
+            let mut index = self.shared.inner.lock();
+            let bottom_up = !matches!(index.options().strategy, UpdateStrategy::TopDown);
+            if bottom_up {
+                let Some(leaf_pid) = index.locate_leaf(oid)? else {
+                    // Unknown object: let the strategy surface the error.
+                    return index.update(oid, old, new);
+                };
+                let tree_s = self.shared.locks.try_lock(Granule::Tree, LockMode::Shared);
+                let leaf_x = self
+                    .shared
+                    .locks
+                    .try_lock(Granule::Leaf(leaf_pid), LockMode::Exclusive);
+                match (tree_s, leaf_x) {
+                    (Ok(_t), Ok(_l)) => {
+                        let outcome = index.update(oid, old, new)?;
+                        self.after_write(&mut index, Granule::Leaf(leaf_pid));
+                        return Ok(outcome);
+                    }
+                    _ => {
+                        drop(index);
+                        std::thread::yield_now();
+                    }
+                }
+            } else {
+                match self
+                    .shared
+                    .locks
+                    .try_lock(Granule::Tree, LockMode::Exclusive)
+                {
+                    Ok(_g) => {
+                        let outcome = index.update(oid, old, new)?;
+                        self.after_write(&mut index, Granule::Tree);
+                        return Ok(outcome);
+                    }
+                    Err(_) => {
+                        drop(index);
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- streaming queries -----------------------------------------------
+
+    /// Window query under a shared tree granule, streamed through a
+    /// [`QueryCursor`]. The result buffer is recycled from cursor to
+    /// cursor, so the hot path performs no per-call `Vec` allocation.
+    pub fn query(&self, window: &Rect) -> CoreResult<QueryCursor> {
+        let (index, _tree) = self.lock_tree(LockMode::Shared);
+        let mut hits = self.shared.spare_ids.lock().pop().unwrap_or_default();
+        debug_assert!(hits.is_empty());
+        if let Err(e) = index.query_into(window, &mut hits) {
+            self.shared.recycle(hits);
+            return Err(e);
+        }
+        Ok(QueryCursor {
+            hits,
+            pos: 0,
+            home: self.shared.clone(),
+        })
+    }
+
+    /// Number of objects intersecting `window` (a cursor-free count).
+    pub fn count_in(&self, window: &Rect) -> CoreResult<usize> {
+        Ok(self.query(window)?.len())
+    }
+
+    /// The `k` nearest neighbors of `point`, closest first, streamed
+    /// through a [`NeighborCursor`] (shared tree granule).
+    pub fn nearest(&self, point: Point, k: usize) -> CoreResult<NeighborCursor> {
+        let (index, _tree) = self.lock_tree(LockMode::Shared);
+        let hits = index.nearest_neighbors(point, k)?;
+        Ok(NeighborCursor {
+            hits: hits.into_iter(),
+        })
+    }
+
+    // ---- durability controls ---------------------------------------------
+
+    /// Enable per-granule commit batching on a durable index: each write
+    /// registers a commit hook under the granule it locked, and every
+    /// `ops` operations the accumulated hooks are flushed as **one**
+    /// group commit record. This recovers write concurrency under WAL
+    /// mode — the per-operation critical section no longer pays page
+    /// logging or a sync — at group commit's durability window (the
+    /// unflushed tail of a batch may be lost to a crash; [`Bur::apply`]
+    /// batches are flushed whole regardless). `1` restores per-operation
+    /// commits. No-op on a non-durable index.
+    pub fn set_commit_batching(&self, ops: u32) -> CoreResult<()> {
+        let ops = ops.max(1);
+        let mut index = self.shared.inner.lock();
+        index.set_commit_batch(ops)?;
+        self.shared.batch_target.store(ops, Ordering::Relaxed);
+        if index.pending_commits() == 0 {
+            self.shared.batcher.drain();
+        }
+        Ok(())
+    }
+
+    /// `(operations batched, group commit records written)` over the
+    /// handle's lifetime — the batching compression ratio.
+    #[must_use]
+    pub fn commit_batch_totals(&self) -> (u64, u64) {
+        self.shared.batcher.totals()
+    }
+
+    /// Take a checkpoint now (persist on a non-durable index): bounds
+    /// recovery replay and the log's page footprint.
+    pub fn checkpoint(&self) -> CoreResult<()> {
+        let (mut index, _tree) = self.lock_tree(LockMode::Exclusive);
+        index.checkpoint()
+    }
+
+    /// Write metadata so the index can be reopened; flushes all dirty
+    /// pages (a checkpoint on a durable index). Intended as a shutdown
+    /// step.
+    pub fn persist(&self) -> CoreResult<()> {
+        let (mut index, _tree) = self.lock_tree(LockMode::Exclusive);
+        index.persist()
+    }
+
+    /// Log activity counters, when the index is durable.
+    #[must_use]
+    pub fn wal_stats(&self) -> Option<WalStatsSnapshot> {
+        self.shared.inner.lock().wal_stats()
+    }
+
+    // ---- introspection ---------------------------------------------------
+
+    /// Number of indexed objects.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.shared.inner.lock().len()
+    }
+
+    /// `true` when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of levels (1 = the root is a leaf).
+    #[must_use]
+    pub fn height(&self) -> u16 {
+        self.shared.inner.lock().height()
+    }
+
+    /// The construction options.
+    #[must_use]
+    pub fn options(&self) -> IndexOptions {
+        *self.shared.inner.lock().options()
+    }
+
+    /// `true` when the index write-ahead-logs its updates.
+    #[must_use]
+    pub fn is_durable(&self) -> bool {
+        self.shared.inner.lock().is_durable()
+    }
+
+    /// Snapshot of the physical I/O counters.
+    #[must_use]
+    pub fn io_snapshot(&self) -> IoSnapshot {
+        self.shared.inner.lock().io_stats().snapshot()
+    }
+
+    /// Run `f` over the operation counters.
+    pub fn with_op_stats<R>(&self, f: impl FnOnce(&OpStats) -> R) -> R {
+        f(self.shared.inner.lock().op_stats())
+    }
+
+    /// Run `f` over the underlying index (read-only diagnostics: page
+    /// counts, summary inspection, ...). Holds the physical lock but no
+    /// granule lock — pair with quiesced writers for exact numbers.
+    pub fn with_index<R>(&self, f: impl FnOnce(&RTreeIndex) -> R) -> R {
+        f(&self.shared.inner.lock())
+    }
+
+    /// Run `f` over the underlying index mutably, under an exclusive
+    /// tree granule (maintenance escape hatch: buffer resizing, bulk
+    /// fix-ups, ...).
+    pub fn with_index_mut<R>(&self, f: impl FnOnce(&mut RTreeIndex) -> R) -> R {
+        let (mut index, _tree) = self.lock_tree(LockMode::Exclusive);
+        f(&mut index)
+    }
+
+    /// Run the deep invariant check.
+    pub fn validate(&self) -> CoreResult<()> {
+        self.shared.inner.lock().validate()
+    }
+}
+
+/// Receipt for a flushed write ([`Bur::apply`] / [`Bur::commit`]).
+///
+/// Holding a ticket costs nothing; [`CommitTicket::wait`] blocks until
+/// the log's durable-LSN watermark covers the ticket's commit record —
+/// the hard ack under [`bur_storage::SyncPolicy::Async`], where commits
+/// return before their batch is synced. Under the synchronous policies
+/// (and on non-durable indexes) `wait` returns immediately. The wait
+/// never holds the index lock, so acknowledging durability does not
+/// stall concurrent writers.
+#[derive(Debug)]
+pub struct CommitTicket {
+    report: BatchReport,
+    hooks: CommitBatch,
+    lsn: Lsn,
+    waiter: Option<WalWaiter>,
+}
+
+impl CommitTicket {
+    /// Block until the covered operations are durable; returns the
+    /// durable watermark (0 on a non-durable index).
+    pub fn wait(&self) -> CoreResult<Lsn> {
+        match &self.waiter {
+            Some(w) => Ok(w.wait(self.lsn)?),
+            None => Ok(0),
+        }
+    }
+
+    /// `true` once the covered operations are durable (never blocks;
+    /// trivially `true` on a non-durable index).
+    #[must_use]
+    pub fn is_durable(&self) -> bool {
+        self.waiter
+            .as_ref()
+            .is_none_or(|w| w.durable_lsn() >= self.lsn)
+    }
+
+    /// LSN of the covering commit record (0 on a non-durable index).
+    #[must_use]
+    pub fn lsn(&self) -> Lsn {
+        self.lsn
+    }
+
+    /// What the write did, per operation class.
+    #[must_use]
+    pub fn report(&self) -> &BatchReport {
+        &self.report
+    }
+
+    /// The per-granule commit hooks drained by this flush (empty when
+    /// commit batching was off or the index is not durable).
+    #[must_use]
+    pub fn commit_batch(&self) -> &CommitBatch {
+        &self.hooks
+    }
+
+    /// Consume the ticket, returning the drained commit hooks.
+    #[must_use]
+    pub fn into_commit_batch(self) -> CommitBatch {
+        self.hooks
+    }
+}
+
+/// Streaming window-query results (see [`Bur::query`]).
+///
+/// Iterate it like any iterator; the backing buffer returns to the
+/// handle's recycling pool on drop, so steady-state queries allocate
+/// nothing.
+pub struct QueryCursor {
+    hits: Vec<ObjectId>,
+    pos: usize,
+    home: Arc<BurShared>,
+}
+
+impl std::fmt::Debug for QueryCursor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryCursor")
+            .field("remaining", &self.len())
+            .finish()
+    }
+}
+
+impl QueryCursor {
+    /// The ids not yet consumed, as a slice.
+    #[must_use]
+    pub fn remaining(&self) -> &[ObjectId] {
+        &self.hits[self.pos..]
+    }
+
+    /// Append the remaining ids to `out` (bridge for callers that still
+    /// want buffer semantics), consuming the cursor.
+    pub fn collect_into(mut self, out: &mut Vec<ObjectId>) {
+        out.extend_from_slice(self.remaining());
+        self.pos = self.hits.len();
+    }
+}
+
+impl Iterator for QueryCursor {
+    type Item = ObjectId;
+
+    fn next(&mut self) -> Option<ObjectId> {
+        let id = self.hits.get(self.pos).copied()?;
+        self.pos += 1;
+        Some(id)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.hits.len() - self.pos;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for QueryCursor {}
+
+impl Drop for QueryCursor {
+    fn drop(&mut self) {
+        self.home.recycle(std::mem::take(&mut self.hits));
+    }
+}
+
+/// Streaming k-nearest-neighbor results, closest first (see
+/// [`Bur::nearest`]).
+#[derive(Debug)]
+pub struct NeighborCursor {
+    hits: std::vec::IntoIter<Neighbor>,
+}
+
+impl Iterator for NeighborCursor {
+    type Item = Neighbor;
+
+    fn next(&mut self) -> Option<Neighbor> {
+        self.hits.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.hits.size_hint()
+    }
+}
+
+impl ExactSizeIterator for NeighborCursor {}

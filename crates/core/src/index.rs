@@ -1,6 +1,7 @@
 //! Public index facade: construction, the object API (insert / delete /
 //! update / query), persistence, and validation.
 
+use crate::batch::{Batch, BatchReport, Op};
 use crate::config::{Durability, IndexOptions, UpdateStrategy};
 use crate::error::{CoreError, CoreResult};
 use crate::knn::{self, Neighbor};
@@ -44,11 +45,17 @@ pub struct RecoveryReport {
 /// A disk-resident R-tree index over 2-D objects with configurable update
 /// strategy (TD / LBU / GBU).
 ///
+/// This is the single-threaded engine: `&mut self` writes, no internal
+/// locking. Construct one through [`crate::IndexBuilder::build_index`]
+/// when embedding the index in a single-threaded driver (benches, CLI
+/// tools); shared multi-threaded use goes through the clonable
+/// [`crate::Bur`] handle instead ([`crate::IndexBuilder::build`]).
+///
 /// ```
-/// use bur_core::{IndexOptions, RTreeIndex};
+/// use bur_core::IndexBuilder;
 /// use bur_geom::{Point, Rect};
 ///
-/// let mut index = RTreeIndex::create_in_memory(IndexOptions::generalized()).unwrap();
+/// let mut index = IndexBuilder::generalized().build_index().unwrap();
 /// index.insert(1, Point::new(0.25, 0.5)).unwrap();
 /// index.insert(2, Point::new(0.75, 0.5)).unwrap();
 /// index.update(1, Point::new(0.25, 0.5), Point::new(0.26, 0.5)).unwrap();
@@ -72,16 +79,37 @@ impl std::fmt::Debug for RTreeIndex {
 
 impl RTreeIndex {
     // ---- construction ----------------------------------------------------
+    //
+    // The public constructors are deprecated shims over the `_inner`
+    // functions below; [`crate::IndexBuilder`] is the supported way to
+    // construct an index (it covers the full backend × open-mode ×
+    // durability × strategy matrix in one place).
 
     /// Create a fresh index on an in-memory disk (the experiment default).
+    #[deprecated(since = "0.2.0", note = "use `IndexBuilder::...build_index()` instead")]
     pub fn create_in_memory(opts: IndexOptions) -> CoreResult<Self> {
-        let disk = Arc::new(MemDisk::new(opts.page_size));
-        Self::create_on(disk, opts)
+        Self::create_in_memory_inner(opts)
     }
 
     /// Create a fresh index on the given disk. The disk must be empty;
     /// page 0 is reserved for index metadata.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `IndexBuilder::...disk(d).build_index()` instead"
+    )]
     pub fn create_on(disk: Arc<dyn DiskBackend>, opts: IndexOptions) -> CoreResult<Self> {
+        Self::create_on_inner(disk, opts)
+    }
+
+    pub(crate) fn create_in_memory_inner(opts: IndexOptions) -> CoreResult<Self> {
+        let disk = Arc::new(MemDisk::new(opts.page_size));
+        Self::create_on_inner(disk, opts)
+    }
+
+    pub(crate) fn create_on_inner(
+        disk: Arc<dyn DiskBackend>,
+        opts: IndexOptions,
+    ) -> CoreResult<Self> {
         opts.validate()?;
         if disk.page_size() != opts.page_size {
             return Err(CoreError::BadConfig(format!(
@@ -119,12 +147,14 @@ impl RTreeIndex {
                         wal.anchor()
                     )));
                 }
+                wal.set_async_coalesce(wopts.async_coalesce);
                 attach_durable_watcher(&wal, &pool);
                 Some(WalHandle {
                     wal,
                     opts: wopts,
                     commits_since_checkpoint: 0,
                     pending_ops: 0,
+                    in_batch: false,
                 })
             }
             Durability::None => None,
@@ -152,9 +182,20 @@ impl RTreeIndex {
     /// the log is always safe (a cleanly shut down log replays to exactly
     /// the stored image), and opening a durable file *without* its log
     /// would let unlogged page writes race a stale log generation.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `IndexBuilder::...open().build_index()` instead"
+    )]
     pub fn open_on(disk: Arc<dyn DiskBackend>, opts: IndexOptions) -> CoreResult<Self> {
+        Self::open_on_inner(disk, opts)
+    }
+
+    pub(crate) fn open_on_inner(
+        disk: Arc<dyn DiskBackend>,
+        opts: IndexOptions,
+    ) -> CoreResult<Self> {
         if matches!(opts.durability, Durability::Wal(_)) {
-            return Ok(Self::recover_on(disk, opts)?.0);
+            return Ok(Self::recover_on_inner(disk, opts)?.0);
         }
         opts.validate()?;
         if disk.page_size() != opts.page_size {
@@ -184,7 +225,7 @@ impl RTreeIndex {
             // mutating pages behind a stale generation.
             drop(pool);
             let opts = opts.with_durability(Durability::Wal(crate::config::WalOptions::default()));
-            return Ok(Self::recover_on(disk, opts)?.0);
+            return Ok(Self::recover_on_inner(disk, opts)?.0);
         }
         let mut tree = Self::tree_from_snapshot(pool, opts, &snap)?;
         tree.meta_chain_pages = meta_cont;
@@ -280,6 +321,23 @@ impl RTreeIndex {
         self.tree.wal.as_ref().map(|h| h.wal.stats())
     }
 
+    /// A clonable waiter on the log's durable-LSN watermark, when the
+    /// index is durable. This is what [`crate::CommitTicket`] rides: it
+    /// can block on durability *without* holding the index (or, through
+    /// [`crate::Bur`], its lock).
+    #[must_use]
+    pub fn wal_waiter(&self) -> Option<bur_wal::WalWaiter> {
+        self.tree.wal.as_ref().map(|h| h.wal.waiter())
+    }
+
+    /// Highest log sequence number assigned so far (`None` without a
+    /// WAL). Immediately after a flush this covers every acknowledged
+    /// operation — the LSN a [`crate::CommitTicket`] waits on.
+    #[must_use]
+    pub fn last_lsn(&self) -> Option<u64> {
+        self.tree.wal.as_ref().map(|h| h.wal.last_lsn())
+    }
+
     /// Change the commit batch size at runtime (see
     /// [`crate::WalOptions::batch_ops`]): operations accumulate until
     /// `ops` of them are flushed as one group commit record. `1` restores
@@ -334,7 +392,18 @@ impl RTreeIndex {
     ///
     /// `opts.durability` must be [`Durability::Wal`]; a disk that was
     /// never durable (no log at its anchor page) is rejected.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `IndexBuilder::...recover().build_index_with_report()` instead"
+    )]
     pub fn recover_on(
+        disk: Arc<dyn DiskBackend>,
+        opts: IndexOptions,
+    ) -> CoreResult<(Self, RecoveryReport)> {
+        Self::recover_on_inner(disk, opts)
+    }
+
+    pub(crate) fn recover_on_inner(
         disk: Arc<dyn DiskBackend>,
         opts: IndexOptions,
     ) -> CoreResult<(Self, RecoveryReport)> {
@@ -481,12 +550,14 @@ impl RTreeIndex {
         // disk becomes a clean base image and the log restarts.
         let mut tree = Self::tree_from_snapshot(pool, opts, &snap)?;
         tree.meta_chain_pages = meta_cont;
+        wal.set_async_coalesce(wopts.async_coalesce);
         attach_durable_watcher(&wal, &tree.pool);
         tree.wal = Some(WalHandle {
             wal,
             opts: wopts,
             commits_since_checkpoint: 0,
             pending_ops: 0,
+            in_batch: false,
         });
         tree.pool.set_wal_mode(true);
         let mut index = Self { tree };
@@ -494,17 +565,71 @@ impl RTreeIndex {
         Ok((index, report))
     }
 
-    /// Recover a durable index from a file (see
-    /// [`RTreeIndex::recover_on`]).
+    /// Recover a durable index from a file.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `IndexBuilder::...file(p).recover().build_index_with_report()` instead"
+    )]
     pub fn recover<P: AsRef<Path>>(
         path: P,
         opts: IndexOptions,
     ) -> CoreResult<(Self, RecoveryReport)> {
         let disk = bur_storage::FileDisk::open(path, opts.page_size)?;
-        Self::recover_on(Arc::new(disk), opts)
+        Self::recover_on_inner(Arc::new(disk), opts)
     }
 
     // ---- object API --------------------------------------------------------
+
+    /// Apply a [`Batch`] of mixed operations in order.
+    ///
+    /// On a durable index the whole batch is covered by **one** group
+    /// commit record appended after the last operation, regardless of
+    /// the configured [`crate::WalOptions::batch_ops`]: with respect to
+    /// the write-ahead log the batch is atomic — a crash recovers either
+    /// all of it or none of it. (Any single operations already pending
+    /// in the current commit batch ride along under the same record.)
+    ///
+    /// Failed deletes (object not indexed at the stated position) are
+    /// counted in [`BatchReport::missing_deletes`], not errors. Any
+    /// other failing operation aborts the rest of the batch: operations
+    /// before it stay applied (and are flushed under a commit record so
+    /// the log never diverges from the tree), and the error reports the
+    /// failing position as [`CoreError::Batch`].
+    pub fn apply_batch(&mut self, batch: &Batch) -> CoreResult<BatchReport> {
+        let mut report = BatchReport::default();
+        self.tree.wal_begin_batch();
+        for (i, op) in batch.ops().iter().enumerate() {
+            let step = match *op {
+                Op::Insert { oid, rect } => self.insert_rect(oid, rect).map(|()| {
+                    report.inserted += 1;
+                }),
+                Op::Update { oid, old, new } => self.update(oid, old, new).map(|_| {
+                    report.updated += 1;
+                }),
+                Op::Delete { oid, position } => self.delete(oid, position).map(|found| {
+                    if found {
+                        report.deleted += 1;
+                    } else {
+                        report.missing_deletes += 1;
+                    }
+                }),
+            };
+            match step {
+                Ok(()) => report.applied += 1,
+                Err(source) => {
+                    // Close the batch around what *was* applied before
+                    // surfacing the failure; a flush error outranks it.
+                    self.tree.wal_end_batch()?;
+                    return Err(CoreError::Batch {
+                        op_index: i,
+                        source: Box::new(source),
+                    });
+                }
+            }
+        }
+        self.tree.wal_end_batch()?;
+        Ok(report)
+    }
 
     /// Insert a point object under a fresh id. With a hash index present
     /// (LBU/GBU) duplicate ids are rejected; TD trusts the caller.

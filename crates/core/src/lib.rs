@@ -19,17 +19,22 @@
 //! ([`bur_hashindex`]) from object ids to leaf pages, so every figure of
 //! the paper can be reproduced by counting physical page transfers.
 //!
-//! Entry point: [`RTreeIndex`]. Concurrency: [`ConcurrentIndex`]
-//! (DGL granule locks, Section 3.2.2).
+//! Entry point: [`IndexBuilder`], which builds either the clonable,
+//! DGL-locked [`Bur`] handle (shared use, batch-first writes via
+//! [`Batch`], streaming [`QueryCursor`] results, durability acks via
+//! [`CommitTicket`]) or a raw single-threaded [`RTreeIndex`].
 
 #![warn(missing_docs)]
 
+mod batch;
+mod builder;
 mod bulk;
 mod concurrent;
 mod config;
 pub mod cost_model;
 mod error;
 mod gbu;
+mod handle;
 mod index;
 mod knn;
 mod lbu;
@@ -41,6 +46,9 @@ mod summary;
 mod topdown;
 mod tree;
 
+pub use batch::{Batch, BatchReport, Op};
+pub use builder::{IndexBuilder, OpenMode};
+#[allow(deprecated)]
 pub use concurrent::ConcurrentIndex;
 pub use config::{
     Durability, GbuParams, IndexOptions, InsertPolicy, LbuParams, SplitPolicy, UpdateStrategy,
@@ -48,9 +56,10 @@ pub use config::{
 };
 pub use error::{CoreError, CoreResult};
 pub use gbu::iextend_mbr;
+pub use handle::{Bur, CommitTicket, NeighborCursor, QueryCursor};
 pub use index::{RTreeIndex, RecoveryReport};
 // Re-exported so durability consumers need no direct `bur-wal` dependency.
-pub use bur_wal::{DeltaPolicy, WalStatsSnapshot};
+pub use bur_wal::{DeltaPolicy, WalStatsSnapshot, WalWaiter};
 pub use knn::Neighbor;
 pub use node::{
     internal_capacity, leaf_capacity, InternalEntry, LeafEntry, Node, NodeEntries, ObjectId,

@@ -50,6 +50,10 @@ pub(crate) struct WalHandle {
     /// Operations finished but not yet covered by a commit record
     /// (commit batching; flushed once `opts.batch_ops` accumulate).
     pub(crate) pending_ops: u64,
+    /// `true` while a [`crate::Batch`] is being applied: per-operation
+    /// commits only accumulate, and the batch end flushes them as one
+    /// group commit record regardless of `opts.batch_ops`.
+    pub(crate) in_batch: bool,
 }
 
 /// An entry being inserted: either an object (into a leaf) or a whole
@@ -280,8 +284,29 @@ impl RTree {
             return Ok(());
         };
         handle.pending_ops += 1;
-        if handle.pending_ops < u64::from(handle.opts.batch_ops.max(1)) {
+        if handle.in_batch || handle.pending_ops < u64::from(handle.opts.batch_ops.max(1)) {
             return Ok(());
+        }
+        self.wal_flush_commit()
+    }
+
+    /// Enter batch mode: subsequent operations accumulate in the pending
+    /// commit instead of flushing on the `batch_ops` cadence. Must be
+    /// paired with [`RTree::wal_end_batch`]. No-op without a WAL.
+    pub(crate) fn wal_begin_batch(&mut self) {
+        if let Some(handle) = self.wal.as_mut() {
+            handle.in_batch = true;
+        }
+    }
+
+    /// Leave batch mode and flush everything that accumulated — the
+    /// batch's operations plus any per-op commits that were already
+    /// pending — as **one** group commit record. Called on the error
+    /// path too, so a half-applied batch is still covered by a commit
+    /// record (the in-memory tree and the log never diverge).
+    pub(crate) fn wal_end_batch(&mut self) -> CoreResult<()> {
+        if let Some(handle) = self.wal.as_mut() {
+            handle.in_batch = false;
         }
         self.wal_flush_commit()
     }

@@ -2,7 +2,7 @@
 //! incremental build: identical query answers, comparable tree quality,
 //! correct auxiliary-structure maintenance.
 
-use bur_core::{IndexOptions, RTreeIndex};
+use bur_core::{IndexBuilder, IndexOptions, RTreeIndex};
 use bur_geom::{Point, Rect};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -28,7 +28,7 @@ fn loaders_agree_with_incremental_build() {
     let opts = IndexOptions::generalized();
     let str_tree = RTreeIndex::bulk_load_in_memory(opts, &items).unwrap();
     let hil_tree = RTreeIndex::bulk_load_hilbert_in_memory(opts, &items).unwrap();
-    let mut incr = RTreeIndex::create_in_memory(opts).unwrap();
+    let mut incr = IndexBuilder::with_options(opts).build_index().unwrap();
     for &(oid, p) in &items {
         incr.insert(oid, p).unwrap();
     }
@@ -59,7 +59,7 @@ fn packed_trees_have_comparable_query_quality() {
     let opts = IndexOptions::top_down();
     let str_tree = RTreeIndex::bulk_load_in_memory(opts, &items).unwrap();
     let hil_tree = RTreeIndex::bulk_load_hilbert_in_memory(opts, &items).unwrap();
-    let mut incr = RTreeIndex::create_in_memory(opts).unwrap();
+    let mut incr = IndexBuilder::with_options(opts).build_index().unwrap();
     for &(oid, p) in &items {
         incr.insert(oid, p).unwrap();
     }

@@ -3,7 +3,9 @@
 //! heavy enough to force splits, condenses, extensions, shifts and
 //! ascents. The deep invariant checker runs between phases.
 
-use bur_core::{GbuParams, IndexOptions, LbuParams, RTreeIndex, SplitPolicy, UpdateStrategy};
+use bur_core::{
+    GbuParams, IndexBuilder, IndexOptions, LbuParams, RTreeIndex, SplitPolicy, UpdateStrategy,
+};
 use bur_geom::{Point, Rect};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -102,7 +104,7 @@ fn compare(name: &str, index: &RTreeIndex, base: &Baseline, rng: &mut StdRng, qu
 fn random_workload_matches_baseline() {
     for (name, opts) in strategies() {
         let mut rng = StdRng::seed_from_u64(0xBEEF);
-        let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+        let mut index = IndexBuilder::with_options(opts).build_index().unwrap();
         let mut base = Baseline::default();
 
         // Phase 1: inserts.
@@ -163,7 +165,9 @@ fn update_outcomes_cover_all_paths() {
     // With locality-heavy movement, GBU must actually exercise the
     // bottom-up machinery, not just fall through to top-down.
     let mut rng = StdRng::seed_from_u64(7);
-    let mut index = RTreeIndex::create_in_memory(IndexOptions::generalized()).unwrap();
+    let mut index = IndexBuilder::with_options(IndexOptions::generalized())
+        .build_index()
+        .unwrap();
     let mut positions = HashMap::new();
     for oid in 0..3_000u64 {
         let p = rand_point(&mut rng);
@@ -203,7 +207,7 @@ fn gbu_zero_epsilon_never_extends() {
         }),
         ..IndexOptions::default()
     };
-    let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+    let mut index = IndexBuilder::with_options(opts).build_index().unwrap();
     let mut positions = HashMap::new();
     for oid in 0..1_000u64 {
         let p = rand_point(&mut rng);
@@ -227,7 +231,9 @@ fn gbu_zero_epsilon_never_extends() {
 #[test]
 fn summary_and_plain_queries_agree() {
     let mut rng = StdRng::seed_from_u64(99);
-    let mut index = RTreeIndex::create_in_memory(IndexOptions::generalized()).unwrap();
+    let mut index = IndexBuilder::with_options(IndexOptions::generalized())
+        .build_index()
+        .unwrap();
     let mut positions = HashMap::new();
     for oid in 0..4_000u64 {
         let p = rand_point(&mut rng);
@@ -257,7 +263,9 @@ fn summary_and_plain_queries_agree() {
 
 #[test]
 fn duplicate_and_missing_objects() {
-    let mut index = RTreeIndex::create_in_memory(IndexOptions::generalized()).unwrap();
+    let mut index = IndexBuilder::with_options(IndexOptions::generalized())
+        .build_index()
+        .unwrap();
     index.insert(1, Point::new(0.5, 0.5)).unwrap();
     let err = index.insert(1, Point::new(0.6, 0.6)).unwrap_err();
     assert!(err.to_string().contains("already indexed"));
@@ -272,7 +280,7 @@ fn duplicate_and_missing_objects() {
 #[test]
 fn empty_and_tiny_trees() {
     for (name, opts) in strategies() {
-        let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+        let mut index = IndexBuilder::with_options(opts).build_index().unwrap();
         assert!(index.is_empty(), "{name}");
         assert_eq!(index.height(), 1);
         assert!(index.query(&Rect::UNIT).unwrap().is_empty());
@@ -297,7 +305,9 @@ fn empty_and_tiny_trees() {
 #[test]
 fn shrinks_back_after_mass_delete() {
     let mut rng = StdRng::seed_from_u64(3);
-    let mut index = RTreeIndex::create_in_memory(IndexOptions::top_down()).unwrap();
+    let mut index = IndexBuilder::with_options(IndexOptions::top_down())
+        .build_index()
+        .unwrap();
     let mut pts = Vec::new();
     for oid in 0..3_000u64 {
         let p = rand_point(&mut rng);
@@ -331,7 +341,7 @@ fn bulk_load_agrees_with_incremental() {
         bulk.validate()
             .unwrap_or_else(|e| panic!("{name} bulk: {e}"));
         assert_eq!(bulk.len(), 5_000);
-        let mut incr = RTreeIndex::create_in_memory(opts).unwrap();
+        let mut incr = IndexBuilder::with_options(opts).build_index().unwrap();
         for &(oid, p) in &items {
             incr.insert(oid, p).unwrap();
         }
@@ -366,7 +376,9 @@ fn bulk_load_utilization_near_66_percent() {
 
 #[test]
 fn point_query_and_count() {
-    let mut index = RTreeIndex::create_in_memory(IndexOptions::generalized()).unwrap();
+    let mut index = IndexBuilder::with_options(IndexOptions::generalized())
+        .build_index()
+        .unwrap();
     index.insert(1, Point::new(0.25, 0.25)).unwrap();
     index.insert(2, Point::new(0.25, 0.25)).unwrap(); // co-located
     index.insert(3, Point::new(0.75, 0.75)).unwrap();

@@ -4,7 +4,7 @@
 //! explicitly documented extras our implementation pays (the parent
 //! write on extension, hash maintenance on relocation).
 
-use bur_core::{GbuParams, IndexOptions, RTreeIndex, UpdateOutcome, UpdateStrategy};
+use bur_core::{GbuParams, IndexBuilder, IndexOptions, RTreeIndex, UpdateOutcome, UpdateStrategy};
 use bur_geom::Point;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -19,7 +19,7 @@ fn build_gbu(n: u64, seed: u64) -> (RTreeIndex, Vec<Point>) {
         ..IndexOptions::default()
     };
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+    let mut index = IndexBuilder::with_options(opts).build_index().unwrap();
     let mut positions = Vec::new();
     for oid in 0..n {
         let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
@@ -207,7 +207,7 @@ fn gbu_cheaper_than_td_without_buffer() {
     let mut td = {
         let mut opts = IndexOptions::top_down();
         opts.buffer_frames = 4096;
-        let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+        let mut index = IndexBuilder::with_options(opts).build_index().unwrap();
         for (oid, &p) in positions.iter().enumerate() {
             index.insert(oid as u64, p).unwrap();
         }

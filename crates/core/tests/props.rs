@@ -4,8 +4,8 @@
 //! kNN / distance-query extensions.
 
 use bur_core::{
-    internal_capacity, leaf_capacity, GbuParams, IndexOptions, InternalEntry, LbuParams, LeafEntry,
-    Node, RTreeIndex, SplitPolicy, UpdateStrategy,
+    internal_capacity, leaf_capacity, GbuParams, IndexBuilder, IndexOptions, InternalEntry,
+    LbuParams, LeafEntry, Node, RTreeIndex, SplitPolicy, UpdateStrategy,
 };
 use bur_geom::{Point, Rect};
 use proptest::prelude::*;
@@ -63,7 +63,7 @@ fn apply_ops(opts: IndexOptions, ops: &[Op]) -> Result<(), TestCaseError> {
         buffer_frames: 16,
         ..opts
     };
-    let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+    let mut index = IndexBuilder::with_options(opts).build_index().unwrap();
     let mut model: HashMap<u8, Point> = HashMap::new();
     for op in ops {
         match op {
@@ -148,7 +148,7 @@ proptest! {
             .collect();
         let bulk = RTreeIndex::bulk_load_in_memory(opts, &items).unwrap();
         bulk.validate().map_err(|e| TestCaseError::fail(format!("bulk: {e}")))?;
-        let mut incr = RTreeIndex::create_in_memory(opts).unwrap();
+        let mut incr = IndexBuilder::with_options(opts).build_index().unwrap();
         for &(oid, p) in &items {
             incr.insert(oid, p).unwrap();
         }
@@ -178,7 +178,7 @@ proptest! {
             .collect();
         let bulk = RTreeIndex::bulk_load_hilbert_in_memory(opts, &items).unwrap();
         bulk.validate().map_err(|e| TestCaseError::fail(format!("hilbert bulk: {e}")))?;
-        let mut incr = RTreeIndex::create_in_memory(opts).unwrap();
+        let mut incr = IndexBuilder::with_options(opts).build_index().unwrap();
         for &(oid, p) in &items {
             incr.insert(oid, p).unwrap();
         }
@@ -209,7 +209,7 @@ proptest! {
             page_size: 256,
             ..IndexOptions::generalized()
         };
-        let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+        let mut index = IndexBuilder::with_options(opts).build_index().unwrap();
         for (i, &(x, y)) in points.iter().enumerate() {
             index.insert(i as u64, Point::new(x, y)).unwrap();
         }
@@ -242,10 +242,11 @@ proptest! {
         center in arb_coord(),
         radius in 0.0f32..0.7,
     ) {
-        let mut index = RTreeIndex::create_in_memory(IndexOptions {
+        let mut index = IndexBuilder::with_options(IndexOptions {
             page_size: 256,
             ..IndexOptions::top_down()
         })
+        .build_index()
         .unwrap();
         for (i, &(x, y)) in points.iter().enumerate() {
             index.insert(i as u64, Point::new(x, y)).unwrap();

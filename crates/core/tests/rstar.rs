@@ -5,7 +5,7 @@
 //! that the combination preserves every invariant and answers queries
 //! identically to the Guttman build.
 
-use bur_core::{IndexOptions, RTreeIndex};
+use bur_core::{IndexBuilder, IndexOptions, RTreeIndex};
 use bur_geom::{Point, Rect};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -18,7 +18,7 @@ fn uniform_points(n: usize, seed: u64) -> Vec<(u64, Point)> {
 }
 
 fn build(opts: IndexOptions, pts: &[(u64, Point)]) -> RTreeIndex {
-    let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+    let mut index = IndexBuilder::with_options(opts).build_index().unwrap();
     for &(oid, p) in pts {
         index.insert(oid, p).unwrap();
     }
@@ -168,7 +168,9 @@ fn rstar_handles_deletes_and_underflow() {
 fn forced_reinsertion_bounded_per_insert() {
     // Forced reinsertion must terminate: a pathological same-point
     // workload overflows the same leaf repeatedly.
-    let mut index = RTreeIndex::create_in_memory(IndexOptions::top_down().rstar()).unwrap();
+    let mut index = IndexBuilder::with_options(IndexOptions::top_down().rstar())
+        .build_index()
+        .unwrap();
     for oid in 0..2000u64 {
         index
             .insert(oid, Point::new(0.5 + (oid % 7) as f32 * 1e-6, 0.5))

@@ -1,7 +1,9 @@
 //! Strategy-specific behaviour: the knobs of Section 3.2.1 must do what
 //! the paper says they do, observably.
 
-use bur_core::{GbuParams, IndexOptions, LbuParams, RTreeIndex, UpdateOutcome, UpdateStrategy};
+use bur_core::{
+    GbuParams, IndexBuilder, IndexOptions, LbuParams, RTreeIndex, UpdateOutcome, UpdateStrategy,
+};
 use bur_geom::{Point, Rect};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -38,7 +40,9 @@ fn gbu_opts(params: GbuParams) -> IndexOptions {
 
 #[test]
 fn td_keeps_no_auxiliary_structures() {
-    let mut index = RTreeIndex::create_in_memory(IndexOptions::top_down()).unwrap();
+    let mut index = IndexBuilder::with_options(IndexOptions::top_down())
+        .build_index()
+        .unwrap();
     for (oid, p) in uniform_points(2_000, 1) {
         index.insert(oid, p).unwrap();
     }
@@ -58,7 +62,9 @@ fn td_keeps_no_auxiliary_structures() {
 fn lbu_parent_pointers_survive_splits_and_condenses() {
     // validate() checks every leaf's parent pointer in LBU mode; force
     // lots of structural change and let it verify the maintenance.
-    let mut index = RTreeIndex::create_in_memory(IndexOptions::localized()).unwrap();
+    let mut index = IndexBuilder::with_options(IndexOptions::localized())
+        .build_index()
+        .unwrap();
     let items = uniform_points(4_000, 2);
     let mut positions: Vec<Point> = items.iter().map(|&(_, p)| p).collect();
     for &(oid, p) in &items {
@@ -113,7 +119,9 @@ fn tau_orders_extend_vs_shift() {
 fn gbu_index_with(f: impl FnOnce(&mut GbuParams)) -> RTreeIndex {
     let mut params = GbuParams::default();
     f(&mut params);
-    RTreeIndex::create_in_memory(gbu_opts(params)).unwrap()
+    IndexBuilder::with_options(gbu_opts(params))
+        .build_index()
+        .unwrap()
 }
 
 #[test]
@@ -130,7 +138,7 @@ fn level_threshold_limits_ascent() {
         page_size: 256,
         ..gbu_opts(params)
     };
-    let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+    let mut index = IndexBuilder::with_options(opts).build_index().unwrap();
     let items = uniform_points(4_000, 6);
     let mut positions: Vec<Point> = items.iter().map(|&(_, p)| p).collect();
     for &(oid, p) in &items {
@@ -183,7 +191,9 @@ fn piggyback_flag_controls_redistribution() {
 fn gbu_far_jump_outside_root_goes_top_down() {
     // Algorithm 2 line 1: "if newLocation lies outside rootMBR then
     // Issue a top-down update".
-    let mut index = RTreeIndex::create_in_memory(IndexOptions::generalized()).unwrap();
+    let mut index = IndexBuilder::with_options(IndexOptions::generalized())
+        .build_index()
+        .unwrap();
     for (oid, p) in uniform_points(2_000, 10) {
         index.insert(oid, p).unwrap();
     }
@@ -208,7 +218,7 @@ fn lbu_extension_bounded_by_parent() {
         }),
         ..IndexOptions::default()
     };
-    let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+    let mut index = IndexBuilder::with_options(opts).build_index().unwrap();
     let items = uniform_points(3_000, 11);
     let mut positions: Vec<Point> = items.iter().map(|&(_, p)| p).collect();
     for &(oid, p) in &items {
@@ -228,7 +238,7 @@ fn kwon_mode_never_shifts() {
             strategy: UpdateStrategy::Localized(params),
             ..IndexOptions::default()
         };
-        let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+        let mut index = IndexBuilder::with_options(opts).build_index().unwrap();
         let items = uniform_points(3_000, 21);
         let mut positions: Vec<Point> = items.iter().map(|&(_, p)| p).collect();
         for &(oid, p) in &items {
@@ -257,7 +267,9 @@ fn summary_fullness_bits_track_reality() {
     // After arbitrary churn, the bit vector must agree with the actual
     // leaf fills (validate checks this; here we also confirm both full
     // and non-full leaves exist so the check is not vacuous).
-    let mut index = RTreeIndex::create_in_memory(IndexOptions::generalized()).unwrap();
+    let mut index = IndexBuilder::with_options(IndexOptions::generalized())
+        .build_index()
+        .unwrap();
     let items = uniform_points(5_000, 13);
     let mut positions: Vec<Point> = items.iter().map(|&(_, p)| p).collect();
     for &(oid, p) in &items {
@@ -272,7 +284,9 @@ fn summary_fullness_bits_track_reality() {
 
 #[test]
 fn ascended_outcome_levels_are_sane() {
-    let mut index = RTreeIndex::create_in_memory(IndexOptions::generalized()).unwrap();
+    let mut index = IndexBuilder::with_options(IndexOptions::generalized())
+        .build_index()
+        .unwrap();
     let items = uniform_points(4_000, 15);
     let mut positions: Vec<Point> = items.iter().map(|&(_, p)| p).collect();
     for &(oid, p) in &items {

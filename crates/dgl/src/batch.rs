@@ -67,10 +67,20 @@ impl CommitBatcher {
     /// Record one finished operation on `granule`; returns the number of
     /// operations now pending (the caller's flush trigger).
     pub fn note(&self, granule: Granule) -> u64 {
+        self.note_n(granule, 1)
+    }
+
+    /// Record `n` finished operations on `granule` in one lock
+    /// acquisition (the batch-apply path: thousands of operations under
+    /// one granule must not pay a mutex round-trip each). Returns the
+    /// number of operations now pending.
+    pub fn note_n(&self, granule: Granule, n: u64) -> u64 {
         let mut state = self.state.lock();
-        *state.per_granule.entry(granule).or_insert(0) += 1;
-        state.ops += 1;
-        state.total_ops += 1;
+        if n > 0 {
+            *state.per_granule.entry(granule).or_insert(0) += n;
+            state.ops += n;
+            state.total_ops += n;
+        }
         state.ops
     }
 
@@ -141,6 +151,18 @@ mod tests {
         );
         assert_eq!(b.pending(), 0);
         assert_eq!(b.pending_granules(), 0);
+    }
+
+    #[test]
+    fn note_n_batches_the_accounting() {
+        let b = CommitBatcher::new();
+        assert_eq!(b.note_n(Granule::Tree, 5), 5);
+        assert_eq!(b.note_n(Granule::Leaf(2), 0), 5, "n = 0 notes nothing");
+        assert_eq!(b.note(Granule::Tree), 6);
+        let batch = b.drain();
+        assert_eq!(batch.ops, 6);
+        assert_eq!(batch.granules, vec![(Granule::Tree, 6)]);
+        assert_eq!(b.totals(), (6, 1));
     }
 
     #[test]

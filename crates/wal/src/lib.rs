@@ -61,7 +61,9 @@
 mod log;
 
 pub use bur_storage::{Lsn, SyncPolicy};
-pub use log::{scan, ScanResult, Wal, WalStatsSnapshot, WAL_PAGE_MAGIC};
+pub use log::{
+    scan, ScanResult, Wal, WalStatsSnapshot, WalWaiter, DEFAULT_ASYNC_COALESCE, WAL_PAGE_MAGIC,
+};
 
 /// When [`Wal::append_page`] may log a byte-range delta instead of a full
 /// page image.

@@ -46,11 +46,23 @@ use bur_storage::{DiskBackend, Lsn, PageId, StorageResult, SyncPolicy, INVALID_P
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Magic number opening every log page ("BWAL", little-endian).
 pub const WAL_PAGE_MAGIC: u32 = 0x4C41_5742;
+
+/// Default commit-record debounce under [`SyncPolicy::Async`]: the
+/// background syncer is *requested* only every this many commit records
+/// (see [`Wal::set_async_coalesce`]); in between, commits ride the
+/// coalescing window.
+pub const DEFAULT_ASYNC_COALESCE: u32 = 8;
+
+/// How long the background syncer lets further commits accumulate after
+/// the first unsynced one before syncing anyway. Bounds the durability
+/// lag of a debounced single-threaded commit stream.
+const ASYNC_COALESCE_WINDOW: Duration = Duration::from_millis(2);
 
 /// Log page header size in bytes.
 const HDR: usize = 14;
@@ -106,6 +118,9 @@ struct WalInner {
     tracks: HashMap<PageId, PageTrack>,
     /// Async: the background thread should sync as soon as it can.
     sync_requested: bool,
+    /// Threads currently blocked in [`Wal::wait_durable`]; while any
+    /// exist, commit debouncing is suspended (hard acks stay prompt).
+    waiters: u32,
     /// Async: the background thread must exit.
     shutdown: bool,
     /// Async: a background sync failed; surfaced to the next caller that
@@ -232,6 +247,13 @@ struct WalShared {
     sync_signal: Condvar,
     /// Wakes threads blocked in [`Wal::wait_durable`].
     durable_signal: Condvar,
+    /// `true` while a background syncer thread serves this log
+    /// ([`SyncPolicy::Async`] and not yet shut down).
+    has_syncer: AtomicBool,
+    /// Async commit debounce: request a background sync only every this
+    /// many commit records (min 1 = request per commit, the pre-debounce
+    /// behavior). The coalescing window bounds the added latency.
+    coalesce: AtomicU32,
     /// Called (outside the log lock) with the new durable LSN after every
     /// background sync; lets the buffer pool unblock gated flushes
     /// without polling.
@@ -356,22 +378,78 @@ impl WalShared {
         }
     }
 
+    /// Block until every record at or below `lsn` is durable; returns
+    /// the durable watermark. Shared by [`Wal::wait_durable`] and
+    /// [`WalWaiter::wait`].
+    fn wait_durable_inner(&self, lsn: Lsn) -> StorageResult<Lsn> {
+        let mut inner = self.inner.lock();
+        loop {
+            // Success first: a caller whose records are already durable
+            // must not be handed a later batch's sync failure (that error
+            // stays queued for a waiter it actually affects).
+            if inner.durable_lsn >= lsn {
+                return Ok(inner.durable_lsn);
+            }
+            if let Some(e) = inner.sync_error.take() {
+                return Err(e);
+            }
+            if !self.has_syncer.load(Ordering::Acquire) {
+                self.sync_inner(&mut inner)?;
+                continue;
+            }
+            if inner.shutdown {
+                return Err(wal_state_error(
+                    "wal: log shut down before the awaited LSN became durable",
+                ));
+            }
+            inner.waiters += 1;
+            inner.sync_requested = true;
+            self.sync_signal.notify_all();
+            self.durable_signal.wait(&mut inner);
+            inner.waiters -= 1;
+        }
+    }
+
     /// The background group-committer (Async policy). Batches every sync
     /// request that arrives while a device sync is in flight into the
     /// next one, and syncs the device *outside* the log lock so appenders
     /// overlap the I/O.
+    ///
+    /// Sync requests are debounced by the committers (one request per
+    /// [`WalShared::coalesce`] commit records); the loop backstops the
+    /// debounce with a *coalescing window*: once any commit is unsynced,
+    /// it syncs after at most [`ASYNC_COALESCE_WINDOW`] even if the
+    /// request threshold is never reached, so a stalling commit stream
+    /// never leaves its tail lingering.
     fn syncer_loop(self: &Arc<Self>) {
         loop {
             let target = {
                 let mut inner = self.inner.lock();
-                while !inner.sync_requested && !inner.shutdown {
-                    self.sync_signal.wait(&mut inner);
-                }
-                if inner.shutdown {
-                    // Exit without a final sync: dropping the log models a
-                    // crash in tests, and clean shutdowns checkpoint
-                    // (which syncs synchronously) before dropping.
-                    return;
+                loop {
+                    if inner.shutdown {
+                        // Exit without a final sync: dropping the log
+                        // models a crash in tests, and clean shutdowns
+                        // checkpoint (which syncs synchronously) before
+                        // dropping.
+                        return;
+                    }
+                    if inner.sync_requested {
+                        break;
+                    }
+                    if inner.commits_since_sync > 0 || inner.dirty_tail {
+                        // Unsynced work exists but nobody asked yet:
+                        // coalesce, then sync at the deadline anyway.
+                        let deadline = Instant::now() + ASYNC_COALESCE_WINDOW;
+                        if self
+                            .sync_signal
+                            .wait_until(&mut inner, deadline)
+                            .timed_out()
+                        {
+                            break;
+                        }
+                    } else {
+                        self.sync_signal.wait(&mut inner);
+                    }
                 }
                 inner.sync_requested = false;
                 if inner.dirty_tail {
@@ -454,12 +532,15 @@ impl Wal {
                 needs_rewind: false,
                 tracks: HashMap::new(),
                 sync_requested: false,
+                waiters: 0,
                 shutdown: false,
                 sync_error: None,
             }),
             counters: WalCounters::default(),
             sync_signal: Condvar::new(),
             durable_signal: Condvar::new(),
+            has_syncer: AtomicBool::new(false),
+            coalesce: AtomicU32::new(DEFAULT_ASYNC_COALESCE),
             watcher: Mutex::new(None),
         });
         {
@@ -517,12 +598,15 @@ impl Wal {
                 needs_rewind: true,
                 tracks: HashMap::new(),
                 sync_requested: false,
+                waiters: 0,
                 shutdown: false,
                 sync_error: None,
             }),
             counters: WalCounters::default(),
             sync_signal: Condvar::new(),
             durable_signal: Condvar::new(),
+            has_syncer: AtomicBool::new(false),
+            coalesce: AtomicU32::new(DEFAULT_ASYNC_COALESCE),
             watcher: Mutex::new(None),
         });
         Ok((Self::finish(shared), scanned))
@@ -531,6 +615,7 @@ impl Wal {
     /// Spawn the background syncer when the policy asks for one.
     fn finish(shared: Arc<WalShared>) -> Self {
         let syncer = if shared.policy == SyncPolicy::Async {
+            shared.has_syncer.store(true, Ordering::Release);
             let s = shared.clone();
             Some(std::thread::spawn(move || s.syncer_loop()))
         } else {
@@ -580,25 +665,39 @@ impl Wal {
     /// durable watermark. Under [`SyncPolicy::Async`] this waits on the
     /// background thread; under the synchronous policies it syncs inline.
     pub fn wait_durable(&self, lsn: Lsn) -> StorageResult<Lsn> {
-        let mut inner = self.shared.inner.lock();
-        loop {
-            // Success first: a caller whose records are already durable
-            // must not be handed a later batch's sync failure (that error
-            // stays queued for a waiter it actually affects).
-            if inner.durable_lsn >= lsn {
-                return Ok(inner.durable_lsn);
-            }
-            if let Some(e) = inner.sync_error.take() {
-                return Err(e);
-            }
-            if self.syncer.is_none() {
-                self.shared.sync_inner(&mut inner)?;
-                continue;
-            }
-            inner.sync_requested = true;
-            self.shared.sync_signal.notify_all();
-            self.shared.durable_signal.wait(&mut inner);
+        self.shared.wait_durable_inner(lsn)
+    }
+
+    /// A clonable handle that can await the durable-LSN watermark without
+    /// borrowing the `Wal` (or the index owning it). This is what a
+    /// commit ticket holds: `wait` blocks exactly like
+    /// [`Wal::wait_durable`], including the inline-sync fallback under
+    /// the synchronous policies.
+    #[must_use]
+    pub fn waiter(&self) -> WalWaiter {
+        WalWaiter {
+            shared: self.shared.clone(),
         }
+    }
+
+    /// Set the async commit debounce: under [`SyncPolicy::Async`] a
+    /// background sync is *requested* only every `commits` commit
+    /// records (the coalescing window still bounds the lag between a
+    /// commit and its sync). `1` restores a request per commit — the
+    /// pre-debounce behavior, which costs a condvar signal and usually a
+    /// tail-page write per commit on single-threaded streams. Values of
+    /// 0 are treated as 1. No effect under the synchronous policies.
+    pub fn set_async_coalesce(&self, commits: u32) {
+        self.shared
+            .coalesce
+            .store(commits.max(1), Ordering::Relaxed);
+    }
+
+    /// The configured async commit debounce (see
+    /// [`Wal::set_async_coalesce`]).
+    #[must_use]
+    pub fn async_coalesce(&self) -> u32 {
+        self.shared.coalesce.load(Ordering::Relaxed)
     }
 
     /// Counter snapshot for tooling and benches.
@@ -730,8 +829,18 @@ impl Wal {
             SyncPolicy::EveryCommit => true,
             SyncPolicy::GroupCommit(n) => inner.commits_since_sync >= n.max(1),
             SyncPolicy::Async => {
-                inner.sync_requested = true;
-                self.shared.sync_signal.notify_all();
+                // Debounce: wake the syncer for the *first* unsynced
+                // commit (it opens the coalescing window) and again once
+                // a full coalesce batch accumulated — or immediately
+                // while hard-ack waiters are blocked. Everything else
+                // rides the window.
+                let coalesce = self.shared.coalesce.load(Ordering::Relaxed).max(1);
+                if inner.waiters > 0 || inner.commits_since_sync >= coalesce {
+                    inner.sync_requested = true;
+                    self.shared.sync_signal.notify_all();
+                } else if inner.commits_since_sync == 1 {
+                    self.shared.sync_signal.notify_all();
+                }
                 false
             }
             SyncPolicy::Manual => false,
@@ -796,7 +905,52 @@ impl Drop for Wal {
             }
             self.shared.sync_signal.notify_all();
             let _ = handle.join();
+            // Outstanding `WalWaiter`s (commit tickets) must not hang on
+            // a syncer that will never run again: wake them so the wait
+            // loop observes the shutdown.
+            self.shared.durable_signal.notify_all();
         }
+    }
+}
+
+/// A clonable durable-watermark waiter detached from the [`Wal`] handle
+/// (see [`Wal::waiter`]). Safe to hold across the index lock: waiting
+/// never touches index state, only the log.
+#[derive(Clone)]
+pub struct WalWaiter {
+    shared: Arc<WalShared>,
+}
+
+impl fmt::Debug for WalWaiter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WalWaiter")
+            .field("durable_lsn", &self.durable_lsn())
+            .finish()
+    }
+}
+
+impl WalWaiter {
+    /// Block until every record at or below `lsn` is durable; returns
+    /// the durable watermark (like [`Wal::wait_durable`]). The watermark
+    /// is also pushed to the registered durable watcher, so a buffer
+    /// pool gating flushes on the durable LSN learns about inline syncs
+    /// too.
+    pub fn wait(&self, lsn: Lsn) -> StorageResult<Lsn> {
+        let watermark = self.shared.wait_durable_inner(lsn)?;
+        self.shared.notify_watcher(watermark);
+        Ok(watermark)
+    }
+
+    /// Highest LSN currently known durable.
+    #[must_use]
+    pub fn durable_lsn(&self) -> Lsn {
+        self.shared.inner.lock().durable_lsn
+    }
+
+    /// Highest LSN assigned so far.
+    #[must_use]
+    pub fn last_lsn(&self) -> Lsn {
+        self.shared.inner.lock().last_lsn
     }
 }
 
@@ -1461,5 +1615,60 @@ mod tests {
         let (lsn, durable) = wal.commit(vec![1]).unwrap();
         assert!(!durable);
         assert_eq!(wal.wait_durable(lsn).unwrap(), lsn);
+    }
+
+    #[test]
+    fn async_coalescing_window_syncs_debounced_commits() {
+        // With a huge debounce threshold no commit ever *requests* a
+        // sync; the coalescing window must still make the tail durable
+        // shortly after the stream stalls.
+        let d = disk(256);
+        let wal = Wal::create(d, SyncPolicy::Async).unwrap();
+        wal.set_async_coalesce(1_000_000);
+        assert_eq!(wal.async_coalesce(), 1_000_000);
+        let mut last = 0;
+        for i in 0..5u8 {
+            let (lsn, durable) = wal.commit(vec![i]).unwrap();
+            assert!(!durable);
+            last = lsn;
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while wal.durable_lsn() < last {
+            assert!(
+                Instant::now() < deadline,
+                "coalescing window never synced the tail"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(wal.stats().syncs >= 1);
+    }
+
+    #[test]
+    fn waiter_acks_like_wait_durable_and_survives_wal_drop() {
+        let d = disk(256);
+        let wal = Wal::create(d, SyncPolicy::Async).unwrap();
+        let waiter = wal.waiter();
+        let (lsn, _) = wal.commit(b"x".to_vec()).unwrap();
+        assert_eq!(waiter.wait(lsn).unwrap(), wal.durable_lsn());
+        assert!(waiter.durable_lsn() >= lsn);
+        assert_eq!(waiter.last_lsn(), wal.last_lsn());
+        // An already-durable target stays satisfiable after the log (and
+        // its background syncer) is gone ...
+        drop(wal);
+        assert_eq!(waiter.wait(lsn).unwrap(), waiter.durable_lsn());
+        // ... while a target the syncer never covered errors instead of
+        // hanging forever.
+        assert!(waiter.wait(u64::MAX).is_err());
+    }
+
+    #[test]
+    fn waiter_syncs_inline_under_synchronous_policies() {
+        let d = disk(256);
+        let wal = Wal::create(d, SyncPolicy::Manual).unwrap();
+        let waiter = wal.waiter();
+        let (lsn, durable) = wal.commit(vec![7]).unwrap();
+        assert!(!durable);
+        assert_eq!(waiter.wait(lsn).unwrap(), lsn);
+        assert_eq!(wal.durable_lsn(), lsn);
     }
 }

@@ -30,7 +30,7 @@ fn drive(opts: IndexOptions, label: &str) -> CoreResult<()> {
         clamp: false,
     });
 
-    let mut index = RTreeIndex::create_in_memory(opts)?;
+    let mut index = IndexBuilder::with_options(opts).build_index()?;
     for (oid, pos) in workload.items() {
         index.insert(oid, pos)?;
     }

@@ -27,7 +27,7 @@ fn main() -> CoreResult<()> {
 
     // ---- create a durable index ----
     let disk = Arc::new(FileDisk::create(&path, opts.page_size)?);
-    let mut index = RTreeIndex::create_on(disk, opts)?;
+    let mut index = IndexBuilder::with_options(opts).disk(disk).build_index()?;
     for oid in 0..SENSORS {
         // Initial readings spread over the state space.
         let x = ((oid * 7919) % 1000) as f32 / 1000.0;
@@ -42,7 +42,7 @@ fn main() -> CoreResult<()> {
     );
 
     // ---- concurrent monitoring: writers stream samples, readers scan ----
-    let shared = ConcurrentIndex::new(index);
+    let shared = Bur::from_index(index);
     let mut positions: Vec<Point> = (0..SENSORS)
         .map(|oid| {
             let x = ((oid * 7919) % 1000) as f32 / 1000.0;
@@ -60,7 +60,7 @@ fn main() -> CoreResult<()> {
                 for i in 0..20 {
                     let lo = (i as f32) / 20.0;
                     let window = Rect::new(lo, 0.9, lo + 0.05, 1.0);
-                    alerts += shared_ref.query(&window).unwrap().len();
+                    alerts += shared_ref.query(&window).unwrap().count();
                 }
                 alerts
             });
@@ -85,7 +85,9 @@ fn main() -> CoreResult<()> {
     shared.validate()?;
 
     // ---- persist and reopen ----
-    let mut index = shared.into_inner();
+    let mut index = shared
+        .try_into_index()
+        .expect("all clones are gone after the rounds");
     index.persist()?;
     let io = index.io_stats().snapshot();
     println!(
@@ -95,7 +97,10 @@ fn main() -> CoreResult<()> {
     drop(index);
 
     let disk = Arc::new(FileDisk::open(&path, opts.page_size)?);
-    let reopened = RTreeIndex::open_on(disk, opts)?;
+    let reopened = IndexBuilder::with_options(opts)
+        .disk(disk)
+        .open()
+        .build_index()?;
     println!(
         "reopened: {} sensors, height {} — summary rebuilt with {} internal entries",
         reopened.len(),

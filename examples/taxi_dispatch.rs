@@ -28,7 +28,7 @@ fn main() -> CoreResult<()> {
         clamp: true, // taxis stay inside the city limits
     });
 
-    let mut index = RTreeIndex::create_in_memory(IndexOptions::generalized())?;
+    let mut index = IndexBuilder::with_options(IndexOptions::generalized()).build_index()?;
     for (oid, pos) in city.items() {
         index.insert(oid, pos)?;
     }

@@ -1,8 +1,8 @@
 //! Multi-client throughput: the paper's Figure 8 scenario in miniature.
 //!
 //! A pool of client threads drives a mixed stream of position updates and
-//! window queries against one shared index protected by DGL granule
-//! locks. Run for both the top-down baseline and the generalized
+//! window queries against one shared `Bur` handle protected by DGL
+//! granule locks. Run for both the top-down baseline and the generalized
 //! bottom-up strategy to see the throughput crossover the paper reports:
 //! TD wins at 100 % queries, GBU wins as the update share grows.
 //!
@@ -10,7 +10,6 @@
 //! cargo run --release --example throughput_demo
 //! ```
 
-use bur::core::ConcurrentIndex;
 use bur::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -28,11 +27,11 @@ fn run_mix(opts: IndexOptions, update_pct: u32) -> CoreResult<f64> {
         ..WorkloadConfig::default()
     });
 
-    let mut index = RTreeIndex::create_in_memory(opts)?;
+    let mut index = IndexBuilder::with_options(opts).build_index()?;
     for (oid, pos) in workload.items() {
         index.insert(oid, pos)?;
     }
-    let index = ConcurrentIndex::new(index);
+    let index = Bur::from_index(index);
     let completed = AtomicU64::new(0);
 
     // Each thread owns a disjoint slice of the fleet, so no two threads
@@ -52,7 +51,7 @@ fn run_mix(opts: IndexOptions, update_pct: u32) -> CoreResult<f64> {
                         index.update(op.oid, op.old, op.new).unwrap();
                     } else {
                         let q = part.next_query();
-                        index.query(&q.window).unwrap();
+                        index.query(&q.window).unwrap().count();
                     }
                     completed.fetch_add(1, Ordering::Relaxed);
                 }

@@ -24,7 +24,7 @@ fn measure(opts: IndexOptions) -> CoreResult<(f64, f64)> {
         seed: 42,
         ..WorkloadConfig::default()
     });
-    let mut index = RTreeIndex::create_in_memory(opts)?;
+    let mut index = IndexBuilder::with_options(opts).build_index()?;
     for (oid, pos) in workload.items() {
         index.insert(oid, pos)?;
     }

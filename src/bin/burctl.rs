@@ -6,24 +6,26 @@
 //! burctl validate <file>
 //! burctl query <file> <min_x> <min_y> <max_x> <max_y>
 //! burctl knn <file> <x> <y> <k>
+//! burctl batch <file> <ops-file|->
 //! burctl stats <file> [--updates N]
 //! burctl recover <file> [--strategy td|lbu|gbu]
 //! burctl wal-stats <file>
 //! ```
 //!
 //! `build` creates a demonstration index from a seeded uniform workload;
-//! the other commands open an existing file read-only (except `stats`,
-//! which drives updates and reports I/O and outcome counters, and
+//! the other commands open an existing file read-only (except `batch`,
+//! which applies a mixed-operation `Batch` from a text stream; `stats`,
+//! which drives updates and reports I/O and outcome counters; and
 //! `recover`, which replays the write-ahead log of a `--durable` index
 //! after a crash and checkpoints the result).
 
-use bur::core::{IndexOptions, RTreeIndex};
+use bur::core::{Batch, IndexBuilder, IndexOptions, RTreeIndex};
 use bur::geom::{Point, Rect};
 use bur::storage::FileDisk;
 use bur::wal::WalRecord;
 use bur::workload::{Workload, WorkloadConfig};
+use std::io::BufRead;
 use std::process::ExitCode;
-use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -33,9 +35,19 @@ fn usage() -> ExitCode {
          \x20 burctl validate <file>\n\
          \x20 burctl query <file> <min_x> <min_y> <max_x> <max_y>\n\
          \x20 burctl knn <file> <x> <y> <k>\n\
+         \x20 burctl batch <file> <ops-file|->\n\
          \x20 burctl stats <file> [--updates N]\n\
          \x20 burctl recover <file> [--strategy td|lbu|gbu]\n\
          \x20 burctl wal-stats <file>\n\
+         \n\
+         batch applies one atomic mixed-operation Batch read from <ops-file>\n\
+         (or stdin with `-`): one `op,oid,x,y[,x2,y2]` line per operation,\n\
+         where op is insert|update|delete (or i|u|d). insert and delete take\n\
+         the object's position as x,y; update moves the object from x,y to\n\
+         x2,y2. Blank lines and lines starting with `#` are skipped. On a\n\
+         --durable file the whole batch lands under ONE write-ahead-log\n\
+         group commit record — after a crash it recovers entirely or not at\n\
+         all — and the commit ticket is awaited (hard durability ack).\n\
          \n\
          wal-stats reads the write-ahead log of a --durable file and reports,\n\
          besides the generation / page / LSN figures: full-image vs delta\n\
@@ -57,9 +69,11 @@ fn parse_strategy(s: &str) -> Option<IndexOptions> {
 }
 
 fn open(path: &str, opts: IndexOptions) -> Result<RTreeIndex, String> {
-    let disk =
-        FileDisk::open(path, opts.page_size).map_err(|e| format!("cannot open {path}: {e}"))?;
-    RTreeIndex::open_on(Arc::new(disk), opts).map_err(|e| format!("cannot load {path}: {e}"))
+    IndexBuilder::with_options(opts)
+        .file(path)
+        .open()
+        .build_index()
+        .map_err(|e| format!("cannot load {path}: {e}"))
 }
 
 fn cmd_build(path: &str, rest: &[String]) -> Result<(), String> {
@@ -95,9 +109,9 @@ fn cmd_build(path: &str, rest: &[String]) -> Result<(), String> {
     if durable {
         opts = opts.with_durability(bur::core::Durability::Wal(bur::core::WalOptions::default()));
     }
-    let disk =
-        FileDisk::create(path, opts.page_size).map_err(|e| format!("cannot create {path}: {e}"))?;
-    let mut index = RTreeIndex::create_on(Arc::new(disk), opts)
+    let mut index = IndexBuilder::with_options(opts)
+        .file(path)
+        .build_index()
         .map_err(|e| format!("cannot init index: {e}"))?;
     let workload = Workload::generate(WorkloadConfig {
         num_objects: objects,
@@ -200,6 +214,96 @@ fn cmd_knn(path: &str, rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse one `op,oid,x,y[,x2,y2]` line into the batch.
+fn parse_batch_line(line: &str, lineno: usize, batch: &mut Batch) -> Result<(), String> {
+    let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+    let bad = |what: &str| format!("line {lineno}: {what} in {line:?}");
+    let coord = |s: &str, what: &str| -> Result<f32, String> {
+        s.parse().map_err(|_| bad(&format!("bad {what} {s:?}")))
+    };
+    let oid: u64 = fields
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("missing or bad oid"))?;
+    match (fields[0], fields.len()) {
+        ("insert" | "i", 4) => {
+            batch.insert(
+                oid,
+                Point::new(coord(fields[2], "x")?, coord(fields[3], "y")?),
+            );
+        }
+        ("delete" | "d", 4) => {
+            batch.delete(
+                oid,
+                Point::new(coord(fields[2], "x")?, coord(fields[3], "y")?),
+            );
+        }
+        ("update" | "u", 6) => {
+            batch.update(
+                oid,
+                Point::new(coord(fields[2], "x")?, coord(fields[3], "y")?),
+                Point::new(coord(fields[4], "x2")?, coord(fields[5], "y2")?),
+            );
+        }
+        ("insert" | "i" | "delete" | "d", n) => {
+            return Err(bad(&format!("expected 4 fields, got {n}")))
+        }
+        ("update" | "u", n) => return Err(bad(&format!("expected 6 fields, got {n}"))),
+        (op, _) => return Err(bad(&format!("unknown op {op:?}"))),
+    }
+    Ok(())
+}
+
+fn cmd_batch(path: &str, rest: &[String]) -> Result<(), String> {
+    let [source] = rest else {
+        return Err("batch needs an ops file (or `-` for stdin)".into());
+    };
+    let mut batch = Batch::new();
+    let reader: Box<dyn BufRead> = if source == "-" {
+        Box::new(std::io::stdin().lock())
+    } else {
+        let f = std::fs::File::open(source).map_err(|e| format!("cannot open {source}: {e}"))?;
+        Box::new(std::io::BufReader::new(f))
+    };
+    for (i, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| format!("read {source}: {e}"))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        parse_batch_line(line, i + 1, &mut batch)?;
+    }
+    if batch.is_empty() {
+        return Err(format!("no operations in {source}"));
+    }
+
+    let bur = IndexBuilder::generalized()
+        .file(path)
+        .open()
+        .build()
+        .map_err(|e| format!("cannot load {path}: {e}"))?;
+    let commits_before = bur.wal_stats().map_or(0, |s| s.commits);
+    let ticket = bur.apply(&batch).map_err(|e| format!("apply: {e}"))?;
+    let report = *ticket.report();
+    let watermark = ticket.wait().map_err(|e| format!("durability ack: {e}"))?;
+    println!(
+        "applied {} operations atomically: {} inserted, {} updated, {} deleted \
+         ({} deletes missed)",
+        report.applied, report.inserted, report.updated, report.deleted, report.missing_deletes
+    );
+    if let Some(stats) = bur.wal_stats() {
+        println!(
+            "durable: {} group commit record(s) cover the batch, \
+             durable watermark lsn {watermark}",
+            stats.commits - commits_before
+        );
+    }
+    bur.persist().map_err(|e| format!("persist: {e}"))?;
+    bur.validate().map_err(|e| format!("INVALID index: {e}"))?;
+    println!("persisted; all invariants hold ({} objects)", bur.len());
+    Ok(())
+}
+
 fn cmd_stats(path: &str, rest: &[String]) -> Result<(), String> {
     let mut updates = 10_000usize;
     let mut it = rest.iter();
@@ -269,7 +373,12 @@ fn cmd_recover(path: &str, rest: &[String]) -> Result<(), String> {
         }
     }
     let opts = opts.with_durability(bur::core::Durability::Wal(bur::core::WalOptions::default()));
-    let (index, report) = RTreeIndex::recover(path, opts).map_err(|e| format!("recover: {e}"))?;
+    let (index, report) = IndexBuilder::with_options(opts)
+        .file(path)
+        .recover()
+        .build_index_with_report()
+        .map_err(|e| format!("recover: {e}"))?;
+    let report = report.expect("recover mode always produces a report");
     index
         .validate()
         .map_err(|e| format!("recovered index is INVALID: {e}"))?;
@@ -376,6 +485,7 @@ fn main() -> ExitCode {
         "validate" => cmd_validate(path),
         "query" => cmd_query(path, rest),
         "knn" => cmd_knn(path, rest),
+        "batch" => cmd_batch(path, rest),
         "stats" => cmd_stats(path, rest),
         "recover" => cmd_recover(path, rest),
         "wal-stats" => cmd_wal_stats(path),

@@ -9,9 +9,11 @@
 //!
 //! This facade crate re-exports the workspace:
 //!
-//! * [`core`] (`bur-core`) — the index: [`core::RTreeIndex`],
-//!   update strategies (TD / LBU / GBU), the main-memory summary
-//!   structure, cost model and the DGL-locked [`core::ConcurrentIndex`];
+//! * [`core`] (`bur-core`) — the index: [`core::IndexBuilder`], the
+//!   clonable [`core::Bur`] handle, mixed-op [`core::Batch`] writes,
+//!   streaming [`core::QueryCursor`] results, update strategies
+//!   (TD / LBU / GBU), the main-memory summary structure, the cost
+//!   model, and the single-threaded [`core::RTreeIndex`] engine;
 //! * [`geom`] (`bur-geom`) — points and rectangles;
 //! * [`storage`] (`bur-storage`) — page store, disks, LRU buffer pool,
 //!   I/O accounting;
@@ -25,45 +27,74 @@
 //!
 //! ## Quickstart
 //!
+//! One handle, batch-first: [`core::IndexBuilder`] builds a clonable
+//! [`core::Bur`] handle (share it across threads by cloning); writes go
+//! through mixed-op [`core::Batch`]es and queries stream through
+//! cursors.
+//!
 //! ```
 //! use bur::prelude::*;
 //!
 //! // A GBU (generalized bottom-up) index on an in-memory disk.
-//! let mut index = RTreeIndex::create_in_memory(IndexOptions::generalized()).unwrap();
-//! index.insert(1, Point::new(0.2, 0.2)).unwrap();
-//! index.insert(2, Point::new(0.8, 0.8)).unwrap();
+//! let bur = IndexBuilder::generalized().build().unwrap();
 //!
-//! // Objects move; updates are served bottom-up whenever possible.
-//! let outcome = index.update(1, Point::new(0.2, 0.2), Point::new(0.21, 0.2)).unwrap();
-//! assert_eq!(outcome, UpdateOutcome::InPlace);
+//! // Batch-first writes: one lock acquisition, and on a durable index
+//! // one WAL group commit record, for the whole batch.
+//! let mut batch = Batch::new();
+//! batch
+//!     .insert(1, Point::new(0.2, 0.2))
+//!     .insert(2, Point::new(0.8, 0.8))
+//!     // Objects move; updates are served bottom-up whenever possible.
+//!     .update(1, Point::new(0.2, 0.2), Point::new(0.21, 0.2));
+//! let ticket = bur.apply(&batch).unwrap();
+//! assert_eq!(ticket.report().applied, 3);
 //!
-//! // Window queries.
-//! let hits = index.query(&Rect::new(0.0, 0.0, 0.5, 0.5)).unwrap();
+//! // Window queries stream through a cursor whose buffer is recycled
+//! // across calls (no per-query Vec allocation in steady state).
+//! let hits: Vec<u64> = bur.query(&Rect::new(0.0, 0.0, 0.5, 0.5)).unwrap().collect();
 //! assert_eq!(hits, vec![1]);
+//!
+//! // Single-op writes work too, and the handle clones freely.
+//! let writer = bur.clone();
+//! writer.insert(3, Point::new(0.5, 0.5)).unwrap();
+//! assert_eq!(bur.len(), 3);
 //! ```
 //!
 //! ## Durability
 //!
 //! By default an index is durable only after an explicit
-//! [`core::RTreeIndex::persist`] (the paper's experimental setup). With
-//! [`core::IndexOptions::durable`] every acknowledged update is
-//! write-ahead logged before it is acknowledged, the pool checkpoints on
-//! a cadence, and a crash — even one that tears a page write in half —
-//! recovers with [`core::RTreeIndex::recover`]:
+//! [`core::Bur::persist`] (the paper's experimental setup). With
+//! [`core::IndexBuilder::durable`] every acknowledged update is
+//! write-ahead logged, the pool checkpoints on a cadence, and a crash —
+//! even one that tears a page write in half — recovers through the
+//! builder's [`core::IndexBuilder::recover`] mode. A [`core::Batch`] is
+//! atomic with respect to the log: one group commit record covers the
+//! whole batch, and the returned [`core::CommitTicket`] is the hard
+//! durability ack (it matters under [`storage::SyncPolicy::Async`],
+//! where commits return before the background sync).
 //!
 //! ```
 //! use bur::prelude::*;
-//! use bur::storage::MemDisk;
 //! use std::sync::Arc;
 //!
 //! let disk = Arc::new(MemDisk::new(1024));
-//! let mut index = RTreeIndex::create_on(disk.clone(), IndexOptions::durable()).unwrap();
-//! index.insert(1, Point::new(0.4, 0.4)).unwrap(); // logged + synced
-//! drop(index); // crash: no persist(), no clean shutdown
+//! let bur = IndexBuilder::generalized()
+//!     .durable()
+//!     .disk(disk.clone())
+//!     .build()
+//!     .unwrap();
+//! let mut batch = Batch::new();
+//! batch.insert(1, Point::new(0.4, 0.4)).insert(2, Point::new(0.6, 0.6));
+//! bur.apply(&batch).unwrap().wait().unwrap(); // logged + synced
+//! drop(bur); // crash: no persist(), no clean shutdown
 //!
-//! let (recovered, report) = RTreeIndex::recover_on(disk, IndexOptions::durable()).unwrap();
-//! assert_eq!(recovered.len(), 1);
-//! assert_eq!(report.committed_ops, 1);
+//! let (recovered, report) = IndexBuilder::generalized()
+//!     .disk(disk)
+//!     .recover()
+//!     .build_with_report()
+//!     .unwrap();
+//! assert_eq!(recovered.len(), 2);
+//! assert!(report.unwrap().committed_ops >= 1);
 //! ```
 
 #![warn(missing_docs)]
@@ -78,9 +109,12 @@ pub use bur_workload as workload;
 
 /// The most commonly used items in one import.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use bur_core::ConcurrentIndex;
     pub use bur_core::{
-        ConcurrentIndex, CoreError, CoreResult, DeltaPolicy, Durability, GbuParams, IndexOptions,
-        InsertPolicy, LbuParams, Neighbor, ObjectId, RTreeIndex, RecoveryReport, SplitPolicy,
+        Batch, BatchReport, Bur, CommitTicket, CoreError, CoreResult, DeltaPolicy, Durability,
+        GbuParams, IndexBuilder, IndexOptions, InsertPolicy, LbuParams, Neighbor, NeighborCursor,
+        ObjectId, Op, OpenMode, QueryCursor, RTreeIndex, RecoveryReport, SplitPolicy,
         UpdateOutcome, UpdateStrategy, WalOptions,
     };
     pub use bur_geom::{Point, Rect};
@@ -94,7 +128,10 @@ mod tests {
 
     #[test]
     fn facade_reexports_work() {
-        let mut index = RTreeIndex::create_in_memory(IndexOptions::top_down()).unwrap();
+        let bur = IndexBuilder::top_down().build().unwrap();
+        bur.insert(1, Point::new(0.5, 0.5)).unwrap();
+        assert_eq!(bur.len(), 1);
+        let mut index = IndexBuilder::top_down().build_index().unwrap();
         index.insert(1, Point::new(0.5, 0.5)).unwrap();
         assert_eq!(index.len(), 1);
     }

@@ -10,7 +10,9 @@ use std::sync::Arc;
 
 #[test]
 fn readme_quickstart_workflow() {
-    let mut index = RTreeIndex::create_in_memory(IndexOptions::generalized()).unwrap();
+    let mut index = IndexBuilder::with_options(IndexOptions::generalized())
+        .build_index()
+        .unwrap();
     index.insert(1, Point::new(0.2, 0.2)).unwrap();
     index.insert(2, Point::new(0.8, 0.8)).unwrap();
     let outcome = index
@@ -26,7 +28,9 @@ fn readme_quickstart_workflow() {
 
 #[test]
 fn spatial_query_toolkit() {
-    let mut index = RTreeIndex::create_in_memory(IndexOptions::generalized()).unwrap();
+    let mut index = IndexBuilder::with_options(IndexOptions::generalized())
+        .build_index()
+        .unwrap();
     for i in 0..100u64 {
         let x = (i % 10) as f32 / 10.0 + 0.05;
         let y = (i / 10) as f32 / 10.0 + 0.05;
@@ -74,7 +78,10 @@ fn durable_index_lifecycle() {
     let opts = IndexOptions::generalized();
     {
         let disk = Arc::new(FileDisk::create(&path, opts.page_size).unwrap());
-        let mut index = RTreeIndex::create_on(disk, opts).unwrap();
+        let mut index = IndexBuilder::with_options(opts)
+            .disk(disk)
+            .build_index()
+            .unwrap();
         for i in 0..500u64 {
             index
                 .insert(
@@ -87,7 +94,11 @@ fn durable_index_lifecycle() {
     }
     {
         let disk = Arc::new(FileDisk::open(&path, opts.page_size).unwrap());
-        let index = RTreeIndex::open_on(disk, opts).unwrap();
+        let index = IndexBuilder::with_options(opts)
+            .disk(disk)
+            .open()
+            .build_index()
+            .unwrap();
         assert_eq!(index.len(), 500);
         index.validate().unwrap();
         assert_eq!(
@@ -104,7 +115,9 @@ fn durable_index_lifecycle() {
 fn rstar_variant_is_a_drop_in() {
     // Switching to the R* variant is one builder call; everything else —
     // updates, queries, kNN, validation — is unchanged.
-    let mut index = RTreeIndex::create_in_memory(IndexOptions::generalized().rstar()).unwrap();
+    let mut index = IndexBuilder::with_options(IndexOptions::generalized().rstar())
+        .build_index()
+        .unwrap();
     assert_eq!(index.options().insert, InsertPolicy::RStar);
     assert_eq!(index.options().split, SplitPolicy::RStar);
     let mut workload = Workload::generate(WorkloadConfig {
@@ -136,7 +149,9 @@ fn trending_fleet_prefers_bottom_up_paths() {
     // Vehicles drifting along persistent headings: GBU keeps absorbing
     // the updates bottom-up (extension / shift / ascent) instead of
     // falling back to top-down, as long as they stay in the root MBR.
-    let mut index = RTreeIndex::create_in_memory(IndexOptions::generalized()).unwrap();
+    let mut index = IndexBuilder::with_options(IndexOptions::generalized())
+        .build_index()
+        .unwrap();
     let mut workload = Workload::generate(WorkloadConfig {
         num_objects: 5000,
         max_distance: 0.004,
@@ -168,12 +183,12 @@ fn trending_fleet_prefers_bottom_up_paths() {
 }
 
 #[test]
-fn concurrent_index_round_trip() {
-    use bur::core::ConcurrentIndex;
-    let index = ConcurrentIndex::create_in_memory(IndexOptions::generalized()).unwrap();
+fn shared_handle_round_trip() {
+    let index = IndexBuilder::generalized().build().unwrap();
     std::thread::scope(|s| {
         for t in 0..4u64 {
-            let index = &index;
+            // Clones share the same index.
+            let index = index.clone();
             s.spawn(move || {
                 for i in 0..500u64 {
                     let oid = t * 500 + i;
@@ -190,7 +205,9 @@ fn concurrent_index_round_trip() {
 
 #[test]
 fn error_paths_are_informative() {
-    let mut index = RTreeIndex::create_in_memory(IndexOptions::generalized()).unwrap();
+    let mut index = IndexBuilder::with_options(IndexOptions::generalized())
+        .build_index()
+        .unwrap();
     index.insert(7, Point::new(0.5, 0.5)).unwrap();
 
     // Duplicate insert (detectable through the hash index).
@@ -218,5 +235,5 @@ fn error_paths_are_informative() {
         min_fill: 0.9,
         ..IndexOptions::default()
     };
-    assert!(RTreeIndex::create_in_memory(bad).is_err());
+    assert!(IndexBuilder::with_options(bad).build_index().is_err());
 }

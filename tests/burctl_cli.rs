@@ -148,6 +148,69 @@ fn durable_build_recover_and_wal_stats() {
 }
 
 #[test]
+fn batch_subcommand_applies_mixed_ops() {
+    let dir = TempDir::new("ctl");
+    let file = dir.file("batch.bur");
+    let path = file.to_str().unwrap();
+
+    // A durable file, so the one-group-commit-record claim is checkable.
+    let out = burctl(&["build", path, "--objects", "300", "--durable"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Mixed ops: two inserts (fresh ids), one update between them, one
+    // delete of a fresh insert, one miss; comments and blanks skipped.
+    let ops = dir.file("ops.csv");
+    std::fs::write(
+        &ops,
+        "# crash-drill batch\n\
+         insert,9001,0.15,0.15\n\
+         \n\
+         i,9002,0.85,0.85\n\
+         u,9001,0.15,0.15,0.25,0.25\n\
+         delete,9002,0.85,0.85\n\
+         d,9003,0.5,0.5\n",
+    )
+    .unwrap();
+    let out = burctl(&["batch", path, ops.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("applied 5 operations atomically"), "{text}");
+    assert!(
+        text.contains("2 inserted, 1 updated, 1 deleted (1 deletes missed)"),
+        "{text}"
+    );
+    assert!(
+        text.contains("1 group commit record(s) cover the batch"),
+        "{text}"
+    );
+    assert!(text.contains("301 objects"), "{text}");
+
+    // The moved object answers at its new position.
+    let out = burctl(&["query", path, "0.24", "0.24", "0.26", "0.26"]);
+    assert!(out.status.success());
+    assert!(stdout(&out).contains("9001"), "{}", stdout(&out));
+
+    // Parse errors are positional and fatal.
+    let bad = dir.file("bad.csv");
+    std::fs::write(&bad, "insert,1,0.5\n").unwrap();
+    let out = burctl(&["batch", path, bad.to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("line 1"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn helpful_errors() {
     // No args → usage on stderr, failure exit.
     let out = burctl(&[]);

@@ -1,13 +1,13 @@
-//! Concurrency tests: the DGL-locked [`ConcurrentIndex`] under mixed
-//! multi-threaded workloads must neither corrupt the tree nor lose
-//! objects, and its locking discipline must actually serialize
+//! Concurrency tests: the DGL-locked, clonable [`Bur`] handle under
+//! mixed multi-threaded workloads must neither corrupt the tree nor
+//! lose objects, and its locking discipline must actually serialize
 //! conflicting granule access.
 
 use bur::prelude::*;
 use bur::workload::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-fn build(opts: IndexOptions, n: usize) -> (ConcurrentIndex, Workload) {
+fn build(opts: IndexOptions, n: usize) -> (Bur, Workload) {
     let workload = Workload::generate(WorkloadConfig {
         num_objects: n,
         max_distance: 0.02,
@@ -15,11 +15,11 @@ fn build(opts: IndexOptions, n: usize) -> (ConcurrentIndex, Workload) {
         seed: 0xC0C0,
         ..WorkloadConfig::default()
     });
-    let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+    let mut index = IndexBuilder::with_options(opts).build_index().unwrap();
     for (oid, p) in workload.items() {
         index.insert(oid, p).unwrap();
     }
-    (ConcurrentIndex::new(index), workload)
+    (Bur::from_index(index), workload)
 }
 
 #[test]
@@ -42,7 +42,7 @@ fn mixed_workload_stays_consistent() {
                     for i in 0..400 {
                         if i % 4 == 0 {
                             let q = part.next_query();
-                            let _ = index.query(&q.window).unwrap();
+                            let _ = index.query(&q.window).unwrap().count();
                             queries_run.fetch_add(1, Ordering::Relaxed);
                         } else {
                             let op = part.next_update();
@@ -116,7 +116,7 @@ fn queries_see_every_object_exactly_once() {
             // a generous window.
             let world = Rect::new(-10.0, -10.0, 11.0, 11.0);
             for _ in 0..20 {
-                let mut ids = index.query(&world).unwrap();
+                let mut ids: Vec<u64> = index.query(&world).unwrap().collect();
                 ids.sort_unstable();
                 ids.dedup();
                 assert_eq!(ids.len(), 2_000, "object lost or duplicated mid-scan");
@@ -175,13 +175,13 @@ fn per_granule_commit_batching_under_wal() {
         seed: 0xBA7C,
         ..WorkloadConfig::default()
     });
-    let mut inner = RTreeIndex::create_in_memory(opts).unwrap();
+    let mut inner = IndexBuilder::with_options(opts).build_index().unwrap();
     for (oid, p) in workload.items() {
         inner.insert(oid, p).unwrap();
     }
     inner.checkpoint().unwrap();
     let base_commits = inner.wal_stats().unwrap().commits;
-    let index = ConcurrentIndex::new(inner);
+    let index = Bur::from_index(inner);
     index.set_commit_batching(16).unwrap();
 
     let threads = 8;
@@ -198,7 +198,7 @@ fn per_granule_commit_batching_under_wal() {
             });
         }
     });
-    let tail = index.flush_commits().unwrap();
+    let tail = index.commit().unwrap().into_commit_batch();
     let total_ops = threads as u64 * per_thread;
     let (batched_ops, batches) = index.commit_batch_totals();
     assert_eq!(batched_ops, total_ops, "every update must be batched");
@@ -209,7 +209,7 @@ fn per_granule_commit_batching_under_wal() {
     assert!(tail.ops < 16, "tail batch is partial: {}", tail.ops);
     index.validate().unwrap();
 
-    let inner = index.into_inner();
+    let inner = index.try_into_index().expect("no other clones are alive");
     let commits = inner.wal_stats().unwrap().commits - base_commits;
     assert!(
         commits <= total_ops / 8,

@@ -6,7 +6,7 @@ use bur::workload::Workload;
 
 fn run_stream(opts: IndexOptions, wl_cfg: WorkloadConfig, updates: usize) -> RTreeIndex {
     let mut wl = Workload::generate(wl_cfg);
-    let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+    let mut index = IndexBuilder::with_options(opts).build_index().unwrap();
     for (oid, p) in wl.items() {
         index.insert(oid, p).unwrap();
     }
@@ -22,7 +22,9 @@ fn prelude_covers_the_quickstart_flow() {
     // The exact facade journey from the crate docs, through `bur::prelude`
     // re-exports only: create-in-memory → insert → bottom-up update →
     // window query. Guards the prelude surface against accidental drift.
-    let mut index = RTreeIndex::create_in_memory(IndexOptions::generalized()).unwrap();
+    let mut index = IndexBuilder::with_options(IndexOptions::generalized())
+        .build_index()
+        .unwrap();
     index.insert(1, Point::new(0.2, 0.2)).unwrap();
     index.insert(2, Point::new(0.8, 0.8)).unwrap();
 
@@ -147,14 +149,16 @@ fn concurrent_and_plain_agree() {
     };
     let plain = run_stream(IndexOptions::generalized(), wl_cfg, 3_000);
 
-    // Same stream through the concurrent wrapper (single-threaded so the
+    // Same stream through the shared handle (single-threaded so the
     // op order is identical).
     let mut wl = Workload::generate(wl_cfg);
-    let mut base = RTreeIndex::create_in_memory(IndexOptions::generalized()).unwrap();
+    let mut base = IndexBuilder::with_options(IndexOptions::generalized())
+        .build_index()
+        .unwrap();
     for (oid, p) in wl.items() {
         base.insert(oid, p).unwrap();
     }
-    let shared = ConcurrentIndex::new(base);
+    let shared = Bur::from_index(base);
     for _ in 0..3_000 {
         let op = wl.next_update();
         shared.update(op.oid, op.old, op.new).unwrap();
@@ -163,7 +167,7 @@ fn concurrent_and_plain_agree() {
     for _ in 0..20 {
         let q = wl2.next_query();
         let mut a = plain.query(&q.window).unwrap();
-        let mut b = shared.query(&q.window).unwrap();
+        let mut b: Vec<u64> = shared.query(&q.window).unwrap().collect();
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);

@@ -4,7 +4,7 @@
 
 mod common;
 
-use bur::core::{CoreError, IndexOptions, RTreeIndex};
+use bur::core::{CoreError, IndexBuilder, IndexOptions, RTreeIndex};
 use bur::geom::{Point, Rect};
 use bur::storage::{FaultKind, FaultyDisk, FileDisk, MemDisk};
 use common::TempDir;
@@ -15,7 +15,10 @@ use std::sync::Arc;
 /// An index of `n` uniform points on a fault-injectable disk.
 fn build(opts: IndexOptions, n: usize, seed: u64) -> (RTreeIndex, Arc<FaultyDisk>, Vec<Point>) {
     let disk = Arc::new(FaultyDisk::new(Arc::new(MemDisk::new(opts.page_size))));
-    let mut index = RTreeIndex::create_on(disk.clone(), opts).unwrap();
+    let mut index = IndexBuilder::with_options(opts)
+        .disk(disk.clone())
+        .build_index()
+        .unwrap();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut pts = Vec::with_capacity(n);
     for oid in 0..n as u64 {
@@ -73,7 +76,10 @@ fn query_failure_does_not_corrupt_index() {
 fn insert_failure_reports_error_not_panic() {
     let opts = IndexOptions::generalized();
     let disk = Arc::new(FaultyDisk::new(Arc::new(MemDisk::new(opts.page_size))));
-    let mut index = RTreeIndex::create_on(disk.clone(), opts).unwrap();
+    let mut index = IndexBuilder::with_options(opts)
+        .disk(disk.clone())
+        .build_index()
+        .unwrap();
     // Tiny pool so inserts must do physical I/O; then kill the disk.
     index.set_buffer_capacity(2).unwrap();
     let mut failures = 0;
@@ -101,7 +107,10 @@ fn insert_failure_reports_error_not_panic() {
 fn sync_failure_surfaces_through_persist() {
     let opts = IndexOptions::generalized();
     let disk = Arc::new(FaultyDisk::new(Arc::new(MemDisk::new(opts.page_size))));
-    let mut index = RTreeIndex::create_on(disk.clone(), opts).unwrap();
+    let mut index = IndexBuilder::with_options(opts)
+        .disk(disk.clone())
+        .build_index()
+        .unwrap();
     index.insert(1, Point::new(0.5, 0.5)).unwrap();
     disk.fail_always(FaultKind::Sync);
     // MemDisk syncs are no-ops, but persist must still propagate the
@@ -124,7 +133,10 @@ fn power_cut_on_file_disk_surfaces_cleanly_and_platter_survives() {
     let opts = IndexOptions::generalized();
     let file = Arc::new(FileDisk::create(&path, opts.page_size).unwrap());
     let disk = Arc::new(FaultyDisk::new(file));
-    let mut index = RTreeIndex::create_on(disk.clone(), opts).unwrap();
+    let mut index = IndexBuilder::with_options(opts)
+        .disk(disk.clone())
+        .build_index()
+        .unwrap();
     index.set_buffer_capacity(4).unwrap(); // force steady write-back traffic
     let mut rng = StdRng::seed_from_u64(99);
     let mut acked = 0u64;

@@ -54,11 +54,14 @@ fn persist_reopen_roundtrip_all_strategies() {
         let dir = TempDir::new("persist");
         let path = dir.file(&format!("roundtrip-{name}.bur"));
         let mut rng = StdRng::seed_from_u64(404);
-        let mut reference = RTreeIndex::create_in_memory(opts).unwrap();
+        let mut reference = IndexBuilder::with_options(opts).build_index().unwrap();
         {
             // Build the durable index and an identical in-memory twin.
             let disk = Arc::new(FileDisk::create(&path, opts.page_size).unwrap());
-            let mut index = RTreeIndex::create_on(disk, opts).unwrap();
+            let mut index = IndexBuilder::with_options(opts)
+                .disk(disk)
+                .build_index()
+                .unwrap();
             let mut rng2 = StdRng::seed_from_u64(404);
             let positions = populate(&mut index, &mut rng, 1_500);
             let ref_positions = populate(&mut reference, &mut rng2, 1_500);
@@ -80,7 +83,11 @@ fn persist_reopen_roundtrip_all_strategies() {
         }
 
         let disk = Arc::new(FileDisk::open(&path, opts.page_size).unwrap());
-        let reopened = RTreeIndex::open_on(disk, opts).unwrap();
+        let reopened = IndexBuilder::with_options(opts)
+            .disk(disk)
+            .open()
+            .build_index()
+            .unwrap();
         assert_eq!(reopened.len(), 1_500, "{name}");
         reopened
             .validate()
@@ -98,12 +105,19 @@ fn reopened_index_keeps_working() {
     let mut positions;
     {
         let disk = Arc::new(FileDisk::create(&path, opts.page_size).unwrap());
-        let mut index = RTreeIndex::create_on(disk, opts).unwrap();
+        let mut index = IndexBuilder::with_options(opts)
+            .disk(disk)
+            .build_index()
+            .unwrap();
         positions = populate(&mut index, &mut rng, 2_000);
         index.persist().unwrap();
     }
     let disk = Arc::new(FileDisk::open(&path, opts.page_size).unwrap());
-    let mut index = RTreeIndex::open_on(disk, opts).unwrap();
+    let mut index = IndexBuilder::with_options(opts)
+        .disk(disk)
+        .open()
+        .build_index()
+        .unwrap();
     // Updates, inserts, deletes and queries must all work post-reopen.
     churn(&mut index, &mut positions, &mut rng, 3_000);
     for oid in 2_000..2_200u64 {
@@ -128,13 +142,20 @@ fn strategy_switch_on_reopen() {
     let mut rng = StdRng::seed_from_u64(123);
     {
         let disk = Arc::new(FileDisk::create(&path, td.page_size).unwrap());
-        let mut index = RTreeIndex::create_on(disk, td).unwrap();
+        let mut index = IndexBuilder::with_options(td)
+            .disk(disk)
+            .build_index()
+            .unwrap();
         populate(&mut index, &mut rng, 1_200);
         index.persist().unwrap();
     }
     let gbu = IndexOptions::generalized();
     let disk = Arc::new(FileDisk::open(&path, gbu.page_size).unwrap());
-    let mut index = RTreeIndex::open_on(disk, gbu).unwrap();
+    let mut index = IndexBuilder::with_options(gbu)
+        .disk(disk)
+        .open()
+        .build_index()
+        .unwrap();
     assert_eq!(index.len(), 1_200);
     index.validate().unwrap();
     assert!(index.hash_pages() > 0, "hash index must have been rebuilt");
@@ -162,13 +183,20 @@ fn lbu_reopen_repairs_parent_pointers() {
     let mut rng = StdRng::seed_from_u64(31);
     {
         let disk = Arc::new(FileDisk::create(&path, gbu.page_size).unwrap());
-        let mut index = RTreeIndex::create_on(disk, gbu).unwrap();
+        let mut index = IndexBuilder::with_options(gbu)
+            .disk(disk)
+            .build_index()
+            .unwrap();
         populate(&mut index, &mut rng, 1_500);
         index.persist().unwrap();
     }
     let lbu = IndexOptions::localized();
     let disk = Arc::new(FileDisk::open(&path, lbu.page_size).unwrap());
-    let mut index = RTreeIndex::open_on(disk, lbu).unwrap();
+    let mut index = IndexBuilder::with_options(lbu)
+        .disk(disk)
+        .open()
+        .build_index()
+        .unwrap();
     index.validate().unwrap(); // validate() checks leaf parent pointers in LBU mode
     let mut rng2 = StdRng::seed_from_u64(31);
     let mut positions = Vec::new();
@@ -194,7 +222,11 @@ fn open_rejects_garbage_and_mismatched_page_size() {
         disk.allocate().unwrap();
     }
     let disk = Arc::new(FileDisk::open(&path, opts.page_size).unwrap());
-    let err = RTreeIndex::open_on(disk, opts).unwrap_err();
+    let err = IndexBuilder::with_options(opts)
+        .disk(disk)
+        .open()
+        .build_index()
+        .unwrap_err();
     assert!(err.to_string().contains("magic"), "got: {err}");
 
     // Page-size mismatch is rejected before any parsing.
@@ -203,11 +235,18 @@ fn open_rejects_garbage_and_mismatched_page_size() {
         let disk = Arc::new(FileDisk::create(&path2, 2048).unwrap());
         let mut o = opts;
         o.page_size = 2048;
-        let mut index = RTreeIndex::create_on(disk, o).unwrap();
+        let mut index = IndexBuilder::with_options(o)
+            .disk(disk)
+            .build_index()
+            .unwrap();
         index.insert(1, Point::new(0.5, 0.5)).unwrap();
         index.persist().unwrap();
     }
     let disk = Arc::new(FileDisk::open(&path2, 1024).unwrap());
-    let err = RTreeIndex::open_on(disk, opts).unwrap_err();
+    let err = IndexBuilder::with_options(opts)
+        .disk(disk)
+        .open()
+        .build_index()
+        .unwrap_err();
     assert!(err.to_string().contains("page size"), "got: {err}");
 }

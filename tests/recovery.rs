@@ -27,6 +27,31 @@ use std::sync::Arc;
 
 const PAGE: usize = 1024;
 
+/// Recover from a disk through the builder (the drills' shorthand; the
+/// report is always present in recover mode).
+fn recover_on<D: DiskBackend + 'static>(
+    disk: Arc<D>,
+    opts: IndexOptions,
+) -> CoreResult<(RTreeIndex, RecoveryReport)> {
+    let (index, report) = IndexBuilder::with_options(opts)
+        .disk(disk)
+        .recover()
+        .build_index_with_report()?;
+    Ok((index, report.expect("recover mode yields a report")))
+}
+
+/// Recover from a file through the builder.
+fn recover_file(
+    path: &std::path::Path,
+    opts: IndexOptions,
+) -> CoreResult<(RTreeIndex, RecoveryReport)> {
+    let (index, report) = IndexBuilder::with_options(opts)
+        .file(path)
+        .recover()
+        .build_index_with_report()?;
+    Ok((index, report.expect("recover mode yields a report")))
+}
+
 fn durable(base: IndexOptions, checkpoint_every: u64, sync: SyncPolicy) -> IndexOptions {
     base.with_durability(Durability::Wal(WalOptions {
         sync,
@@ -74,7 +99,10 @@ fn crash_drill(name: &str, base: IndexOptions, cut_after: u64, seed: u64) {
     let opts = durable(base, 64, SyncPolicy::EveryCommit);
     let inner = Arc::new(MemDisk::new(PAGE));
     let faulty = Arc::new(FaultyDisk::new(inner.clone()));
-    let mut index = RTreeIndex::create_on(faulty.clone(), opts).unwrap();
+    let mut index = IndexBuilder::with_options(opts)
+        .disk(faulty.clone())
+        .build_index()
+        .unwrap();
 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut positions = Vec::with_capacity(n as usize);
@@ -114,7 +142,7 @@ fn crash_drill(name: &str, base: IndexOptions, cut_after: u64, seed: u64) {
         .unwrap_or_else(|| panic!("{name}: the power cut never fired (cut_after {cut_after})"));
     drop(index); // crash — only `inner` (the platter) survives
 
-    let (recovered, report) = RTreeIndex::recover_on(inner.clone(), opts)
+    let (recovered, report) = recover_on(inner.clone(), opts)
         .unwrap_or_else(|e| panic!("{name}: recovery failed after cut at {cut_after}: {e}"));
     // Resolve the unknown-outcome op: it must be atomically at old or at
     // new, never both, never elsewhere.
@@ -235,7 +263,10 @@ fn crash_recovery_survives_every_write_boundary_in_band() {
         let mut acked: Vec<(u64, Point)> = Vec::new();
         let mut pending: Option<(u64, Option<Point>, Point)> = None; // (oid, old, new)
         let run = (|| -> Result<(), ()> {
-            let mut index = RTreeIndex::create_on(faulty.clone(), opts).map_err(|_| ())?;
+            let mut index = IndexBuilder::with_options(opts)
+                .disk(faulty.clone())
+                .build_index()
+                .map_err(|_| ())?;
             for oid in 0..80u64 {
                 let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
                 if index.insert(oid, p).is_err() {
@@ -264,7 +295,7 @@ fn crash_recovery_survives_every_write_boundary_in_band() {
             continue; // create_on itself was cut: nothing was ever acknowledged
         }
 
-        match RTreeIndex::recover_on(inner, opts) {
+        match recover_on(inner, opts) {
             Ok((recovered, _report)) => {
                 recovered
                     .validate()
@@ -313,7 +344,10 @@ fn crash_during_population_loses_no_acknowledged_insert() {
     let opts = durable(IndexOptions::generalized(), 32, SyncPolicy::EveryCommit);
     let inner = Arc::new(MemDisk::new(PAGE));
     let faulty = Arc::new(FaultyDisk::new(inner.clone()));
-    let mut index = RTreeIndex::create_on(faulty.clone(), opts).unwrap();
+    let mut index = IndexBuilder::with_options(opts)
+        .disk(faulty.clone())
+        .build_index()
+        .unwrap();
     faulty.inject(FaultKind::TornWrite { after_writes: 180 });
     let mut rng = StdRng::seed_from_u64(5150);
     let mut acked: Vec<(u64, Point)> = Vec::new();
@@ -332,7 +366,7 @@ fn crash_during_population_loses_no_acknowledged_insert() {
     assert!(pending.is_some(), "the cut must fire");
     drop(index);
 
-    let (recovered, _report) = RTreeIndex::recover_on(inner, opts).unwrap();
+    let (recovered, _report) = recover_on(inner, opts).unwrap();
     recovered.validate().unwrap();
     let (pid, pp) = pending.unwrap();
     let pending_survived = recovered.point_query(pp).unwrap().contains(&pid);
@@ -361,7 +395,10 @@ fn group_commit_recovers_to_a_consistent_acknowledged_state() {
     );
     let inner = Arc::new(MemDisk::new(PAGE));
     let faulty = Arc::new(FaultyDisk::new(inner.clone()));
-    let mut index = RTreeIndex::create_on(faulty.clone(), opts).unwrap();
+    let mut index = IndexBuilder::with_options(opts)
+        .disk(faulty.clone())
+        .build_index()
+        .unwrap();
     let n = 300u64;
     let mut rng = StdRng::seed_from_u64(808);
     let mut history: HashMap<u64, Vec<Point>> = HashMap::new();
@@ -394,7 +431,7 @@ fn group_commit_recovers_to_a_consistent_acknowledged_state() {
     }
     drop(index);
 
-    let (recovered, _report) = RTreeIndex::recover_on(inner, opts).unwrap();
+    let (recovered, _report) = recover_on(inner, opts).unwrap();
     recovered.validate().unwrap();
     assert_eq!(recovered.len(), n);
     for (oid, hist) in &history {
@@ -414,7 +451,10 @@ fn clean_shutdown_recovery_is_a_noop_and_open_routes_through_it() {
     let mut positions = Vec::new();
     {
         let disk = Arc::new(FileDisk::create(&path, PAGE).unwrap());
-        let mut index = RTreeIndex::create_on(disk, opts).unwrap();
+        let mut index = IndexBuilder::with_options(opts)
+            .disk(disk)
+            .build_index()
+            .unwrap();
         for oid in 0..800u64 {
             let p = Point::new(rng.random_range(0.0..1.0), rng.random_range(0.0..1.0));
             index.insert(oid, p).unwrap();
@@ -424,7 +464,11 @@ fn clean_shutdown_recovery_is_a_noop_and_open_routes_through_it() {
     }
     // open_on with durable options routes through recovery.
     let disk = Arc::new(FileDisk::open(&path, PAGE).unwrap());
-    let index = RTreeIndex::open_on(disk, opts).unwrap();
+    let index = IndexBuilder::with_options(opts)
+        .disk(disk)
+        .open()
+        .build_index()
+        .unwrap();
     assert_eq!(index.len(), 800);
     index.validate().unwrap();
     assert!(index.is_durable());
@@ -434,7 +478,11 @@ fn clean_shutdown_recovery_is_a_noop_and_open_routes_through_it() {
     // options still reattaches the WAL (otherwise unlogged page writes
     // would race the stale log generation on a later recover).
     let disk = Arc::new(FileDisk::open(&path, PAGE).unwrap());
-    let mut index = RTreeIndex::open_on(disk, IndexOptions::generalized()).unwrap();
+    let mut index = IndexBuilder::with_options(IndexOptions::generalized())
+        .disk(disk)
+        .open()
+        .build_index()
+        .unwrap();
     assert!(
         index.is_durable(),
         "durable file must reattach its log on open"
@@ -442,7 +490,7 @@ fn clean_shutdown_recovery_is_a_noop_and_open_routes_through_it() {
     let p0 = positions[0];
     index.update(0, p0, Point::new(0.99, 0.99)).unwrap();
     drop(index); // crash without persist: the update must still survive
-    let (index, _) = RTreeIndex::recover(&path, opts).unwrap();
+    let (index, _) = recover_file(&path, opts).unwrap();
     assert!(index
         .point_query(Point::new(0.99, 0.99))
         .unwrap()
@@ -450,10 +498,10 @@ fn clean_shutdown_recovery_is_a_noop_and_open_routes_through_it() {
     drop(index);
 
     // recover() twice in a row: idempotent.
-    let (index, r1) = RTreeIndex::recover(&path, opts).unwrap();
+    let (index, r1) = recover_file(&path, opts).unwrap();
     assert_eq!(r1.recovered_len, 800);
     drop(index);
-    let (index, r2) = RTreeIndex::recover(&path, opts).unwrap();
+    let (index, r2) = recover_file(&path, opts).unwrap();
     assert_eq!(r2.recovered_len, 800);
     index.validate().unwrap();
 }
@@ -462,16 +510,19 @@ fn clean_shutdown_recovery_is_a_noop_and_open_routes_through_it() {
 fn recover_rejects_non_durable_disks_and_options() {
     let opts = IndexOptions::generalized();
     let disk = Arc::new(MemDisk::new(PAGE));
-    let mut index = RTreeIndex::create_on(disk.clone(), opts).unwrap();
+    let mut index = IndexBuilder::with_options(opts)
+        .disk(disk.clone())
+        .build_index()
+        .unwrap();
     index.insert(1, Point::new(0.1, 0.1)).unwrap();
     index.persist().unwrap();
     drop(index);
     // Non-durable options are rejected outright.
-    let err = RTreeIndex::recover_on(disk.clone(), opts).unwrap_err();
+    let err = recover_on(disk.clone(), opts).unwrap_err();
     assert!(err.to_string().contains("Durability::Wal"), "got: {err}");
     // Durable options on a disk that never had a log are rejected too
     // (page 1 is a tree page, not a WAL anchor).
-    let err = RTreeIndex::recover_on(disk, IndexOptions::durable()).unwrap_err();
+    let err = recover_on(disk, IndexOptions::durable()).unwrap_err();
     assert!(err.to_string().contains("write-ahead log"), "got: {err}");
 }
 
@@ -490,12 +541,16 @@ fn crash_recovery_survives_cuts_inside_delta_chains_and_at_anchors() {
             anchor_every: 3,
         },
         batch_ops: 1,
+        ..WalOptions::default()
     };
     let opts = IndexOptions::generalized().with_durability(Durability::Wal(wopts));
     for cut in (2..92u64).step_by(3) {
         let inner = Arc::new(MemDisk::new(PAGE));
         let faulty = Arc::new(FaultyDisk::new(inner.clone()));
-        let mut index = RTreeIndex::create_on(faulty.clone(), opts).unwrap();
+        let mut index = IndexBuilder::with_options(opts)
+            .disk(faulty.clone())
+            .build_index()
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(9300 + cut);
         let n = 60u64;
         let mut positions = Vec::with_capacity(n as usize);
@@ -527,8 +582,8 @@ fn crash_recovery_survives_cuts_inside_delta_chains_and_at_anchors() {
         let (poid, pold, pnew) = pending.expect("the power cut must fire");
         drop(index);
 
-        let (recovered, report) = RTreeIndex::recover_on(inner, opts)
-            .unwrap_or_else(|e| panic!("cut {cut}: recovery failed: {e}"));
+        let (recovered, report) =
+            recover_on(inner, opts).unwrap_or_else(|e| panic!("cut {cut}: recovery failed: {e}"));
         recovered.validate().unwrap();
         // The interrupted op lands atomically on exactly one side.
         let at_new = recovered.point_query(pnew).unwrap().contains(&poid);
@@ -563,7 +618,10 @@ fn crash_mid_commit_batch_preserves_every_flushed_batch() {
     for cut in [9u64, 23, 57, 88] {
         let inner = Arc::new(MemDisk::new(PAGE));
         let faulty = Arc::new(FaultyDisk::new(inner.clone()));
-        let mut index = RTreeIndex::create_on(faulty.clone(), opts).unwrap();
+        let mut index = IndexBuilder::with_options(opts)
+            .disk(faulty.clone())
+            .build_index()
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(4400 + cut);
         let n = 80u64;
         // Per-object position history plus the index of the last position
@@ -608,7 +666,7 @@ fn crash_mid_commit_batch_preserves_every_flushed_batch() {
         }
         drop(index);
 
-        let (recovered, _report) = RTreeIndex::recover_on(inner, opts).unwrap();
+        let (recovered, _report) = recover_on(inner, opts).unwrap();
         recovered.validate().unwrap();
         assert_eq!(recovered.len(), n, "cut {cut}");
         for (oid, h) in history.iter().enumerate() {
@@ -644,7 +702,10 @@ fn async_group_commit_crash_recovers_to_consistent_state() {
     let opts = IndexOptions::generalized().with_durability(Durability::Wal(wopts));
     let inner = Arc::new(MemDisk::new(PAGE));
     let faulty = Arc::new(FaultyDisk::new(inner.clone()));
-    let mut index = RTreeIndex::create_on(faulty.clone(), opts).unwrap();
+    let mut index = IndexBuilder::with_options(opts)
+        .disk(faulty.clone())
+        .build_index()
+        .unwrap();
     let n = 120u64;
     let mut rng = StdRng::seed_from_u64(606);
     let mut history: HashMap<u64, Vec<Point>> = HashMap::new();
@@ -673,7 +734,7 @@ fn async_group_commit_crash_recovers_to_consistent_state() {
     }
     drop(index); // crash: joins the background syncer, post-cut writes are void
 
-    let (recovered, _report) = RTreeIndex::recover_on(inner, opts).unwrap();
+    let (recovered, _report) = recover_on(inner, opts).unwrap();
     recovered.validate().unwrap();
     assert_eq!(recovered.len(), n);
     for (oid, hist) in &history {
@@ -695,7 +756,10 @@ fn async_wait_durable_is_a_hard_ack() {
     };
     let opts = IndexOptions::generalized().with_durability(Durability::Wal(wopts));
     let disk = Arc::new(MemDisk::new(PAGE));
-    let mut index = RTreeIndex::create_on(disk.clone(), opts).unwrap();
+    let mut index = IndexBuilder::with_options(opts)
+        .disk(disk.clone())
+        .build_index()
+        .unwrap();
     let mut rng = StdRng::seed_from_u64(717);
     let mut positions = Vec::new();
     for oid in 0..200u64 {
@@ -717,7 +781,7 @@ fn async_wait_durable_is_a_hard_ack() {
     );
     drop(index); // crash with no checkpoint/persist
 
-    let (recovered, _) = RTreeIndex::recover_on(disk, opts).unwrap();
+    let (recovered, _) = recover_on(disk, opts).unwrap();
     recovered.validate().unwrap();
     for (oid, p) in positions.iter().enumerate() {
         assert!(
@@ -738,7 +802,7 @@ fn commit_batching_writes_one_record_per_batch() {
         ..WalOptions::default()
     };
     let opts = IndexOptions::generalized().with_durability(Durability::Wal(wopts));
-    let mut index = RTreeIndex::create_in_memory(opts).unwrap();
+    let mut index = IndexBuilder::with_options(opts).build_index().unwrap();
     let mut rng = StdRng::seed_from_u64(321);
     let mut positions = Vec::new();
     for oid in 0..40u64 {
@@ -785,7 +849,10 @@ fn checkpoints_recycle_chain_pages_instead_of_leaking() {
     };
     let opts = IndexOptions::generalized().with_durability(Durability::Wal(wopts));
     let disk = Arc::new(MemDisk::new(PAGE));
-    let mut index = RTreeIndex::create_on(disk.clone(), opts).unwrap();
+    let mut index = IndexBuilder::with_options(opts)
+        .disk(disk.clone())
+        .build_index()
+        .unwrap();
     let mut rng = StdRng::seed_from_u64(515);
     let n = 2_000u64;
     let mut positions = Vec::new();
@@ -831,7 +898,10 @@ fn durable_index_survives_strategy_switch_on_recovery() {
     let gbu = durable(IndexOptions::generalized(), 64, SyncPolicy::EveryCommit);
     let inner = Arc::new(MemDisk::new(PAGE));
     let faulty = Arc::new(FaultyDisk::new(inner.clone()));
-    let mut index = RTreeIndex::create_on(faulty.clone(), gbu).unwrap();
+    let mut index = IndexBuilder::with_options(gbu)
+        .disk(faulty.clone())
+        .build_index()
+        .unwrap();
     let mut rng = StdRng::seed_from_u64(31337);
     let mut positions = Vec::new();
     for oid in 0..600u64 {
@@ -859,7 +929,7 @@ fn durable_index_survives_strategy_switch_on_recovery() {
     drop(index);
 
     let lbu = durable(IndexOptions::localized(), 64, SyncPolicy::EveryCommit);
-    let (mut recovered, _) = RTreeIndex::recover_on(inner, lbu).unwrap();
+    let (mut recovered, _) = recover_on(inner, lbu).unwrap();
     recovered.validate().unwrap(); // checks LBU parent pointers
     if let Some((oid, _old, new)) = pending {
         if recovered.point_query(new).unwrap().contains(&oid) {
