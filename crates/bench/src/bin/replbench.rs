@@ -1,0 +1,295 @@
+//! `replbench` — measure warm-standby apply lag versus primary update
+//! rate and record it as a machine-readable perf artifact.
+//!
+//! ```text
+//! replbench [--objects N] [--updates N] [--soak-secs S] [--out FILE]
+//! ```
+//!
+//! Runs the in-place update workload (seeded GBU, in-memory disk — the
+//! `wal_overhead` setup) on a durable primary while a [`Follower`]
+//! ships its write-ahead log, across a matrix of pump cadences (how
+//! many primary updates land between follower polls). For each cadence
+//! it writes into `BENCH_repl.json`: the primary's update rate, the
+//! follower's apply throughput, the *apply lag* observed just before
+//! each pump (mean and max, in LSNs — records the follower had not yet
+//! made visible), and the time the follower needed to catch up after
+//! the primary stopped. The recorded target: at the per-update cadence
+//! the follower must keep the mean lag under one commit's worth of
+//! records, and every cadence must catch up after the run.
+//!
+//! With `--soak-secs S > 0` (the CI smoke) it additionally runs a
+//! two-thread soak — a writer hammering the primary while a pump thread
+//! ships continuously — then has the follower catch up, promotes it,
+//! and verifies the promoted index validates and matches the primary's
+//! object count. The soak result is part of the JSON (`soak_ok`).
+
+use bur_core::{Bur, Durability, IndexOptions, RTreeIndex, WalOptions};
+use bur_repl::{Follower, LogShipper};
+use bur_storage::MemDisk;
+use bur_workload::{Workload, WorkloadConfig};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct CadenceResult {
+    name: &'static str,
+    pump_every: usize,
+    primary_ns_per_update: f64,
+    follower_ns_per_record: f64,
+    mean_lag_records: f64,
+    max_lag_records: u64,
+    catchup_ms: f64,
+    records_shipped: u64,
+    resyncs: u64,
+}
+
+fn durable_opts() -> IndexOptions {
+    IndexOptions::generalized().with_durability(Durability::Wal(WalOptions {
+        checkpoint_every: 8192,
+        ..WalOptions::default()
+    }))
+}
+
+fn build_primary(objects: usize) -> (Bur, Arc<MemDisk>, Workload) {
+    let opts = durable_opts();
+    let disk = Arc::new(MemDisk::new(opts.page_size));
+    let wl = Workload::generate(WorkloadConfig {
+        num_objects: objects,
+        max_distance: 0.004,
+        ..WorkloadConfig::default()
+    });
+    let index = RTreeIndex::bulk_load_on(disk.clone() as _, opts, &wl.items()).expect("bulk load");
+    (Bur::from_index(index), disk, wl)
+}
+
+fn measure(name: &'static str, pump_every: usize, objects: usize, updates: usize) -> CadenceResult {
+    let (primary, disk, mut wl) = build_primary(objects);
+    let mut shipper = LogShipper::new(disk);
+    let mut follower = Follower::attach_in_memory(&mut shipper, durable_opts()).expect("attach");
+
+    let mut primary_ns = 0u128;
+    let mut pump_ns = 0u128;
+    let mut lag_sum = 0u64;
+    let mut lag_max = 0u64;
+    let mut pumps = 0u64;
+    for i in 0..updates {
+        let op = wl.next_update();
+        let t = Instant::now();
+        primary.update(op.oid, op.old, op.new).expect("update");
+        primary_ns += t.elapsed().as_nanos();
+        if (i + 1) % pump_every == 0 {
+            // Apply lag right before the pump: records durable on the
+            // primary but not yet visible on the replica.
+            let last = primary.wal_stats().map_or(0, |s| s.last_lsn);
+            let lag = last.saturating_sub(follower.applied_lsn());
+            lag_sum += lag;
+            lag_max = lag_max.max(lag);
+            pumps += 1;
+            let t = Instant::now();
+            follower.sync_once(&mut shipper).expect("pump");
+            pump_ns += t.elapsed().as_nanos();
+        }
+    }
+    // Primary stops; how long until the standby is fully caught up?
+    primary.wait_durable().expect("quiesce");
+    let t = Instant::now();
+    follower.catch_up(&mut shipper).expect("catch up");
+    let catchup_ms = t.elapsed().as_secs_f64() * 1e3;
+    let stats = follower.stats();
+    assert_eq!(
+        follower.applied_lsn(),
+        primary.wal_stats().map_or(0, |s| s.durable_lsn),
+        "{name}: follower must catch up to the primary's durable watermark"
+    );
+    CadenceResult {
+        name,
+        pump_every,
+        primary_ns_per_update: primary_ns as f64 / updates as f64,
+        follower_ns_per_record: if stats.records_shipped == 0 {
+            0.0
+        } else {
+            pump_ns as f64 / stats.records_shipped as f64
+        },
+        mean_lag_records: if pumps == 0 {
+            0.0
+        } else {
+            lag_sum as f64 / pumps as f64
+        },
+        max_lag_records: lag_max,
+        catchup_ms,
+        records_shipped: stats.records_shipped,
+        resyncs: stats.resyncs,
+    }
+}
+
+/// Concurrent writer + pump soak; returns `(updates, records, resyncs)`
+/// after verifying the promoted follower.
+fn soak(objects: usize, secs: u64) -> (u64, u64, u64) {
+    let (primary, disk, mut wl) = build_primary(objects);
+    let mut shipper = LogShipper::new(disk);
+    let mut follower = Follower::attach_in_memory(&mut shipper, durable_opts()).expect("attach");
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writer_stop = stop.clone();
+    let writer_bur = primary.clone();
+    let writer = std::thread::spawn(move || {
+        let mut updates = 0u64;
+        while !writer_stop.load(Ordering::Relaxed) {
+            let op = wl.next_update();
+            writer_bur.update(op.oid, op.old, op.new).expect("update");
+            updates += 1;
+        }
+        updates
+    });
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while Instant::now() < deadline {
+        follower.sync_once(&mut shipper).expect("pump");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let updates = writer.join().expect("writer");
+    primary.wait_durable().expect("quiesce");
+    follower.catch_up(&mut shipper).expect("catch up");
+    let stats = follower.stats();
+
+    let promoted = follower.promote().expect("promote");
+    promoted.validate().expect("promoted index validates");
+    assert_eq!(promoted.len(), primary.len(), "soak: object count");
+    (updates, stats.records_shipped, stats.resyncs)
+}
+
+fn main() -> ExitCode {
+    let mut objects = 20_000usize;
+    let mut updates = 20_000usize;
+    let mut soak_secs = 0u64;
+    let mut out = String::from("BENCH_repl.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--objects" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => objects = v,
+                None => return usage(),
+            },
+            "--updates" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => updates = v,
+                None => return usage(),
+            },
+            "--soak-secs" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => soak_secs = v,
+                None => return usage(),
+            },
+            "--out" => match args.next() {
+                Some(v) => out = v,
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let configs: [(&'static str, usize); 4] = [
+        ("pump-per-update", 1),
+        ("pump-per-16", 16),
+        ("pump-per-256", 256),
+        ("pump-at-end", usize::MAX),
+    ];
+    let results: Vec<CadenceResult> = configs
+        .into_iter()
+        .map(|(name, every)| {
+            let every = every.min(updates); // "at end" = one pump after all updates
+            let r = measure(name, every, objects, updates);
+            eprintln!(
+                "{:>16}: primary {:7.0} ns/update | follower {:6.0} ns/record | lag mean {:7.1} \
+                 max {:5} records | catch-up {:7.2} ms ({} records, {} resyncs)",
+                r.name,
+                r.primary_ns_per_update,
+                r.follower_ns_per_record,
+                r.mean_lag_records,
+                r.max_lag_records,
+                r.catchup_ms,
+                r.records_shipped,
+                r.resyncs
+            );
+            r
+        })
+        .collect();
+
+    // Target: pumped per update, the standby stays within one commit's
+    // worth of records (a page record or two plus the commit itself).
+    let tight = &results[0];
+    let lag_target_met = tight.mean_lag_records <= 8.0;
+
+    let soak_result = if soak_secs > 0 {
+        let (u, r, s) = soak(objects, soak_secs);
+        eprintln!(
+            "soak {soak_secs}s: {u} concurrent updates, {r} records shipped, {s} resyncs, \
+             promoted follower validated"
+        );
+        Some((u, r, s))
+    } else {
+        None
+    };
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"repl_lag\",");
+    let _ = writeln!(json, "  \"objects\": {objects},");
+    let _ = writeln!(json, "  \"updates_measured\": {updates},");
+    let _ = writeln!(json, "  \"configs\": [");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"pump_every\": {}, \"primary_ns_per_update\": {:.1}, \
+             \"follower_ns_per_record\": {:.1}, \"mean_lag_records\": {:.2}, \
+             \"max_lag_records\": {}, \"catchup_ms\": {:.3}, \"records_shipped\": {}, \
+             \"resyncs\": {}}}{}",
+            r.name,
+            r.pump_every,
+            r.primary_ns_per_update,
+            r.follower_ns_per_record,
+            r.mean_lag_records,
+            r.max_lag_records,
+            r.catchup_ms,
+            r.records_shipped,
+            r.resyncs,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"targets\": {{\"mean_lag_records_at_per_update_pump_max\": 8.0}},"
+    );
+    match soak_result {
+        Some((u, r, s)) => {
+            let _ = writeln!(
+                json,
+                "  \"soak\": {{\"secs\": {soak_secs}, \"updates\": {u}, \"records_shipped\": {r}, \
+                 \"resyncs\": {s}, \"soak_ok\": true}},"
+            );
+        }
+        None => {
+            let _ = writeln!(json, "  \"soak\": null,");
+        }
+    }
+    let _ = writeln!(json, "  \"targets_met\": {lag_target_met}");
+    let _ = writeln!(json, "}}");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("replbench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "\nmean apply lag at per-update pump: {:.2} records (target <= 8)\nwritten to {out}",
+        tight.mean_lag_records
+    );
+    ExitCode::SUCCESS
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: replbench [--objects N] [--updates N] [--soak-secs S] [--out FILE]");
+    ExitCode::FAILURE
+}

@@ -1,12 +1,13 @@
 //! One construction path for every index: backend × open mode ×
 //! durability × strategy.
 //!
-//! [`IndexBuilder`] subsumes the four historical constructors
-//! (`create_in_memory` / `create_on` / `open_on` / `recover_on`) and
-//! `recover`, which are deprecated shims now. Pick a strategy, point the
-//! builder at a backend, choose an [`OpenMode`], and build either the
-//! clonable [`Bur`] handle (the default — shared, DGL-locked,
-//! batch-first) or a raw [`RTreeIndex`] for single-threaded embedding.
+//! [`IndexBuilder`] subsumes the historical direct constructors
+//! (`create_in_memory` / `create_on` / `open_on` / `recover_on` /
+//! `recover`), which were deprecated for one release and have been
+//! removed. Pick a strategy, point the builder at a backend, choose an
+//! [`OpenMode`], and build either the clonable [`Bur`] handle (the
+//! default — shared, DGL-locked, batch-first) or a raw [`RTreeIndex`]
+//! for single-threaded embedding.
 //!
 //! ```
 //! use bur_core::IndexBuilder;

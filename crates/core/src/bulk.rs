@@ -292,7 +292,7 @@ impl RTree {
         self.write_node(child, &node)
     }
 
-    /// Replace the placeholder root created by `create_on` with the
+    /// Replace the placeholder root created by index creation with the
     /// bulk-built tree, recycling the placeholder page.
     fn bulk_set_root(&mut self, new_root: PageId) -> CoreResult<()> {
         let old_root = self.root;

@@ -133,7 +133,7 @@ pub enum Durability {
     /// Write-ahead logging via `bur-wal`: page images of every operation
     /// are logged before dirty pages may reach the disk, commits follow
     /// the configured sync cadence, and the index recovers from a crash
-    /// with [`crate::RTreeIndex::recover_on`].
+    /// through [`crate::IndexBuilder`]'s [`crate::OpenMode::Recover`].
     Wal(WalOptions),
 }
 

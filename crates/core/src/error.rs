@@ -38,6 +38,9 @@ pub enum CoreError {
         /// Why that operation failed.
         source: Box<CoreError>,
     },
+    /// A write was attempted through a read-only handle (a replication
+    /// follower's view). Promote the replica to obtain a writable handle.
+    ReadOnly,
 }
 
 impl fmt::Display for CoreError {
@@ -53,6 +56,12 @@ impl fmt::Display for CoreError {
             CoreError::BadConfig(msg) => write!(f, "bad configuration: {msg}"),
             CoreError::Batch { op_index, source } => {
                 write!(f, "batch operation #{op_index} failed: {source}")
+            }
+            CoreError::ReadOnly => {
+                write!(
+                    f,
+                    "index handle is read-only (a replica view; promote it to write)"
+                )
             }
         }
     }

@@ -48,7 +48,7 @@ use bur_geom::{Point, Rect};
 use bur_storage::IoSnapshot;
 use bur_wal::{Lsn, WalStatsSnapshot, WalWaiter};
 use parking_lot::{Mutex, MutexGuard};
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// At most this many spare query buffers are kept for recycling; extra
@@ -64,12 +64,16 @@ struct BurShared {
     batcher: CommitBatcher,
     /// Single-op commit batch size; 0 or 1 means per-operation commits.
     batch_target: AtomicU32,
-    /// Durable-watermark waiter, cached once (durable indexes only).
-    waiter: Option<WalWaiter>,
+    /// Durable-watermark waiter, cached at construction (durable indexes
+    /// only) and refreshed when a replica promotion attaches a log.
+    waiter: Mutex<Option<WalWaiter>>,
     /// What recovery replayed, when the handle was built in recover mode.
     recovery: Option<RecoveryReport>,
     /// Recycled query-result buffers ([`QueryCursor`] hot path).
     spare_ids: Mutex<Vec<Vec<ObjectId>>>,
+    /// Write paths refuse with [`CoreError::ReadOnly`] while set — the
+    /// replication-follower mode, cleared by [`Bur::promote_replica`].
+    read_only: AtomicBool,
 }
 
 impl BurShared {
@@ -109,11 +113,26 @@ impl Bur {
         Self::from_index_with_report(index, None)
     }
 
+    /// Wrap an index in a **read-only** handle: every write entry point
+    /// (`apply`, `insert`, `update`, `delete`, `commit`, `checkpoint`,
+    /// `persist`, `set_commit_batching`) fails with
+    /// [`CoreError::ReadOnly`] until [`Bur::promote_replica`] flips the
+    /// handle writable. This is how a replication follower shares its
+    /// replica view with query threads while it alone redoes the shipped
+    /// log through [`Bur::with_index_mut`] (the maintenance escape
+    /// hatch, which stays open — it is the follower's apply path).
+    #[must_use]
+    pub fn from_index_read_only(index: RTreeIndex) -> Self {
+        let bur = Self::from_index_with_report(index, None);
+        bur.shared.read_only.store(true, Ordering::Release);
+        bur
+    }
+
     pub(crate) fn from_index_with_report(
         index: RTreeIndex,
         recovery: Option<RecoveryReport>,
     ) -> Self {
-        let waiter = index.wal_waiter();
+        let waiter = Mutex::new(index.wal_waiter());
         Self {
             shared: Arc::new(BurShared {
                 inner: Mutex::new(index),
@@ -123,8 +142,45 @@ impl Bur {
                 waiter,
                 recovery,
                 spare_ids: Mutex::new(Vec::new()),
+                read_only: AtomicBool::new(false),
             }),
         }
+    }
+
+    /// `true` while the handle is a read-only replica view (see
+    /// [`Bur::from_index_read_only`]).
+    #[must_use]
+    pub fn is_read_only(&self) -> bool {
+        self.shared.read_only.load(Ordering::Acquire)
+    }
+
+    /// Refuse writes through a read-only handle.
+    fn check_writable(&self) -> CoreResult<()> {
+        if self.is_read_only() {
+            return Err(CoreError::ReadOnly);
+        }
+        Ok(())
+    }
+
+    /// Promote a read-only replica handle in place: run the tail of
+    /// recovery ([`RTreeIndex::promote_replica`] — memory-state rebuild,
+    /// log reattach + rewind, checkpoint) under the exclusive tree
+    /// granule, then flip the handle writable. Every clone held by a
+    /// query thread becomes a handle on the new primary at the same
+    /// moment. Fails on a handle that is already writable.
+    pub fn promote_replica(&self, opts: IndexOptions) -> CoreResult<()> {
+        let (mut index, _tree) = self.lock_tree(LockMode::Exclusive);
+        // Checked under the exclusive lock: of two racing promotes,
+        // exactly one wins — the loser sees a writable handle.
+        if !self.is_read_only() {
+            return Err(CoreError::BadConfig(
+                "promote_replica: handle is already writable".into(),
+            ));
+        }
+        index.promote_replica(opts)?;
+        *self.shared.waiter.lock() = index.wal_waiter();
+        self.shared.read_only.store(false, Ordering::Release);
+        Ok(())
     }
 
     /// Unwrap into the inner [`RTreeIndex`]; fails (returning the handle)
@@ -190,7 +246,7 @@ impl Bur {
             report,
             hooks,
             lsn: index.last_lsn().unwrap_or(0),
-            waiter: self.shared.waiter.clone(),
+            waiter: self.shared.waiter.lock().clone(),
         }
     }
 
@@ -210,6 +266,7 @@ impl Bur {
     /// containing inserts, deletes or top-down updates takes the tree
     /// granule exclusively.
     pub fn apply(&self, batch: &Batch) -> CoreResult<CommitTicket> {
+        self.check_writable()?;
         if batch.is_empty() {
             let index = self.shared.inner.lock();
             return Ok(self.ticket(&index, BatchReport::default(), CommitBatch::default()));
@@ -327,6 +384,7 @@ impl Bur {
     /// return the covering [`CommitTicket`]. A no-op ticket when nothing
     /// was pending.
     pub fn commit(&self) -> CoreResult<CommitTicket> {
+        self.check_writable()?;
         let mut index = self.shared.inner.lock();
         let pending = index.pending_commits();
         index.flush_commits()?;
@@ -352,6 +410,7 @@ impl Bur {
     /// Insert a fresh point object (tree granule exclusive: inserts can
     /// split).
     pub fn insert(&self, oid: ObjectId, position: Point) -> CoreResult<()> {
+        self.check_writable()?;
         let (mut index, _tree) = self.lock_tree(LockMode::Exclusive);
         index.insert(oid, position)?;
         self.after_write(&mut index, Granule::Tree);
@@ -360,6 +419,7 @@ impl Bur {
 
     /// Insert a fresh object with a rectangular extent.
     pub fn insert_rect(&self, oid: ObjectId, rect: Rect) -> CoreResult<()> {
+        self.check_writable()?;
         let (mut index, _tree) = self.lock_tree(LockMode::Exclusive);
         index.insert_rect(oid, rect)?;
         self.after_write(&mut index, Granule::Tree);
@@ -369,6 +429,7 @@ impl Bur {
     /// Delete an object (tree granule exclusive). Returns `false` when
     /// it is not indexed at `position`.
     pub fn delete(&self, oid: ObjectId, position: Point) -> CoreResult<bool> {
+        self.check_writable()?;
         let (mut index, _tree) = self.lock_tree(LockMode::Exclusive);
         let found = index.delete(oid, position)?;
         if found {
@@ -382,6 +443,7 @@ impl Bur {
     /// exclusively under a shared tree granule; top-down updates take
     /// the tree granule exclusively.
     pub fn update(&self, oid: ObjectId, old: Point, new: Point) -> CoreResult<UpdateOutcome> {
+        self.check_writable()?;
         loop {
             let mut index = self.shared.inner.lock();
             let bottom_up = !matches!(index.options().strategy, UpdateStrategy::TopDown);
@@ -473,6 +535,7 @@ impl Bur {
     /// batches are flushed whole regardless). `1` restores per-operation
     /// commits. No-op on a non-durable index.
     pub fn set_commit_batching(&self, ops: u32) -> CoreResult<()> {
+        self.check_writable()?;
         let ops = ops.max(1);
         let mut index = self.shared.inner.lock();
         index.set_commit_batch(ops)?;
@@ -493,6 +556,7 @@ impl Bur {
     /// Take a checkpoint now (persist on a non-durable index): bounds
     /// recovery replay and the log's page footprint.
     pub fn checkpoint(&self) -> CoreResult<()> {
+        self.check_writable()?;
         let (mut index, _tree) = self.lock_tree(LockMode::Exclusive);
         index.checkpoint()
     }
@@ -501,6 +565,7 @@ impl Bur {
     /// pages (a checkpoint on a durable index). Intended as a shutdown
     /// step.
     pub fn persist(&self) -> CoreResult<()> {
+        self.check_writable()?;
         let (mut index, _tree) = self.lock_tree(LockMode::Exclusive);
         index.persist()
     }

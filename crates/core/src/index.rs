@@ -13,13 +13,13 @@ use crate::tree::{RTree, WalHandle};
 use crate::{gbu, lbu, topdown};
 use bur_geom::{Point, Rect};
 use bur_hashindex::{HashIndexConfig, LinearHashIndex};
-use bur_storage::{BufferPool, DiskBackend, IoStats, MemDisk, PageId, PoolConfig, INVALID_PAGE};
+use bur_storage::{BufferPool, DiskBackend, IoStats, PageId, PoolConfig, INVALID_PAGE};
 use bur_wal::{Wal, WalRecord, WalStatsSnapshot};
-use std::path::Path;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-/// What [`RTreeIndex::recover_on`] did to bring an index back.
+/// What recovery ([`crate::IndexBuilder`]'s [`crate::OpenMode::Recover`]
+/// mode) did to bring an index back.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RecoveryReport {
     /// Records that survived in the log (all kinds).
@@ -80,31 +80,11 @@ impl std::fmt::Debug for RTreeIndex {
 impl RTreeIndex {
     // ---- construction ----------------------------------------------------
     //
-    // The public constructors are deprecated shims over the `_inner`
-    // functions below; [`crate::IndexBuilder`] is the supported way to
-    // construct an index (it covers the full backend × open-mode ×
-    // durability × strategy matrix in one place).
-
-    /// Create a fresh index on an in-memory disk (the experiment default).
-    #[deprecated(since = "0.2.0", note = "use `IndexBuilder::...build_index()` instead")]
-    pub fn create_in_memory(opts: IndexOptions) -> CoreResult<Self> {
-        Self::create_in_memory_inner(opts)
-    }
-
-    /// Create a fresh index on the given disk. The disk must be empty;
-    /// page 0 is reserved for index metadata.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `IndexBuilder::...disk(d).build_index()` instead"
-    )]
-    pub fn create_on(disk: Arc<dyn DiskBackend>, opts: IndexOptions) -> CoreResult<Self> {
-        Self::create_on_inner(disk, opts)
-    }
-
-    pub(crate) fn create_in_memory_inner(opts: IndexOptions) -> CoreResult<Self> {
-        let disk = Arc::new(MemDisk::new(opts.page_size));
-        Self::create_on_inner(disk, opts)
-    }
+    // [`crate::IndexBuilder`] is the only public way to construct an
+    // index (it covers the full backend × open-mode × durability ×
+    // strategy matrix in one place); it drives the `_inner` functions
+    // below. The historical direct constructors were deprecated for one
+    // release and have been removed.
 
     pub(crate) fn create_on_inner(
         disk: Arc<dyn DiskBackend>,
@@ -120,7 +100,7 @@ impl RTreeIndex {
         }
         if disk.num_pages() != 0 {
             return Err(CoreError::BadConfig(
-                "create_on requires an empty disk; use open_on".into(),
+                "create mode requires an empty disk; use open mode for existing files".into(),
             ));
         }
         let pool = Arc::new(BufferPool::new(
@@ -176,20 +156,12 @@ impl RTreeIndex {
     ///
     /// Durability is a property of the *file*, not of the caller's
     /// options: with [`Durability::Wal`] options — or whenever the stored
-    /// metadata records a WAL anchor — this delegates to
-    /// [`RTreeIndex::recover_on`] (upgrading `opts` with default
-    /// [`crate::WalOptions`] when the caller asked for none). Replaying
-    /// the log is always safe (a cleanly shut down log replays to exactly
-    /// the stored image), and opening a durable file *without* its log
-    /// would let unlogged page writes race a stale log generation.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `IndexBuilder::...open().build_index()` instead"
-    )]
-    pub fn open_on(disk: Arc<dyn DiskBackend>, opts: IndexOptions) -> CoreResult<Self> {
-        Self::open_on_inner(disk, opts)
-    }
-
+    /// metadata records a WAL anchor — this delegates to the recovery
+    /// path (upgrading `opts` with default [`crate::WalOptions`] when the
+    /// caller asked for none). Replaying the log is always safe (a
+    /// cleanly shut down log replays to exactly the stored image), and
+    /// opening a durable file *without* its log would let unlogged page
+    /// writes race a stale log generation.
     pub(crate) fn open_on_inner(
         disk: Arc<dyn DiskBackend>,
         opts: IndexOptions,
@@ -279,7 +251,8 @@ impl RTreeIndex {
     }
 
     /// Write metadata (and the hash directory) so the index can be
-    /// reopened with [`RTreeIndex::open_on`]; flushes all dirty pages.
+    /// reopened through [`crate::IndexBuilder`]'s open mode; flushes all
+    /// dirty pages.
     /// Intended as a shutdown step: each call allocates a fresh metadata
     /// continuation chain. On a durable index this is a
     /// [`RTreeIndex::checkpoint`].
@@ -392,17 +365,6 @@ impl RTreeIndex {
     ///
     /// `opts.durability` must be [`Durability::Wal`]; a disk that was
     /// never durable (no log at its anchor page) is rejected.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `IndexBuilder::...recover().build_index_with_report()` instead"
-    )]
-    pub fn recover_on(
-        disk: Arc<dyn DiskBackend>,
-        opts: IndexOptions,
-    ) -> CoreResult<(Self, RecoveryReport)> {
-        Self::recover_on_inner(disk, opts)
-    }
-
     pub(crate) fn recover_on_inner(
         disk: Arc<dyn DiskBackend>,
         opts: IndexOptions,
@@ -410,7 +372,8 @@ impl RTreeIndex {
         opts.validate()?;
         let Durability::Wal(wopts) = opts.durability else {
             return Err(CoreError::BadConfig(
-                "recover_on requires IndexOptions with Durability::Wal (e.g. IndexOptions::durable())".into(),
+                "recovery requires IndexOptions with Durability::Wal (e.g. IndexOptions::durable())"
+                    .into(),
             ));
         };
         if disk.page_size() != opts.page_size {
@@ -563,19 +526,6 @@ impl RTreeIndex {
         let mut index = Self { tree };
         index.tree.wal_checkpoint()?;
         Ok((index, report))
-    }
-
-    /// Recover a durable index from a file.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `IndexBuilder::...file(p).recover().build_index_with_report()` instead"
-    )]
-    pub fn recover<P: AsRef<Path>>(
-        path: P,
-        opts: IndexOptions,
-    ) -> CoreResult<(Self, RecoveryReport)> {
-        let disk = bur_storage::FileDisk::open(path, opts.page_size)?;
-        Self::recover_on_inner(Arc::new(disk), opts)
     }
 
     // ---- object API --------------------------------------------------------
@@ -872,13 +822,24 @@ impl RTreeIndex {
     pub fn validate(&self) -> CoreResult<()> {
         self.tree.validate()
     }
+
+    /// The page currently holding `oid` according to the hash index
+    /// (`None` for TD indexes, which keep no secondary index). The
+    /// [`crate::Bur`] handle uses this to pick the DGL granule of a
+    /// bottom-up update.
+    pub fn locate_leaf(&self, oid: ObjectId) -> CoreResult<Option<PageId>> {
+        match &self.tree.hash {
+            Some(h) => Ok(h.get(oid)?),
+            None => Ok(None),
+        }
+    }
 }
 
 /// Register the buffer pool as the log's durable-LSN watcher: background
 /// syncs (the [`bur_storage::SyncPolicy::Async`] group committer) unblock
 /// gated page flushes the moment their batch lands, without the pool
 /// polling the log.
-fn attach_durable_watcher(wal: &Wal, pool: &Arc<BufferPool>) {
+pub(crate) fn attach_durable_watcher(wal: &Wal, pool: &Arc<BufferPool>) {
     let pool = pool.clone();
     wal.set_durable_watcher(Box::new(move |lsn| pool.set_durable_lsn(lsn)));
 }
@@ -887,7 +848,7 @@ fn attach_durable_watcher(wal: &Wal, pool: &Arc<BufferPool>) {
 
 /// Scan the stored tree to rebuild the main-memory summary structure and
 /// (when requested) a hash index the stored image lacked.
-fn rebuild_memory_state(tree: &mut RTree, build_hash: bool) -> CoreResult<()> {
+pub(crate) fn rebuild_memory_state(tree: &mut RTree, build_hash: bool) -> CoreResult<()> {
     fn walk(
         tree: &RTree,
         pid: PageId,
@@ -923,29 +884,33 @@ fn rebuild_memory_state(tree: &mut RTree, build_hash: bool) -> CoreResult<()> {
         Ok(())
     }
 
-    let mut summary = tree.summary.take();
-    if let Some(s) = &mut summary {
-        s.clear();
-    }
-    let mut hash_entries = Vec::new();
-    let leaf_cap = tree.leaf_cap();
-    walk(
-        tree,
-        tree.root,
-        &mut summary,
-        &mut hash_entries,
-        build_hash,
-        leaf_cap,
-    )?;
-    if let Some(s) = &mut summary {
-        let root = tree.read_node(tree.root)?;
-        s.set_root_mbr(root.mbr());
-    }
-    tree.summary = summary;
-    if build_hash {
-        let hash = tree.hash.as_ref().expect("caller created the hash");
-        for (oid, pid) in hash_entries {
-            hash.insert(oid, pid)?;
+    // The walk only matters when there is memory state to rebuild; a
+    // bare TD index (e.g. a replica view being promoted to TD) skips it.
+    if tree.summary.is_some() || build_hash {
+        let mut summary = tree.summary.take();
+        if let Some(s) = &mut summary {
+            s.clear();
+        }
+        let mut hash_entries = Vec::new();
+        let leaf_cap = tree.leaf_cap();
+        walk(
+            tree,
+            tree.root,
+            &mut summary,
+            &mut hash_entries,
+            build_hash,
+            leaf_cap,
+        )?;
+        if let Some(s) = &mut summary {
+            let root = tree.read_node(tree.root)?;
+            s.set_root_mbr(root.mbr());
+        }
+        tree.summary = summary;
+        if build_hash {
+            let hash = tree.hash.as_ref().expect("caller created the hash");
+            for (oid, pid) in hash_entries {
+                hash.insert(oid, pid)?;
+            }
         }
     }
     // LBU needs leaf parent pointers; repair any that are missing or

@@ -173,7 +173,9 @@ mod tests {
 
     fn populated(opts: IndexOptions, n: usize, seed: u64) -> (RTreeIndex, Vec<(ObjectId, Point)>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut index = RTreeIndex::create_in_memory_inner(opts).unwrap();
+        let mut index = crate::IndexBuilder::with_options(opts)
+            .build_index()
+            .unwrap();
         let mut objects = Vec::with_capacity(n);
         for oid in 0..n as u64 {
             let p = Point::new(rng.random::<f32>(), rng.random::<f32>());
@@ -244,7 +246,7 @@ mod tests {
 
     #[test]
     fn k_zero_and_empty_tree() {
-        let index = RTreeIndex::create_in_memory_inner(IndexOptions::generalized()).unwrap();
+        let index = crate::IndexBuilder::generalized().build_index().unwrap();
         assert!(index
             .nearest_neighbors(Point::new(0.5, 0.5), 5)
             .unwrap()

@@ -29,7 +29,6 @@
 mod batch;
 mod builder;
 mod bulk;
-mod concurrent;
 mod config;
 pub mod cost_model;
 mod error;
@@ -40,6 +39,7 @@ mod knn;
 mod lbu;
 mod meta;
 mod node;
+mod replica;
 mod split;
 mod stats;
 mod summary;
@@ -48,8 +48,6 @@ mod tree;
 
 pub use batch::{Batch, BatchReport, Op};
 pub use builder::{IndexBuilder, OpenMode};
-#[allow(deprecated)]
-pub use concurrent::ConcurrentIndex;
 pub use config::{
     Durability, GbuParams, IndexOptions, InsertPolicy, LbuParams, SplitPolicy, UpdateStrategy,
     WalOptions,
@@ -58,6 +56,7 @@ pub use error::{CoreError, CoreResult};
 pub use gbu::iextend_mbr;
 pub use handle::{Bur, CommitTicket, NeighborCursor, QueryCursor};
 pub use index::{RTreeIndex, RecoveryReport};
+pub use meta::WAL_ANCHOR;
 // Re-exported so durability consumers need no direct `bur-wal` dependency.
 pub use bur_wal::{DeltaPolicy, WalStatsSnapshot, WalWaiter};
 pub use knn::Neighbor;

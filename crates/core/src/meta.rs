@@ -4,8 +4,8 @@
 //! page, height, object count, hash-index directory head, free list and
 //! WAL anchor. It is written in two places:
 //!
-//! * the **metadata page chain** headed at page 0 — what
-//!   [`crate::RTreeIndex::open_on`] reads on a clean open;
+//! * the **metadata page chain** headed at page 0 — what a clean open
+//!   through [`crate::IndexBuilder`]'s [`crate::OpenMode::Open`] reads;
 //! * inside every WAL **commit/checkpoint record** — what recovery uses,
 //!   so a crash can never leave the superblock behind the log.
 
@@ -18,9 +18,10 @@ pub(crate) const META_MAGIC: u64 = 0x4255_5254_5245_4531;
 /// The metadata chain head: always page 0.
 pub(crate) const META_PAGE: PageId = 0;
 
-/// The WAL anchor page of a durable index: always page 1 (allocated
-/// right after the metadata page, before any tree page).
-pub(crate) const WAL_ANCHOR: PageId = 1;
+/// The write-ahead-log anchor page of a durable index: always page 1
+/// (allocated right after the metadata page, before any tree page).
+/// Public because log shippers (`bur-repl`) tail the chain headed here.
+pub const WAL_ANCHOR: PageId = 1;
 
 /// All index state that lives outside the tree pages.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,302 @@
+//! Replica-side index support: read-only views over a replicated page
+//! image and the *promote tail* that turns one into a writable primary.
+//!
+//! A replication follower (`bur-repl`) redoes the primary's write-ahead
+//! log onto its own page disk. Between commits it needs a way to answer
+//! queries over a *consistent prefix* of that redo stream; at failover
+//! it needs the tail of recovery — the memory-state rebuild and log
+//! attach that [`crate::IndexBuilder`]'s recover mode runs after replay.
+//! Both live here, on [`RTreeIndex`], so the follower never has to reach
+//! into tree internals:
+//!
+//! * [`RTreeIndex::replica_view`] — a queryable, strategy-less (TD)
+//!   index over a disk whose superblock comes from a replicated WAL
+//!   commit/checkpoint record instead of the on-disk metadata chain;
+//! * [`RTreeIndex::install_replica_snapshot`] — advance the view to a
+//!   newer replicated snapshot (the follower's apply watermark);
+//! * [`RTreeIndex::promote_replica`] — rebuild the summary structure /
+//!   hash index / parent pointers the target strategy needs, reattach
+//!   and rewind the write-ahead log at the [`WAL_ANCHOR`], and
+//!   checkpoint: the replica becomes an ordinary writable index.
+
+use crate::config::{Durability, IndexOptions, UpdateStrategy};
+use crate::error::{CoreError, CoreResult};
+use crate::index::{attach_durable_watcher, rebuild_memory_state, RTreeIndex};
+use crate::meta::{read_meta_chain, MetaSnapshot, WAL_ANCHOR};
+use crate::stats::OpStats;
+use crate::summary::SummaryStructure;
+use crate::tree::{RTree, WalHandle};
+use bur_hashindex::{HashIndexConfig, LinearHashIndex};
+use bur_storage::{BufferPool, DiskBackend, PoolConfig};
+use bur_wal::Wal;
+use std::sync::Arc;
+
+impl RTreeIndex {
+    /// Build a read-only replica view over `disk` from a serialized
+    /// metadata snapshot (the payload of a replicated WAL commit or
+    /// checkpoint record).
+    ///
+    /// The view carries no write-ahead log and none of the bottom-up
+    /// strategies' memory state — queries run as plain top-down descents
+    /// — so constructing one costs a metadata decode, not a tree scan.
+    /// Writes through it would desynchronize the follower from the
+    /// shipped log; wrap it in a read-only handle
+    /// ([`crate::Bur::from_index_read_only`]) before sharing it.
+    pub fn replica_view(
+        disk: Arc<dyn DiskBackend>,
+        buffer_frames: usize,
+        meta: &[u8],
+    ) -> CoreResult<Self> {
+        let snap = MetaSnapshot::decode(meta)?;
+        if disk.page_size() != snap.page_size {
+            return Err(CoreError::BadConfig(format!(
+                "disk page size {} != replicated snapshot's {}",
+                disk.page_size(),
+                snap.page_size
+            )));
+        }
+        let opts = IndexOptions {
+            page_size: snap.page_size,
+            buffer_frames,
+            strategy: UpdateStrategy::TopDown,
+            durability: Durability::None,
+            ..IndexOptions::default()
+        };
+        opts.validate()?;
+        let pool = Arc::new(BufferPool::new(
+            disk,
+            PoolConfig {
+                capacity: buffer_frames,
+                policy: opts.eviction,
+            },
+        ));
+        let tree = RTree {
+            pool,
+            opts,
+            root: snap.root,
+            height: snap.height,
+            len: snap.len,
+            free_pages: snap.free_pages,
+            summary: None,
+            hash: None,
+            stats: OpStats::default(),
+            pending_reinserts: Vec::new(),
+            reinsert_armed: 0,
+            insert_active: false,
+            wal: None,
+            meta_chain_pages: Vec::new(),
+        };
+        Ok(Self { tree })
+    }
+
+    /// Advance a replica view to a newer replicated snapshot: swap in the
+    /// root, height, object count and free list recorded at the new
+    /// apply watermark. The caller must already have redone every page
+    /// record covered by that snapshot onto this index's pool.
+    pub fn install_replica_snapshot(&mut self, meta: &[u8]) -> CoreResult<()> {
+        let snap = MetaSnapshot::decode(meta)?;
+        if snap.page_size != self.tree.opts.page_size {
+            return Err(CoreError::BadConfig(format!(
+                "replicated snapshot page size {} != view's {}",
+                snap.page_size, self.tree.opts.page_size
+            )));
+        }
+        self.tree.root = snap.root;
+        self.tree.height = snap.height;
+        self.tree.len = snap.len;
+        self.tree.free_pages = snap.free_pages;
+        Ok(())
+    }
+
+    /// Promote a replica view into a writable index with the given
+    /// options — the tail of crash recovery, minus the replay the
+    /// follower already performed:
+    ///
+    /// 1. rebuild the memory state the target strategy needs (GBU
+    ///    summary structure, object-id hash index, LBU parent pointers)
+    ///    from a tree scan — the replicated hash directory is rebuilt
+    ///    rather than trusted, exactly as recovery does;
+    /// 2. with [`Durability::Wal`] options, reattach the log at the
+    ///    [`WAL_ANCHOR`] and checkpoint-rewind it: the (stale, copied)
+    ///    log chain is recycled under a fresh generation whose base
+    ///    image is the replica's current pages;
+    /// 3. otherwise persist, so the metadata chain matches the adopted
+    ///    state.
+    ///
+    /// `opts.page_size` must match the view's. Fails on an index that
+    /// already has a log attached (it is not a replica view).
+    pub fn promote_replica(&mut self, opts: IndexOptions) -> CoreResult<()> {
+        opts.validate()?;
+        if opts.page_size != self.tree.opts.page_size {
+            return Err(CoreError::BadConfig(format!(
+                "promote page size {} != replica's {}",
+                opts.page_size, self.tree.opts.page_size
+            )));
+        }
+        if self.tree.wal.is_some() {
+            return Err(CoreError::BadConfig(
+                "promote_replica: index already has a write-ahead log attached".into(),
+            ));
+        }
+        self.tree.pool.set_capacity(opts.buffer_frames)?;
+        self.tree.opts = opts;
+        self.tree.hash = if opts.strategy.needs_hash_index() {
+            Some(LinearHashIndex::create(
+                self.tree.pool.clone(),
+                HashIndexConfig::default(),
+            )?)
+        } else {
+            None
+        };
+        self.tree.summary = opts.strategy.needs_summary().then(SummaryStructure::new);
+        rebuild_memory_state(&mut self.tree, opts.strategy.needs_hash_index())?;
+        // The copied disk carries the primary's old metadata chain; walk
+        // it defensively (it may be mid-checkpoint garbage) and recycle
+        // its continuation pages instead of leaking them — the same
+        // pattern recovery uses.
+        self.tree.meta_chain_pages = read_meta_chain(&self.tree.pool)
+            .ok()
+            .filter(|(payload, _)| MetaSnapshot::decode(payload).is_ok())
+            .map(|(_, pages)| pages)
+            .unwrap_or_default();
+        match opts.durability {
+            Durability::Wal(wopts) => {
+                let disk = self.tree.pool.disk().clone();
+                if disk.num_pages() <= WAL_ANCHOR {
+                    return Err(CoreError::BadConfig(
+                        "promote_replica: replica disk has no WAL anchor page".into(),
+                    ));
+                }
+                let (wal, _scanned) = Wal::reopen_with(disk, WAL_ANCHOR, wopts.sync, wopts.delta)?;
+                wal.set_async_coalesce(wopts.async_coalesce);
+                attach_durable_watcher(&wal, &self.tree.pool);
+                self.tree.pool.set_wal_mode(true);
+                self.tree.wal = Some(WalHandle {
+                    wal,
+                    opts: wopts,
+                    commits_since_checkpoint: 0,
+                    pending_ops: 0,
+                    in_batch: false,
+                });
+                self.tree.wal_checkpoint()?;
+            }
+            Durability::None => self.persist()?,
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::IndexBuilder;
+    use bur_geom::{Point, Rect};
+    use bur_storage::MemDisk;
+
+    /// Copy every page of `src` onto a fresh in-memory disk.
+    fn clone_disk(src: &dyn DiskBackend) -> Arc<MemDisk> {
+        let dst = Arc::new(MemDisk::new(src.page_size()));
+        let mut buf = vec![0u8; src.page_size()];
+        for pid in 0..src.num_pages() {
+            src.read(pid, &mut buf).unwrap();
+            dst.allocate().unwrap();
+            dst.write(pid, &buf).unwrap();
+        }
+        dst
+    }
+
+    fn durable_primary() -> (crate::RTreeIndex, Arc<MemDisk>, Vec<u8>) {
+        let disk = Arc::new(MemDisk::new(1024));
+        let mut index = IndexBuilder::generalized()
+            .durable()
+            .disk(disk.clone())
+            .build_index()
+            .unwrap();
+        for oid in 0..200u64 {
+            let x = (oid % 20) as f32 / 20.0;
+            let y = (oid / 20) as f32 / 10.0;
+            index.insert(oid, Point::new(x, y)).unwrap();
+        }
+        index.checkpoint().unwrap();
+        let meta = index.tree.meta_snapshot(bur_storage::INVALID_PAGE).encode();
+        (index, disk, meta)
+    }
+
+    #[test]
+    fn replica_view_answers_queries_without_memory_state() {
+        let (primary, disk, meta) = durable_primary();
+        let copy = clone_disk(disk.as_ref());
+        let view = crate::RTreeIndex::replica_view(copy, 64, &meta).unwrap();
+        assert_eq!(view.len(), primary.len());
+        assert!(!view.is_durable());
+        assert!(view.summary().is_none());
+        let w = Rect::new(0.0, 0.0, 0.5, 0.5);
+        let mut got = view.query(&w).unwrap();
+        let mut want = primary.query(&w).unwrap();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+        view.validate().unwrap();
+    }
+
+    #[test]
+    fn replica_view_rejects_mismatched_page_size() {
+        let (_p, _disk, meta) = durable_primary();
+        let wrong = Arc::new(MemDisk::new(512));
+        assert!(crate::RTreeIndex::replica_view(wrong, 16, &meta).is_err());
+        assert!(
+            crate::RTreeIndex::replica_view(Arc::new(MemDisk::new(1024)), 16, b"junk").is_err()
+        );
+    }
+
+    #[test]
+    fn promote_rebuilds_state_and_takes_writes() {
+        let (primary, disk, meta) = durable_primary();
+        let copy = clone_disk(disk.as_ref());
+        let mut view = crate::RTreeIndex::replica_view(copy.clone(), 64, &meta).unwrap();
+        view.promote_replica(IndexOptions::durable()).unwrap();
+        assert!(view.is_durable());
+        assert!(view.summary().is_some(), "GBU summary rebuilt");
+        view.validate().unwrap();
+        assert_eq!(view.len(), primary.len());
+        // The promoted index is live and durable: write, crash, recover.
+        view.insert(9000, Point::new(0.91, 0.91)).unwrap();
+        drop(view);
+        let (rec, _) = IndexBuilder::generalized()
+            .disk(copy)
+            .recover()
+            .build_index_with_report()
+            .unwrap();
+        assert!(rec
+            .point_query(Point::new(0.91, 0.91))
+            .unwrap()
+            .contains(&9000));
+        rec.validate().unwrap();
+    }
+
+    #[test]
+    fn promote_to_each_strategy_validates() {
+        for opts in [
+            IndexOptions::top_down(),
+            IndexOptions::localized(),
+            IndexOptions::generalized(),
+        ] {
+            let (_primary, disk, meta) = durable_primary();
+            let copy = clone_disk(disk.as_ref());
+            let mut view = crate::RTreeIndex::replica_view(copy, 64, &meta).unwrap();
+            view.promote_replica(opts).unwrap();
+            view.validate().unwrap();
+            // Non-durable promote persists: a clean open works.
+            assert!(!view.is_durable());
+        }
+    }
+
+    #[test]
+    fn promote_rejects_an_already_writable_index() {
+        let (mut primary, _disk, _meta) = durable_primary();
+        let err = primary
+            .promote_replica(IndexOptions::durable())
+            .unwrap_err();
+        assert!(err.to_string().contains("already has"), "{err}");
+    }
+}

@@ -58,9 +58,11 @@
 
 #![warn(missing_docs)]
 
+mod cursor;
 mod log;
 
 pub use bur_storage::{Lsn, SyncPolicy};
+pub use cursor::{LogCursor, ShipBatch};
 pub use log::{
     scan, ScanResult, Wal, WalStatsSnapshot, WalWaiter, DEFAULT_ASYNC_COALESCE, WAL_PAGE_MAGIC,
 };

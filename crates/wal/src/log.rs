@@ -65,13 +65,13 @@ pub const DEFAULT_ASYNC_COALESCE: u32 = 8;
 const ASYNC_COALESCE_WINDOW: Duration = Duration::from_millis(2);
 
 /// Log page header size in bytes.
-const HDR: usize = 14;
+pub(crate) const HDR: usize = 14;
 
 /// Record frame header size ahead of the body (`len` + `crc`).
-const FRAME: usize = 8;
+pub(crate) const FRAME: usize = 8;
 
 /// Body prefix: kind tag + LSN.
-const BODY_PREFIX: usize = 9;
+pub(crate) const BODY_PREFIX: usize = 9;
 
 /// A run of equal bytes shorter than this is folded into the surrounding
 /// changed ranges when diffing a page: each extra range costs a 4-byte
@@ -1079,63 +1079,97 @@ pub fn scan(disk: &dyn DiskBackend, anchor: PageId) -> StorageResult<ScanResult>
     // Parse records until the stream ends or breaks.
     let mut off = 0;
     let mut prev_lsn = 0;
-    while off + FRAME <= stream.len() {
-        let len = u32::from_le_bytes(stream[off..off + 4].try_into().unwrap()) as usize;
-        let crc = u32::from_le_bytes(stream[off + 4..off + 8].try_into().unwrap());
-        if len < BODY_PREFIX || off + FRAME + len > stream.len() {
-            out.torn_tail = true;
-            break;
-        }
-        let body = &stream[off + FRAME..off + FRAME + len];
-        if crc32(body) != crc {
-            out.torn_tail = true;
-            break;
-        }
-        let kind = body[0];
-        let lsn = u64::from_le_bytes(body[1..9].try_into().unwrap());
-        if lsn <= prev_lsn {
-            // Stale bytes from an earlier pass over a recycled page.
-            out.torn_tail = true;
-            break;
-        }
-        let payload = &body[BODY_PREFIX..];
-        let rec = match kind {
-            1 => {
-                if payload.len() < 4 {
-                    out.torn_tail = true;
-                    break;
-                }
-                WalRecord::PageImage {
-                    pid: u32::from_le_bytes(payload[0..4].try_into().unwrap()),
-                    data: payload[4..].to_vec(),
-                }
+    loop {
+        match parse_frame(&stream, off, prev_lsn) {
+            FrameStep::Parsed { lsn, rec, next_off } => {
+                out.records.push((lsn, rec));
+                prev_lsn = lsn;
+                off = next_off;
             }
-            2 => WalRecord::Commit {
-                meta: payload.to_vec(),
-            },
-            3 => WalRecord::Checkpoint {
-                meta: payload.to_vec(),
-            },
-            4 => match parse_delta(payload) {
-                Some(rec) => rec,
-                None => {
-                    out.torn_tail = true;
-                    break;
-                }
-            },
-            _ => {
+            FrameStep::End => break,
+            FrameStep::Torn => {
                 out.torn_tail = true;
                 break;
             }
-        };
-        out.records.push((lsn, rec));
-        prev_lsn = lsn;
-        off += FRAME + len;
+        }
     }
     if off < stream.len() && !out.torn_tail {
         out.torn_tail = true;
     }
     Ok(out)
+}
+
+/// Outcome of parsing one record frame from a stream position.
+pub(crate) enum FrameStep {
+    /// A complete, CRC-clean record; `next_off` is where the next frame
+    /// starts.
+    Parsed {
+        /// The record's LSN.
+        lsn: Lsn,
+        /// The decoded record.
+        rec: WalRecord,
+        /// Stream offset of the following frame.
+        next_off: usize,
+    },
+    /// The stream ends exactly at `off`: a clean boundary.
+    End,
+    /// The bytes at `off` are an incomplete, corrupt, or stale record —
+    /// a torn tail (or, on a live log, a record still being appended).
+    Torn,
+}
+
+/// Parse the record frame at `stream[off..]`. `prev_lsn` is the LSN of
+/// the preceding record; anything at or below it is stale bytes from an
+/// earlier pass over a recycled page and parses as [`FrameStep::Torn`].
+pub(crate) fn parse_frame(stream: &[u8], off: usize, prev_lsn: Lsn) -> FrameStep {
+    if off == stream.len() {
+        return FrameStep::End;
+    }
+    if off + FRAME > stream.len() {
+        return FrameStep::Torn;
+    }
+    let len = u32::from_le_bytes(stream[off..off + 4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(stream[off + 4..off + 8].try_into().unwrap());
+    if len < BODY_PREFIX || off + FRAME + len > stream.len() {
+        return FrameStep::Torn;
+    }
+    let body = &stream[off + FRAME..off + FRAME + len];
+    if crc32(body) != crc {
+        return FrameStep::Torn;
+    }
+    let kind = body[0];
+    let lsn = u64::from_le_bytes(body[1..9].try_into().unwrap());
+    if lsn <= prev_lsn {
+        return FrameStep::Torn;
+    }
+    let payload = &body[BODY_PREFIX..];
+    let rec = match kind {
+        1 => {
+            if payload.len() < 4 {
+                return FrameStep::Torn;
+            }
+            WalRecord::PageImage {
+                pid: u32::from_le_bytes(payload[0..4].try_into().unwrap()),
+                data: payload[4..].to_vec(),
+            }
+        }
+        2 => WalRecord::Commit {
+            meta: payload.to_vec(),
+        },
+        3 => WalRecord::Checkpoint {
+            meta: payload.to_vec(),
+        },
+        4 => match parse_delta(payload) {
+            Some(rec) => rec,
+            None => return FrameStep::Torn,
+        },
+        _ => return FrameStep::Torn,
+    };
+    FrameStep::Parsed {
+        lsn,
+        rec,
+        next_off: off + FRAME + len,
+    }
 }
 
 /// Parse a [`WalRecord::PageDelta`] payload; `None` on any bound

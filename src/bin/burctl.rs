@@ -9,23 +9,30 @@
 //! burctl batch <file> <ops-file|->
 //! burctl stats <file> [--updates N]
 //! burctl recover <file> [--strategy td|lbu|gbu]
+//! burctl replicate <primary-file> <replica-file>
+//! burctl promote <file> [--strategy td|lbu|gbu]
 //! burctl wal-stats <file>
 //! ```
 //!
 //! `build` creates a demonstration index from a seeded uniform workload;
 //! the other commands open an existing file read-only (except `batch`,
 //! which applies a mixed-operation `Batch` from a text stream; `stats`,
-//! which drives updates and reports I/O and outcome counters; and
-//! `recover`, which replays the write-ahead log of a `--durable` index
-//! after a crash and checkpoints the result).
+//! which drives updates and reports I/O and outcome counters; `recover`,
+//! which replays the write-ahead log of a `--durable` index after a
+//! crash and checkpoints the result; and the replication pair —
+//! `replicate` ships a durable primary's log into a warm-standby clone
+//! file, `promote` blesses a standby (or crashed primary) file as the
+//! new verified primary).
 
 use bur::core::{Batch, IndexBuilder, IndexOptions, RTreeIndex};
 use bur::geom::{Point, Rect};
+use bur::repl::{Follower, LogShipper};
 use bur::storage::FileDisk;
 use bur::wal::WalRecord;
 use bur::workload::{Workload, WorkloadConfig};
 use std::io::BufRead;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ExitCode {
     eprintln!(
@@ -38,7 +45,20 @@ fn usage() -> ExitCode {
          \x20 burctl batch <file> <ops-file|->\n\
          \x20 burctl stats <file> [--updates N]\n\
          \x20 burctl recover <file> [--strategy td|lbu|gbu]\n\
+         \x20 burctl replicate <primary-file> <replica-file>\n\
+         \x20 burctl promote <file> [--strategy td|lbu|gbu]\n\
          \x20 burctl wal-stats <file>\n\
+         \n\
+         replicate attaches a warm-standby follower to a --durable primary\n\
+         file: it copies the base image, tails the write-ahead log with an\n\
+         incremental cursor (surviving checkpoint rewinds via generation\n\
+         tags), redoes every shipped record commit-by-commit onto\n\
+         <replica-file>, and finally promotes the clone so it stands alone\n\
+         as a valid durable index. promote turns any durable standby (or\n\
+         crashed primary) file into a verified primary: it replays the\n\
+         file's own log to the last durable commit, rebuilds the memory\n\
+         state the strategy needs, validates every invariant, and\n\
+         checkpoints a fresh log generation.\n\
          \n\
          batch applies one atomic mixed-operation Batch read from <ops-file>\n\
          (or stdin with `-`): one `op,oid,x,y[,x2,y2]` line per operation,\n\
@@ -403,6 +423,92 @@ fn cmd_recover(path: &str, rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_replicate(primary_path: &str, rest: &[String]) -> Result<(), String> {
+    let [replica_path] = rest else {
+        return Err("replicate needs <primary-file> <replica-file>".into());
+    };
+    let opts = IndexOptions::generalized()
+        .with_durability(bur::core::Durability::Wal(bur::core::WalOptions::default()));
+    let primary: Arc<dyn bur::storage::DiskBackend> = Arc::new(
+        FileDisk::open(primary_path, opts.page_size)
+            .map_err(|e| format!("cannot open {primary_path}: {e}"))?,
+    );
+    let replica: Arc<dyn bur::storage::DiskBackend> = Arc::new(
+        FileDisk::create(replica_path, opts.page_size)
+            .map_err(|e| format!("cannot create {replica_path}: {e}"))?,
+    );
+    let mut shipper = LogShipper::new(primary);
+    let mut follower =
+        Follower::attach(&mut shipper, replica, opts).map_err(|e| format!("attach: {e}"))?;
+    follower
+        .catch_up(&mut shipper)
+        .map_err(|e| format!("ship: {e}"))?;
+    let stats = follower.stats();
+    let watermark = follower.applied_lsn();
+    println!(
+        "shipped {} records ({} commits, {} full images, {} deltas) across {} base copy(ies) \
+         of {} pages",
+        stats.records_shipped,
+        stats.commits_applied,
+        stats.images_applied,
+        stats.deltas_applied,
+        stats.resyncs,
+        stats.pages_copied
+    );
+    // Promote the clone so the replica file is a self-describing durable
+    // index (its own fresh log generation over the adopted state).
+    let standby = follower.promote().map_err(|e| format!("finalize: {e}"))?;
+    standby
+        .validate()
+        .map_err(|e| format!("INVALID replica: {e}"))?;
+    println!(
+        "{replica_path}: warm-standby clone of {primary_path} at watermark lsn {watermark} \
+         ({} objects); re-run replicate to refresh, or `burctl promote` it to serve writes",
+        standby.len()
+    );
+    Ok(())
+}
+
+fn cmd_promote(path: &str, rest: &[String]) -> Result<(), String> {
+    let mut opts = IndexOptions::generalized();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--strategy" => {
+                opts = it
+                    .next()
+                    .and_then(|v| parse_strategy(v))
+                    .ok_or("--strategy needs td|lbu|gbu")?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let opts = opts.with_durability(bur::core::Durability::Wal(bur::core::WalOptions::default()));
+    let (index, report) = IndexBuilder::with_options(opts)
+        .file(path)
+        .recover()
+        .build_index_with_report()
+        .map_err(|e| format!("promote: {e}"))?;
+    let report = report.expect("recover mode always produces a report");
+    index
+        .validate()
+        .map_err(|e| format!("promoted index is INVALID: {e}"))?;
+    println!(
+        "promoted {path}: {} objects at lsn {} (log gen {}), {} committed ops replayed{}",
+        report.recovered_len,
+        report.recovered_lsn,
+        report.log_generation,
+        report.committed_ops,
+        if report.torn_tail {
+            "; torn tail discarded"
+        } else {
+            ""
+        }
+    );
+    println!("all invariants hold — ready to serve writes as the new primary");
+    Ok(())
+}
+
 fn cmd_wal_stats(path: &str) -> Result<(), String> {
     let opts = IndexOptions::generalized();
     let disk =
@@ -488,6 +594,8 @@ fn main() -> ExitCode {
         "batch" => cmd_batch(path, rest),
         "stats" => cmd_stats(path, rest),
         "recover" => cmd_recover(path, rest),
+        "replicate" => cmd_replicate(path, rest),
+        "promote" => cmd_promote(path, rest),
         "wal-stats" => cmd_wal_stats(path),
         _ => {
             return usage();

@@ -22,6 +22,9 @@
 //! * [`wal`] (`bur-wal`) — write-ahead logging, fuzzy checkpoints and
 //!   crash recovery for durable indexes;
 //! * [`dgl`] (`bur-dgl`) — Dynamic Granular Locking;
+//! * [`repl`] (`bur-repl`) — warm-standby replication: WAL shipping
+//!   ([`repl::LogShipper`]), follower replay ([`repl::Follower`]) and
+//!   failover promotion;
 //! * [`workload`] (`bur-workload`) — the GSTD-like moving-object
 //!   workload generator.
 //!
@@ -103,14 +106,13 @@ pub use bur_core as core;
 pub use bur_dgl as dgl;
 pub use bur_geom as geom;
 pub use bur_hashindex as hashindex;
+pub use bur_repl as repl;
 pub use bur_storage as storage;
 pub use bur_wal as wal;
 pub use bur_workload as workload;
 
 /// The most commonly used items in one import.
 pub mod prelude {
-    #[allow(deprecated)]
-    pub use bur_core::ConcurrentIndex;
     pub use bur_core::{
         Batch, BatchReport, Bur, CommitTicket, CoreError, CoreResult, DeltaPolicy, Durability,
         GbuParams, IndexBuilder, IndexOptions, InsertPolicy, LbuParams, Neighbor, NeighborCursor,
@@ -118,6 +120,7 @@ pub mod prelude {
         UpdateOutcome, UpdateStrategy, WalOptions,
     };
     pub use bur_geom::{Point, Rect};
+    pub use bur_repl::{Follower, LogShipper, ReplError, ReplResult};
     pub use bur_storage::{FileDisk, IoSnapshot, MemDisk, SyncPolicy};
     pub use bur_workload::{DataDistribution, MovementModel, Workload, WorkloadConfig};
 }

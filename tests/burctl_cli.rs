@@ -211,6 +211,72 @@ fn batch_subcommand_applies_mixed_ops() {
 }
 
 #[test]
+fn replicate_and_promote_subcommands() {
+    let dir = TempDir::new("ctl");
+    let primary = dir.file("primary.bur");
+    let replica = dir.file("replica.bur");
+    let (ppath, rpath) = (primary.to_str().unwrap(), replica.to_str().unwrap());
+
+    // Replication requires a durable primary.
+    let out = burctl(&["build", ppath, "--objects", "500", "--durable"]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Ship the log into a warm-standby clone file.
+    let out = burctl(&["replicate", ppath, rpath]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("shipped"), "{text}");
+    assert!(text.contains("warm-standby clone"), "{text}");
+    assert!(text.contains("500 objects"), "{text}");
+
+    // The clone answers queries exactly like the primary.
+    let window = ["query", rpath, "0.0", "0.0", "0.5", "0.5"];
+    let a = stdout(&burctl(&window));
+    let mut pwindow = window;
+    pwindow[1] = ppath;
+    let b = stdout(&burctl(&pwindow));
+    assert_eq!(
+        a.lines().skip(1).collect::<Vec<_>>(),
+        b.lines().skip(1).collect::<Vec<_>>(),
+        "replica answers must equal the primary's"
+    );
+
+    // Fail over: promote the standby to a verified primary.
+    let out = burctl(&["promote", rpath]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("promoted"), "{text}");
+    assert!(text.contains("ready to serve writes"), "{text}");
+    assert!(stdout(&burctl(&["validate", rpath])).contains("all invariants hold"));
+
+    // Replicating a non-durable file fails cleanly.
+    let cold = dir.file("cold.bur");
+    let cpath = cold.to_str().unwrap();
+    assert!(burctl(&["build", cpath, "--objects", "50"])
+        .status
+        .success());
+    let out = burctl(&["replicate", cpath, dir.file("x.bur").to_str().unwrap()]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("write-ahead log"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn helpful_errors() {
     // No args → usage on stderr, failure exit.
     let out = burctl(&[]);
