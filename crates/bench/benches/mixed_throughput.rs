@@ -1,7 +1,12 @@
 //! Criterion micro-benchmark: mixed update/query operation batches under
 //! the shared (DGL-locked) `Bur` handle — the wall-clock companion to
-//! Figure 8.
+//! Figure 8 — plus the `parallel-writers` group: the same handle driven
+//! by 1/2/4/8 writer threads on disjoint leaf strips, exercising the
+//! concurrent (shared-phase) `Bur::apply` path end to end. The scaling
+//! artifact lives in `concbench` (`BENCH_concurrency.json`); this group
+//! keeps the workload compiling and running in CI's bench smoke.
 
+use bur_bench::parallel::{build_strips, run_lanes};
 use bur_core::{Bur, IndexOptions, RTreeIndex};
 use bur_workload::{Workload, WorkloadConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -37,5 +42,22 @@ fn bench_mixed(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mixed);
+fn bench_parallel_writers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel-writers");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let (bur, mut lanes) = build_strips(IndexOptions::generalized(), threads, 256);
+        run_lanes(&bur, &mut lanes, 2); // warm the pool and the planner
+        group.bench_function(format!("writers/{threads}"), |b| {
+            b.iter(|| {
+                // One whole-lane batch per writer thread per iteration.
+                black_box(run_lanes(&bur, &mut lanes, 1));
+            });
+        });
+        bur.validate().unwrap();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mixed, bench_parallel_writers);
 criterion_main!(benches);

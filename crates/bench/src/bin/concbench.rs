@@ -1,0 +1,126 @@
+//! `concbench` — measure how batch-apply throughput scales with writer
+//! threads and record it as a machine-readable perf artifact.
+//!
+//! ```text
+//! concbench [--objects N] [--batches N] [--out FILE]
+//! ```
+//!
+//! Runs the disjoint-strip parallel-writer workload (`bur_bench::parallel`,
+//! GBU on an in-memory disk, volatile — the scaling measurement isolates
+//! the write path, not the log sync) at 1/2/4/8 writer threads over a
+//! fixed total operation count, and writes `BENCH_concurrency.json`:
+//! ops/second per thread count, the 1→8 scaling ratio, and the observed
+//! in-flight batch high watermark proving the batches physically
+//! overlapped. CI uploads the file so future PRs have a concurrency
+//! trajectory to regress against; the target recorded inside
+//! (`scaling_1_to_8_min: 2.5`) is the latch-per-page rework's
+//! acceptance bar, and `single_thread_ops_per_sec` is the row to watch
+//! for single-writer regressions.
+
+use bur_bench::parallel::{build_strips, run_lanes};
+use bur_core::IndexOptions;
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+struct Row {
+    threads: usize,
+    ops_per_sec: f64,
+    peak_concurrent: usize,
+}
+
+fn measure(threads: usize, per_thread: usize, total_batches: usize) -> Row {
+    let (bur, mut lanes) = build_strips(IndexOptions::generalized(), threads, per_thread);
+    let batches = total_batches / threads;
+    // Warm the pool and the planner before the timed window.
+    run_lanes(&bur, &mut lanes, batches / 8 + 1);
+    let secs = run_lanes(&bur, &mut lanes, batches);
+    bur.validate().expect("validate");
+    Row {
+        threads,
+        ops_per_sec: (threads * per_thread * batches) as f64 / secs,
+        peak_concurrent: bur.peak_concurrent_batches(),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut per_thread = 1_024usize;
+    let mut total_batches = 256usize;
+    let mut out = String::from("BENCH_concurrency.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--objects" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => per_thread = v,
+                None => return usage(),
+            },
+            "--batches" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => total_batches = v,
+                None => return usage(),
+            },
+            "--out" => match args.next() {
+                Some(v) => out = v,
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let rows: Vec<Row> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|threads| {
+            let r = measure(threads, per_thread, total_batches);
+            eprintln!(
+                "{:>2} writers: {:10.0} ops/s (peak in-flight batches {})",
+                r.threads, r.ops_per_sec, r.peak_concurrent
+            );
+            r
+        })
+        .collect();
+
+    let single = rows[0].ops_per_sec;
+    let scaling = rows.last().map(|r| r.ops_per_sec / single).unwrap_or(0.0);
+    let overlapped = rows.iter().any(|r| r.threads > 1 && r.peak_concurrent >= 2);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"parallel_writers\",");
+    let _ = writeln!(json, "  \"objects_per_writer\": {per_thread},");
+    let _ = writeln!(json, "  \"batches_total\": {total_batches},");
+    let _ = writeln!(json, "  \"batch_ops\": {per_thread},");
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {}, \"ops_per_sec\": {:.0}, \"peak_concurrent_batches\": {}}}{}",
+            r.threads,
+            r.ops_per_sec,
+            r.peak_concurrent,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"single_thread_ops_per_sec\": {single:.0},");
+    let _ = writeln!(json, "  \"scaling_1_to_8\": {scaling:.3},");
+    let _ = writeln!(json, "  \"batches_overlapped\": {overlapped},");
+    let _ = writeln!(json, "  \"targets\": {{\"scaling_1_to_8_min\": 2.5}},");
+    let _ = writeln!(json, "  \"targets_met\": {}", scaling >= 2.5 && overlapped);
+    let _ = writeln!(json, "}}");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("concbench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "\n1 -> 8 writer scaling: {scaling:.2}x (target >= 2.5x), overlap observed: {overlapped}\n\
+         written to {out}"
+    );
+    ExitCode::SUCCESS
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: concbench [--objects N] [--batches N] [--out FILE]");
+    ExitCode::FAILURE
+}

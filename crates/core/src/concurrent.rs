@@ -1,0 +1,203 @@
+//! The leaf-local concurrent write path: plan-then-write batches that
+//! never leave their leaf granules.
+//!
+//! [`crate::Bur::apply`] classifies a pure-update batch by the leaf each
+//! object currently occupies (its DGL granule) and hands every group to
+//! this module **under a shared tree granule and a shared physical
+//! lock** — several batches on disjoint leaves run at the same time.
+//! The path is two-phase:
+//!
+//! 1. **Plan** ([`plan_group`]): replay the group's updates against an
+//!    in-memory shadow of the leaf and of its *official* MBR (the rect
+//!    stored in the parent entry), reading pages but writing nothing.
+//!    Every op must resolve to the strategy's leaf-local outcomes —
+//!    `InPlace`, or `Extended` with the enlargement bounded by the
+//!    parent node MBR. Anything else (sibling shift, underflow, ascent,
+//!    a root leaf, a GBU fast mover whose τ policy prefers the shift)
+//!    reports "escalate", and the **whole batch** falls back to the
+//!    classic exclusive path with zero pages written.
+//! 2. **Execute** ([`execute_group`]): write the final shadow states —
+//!    parent entry first, then the leaf ("grow before move"), each under
+//!    its page write latch.
+//!
+//! Because nothing is written until every op of every group has a
+//! feasible plan, the one-group-commit-record-per-batch contract
+//! survives escalation trivially, and a concurrently applied batch
+//! produces *exactly* the state sequential application would: ops on
+//! the same leaf replay in batch order against the shadow, and ops on
+//! different leaves only interact through the parent node MBR — which
+//! leaf-local outcomes never change (enlargements are clipped to it).
+//! The full argument lives in `docs/ARCHITECTURE.md` ("Latching
+//! protocol").
+
+use crate::config::UpdateStrategy;
+use crate::error::CoreResult;
+use crate::gbu::iextend_mbr;
+use crate::index::RTreeIndex;
+use crate::node::{Node, ObjectId};
+use crate::stats::UpdateOutcome;
+use bur_geom::{Point, Rect};
+use bur_storage::{PageId, INVALID_PAGE};
+
+/// One update destined for a leaf group: `(position in the original
+/// batch, object, old location, new location)`.
+pub(crate) type GroupOp = (usize, ObjectId, Point, Point);
+
+/// The fully planned effect of one leaf group (no page written yet).
+pub(crate) struct GroupPlan {
+    /// The leaf granule's page.
+    pub(crate) leaf_pid: PageId,
+    /// Final shadow state of the leaf node.
+    leaf: Node,
+    /// `(parent page, entry index, final official rect)` when the
+    /// official MBR grew; `None` when every op stayed in place.
+    parent: Option<(PageId, usize, Rect)>,
+    /// Per-op outcomes in group order (stats recording).
+    pub(crate) outcomes: Vec<UpdateOutcome>,
+}
+
+/// Plan `ops` (in batch order) against the leaf on `leaf_pid`.
+///
+/// Returns `Ok(None)` when any op needs more than the leaf-local
+/// repairs; the caller then escalates the whole batch — nothing has
+/// been written, so the classic path replays it from scratch and its
+/// result is identical to sequential application.
+pub(crate) fn plan_group(
+    index: &RTreeIndex,
+    leaf_pid: PageId,
+    ops: &[GroupOp],
+) -> CoreResult<Option<GroupPlan>> {
+    let tree = &index.tree;
+    // A root leaf may grow its own MBR (summary root-MBR + meta state):
+    // always escalate it.
+    if leaf_pid == tree.root || tree.height < 2 {
+        return Ok(None);
+    }
+    let mut leaf = tree.read_node(leaf_pid)?;
+    if !leaf.is_leaf() {
+        // Stale hash entry; the classic path surfaces the real error.
+        return Ok(None);
+    }
+    // Locate the parent exactly the way the strategy would: LBU through
+    // the leaf's parent pointer, GBU through the summary (which also
+    // supplies the bounding parent MBR without a page read).
+    let (parent_pid, summary_mbr) = match tree.opts.strategy {
+        UpdateStrategy::Localized(_) => {
+            if leaf.parent == INVALID_PAGE {
+                return Ok(None);
+            }
+            (leaf.parent, None)
+        }
+        UpdateStrategy::Generalized(_) => {
+            let summary = tree.summary.as_ref().expect("GBU requires the summary");
+            let Some(ppid) = summary.find_parent_at(leaf_pid, 1) else {
+                return Ok(None);
+            };
+            let Some(mbr) = summary.entry(ppid).map(|e| e.mbr) else {
+                return Ok(None);
+            };
+            (ppid, Some(mbr))
+        }
+        UpdateStrategy::TopDown => return Ok(None),
+    };
+    let parent = tree.read_node(parent_pid)?;
+    let Some(pidx) = parent.child_index(leaf_pid) else {
+        return Ok(None);
+    };
+    // The bound on any extension. Stable for the whole shared phase:
+    // concurrent groups only enlarge sibling entries *within* it, so the
+    // union of the parent's entry rects cannot change.
+    let parent_mbr = summary_mbr.unwrap_or_else(|| parent.mbr());
+    let official0 = parent.internal_entries()[pidx].rect;
+    let mut official = official0;
+    let mut outcomes = Vec::with_capacity(ops.len());
+    for &(_, oid, old, new) in ops {
+        if let UpdateStrategy::Generalized(_) = tree.opts.strategy {
+            // The O(1) root-MBR check; a miss means a top-down update.
+            let summary = tree.summary.as_ref().expect("GBU requires the summary");
+            if !summary.root_mbr().contains_point(&new) {
+                return Ok(None);
+            }
+        }
+        let Some(idx) = leaf.oid_index(oid) else {
+            // Not in the locked leaf (duplicate-update races cannot
+            // happen under the granule, so this is corruption); the
+            // classic path reports it.
+            return Ok(None);
+        };
+        let new_rect = Rect::from_point(new);
+        if leaf.mbr().contains_point(&new) || official.contains_point(&new) {
+            leaf.leaf_entries_mut()[idx].rect = new_rect;
+            outcomes.push(UpdateOutcome::InPlace);
+            continue;
+        }
+        let enlarged = match tree.opts.strategy {
+            UpdateStrategy::Localized(p) => {
+                official.expanded_uniform(p.epsilon).clipped_to(&parent_mbr)
+            }
+            UpdateStrategy::Generalized(p) => {
+                // Fast movers (moved > τ) try the sibling shift *before*
+                // the extension — a non-leaf-local repair. Keep the τ
+                // policy by escalating them.
+                if old.distance(&new) > p.distance_threshold {
+                    return Ok(None);
+                }
+                iextend_mbr(official, new, p.epsilon, parent_mbr)
+            }
+            UpdateStrategy::TopDown => unreachable!("rejected above"),
+        };
+        if !enlarged.contains_point(&new) {
+            // Needs a shift, an ascent or a top-down update.
+            return Ok(None);
+        }
+        official = enlarged;
+        leaf.leaf_entries_mut()[idx].rect = new_rect;
+        outcomes.push(UpdateOutcome::Extended);
+    }
+    let parent = (official != official0).then_some((parent_pid, pidx, official));
+    Ok(Some(GroupPlan {
+        leaf_pid,
+        leaf,
+        parent,
+        outcomes,
+    }))
+}
+
+/// Write one planned group and append the written pages to `written`
+/// (the batch's commit set).
+///
+/// # Latch invariants
+///
+/// The caller holds the leaf's exclusive granule and the shared tree
+/// granule, so the leaf page and the parent's entry *for this leaf* are
+/// owned by this group. Sibling entries of the same parent page may be
+/// patched by other groups at the same time, which is why the parent is
+/// read-modify-written under one continuous page write latch. The
+/// parent lands first ("grow before move"): a crash or a concurrent
+/// query between the two writes observes only benign slack — a parent
+/// entry rect covering strictly more than the leaf content — never an
+/// object outside its official MBR.
+pub(crate) fn execute_group(
+    index: &RTreeIndex,
+    plan: &GroupPlan,
+    written: &mut Vec<PageId>,
+) -> CoreResult<()> {
+    let tree = &index.tree;
+    if let Some((ppid, pidx, rect)) = plan.parent {
+        let guard = tree.pool.fetch(ppid)?;
+        {
+            let mut data = guard.write();
+            let mut parent = Node::decode(ppid, &data)?;
+            debug_assert_eq!(parent.internal_entries()[pidx].child, plan.leaf_pid);
+            parent.internal_entries_mut()[pidx].rect = rect;
+            parent.encode(&mut data);
+        }
+        written.push(ppid);
+    }
+    // Blind full-page write: the shadow is the complete new leaf state.
+    let guard = tree.pool.fetch_for_overwrite(plan.leaf_pid)?;
+    plan.leaf.encode(&mut guard.write());
+    drop(guard);
+    written.push(plan.leaf_pid);
+    Ok(())
+}

@@ -1,19 +1,31 @@
 //! The shared index handle: one clonable type for every caller.
 //!
-//! [`Bur`] wraps the single-threaded [`RTreeIndex`] engine in `Arc`
-//! internals with the DGL granule-locking discipline the paper's
-//! throughput study uses (Section 3.2.2): bottom-up updates X-lock the
-//! granule of the leaf they touch under a shared tree granule, while
-//! structure-modifying operations (inserts, deletes, top-down updates)
-//! and whole-batch applies take the granules they need exclusively.
-//! Clone the handle freely — clones share the same index.
+//! [`Bur`] wraps the [`RTreeIndex`] engine in `Arc` internals with the
+//! DGL granule-locking discipline the paper's throughput study uses
+//! (Section 3.2.2): bottom-up updates X-lock the granule of the leaf
+//! they touch under a shared tree granule, while structure-modifying
+//! operations (inserts, deletes, top-down updates) take the tree
+//! granule exclusively. Clone the handle freely — clones share the same
+//! index.
+//!
+//! Since the latch-per-page rework the granule discipline is physical,
+//! not just logical: the engine sits behind a reader-writer lock, and a
+//! [`Bur::apply`] batch of pure bottom-up updates runs under the
+//! *shared* side — several such batches on disjoint leaf granules plan
+//! and write **at the same time**, each page access serialized only by
+//! its per-frame latch ([`bur_storage::PageWriteLatch`]). A batch that
+//! needs structural surgery (splits, shifts, ascents, inserts, deletes,
+//! top-down updates) escalates to the exclusive side before writing
+//! anything. The full protocol — latch ordering, pin-vs-latch rules,
+//! the deadlock-avoidance argument — is normative in
+//! `docs/ARCHITECTURE.md` ("Latching protocol").
 //!
 //! The write path is **batch-first**: [`Bur::apply`] takes a [`Batch`]
-//! of mixed operations, applies it under one lock acquisition, and — on
-//! a durable index — flushes it as **one** write-ahead-log group commit
-//! record (atomic under crashes). Every write entry point returns or
-//! leads to a [`CommitTicket`] whose [`CommitTicket::wait`] rides the
-//! log's durable-LSN watermark: the hard ack under
+//! of mixed operations, applies it under one granule acquisition, and —
+//! on a durable index — flushes it as **one** write-ahead-log group
+//! commit record (atomic under crashes). Every write entry point
+//! returns or leads to a [`CommitTicket`] whose [`CommitTicket::wait`]
+//! rides the log's durable-LSN watermark: the hard ack under
 //! [`bur_storage::SyncPolicy::Async`], an instant no-op when the commit
 //! already synced inline.
 //!
@@ -37,6 +49,7 @@
 //! ```
 
 use crate::batch::{Batch, BatchReport, Op};
+use crate::concurrent::{self, GroupOp, GroupPlan};
 use crate::config::{IndexOptions, UpdateStrategy};
 use crate::error::{CoreError, CoreResult};
 use crate::index::{RTreeIndex, RecoveryReport};
@@ -45,10 +58,11 @@ use crate::node::ObjectId;
 use crate::stats::{OpStats, UpdateOutcome};
 use bur_dgl::{CommitBatch, CommitBatcher, Granule, LockGuard, LockManager, LockMode};
 use bur_geom::{Point, Rect};
-use bur_storage::IoSnapshot;
+use bur_storage::{IoSnapshot, PageId};
 use bur_wal::{Lsn, WalStatsSnapshot, WalWaiter};
-use parking_lot::{Mutex, MutexGuard};
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// At most this many spare query buffers are kept for recycling; extra
@@ -57,7 +71,11 @@ const SPARE_BUFFERS: usize = 16;
 
 /// Shared state behind every clone of a [`Bur`] handle.
 struct BurShared {
-    inner: Mutex<RTreeIndex>,
+    /// The engine. Writers that stay leaf-local (concurrent `apply`)
+    /// hold the **read** side — the granule locks in `locks` carve up
+    /// what they may touch — while structural writers hold the write
+    /// side. See `docs/ARCHITECTURE.md`, "Latching protocol".
+    inner: RwLock<RTreeIndex>,
     locks: LockManager,
     /// Per-granule commit hooks accumulated between group commit records
     /// (see [`Bur::set_commit_batching`] and [`Bur::apply`]).
@@ -74,6 +92,14 @@ struct BurShared {
     /// Write paths refuse with [`CoreError::ReadOnly`] while set — the
     /// replication-follower mode, cleared by [`Bur::promote_replica`].
     read_only: AtomicBool,
+    /// Threads one concurrent `apply` may fan its leaf groups across
+    /// (1 = plan and write inline on the calling thread).
+    executor_threads: AtomicUsize,
+    /// Batches currently inside the concurrent write path, and the high
+    /// watermark — the overlap instrumentation behind
+    /// [`Bur::peak_concurrent_batches`].
+    inflight: AtomicUsize,
+    inflight_peak: AtomicUsize,
 }
 
 impl BurShared {
@@ -99,9 +125,24 @@ pub struct Bur {
 impl std::fmt::Debug for Bur {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Bur")
-            .field("inner", &*self.shared.inner.lock())
+            .field("inner", &*self.shared.inner.read())
             .finish_non_exhaustive()
     }
+}
+
+/// Outcome of one shared-phase attempt inside [`Bur::apply`]. Every
+/// variant but `Done` is returned with all locks released.
+enum SharedAttempt {
+    /// Planned, written and committed concurrently.
+    Done(CommitTicket),
+    /// Not leaf-local: replay the whole batch on the exclusive path
+    /// (nothing has been written).
+    Escalate,
+    /// Pending single-op commits must be flushed under the exclusive
+    /// lock before a concurrent commit may log its pages.
+    FlushPending,
+    /// A granule was refused; back off and try again.
+    Retry,
 }
 
 impl Bur {
@@ -135,7 +176,7 @@ impl Bur {
         let waiter = Mutex::new(index.wal_waiter());
         Self {
             shared: Arc::new(BurShared {
-                inner: Mutex::new(index),
+                inner: RwLock::new(index),
                 locks: LockManager::new(),
                 batcher: CommitBatcher::new(),
                 batch_target: AtomicU32::new(1),
@@ -143,6 +184,9 @@ impl Bur {
                 recovery,
                 spare_ids: Mutex::new(Vec::new()),
                 read_only: AtomicBool::new(false),
+                executor_threads: AtomicUsize::new(1),
+                inflight: AtomicUsize::new(0),
+                inflight_peak: AtomicUsize::new(0),
             }),
         }
     }
@@ -169,7 +213,7 @@ impl Bur {
     /// query thread becomes a handle on the new primary at the same
     /// moment. Fails on a handle that is already writable.
     pub fn promote_replica(&self, opts: IndexOptions) -> CoreResult<()> {
-        let (mut index, _tree) = self.lock_tree(LockMode::Exclusive);
+        let (mut index, _tree) = self.lock_excl();
         // Checked under the exclusive lock: of two racing promotes,
         // exactly one wins — the loser sees a writable handle.
         if !self.is_read_only() {
@@ -209,13 +253,33 @@ impl Bur {
 
     // ---- locking helpers -------------------------------------------------
 
-    /// Acquire the physical index lock plus the tree granule in `mode`,
-    /// try-and-retry (no blocking while holding the physical mutex, so
-    /// the handle cannot deadlock).
-    fn lock_tree(&self, mode: LockMode) -> (MutexGuard<'_, RTreeIndex>, LockGuard<'_>) {
+    /// Acquire the physical write lock plus the exclusive tree granule,
+    /// try-and-retry on the granule (never blocking on a granule while
+    /// holding the physical lock, so the handle cannot deadlock — the
+    /// latch-order invariant of `docs/ARCHITECTURE.md`).
+    fn lock_excl(&self) -> (RwLockWriteGuard<'_, RTreeIndex>, LockGuard<'_>) {
         loop {
-            let index = self.shared.inner.lock();
-            match self.shared.locks.try_lock(Granule::Tree, mode) {
+            let index = self.shared.inner.write();
+            match self
+                .shared
+                .locks
+                .try_lock(Granule::Tree, LockMode::Exclusive)
+            {
+                Ok(guard) => return (index, guard),
+                Err(_) => {
+                    drop(index);
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Acquire the physical read lock plus the shared tree granule
+    /// (query-side counterpart of [`Bur::lock_excl`]).
+    fn lock_shared(&self) -> (RwLockReadGuard<'_, RTreeIndex>, LockGuard<'_>) {
+        loop {
+            let index = self.shared.inner.read();
+            match self.shared.locks.try_lock(Granule::Tree, LockMode::Shared) {
                 Ok(guard) => return (index, guard),
                 Err(_) => {
                     drop(index);
@@ -261,122 +325,314 @@ impl Bur {
     /// hard durability ack.
     ///
     /// Locking: a batch of pure bottom-up updates X-locks the granules
-    /// of the leaves it touches under a shared tree granule (concurrent
-    /// batches on disjoint leaves do not conflict logically); a batch
-    /// containing inserts, deletes or top-down updates takes the tree
-    /// granule exclusively.
+    /// of the leaves it touches under a **shared** tree granule and the
+    /// **shared** physical lock — batches on disjoint leaves plan and
+    /// write concurrently (see the module docs and
+    /// `docs/ARCHITECTURE.md`). A batch containing inserts, deletes or
+    /// top-down updates — or any update that needs more than leaf-local
+    /// repair (a sibling shift, an underflow, an MBR ascent) — escalates
+    /// to the exclusive tree granule before a single page is written, so
+    /// the result is always identical to sequential application.
     pub fn apply(&self, batch: &Batch) -> CoreResult<CommitTicket> {
         self.check_writable()?;
         if batch.is_empty() {
-            let index = self.shared.inner.lock();
+            let index = self.shared.inner.read();
             return Ok(self.ticket(&index, BatchReport::default(), CommitBatch::default()));
         }
         loop {
-            let mut index = self.shared.inner.lock();
-            // Resolve the granule of every operation. Bottom-up updates
-            // lock the leaf currently holding their object; anything
-            // else (or an unknown object, which the strategy will turn
-            // into an error) escalates to the whole tree.
-            let bottom_up = !matches!(index.options().strategy, UpdateStrategy::TopDown);
-            let mut per_op: Vec<Granule> = Vec::with_capacity(batch.len());
-            let mut tree_x = false;
-            for op in batch.ops() {
-                match op {
-                    Op::Update { oid, .. } if bottom_up => match index.locate_leaf(*oid)? {
-                        Some(pid) => per_op.push(Granule::Leaf(pid)),
-                        None => {
-                            tree_x = true;
-                            break;
-                        }
-                    },
-                    _ => {
-                        tree_x = true;
-                        break;
-                    }
+            match self.apply_shared_phase(batch)? {
+                SharedAttempt::Done(ticket) => {
+                    self.checkpoint_if_due()?;
+                    return Ok(ticket);
+                }
+                SharedAttempt::FlushPending => {
+                    // Single-op commits pending from before the shared
+                    // phase must land under their own record first: the
+                    // concurrent commit logs only this batch's pages.
+                    let (mut index, _tree) = self.lock_excl();
+                    index.flush_commits()?;
+                    continue;
+                }
+                SharedAttempt::Retry => {
+                    std::thread::yield_now();
+                    continue;
+                }
+                SharedAttempt::Escalate => {}
+            }
+            // Classic exclusive path: the whole batch under the write
+            // lock and the exclusive tree granule, applied by the engine
+            // and flushed as one group commit record by `apply_batch`.
+            let mut index = self.shared.inner.write();
+            match self
+                .shared
+                .locks
+                .try_lock(Granule::Tree, LockMode::Exclusive)
+            {
+                Ok(_tree) => {
+                    let result = index.apply_batch(batch);
+                    // A group commit record covered everything applied
+                    // (the whole batch, or — on error — the prefix
+                    // before the failing op, which `apply_batch` flushed
+                    // before surfacing it): note the covered granule and
+                    // drain the hooks as one commit batch, so nothing
+                    // lingers to be misattributed to a later ticket.
+                    let applied = match &result {
+                        Ok(report) => report.applied as usize,
+                        Err(CoreError::Batch { op_index, .. }) => *op_index,
+                        Err(_) => 0,
+                    };
+                    let hooks = if index.is_durable() {
+                        self.shared.batcher.note_n(Granule::Tree, applied as u64);
+                        self.shared.batcher.drain()
+                    } else {
+                        CommitBatch::default()
+                    };
+                    let report = result?;
+                    return Ok(self.ticket(&index, report, hooks));
+                }
+                Err(_) => {
+                    drop(index);
+                    std::thread::yield_now();
                 }
             }
-            let mut guards: Vec<LockGuard<'_>> = Vec::new();
-            let locked = if tree_x {
-                per_op.clear();
-                match self
-                    .shared
-                    .locks
-                    .try_lock(Granule::Tree, LockMode::Exclusive)
-                {
-                    Ok(g) => {
-                        guards.push(g);
-                        true
-                    }
-                    Err(_) => false,
-                }
-            } else {
-                // Shared tree + X on the distinct leaves, in sorted
-                // order (the deadlock-avoidance protocol of `lock_set`).
-                let mut distinct = per_op.clone();
-                distinct.sort_unstable();
-                distinct.dedup();
-                match self.shared.locks.try_lock(Granule::Tree, LockMode::Shared) {
-                    Ok(g) => {
-                        guards.push(g);
-                        distinct.into_iter().all(|g| {
-                            match self.shared.locks.try_lock(g, LockMode::Exclusive) {
-                                Ok(guard) => {
-                                    guards.push(guard);
-                                    true
-                                }
-                                Err(_) => false,
-                            }
-                        })
-                    }
-                    Err(_) => false,
-                }
-            };
-            if !locked {
-                drop(guards);
-                drop(index);
-                std::thread::yield_now();
-                continue;
-            }
-            let result = index.apply_batch(batch);
-            // A group commit record covered everything applied (the
-            // whole batch, or — on error — the prefix before the failing
-            // op, which `apply_batch` flushed before surfacing it): note
-            // the covered granules and drain the hooks as one commit
-            // batch, so nothing lingers to be misattributed to a later
-            // ticket.
-            let applied = match &result {
-                Ok(report) => report.applied as usize,
-                Err(CoreError::Batch { op_index, .. }) => *op_index,
-                Err(_) => 0,
-            };
-            let hooks = if index.is_durable() {
-                if tree_x {
-                    self.shared.batcher.note_n(Granule::Tree, applied as u64);
-                } else {
-                    // Aggregate runs so a huge batch costs O(distinct
-                    // granules) batcher round-trips, not O(ops), inside
-                    // the serialized critical section.
-                    let mut counted = per_op[..applied].to_vec();
-                    counted.sort_unstable();
-                    let mut i = 0;
-                    while i < counted.len() {
-                        let granule = counted[i];
-                        let mut n = 1u64;
-                        while i + (n as usize) < counted.len() && counted[i + n as usize] == granule
-                        {
-                            n += 1;
-                        }
-                        self.shared.batcher.note_n(granule, n);
-                        i += n as usize;
-                    }
-                }
-                self.shared.batcher.drain()
-            } else {
-                CommitBatch::default()
-            };
-            let report = result?;
-            return Ok(self.ticket(&index, report, hooks));
         }
+    }
+
+    /// One attempt at the concurrent write path: classify the batch,
+    /// take the shared physical lock + shared tree granule + exclusive
+    /// leaf granules, and hand the groups to
+    /// [`Bur::apply_concurrent`]. Every outcome that is not `Done`
+    /// releases everything before returning, so the caller never holds
+    /// a lock across its next move.
+    fn apply_shared_phase(&self, batch: &Batch) -> CoreResult<SharedAttempt> {
+        let index = self.shared.inner.read();
+        if matches!(index.options().strategy, UpdateStrategy::TopDown) {
+            return Ok(SharedAttempt::Escalate);
+        }
+        // Group the ops by the leaf currently holding their object (its
+        // DGL granule), preserving batch order within each group. An op
+        // that is not a bottom-up update — or an unknown object, which
+        // the strategy will turn into an error — escalates.
+        let mut groups: Vec<(PageId, Vec<GroupOp>)> = Vec::new();
+        let mut group_of: HashMap<PageId, usize> = HashMap::new();
+        for (i, op) in batch.ops().iter().enumerate() {
+            let Op::Update { oid, old, new } = *op else {
+                return Ok(SharedAttempt::Escalate);
+            };
+            let Some(pid) = index.locate_leaf(oid)? else {
+                return Ok(SharedAttempt::Escalate);
+            };
+            let slot = *group_of.entry(pid).or_insert_with(|| {
+                groups.push((pid, Vec::new()));
+                groups.len() - 1
+            });
+            groups[slot].1.push((i, oid, old, new));
+        }
+        if index.pending_commits() > 0 {
+            return Ok(SharedAttempt::FlushPending);
+        }
+        // Shared tree granule + X on the distinct leaves, acquired in
+        // sorted order (the deadlock-avoidance protocol): any refusal
+        // backs all the way out and retries from scratch.
+        let mut guards: Vec<LockGuard<'_>> = Vec::new();
+        match self.shared.locks.try_lock(Granule::Tree, LockMode::Shared) {
+            Ok(g) => guards.push(g),
+            Err(_) => return Ok(SharedAttempt::Retry),
+        }
+        let mut distinct: Vec<PageId> = groups.iter().map(|(pid, _)| *pid).collect();
+        distinct.sort_unstable();
+        for pid in distinct {
+            match self
+                .shared
+                .locks
+                .try_lock(Granule::Leaf(pid), LockMode::Exclusive)
+            {
+                Ok(g) => guards.push(g),
+                Err(_) => return Ok(SharedAttempt::Retry),
+            }
+        }
+        let entered = self.shared.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.shared
+            .inflight_peak
+            .fetch_max(entered, Ordering::Relaxed);
+        let result = self.apply_concurrent(&index, batch, &groups);
+        self.shared.inflight.fetch_sub(1, Ordering::Relaxed);
+        match result? {
+            Some(ticket) => Ok(SharedAttempt::Done(ticket)),
+            None => Ok(SharedAttempt::Escalate),
+        }
+    }
+
+    /// Plan-then-write `batch` (grouped by leaf) inside the shared
+    /// phase. Returns `Ok(None)` when any op needs more than leaf-local
+    /// repair — nothing has been written at that point, so the caller's
+    /// escalated replay is exactly sequential application.
+    fn apply_concurrent(
+        &self,
+        index: &RTreeIndex,
+        batch: &Batch,
+        groups: &[(PageId, Vec<GroupOp>)],
+    ) -> CoreResult<Option<CommitTicket>> {
+        let threads = self
+            .shared
+            .executor_threads
+            .load(Ordering::Relaxed)
+            .clamp(1, groups.len().max(1));
+        // Phase 1 — plan every group read-only. One infeasible op
+        // escalates the whole batch with zero pages written.
+        let mut plans: Vec<GroupPlan> = Vec::with_capacity(groups.len());
+        if threads <= 1 {
+            for (pid, ops) in groups {
+                match concurrent::plan_group(index, *pid, ops)? {
+                    Some(plan) => plans.push(plan),
+                    None => return Ok(None),
+                }
+            }
+        } else {
+            let per = groups.len().div_ceil(threads);
+            let planned = std::thread::scope(|scope| {
+                let workers: Vec<_> = groups
+                    .chunks(per)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            part.iter()
+                                .map(|(pid, ops)| concurrent::plan_group(index, *pid, ops))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .flat_map(|w| w.join().expect("group planner panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for plan in planned {
+                match plan? {
+                    Some(plan) => plans.push(plan),
+                    None => return Ok(None),
+                }
+            }
+        }
+        // Phase 2 — write the shadows. Group order no longer matters
+        // (leaves are disjoint; parent-entry patches commute inside the
+        // stable parent MBR), so executors fan out freely.
+        let mut written: Vec<PageId> = Vec::new();
+        let mut failed: Option<(usize, CoreError)> = None;
+        if threads <= 1 {
+            for (slot, plan) in plans.iter().enumerate() {
+                if let Err(e) = concurrent::execute_group(index, plan, &mut written) {
+                    failed = Some((slot, e));
+                    break;
+                }
+            }
+        } else {
+            let per = plans.len().div_ceil(threads);
+            let parts = std::thread::scope(|scope| {
+                let workers: Vec<_> = plans
+                    .chunks(per)
+                    .map(|part| {
+                        scope.spawn(move || {
+                            let mut wrote = Vec::new();
+                            for (off, plan) in part.iter().enumerate() {
+                                if let Err(e) = concurrent::execute_group(index, plan, &mut wrote) {
+                                    return (wrote, Some((off, e)));
+                                }
+                            }
+                            (wrote, None)
+                        })
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .map(|w| w.join().expect("group executor panicked"))
+                    .collect::<Vec<_>>()
+            });
+            for (part_index, (wrote, err)) in parts.into_iter().enumerate() {
+                written.extend(wrote);
+                if let Some((off, e)) = err {
+                    if failed.is_none() {
+                        failed = Some((part_index * per + off, e));
+                    }
+                }
+            }
+        }
+        written.sort_unstable();
+        written.dedup();
+        if let Some((slot, source)) = failed {
+            // A storage failure mid-execute (unreachable on a healthy
+            // pool). Commit the pages already written — every complete
+            // group, plus possibly a parent grown for a leaf that never
+            // moved, which is benign slack — so the log never replays a
+            // torn page set, then surface the error. The applied set is
+            // group-granular here, the one documented divergence from
+            // the sequential path's strict-prefix contract.
+            let done: u64 = plans
+                .iter()
+                .filter(|p| written.binary_search(&p.leaf_pid).is_ok())
+                .map(|p| p.outcomes.len() as u64)
+                .sum();
+            index.commit_batch_pages(done, &written)?;
+            if index.is_durable() {
+                for plan in &plans {
+                    if written.binary_search(&plan.leaf_pid).is_ok() {
+                        self.shared
+                            .batcher
+                            .note_n(Granule::Leaf(plan.leaf_pid), plan.outcomes.len() as u64);
+                    }
+                }
+                self.shared.batcher.drain();
+            }
+            return Err(CoreError::Batch {
+                op_index: groups[slot].1[0].0,
+                source: Box::new(source),
+            });
+        }
+        for plan in &plans {
+            for outcome in &plan.outcomes {
+                index.op_stats().record_update(*outcome);
+            }
+        }
+        let lsn = index
+            .commit_batch_pages(batch.len() as u64, &written)?
+            .unwrap_or(0);
+        let hooks = if index.is_durable() {
+            for (pid, ops) in groups {
+                self.shared
+                    .batcher
+                    .note_n(Granule::Leaf(*pid), ops.len() as u64);
+            }
+            self.shared.batcher.drain()
+        } else {
+            CommitBatch::default()
+        };
+        let report = BatchReport {
+            applied: batch.len() as u64,
+            updated: batch.len() as u64,
+            ..BatchReport::default()
+        };
+        Ok(Some(CommitTicket {
+            report,
+            hooks,
+            lsn,
+            waiter: self.shared.waiter.lock().clone(),
+        }))
+    }
+
+    /// Deferred checkpoint for the concurrent path: a shared-phase
+    /// commit cannot checkpoint (that rewrites the log under every
+    /// in-flight batch), so it only bumps the cadence counter, and the
+    /// checkpoint runs here — after the granules are released, under
+    /// the exclusive lock, re-checked because a racing batch may have
+    /// taken it already.
+    fn checkpoint_if_due(&self) -> CoreResult<()> {
+        if !self.shared.inner.read().checkpoint_due() {
+            return Ok(());
+        }
+        let (mut index, _tree) = self.lock_excl();
+        if index.checkpoint_due() {
+            index.checkpoint()?;
+        }
+        Ok(())
     }
 
     /// Flush any single operations pending in the current commit batch
@@ -385,7 +641,7 @@ impl Bur {
     /// was pending.
     pub fn commit(&self) -> CoreResult<CommitTicket> {
         self.check_writable()?;
-        let mut index = self.shared.inner.lock();
+        let mut index = self.shared.inner.write();
         let pending = index.pending_commits();
         index.flush_commits()?;
         let hooks = self.shared.batcher.drain();
@@ -411,7 +667,7 @@ impl Bur {
     /// split).
     pub fn insert(&self, oid: ObjectId, position: Point) -> CoreResult<()> {
         self.check_writable()?;
-        let (mut index, _tree) = self.lock_tree(LockMode::Exclusive);
+        let (mut index, _tree) = self.lock_excl();
         index.insert(oid, position)?;
         self.after_write(&mut index, Granule::Tree);
         Ok(())
@@ -420,7 +676,7 @@ impl Bur {
     /// Insert a fresh object with a rectangular extent.
     pub fn insert_rect(&self, oid: ObjectId, rect: Rect) -> CoreResult<()> {
         self.check_writable()?;
-        let (mut index, _tree) = self.lock_tree(LockMode::Exclusive);
+        let (mut index, _tree) = self.lock_excl();
         index.insert_rect(oid, rect)?;
         self.after_write(&mut index, Granule::Tree);
         Ok(())
@@ -430,7 +686,7 @@ impl Bur {
     /// it is not indexed at `position`.
     pub fn delete(&self, oid: ObjectId, position: Point) -> CoreResult<bool> {
         self.check_writable()?;
-        let (mut index, _tree) = self.lock_tree(LockMode::Exclusive);
+        let (mut index, _tree) = self.lock_excl();
         let found = index.delete(oid, position)?;
         if found {
             self.after_write(&mut index, Granule::Tree);
@@ -441,11 +697,14 @@ impl Bur {
     /// Move an object, acquiring the DGL granules its strategy requires:
     /// bottom-up updates take the granule of the object's current leaf
     /// exclusively under a shared tree granule; top-down updates take
-    /// the tree granule exclusively.
+    /// the tree granule exclusively. A single update holds the physical
+    /// write lock either way — it may escalate to structural surgery
+    /// mid-flight; route bulk updates through [`Bur::apply`], whose
+    /// plan-first batches overlap physically.
     pub fn update(&self, oid: ObjectId, old: Point, new: Point) -> CoreResult<UpdateOutcome> {
         self.check_writable()?;
         loop {
-            let mut index = self.shared.inner.lock();
+            let mut index = self.shared.inner.write();
             let bottom_up = !matches!(index.options().strategy, UpdateStrategy::TopDown);
             if bottom_up {
                 let Some(leaf_pid) = index.locate_leaf(oid)? else {
@@ -494,7 +753,7 @@ impl Bur {
     /// [`QueryCursor`]. The result buffer is recycled from cursor to
     /// cursor, so the hot path performs no per-call `Vec` allocation.
     pub fn query(&self, window: &Rect) -> CoreResult<QueryCursor> {
-        let (index, _tree) = self.lock_tree(LockMode::Shared);
+        let (index, _tree) = self.lock_shared();
         let mut hits = self.shared.spare_ids.lock().pop().unwrap_or_default();
         debug_assert!(hits.is_empty());
         if let Err(e) = index.query_into(window, &mut hits) {
@@ -516,7 +775,7 @@ impl Bur {
     /// The `k` nearest neighbors of `point`, closest first, streamed
     /// through a [`NeighborCursor`] (shared tree granule).
     pub fn nearest(&self, point: Point, k: usize) -> CoreResult<NeighborCursor> {
-        let (index, _tree) = self.lock_tree(LockMode::Shared);
+        let (index, _tree) = self.lock_shared();
         let hits = index.nearest_neighbors(point, k)?;
         Ok(NeighborCursor {
             hits: hits.into_iter(),
@@ -537,7 +796,7 @@ impl Bur {
     pub fn set_commit_batching(&self, ops: u32) -> CoreResult<()> {
         self.check_writable()?;
         let ops = ops.max(1);
-        let mut index = self.shared.inner.lock();
+        let mut index = self.shared.inner.write();
         index.set_commit_batch(ops)?;
         self.shared.batch_target.store(ops, Ordering::Relaxed);
         if index.pending_commits() == 0 {
@@ -557,7 +816,7 @@ impl Bur {
     /// recovery replay and the log's page footprint.
     pub fn checkpoint(&self) -> CoreResult<()> {
         self.check_writable()?;
-        let (mut index, _tree) = self.lock_tree(LockMode::Exclusive);
+        let (mut index, _tree) = self.lock_excl();
         index.checkpoint()
     }
 
@@ -566,14 +825,45 @@ impl Bur {
     /// step.
     pub fn persist(&self) -> CoreResult<()> {
         self.check_writable()?;
-        let (mut index, _tree) = self.lock_tree(LockMode::Exclusive);
+        let (mut index, _tree) = self.lock_excl();
         index.persist()
     }
 
     /// Log activity counters, when the index is durable.
     #[must_use]
     pub fn wal_stats(&self) -> Option<WalStatsSnapshot> {
-        self.shared.inner.lock().wal_stats()
+        self.shared.inner.read().wal_stats()
+    }
+
+    // ---- concurrency controls --------------------------------------------
+
+    /// Set how many executor threads one concurrent [`Bur::apply`] may
+    /// fan its leaf groups across while planning and writing (default
+    /// 1: the calling thread does everything inline). This is
+    /// intra-batch parallelism; inter-batch parallelism needs no knob —
+    /// it comes from calling `apply` on clones of the handle from
+    /// several threads at once. Values are clamped to at least 1 and,
+    /// per batch, to its number of leaf groups.
+    pub fn set_executor_threads(&self, threads: usize) {
+        self.shared
+            .executor_threads
+            .store(threads.max(1), Ordering::Relaxed);
+    }
+
+    /// Current executor-thread setting (see
+    /// [`Bur::set_executor_threads`]).
+    #[must_use]
+    pub fn executor_threads(&self) -> usize {
+        self.shared.executor_threads.load(Ordering::Relaxed)
+    }
+
+    /// High watermark of batches observed inside the concurrent write
+    /// path at the same moment, over the handle's lifetime. A value
+    /// `>= 2` proves two [`Bur::apply`] calls physically overlapped —
+    /// the assertion the soak tests and scaling benchmarks rest on.
+    #[must_use]
+    pub fn peak_concurrent_batches(&self) -> usize {
+        self.shared.inflight_peak.load(Ordering::Relaxed)
     }
 
     // ---- introspection ---------------------------------------------------
@@ -581,7 +871,7 @@ impl Bur {
     /// Number of indexed objects.
     #[must_use]
     pub fn len(&self) -> u64 {
-        self.shared.inner.lock().len()
+        self.shared.inner.read().len()
     }
 
     /// `true` when empty.
@@ -593,50 +883,51 @@ impl Bur {
     /// Number of levels (1 = the root is a leaf).
     #[must_use]
     pub fn height(&self) -> u16 {
-        self.shared.inner.lock().height()
+        self.shared.inner.read().height()
     }
 
     /// The construction options.
     #[must_use]
     pub fn options(&self) -> IndexOptions {
-        *self.shared.inner.lock().options()
+        *self.shared.inner.read().options()
     }
 
     /// `true` when the index write-ahead-logs its updates.
     #[must_use]
     pub fn is_durable(&self) -> bool {
-        self.shared.inner.lock().is_durable()
+        self.shared.inner.read().is_durable()
     }
 
     /// Snapshot of the physical I/O counters.
     #[must_use]
     pub fn io_snapshot(&self) -> IoSnapshot {
-        self.shared.inner.lock().io_stats().snapshot()
+        self.shared.inner.read().io_stats().snapshot()
     }
 
     /// Run `f` over the operation counters.
     pub fn with_op_stats<R>(&self, f: impl FnOnce(&OpStats) -> R) -> R {
-        f(self.shared.inner.lock().op_stats())
+        f(self.shared.inner.read().op_stats())
     }
 
     /// Run `f` over the underlying index (read-only diagnostics: page
-    /// counts, summary inspection, ...). Holds the physical lock but no
-    /// granule lock — pair with quiesced writers for exact numbers.
+    /// counts, summary inspection, ...). Holds the physical read lock
+    /// but no granule lock — pair with quiesced writers for exact
+    /// numbers.
     pub fn with_index<R>(&self, f: impl FnOnce(&RTreeIndex) -> R) -> R {
-        f(&self.shared.inner.lock())
+        f(&self.shared.inner.read())
     }
 
     /// Run `f` over the underlying index mutably, under an exclusive
     /// tree granule (maintenance escape hatch: buffer resizing, bulk
     /// fix-ups, ...).
     pub fn with_index_mut<R>(&self, f: impl FnOnce(&mut RTreeIndex) -> R) -> R {
-        let (mut index, _tree) = self.lock_tree(LockMode::Exclusive);
+        let (mut index, _tree) = self.lock_excl();
         f(&mut index)
     }
 
     /// Run the deep invariant check.
     pub fn validate(&self) -> CoreResult<()> {
-        self.shared.inner.lock().validate()
+        self.shared.inner.read().validate()
     }
 }
 

@@ -129,13 +129,7 @@ impl RTreeIndex {
                 }
                 wal.set_async_coalesce(wopts.async_coalesce);
                 attach_durable_watcher(&wal, &pool);
-                Some(WalHandle {
-                    wal,
-                    opts: wopts,
-                    commits_since_checkpoint: 0,
-                    pending_ops: 0,
-                    in_batch: false,
-                })
+                Some(WalHandle::new(wal, wopts))
             }
             Durability::None => None,
         };
@@ -340,6 +334,20 @@ impl RTreeIndex {
         self.tree.wal.as_ref().map_or(0, |h| h.pending_ops)
     }
 
+    /// Group-commit one concurrently applied batch: its own page set plus
+    /// a single commit record (see `RTree::wal_commit_pages` for the
+    /// invariants). Returns the record's LSN, `None` without a WAL.
+    pub(crate) fn commit_batch_pages(&self, ops: u64, pages: &[PageId]) -> CoreResult<Option<u64>> {
+        self.tree.wal_commit_pages(ops, pages)
+    }
+
+    /// `true` when the WAL checkpoint cadence has been reached. The
+    /// shared write path reads this after releasing its locks and
+    /// re-checks under an exclusive lock before checkpointing.
+    pub(crate) fn checkpoint_due(&self) -> bool {
+        self.tree.checkpoint_due()
+    }
+
     /// Block until every acknowledged operation is durable in the log.
     /// Under [`bur_storage::SyncPolicy::Async`] this waits for the
     /// background sync thread to pass the current tail; under the
@@ -515,13 +523,7 @@ impl RTreeIndex {
         tree.meta_chain_pages = meta_cont;
         wal.set_async_coalesce(wopts.async_coalesce);
         attach_durable_watcher(&wal, &tree.pool);
-        tree.wal = Some(WalHandle {
-            wal,
-            opts: wopts,
-            commits_since_checkpoint: 0,
-            pending_ops: 0,
-            in_batch: false,
-        });
+        tree.wal = Some(WalHandle::new(wal, wopts));
         tree.pool.set_wal_mode(true);
         let mut index = Self { tree };
         index.tree.wal_checkpoint()?;

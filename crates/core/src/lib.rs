@@ -23,12 +23,25 @@
 //! DGL-locked [`Bur`] handle (shared use, batch-first writes via
 //! [`Batch`], streaming [`QueryCursor`] results, durability acks via
 //! [`CommitTicket`]) or a raw single-threaded [`RTreeIndex`].
+//!
+//! # Concurrency
+//!
+//! [`Bur::apply`] executes pure-update batches on disjoint leaves in
+//! parallel: a shared structure lock, an exclusive DGL granule per
+//! touched leaf, and per-page buffer-pool latches, with plan-then-write
+//! semantics — any op that is not leaf-local escalates the whole batch
+//! to the exclusive path having written nothing, so results are always
+//! identical to sequential application. The normative contract (lock
+//! layering, latch-order invariant, pin-vs-latch rules, the
+//! deadlock-avoidance and "benign slack" arguments) lives in
+//! `docs/ARCHITECTURE.md` at the repository root.
 
 #![warn(missing_docs)]
 
 mod batch;
 mod builder;
 mod bulk;
+mod concurrent;
 mod config;
 pub mod cost_model;
 mod error;

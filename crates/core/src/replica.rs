@@ -171,13 +171,7 @@ impl RTreeIndex {
                 wal.set_async_coalesce(wopts.async_coalesce);
                 attach_durable_watcher(&wal, &self.tree.pool);
                 self.tree.pool.set_wal_mode(true);
-                self.tree.wal = Some(WalHandle {
-                    wal,
-                    opts: wopts,
-                    commits_since_checkpoint: 0,
-                    pending_ops: 0,
-                    in_batch: false,
-                });
+                self.tree.wal = Some(WalHandle::new(wal, wopts));
                 self.tree.wal_checkpoint()?;
             }
             Durability::None => self.persist()?,

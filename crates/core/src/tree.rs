@@ -33,9 +33,10 @@ use crate::stats::OpStats;
 use crate::summary::SummaryStructure;
 use bur_geom::{Point, Rect};
 use bur_hashindex::{HashIndexConfig, LinearHashIndex};
-use bur_storage::{BufferPool, PageId, INVALID_PAGE};
+use bur_storage::{BufferPool, Lsn, PageId, INVALID_PAGE};
 use bur_wal::Wal;
-use std::sync::atomic::Ordering;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// A live write-ahead log attached to the tree ([`crate::Durability::Wal`]).
@@ -45,8 +46,9 @@ pub(crate) struct WalHandle {
     /// Sync cadence, checkpoint interval, delta policy, batch size.
     pub(crate) opts: WalOptions,
     /// Committed operations since the last checkpoint (drives the
-    /// cadence).
-    pub(crate) commits_since_checkpoint: u64,
+    /// cadence). Atomic because concurrent leaf-local batches bump it
+    /// through a shared reference ([`RTree::wal_commit_pages`]).
+    pub(crate) commits_since_checkpoint: AtomicU64,
     /// Operations finished but not yet covered by a commit record
     /// (commit batching; flushed once `opts.batch_ops` accumulate).
     pub(crate) pending_ops: u64,
@@ -54,6 +56,25 @@ pub(crate) struct WalHandle {
     /// commits only accumulate, and the batch end flushes them as one
     /// group commit record regardless of `opts.batch_ops`.
     pub(crate) in_batch: bool,
+    /// Serializes concurrent group commits: a batch's page images and
+    /// its commit record must land contiguously in the log, so another
+    /// batch's record cannot slip between a page image and the record
+    /// that covers it (see [`RTree::wal_commit_pages`]).
+    pub(crate) commit_lock: Mutex<()>,
+}
+
+impl WalHandle {
+    /// Wrap a log with fresh bookkeeping (no pending ops, cadence at 0).
+    pub(crate) fn new(wal: Wal, opts: WalOptions) -> Self {
+        Self {
+            wal,
+            opts,
+            commits_since_checkpoint: AtomicU64::new(0),
+            pending_ops: 0,
+            in_batch: false,
+            commit_lock: Mutex::new(()),
+        }
+    }
 }
 
 /// An entry being inserted: either an object (into a leaf) or a whole
@@ -341,12 +362,69 @@ impl RTree {
         if durable {
             self.pool.set_durable_lsn(handle.wal.durable_lsn());
         }
-        handle.commits_since_checkpoint += handle.pending_ops;
+        handle
+            .commits_since_checkpoint
+            .fetch_add(handle.pending_ops, Ordering::Relaxed);
         handle.pending_ops = 0;
-        if handle.commits_since_checkpoint >= handle.opts.checkpoint_every {
+        if self.checkpoint_due() {
             self.wal_checkpoint()?;
         }
         Ok(())
+    }
+
+    /// Group-commit one concurrently applied batch: append the batch's
+    /// own page set (nothing else) plus a single commit record carrying
+    /// the metadata snapshot. Returns the record's LSN (`None` without a
+    /// WAL). Never checkpoints — the caller defers that to an exclusive
+    /// section via [`RTree::checkpoint_due`].
+    ///
+    /// Unlike [`RTree::wal_flush_commit`] this takes `&self`, so batches
+    /// on disjoint leaf granules commit while others are still applying.
+    /// `commit_lock` keeps each batch's images and its record contiguous
+    /// in the log. Correctness leans on two invariants the shared write
+    /// phase upholds while any concurrent batch is in flight:
+    ///
+    /// * no operation changes `len`, `root`, `height` or the free list,
+    ///   so the snapshot in the record is consistent; and
+    /// * no single-op commits are pending (`pending_ops == 0`), so every
+    ///   WAL-touched page outside `pages` belongs to another in-flight
+    ///   batch, which logs it under its own record (until then the
+    ///   pool's no-steal gate keeps it off the disk).
+    ///
+    /// A shared parent page may carry another in-flight batch's official
+    /// -rect enlargement when it is imaged here. That is benign slack:
+    /// enlargements are monotone and bounded by the parent node MBR, and
+    /// the other batch's leaf write (the actual object move) is gated
+    /// until its own commit record lands ("grow before move").
+    pub(crate) fn wal_commit_pages(&self, ops: u64, pages: &[PageId]) -> CoreResult<Option<Lsn>> {
+        let Some(handle) = self.wal.as_ref() else {
+            return Ok(None);
+        };
+        let _serial = handle.commit_lock.lock();
+        for &pid in pages {
+            let guard = self.pool.fetch(pid)?;
+            let lsn = handle.wal.append_page(pid, &guard.read())?;
+            drop(guard);
+            self.pool.note_page_logged(pid, lsn);
+        }
+        let meta = self.meta_snapshot(INVALID_PAGE).encode();
+        let (lsn, durable) = handle.wal.commit(meta)?;
+        if durable {
+            self.pool.set_durable_lsn(handle.wal.durable_lsn());
+        }
+        handle
+            .commits_since_checkpoint
+            .fetch_add(ops, Ordering::Relaxed);
+        Ok(Some(lsn))
+    }
+
+    /// `true` when the checkpoint cadence has been reached. Readable
+    /// without exclusivity; callers on the shared path re-check under an
+    /// exclusive lock before actually checkpointing.
+    pub(crate) fn checkpoint_due(&self) -> bool {
+        self.wal.as_ref().is_some_and(|h| {
+            h.commits_since_checkpoint.load(Ordering::Relaxed) >= h.opts.checkpoint_every
+        })
     }
 
     /// Fuzzy checkpoint: make the log durable, persist the hash
@@ -379,7 +457,7 @@ impl RTree {
         self.pool.flush_all()?;
         let handle = self.wal.as_mut().expect("checked above");
         handle.wal.checkpoint_rewind(payload)?;
-        handle.commits_since_checkpoint = 0;
+        handle.commits_since_checkpoint.store(0, Ordering::Relaxed);
         self.pool.set_durable_lsn(handle.wal.durable_lsn());
         Ok(())
     }

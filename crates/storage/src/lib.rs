@@ -49,7 +49,7 @@ mod stats;
 pub use disk::{DiskBackend, FileDisk, MemDisk};
 pub use error::{StorageError, StorageResult};
 pub use faults::{FaultKind, FaultyDisk};
-pub use pool::{BufferPool, PageRef, PoolConfig};
+pub use pool::{BufferPool, PageReadLatch, PageRef, PageWriteLatch, PoolConfig};
 pub use replacer::EvictionPolicy;
 pub use stats::{IoSnapshot, IoStats};
 

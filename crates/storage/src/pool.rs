@@ -214,6 +214,66 @@ impl BufferPool {
         self.wal_gate.lock().page_lsn.get(&pid).copied()
     }
 
+    /// `true` while `pid` is write-latched since its last logged image
+    /// (its current content exists only in memory). Commit paths use this
+    /// to decide which pages a batch must log.
+    #[must_use]
+    pub fn is_touched(&self, pid: PageId) -> bool {
+        self.wal_gate.lock().touched.contains(&pid)
+    }
+
+    /// Pin `pid`, run `f` under its shared (S) latch, and unpin.
+    ///
+    /// The pin and latch are scoped to the call, so `f` must not attempt
+    /// to latch the same frame again (the page latch is not reentrant).
+    /// A miss performs one physical read, exactly like
+    /// [`BufferPool::fetch`].
+    ///
+    /// ```
+    /// use bur_storage::{BufferPool, MemDisk, PoolConfig};
+    /// use std::sync::Arc;
+    ///
+    /// let pool = BufferPool::new(Arc::new(MemDisk::new(64)), PoolConfig::default());
+    /// let (pid, page) = pool.new_page().unwrap();
+    /// page.write()[2] = 5;
+    /// drop(page);
+    /// let v = pool.with_page_read(pid, |bytes| bytes[2]).unwrap();
+    /// assert_eq!(v, 5);
+    /// ```
+    pub fn with_page_read<T>(&self, pid: PageId, f: impl FnOnce(&[u8]) -> T) -> StorageResult<T> {
+        let page = self.fetch(pid)?;
+        let latch = page.read();
+        Ok(f(&latch))
+    }
+
+    /// Pin `pid`, run `f` under its exclusive (X) latch, and unpin.
+    ///
+    /// Marks the frame dirty (and touched in WAL mode) like
+    /// [`PageRef::write`]. Single-page read-modify-writes — the parent
+    /// entry enlargement of the bottom-up update paths, for example — use
+    /// this so the read, the decision, and the write are one atomic
+    /// critical section with respect to every other latcher of the frame.
+    ///
+    /// ```
+    /// use bur_storage::{BufferPool, MemDisk, PoolConfig};
+    /// use std::sync::Arc;
+    ///
+    /// let pool = BufferPool::new(Arc::new(MemDisk::new(64)), PoolConfig::default());
+    /// let (pid, page) = pool.new_page().unwrap();
+    /// drop(page);
+    /// pool.with_page_write(pid, |bytes| bytes[0] = bytes[0].max(9)).unwrap();
+    /// assert_eq!(pool.with_page_read(pid, |b| b[0]).unwrap(), 9);
+    /// ```
+    pub fn with_page_write<T>(
+        &self,
+        pid: PageId,
+        f: impl FnOnce(&mut [u8]) -> T,
+    ) -> StorageResult<T> {
+        let page = self.fetch(pid)?;
+        let mut latch = page.write();
+        Ok(f(&mut latch))
+    }
+
     /// Checkpoint reset: after the caller has made the log durable and is
     /// about to flush every frame as the new base image, all per-page
     /// gate state is obsolete. Clears touched pages and page LSNs (so the
@@ -523,9 +583,21 @@ impl BufferPool {
 
 /// A pinned reference to a buffered page.
 ///
-/// Access the bytes with [`PageRef::read`] / [`PageRef::write`]; the write
-/// latch marks the frame dirty. Dropping the guard unpins the frame and
-/// may trigger eviction of *other* (least-recently-used) frames.
+/// # Pins vs latches
+///
+/// A `PageRef` is a **pin**: it guarantees residency (the frame cannot be
+/// evicted) but grants *no* access to the bytes. Byte access requires a
+/// **latch** — [`PageRef::read`] (shared) or [`PageRef::write`]
+/// (exclusive) — whose guard lifetime is independent of the pin. The two
+/// lifetimes are deliberately separated so that an operation can keep a
+/// page resident across several short latch windows (the bottom-up update
+/// paths do exactly this), and so that pin counting never blocks on frame
+/// contents.
+///
+/// The write latch marks the frame dirty (and, in WAL mode, *touched*).
+/// Dropping the `PageRef` unpins the frame and may trigger eviction of
+/// *other* (least-recently-used) frames — never of a frame whose latch or
+/// pin is still held.
 pub struct PageRef<'a> {
     pool: &'a BufferPool,
     frame: Arc<Frame>,
@@ -538,20 +610,44 @@ impl PageRef<'_> {
         self.frame.pid
     }
 
-    /// Acquire the shared latch and read the page bytes.
-    pub fn read(&self) -> RwLockReadGuard<'_, Box<[u8]>> {
-        self.frame.data.read()
+    /// Acquire the shared (S) page latch.
+    ///
+    /// Blocks while another thread holds the exclusive latch on the same
+    /// frame. Readers never observe a torn page: every writer mutates the
+    /// bytes only under the exclusive latch.
+    ///
+    /// # Latch invariants
+    ///
+    /// * Hold at most one latch per frame per thread — the latch is not
+    ///   reentrant, and S→X upgrade attempts on the same frame deadlock.
+    /// * Callers that latch *multiple* frames must follow the crate-wide
+    ///   latch order (parent before child, one-at-a-time in the bottom-up
+    ///   paths); see `docs/ARCHITECTURE.md` ("Latching protocol").
+    pub fn read(&self) -> PageReadLatch<'_> {
+        PageReadLatch {
+            guard: self.frame.data.read(),
+        }
     }
 
-    /// Acquire the exclusive latch and mark the frame dirty (and, in WAL
-    /// mode, touched — its content must be logged before it may be
-    /// written back).
-    pub fn write(&self) -> RwLockWriteGuard<'_, Box<[u8]>> {
+    /// Acquire the exclusive (X) page latch and mark the frame dirty
+    /// (and, in WAL mode, touched — its content must be logged before it
+    /// may be written back).
+    ///
+    /// # Latch invariants
+    ///
+    /// Same ordering rules as [`PageRef::read`]. Additionally, the dirty
+    /// and touched marks are set *before* latch acquisition: a concurrent
+    /// commit that snapshots the touched set therefore either sees this
+    /// page (and logs its post-write image after the latch drops) or the
+    /// write happens entirely after the snapshot — never a lost update.
+    pub fn write(&self) -> PageWriteLatch<'_> {
         self.frame.dirty.store(true, Ordering::Relaxed);
         if self.pool.wal_mode.load(Ordering::Relaxed) {
             self.pool.wal_gate.lock().touched.insert(self.frame.pid);
         }
-        self.frame.data.write()
+        PageWriteLatch {
+            guard: self.frame.data.write(),
+        }
     }
 
     /// `true` when the frame has unwritten modifications.
@@ -564,6 +660,72 @@ impl PageRef<'_> {
 impl Drop for PageRef<'_> {
     fn drop(&mut self) {
         self.pool.unpin(&self.frame);
+    }
+}
+
+/// Shared (S) latch on one page's bytes; see [`PageRef::read`].
+///
+/// Derefs to `[u8]`. Holding it blocks writers of *this* frame only;
+/// frames are latched independently, which is what lets disjoint-granule
+/// batches overlap physically.
+///
+/// ```
+/// use bur_storage::{BufferPool, MemDisk, PoolConfig};
+/// use std::sync::Arc;
+///
+/// let pool = BufferPool::new(Arc::new(MemDisk::new(64)), PoolConfig::default());
+/// let (pid, page) = pool.new_page().unwrap();
+/// page.write()[0] = 7; // exclusive latch, released at the end of the statement
+/// let latch = page.read(); // shared latch
+/// assert_eq!(latch[0], 7);
+/// assert_eq!(latch.len(), 64);
+/// # let _ = pid;
+/// ```
+pub struct PageReadLatch<'a> {
+    guard: RwLockReadGuard<'a, Box<[u8]>>,
+}
+
+impl std::ops::Deref for PageReadLatch<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.guard
+    }
+}
+
+/// Exclusive (X) latch on one page's bytes; see [`PageRef::write`].
+///
+/// Derefs to `[u8]` (mutably). Acquiring it has already marked the frame
+/// dirty/touched, so the WAL gate can never write back a frame whose
+/// mutation is still in flight.
+///
+/// ```
+/// use bur_storage::{BufferPool, MemDisk, PoolConfig};
+/// use std::sync::Arc;
+///
+/// let pool = BufferPool::new(Arc::new(MemDisk::new(64)), PoolConfig::default());
+/// let (_pid, page) = pool.new_page().unwrap();
+/// let mut latch = page.write();
+/// latch.fill(3);
+/// latch[1] = 9;
+/// drop(latch); // X latch released; the pin (`page`) is still held
+/// assert_eq!(page.read()[0], 3);
+/// ```
+pub struct PageWriteLatch<'a> {
+    guard: RwLockWriteGuard<'a, Box<[u8]>>,
+}
+
+impl std::ops::Deref for PageWriteLatch<'_> {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for PageWriteLatch<'_> {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.guard
     }
 }
 

@@ -665,7 +665,15 @@ impl Wal {
     /// durable watermark. Under [`SyncPolicy::Async`] this waits on the
     /// background thread; under the synchronous policies it syncs inline.
     pub fn wait_durable(&self, lsn: Lsn) -> StorageResult<Lsn> {
-        self.shared.wait_durable_inner(lsn)
+        // Push the watermark to the registered watcher before returning:
+        // the background syncer publishes `durable_lsn` (and wakes this
+        // waiter) *before* it runs the watcher callback, so without this
+        // a caller could observe durability while a flush-gating buffer
+        // pool still holds the stale watermark. The watcher is monotone
+        // (watchers take the max), so the duplicate notification is safe.
+        let watermark = self.shared.wait_durable_inner(lsn)?;
+        self.shared.notify_watcher(watermark);
+        Ok(watermark)
     }
 
     /// A clonable handle that can await the durable-LSN watermark without

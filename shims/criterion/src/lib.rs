@@ -1,0 +1,185 @@
+//! Offline shim for [criterion](https://docs.rs/criterion) 0.5.
+//!
+//! Implements exactly the API surface this workspace uses:
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion::benchmark_group`],
+//! `group.sample_size(..)` / `group.measurement_time(..)` /
+//! `group.bench_function(..)` / `group.finish()`, and the `Bencher::iter`
+//! measurement loop.
+//!
+//! Behavioural differences vs the real crate (accepted for CI purposes):
+//!
+//! * No warm-up phase, outlier analysis, or `target/criterion` reports —
+//!   each benchmark prints a single plain-text mean wall-clock line.
+//! * `--test` runs every benchmark body exactly once (smoke mode), matching
+//!   the flag `cargo bench -- --test` CI relies on.
+//! * A positional CLI argument filters benchmarks by substring match on the
+//!   `group/name` id, like the real crate's filter.
+
+use std::time::{Duration, Instant};
+
+/// Measurement driver handed to each benchmark closure.
+pub struct Bencher {
+    /// `true` when running under `--test`: execute once, skip timing.
+    smoke: bool,
+    /// Mean wall-clock per iteration from the last `iter` call.
+    mean: Option<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Run `f` repeatedly and record the mean wall-clock per call.
+    ///
+    /// In smoke mode (`--test`) the routine runs exactly once, so side
+    /// effects (allocations, I/O) are exercised without the timing loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            std::hint::black_box(f());
+            self.mean = None;
+            return;
+        }
+        // Warm-up: a few untimed calls so lazy initialisation and cache
+        // effects do not dominate the first sample.
+        for _ in 0..3 {
+            std::hint::black_box(f());
+        }
+        let mut iters: u64 = 0;
+        let budget = self.measurement_time;
+        let min_iters = self.sample_size as u64;
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            if iters >= min_iters && start.elapsed() >= budget {
+                break;
+            }
+            if iters >= 1_000_000 {
+                break;
+            }
+        }
+        let total = start.elapsed();
+        self.mean = Some(total / iters.max(1) as u32);
+    }
+}
+
+/// A named collection of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Lower bound on timed iterations per benchmark (shim: also the
+    /// minimum iteration count before the time budget is checked).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget for the measurement loop of each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Register and (unless filtered out) immediately run one benchmark.
+    pub fn bench_function<S: Into<String>, F>(&mut self, name: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, name.into());
+        if !self.criterion.matches(&id) {
+            return self;
+        }
+        let mut b = Bencher {
+            smoke: self.criterion.smoke,
+            mean: None,
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+        };
+        f(&mut b);
+        match b.mean {
+            Some(mean) => println!("{id:<40} mean {mean:>12.2?}"),
+            None => println!("{id:<40} ok (smoke)"),
+        }
+        self
+    }
+
+    /// No-op in the shim (the real crate finalises reports here).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark harness state (CLI flags + defaults).
+pub struct Criterion {
+    smoke: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut smoke = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => smoke = true,
+                // Flags cargo-bench forwards that the shim can ignore.
+                "--bench" | "--verbose" | "--quiet" | "--noplot" => {}
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { smoke, filter }
+    }
+}
+
+impl Criterion {
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Start a named benchmark group with default configuration.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_millis(400),
+        }
+    }
+
+    /// Single-function form used by simple benches.
+    pub fn bench_function<S: Into<String>, F>(&mut self, name: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(name, f);
+        self
+    }
+}
+
+/// Re-export so `criterion::black_box` keeps working like upstream.
+pub use std::hint::black_box;
+
+/// Declare a benchmark group: `criterion_group!(benches, fn_a, fn_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Benchmark group entry point generated by `criterion_group!`.
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench binary entry point: `criterion_main!(benches);`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -33,7 +33,12 @@
 //! One handle, batch-first: [`core::IndexBuilder`] builds a clonable
 //! [`core::Bur`] handle (share it across threads by cloning); writes go
 //! through mixed-op [`core::Batch`]es and queries stream through
-//! cursors.
+//! cursors. Update batches on disjoint leaves execute in parallel —
+//! per-leaf DGL granules plus per-page buffer-pool latches; the
+//! normative protocol (latch order, pin-vs-latch rules, deadlock
+//! avoidance) is `docs/ARCHITECTURE.md` in the repository, and
+//! `examples/parallel_writers.rs` demonstrates the clone-per-writer
+//! pattern.
 //!
 //! ```
 //! use bur::prelude::*;

@@ -1,0 +1,325 @@
+//! The concurrent `Bur::apply` write path under real parallelism.
+//!
+//! Three contracts from the latch-per-page rework:
+//!
+//! 1. batches on disjoint leaf granules physically overlap (the
+//!    handle's in-flight high watermark proves two batches were inside
+//!    the write path at the same moment);
+//! 2. overlapping-granule batches — several threads hammering objects
+//!    interleaved on the same leaves — still produce exactly the state
+//!    a per-object sequential oracle predicts, whether a batch ran
+//!    concurrently or escalated;
+//! 3. a crash leaves every concurrent batch all-or-nothing: one group
+//!    commit record per batch, so recovery lands each writer's object
+//!    set on a single batch boundary.
+
+use bur::prelude::*;
+use bur::storage::{FaultKind, FaultyDisk, MemDisk};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Deterministic home position for an object: a jittered grid point.
+fn home(oid: u64) -> Point {
+    Point::new(
+        (oid % 64) as f32 / 64.0 + 0.001,
+        (oid / 64) as f32 / 64.0 + 0.001,
+    )
+}
+
+/// A durable GBU handle over `n` grid objects (one batch populate).
+fn durable_grid(n: u64) -> Bur {
+    let wopts = WalOptions {
+        sync: SyncPolicy::EveryCommit,
+        checkpoint_every: 1_000_000,
+        ..WalOptions::default()
+    };
+    let opts = IndexOptions::generalized().with_durability(Durability::Wal(wopts));
+    let bur = IndexBuilder::with_options(opts).build().unwrap();
+    let mut batch = Batch::new();
+    for oid in 0..n {
+        batch.insert(oid, home(oid));
+    }
+    bur.apply(&batch).unwrap();
+    bur
+}
+
+#[test]
+fn disjoint_granule_batches_overlap_physically() {
+    const N: u64 = 4_000;
+    const THREADS: usize = 8;
+    const ROUNDS: usize = 60;
+    let bur = durable_grid(N);
+
+    // Partition the objects by the leaf that holds them, then deal the
+    // leaves round-robin to the writers: every thread's batches stay on
+    // granules no other thread touches, so nothing ever escalates or
+    // conflicts and the batches are free to overlap.
+    let mut by_leaf: HashMap<u32, Vec<u64>> = HashMap::new();
+    bur.with_index(|index| {
+        for oid in 0..N {
+            let pid = index.locate_leaf(oid).unwrap().expect("indexed");
+            by_leaf.entry(pid).or_default().push(oid);
+        }
+    });
+    let mut owned: Vec<Vec<u64>> = vec![Vec::new(); THREADS];
+    for (i, leaf) in by_leaf.into_values().enumerate() {
+        owned[i % THREADS].extend(leaf);
+    }
+
+    let mut expected: Vec<(u64, Point)> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = owned
+            .iter()
+            .map(|oids| {
+                let bur = &bur;
+                let oids = &oids[..oids.len().min(128)];
+                s.spawn(move || {
+                    let mut pos: Vec<Point> = oids.iter().map(|&o| home(o)).collect();
+                    for round in 0..ROUNDS {
+                        // A tiny zigzag: stays inside (or a hair outside)
+                        // the home leaf's MBR, so the plans are leaf-local.
+                        let dx = if round % 2 == 0 { 0.0015 } else { -0.0015 };
+                        let mut batch = Batch::new();
+                        for (i, &oid) in oids.iter().enumerate() {
+                            let new = Point::new(pos[i].x + dx, pos[i].y);
+                            batch.update(oid, pos[i], new);
+                            pos[i] = new;
+                        }
+                        bur.apply(&batch).unwrap().wait().unwrap();
+                    }
+                    oids.iter().copied().zip(pos).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            expected.extend(h.join().unwrap());
+        }
+    });
+
+    assert!(
+        bur.peak_concurrent_batches() >= 2,
+        "disjoint batches never overlapped (peak {})",
+        bur.peak_concurrent_batches()
+    );
+    assert_eq!(bur.len(), N);
+    bur.validate().unwrap();
+    assert_eq!(bur.lock_manager().locked_granules(), 0);
+    let total: u64 = expected.len() as u64 * ROUNDS as u64;
+    assert_eq!(bur.with_op_stats(|s| s.snapshot()).updates, total);
+    bur.with_index(|index| {
+        for &(oid, p) in &expected {
+            assert!(
+                index.point_query(p).unwrap().contains(&oid),
+                "object {oid} not at its final position"
+            );
+        }
+    });
+}
+
+/// Number of writer threads in the oracle proptest; object `oid` is
+/// owned by thread `oid % WRITERS`, so ownership is disjoint while the
+/// *leaves* are shared by every thread.
+const WRITERS: u64 = 3;
+const ORACLE_OBJECTS: u64 = 60 * WRITERS;
+
+fn run_oracle_case(opts: IndexOptions, moves: &[(u8, (f32, f32))]) -> Result<(), TestCaseError> {
+    let bur = IndexBuilder::with_options(opts).build().unwrap();
+    let mut batch = Batch::new();
+    for oid in 0..ORACLE_OBJECTS {
+        batch.insert(oid, home(oid));
+    }
+    bur.apply(&batch).unwrap();
+
+    // Deal each generated move to its owner thread. A move may target
+    // any owned object, repeat objects within one batch, or land far
+    // away (forcing the batch to escalate) — the adversarial mix.
+    let mut per_thread: Vec<Vec<(u64, Point)>> = vec![Vec::new(); WRITERS as usize];
+    for &(k, (x, y)) in moves {
+        let t = u64::from(k) % WRITERS;
+        let oid = (u64::from(k) % 60) * WRITERS + t;
+        per_thread[t as usize].push((oid, Point::new(x, y)));
+    }
+
+    std::thread::scope(|s| {
+        for (t, moves) in per_thread.iter().enumerate() {
+            let bur = &bur;
+            s.spawn(move || {
+                let mut pos: HashMap<u64, Point> = HashMap::new();
+                for chunk in moves.chunks(8) {
+                    let mut batch = Batch::new();
+                    for &(oid, new) in chunk {
+                        let old = pos.get(&oid).copied().unwrap_or_else(|| home(oid));
+                        batch.update(oid, old, new);
+                        pos.insert(oid, new);
+                    }
+                    let report = bur.apply(&batch).unwrap();
+                    assert_eq!(report.report().applied as usize, chunk.len(), "thread {t}");
+                }
+            });
+        }
+    });
+
+    // The oracle: each object sits exactly at its owner's last move.
+    let mut expect: Vec<Point> = (0..ORACLE_OBJECTS).map(home).collect();
+    for moves in &per_thread {
+        for &(oid, p) in moves {
+            expect[oid as usize] = p;
+        }
+    }
+    bur.validate()
+        .map_err(|e| TestCaseError::fail(format!("invariant violated: {e}")))?;
+    prop_assert_eq!(bur.len(), ORACLE_OBJECTS);
+    let world = Rect::new(-1.0, -1.0, 2.0, 2.0);
+    let mut ids: Vec<u64> = bur.query(&world).unwrap().collect();
+    ids.sort_unstable();
+    ids.dedup();
+    prop_assert_eq!(
+        ids.len() as u64,
+        ORACLE_OBJECTS,
+        "object lost or duplicated"
+    );
+    bur.with_index(|index| {
+        for (oid, p) in expect.iter().enumerate() {
+            prop_assert!(
+                index.point_query(*p).unwrap().contains(&(oid as u64)),
+                "object {} not at the oracle position {:?}",
+                oid,
+                p
+            );
+        }
+        Ok(())
+    })?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn overlapping_concurrent_applies_match_oracle_lbu(
+        moves in proptest::collection::vec(
+            (any::<u8>(), (0.0f32..1.0, 0.0f32..1.0)), 1..150),
+    ) {
+        run_oracle_case(IndexOptions::localized(), &moves)?;
+    }
+
+    #[test]
+    fn overlapping_concurrent_applies_match_oracle_gbu(
+        moves in proptest::collection::vec(
+            (any::<u8>(), (0.0f32..1.0, 0.0f32..1.0)), 1..150),
+    ) {
+        run_oracle_case(IndexOptions::generalized(), &moves)?;
+    }
+}
+
+#[test]
+fn concurrent_batches_recover_all_or_nothing() {
+    const THREADS: u64 = 4;
+    const PER_THREAD: u64 = 25;
+    const BATCHES: usize = 30;
+    let n = THREADS * PER_THREAD;
+    let wopts = WalOptions {
+        sync: SyncPolicy::EveryCommit,
+        checkpoint_every: 1_000_000,
+        ..WalOptions::default()
+    };
+    let opts = IndexOptions::generalized().with_durability(Durability::Wal(wopts));
+
+    for cut in [60u64, 200, 500] {
+        let inner = Arc::new(MemDisk::new(1024));
+        let faulty = Arc::new(FaultyDisk::new(inner.clone()));
+        let bur = IndexBuilder::with_options(opts)
+            .disk(faulty.clone())
+            .build()
+            .unwrap();
+        // Per-object position history: history[oid][b] is where batch b
+        // of the owner thread put it (b = 0 is the insert).
+        let mut history: Vec<Vec<Point>> = (0..n).map(|oid| vec![home(oid)]).collect();
+        let mut rng = StdRng::seed_from_u64(0xA110 + cut);
+        for h in history.iter_mut() {
+            for _ in 0..BATCHES {
+                let last = *h.last().unwrap();
+                h.push(Point::new(
+                    (last.x + rng.random_range(-0.03..0.03f32)).clamp(0.0, 1.0),
+                    (last.y + rng.random_range(-0.03..0.03f32)).clamp(0.0, 1.0),
+                ));
+            }
+        }
+        let mut batch = Batch::new();
+        for oid in 0..n {
+            batch.insert(oid, home(oid));
+        }
+        bur.apply(&batch).unwrap();
+        bur.checkpoint().unwrap(); // the inserts are a durable floor
+
+        // Power cut after `cut` more disk writes; each thread applies
+        // whole-ownership batches until it observes the cut. Every Ok
+        // under EveryCommit is a durable, synced group commit record.
+        faulty.inject(FaultKind::TornWrite { after_writes: cut });
+        let mut acked: Vec<usize> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    let bur = &bur;
+                    let history = &history;
+                    s.spawn(move || {
+                        let oids: Vec<u64> = (t * PER_THREAD..(t + 1) * PER_THREAD).collect();
+                        let mut ok = 0usize;
+                        for b in 1..=BATCHES {
+                            let mut batch = Batch::new();
+                            for &oid in &oids {
+                                batch.update(
+                                    oid,
+                                    history[oid as usize][b - 1],
+                                    history[oid as usize][b],
+                                );
+                            }
+                            match bur.apply(&batch) {
+                                Ok(_) => ok = b,
+                                Err(_) => break,
+                            }
+                        }
+                        ok
+                    })
+                })
+                .collect();
+            for h in handles {
+                acked.push(h.join().unwrap());
+            }
+        });
+        drop(bur); // crash
+
+        let (recovered, _report) = IndexBuilder::with_options(opts)
+            .disk(inner)
+            .recover()
+            .build_index_with_report()
+            .unwrap();
+        recovered.validate().unwrap();
+        assert_eq!(recovered.len(), n, "cut {cut}");
+        for (t, &acked_t) in acked.iter().enumerate() {
+            // All-or-nothing per batch: every object of the thread must
+            // sit on the same batch boundary — no torn batches — and the
+            // boundary may not be older than the last acknowledged batch.
+            let oids: Vec<u64> = (t as u64 * PER_THREAD..(t as u64 + 1) * PER_THREAD).collect();
+            let landed = (0..=BATCHES).rev().find(|&b| {
+                oids.iter().all(|&oid| {
+                    recovered
+                        .point_query(history[oid as usize][b])
+                        .unwrap()
+                        .contains(&oid)
+                })
+            });
+            let Some(landed) = landed else {
+                panic!("cut {cut}: thread {t} recovered to a torn batch");
+            };
+            assert!(
+                landed >= acked_t,
+                "cut {cut}: thread {t} lost acknowledged batches \
+                 (landed {landed} < acked {acked_t})"
+            );
+        }
+    }
+}
