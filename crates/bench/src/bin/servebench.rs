@@ -1,0 +1,197 @@
+//! `servebench` — loadtest `burd` over loopback and record the serving
+//! profile as a machine-readable perf artifact.
+//!
+//! ```text
+//! servebench [--batches N] [--per-batch N] [--out FILE]
+//! ```
+//!
+//! Starts an in-process `burd` (temp data directory, durable GBU
+//! index), then drives it at 1, 4 and 16 client connections, each
+//! connection applying `--batches` insert batches of `--per-batch`
+//! operations and measuring per-apply latency client-side. Writes
+//! `BENCH_serve.json`: throughput (ops/s), apply p50/p99, and the
+//! coalescing ratio (client batches per WAL group-commit round) for
+//! each connection count. The interesting shape: the coalescing ratio
+//! should *grow* with connections — more concurrent clients means more
+//! batches merged per fsync, which is exactly where the server beats N
+//! independent handles. The recorded target (`coalesce_gain_min: 2.0`)
+//! asks the 16-connection ratio to be at least twice the 1-connection
+//! ratio.
+
+use bur_client::BurClient;
+use bur_core::Batch;
+use bur_geom::Point;
+use bur_serve::{start, ServerConfig};
+use std::fmt::Write as _;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct RunResult {
+    connections: usize,
+    ops_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    coalescing_ratio: f64,
+}
+
+fn pos(oid: u64) -> Point {
+    let h = oid.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    Point::new(
+        (h % 1000) as f32 / 1000.0,
+        ((h >> 32) % 1000) as f32 / 1000.0,
+    )
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn run(connections: usize, batches: u64, per_batch: u64) -> RunResult {
+    let dir = std::env::temp_dir().join(format!(
+        "bur-servebench-{}-{connections}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = start(ServerConfig::new(&dir)).expect("server starts");
+    BurClient::connect(handle.addr())
+        .expect("connect")
+        .create_index("bench", "gbu", true)
+        .expect("create");
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..connections as u64)
+        .map(|t| {
+            let addr = handle.addr();
+            std::thread::spawn(move || {
+                let mut client = BurClient::connect(addr).expect("connect");
+                let mut latencies = Vec::with_capacity(batches as usize);
+                for b in 0..batches {
+                    let base = t * 1_000_000_000 + b * per_batch;
+                    let mut batch = Batch::new();
+                    for oid in base..base + per_batch {
+                        batch.insert(oid, pos(oid));
+                    }
+                    let t0 = Instant::now();
+                    client.apply("bench", &batch).expect("apply");
+                    latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<f64> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("worker"))
+        .collect();
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+
+    let stats = handle
+        .registry()
+        .get("bench")
+        .expect("entry")
+        .coalescer
+        .stats();
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let total_ops = connections as u64 * batches * per_batch;
+    RunResult {
+        connections,
+        ops_per_sec: total_ops as f64 / elapsed,
+        p50_us: quantile(&latencies, 0.50),
+        p99_us: quantile(&latencies, 0.99),
+        coalescing_ratio: stats.ratio(),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut batches = 200u64;
+    let mut per_batch = 32u64;
+    let mut out = String::from("BENCH_serve.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--batches" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => batches = v,
+                None => return usage(),
+            },
+            "--per-batch" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => per_batch = v,
+                None => return usage(),
+            },
+            "--out" => match args.next() {
+                Some(v) => out = v,
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    let results: Vec<RunResult> = [1usize, 4, 16]
+        .into_iter()
+        .map(|connections| {
+            let r = run(connections, batches, per_batch);
+            eprintln!(
+                "{:>2} connection(s): {:9.0} ops/s, apply p50 {:7.0} µs, p99 {:7.0} µs, \
+                 {:.2} batches/group-commit",
+                r.connections, r.ops_per_sec, r.p50_us, r.p99_us, r.coalescing_ratio
+            );
+            r
+        })
+        .collect();
+
+    let base_ratio = results[0].coalescing_ratio.max(1.0);
+    let peak_ratio = results
+        .last()
+        .map(|r| r.coalescing_ratio)
+        .unwrap_or(base_ratio);
+    let coalesce_gain = peak_ratio / base_ratio;
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"serve_loopback\",");
+    let _ = writeln!(json, "  \"batches_per_connection\": {batches},");
+    let _ = writeln!(json, "  \"ops_per_batch\": {per_batch},");
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"connections\": {}, \"ops_per_sec\": {:.0}, \"apply_p50_us\": {:.1}, \
+             \"apply_p99_us\": {:.1}, \"coalescing_ratio\": {:.3}}}{}",
+            r.connections,
+            r.ops_per_sec,
+            r.p50_us,
+            r.p99_us,
+            r.coalescing_ratio,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"coalesce_gain_16_vs_1\": {coalesce_gain:.3},");
+    let _ = writeln!(json, "  \"targets\": {{\"coalesce_gain_min\": 2.0}},");
+    let _ = writeln!(json, "  \"targets_met\": {}", coalesce_gain >= 2.0);
+    let _ = writeln!(json, "}}");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("servebench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "\ncoalescing gain 16-vs-1 connections: {coalesce_gain:.2}x (target >= 2.0x)\n\
+         written to {out}"
+    );
+    ExitCode::SUCCESS
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: servebench [--batches N] [--per-batch N] [--out FILE]");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,455 @@
+//! `bur-client` — blocking client for the `burd` server.
+//!
+//! The surface mirrors the in-process [`bur_core::Bur`] handle:
+//! batch-first writes ([`BurClient::apply`] returns a [`RemoteAck`]
+//! once the server's durable-LSN watermark covers the batch — the
+//! network analogue of `CommitTicket::wait`), streaming query
+//! iterators ([`BurClient::query`] / [`BurClient::nearest`]), and
+//! index lifecycle calls mapping one-to-one onto server opcodes.
+//! Connecting retries with exponential backoff, so a client racing a
+//! server restart (or a test racing `burd` startup) just works.
+//!
+//! ```no_run
+//! use bur_client::BurClient;
+//! use bur_core::Batch;
+//! use bur_geom::{Point, Rect};
+//!
+//! let mut client = BurClient::connect("127.0.0.1:4000")?;
+//! client.create_index("fleet", "gbu", true)?;
+//! let mut batch = Batch::new();
+//! batch.insert(1, Point::new(0.2, 0.7));
+//! let ack = client.apply("fleet", &batch)?; // durable once this returns
+//! assert!(ack.lsn > 0);
+//! let hits: Vec<u64> = client
+//!     .query("fleet", &Rect::new(0.0, 0.0, 1.0, 1.0))?
+//!     .collect::<Result<_, _>>()?;
+//! # Ok::<(), bur_client::ClientError>(())
+//! ```
+
+use bur_core::{Batch, Neighbor};
+use bur_geom::{Point, Rect};
+use bur_serve::protocol::{Request, Response, StrategyKind, WireNeighbor};
+use bur_serve::wire::{self, FrameError, WireError};
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write).
+    Io(io::Error),
+    /// The server sent bytes violating the wire protocol.
+    Wire(WireError),
+    /// The server answered with an error response; the message is the
+    /// server's verbatim diagnosis.
+    Server(String),
+    /// The server answered with a well-formed but unexpected response
+    /// (wrong opcode for the request, wrong request id).
+    Protocol(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Wire(e) => write!(f, "wire: {e}"),
+            ClientError::Server(msg) => write!(f, "server: {msg}"),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            ClientError::Wire(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(e) => ClientError::Io(e),
+            FrameError::Wire(e) => ClientError::Wire(e),
+        }
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// Result alias for client operations.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// Connection-retry knobs for [`BurClient::connect_with`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Connection attempts before giving up.
+    pub connect_attempts: u32,
+    /// Delay after the first failed attempt; doubles per retry.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_attempts: 10,
+            initial_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Durable acknowledgement for one [`BurClient::apply`] — the network
+/// analogue of waiting on a `CommitTicket`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteAck {
+    /// LSN of the WAL group-commit record covering the batch (0 on a
+    /// non-durable index).
+    pub lsn: u64,
+    /// Operations applied for this client.
+    pub applied: u64,
+    /// Client submissions the server merged into the same group commit
+    /// (including this one); values above 1 mean coalescing happened.
+    pub merged: u64,
+}
+
+/// A blocking connection to one `burd` server.
+#[derive(Debug)]
+pub struct BurClient {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl BurClient {
+    /// Connect with default retry/backoff ([`ClientConfig::default`]).
+    pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Self> {
+        Self::connect_with(addr, &ClientConfig::default())
+    }
+
+    /// Connect, retrying with exponential backoff on refusal (a server
+    /// mid-restart is briefly unreachable; give it time to come back).
+    pub fn connect_with(addr: impl ToSocketAddrs, config: &ClientConfig) -> ClientResult<Self> {
+        let mut backoff = config.initial_backoff;
+        let mut last_err: Option<io::Error> = None;
+        for attempt in 0..config.connect_attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(config.max_backoff);
+            }
+            match TcpStream::connect(&addr) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    return Ok(BurClient { stream, next_id: 1 });
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(ClientError::Io(last_err.unwrap_or_else(|| {
+            io::Error::new(io::ErrorKind::AddrNotAvailable, "no address to connect to")
+        })))
+    }
+
+    fn send(&mut self, req: &Request) -> ClientResult<u64> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut out = Vec::with_capacity(64);
+        wire::write_frame(&mut out, id, req.opcode(), &req.encode_payload());
+        self.stream.write_all(&out)?;
+        Ok(id)
+    }
+
+    fn recv(&mut self, id: u64) -> ClientResult<Response> {
+        let frame = wire::read_frame(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))
+        })?;
+        if frame.request_id != id {
+            return Err(ClientError::Protocol(format!(
+                "response for request {} while waiting on {}",
+                frame.request_id, id
+            )));
+        }
+        Ok(Response::decode(frame.opcode, &frame.payload)?)
+    }
+
+    /// One request, one response frame.
+    fn round_trip(&mut self, req: &Request) -> ClientResult<Response> {
+        let id = self.send(req)?;
+        self.recv(id)
+    }
+
+    fn expect_ok(&mut self, req: &Request) -> ClientResult<()> {
+        match self.round_trip(req)? {
+            Response::Ok => Ok(()),
+            Response::Err { message } => Err(ClientError::Server(message)),
+            other => Err(unexpected("Ok", &other)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        match self.round_trip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Err { message } => Err(ClientError::Server(message)),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Create a named index on the server. `strategy` is the CLI-style
+    /// short name (`td` / `lbu` / `gbu`).
+    pub fn create_index(&mut self, name: &str, strategy: &str, durable: bool) -> ClientResult<()> {
+        let strategy = StrategyKind::parse(strategy).ok_or_else(|| {
+            ClientError::Protocol(format!("unknown strategy {strategy:?} (td, lbu, gbu)"))
+        })?;
+        self.expect_ok(&Request::Create {
+            name: name.to_string(),
+            strategy,
+            durable,
+        })
+    }
+
+    /// Open a named index (idempotent).
+    pub fn open_index(&mut self, name: &str) -> ClientResult<()> {
+        self.expect_ok(&Request::Open {
+            name: name.to_string(),
+        })
+    }
+
+    /// Close a named index: the server drains its coalescer, flushes
+    /// and checkpoints before acknowledging.
+    pub fn close_index(&mut self, name: &str) -> ClientResult<()> {
+        self.expect_ok(&Request::Close {
+            name: name.to_string(),
+        })
+    }
+
+    /// Indexes the server knows about, as `(name, open)` pairs.
+    pub fn list_indexes(&mut self) -> ClientResult<Vec<(String, bool)>> {
+        match self.round_trip(&Request::List)? {
+            Response::Names { names } => Ok(names),
+            Response::Err { message } => Err(ClientError::Server(message)),
+            other => Err(unexpected("Names", &other)),
+        }
+    }
+
+    /// Apply a batch. Blocks until the server acks it durable; the
+    /// server is free to coalesce it with concurrent clients' batches
+    /// into one WAL group commit ([`RemoteAck::merged`] reports how
+    /// many shared the round).
+    pub fn apply(&mut self, index: &str, batch: &Batch) -> ClientResult<RemoteAck> {
+        match self.round_trip(&Request::Apply {
+            index: index.to_string(),
+            ops: batch.ops().to_vec(),
+        })? {
+            Response::Ack {
+                lsn,
+                applied,
+                merged,
+            } => Ok(RemoteAck {
+                lsn,
+                applied,
+                merged,
+            }),
+            Response::Err { message } => Err(ClientError::Server(message)),
+            other => Err(unexpected("Ack", &other)),
+        }
+    }
+
+    /// Window query; results stream back in chunks, surfaced as a
+    /// borrowing iterator (drop it early and it drains the stream to
+    /// keep the connection usable).
+    pub fn query(&mut self, index: &str, window: &Rect) -> ClientResult<IdStream<'_>> {
+        let id = self.send(&Request::Query {
+            index: index.to_string(),
+            window: *window,
+        })?;
+        Ok(IdStream {
+            client: self,
+            id,
+            buf: Vec::new(),
+            pos: 0,
+            done: false,
+        })
+    }
+
+    /// k-nearest-neighbor query, closest first, streamed like
+    /// [`BurClient::query`].
+    pub fn nearest(
+        &mut self,
+        index: &str,
+        point: Point,
+        k: usize,
+    ) -> ClientResult<NeighborStream<'_>> {
+        let id = self.send(&Request::Knn {
+            index: index.to_string(),
+            point,
+            k: k as u32,
+        })?;
+        Ok(NeighborStream {
+            client: self,
+            id,
+            buf: Vec::new(),
+            pos: 0,
+            done: false,
+        })
+    }
+
+    /// Number of objects in the named index.
+    pub fn len(&mut self, index: &str) -> ClientResult<u64> {
+        match self.round_trip(&Request::Len {
+            index: index.to_string(),
+        })? {
+            Response::Count { value } => Ok(value),
+            Response::Err { message } => Err(ClientError::Server(message)),
+            other => Err(unexpected("Count", &other)),
+        }
+    }
+
+    /// Per-index gauge dump (plaintext `name{index="..."} value` lines).
+    pub fn stats(&mut self, index: &str) -> ClientResult<String> {
+        self.text(&Request::Stats {
+            index: index.to_string(),
+        })
+    }
+
+    /// Server-wide metrics dump (plaintext).
+    pub fn metrics(&mut self) -> ClientResult<String> {
+        self.text(&Request::Metrics)
+    }
+
+    fn text(&mut self, req: &Request) -> ClientResult<String> {
+        match self.round_trip(req)? {
+            Response::Text { text } => Ok(text),
+            Response::Err { message } => Err(ClientError::Server(message)),
+            other => Err(unexpected("Text", &other)),
+        }
+    }
+
+    /// Ask the server to shut down gracefully (drain writes, flush,
+    /// checkpoint). The acknowledgement arrives before the listener
+    /// closes.
+    pub fn shutdown_server(&mut self) -> ClientResult<()> {
+        self.expect_ok(&Request::Shutdown)
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> ClientError {
+    ClientError::Protocol(format!("expected {wanted}, got {got:?}"))
+}
+
+macro_rules! chunk_stream {
+    ($(#[$doc:meta])* $name:ident, $item:ty, $variant:ident, $field:ident, $map:expr) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name<'a> {
+            client: &'a mut BurClient,
+            id: u64,
+            buf: Vec<$item>,
+            pos: usize,
+            done: bool,
+        }
+
+        impl $name<'_> {
+            fn refill(&mut self) -> ClientResult<()> {
+                match self.client.recv(self.id)? {
+                    Response::$variant { $field, last } => {
+                        self.buf = $field.into_iter().map($map).collect();
+                        self.pos = 0;
+                        self.done = last;
+                        Ok(())
+                    }
+                    Response::Err { message } => {
+                        self.done = true;
+                        Err(ClientError::Server(message))
+                    }
+                    other => {
+                        self.done = true;
+                        Err(unexpected(stringify!($variant), &other))
+                    }
+                }
+            }
+
+            /// Drain the remainder into a vector.
+            pub fn collect_all(mut self) -> ClientResult<Vec<$item>> {
+                let mut out = Vec::new();
+                for item in &mut self {
+                    out.push(item?);
+                }
+                Ok(out)
+            }
+        }
+
+        impl Iterator for $name<'_> {
+            type Item = ClientResult<$item>;
+
+            fn next(&mut self) -> Option<Self::Item> {
+                loop {
+                    if self.pos < self.buf.len() {
+                        let item = self.buf[self.pos];
+                        self.pos += 1;
+                        return Some(Ok(item));
+                    }
+                    if self.done {
+                        return None;
+                    }
+                    if let Err(e) = self.refill() {
+                        return Some(Err(e));
+                    }
+                }
+            }
+        }
+
+        impl Drop for $name<'_> {
+            /// Drain unread chunk frames so the connection stays framed
+            /// for the next request.
+            fn drop(&mut self) {
+                while !self.done {
+                    if self.refill().is_err() {
+                        break;
+                    }
+                }
+            }
+        }
+    };
+}
+
+chunk_stream!(
+    /// Streaming window-query results (the network analogue of
+    /// `QueryCursor`).
+    IdStream,
+    u64,
+    IdChunk,
+    ids,
+    |id| id
+);
+
+chunk_stream!(
+    /// Streaming kNN results, closest first (the network analogue of
+    /// `NeighborCursor`).
+    NeighborStream,
+    Neighbor,
+    NeighborChunk,
+    neighbors,
+    |n: WireNeighbor| Neighbor {
+        oid: n.oid,
+        distance: n.distance,
+    }
+);

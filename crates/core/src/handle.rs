@@ -835,6 +835,15 @@ impl Bur {
         self.shared.inner.read().wal_stats()
     }
 
+    /// The durable-watermark waiter, when the index is durable. Lets a
+    /// coalescing layer (e.g. the `burd` write coalescer) acknowledge
+    /// individual submissions against the shared watermark without
+    /// holding a [`CommitTicket`] per submission.
+    #[must_use]
+    pub fn wal_waiter(&self) -> Option<WalWaiter> {
+        self.shared.waiter.lock().clone()
+    }
+
     // ---- concurrency controls --------------------------------------------
 
     /// Set how many executor threads one concurrent [`Bur::apply`] may

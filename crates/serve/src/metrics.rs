@@ -1,0 +1,220 @@
+//! Dependency-free server observability: per-opcode latency histograms
+//! and connection/coalescer counters, rendered as a plaintext dump for
+//! the `metrics` opcode.
+
+use crate::protocol::opcode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two latency buckets (bucket `i` covers
+/// `[2^i, 2^(i+1))` nanoseconds; the last bucket is open-ended).
+const BUCKETS: usize = 40;
+
+/// A fixed log-bucket latency histogram. Lock-free: one atomic per
+/// bucket plus count/sum, so the request hot path pays two or three
+/// relaxed increments.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one observation.
+    pub fn record(&self, elapsed: Duration) {
+        let nanos = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let bucket = (63u32.saturating_sub(nanos.max(1).leading_zeros()) as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    #[must_use]
+    pub fn mean_nanos(&self) -> u64 {
+        self.sum_nanos
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Approximate quantile (`q` in `0.0..=1.0`) in nanoseconds: the
+    /// upper bound of the bucket containing the `q`-th observation.
+    /// Resolution is a factor of two — adequate for spotting order-of-
+    /// magnitude shifts, which is all a log-bucket histogram promises.
+    #[must_use]
+    pub fn quantile_nanos(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return upper_bound_nanos(i);
+            }
+        }
+        upper_bound_nanos(BUCKETS - 1)
+    }
+}
+
+fn upper_bound_nanos(bucket: usize) -> u64 {
+    1u64 << (bucket as u32 + 1).min(63)
+}
+
+/// Request opcodes that get their own histogram, with stable labels.
+const TRACKED: &[(u8, &str)] = &[
+    (opcode::PING, "ping"),
+    (opcode::CREATE, "create"),
+    (opcode::OPEN, "open"),
+    (opcode::CLOSE, "close"),
+    (opcode::LIST, "list"),
+    (opcode::APPLY, "apply"),
+    (opcode::QUERY, "query"),
+    (opcode::KNN, "knn"),
+    (opcode::LEN, "len"),
+    (opcode::STATS, "stats"),
+    (opcode::METRICS, "metrics"),
+    (opcode::SHUTDOWN, "shutdown"),
+];
+
+/// Server-wide counters and per-opcode latency histograms.
+#[derive(Debug, Default)]
+pub struct ServerMetrics {
+    histograms: [LatencyHistogram; TRACKED.len()],
+    /// Connections accepted into the pool.
+    pub connections_accepted: AtomicU64,
+    /// Connections refused because the pool was at capacity.
+    pub connections_refused: AtomicU64,
+    /// Currently live connection threads.
+    pub connections_active: AtomicU64,
+    /// Frames that failed to parse (framing or payload level).
+    pub malformed_frames: AtomicU64,
+    /// Requests answered with an error response.
+    pub request_errors: AtomicU64,
+}
+
+impl ServerMetrics {
+    /// Record one served request of the given opcode.
+    pub fn record(&self, op: u8, elapsed: Duration) {
+        if let Some(i) = TRACKED.iter().position(|&(code, _)| code == op) {
+            self.histograms[i].record(elapsed);
+        }
+    }
+
+    /// The histogram for an opcode, if tracked.
+    #[must_use]
+    pub fn histogram(&self, op: u8) -> Option<&LatencyHistogram> {
+        TRACKED
+            .iter()
+            .position(|&(code, _)| code == op)
+            .map(|i| &self.histograms[i])
+    }
+
+    /// Render the plaintext metrics dump served by the `metrics` opcode:
+    /// one `name{label} value` line per gauge, flat and grep-friendly.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        let gauge = |out: &mut String, name: &str, v: u64| {
+            out.push_str(&format!("burd_{name} {v}\n"));
+        };
+        gauge(
+            &mut out,
+            "connections_accepted",
+            self.connections_accepted.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "connections_refused",
+            self.connections_refused.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "connections_active",
+            self.connections_active.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "malformed_frames",
+            self.malformed_frames.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "request_errors",
+            self.request_errors.load(Ordering::Relaxed),
+        );
+        for (i, &(_, label)) in TRACKED.iter().enumerate() {
+            let h = &self.histograms[i];
+            let n = h.count();
+            if n == 0 {
+                continue;
+            }
+            out.push_str(&format!("burd_requests_total{{op=\"{label}\"}} {n}\n"));
+            out.push_str(&format!(
+                "burd_latency_mean_ns{{op=\"{label}\"}} {}\n",
+                h.mean_nanos()
+            ));
+            out.push_str(&format!(
+                "burd_latency_p50_ns{{op=\"{label}\"}} {}\n",
+                h.quantile_nanos(0.50)
+            ));
+            out.push_str(&format!(
+                "burd_latency_p99_ns{{op=\"{label}\"}} {}\n",
+                h.quantile_nanos(0.99)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_nanos(0.5), 0);
+        for micros in [1u64, 1, 1, 1, 1, 1, 1, 1, 1, 1000] {
+            h.record(Duration::from_micros(micros));
+        }
+        assert_eq!(h.count(), 10);
+        // p50 lands in the ~1µs bucket, p99 in the ~1ms bucket.
+        let p50 = h.quantile_nanos(0.50);
+        let p99 = h.quantile_nanos(0.99);
+        assert!((1_000..=4_096).contains(&p50), "p50 = {p50}");
+        assert!((1_000_000..=4_194_304).contains(&p99), "p99 = {p99}");
+        assert!(h.mean_nanos() >= 100_000);
+    }
+
+    #[test]
+    fn render_includes_tracked_opcodes() {
+        let m = ServerMetrics::default();
+        m.record(opcode::APPLY, Duration::from_micros(30));
+        m.connections_accepted.fetch_add(2, Ordering::Relaxed);
+        let text = m.render();
+        assert!(text.contains("burd_connections_accepted 2"));
+        assert!(text.contains("burd_requests_total{op=\"apply\"} 1"));
+        assert!(!text.contains("op=\"knn\""), "untouched ops are omitted");
+    }
+}

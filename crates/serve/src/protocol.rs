@@ -1,0 +1,788 @@
+//! The request/response vocabulary spoken over [`crate::wire`] frames.
+//!
+//! Requests flow client → server, responses server → client; every
+//! response frame echoes the request's id. Most requests get exactly one
+//! response frame; `Query` and `Knn` stream — the server sends zero or
+//! more chunk frames with `last == false` and terminates the stream with
+//! one `last == true` chunk (possibly empty). The normative frame
+//! layout, the opcode table and the ack semantics are documented in
+//! `docs/ARCHITECTURE.md` ("Wire protocol").
+
+use crate::wire::{put, Reader, WireError};
+use bur_core::Op;
+use bur_geom::{Point, Rect};
+
+/// Request opcodes (client → server).
+pub mod opcode {
+    /// Liveness probe.
+    pub const PING: u8 = 0x01;
+    /// Create a named index.
+    pub const CREATE: u8 = 0x02;
+    /// Open a named index from the server's data directory.
+    pub const OPEN: u8 = 0x03;
+    /// Close a named index (drain, flush, checkpoint).
+    pub const CLOSE: u8 = 0x04;
+    /// List indexes (open and on disk).
+    pub const LIST: u8 = 0x05;
+    /// Apply a write batch (coalesced server-side).
+    pub const APPLY: u8 = 0x10;
+    /// Window query (streamed response).
+    pub const QUERY: u8 = 0x11;
+    /// k-nearest-neighbor query (streamed response).
+    pub const KNN: u8 = 0x12;
+    /// Number of indexed objects.
+    pub const LEN: u8 = 0x13;
+    /// Per-index gauge dump.
+    pub const STATS: u8 = 0x20;
+    /// Server-wide plaintext metrics dump.
+    pub const METRICS: u8 = 0x21;
+    /// Graceful server shutdown.
+    pub const SHUTDOWN: u8 = 0x2f;
+
+    // ---- responses (server → client) -----------------------------------
+
+    /// Success, no payload.
+    pub const OK: u8 = 0x80;
+    /// Failure, message payload.
+    pub const ERR: u8 = 0x81;
+    /// Ping reply.
+    pub const PONG: u8 = 0x82;
+    /// Name list.
+    pub const NAMES: u8 = 0x83;
+    /// Durable write acknowledgement.
+    pub const ACK: u8 = 0x84;
+    /// Window-query result chunk.
+    pub const ID_CHUNK: u8 = 0x85;
+    /// kNN result chunk.
+    pub const NEIGHBOR_CHUNK: u8 = 0x86;
+    /// A single counter.
+    pub const COUNT: u8 = 0x87;
+    /// Plaintext payload (stats / metrics dumps).
+    pub const TEXT: u8 = 0x88;
+}
+
+/// Update strategy selector carried by `Create` (paper defaults on the
+/// server side; the wire carries only the family).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrategyKind {
+    /// Classic top-down delete + insert.
+    TopDown,
+    /// Localized bottom-up (Algorithm 1).
+    Localized,
+    /// Generalized bottom-up (Algorithm 2, the default).
+    Generalized,
+}
+
+impl StrategyKind {
+    /// Stable wire tag.
+    #[must_use]
+    pub fn to_wire(self) -> u8 {
+        match self {
+            StrategyKind::TopDown => 0,
+            StrategyKind::Localized => 1,
+            StrategyKind::Generalized => 2,
+        }
+    }
+
+    /// Decode a wire tag.
+    pub fn from_wire(tag: u8) -> Result<Self, WireError> {
+        match tag {
+            0 => Ok(StrategyKind::TopDown),
+            1 => Ok(StrategyKind::Localized),
+            2 => Ok(StrategyKind::Generalized),
+            other => Err(WireError::BadPayload(format!(
+                "unknown strategy tag {other}"
+            ))),
+        }
+    }
+
+    /// CLI-style short name (`td` / `lbu` / `gbu`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::TopDown => "td",
+            StrategyKind::Localized => "lbu",
+            StrategyKind::Generalized => "gbu",
+        }
+    }
+
+    /// Parse a CLI-style short name.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "td" => Some(StrategyKind::TopDown),
+            "lbu" => Some(StrategyKind::Localized),
+            "gbu" => Some(StrategyKind::Generalized),
+            _ => None,
+        }
+    }
+}
+
+/// One client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+    /// Create the named index in the server's data directory.
+    Create {
+        /// Registry name (also the file stem on disk).
+        name: String,
+        /// Update strategy family.
+        strategy: StrategyKind,
+        /// Write-ahead-logged durability (required for durable acks).
+        durable: bool,
+    },
+    /// Open the named index (a no-op if it is already open).
+    Open {
+        /// Registry name.
+        name: String,
+    },
+    /// Close the named index: drain its coalescer, flush the log,
+    /// checkpoint, drop the handle.
+    Close {
+        /// Registry name.
+        name: String,
+    },
+    /// List indexes; answered with [`Response::Names`].
+    List,
+    /// Apply a write batch to the named index. Concurrent `Apply`
+    /// requests are coalesced into shared group commits server-side;
+    /// the [`Response::Ack`] arrives only once the submitting client's
+    /// operations are covered by the durable-LSN watermark.
+    Apply {
+        /// Registry name.
+        index: String,
+        /// The operations, in application order.
+        ops: Vec<Op>,
+    },
+    /// Window query; answered with a stream of [`Response::IdChunk`]s.
+    Query {
+        /// Registry name.
+        index: String,
+        /// Query window.
+        window: Rect,
+    },
+    /// k-nearest-neighbor query; answered with a stream of
+    /// [`Response::NeighborChunk`]s.
+    Knn {
+        /// Registry name.
+        index: String,
+        /// Query point.
+        point: Point,
+        /// Number of neighbors.
+        k: u32,
+    },
+    /// Number of indexed objects; answered with [`Response::Count`].
+    Len {
+        /// Registry name.
+        index: String,
+    },
+    /// Per-index gauges; answered with [`Response::Text`].
+    Stats {
+        /// Registry name.
+        index: String,
+    },
+    /// Server-wide metrics dump; answered with [`Response::Text`].
+    Metrics,
+    /// Ask the server to shut down gracefully (drain coalescers, flush
+    /// logs, checkpoint). Answered with [`Response::Ok`] before the
+    /// listener closes.
+    Shutdown,
+}
+
+/// One neighbor in a [`Response::NeighborChunk`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireNeighbor {
+    /// Object id.
+    pub oid: u64,
+    /// Euclidean distance from the query point.
+    pub distance: f32,
+}
+
+/// One server response frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Success without payload.
+    Ok,
+    /// Failure; the request had no effect unless the message says
+    /// otherwise (partial batch failures name the failing operation).
+    Err {
+        /// Human-readable cause.
+        message: String,
+    },
+    /// Ping reply.
+    Pong,
+    /// Index names: `(name, currently_open)` pairs.
+    Names {
+        /// Registry content, sorted by name.
+        names: Vec<(String, bool)>,
+    },
+    /// Durable write acknowledgement: the submitting client's operations
+    /// are applied and covered by the log's durable-LSN watermark.
+    Ack {
+        /// LSN of the covering group commit record.
+        lsn: u64,
+        /// Operations applied for *this* client.
+        applied: u64,
+        /// Client submissions merged into the same group commit round
+        /// (including this one) — the coalescing observability signal.
+        merged: u64,
+    },
+    /// Window-query ids; `last == true` terminates the stream.
+    IdChunk {
+        /// Result ids (ascending within the full stream's ordering).
+        ids: Vec<u64>,
+        /// Whether this is the final chunk.
+        last: bool,
+    },
+    /// kNN results, closest first; `last == true` terminates the stream.
+    NeighborChunk {
+        /// Result neighbors.
+        neighbors: Vec<WireNeighbor>,
+        /// Whether this is the final chunk.
+        last: bool,
+    },
+    /// A single counter.
+    Count {
+        /// The value.
+        value: u64,
+    },
+    /// Plaintext dump (stats / metrics).
+    Text {
+        /// The dump.
+        text: String,
+    },
+}
+
+// ---- op codec --------------------------------------------------------------
+
+const OP_INSERT: u8 = 0;
+const OP_UPDATE: u8 = 1;
+const OP_DELETE: u8 = 2;
+
+fn put_op(out: &mut Vec<u8>, op: &Op) {
+    match *op {
+        Op::Insert { oid, rect } => {
+            put::u8(out, OP_INSERT);
+            put::u64(out, oid);
+            put_rect(out, &rect);
+        }
+        Op::Update { oid, old, new } => {
+            put::u8(out, OP_UPDATE);
+            put::u64(out, oid);
+            put_point(out, &old);
+            put_point(out, &new);
+        }
+        Op::Delete { oid, position } => {
+            put::u8(out, OP_DELETE);
+            put::u64(out, oid);
+            put_point(out, &position);
+        }
+    }
+}
+
+fn get_op(r: &mut Reader<'_>) -> Result<Op, WireError> {
+    let tag = r.u8("op tag")?;
+    let oid = r.u64("op oid")?;
+    match tag {
+        OP_INSERT => Ok(Op::Insert {
+            oid,
+            rect: get_rect(r)?,
+        }),
+        OP_UPDATE => Ok(Op::Update {
+            oid,
+            old: get_point(r)?,
+            new: get_point(r)?,
+        }),
+        OP_DELETE => Ok(Op::Delete {
+            oid,
+            position: get_point(r)?,
+        }),
+        other => Err(WireError::BadPayload(format!("unknown op tag {other}"))),
+    }
+}
+
+fn put_point(out: &mut Vec<u8>, p: &Point) {
+    put::f32(out, p.x);
+    put::f32(out, p.y);
+}
+
+fn get_point(r: &mut Reader<'_>) -> Result<Point, WireError> {
+    Ok(Point::new(r.f32("point x")?, r.f32("point y")?))
+}
+
+fn put_rect(out: &mut Vec<u8>, rect: &Rect) {
+    put::f32(out, rect.min_x);
+    put::f32(out, rect.min_y);
+    put::f32(out, rect.max_x);
+    put::f32(out, rect.max_y);
+}
+
+fn get_rect(r: &mut Reader<'_>) -> Result<Rect, WireError> {
+    Ok(Rect::new(
+        r.f32("rect min_x")?,
+        r.f32("rect min_y")?,
+        r.f32("rect max_x")?,
+        r.f32("rect max_y")?,
+    ))
+}
+
+// ---- request codec ---------------------------------------------------------
+
+impl Request {
+    /// The request's wire opcode.
+    #[must_use]
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Request::Ping => opcode::PING,
+            Request::Create { .. } => opcode::CREATE,
+            Request::Open { .. } => opcode::OPEN,
+            Request::Close { .. } => opcode::CLOSE,
+            Request::List => opcode::LIST,
+            Request::Apply { .. } => opcode::APPLY,
+            Request::Query { .. } => opcode::QUERY,
+            Request::Knn { .. } => opcode::KNN,
+            Request::Len { .. } => opcode::LEN,
+            Request::Stats { .. } => opcode::STATS,
+            Request::Metrics => opcode::METRICS,
+            Request::Shutdown => opcode::SHUTDOWN,
+        }
+    }
+
+    /// Encode the payload (frame envelope excluded).
+    #[must_use]
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Ping | Request::List | Request::Metrics | Request::Shutdown => {}
+            Request::Create {
+                name,
+                strategy,
+                durable,
+            } => {
+                put::str(&mut out, name);
+                put::u8(&mut out, strategy.to_wire());
+                put::u8(&mut out, u8::from(*durable));
+            }
+            Request::Open { name } | Request::Close { name } => put::str(&mut out, name),
+            Request::Apply { index, ops } => {
+                put::str(&mut out, index);
+                put::u32(&mut out, ops.len() as u32);
+                for op in ops {
+                    put_op(&mut out, op);
+                }
+            }
+            Request::Query { index, window } => {
+                put::str(&mut out, index);
+                put_rect(&mut out, window);
+            }
+            Request::Knn { index, point, k } => {
+                put::str(&mut out, index);
+                put_point(&mut out, point);
+                put::u32(&mut out, *k);
+            }
+            Request::Len { index } | Request::Stats { index } => put::str(&mut out, index),
+        }
+        out
+    }
+
+    /// Decode a request from its opcode + payload.
+    pub fn decode(op: u8, payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let req = match op {
+            opcode::PING => Request::Ping,
+            opcode::CREATE => Request::Create {
+                name: r.str("index name")?,
+                strategy: StrategyKind::from_wire(r.u8("strategy")?)?,
+                durable: r.u8("durable flag")? != 0,
+            },
+            opcode::OPEN => Request::Open {
+                name: r.str("index name")?,
+            },
+            opcode::CLOSE => Request::Close {
+                name: r.str("index name")?,
+            },
+            opcode::LIST => Request::List,
+            opcode::APPLY => {
+                let index = r.str("index name")?;
+                let n = r.u32("op count")? as usize;
+                // The frame ceiling already bounds `n`; this guards a
+                // length field inconsistent with the payload size.
+                if n > r.remaining() {
+                    return Err(WireError::BadPayload(format!(
+                        "op count {n} exceeds payload size"
+                    )));
+                }
+                let mut ops = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ops.push(get_op(&mut r)?);
+                }
+                Request::Apply { index, ops }
+            }
+            opcode::QUERY => Request::Query {
+                index: r.str("index name")?,
+                window: get_rect(&mut r)?,
+            },
+            opcode::KNN => Request::Knn {
+                index: r.str("index name")?,
+                point: get_point(&mut r)?,
+                k: r.u32("k")?,
+            },
+            opcode::LEN => Request::Len {
+                index: r.str("index name")?,
+            },
+            opcode::STATS => Request::Stats {
+                index: r.str("index name")?,
+            },
+            opcode::METRICS => Request::Metrics,
+            opcode::SHUTDOWN => Request::Shutdown,
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        r.finish()?;
+        Ok(req)
+    }
+}
+
+// ---- response codec --------------------------------------------------------
+
+impl Response {
+    /// The response's wire opcode.
+    #[must_use]
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Response::Ok => opcode::OK,
+            Response::Err { .. } => opcode::ERR,
+            Response::Pong => opcode::PONG,
+            Response::Names { .. } => opcode::NAMES,
+            Response::Ack { .. } => opcode::ACK,
+            Response::IdChunk { .. } => opcode::ID_CHUNK,
+            Response::NeighborChunk { .. } => opcode::NEIGHBOR_CHUNK,
+            Response::Count { .. } => opcode::COUNT,
+            Response::Text { .. } => opcode::TEXT,
+        }
+    }
+
+    /// Encode the payload (frame envelope excluded).
+    #[must_use]
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Ok | Response::Pong => {}
+            Response::Err { message } => put::str(&mut out, message),
+            Response::Names { names } => {
+                put::u32(&mut out, names.len() as u32);
+                for (name, open) in names {
+                    put::str(&mut out, name);
+                    put::u8(&mut out, u8::from(*open));
+                }
+            }
+            Response::Ack {
+                lsn,
+                applied,
+                merged,
+            } => {
+                put::u64(&mut out, *lsn);
+                put::u64(&mut out, *applied);
+                put::u64(&mut out, *merged);
+            }
+            Response::IdChunk { ids, last } => {
+                put::u8(&mut out, u8::from(*last));
+                put::u32(&mut out, ids.len() as u32);
+                for id in ids {
+                    put::u64(&mut out, *id);
+                }
+            }
+            Response::NeighborChunk { neighbors, last } => {
+                put::u8(&mut out, u8::from(*last));
+                put::u32(&mut out, neighbors.len() as u32);
+                for n in neighbors {
+                    put::u64(&mut out, n.oid);
+                    put::f32(&mut out, n.distance);
+                }
+            }
+            Response::Count { value } => put::u64(&mut out, *value),
+            Response::Text { text } => {
+                // Texts can exceed the u16 string limit; length-prefix
+                // with u32 instead.
+                let bytes = text.as_bytes();
+                put::u32(&mut out, bytes.len() as u32);
+                out.extend_from_slice(bytes);
+            }
+        }
+        out
+    }
+
+    /// Decode a response from its opcode + payload.
+    pub fn decode(op: u8, payload: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(payload);
+        let resp = match op {
+            opcode::OK => Response::Ok,
+            opcode::ERR => Response::Err {
+                message: r.str("error message")?,
+            },
+            opcode::PONG => Response::Pong,
+            opcode::NAMES => {
+                let n = r.u32("name count")? as usize;
+                if n > r.remaining() {
+                    return Err(WireError::BadPayload(format!(
+                        "name count {n} exceeds payload size"
+                    )));
+                }
+                let mut names = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = r.str("name")?;
+                    let open = r.u8("open flag")? != 0;
+                    names.push((name, open));
+                }
+                Response::Names { names }
+            }
+            opcode::ACK => Response::Ack {
+                lsn: r.u64("lsn")?,
+                applied: r.u64("applied")?,
+                merged: r.u64("merged")?,
+            },
+            opcode::ID_CHUNK => {
+                let last = r.u8("last flag")? != 0;
+                let n = r.u32("id count")? as usize;
+                if n.saturating_mul(8) > r.remaining() {
+                    return Err(WireError::BadPayload(format!(
+                        "id count {n} exceeds payload size"
+                    )));
+                }
+                let mut ids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ids.push(r.u64("id")?);
+                }
+                Response::IdChunk { ids, last }
+            }
+            opcode::NEIGHBOR_CHUNK => {
+                let last = r.u8("last flag")? != 0;
+                let n = r.u32("neighbor count")? as usize;
+                if n.saturating_mul(12) > r.remaining() {
+                    return Err(WireError::BadPayload(format!(
+                        "neighbor count {n} exceeds payload size"
+                    )));
+                }
+                let mut neighbors = Vec::with_capacity(n);
+                for _ in 0..n {
+                    neighbors.push(WireNeighbor {
+                        oid: r.u64("neighbor oid")?,
+                        distance: r.f32("neighbor distance")?,
+                    });
+                }
+                Response::NeighborChunk { neighbors, last }
+            }
+            opcode::COUNT => Response::Count {
+                value: r.u64("count")?,
+            },
+            opcode::TEXT => {
+                let n = r.u32("text length")? as usize;
+                if n > r.remaining() {
+                    return Err(WireError::BadPayload(format!(
+                        "text length {n} exceeds payload size"
+                    )));
+                }
+                let mut bytes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    bytes.push(r.u8("text byte")?);
+                }
+                Response::Text {
+                    text: String::from_utf8(bytes)
+                        .map_err(|_| WireError::BadPayload("text: invalid UTF-8".into()))?,
+                }
+            }
+            other => return Err(WireError::UnknownOpcode(other)),
+        };
+        r.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip_request(req: &Request) {
+        let payload = req.encode_payload();
+        let back = Request::decode(req.opcode(), &payload).expect("request decodes");
+        assert_eq!(*req, back);
+    }
+
+    fn roundtrip_response(resp: &Response) {
+        let payload = resp.encode_payload();
+        let back = Response::decode(resp.opcode(), &payload).expect("response decodes");
+        assert_eq!(*resp, back);
+    }
+
+    #[test]
+    fn fixed_request_roundtrips() {
+        for req in [
+            Request::Ping,
+            Request::List,
+            Request::Metrics,
+            Request::Shutdown,
+            Request::Create {
+                name: "fleet".into(),
+                strategy: StrategyKind::Generalized,
+                durable: true,
+            },
+            Request::Open { name: "a".into() },
+            Request::Close { name: "a".into() },
+            Request::Len { index: "a".into() },
+            Request::Stats { index: "a".into() },
+            Request::Query {
+                index: "a".into(),
+                window: Rect::new(0.0, 0.1, 0.5, 0.9),
+            },
+            Request::Knn {
+                index: "a".into(),
+                point: Point::new(0.5, 0.5),
+                k: 10,
+            },
+        ] {
+            roundtrip_request(&req);
+        }
+    }
+
+    #[test]
+    fn fixed_response_roundtrips() {
+        for resp in [
+            Response::Ok,
+            Response::Pong,
+            Response::Err {
+                message: "batch operation #3 failed".into(),
+            },
+            Response::Names {
+                names: vec![("a".into(), true), ("b".into(), false)],
+            },
+            Response::Ack {
+                lsn: 42,
+                applied: 64,
+                merged: 3,
+            },
+            Response::IdChunk {
+                ids: vec![1, 2, 3],
+                last: false,
+            },
+            Response::NeighborChunk {
+                neighbors: vec![WireNeighbor {
+                    oid: 7,
+                    distance: 0.25,
+                }],
+                last: true,
+            },
+            Response::Count { value: 9000 },
+            Response::Text {
+                text: "bur_requests_total{op=\"apply\"} 12\n".into(),
+            },
+        ] {
+            roundtrip_response(&resp);
+        }
+    }
+
+    #[test]
+    fn unknown_opcodes_and_garbage_payloads_error() {
+        assert!(matches!(
+            Request::decode(0x77, &[]),
+            Err(WireError::UnknownOpcode(0x77))
+        ));
+        assert!(matches!(
+            Response::decode(0x13, &[]),
+            Err(WireError::UnknownOpcode(0x13))
+        ));
+        // Truncated payloads fail field-by-field, never panic.
+        let full = Request::Create {
+            name: "x".into(),
+            strategy: StrategyKind::TopDown,
+            durable: false,
+        }
+        .encode_payload();
+        for cut in 0..full.len() {
+            assert!(Request::decode(opcode::CREATE, &full[..cut]).is_err());
+        }
+        // Trailing bytes are rejected.
+        let mut padded = Request::Ping.encode_payload();
+        padded.push(0);
+        assert!(matches!(
+            Request::decode(opcode::PING, &padded),
+            Err(WireError::TrailingBytes(1))
+        ));
+        // An op count inconsistent with the payload is rejected without
+        // a huge allocation.
+        let mut apply = Vec::new();
+        put::str(&mut apply, "a");
+        put::u32(&mut apply, u32::MAX);
+        assert!(Request::decode(opcode::APPLY, &apply).is_err());
+    }
+
+    fn arb_point() -> impl Strategy<Value = Point> {
+        (0.0f32..1.0, 0.0f32..1.0).prop_map(|(x, y)| Point::new(x, y))
+    }
+
+    fn arb_op() -> BoxedStrategy<Op> {
+        prop_oneof![
+            (any::<u64>(), arb_point()).prop_map(|(oid, p)| Op::Insert {
+                oid,
+                rect: Rect::from_point(p),
+            }),
+            (any::<u64>(), arb_point(), arb_point()).prop_map(|(oid, old, new)| Op::Update {
+                oid,
+                old,
+                new
+            }),
+            (any::<u64>(), arb_point()).prop_map(|(oid, position)| Op::Delete { oid, position }),
+        ]
+        .boxed()
+    }
+
+    fn arb_name() -> impl Strategy<Value = String> {
+        (0u64..u64::MAX).prop_map(|n| format!("idx-{}", n % 997))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn apply_roundtrips(name in arb_name(), ops in proptest::collection::vec(arb_op(), 0..64)) {
+            roundtrip_request(&Request::Apply { index: name, ops });
+        }
+
+        #[test]
+        fn query_roundtrips(name in arb_name(), a in arb_point(), b in arb_point()) {
+            let window = Rect::new(
+                a.x.min(b.x), a.y.min(b.y), a.x.max(b.x), a.y.max(b.y),
+            );
+            roundtrip_request(&Request::Query { index: name, window });
+        }
+
+        #[test]
+        fn ack_roundtrips(lsn in any::<u64>(), applied in any::<u64>(), merged in any::<u64>()) {
+            roundtrip_response(&Response::Ack { lsn, applied, merged });
+        }
+
+        #[test]
+        fn id_chunks_roundtrip(ids in proptest::collection::vec(any::<u64>(), 0..512), last in any::<bool>()) {
+            roundtrip_response(&Response::IdChunk { ids, last });
+        }
+
+        #[test]
+        fn neighbor_chunks_roundtrip(
+            raw in proptest::collection::vec((any::<u64>(), 0.0f32..10.0), 0..128),
+            last in any::<bool>(),
+        ) {
+            let neighbors = raw
+                .into_iter()
+                .map(|(oid, distance)| WireNeighbor { oid, distance })
+                .collect();
+            roundtrip_response(&Response::NeighborChunk { neighbors, last });
+        }
+
+        #[test]
+        fn random_payload_bytes_never_panic(op in any::<u8>(), bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            // Either decodes or errors; must not panic or over-allocate.
+            let _ = Request::decode(op, &bytes);
+            let _ = Response::decode(op, &bytes);
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Multi-tenant index registry: named indexes living in one data
+//! directory, each paired with its own write [`Coalescer`].
+
+use crate::coalescer::Coalescer;
+use crate::protocol::StrategyKind;
+use bur_core::{Bur, CoreError, IndexBuilder};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Errors surfaced by registry operations; rendered into wire `Err`
+/// responses verbatim.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The index name contains characters outside `[A-Za-z0-9_.-]`, is
+    /// empty, or starts with a dot.
+    BadName(String),
+    /// The named index is neither open nor present on disk.
+    NotFound(String),
+    /// The named index already exists (create refused).
+    AlreadyExists(String),
+    /// Propagated core failure.
+    Core(CoreError),
+    /// Filesystem failure outside the index files proper.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BadName(name) => write!(
+                f,
+                "bad index name {name:?}: use [A-Za-z0-9_.-], non-empty, no leading dot"
+            ),
+            ServeError::NotFound(name) => write!(f, "index {name:?} not found"),
+            ServeError::AlreadyExists(name) => write!(f, "index {name:?} already exists"),
+            ServeError::Core(e) => write!(f, "{e}"),
+            ServeError::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Core(e) => Some(e),
+            ServeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Result alias for registry operations.
+pub type ServeResult<T> = Result<T, ServeError>;
+
+/// One open index: the shared handle plus its write coalescer.
+#[derive(Debug)]
+pub struct IndexEntry {
+    /// Registry name.
+    pub name: String,
+    /// The clonable index handle (reads go straight here).
+    pub bur: Bur,
+    /// The write path (all `Apply` requests funnel through it).
+    pub coalescer: Coalescer,
+}
+
+/// Named indexes in one data directory. Each index lives at
+/// `<root>/<name>.bur`; opening is idempotent and crash-safe (`Open`
+/// mode replays the write-ahead log when the stored metadata records a
+/// log anchor).
+#[derive(Debug)]
+pub struct IndexRegistry {
+    root: PathBuf,
+    entries: Mutex<BTreeMap<String, Arc<IndexEntry>>>,
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && !name.starts_with('.')
+        && name.len() <= 128
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
+}
+
+impl IndexRegistry {
+    /// Open a registry rooted at `root`, creating the directory if
+    /// needed. No indexes are opened eagerly.
+    pub fn new(root: impl Into<PathBuf>) -> ServeResult<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(IndexRegistry {
+            root,
+            entries: Mutex::new(BTreeMap::new()),
+        })
+    }
+
+    /// The data directory.
+    #[must_use]
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn file_for(&self, name: &str) -> PathBuf {
+        self.root.join(format!("{name}.bur"))
+    }
+
+    fn check_name(name: &str) -> ServeResult<()> {
+        if valid_name(name) {
+            Ok(())
+        } else {
+            Err(ServeError::BadName(name.to_string()))
+        }
+    }
+
+    /// Create a named index. Refuses to clobber an existing one.
+    pub fn create(&self, name: &str, strategy: StrategyKind, durable: bool) -> ServeResult<()> {
+        Self::check_name(name)?;
+        let mut entries = self.entries.lock();
+        if entries.contains_key(name) {
+            return Err(ServeError::AlreadyExists(name.to_string()));
+        }
+        let file = self.file_for(name);
+        if file.exists() {
+            return Err(ServeError::AlreadyExists(name.to_string()));
+        }
+        let mut builder = match strategy {
+            StrategyKind::TopDown => IndexBuilder::top_down(),
+            StrategyKind::Localized => IndexBuilder::localized(),
+            StrategyKind::Generalized => IndexBuilder::generalized(),
+        };
+        if durable {
+            builder = builder.durable();
+        }
+        let bur = builder.file(&file).create().build()?;
+        entries.insert(name.to_string(), Self::entry(name, bur));
+        Ok(())
+    }
+
+    fn entry(name: &str, bur: Bur) -> Arc<IndexEntry> {
+        Arc::new(IndexEntry {
+            name: name.to_string(),
+            coalescer: Coalescer::new(bur.clone()),
+            bur,
+        })
+    }
+
+    /// Open the named index from disk, or return the already-open
+    /// entry. `Open` mode auto-recovers from the write-ahead log, so
+    /// this is also the post-crash path.
+    pub fn open(&self, name: &str) -> ServeResult<Arc<IndexEntry>> {
+        Self::check_name(name)?;
+        let mut entries = self.entries.lock();
+        if let Some(entry) = entries.get(name) {
+            return Ok(Arc::clone(entry));
+        }
+        let file = self.file_for(name);
+        if !file.exists() {
+            return Err(ServeError::NotFound(name.to_string()));
+        }
+        let bur = IndexBuilder::new().file(&file).open().build()?;
+        let entry = Self::entry(name, bur);
+        entries.insert(name.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// The open entry for `name`, opening it from disk on demand.
+    pub fn get(&self, name: &str) -> ServeResult<Arc<IndexEntry>> {
+        self.open(name)
+    }
+
+    /// Close the named index: drain its coalescer, flush and persist.
+    /// Late `Apply` submissions racing the close are refused by the
+    /// drained coalescer rather than lost.
+    pub fn close(&self, name: &str) -> ServeResult<()> {
+        Self::check_name(name)?;
+        let entry = {
+            let mut entries = self.entries.lock();
+            entries
+                .remove(name)
+                .ok_or_else(|| ServeError::NotFound(name.to_string()))?
+        };
+        entry.coalescer.shutdown();
+        entry.bur.persist()?;
+        Ok(())
+    }
+
+    /// Every index this registry knows about: open entries plus `.bur`
+    /// files on disk, as `(name, open)` pairs sorted by name.
+    pub fn list(&self) -> ServeResult<Vec<(String, bool)>> {
+        let mut names: BTreeMap<String, bool> = self
+            .entries
+            .lock()
+            .keys()
+            .map(|name| (name.clone(), true))
+            .collect();
+        for dirent in std::fs::read_dir(&self.root)? {
+            let path = dirent?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("bur") {
+                continue;
+            }
+            if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                if valid_name(stem) {
+                    names.entry(stem.to_string()).or_insert(false);
+                }
+            }
+        }
+        Ok(names.into_iter().collect())
+    }
+
+    /// Close every open index (drain, flush, persist). The registry
+    /// stays usable; this is the graceful-shutdown tail.
+    pub fn shutdown(&self) {
+        let entries: Vec<Arc<IndexEntry>> = {
+            let mut map = self.entries.lock();
+            std::mem::take(&mut *map).into_values().collect()
+        };
+        for entry in entries {
+            entry.coalescer.shutdown();
+            let _ = entry.bur.persist();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bur_core::Op;
+    use bur_geom::{Point, Rect};
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("bur-registry-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn create_open_close_list_roundtrip() {
+        let root = tempdir("lifecycle");
+        let reg = IndexRegistry::new(&root).expect("registry");
+        reg.create("fleet", StrategyKind::Generalized, true)
+            .expect("create");
+        assert!(matches!(
+            reg.create("fleet", StrategyKind::Generalized, true),
+            Err(ServeError::AlreadyExists(_))
+        ));
+        let entry = reg.get("fleet").expect("get");
+        entry
+            .coalescer
+            .apply(vec![Op::Insert {
+                oid: 1,
+                rect: Rect::from_point(Point::new(0.5, 0.5)),
+            }])
+            .expect("apply");
+        assert_eq!(entry.bur.len(), 1);
+        reg.close("fleet").expect("close");
+        assert_eq!(reg.list().expect("list"), vec![("fleet".into(), false)]);
+        // Reopen from disk; the insert survived.
+        let entry = reg.open("fleet").expect("reopen");
+        assert_eq!(entry.bur.len(), 1);
+        assert_eq!(reg.list().expect("list"), vec![("fleet".into(), true)]);
+        reg.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn names_are_validated() {
+        let root = tempdir("names");
+        let reg = IndexRegistry::new(&root).expect("registry");
+        for bad in ["", ".hidden", "a/b", "a b", "..", "x\u{0}"] {
+            assert!(
+                matches!(
+                    reg.create(bad, StrategyKind::TopDown, false),
+                    Err(ServeError::BadName(_))
+                ),
+                "accepted {bad:?}"
+            );
+        }
+        assert!(matches!(reg.open("missing"), Err(ServeError::NotFound(_))));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,453 @@
+//! The `burd` server proper: a std `TcpListener` accept loop feeding a
+//! bounded thread-per-connection pool, request dispatch over the wire
+//! protocol, and the graceful-shutdown contract (stop accepting → join
+//! connections → drain coalescers → flush and checkpoint every index).
+
+use crate::coalescer::WriteAck;
+use crate::metrics::ServerMetrics;
+use crate::protocol::{Request, Response, WireNeighbor};
+use crate::registry::{IndexRegistry, ServeResult};
+use crate::wire::{self, FrameError};
+use parking_lot::Mutex;
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Result ids per streamed response frame (window queries and kNN).
+const CHUNK: usize = 512;
+
+/// How long a blocked connection read waits before re-checking the
+/// shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(250);
+
+/// Everything `burd` needs to start.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Data directory holding the named `.bur` index files.
+    pub data_dir: std::path::PathBuf,
+    /// Bind address; use port 0 to let the OS pick (the bound address
+    /// is on [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Connection-pool bound: further clients are refused with an
+    /// error frame, not queued.
+    pub max_connections: usize,
+}
+
+impl ServerConfig {
+    /// Defaults: loopback on an OS-assigned port, 64 connections.
+    pub fn new(data_dir: impl Into<std::path::PathBuf>) -> Self {
+        ServerConfig {
+            data_dir: data_dir.into(),
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: 64,
+        }
+    }
+}
+
+struct ConnCtx {
+    registry: Arc<IndexRegistry>,
+    metrics: Arc<ServerMetrics>,
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+}
+
+/// A running server. Dropping the handle does NOT stop the server;
+/// call [`ServerHandle::shutdown`] (or send the `shutdown` opcode) and
+/// then [`ServerHandle::wait`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    registry: Arc<IndexRegistry>,
+    metrics: Arc<ServerMetrics>,
+    stop: Arc<AtomicBool>,
+    accept: Mutex<Option<JoinHandle<Vec<JoinHandle<()>>>>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+/// Bind, start the accept loop, return immediately.
+pub fn start(config: ServerConfig) -> ServeResult<ServerHandle> {
+    let registry = Arc::new(IndexRegistry::new(&config.data_dir)?);
+    let metrics = Arc::new(ServerMetrics::default());
+    let stop = Arc::new(AtomicBool::new(false));
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let ctx = Arc::new(ConnCtx {
+        registry: Arc::clone(&registry),
+        metrics: Arc::clone(&metrics),
+        stop: Arc::clone(&stop),
+        addr,
+    });
+    let max_connections = config.max_connections.max(1);
+    let accept = std::thread::Builder::new()
+        .name("burd-accept".into())
+        .spawn(move || accept_loop(&listener, &ctx, max_connections))
+        .expect("spawn accept thread");
+    Ok(ServerHandle {
+        addr,
+        registry,
+        metrics,
+        stop,
+        accept: Mutex::new(Some(accept)),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The index registry (shared with the serving threads).
+    #[must_use]
+    pub fn registry(&self) -> &Arc<IndexRegistry> {
+        &self.registry
+    }
+
+    /// Server-wide metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &Arc<ServerMetrics> {
+        &self.metrics
+    }
+
+    /// Ask the server to stop and block until it has: stop accepting,
+    /// join every connection thread, drain each index's coalescer,
+    /// flush and checkpoint. Idempotent.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        poke(self.addr);
+        self.wait();
+    }
+
+    /// Block until the server has stopped (via [`ServerHandle::shutdown`]
+    /// or a client's `shutdown` request) and the shutdown tail —
+    /// connection joins, coalescer drains, flush, checkpoint — has run.
+    pub fn wait(&self) {
+        let accept = self.accept.lock().take();
+        if let Some(accept) = accept {
+            let conns = accept.join().unwrap_or_default();
+            for conn in conns {
+                let _ = conn.join();
+            }
+            self.registry.shutdown();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    ctx: &Arc<ConnCtx>,
+    max_connections: usize,
+) -> Vec<JoinHandle<()>> {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) => break,
+        };
+        if ctx.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        conns.retain(|h| !h.is_finished());
+        if conns.len() >= max_connections {
+            ctx.metrics
+                .connections_refused
+                .fetch_add(1, Ordering::Relaxed);
+            refuse(stream);
+            continue;
+        }
+        ctx.metrics
+            .connections_accepted
+            .fetch_add(1, Ordering::Relaxed);
+        ctx.metrics
+            .connections_active
+            .fetch_add(1, Ordering::Relaxed);
+        let ctx = Arc::clone(ctx);
+        let handle = std::thread::Builder::new()
+            .name("burd-conn".into())
+            .spawn(move || {
+                connection_loop(stream, &ctx);
+                ctx.metrics
+                    .connections_active
+                    .fetch_sub(1, Ordering::Relaxed);
+            })
+            .expect("spawn connection thread");
+        conns.push(handle);
+    }
+    conns
+}
+
+/// Wake a listener blocked in `accept` so it can observe the stop flag.
+fn poke(addr: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
+}
+
+fn refuse(mut stream: TcpStream) {
+    let _ = send(
+        &mut stream,
+        0,
+        &Response::Err {
+            message: "server at capacity".to_string(),
+        },
+    );
+}
+
+fn send(stream: &mut TcpStream, request_id: u64, resp: &Response) -> io::Result<()> {
+    let mut out = Vec::with_capacity(64);
+    wire::write_frame(&mut out, request_id, resp.opcode(), &resp.encode_payload());
+    stream.write_all(&out)
+}
+
+fn connection_loop(mut stream: TcpStream, ctx: &ConnCtx) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    loop {
+        if ctx.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let frame = match wire::read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break,
+            Err(FrameError::Io(e))
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(FrameError::Io(_)) => break,
+            Err(FrameError::Wire(e)) => {
+                // A malformed frame poisons only this connection: answer
+                // with an error frame (id 0 — the real id is unknowable)
+                // and close. The server and its sibling connections are
+                // untouched.
+                ctx.metrics.malformed_frames.fetch_add(1, Ordering::Relaxed);
+                let _ = send(
+                    &mut stream,
+                    0,
+                    &Response::Err {
+                        message: format!("malformed frame: {e}"),
+                    },
+                );
+                break;
+            }
+        };
+        let started = Instant::now();
+        let req = match Request::decode(frame.opcode, &frame.payload) {
+            Ok(req) => req,
+            Err(e) => {
+                ctx.metrics.malformed_frames.fetch_add(1, Ordering::Relaxed);
+                let _ = send(
+                    &mut stream,
+                    frame.request_id,
+                    &Response::Err {
+                        message: format!("bad request: {e}"),
+                    },
+                );
+                break;
+            }
+        };
+        let is_shutdown = matches!(req, Request::Shutdown);
+        let io = serve_request(&mut stream, frame.request_id, req, ctx);
+        ctx.metrics.record(frame.opcode, started.elapsed());
+        if io.is_err() {
+            break;
+        }
+        if is_shutdown {
+            ctx.stop.store(true, Ordering::SeqCst);
+            poke(ctx.addr);
+            break;
+        }
+    }
+}
+
+fn serve_request(stream: &mut TcpStream, id: u64, req: Request, ctx: &ConnCtx) -> io::Result<()> {
+    let reply = |stream: &mut TcpStream, resp: Response| -> io::Result<()> {
+        if matches!(resp, Response::Err { .. }) {
+            ctx.metrics.request_errors.fetch_add(1, Ordering::Relaxed);
+        }
+        send(stream, id, &resp)
+    };
+    let err = |e: &dyn std::fmt::Display| Response::Err {
+        message: e.to_string(),
+    };
+    match req {
+        Request::Ping => reply(stream, Response::Pong),
+        Request::Shutdown => reply(stream, Response::Ok),
+        Request::Create {
+            name,
+            strategy,
+            durable,
+        } => {
+            let resp = match ctx.registry.create(&name, strategy, durable) {
+                Ok(()) => Response::Ok,
+                Err(e) => err(&e),
+            };
+            reply(stream, resp)
+        }
+        Request::Open { name } => {
+            let resp = match ctx.registry.open(&name) {
+                Ok(_) => Response::Ok,
+                Err(e) => err(&e),
+            };
+            reply(stream, resp)
+        }
+        Request::Close { name } => {
+            let resp = match ctx.registry.close(&name) {
+                Ok(()) => Response::Ok,
+                Err(e) => err(&e),
+            };
+            reply(stream, resp)
+        }
+        Request::List => {
+            let resp = match ctx.registry.list() {
+                Ok(names) => Response::Names { names },
+                Err(e) => err(&e),
+            };
+            reply(stream, resp)
+        }
+        Request::Apply { index, ops } => {
+            let resp = match ctx.registry.get(&index) {
+                Ok(entry) => match entry.coalescer.apply(ops) {
+                    Ok(WriteAck {
+                        lsn,
+                        applied,
+                        merged,
+                    }) => Response::Ack {
+                        lsn,
+                        applied,
+                        merged,
+                    },
+                    Err(message) => Response::Err { message },
+                },
+                Err(e) => err(&e),
+            };
+            reply(stream, resp)
+        }
+        Request::Query { index, window } => {
+            let cursor = match ctx
+                .registry
+                .get(&index)
+                .and_then(|entry| entry.bur.query(&window).map_err(Into::into))
+            {
+                Ok(cursor) => cursor,
+                Err(e) => return reply(stream, err(&e)),
+            };
+            stream_chunks(stream, id, cursor.remaining(), |ids| Response::IdChunk {
+                ids: ids.to_vec(),
+                last: false,
+            })
+        }
+        Request::Knn { index, point, k } => {
+            let neighbors: Vec<WireNeighbor> = match ctx
+                .registry
+                .get(&index)
+                .and_then(|entry| entry.bur.nearest(point, k as usize).map_err(Into::into))
+            {
+                Ok(cursor) => cursor
+                    .map(|n| WireNeighbor {
+                        oid: n.oid,
+                        distance: n.distance,
+                    })
+                    .collect(),
+                Err(e) => return reply(stream, err(&e)),
+            };
+            stream_chunks(stream, id, &neighbors, |chunk| Response::NeighborChunk {
+                neighbors: chunk.to_vec(),
+                last: false,
+            })
+        }
+        Request::Len { index } => {
+            let resp = match ctx.registry.get(&index) {
+                Ok(entry) => Response::Count {
+                    value: entry.bur.len(),
+                },
+                Err(e) => err(&e),
+            };
+            reply(stream, resp)
+        }
+        Request::Stats { index } => {
+            let resp = match ctx.registry.get(&index) {
+                Ok(entry) => Response::Text {
+                    text: index_stats_text(&entry),
+                },
+                Err(e) => err(&e),
+            };
+            reply(stream, resp)
+        }
+        Request::Metrics => reply(
+            stream,
+            Response::Text {
+                text: ctx.metrics.render(),
+            },
+        ),
+    }
+}
+
+/// Send `items` as a sequence of chunk frames under one request id,
+/// flipping `last` on the final (possibly empty) chunk.
+fn stream_chunks<T>(
+    stream: &mut TcpStream,
+    id: u64,
+    items: &[T],
+    make: impl Fn(&[T]) -> Response,
+) -> io::Result<()> {
+    let mut sent = 0;
+    while items.len() - sent > CHUNK {
+        send(stream, id, &make(&items[sent..sent + CHUNK]))?;
+        sent += CHUNK;
+    }
+    let mut tail = make(&items[sent..]);
+    match &mut tail {
+        Response::IdChunk { last, .. } | Response::NeighborChunk { last, .. } => *last = true,
+        _ => {}
+    }
+    send(stream, id, &tail)
+}
+
+/// The `stats` opcode's plaintext gauge dump for one index.
+fn index_stats_text(entry: &crate::registry::IndexEntry) -> String {
+    let mut out = String::with_capacity(512);
+    let bur = &entry.bur;
+    let label = &entry.name;
+    let mut gauge = |name: &str, v: u64| {
+        out.push_str(&format!("bur_{name}{{index=\"{label}\"}} {v}\n"));
+    };
+    gauge("objects", bur.len());
+    gauge("height", u64::from(bur.height()));
+    gauge("durable", u64::from(bur.is_durable()));
+    let io = bur.io_snapshot();
+    gauge("io_reads", io.reads);
+    gauge("io_writes", io.writes);
+    gauge("io_fetches", io.fetches);
+    gauge("io_allocations", io.allocations);
+    let ops = bur.with_op_stats(|s| s.snapshot());
+    gauge("op_inserts", ops.inserts);
+    gauge("op_updates", ops.updates);
+    gauge("op_deletes", ops.deletes);
+    gauge("op_queries", ops.queries);
+    gauge("op_splits", ops.splits);
+    let co = entry.coalescer.stats();
+    gauge("coalescer_rounds", co.rounds);
+    gauge("coalescer_submissions", co.submissions);
+    gauge("coalescer_ops", co.ops);
+    if let Some(wal) = bur.wal_stats() {
+        gauge("wal_records", wal.records);
+        gauge("wal_commits", wal.commits);
+        gauge("wal_syncs", wal.syncs);
+        gauge("wal_checkpoints", wal.checkpoints);
+        gauge("wal_last_lsn", wal.last_lsn);
+        gauge("wal_durable_lsn", wal.durable_lsn);
+    }
+    out
+}

@@ -1,0 +1,380 @@
+//! Byte-level framing: the length-prefixed envelope every request and
+//! response travels in, plus the little-endian primitive codec the
+//! payload encoders share.
+//!
+//! One frame on the wire is
+//!
+//! ```text
+//! len: u32 LE | request_id: u64 LE | opcode: u8 | payload: [u8]
+//! ```
+//!
+//! where `len` counts everything after itself (so `len >= 9`), and
+//! `request_id` is chosen by the client and echoed verbatim in every
+//! response frame belonging to that request (streamed responses send
+//! several frames under one id). Frames larger than
+//! [`MAX_FRAME_BYTES`] are rejected before any allocation, so a
+//! malicious or corrupt length prefix cannot balloon server memory.
+
+use std::fmt;
+use std::io::{self, Read};
+
+/// Hard ceiling on one frame's `len` field (4 MiB). Large batches and
+/// query results are chunked well below this; anything above it is a
+/// corrupt or hostile frame.
+pub const MAX_FRAME_BYTES: u32 = 4 << 20;
+
+/// Bytes of the fixed header covered by `len`: request id + opcode.
+pub const FRAME_HEADER_BYTES: u32 = 8 + 1;
+
+/// A decoding failure. The connection that produced it is broken by
+/// contract: the server answers with an error frame where it still can
+/// (a well-framed payload that fails to parse) and closes; the client
+/// surfaces the error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream ended inside a frame, or a payload ended inside a
+    /// field.
+    Truncated(&'static str),
+    /// The length prefix exceeds [`MAX_FRAME_BYTES`] (or undercuts the
+    /// fixed header).
+    BadLength(u32),
+    /// No such opcode.
+    UnknownOpcode(u8),
+    /// A well-framed payload that does not parse as its opcode demands.
+    BadPayload(String),
+    /// A payload parsed but left unconsumed trailing bytes.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated(what) => write!(f, "truncated frame: {what}"),
+            WireError::BadLength(len) => write!(
+                f,
+                "bad frame length {len} (frame ceiling {MAX_FRAME_BYTES}, floor {FRAME_HEADER_BYTES})"
+            ),
+            WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::BadPayload(msg) => write!(f, "bad payload: {msg}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Why reading a frame off a stream failed: transport trouble or a
+/// malformed frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying transport failed (or timed out).
+    Io(io::Error),
+    /// The bytes violate the framing contract.
+    Wire(WireError),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o: {e}"),
+            FrameError::Wire(e) => write!(f, "wire: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl From<WireError> for FrameError {
+    fn from(e: WireError) -> Self {
+        FrameError::Wire(e)
+    }
+}
+
+/// One decoded frame: the echoed request id, the opcode, and the raw
+/// payload (interpreted by [`crate::protocol`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Client-chosen correlation id, echoed in responses.
+    pub request_id: u64,
+    /// What the payload means.
+    pub opcode: u8,
+    /// Opcode-specific bytes.
+    pub payload: Vec<u8>,
+}
+
+/// Append one frame to `out` (the only frame writer — client and server
+/// share it).
+pub fn write_frame(out: &mut Vec<u8>, request_id: u64, opcode: u8, payload: &[u8]) {
+    let len = FRAME_HEADER_BYTES + payload.len() as u32;
+    out.extend_from_slice(&len.to_le_bytes());
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out.push(opcode);
+    out.extend_from_slice(payload);
+}
+
+/// Read one frame. `Ok(None)` means the peer closed the connection
+/// cleanly *between* frames; a close inside a frame is
+/// [`WireError::Truncated`]. The length prefix is validated before the
+/// payload is allocated.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, FrameError> {
+    let mut len_buf = [0u8; 4];
+    match read_exact_or_eof(r, &mut len_buf)? {
+        ReadOutcome::Eof => return Ok(None),
+        ReadOutcome::Partial => return Err(WireError::Truncated("length prefix").into()),
+        ReadOutcome::Full => {}
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if !(FRAME_HEADER_BYTES..=MAX_FRAME_BYTES).contains(&len) {
+        return Err(WireError::BadLength(len).into());
+    }
+    let mut head = [0u8; FRAME_HEADER_BYTES as usize];
+    if !matches!(read_exact_or_eof(r, &mut head)?, ReadOutcome::Full) {
+        return Err(WireError::Truncated("frame header").into());
+    }
+    let request_id = u64::from_le_bytes(head[..8].try_into().expect("8 bytes"));
+    let opcode = head[8];
+    let mut payload = vec![0u8; (len - FRAME_HEADER_BYTES) as usize];
+    if !matches!(read_exact_or_eof(r, &mut payload)?, ReadOutcome::Full) {
+        return Err(WireError::Truncated("payload").into());
+    }
+    Ok(Some(Frame {
+        request_id,
+        opcode,
+        payload,
+    }))
+}
+
+enum ReadOutcome {
+    Full,
+    Eof,
+    Partial,
+}
+
+/// `read_exact` that distinguishes a clean EOF before the first byte
+/// from one mid-buffer, and rides out read timeouts once a frame has
+/// started (a peer that began a frame is mid-write; abandoning the read
+/// would desynchronise the stream).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => {
+                return Ok(if filled == 0 {
+                    ReadOutcome::Eof
+                } else {
+                    ReadOutcome::Partial
+                })
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e)
+                if filled > 0
+                    && matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(ReadOutcome::Full)
+}
+
+// ---- payload codec ---------------------------------------------------------
+
+/// Little-endian primitive writers over a byte vector. Free functions,
+/// not a builder: payload encoders just push fields in order.
+pub mod put {
+    /// Append a `u8`.
+    pub fn u8(out: &mut Vec<u8>, v: u8) {
+        out.push(v);
+    }
+
+    /// Append a `u16` (little-endian).
+    pub fn u16(out: &mut Vec<u8>, v: u16) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u32` (little-endian).
+    pub fn u32(out: &mut Vec<u8>, v: u32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a `u64` (little-endian).
+    pub fn u64(out: &mut Vec<u8>, v: u64) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append an `f32` (little-endian bits).
+    pub fn f32(out: &mut Vec<u8>, v: f32) {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Append a length-prefixed UTF-8 string (`u16` length; longer
+    /// strings are a caller bug — names and messages are short).
+    pub fn str(out: &mut Vec<u8>, v: &str) {
+        let bytes = v.as_bytes();
+        let n = u16::try_from(bytes.len()).expect("wire strings are short");
+        u16(out, n);
+        out.extend_from_slice(bytes);
+    }
+}
+
+/// A checked little-endian payload reader. Every getter fails with
+/// [`WireError::Truncated`] instead of panicking, and [`Reader::finish`]
+/// rejects trailing bytes — decoders call it last so a frame either
+/// parses exactly or errors.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a payload.
+    #[must_use]
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.buf.len())
+            .ok_or(WireError::Truncated(what))?;
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Read a `u8`.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Read a `u16`.
+    pub fn u16(&mut self, what: &'static str) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    /// Read a `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    /// Read a `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Read an `f32`.
+    pub fn f32(&mut self, what: &'static str) -> Result<f32, WireError> {
+        Ok(f32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &'static str) -> Result<String, WireError> {
+        let n = self.u16(what)? as usize;
+        let bytes = self.take(n, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| WireError::BadPayload(format!("{what}: invalid UTF-8")))
+    }
+
+    /// Bytes not yet consumed.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Assert the payload is fully consumed.
+    pub fn finish(self) -> Result<(), WireError> {
+        match self.remaining() {
+            0 => Ok(()),
+            n => Err(WireError::TrailingBytes(n)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, 7, 0x42, b"hello");
+        write_frame(&mut bytes, 8, 0x01, b"");
+        let mut cursor = Cursor::new(bytes);
+        let a = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(
+            (a.request_id, a.opcode, a.payload.as_slice()),
+            (7, 0x42, &b"hello"[..])
+        );
+        let b = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!((b.request_id, b.opcode, b.payload.len()), (8, 0x01, 0));
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_error() {
+        // Clean EOF between frames.
+        assert!(read_frame(&mut Cursor::new(Vec::new())).unwrap().is_none());
+        // EOF inside the length prefix.
+        let err = read_frame(&mut Cursor::new(vec![1u8, 0])).unwrap_err();
+        assert!(matches!(err, FrameError::Wire(WireError::Truncated(_))));
+        // EOF inside the payload.
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, 1, 0x10, &[0u8; 64]);
+        bytes.truncate(bytes.len() - 10);
+        let err = read_frame(&mut Cursor::new(bytes)).unwrap_err();
+        assert!(matches!(err, FrameError::Wire(WireError::Truncated(_))));
+        // Length prefix above the ceiling — rejected before allocation.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_FRAME_BYTES + 1).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        let err = read_frame(&mut Cursor::new(bytes)).unwrap_err();
+        assert!(matches!(err, FrameError::Wire(WireError::BadLength(_))));
+        // Length prefix below the header floor.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&3u32.to_le_bytes());
+        let err = read_frame(&mut Cursor::new(bytes)).unwrap_err();
+        assert!(matches!(err, FrameError::Wire(WireError::BadLength(3))));
+    }
+
+    #[test]
+    fn reader_is_checked() {
+        let mut buf = Vec::new();
+        put::u32(&mut buf, 9);
+        put::str(&mut buf, "abc");
+        put::f32(&mut buf, 0.5);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u32("n").unwrap(), 9);
+        assert_eq!(r.str("s").unwrap(), "abc");
+        assert_eq!(r.f32("x").unwrap(), 0.5);
+        r.finish().unwrap();
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u32("n").unwrap(), 9);
+        assert_eq!(r.str("s").unwrap(), "abc");
+        assert!(matches!(r.u64("too much"), Err(WireError::Truncated(_))));
+
+        let mut r = Reader::new(&buf);
+        r.u8("one").unwrap();
+        assert!(matches!(r.finish(), Err(WireError::TrailingBytes(_))));
+    }
+
+    #[test]
+    fn invalid_utf8_is_bad_payload() {
+        let mut buf = Vec::new();
+        put::u16(&mut buf, 2);
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        let mut r = Reader::new(&buf);
+        assert!(matches!(r.str("s"), Err(WireError::BadPayload(_))));
+    }
+}

@@ -12,6 +12,9 @@
 //! burctl replicate <primary-file> <replica-file>
 //! burctl promote <file> [--strategy td|lbu|gbu]
 //! burctl wal-stats <file>
+//! burctl serve <data-dir> [--addr HOST:PORT] [--max-conns N]
+//! burctl ping --addr HOST:PORT
+//! burctl remote-query --addr HOST:PORT <index> <min_x> <min_y> <max_x> <max_y>
 //! ```
 //!
 //! `build` creates a demonstration index from a seeded uniform workload;
@@ -23,6 +26,12 @@
 //! `replicate` ships a durable primary's log into a warm-standby clone
 //! file, `promote` blesses a standby (or crashed primary) file as the
 //! new verified primary).
+//!
+//! The serving trio talks the `burd` wire protocol: `serve` runs the
+//! server in the foreground over a data directory of named indexes
+//! (equivalent to the standalone `burd` binary), `ping` checks a
+//! running server's liveness, and `remote-query` runs a window query
+//! against a named index over the network through `bur-client`.
 
 use bur::core::{Batch, IndexBuilder, IndexOptions, RTreeIndex};
 use bur::geom::{Point, Rect};
@@ -48,6 +57,17 @@ fn usage() -> ExitCode {
          \x20 burctl replicate <primary-file> <replica-file>\n\
          \x20 burctl promote <file> [--strategy td|lbu|gbu]\n\
          \x20 burctl wal-stats <file>\n\
+         \x20 burctl serve <data-dir> [--addr HOST:PORT] [--max-conns N]\n\
+         \x20 burctl ping --addr HOST:PORT\n\
+         \x20 burctl remote-query --addr HOST:PORT <index> <min_x> <min_y> <max_x> <max_y>\n\
+         \n\
+         serve runs the burd server in the foreground over <data-dir>\n\
+         (named indexes, one `<name>.bur` file each; create them over the\n\
+         wire with bur-client). It prints `burd listening on <addr>` once\n\
+         bound — pass port 0 to let the OS pick — and exits after a client\n\
+         sends the shutdown opcode (writes drain, logs flush, indexes\n\
+         checkpoint). ping round-trips a liveness probe; remote-query runs\n\
+         a window query against a named index on a running server.\n\
          \n\
          replicate attaches a warm-standby follower to a --durable primary\n\
          file: it copies the base image, tails the write-ahead log with an\n\
@@ -572,6 +592,103 @@ fn cmd_wal_stats(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve(path: &str, rest: &[String]) -> Result<(), String> {
+    let mut config = bur::serve::ServerConfig::new(path);
+    config.addr = "127.0.0.1:4000".to_string();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => {
+                config.addr = it.next().ok_or("--addr needs HOST:PORT")?.clone();
+            }
+            "--max-conns" => {
+                config.max_connections = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--max-conns needs a number")?;
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    let handle = bur::serve::start(config).map_err(|e| e.to_string())?;
+    use std::io::Write as _;
+    println!("burd listening on {}", handle.addr());
+    let _ = std::io::stdout().flush();
+    handle.wait();
+    // Whoever spawned us may have closed the pipe already.
+    let _ = writeln!(std::io::stdout(), "burd stopped");
+    Ok(())
+}
+
+/// Pull the mandatory `--addr HOST:PORT` out of `rest`, returning the
+/// leftover arguments.
+fn parse_addr(rest: &[String]) -> Result<(String, Vec<String>), String> {
+    let mut addr = None;
+    let mut leftover = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--addr" {
+            addr = Some(it.next().ok_or("--addr needs HOST:PORT")?.clone());
+        } else {
+            leftover.push(arg.clone());
+        }
+    }
+    Ok((addr.ok_or("--addr HOST:PORT is required")?, leftover))
+}
+
+fn cmd_ping(rest: &[String]) -> Result<(), String> {
+    let (addr, leftover) = parse_addr(rest)?;
+    if !leftover.is_empty() {
+        return Err(format!("unexpected arguments {leftover:?}"));
+    }
+    let started = std::time::Instant::now();
+    let mut client =
+        bur::client::BurClient::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client.ping().map_err(|e| format!("ping: {e}"))?;
+    println!("pong from {addr} in {:?}", started.elapsed());
+    Ok(())
+}
+
+fn cmd_remote_query(rest: &[String]) -> Result<(), String> {
+    let (addr, leftover) = parse_addr(rest)?;
+    let [index, coords @ ..] = leftover.as_slice() else {
+        return Err("remote-query needs <index> <min_x> <min_y> <max_x> <max_y>".into());
+    };
+    let nums: Vec<f32> = coords
+        .iter()
+        .map(|s| s.parse().map_err(|_| format!("bad coordinate {s}")))
+        .collect::<Result<_, _>>()?;
+    let [min_x, min_y, max_x, max_y] = nums[..] else {
+        return Err("remote-query needs 4 coordinates".into());
+    };
+    let window = Rect::new(min_x, min_y, max_x, max_y);
+    if !window.is_valid() {
+        return Err(format!("invalid window {window}"));
+    }
+    let mut client =
+        bur::client::BurClient::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let mut hits: Vec<u64> = client
+        .query(index, &window)
+        .and_then(|stream| stream.collect_all())
+        .map_err(|e| format!("query: {e}"))?;
+    hits.sort_unstable();
+    println!(
+        "{} objects in {window} (index {index:?} at {addr}):",
+        hits.len()
+    );
+    for chunk in hits.chunks(10) {
+        println!(
+            "  {}",
+            chunk
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
@@ -581,6 +698,21 @@ fn main() -> ExitCode {
     if matches!(cmd, "--help" | "-h" | "help") {
         usage();
         return ExitCode::SUCCESS;
+    }
+    // The networked commands address a server, not a file — handle them
+    // before the `<cmd> <path>` split.
+    if matches!(cmd, "ping" | "remote-query") {
+        let result = match cmd {
+            "ping" => cmd_ping(rest),
+            _ => cmd_remote_query(rest),
+        };
+        return match result {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("burctl {cmd}: {msg}");
+                ExitCode::FAILURE
+            }
+        };
     }
     let Some((path, rest)) = rest.split_first() else {
         return usage();
@@ -597,6 +729,7 @@ fn main() -> ExitCode {
         "replicate" => cmd_replicate(path, rest),
         "promote" => cmd_promote(path, rest),
         "wal-stats" => cmd_wal_stats(path),
+        "serve" => cmd_serve(path, rest),
         _ => {
             return usage();
         }

@@ -1,0 +1,61 @@
+//! `burd` — the bur network server daemon.
+//!
+//! ```text
+//! burd <data-dir> [--addr HOST:PORT] [--max-conns N]
+//! ```
+//!
+//! Binds, prints `burd listening on <addr>` (machine-parseable — with
+//! `--addr 127.0.0.1:0` the OS picks the port and this line is the only
+//! way to learn it), then serves until a client sends the `shutdown`
+//! opcode. Shutdown is graceful: pending writes drain through the
+//! coalescers, every index flushes its log and checkpoints.
+
+use bur::serve::{start, ServerConfig};
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: burd <data-dir> [--addr HOST:PORT] [--max-conns N]\n\
+         \n\
+         Serve the named indexes under <data-dir> over the bur wire\n\
+         protocol. Defaults: --addr 127.0.0.1:4000, --max-conns 64.\n\
+         Use --addr with port 0 to let the OS pick; the bound address\n\
+         is printed as `burd listening on <addr>`."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let data_dir = match args.next() {
+        Some(dir) if dir != "--help" && dir != "-h" => dir,
+        _ => usage(),
+    };
+    let mut config = ServerConfig::new(data_dir);
+    config.addr = "127.0.0.1:4000".to_string();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--addr" => match args.next() {
+                Some(addr) => config.addr = addr,
+                None => usage(),
+            },
+            "--max-conns" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => config.max_connections = n,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let handle = match start(config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("burd: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("burd listening on {}", handle.addr());
+    let _ = std::io::stdout().flush();
+    handle.wait();
+    // Whoever spawned us may have closed the pipe already.
+    let _ = writeln!(std::io::stdout(), "burd stopped");
+}

@@ -26,7 +26,14 @@
 //!   ([`repl::LogShipper`]), follower replay ([`repl::Follower`]) and
 //!   failover promotion;
 //! * [`workload`] (`bur-workload`) — the GSTD-like moving-object
-//!   workload generator.
+//!   workload generator;
+//! * [`serve`] (`bur-serve`) — the `burd` network server: the wire
+//!   protocol, the multi-tenant [`serve::IndexRegistry`], and the
+//!   write [`serve::Coalescer`] that merges concurrent client batches
+//!   into shared WAL group commits;
+//! * [`client`] (`bur-client`) — the blocking [`client::BurClient`]
+//!   with batch-first writes, durable [`client::RemoteAck`]s and
+//!   streaming query iterators.
 //!
 //! ## Quickstart
 //!
@@ -107,11 +114,13 @@
 
 #![warn(missing_docs)]
 
+pub use bur_client as client;
 pub use bur_core as core;
 pub use bur_dgl as dgl;
 pub use bur_geom as geom;
 pub use bur_hashindex as hashindex;
 pub use bur_repl as repl;
+pub use bur_serve as serve;
 pub use bur_storage as storage;
 pub use bur_wal as wal;
 pub use bur_workload as workload;

@@ -306,3 +306,119 @@ fn helpful_errors() {
     let out = burctl(&["build", path, "--strategy", "quantum"]);
     assert!(!out.status.success());
 }
+
+#[test]
+fn serve_ping_and_remote_query() {
+    use bur::client::BurClient;
+    use bur::core::Batch;
+    use bur::geom::Point;
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+
+    let dir = TempDir::new("ctl-serve");
+    let data = dir.file("data");
+
+    // `burctl serve` with port 0: the banner is the only way to learn
+    // the bound address.
+    let mut server = Command::new(env!("CARGO_BIN_EXE_burctl"))
+        .args(["serve", data.to_str().unwrap(), "--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("burctl serve spawns");
+    let mut banner = String::new();
+    BufReader::new(server.stdout.take().expect("piped stdout"))
+        .read_line(&mut banner)
+        .expect("banner");
+    let addr = banner
+        .trim()
+        .strip_prefix("burd listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+
+    // ping
+    let out = burctl(&["ping", "--addr", &addr]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout(&out).contains("pong from"), "{}", stdout(&out));
+
+    // Populate an index over the wire, then remote-query it.
+    let mut client = BurClient::connect(&addr).expect("client connects");
+    client.create_index("fleet", "gbu", true).expect("create");
+    let mut batch = Batch::new();
+    for oid in 0..40u64 {
+        batch.insert(oid, Point::new(oid as f32 / 40.0, 0.5));
+    }
+    client.apply("fleet", &batch).expect("apply");
+
+    let out = burctl(&[
+        "remote-query",
+        "--addr",
+        &addr,
+        "fleet",
+        "0.0",
+        "0.0",
+        "0.5",
+        "1.0",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = stdout(&out);
+    assert!(text.contains("21 objects in"), "{text}");
+
+    // remote-query against a missing index fails with the server's
+    // diagnosis on stderr.
+    let out = burctl(&["remote-query", "--addr", &addr, "nope", "0", "0", "1", "1"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("not found"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Graceful stop; the serve process exits on its own.
+    client.shutdown_server().expect("shutdown");
+    let status = server.wait().expect("burctl serve exits");
+    assert!(status.success());
+}
+
+#[test]
+fn networked_commands_report_usage_errors() {
+    // --addr is mandatory for the networked commands.
+    let out = burctl(&["ping"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--addr"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // A dead address fails after retries, not with a hang or a panic.
+    let out = burctl(&[
+        "remote-query",
+        "--addr",
+        "127.0.0.1:1",
+        "x",
+        "0",
+        "0",
+        "1",
+        "1",
+    ]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("connect"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // The help text documents the serving trio.
+    let out = burctl(&["--help"]);
+    let help = String::from_utf8_lossy(&out.stderr).into_owned();
+    for needle in ["serve <data-dir>", "ping --addr", "remote-query --addr"] {
+        assert!(help.contains(needle), "help is missing {needle:?}");
+    }
+}
