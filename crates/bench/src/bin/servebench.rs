@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! servebench [--batches N] [--per-batch N] [--out FILE]
+//! servebench --chaos [--seed S] [--drop RATE] [--batches N] [--per-batch N] [--out FILE]
 //! ```
 //!
 //! Starts an in-process `burd` (temp data directory, durable GBU
@@ -17,11 +18,20 @@
 //! independent handles. The recorded target (`coalesce_gain_min: 2.0`)
 //! asks the 16-connection ratio to be at least twice the 1-connection
 //! ratio.
+//!
+//! `--chaos` measures fault tolerance instead of raw throughput: the
+//! same server sits behind a seeded [`ChaosProxy`] dropping `--drop`
+//! (default 10%) of frames, and 4 retrying clients push their batches
+//! through it. `BENCH_chaos.json` records the acked-write survival
+//! rate (acked inserts present on the server afterwards — the target
+//! is exactly 1.0: no losses, no double-applies), the retry and
+//! reconnect counts the faults forced, and apply p50/p99 including
+//! retry time.
 
-use bur_client::BurClient;
+use bur_client::{BurClient, ClientConfig, RetryPolicy};
 use bur_core::Batch;
 use bur_geom::Point;
-use bur_serve::{start, ServerConfig};
+use bur_serve::{start, ChaosProxy, FaultPlan, ServerConfig};
 use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -109,10 +119,153 @@ fn run(connections: usize, batches: u64, per_batch: u64) -> RunResult {
     }
 }
 
+/// `--chaos` mode: drive the server through a frame-dropping proxy
+/// with retrying clients and record the survival profile.
+fn run_chaos(seed: u64, drop_rate: f64, batches: u64, per_batch: u64, out: &str) -> ExitCode {
+    const CONNECTIONS: u64 = 4;
+    let dir = std::env::temp_dir().join(format!("bur-servebench-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = start(ServerConfig::new(&dir)).expect("server starts");
+    BurClient::connect(handle.addr())
+        .expect("connect")
+        .create_index("bench", "gbu", true)
+        .expect("create");
+    let plan = FaultPlan {
+        seed,
+        drop_rate,
+        truncate_rate: drop_rate / 4.0,
+        delay_rate: 0.05,
+        delay: std::time::Duration::from_millis(1),
+        ..FaultPlan::default()
+    };
+    let proxy = ChaosProxy::start("127.0.0.1:0", handle.addr(), plan).expect("proxy starts");
+    let config = ClientConfig {
+        initial_backoff: std::time::Duration::from_millis(2),
+        max_backoff: std::time::Duration::from_millis(50),
+        op_timeout: Some(std::time::Duration::from_millis(500)),
+        retry: RetryPolicy {
+            max_attempts: 16,
+            initial_backoff: std::time::Duration::from_millis(2),
+            max_backoff: std::time::Duration::from_millis(100),
+            max_elapsed: std::time::Duration::from_secs(60),
+        },
+        ..ClientConfig::default()
+    };
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..CONNECTIONS)
+        .map(|t| {
+            let addr = proxy.addr();
+            let config = config.clone();
+            std::thread::spawn(move || {
+                let mut client = BurClient::connect_with(addr, &config).expect("connect");
+                let mut latencies = Vec::with_capacity(batches as usize);
+                let mut acked = 0u64;
+                for b in 0..batches {
+                    let base = t * 1_000_000_000 + b * per_batch;
+                    let mut batch = Batch::new();
+                    for oid in base..base + per_batch {
+                        batch.insert(oid, pos(oid));
+                    }
+                    let t0 = Instant::now();
+                    client
+                        .apply("bench", &batch)
+                        .expect("apply survives faults");
+                    latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+                    acked += per_batch;
+                }
+                (latencies, acked, client.retries(), client.reconnects())
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let (mut acked, mut retries, mut reconnects) = (0u64, 0u64, 0u64);
+    for w in workers {
+        let (lat, a, r, rc) = w.join().expect("worker");
+        latencies.extend(lat);
+        acked += a;
+        retries += r;
+        reconnects += rc;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+
+    let mut oracle = BurClient::connect(handle.addr()).expect("oracle connect");
+    let served = oracle.len("bench").expect("len");
+    let survival = served as f64 / acked.max(1) as f64;
+    let dedup_hits = handle
+        .registry()
+        .get("bench")
+        .expect("entry")
+        .coalescer
+        .stats()
+        .dedup_hits;
+    let faults = proxy.stats();
+    proxy.shutdown();
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    eprintln!(
+        "chaos (seed {seed}, drop {drop_rate}): {acked} acked inserts, {served} served, \
+         survival {survival:.4}, {retries} retries, {reconnects} reconnects, \
+         {} dedup hits, {} faults injected",
+        dedup_hits,
+        faults.faults()
+    );
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"serve_chaos\",");
+    let _ = writeln!(json, "  \"seed\": {seed},");
+    let _ = writeln!(json, "  \"drop_rate\": {drop_rate},");
+    let _ = writeln!(json, "  \"connections\": {CONNECTIONS},");
+    let _ = writeln!(json, "  \"batches_per_connection\": {batches},");
+    let _ = writeln!(json, "  \"ops_per_batch\": {per_batch},");
+    let _ = writeln!(json, "  \"acked_ops\": {acked},");
+    let _ = writeln!(json, "  \"served_ops\": {served},");
+    let _ = writeln!(json, "  \"acked_write_survival\": {survival:.6},");
+    let _ = writeln!(json, "  \"retries\": {retries},");
+    let _ = writeln!(json, "  \"reconnects\": {reconnects},");
+    let _ = writeln!(json, "  \"dedup_hits\": {dedup_hits},");
+    let _ = writeln!(
+        json,
+        "  \"faults\": {{\"drops\": {}, \"truncations\": {}, \"blackholes\": {}, \"delays\": {}}},",
+        faults.drops, faults.truncations, faults.blackholes, faults.delays
+    );
+    let _ = writeln!(json, "  \"ops_per_sec\": {:.0},", acked as f64 / elapsed);
+    let _ = writeln!(
+        json,
+        "  \"apply_p50_us\": {:.1},",
+        quantile(&latencies, 0.50)
+    );
+    let _ = writeln!(
+        json,
+        "  \"apply_p99_us\": {:.1},",
+        quantile(&latencies, 0.99)
+    );
+    let _ = writeln!(json, "  \"targets\": {{\"acked_write_survival\": 1.0}},");
+    let survived = (survival - 1.0).abs() < f64::EPSILON;
+    let _ = writeln!(json, "  \"targets_met\": {survived}");
+    let _ = writeln!(json, "}}");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("servebench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("written to {out}");
+    if survived {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("ACKED-WRITE SURVIVAL {survival:.6} != 1.0 — writes lost or double-applied");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let mut batches = 200u64;
     let mut per_batch = 32u64;
-    let mut out = String::from("BENCH_serve.json");
+    let mut out: Option<String> = None;
+    let mut chaos = false;
+    let mut seed = 42u64;
+    let mut drop_rate = 0.10f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -125,8 +278,17 @@ fn main() -> ExitCode {
                 None => return usage(),
             },
             "--out" => match args.next() {
-                Some(v) => out = v,
+                Some(v) => out = Some(v),
                 None => return usage(),
+            },
+            "--chaos" => chaos = true,
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--drop" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) if (0.0..=1.0).contains(&v) => drop_rate = v,
+                _ => return usage(),
             },
             "--help" | "-h" => {
                 usage();
@@ -135,6 +297,11 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
+    if chaos {
+        let out = out.unwrap_or_else(|| "BENCH_chaos.json".to_string());
+        return run_chaos(seed, drop_rate, batches, per_batch, &out);
+    }
+    let out = out.unwrap_or_else(|| "BENCH_serve.json".to_string());
 
     let results: Vec<RunResult> = [1usize, 4, 16]
         .into_iter()
@@ -192,6 +359,9 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: servebench [--batches N] [--per-batch N] [--out FILE]");
+    eprintln!(
+        "usage: servebench [--batches N] [--per-batch N] [--out FILE]\n\
+         \x20      servebench --chaos [--seed S] [--drop RATE] [--batches N] [--per-batch N] [--out FILE]"
+    );
     ExitCode::FAILURE
 }

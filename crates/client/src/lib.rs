@@ -6,8 +6,29 @@
 //! network analogue of `CommitTicket::wait`), streaming query
 //! iterators ([`BurClient::query`] / [`BurClient::nearest`]), and
 //! index lifecycle calls mapping one-to-one onto server opcodes.
-//! Connecting retries with exponential backoff, so a client racing a
-//! server restart (or a test racing `burd` startup) just works.
+//!
+//! The client is built for unreliable networks:
+//!
+//! - **Idempotent retries.** Every connection carries a random
+//!   client-session id, and every [`BurClient::apply`] is stamped with
+//!   a monotonic sequence number. The server deduplicates on
+//!   `(session, seq)`, so when an ack is lost in transit the client
+//!   reconnects and resends the *same* batch under the *same* sequence
+//!   number — and gets the original ack back instead of applying
+//!   twice. Read-only and idempotent calls (`ping`, `open`, `list`,
+//!   `len`, `stats`, `metrics`) retry the same way; non-idempotent
+//!   lifecycle calls (`create`, `close`, `shutdown`) and streaming
+//!   queries are single-attempt, surfacing the error for the caller to
+//!   decide.
+//! - **Deadlines.** [`ClientConfig::op_timeout`] bounds every
+//!   operation: the budget rides in the frame header so the server can
+//!   shed the request if it expires queued, and the client arms socket
+//!   read timeouts from the same budget so a black-holed server cannot
+//!   hang the calling thread.
+//! - **Connection poisoning.** After any transport or framing failure
+//!   the stream may be mid-frame, so the client drops it; the next
+//!   retryable call reconnects transparently ([`BurClient::reconnects`]
+//!   counts these).
 //!
 //! ```no_run
 //! use bur_client::BurClient;
@@ -31,13 +52,14 @@ use bur_geom::{Point, Rect};
 use bur_serve::protocol::{Request, Response, StrategyKind, WireNeighbor};
 use bur_serve::wire::{self, FrameError, WireError};
 use std::io::{self, Write};
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 /// Client-side failure.
 #[derive(Debug)]
 pub enum ClientError {
-    /// Transport failure (connect, read, write).
+    /// Transport failure (connect, read, write, or a read that timed
+    /// out against the operation deadline).
     Io(io::Error),
     /// The server sent bytes violating the wire protocol.
     Wire(WireError),
@@ -47,6 +69,12 @@ pub enum ClientError {
     /// The server answered with a well-formed but unexpected response
     /// (wrong opcode for the request, wrong request id).
     Protocol(String),
+    /// The server shed the request under load; nothing was applied.
+    /// Safe to retry after backing off.
+    Overloaded(String),
+    /// The operation's deadline expired before the server served it;
+    /// the server guarantees no side effects for expired writes.
+    DeadlineExceeded(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -56,6 +84,8 @@ impl std::fmt::Display for ClientError {
             ClientError::Wire(e) => write!(f, "wire: {e}"),
             ClientError::Server(msg) => write!(f, "server: {msg}"),
             ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ClientError::Overloaded(msg) => write!(f, "overloaded: {msg}"),
+            ClientError::DeadlineExceeded(msg) => write!(f, "deadline exceeded: {msg}"),
         }
     }
 }
@@ -91,18 +121,96 @@ impl From<WireError> for ClientError {
     }
 }
 
+impl ClientError {
+    /// Whether retrying the operation can help: transport and framing
+    /// failures (the outcome is unknown — dedup makes the resend
+    /// safe), shed requests, and expired deadlines. Server rejections
+    /// and protocol violations are deterministic; retrying repeats
+    /// them.
+    #[must_use]
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Io(_)
+                | ClientError::Wire(_)
+                | ClientError::Overloaded(_)
+                | ClientError::DeadlineExceeded(_)
+        )
+    }
+
+    /// Whether this failure poisons the connection (the stream may be
+    /// mid-frame, so it must be dropped before the next request).
+    fn poisons(&self) -> bool {
+        matches!(
+            self,
+            ClientError::Io(_) | ClientError::Wire(_) | ClientError::Protocol(_)
+        )
+    }
+}
+
 /// Result alias for client operations.
 pub type ClientResult<T> = Result<T, ClientError>;
 
-/// Connection-retry knobs for [`BurClient::connect_with`].
+/// In-flight retry knobs: how many times a retryable operation is
+/// re-attempted (reconnecting between attempts) before its error is
+/// surfaced.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts per operation, including the first. `1` disables
+    /// retries.
+    pub max_attempts: u32,
+    /// Delay before the first retry; doubles per attempt.
+    pub initial_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Wall-clock budget across all attempts of one operation; once
+    /// exceeded, the last error is surfaced even if attempts remain.
+    pub max_elapsed: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 8,
+            initial_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_secs(1),
+            max_elapsed: Duration::from_secs(20),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries — every failure surfaces
+    /// immediately.
+    #[must_use]
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// Connection and reliability knobs for [`BurClient::connect_with`].
 #[derive(Debug, Clone)]
 pub struct ClientConfig {
     /// Connection attempts before giving up.
     pub connect_attempts: u32,
-    /// Delay after the first failed attempt; doubles per retry.
+    /// Delay after the first failed connect; doubles per retry.
     pub initial_backoff: Duration,
-    /// Backoff ceiling.
+    /// Connect backoff ceiling.
     pub max_backoff: Duration,
+    /// Wall-clock cap across all connect attempts — a server that is
+    /// down stays down; don't let `connect_attempts` × backoff grow
+    /// unbounded.
+    pub max_connect_elapsed: Duration,
+    /// Per-operation deadline. Sent to the server in the frame header
+    /// (so expired requests are shed, not served) and armed on the
+    /// socket (so a silent server cannot hang the caller). `None`
+    /// waits forever.
+    pub op_timeout: Option<Duration>,
+    /// In-flight retry policy for idempotent operations.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ClientConfig {
@@ -111,6 +219,9 @@ impl Default for ClientConfig {
             connect_attempts: 10,
             initial_backoff: Duration::from_millis(50),
             max_backoff: Duration::from_secs(2),
+            max_connect_elapsed: Duration::from_secs(10),
+            op_timeout: Some(Duration::from_secs(30)),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -132,8 +243,17 @@ pub struct RemoteAck {
 /// A blocking connection to one `burd` server.
 #[derive(Debug)]
 pub struct BurClient {
-    stream: TcpStream,
+    addrs: Vec<SocketAddr>,
+    config: ClientConfig,
+    /// `None` after a transport/framing failure: the stream may be
+    /// mid-frame and must not carry another request. The next
+    /// retryable operation reconnects.
+    stream: Option<TcpStream>,
     next_id: u64,
+    session: u128,
+    next_seq: u64,
+    retries: u64,
+    reconnects: u64,
 }
 
 impl BurClient {
@@ -143,39 +263,150 @@ impl BurClient {
     }
 
     /// Connect, retrying with exponential backoff on refusal (a server
-    /// mid-restart is briefly unreachable; give it time to come back).
+    /// mid-restart is briefly unreachable; give it time to come back)
+    /// but bounded by both [`ClientConfig::connect_attempts`] and
+    /// [`ClientConfig::max_connect_elapsed`].
     pub fn connect_with(addr: impl ToSocketAddrs, config: &ClientConfig) -> ClientResult<Self> {
-        let mut backoff = config.initial_backoff;
-        let mut last_err: Option<io::Error> = None;
-        for attempt in 0..config.connect_attempts.max(1) {
-            if attempt > 0 {
-                std::thread::sleep(backoff);
-                backoff = (backoff * 2).min(config.max_backoff);
-            }
-            match TcpStream::connect(&addr) {
-                Ok(stream) => {
-                    stream.set_nodelay(true)?;
-                    return Ok(BurClient { stream, next_id: 1 });
-                }
-                Err(e) => last_err = Some(e),
-            }
-        }
-        Err(ClientError::Io(last_err.unwrap_or_else(|| {
-            io::Error::new(io::ErrorKind::AddrNotAvailable, "no address to connect to")
-        })))
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = connect_stream(&addrs, config)?;
+        Ok(BurClient {
+            addrs,
+            config: config.clone(),
+            stream: Some(stream),
+            next_id: 1,
+            session: fresh_session(),
+            next_seq: 1,
+            retries: 0,
+            reconnects: 0,
+        })
     }
 
-    fn send(&mut self, req: &Request) -> ClientResult<u64> {
+    /// This connection's dedup session id (stamped on every apply).
+    #[must_use]
+    pub fn session(&self) -> u128 {
+        self.session
+    }
+
+    /// In-flight operation retries performed so far.
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Reconnects performed after poisoned connections.
+    #[must_use]
+    pub fn reconnects(&self) -> u64 {
+        self.reconnects
+    }
+
+    /// Whether the client currently holds a (believed) usable
+    /// connection. `false` after a failure poisoned it.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.stream.is_some()
+    }
+
+    fn ensure_connected(&mut self) -> ClientResult<()> {
+        if self.stream.is_none() {
+            let stream = connect_stream(&self.addrs, &self.config)?;
+            self.stream = Some(stream);
+            self.reconnects += 1;
+        }
+        Ok(())
+    }
+
+    /// Run `op` with the configured retry policy: poisoned connections
+    /// are re-established between attempts, backoff doubles, and both
+    /// the attempt count and the elapsed budget bound the loop. Only
+    /// used for operations that are safe to resend (reads, idempotent
+    /// lifecycle calls, and deduplicated applies).
+    fn with_retry<T>(
+        &mut self,
+        mut op: impl FnMut(&mut Self) -> ClientResult<T>,
+    ) -> ClientResult<T> {
+        let policy = self.config.retry;
+        let started = Instant::now();
+        let mut backoff = policy.initial_backoff;
+        let mut attempt = 0u32;
+        loop {
+            let result = self.ensure_connected().and_then(|()| op(self));
+            let err = match result {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            attempt += 1;
+            if !err.is_retryable()
+                || attempt >= policy.max_attempts.max(1)
+                || started.elapsed() >= policy.max_elapsed
+            {
+                return Err(err);
+            }
+            self.retries += 1;
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(policy.max_backoff);
+        }
+    }
+
+    /// The deadline for an operation starting now.
+    fn op_deadline(&self) -> Option<Instant> {
+        self.config.op_timeout.map(|t| Instant::now() + t)
+    }
+
+    fn poison_check<T>(&mut self, result: ClientResult<T>) -> ClientResult<T> {
+        if matches!(&result, Err(e) if e.poisons()) {
+            self.stream = None;
+        }
+        result
+    }
+
+    fn send_deadline(&mut self, req: &Request, deadline: Option<Instant>) -> ClientResult<u64> {
         let id = self.next_id;
         self.next_id += 1;
+        let deadline_ms = deadline.map(|d| {
+            let ms = d.saturating_duration_since(Instant::now()).as_millis();
+            u32::try_from(ms).unwrap_or(u32::MAX).max(1)
+        });
         let mut out = Vec::with_capacity(64);
-        wire::write_frame(&mut out, id, req.opcode(), &req.encode_payload());
-        self.stream.write_all(&out)?;
+        wire::write_frame_deadline(
+            &mut out,
+            id,
+            req.opcode(),
+            deadline_ms,
+            &req.encode_payload(),
+        );
+        let result = match self.stream.as_mut() {
+            Some(stream) => stream.write_all(&out).map_err(ClientError::Io),
+            None => Err(not_connected()),
+        };
+        self.poison_check(result)?;
         Ok(id)
     }
 
-    fn recv(&mut self, id: u64) -> ClientResult<Response> {
-        let frame = wire::read_frame(&mut self.stream)?.ok_or_else(|| {
+    fn recv_deadline(&mut self, id: u64, deadline: Option<Instant>) -> ClientResult<Response> {
+        let result = self.recv_inner(id, deadline);
+        self.poison_check(result)
+    }
+
+    fn recv_inner(&mut self, id: u64, deadline: Option<Instant>) -> ClientResult<Response> {
+        let stream = self.stream.as_mut().ok_or_else(not_connected)?;
+        // Arm the socket timeout with the remaining budget so even the
+        // wait for the first response byte is bounded; mid-frame reads
+        // are then bounded by the same deadline inside
+        // `read_frame_deadline`.
+        match deadline {
+            Some(d) => {
+                let remaining = d.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return Err(ClientError::Io(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "operation deadline exceeded before the reply arrived",
+                    )));
+                }
+                stream.set_read_timeout(Some(remaining))?;
+            }
+            None => stream.set_read_timeout(None)?,
+        }
+        let frame = wire::read_frame_deadline(stream, deadline)?.ok_or_else(|| {
             ClientError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
@@ -187,13 +418,19 @@ impl BurClient {
                 frame.request_id, id
             )));
         }
-        Ok(Response::decode(frame.opcode, &frame.payload)?)
+        match Response::decode(frame.opcode, &frame.payload)? {
+            Response::Overloaded { message } => Err(ClientError::Overloaded(message)),
+            Response::Expired { message } => Err(ClientError::DeadlineExceeded(message)),
+            resp => Ok(resp),
+        }
     }
 
-    /// One request, one response frame.
+    /// One request, one response frame, one deadline.
     fn round_trip(&mut self, req: &Request) -> ClientResult<Response> {
-        let id = self.send(req)?;
-        self.recv(id)
+        self.ensure_connected()?;
+        let deadline = self.op_deadline();
+        let id = self.send_deadline(req, deadline)?;
+        self.recv_deadline(id, deadline)
     }
 
     fn expect_ok(&mut self, req: &Request) -> ClientResult<()> {
@@ -204,17 +441,19 @@ impl BurClient {
         }
     }
 
-    /// Liveness probe.
+    /// Liveness probe (retried).
     pub fn ping(&mut self) -> ClientResult<()> {
-        match self.round_trip(&Request::Ping)? {
+        self.with_retry(|c| match c.round_trip(&Request::Ping)? {
             Response::Pong => Ok(()),
             Response::Err { message } => Err(ClientError::Server(message)),
             other => Err(unexpected("Pong", &other)),
-        }
+        })
     }
 
     /// Create a named index on the server. `strategy` is the CLI-style
-    /// short name (`td` / `lbu` / `gbu`).
+    /// short name (`td` / `lbu` / `gbu`). Single-attempt: creation is
+    /// not idempotent, so after a lost ack the caller must check
+    /// [`BurClient::list_indexes`] rather than blindly resend.
     pub fn create_index(&mut self, name: &str, strategy: &str, durable: bool) -> ClientResult<()> {
         let strategy = StrategyKind::parse(strategy).ok_or_else(|| {
             ClientError::Protocol(format!("unknown strategy {strategy:?} (td, lbu, gbu)"))
@@ -226,64 +465,88 @@ impl BurClient {
         })
     }
 
-    /// Open a named index (idempotent).
+    /// Open a named index (idempotent, retried).
     pub fn open_index(&mut self, name: &str) -> ClientResult<()> {
-        self.expect_ok(&Request::Open {
-            name: name.to_string(),
+        self.with_retry(|c| {
+            c.expect_ok(&Request::Open {
+                name: name.to_string(),
+            })
         })
     }
 
     /// Close a named index: the server drains its coalescer, flushes
-    /// and checkpoints before acknowledging.
+    /// and checkpoints before acknowledging. Single-attempt (closing a
+    /// closed index errors).
     pub fn close_index(&mut self, name: &str) -> ClientResult<()> {
         self.expect_ok(&Request::Close {
             name: name.to_string(),
         })
     }
 
-    /// Indexes the server knows about, as `(name, open)` pairs.
+    /// Indexes the server knows about, as `(name, open)` pairs
+    /// (retried).
     pub fn list_indexes(&mut self) -> ClientResult<Vec<(String, bool)>> {
-        match self.round_trip(&Request::List)? {
+        self.with_retry(|c| match c.round_trip(&Request::List)? {
             Response::Names { names } => Ok(names),
             Response::Err { message } => Err(ClientError::Server(message)),
             other => Err(unexpected("Names", &other)),
-        }
+        })
     }
 
     /// Apply a batch. Blocks until the server acks it durable; the
     /// server is free to coalesce it with concurrent clients' batches
     /// into one WAL group commit ([`RemoteAck::merged`] reports how
     /// many shared the round).
+    ///
+    /// Retried safely: the batch is stamped with this client's session
+    /// id and a sequence number allocated once per call, so a resend
+    /// after a lost ack deduplicates server-side and returns the
+    /// *original* ack — the batch is never applied twice.
     pub fn apply(&mut self, index: &str, batch: &Batch) -> ClientResult<RemoteAck> {
-        match self.round_trip(&Request::Apply {
-            index: index.to_string(),
-            ops: batch.ops().to_vec(),
-        })? {
-            Response::Ack {
-                lsn,
-                applied,
-                merged,
-            } => Ok(RemoteAck {
-                lsn,
-                applied,
-                merged,
-            }),
-            Response::Err { message } => Err(ClientError::Server(message)),
-            other => Err(unexpected("Ack", &other)),
-        }
+        let session = self.session;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let ops = batch.ops().to_vec();
+        self.with_retry(|c| {
+            match c.round_trip(&Request::Apply {
+                index: index.to_string(),
+                session,
+                seq,
+                ops: ops.clone(),
+            })? {
+                Response::Ack {
+                    lsn,
+                    applied,
+                    merged,
+                } => Ok(RemoteAck {
+                    lsn,
+                    applied,
+                    merged,
+                }),
+                Response::Err { message } => Err(ClientError::Server(message)),
+                other => Err(unexpected("Ack", &other)),
+            }
+        })
     }
 
     /// Window query; results stream back in chunks, surfaced as a
     /// borrowing iterator (drop it early and it drains the stream to
-    /// keep the connection usable).
+    /// keep the connection usable). Single-attempt: a mid-stream
+    /// failure poisons the connection and surfaces the error.
     pub fn query(&mut self, index: &str, window: &Rect) -> ClientResult<IdStream<'_>> {
-        let id = self.send(&Request::Query {
-            index: index.to_string(),
-            window: *window,
-        })?;
+        self.ensure_connected()?;
+        let deadline = self.op_deadline();
+        let id = self.send_deadline(
+            &Request::Query {
+                index: index.to_string(),
+                window: *window,
+            },
+            deadline,
+        )?;
         Ok(IdStream {
             client: self,
             id,
+            deadline,
             buf: Vec::new(),
             pos: 0,
             done: false,
@@ -298,41 +561,52 @@ impl BurClient {
         point: Point,
         k: usize,
     ) -> ClientResult<NeighborStream<'_>> {
-        let id = self.send(&Request::Knn {
-            index: index.to_string(),
-            point,
-            k: k as u32,
-        })?;
+        self.ensure_connected()?;
+        let deadline = self.op_deadline();
+        let id = self.send_deadline(
+            &Request::Knn {
+                index: index.to_string(),
+                point,
+                k: k as u32,
+            },
+            deadline,
+        )?;
         Ok(NeighborStream {
             client: self,
             id,
+            deadline,
             buf: Vec::new(),
             pos: 0,
             done: false,
         })
     }
 
-    /// Number of objects in the named index.
+    /// Number of objects in the named index (retried).
     pub fn len(&mut self, index: &str) -> ClientResult<u64> {
-        match self.round_trip(&Request::Len {
-            index: index.to_string(),
-        })? {
-            Response::Count { value } => Ok(value),
-            Response::Err { message } => Err(ClientError::Server(message)),
-            other => Err(unexpected("Count", &other)),
-        }
-    }
-
-    /// Per-index gauge dump (plaintext `name{index="..."} value` lines).
-    pub fn stats(&mut self, index: &str) -> ClientResult<String> {
-        self.text(&Request::Stats {
-            index: index.to_string(),
+        self.with_retry(|c| {
+            match c.round_trip(&Request::Len {
+                index: index.to_string(),
+            })? {
+                Response::Count { value } => Ok(value),
+                Response::Err { message } => Err(ClientError::Server(message)),
+                other => Err(unexpected("Count", &other)),
+            }
         })
     }
 
-    /// Server-wide metrics dump (plaintext).
+    /// Per-index gauge dump (plaintext `name{index="..."} value`
+    /// lines; retried).
+    pub fn stats(&mut self, index: &str) -> ClientResult<String> {
+        self.with_retry(|c| {
+            c.text(&Request::Stats {
+                index: index.to_string(),
+            })
+        })
+    }
+
+    /// Server-wide metrics dump (plaintext, retried).
     pub fn metrics(&mut self) -> ClientResult<String> {
-        self.text(&Request::Metrics)
+        self.with_retry(|c| c.text(&Request::Metrics))
     }
 
     fn text(&mut self, req: &Request) -> ClientResult<String> {
@@ -345,10 +619,76 @@ impl BurClient {
 
     /// Ask the server to shut down gracefully (drain writes, flush,
     /// checkpoint). The acknowledgement arrives before the listener
-    /// closes.
+    /// closes. Single-attempt.
     pub fn shutdown_server(&mut self) -> ClientResult<()> {
         self.expect_ok(&Request::Shutdown)
     }
+}
+
+fn not_connected() -> ClientError {
+    ClientError::Io(io::Error::new(
+        io::ErrorKind::NotConnected,
+        "connection poisoned by an earlier failure",
+    ))
+}
+
+/// Dial `addrs`, bounded by both an attempt count and a wall-clock
+/// budget, surfacing the last underlying error on exhaustion.
+fn connect_stream(addrs: &[SocketAddr], config: &ClientConfig) -> ClientResult<TcpStream> {
+    const PER_ATTEMPT: Duration = Duration::from_millis(500);
+    let started = Instant::now();
+    let mut backoff = config.initial_backoff;
+    let mut last_err: Option<io::Error> = None;
+    for attempt in 0..config.connect_attempts.max(1) {
+        if attempt > 0 {
+            if started.elapsed() + backoff >= config.max_connect_elapsed {
+                break;
+            }
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(config.max_backoff);
+        }
+        for addr in addrs {
+            match TcpStream::connect_timeout(addr, PER_ATTEMPT) {
+                Ok(stream) => {
+                    stream.set_nodelay(true)?;
+                    stream.set_write_timeout(config.op_timeout)?;
+                    return Ok(stream);
+                }
+                Err(e) => last_err = Some(e),
+            }
+        }
+    }
+    Err(ClientError::Io(match last_err {
+        Some(e) => io::Error::new(e.kind(), format!("connect failed after retries: {e}")),
+        None => io::Error::new(io::ErrorKind::AddrNotAvailable, "no address to connect to"),
+    }))
+}
+
+/// A process-unique, collision-resistant session id for write dedup.
+/// Mixed from the clock, the pid, and a process counter through
+/// splitmix64 — random enough for uniqueness across client restarts
+/// without pulling in an RNG dependency. Never zero (zero opts out of
+/// dedup on the wire).
+fn fresh_session() -> u128 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_nanos())
+        .unwrap_or(0);
+    let count = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let pid = u64::from(std::process::id());
+    let hi = splitmix64(nanos as u64 ^ pid.rotate_left(32));
+    let lo = splitmix64((nanos >> 64) as u64 ^ count.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ pid);
+    let session = (u128::from(hi) << 64) | u128::from(lo);
+    session.max(1)
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 fn unexpected(wanted: &str, got: &Response) -> ClientError {
@@ -362,6 +702,7 @@ macro_rules! chunk_stream {
         pub struct $name<'a> {
             client: &'a mut BurClient,
             id: u64,
+            deadline: Option<Instant>,
             buf: Vec<$item>,
             pos: usize,
             done: bool,
@@ -369,7 +710,18 @@ macro_rules! chunk_stream {
 
         impl $name<'_> {
             fn refill(&mut self) -> ClientResult<()> {
-                match self.client.recv(self.id)? {
+                // Any receive failure ends the stream: there is either
+                // no usable connection left (poisoned) or no further
+                // frame owed (a shed/expired reply is final), so the
+                // Drop drain must not wait for more.
+                let received = match self.client.recv_deadline(self.id, self.deadline) {
+                    Ok(resp) => resp,
+                    Err(e) => {
+                        self.done = true;
+                        return Err(e);
+                    }
+                };
+                match received {
                     Response::$variant { $field, last } => {
                         self.buf = $field.into_iter().map($map).collect();
                         self.pos = 0;
@@ -419,7 +771,8 @@ macro_rules! chunk_stream {
 
         impl Drop for $name<'_> {
             /// Drain unread chunk frames so the connection stays framed
-            /// for the next request.
+            /// for the next request (a refill failure has already
+            /// poisoned it, so just stop).
             fn drop(&mut self) {
                 while !self.done {
                     if self.refill().is_err() {
@@ -453,3 +806,48 @@ chunk_stream!(
         distance: n.distance,
     }
 );
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn session_ids_are_unique_and_nonzero() {
+        let a = fresh_session();
+        let b = fresh_session();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b, "counter mixing must separate same-instant calls");
+    }
+
+    #[test]
+    fn retry_policy_none_is_single_attempt() {
+        assert_eq!(RetryPolicy::none().max_attempts, 1);
+    }
+
+    #[test]
+    fn connect_respects_elapsed_cap() {
+        // A freshly released loopback port: bind, record the address,
+        // drop the listener. Every connect attempt is then refused
+        // locally — no routing assumptions — so the elapsed cap is
+        // what ends the loop.
+        let addrs: Vec<SocketAddr> = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            vec![listener.local_addr().unwrap()]
+        };
+        let config = ClientConfig {
+            connect_attempts: 1000,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(50),
+            max_connect_elapsed: Duration::from_millis(600),
+            ..ClientConfig::default()
+        };
+        let started = Instant::now();
+        let err = connect_stream(&addrs, &config).unwrap_err();
+        assert!(matches!(err, ClientError::Io(_)), "surfaces the io error");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "elapsed cap must end the loop long before 1000 attempts"
+        );
+    }
+}

@@ -1,0 +1,685 @@
+//! A frame-aware TCP chaos proxy — the network analogue of the storage
+//! layer's `FaultyDisk`.
+//!
+//! [`ChaosProxy`] sits between a client and `burd`, forwards whole wire
+//! frames in both directions, and injects faults according to a seeded,
+//! scriptable [`FaultPlan`]: drop the connection, truncate a frame
+//! mid-payload, delay it, or black-hole one direction (read and discard
+//! forever — the peer sees a connection that is alive but silent). All
+//! randomized decisions derive from `seed ^ hash(conn, direction)`, so a
+//! drill that fails under seed N replays bit-for-bit under seed N.
+//!
+//! The proxy never parses payloads — it only needs frame boundaries, so
+//! the faults it injects land at protocol-meaningful points (a
+//! truncated frame is a *malformed* frame to the receiver, a dropped
+//! ack is a *lost* ack, not a half-written length prefix the next frame
+//! would resynchronise past).
+
+use crate::wire::{self, FrameError};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt;
+use std::io::{self, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// How long a pump thread's blocked read waits before re-checking the
+/// stop flag.
+const PUMP_TICK: Duration = Duration::from_millis(100);
+
+/// Which way a frame is travelling through the proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Requests: client → server.
+    ClientToServer,
+    /// Responses: server → client.
+    ServerToClient,
+}
+
+impl Direction {
+    fn tag(self) -> u64 {
+        match self {
+            Direction::ClientToServer => 0x1,
+            Direction::ServerToClient => 0x2,
+        }
+    }
+
+    /// Short label used by [`FaultPlan::parse`] scripts (`c2s`/`s2c`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::ClientToServer => "c2s",
+            Direction::ServerToClient => "s2c",
+        }
+    }
+}
+
+/// One injectable fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Close both directions of the connection instead of forwarding
+    /// this frame (the peer sees a reset/EOF mid-conversation).
+    Drop,
+    /// Forward the frame's header plus half its payload, then close —
+    /// the receiver gets a provably malformed frame.
+    Truncate,
+    /// Stop forwarding this direction entirely (frames are read and
+    /// discarded): the peer's connection stays open but goes silent,
+    /// which is what client-side timeouts exist for.
+    Blackhole,
+    /// Forward the frame after sleeping.
+    Delay(Duration),
+}
+
+/// A fault pinned to an exact `(connection, direction, frame index)`
+/// coordinate — for deterministic tests that need, say, "eat exactly
+/// the first ack".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScriptedFault {
+    /// 0-based connection number in accept order.
+    pub conn: u64,
+    /// Which pump the fault applies to.
+    pub direction: Direction,
+    /// 0-based frame index within that pump.
+    pub frame: u64,
+    /// What to do to it.
+    pub fault: Fault,
+}
+
+/// The seeded fault schedule for one proxy. Rates are per-frame
+/// probabilities in `[0, 1]`; scripted faults override the dice for
+/// their exact coordinate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed; every `(conn, direction)` pump derives its own
+    /// stream from it.
+    pub seed: u64,
+    /// Probability a frame drops the whole connection.
+    pub drop_rate: f64,
+    /// Probability a frame is truncated mid-payload (then closed).
+    pub truncate_rate: f64,
+    /// Probability a pump goes permanently silent at a frame.
+    pub blackhole_rate: f64,
+    /// Probability a frame is delayed by [`FaultPlan::delay`].
+    pub delay_rate: f64,
+    /// The delay applied to delayed frames.
+    pub delay: Duration,
+    /// Per-direction byte budget: once a pump has forwarded this many
+    /// bytes the connection is cut mid-stream ("drop connection after
+    /// N bytes"). `None` = unlimited.
+    pub cut_after_bytes: Option<u64>,
+    /// Exact-coordinate overrides, consulted before the dice.
+    pub script: Vec<ScriptedFault>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            seed: 0,
+            drop_rate: 0.0,
+            truncate_rate: 0.0,
+            blackhole_rate: 0.0,
+            delay_rate: 0.0,
+            delay: Duration::from_millis(1),
+            cut_after_bytes: None,
+            script: Vec::new(),
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Parse the compact CLI spec used by `burctl chaos --plan`:
+    /// comma-separated `key=value` pairs.
+    ///
+    /// ```text
+    /// seed=42,drop=0.05,truncate=0.02,delay=0.1:5,blackhole=0.01,cut-after=4096
+    /// ```
+    ///
+    /// Keys: `seed=<u64>`, `drop=<rate>`, `truncate=<rate>`,
+    /// `blackhole=<rate>`, `delay=<rate>` or `delay=<rate>:<millis>`,
+    /// `cut-after=<bytes>`, and `script=<conn>/<c2s|s2c>/<frame>/<drop|truncate|blackhole|delay>`
+    /// (repeatable, `+`-separated).
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::default();
+        for part in spec.split(',').filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {part:?}"))?;
+            let rate = |v: &str| -> Result<f64, String> {
+                let r: f64 = v.parse().map_err(|_| format!("bad rate {v:?}"))?;
+                if (0.0..=1.0).contains(&r) {
+                    Ok(r)
+                } else {
+                    Err(format!("rate {r} outside [0, 1]"))
+                }
+            };
+            match key {
+                "seed" => plan.seed = value.parse().map_err(|_| format!("bad seed {value:?}"))?,
+                "drop" => plan.drop_rate = rate(value)?,
+                "truncate" => plan.truncate_rate = rate(value)?,
+                "blackhole" => plan.blackhole_rate = rate(value)?,
+                "delay" => match value.split_once(':') {
+                    Some((r, ms)) => {
+                        plan.delay_rate = rate(r)?;
+                        plan.delay = Duration::from_millis(
+                            ms.parse().map_err(|_| format!("bad delay millis {ms:?}"))?,
+                        );
+                    }
+                    None => plan.delay_rate = rate(value)?,
+                },
+                "cut-after" => {
+                    plan.cut_after_bytes = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("bad byte count {value:?}"))?,
+                    );
+                }
+                "script" => {
+                    for item in value.split('+').filter(|s| !s.is_empty()) {
+                        plan.script.push(Self::parse_scripted(item)?);
+                    }
+                }
+                other => return Err(format!("unknown plan key {other:?}")),
+            }
+        }
+        Ok(plan)
+    }
+
+    fn parse_scripted(item: &str) -> Result<ScriptedFault, String> {
+        let fields: Vec<&str> = item.split('/').collect();
+        let [conn, dir, frame, fault] = fields.as_slice() else {
+            return Err(format!(
+                "script entry {item:?} is not <conn>/<dir>/<frame>/<fault>"
+            ));
+        };
+        Ok(ScriptedFault {
+            conn: conn.parse().map_err(|_| format!("bad conn {conn:?}"))?,
+            direction: match *dir {
+                "c2s" => Direction::ClientToServer,
+                "s2c" => Direction::ServerToClient,
+                other => return Err(format!("bad direction {other:?} (use c2s/s2c)")),
+            },
+            frame: frame.parse().map_err(|_| format!("bad frame {frame:?}"))?,
+            fault: match *fault {
+                "drop" => Fault::Drop,
+                "truncate" => Fault::Truncate,
+                "blackhole" => Fault::Blackhole,
+                "delay" => Fault::Delay(Duration::from_millis(5)),
+                other => {
+                    return Err(format!(
+                        "bad fault {other:?} (use drop/truncate/blackhole/delay)"
+                    ))
+                }
+            },
+        })
+    }
+
+    fn decide(
+        &self,
+        rng: &mut StdRng,
+        conn: u64,
+        direction: Direction,
+        frame: u64,
+    ) -> Option<Fault> {
+        // Scripted coordinates override the dice entirely.
+        for s in &self.script {
+            if s.conn == conn && s.direction == direction && s.frame == frame {
+                return Some(s.fault);
+            }
+        }
+        // Fixed draw order keeps a seed's schedule stable regardless of
+        // which rates are zero.
+        let d_drop = rng.random_bool(self.drop_rate);
+        let d_trunc = rng.random_bool(self.truncate_rate);
+        let d_hole = rng.random_bool(self.blackhole_rate);
+        let d_delay = rng.random_bool(self.delay_rate);
+        if d_drop {
+            Some(Fault::Drop)
+        } else if d_trunc {
+            Some(Fault::Truncate)
+        } else if d_hole {
+            Some(Fault::Blackhole)
+        } else if d_delay {
+            Some(Fault::Delay(self.delay))
+        } else {
+            None
+        }
+    }
+}
+
+/// Counters for one proxy's lifetime, for assertions ("the drill
+/// actually injected faults") and the standalone tool's logging.
+#[derive(Debug, Default)]
+struct SharedStats {
+    connections: AtomicU64,
+    frames_forwarded: AtomicU64,
+    bytes_forwarded: AtomicU64,
+    drops: AtomicU64,
+    truncations: AtomicU64,
+    blackholes: AtomicU64,
+    delays: AtomicU64,
+}
+
+/// Snapshot of a proxy's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Frames forwarded intact (delayed frames count once forwarded).
+    pub frames_forwarded: u64,
+    /// Bytes forwarded (including truncated fragments).
+    pub bytes_forwarded: u64,
+    /// Connections dropped by fault injection (including byte-budget
+    /// cuts).
+    pub drops: u64,
+    /// Frames truncated mid-payload.
+    pub truncations: u64,
+    /// Pumps that went silent.
+    pub blackholes: u64,
+    /// Frames delayed.
+    pub delays: u64,
+}
+
+impl ChaosStats {
+    /// Total faults injected.
+    #[must_use]
+    pub fn faults(&self) -> u64 {
+        self.drops + self.truncations + self.blackholes + self.delays
+    }
+}
+
+/// A running chaos proxy. Dropping the handle shuts it down.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    stats: Arc<SharedStats>,
+    streams: Arc<Mutex<Vec<TcpStream>>>,
+    accept: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl fmt::Debug for ChaosProxy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ChaosProxy")
+            .field("addr", &self.addr)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ChaosProxy {
+    /// Bind `listen` (port 0 allowed), forward every accepted
+    /// connection to `upstream`, and inject faults per `plan`.
+    pub fn start(
+        listen: &str,
+        upstream: impl ToSocketAddrs,
+        plan: FaultPlan,
+    ) -> io::Result<ChaosProxy> {
+        let upstream = upstream.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::AddrNotAvailable,
+                "upstream resolved to nothing",
+            )
+        })?;
+        let listener = TcpListener::bind(listen)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(SharedStats::default());
+        let streams: Arc<Mutex<Vec<TcpStream>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let stats = Arc::clone(&stats);
+            let streams = Arc::clone(&streams);
+            std::thread::Builder::new()
+                .name("chaos-accept".into())
+                .spawn(move || accept_loop(&listener, upstream, &plan, &stop, &stats, &streams))
+                .expect("spawn chaos accept thread")
+        };
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            stats,
+            streams,
+            accept: Mutex::new(Some(accept)),
+        })
+    }
+
+    /// The proxy's bound address — point clients here.
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counters so far.
+    #[must_use]
+    pub fn stats(&self) -> ChaosStats {
+        ChaosStats {
+            connections: self.stats.connections.load(Ordering::Relaxed),
+            frames_forwarded: self.stats.frames_forwarded.load(Ordering::Relaxed),
+            bytes_forwarded: self.stats.bytes_forwarded.load(Ordering::Relaxed),
+            drops: self.stats.drops.load(Ordering::Relaxed),
+            truncations: self.stats.truncations.load(Ordering::Relaxed),
+            blackholes: self.stats.blackholes.load(Ordering::Relaxed),
+            delays: self.stats.delays.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop accepting, tear down every proxied connection, join the
+    /// pump threads. Idempotent.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the listener so it observes the flag.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(500));
+        for stream in self.streams.lock().drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        if let Some(accept) = self.accept.lock().take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    upstream: SocketAddr,
+    plan: &FaultPlan,
+    stop: &Arc<AtomicBool>,
+    stats: &Arc<SharedStats>,
+    streams: &Arc<Mutex<Vec<TcpStream>>>,
+) {
+    let mut pumps: Vec<JoinHandle<()>> = Vec::new();
+    let mut conn_id = 0u64;
+    loop {
+        let client = match listener.accept() {
+            Ok((stream, _peer)) => stream,
+            Err(_) => break,
+        };
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let server = match TcpStream::connect_timeout(&upstream, Duration::from_secs(2)) {
+            Ok(stream) => stream,
+            Err(_) => {
+                // Upstream unreachable: the client sees an immediate
+                // close, which is itself a realistic fault.
+                let _ = client.shutdown(Shutdown::Both);
+                continue;
+            }
+        };
+        stats.connections.fetch_add(1, Ordering::Relaxed);
+        let _ = client.set_nodelay(true);
+        let _ = server.set_nodelay(true);
+        {
+            let mut tracked = streams.lock();
+            if let Ok(c) = client.try_clone() {
+                tracked.push(c);
+            }
+            if let Ok(s) = server.try_clone() {
+                tracked.push(s);
+            }
+        }
+        pumps.retain(|h| !h.is_finished());
+        for (direction, src, dst) in [
+            (
+                Direction::ClientToServer,
+                client.try_clone(),
+                server.try_clone(),
+            ),
+            (
+                Direction::ServerToClient,
+                server.try_clone(),
+                client.try_clone(),
+            ),
+        ] {
+            let (Ok(src), Ok(dst)) = (src, dst) else {
+                continue;
+            };
+            let plan = plan.clone();
+            let stop = Arc::clone(stop);
+            let stats = Arc::clone(stats);
+            let handle = std::thread::Builder::new()
+                .name(format!("chaos-pump-{}", direction.label()))
+                .spawn(move || pump(src, dst, &plan, conn_id, direction, &stop, &stats))
+                .expect("spawn chaos pump thread");
+            pumps.push(handle);
+        }
+        conn_id += 1;
+    }
+    for pump in pumps {
+        let _ = pump.join();
+    }
+}
+
+/// Forward frames from `src` to `dst`, consulting the plan once per
+/// frame. Runs until EOF, connection teardown, or the stop flag.
+fn pump(
+    mut src: TcpStream,
+    mut dst: TcpStream,
+    plan: &FaultPlan,
+    conn: u64,
+    direction: Direction,
+    stop: &AtomicBool,
+    stats: &SharedStats,
+) {
+    // Independent deterministic stream per (conn, direction) pump.
+    let mut rng = StdRng::seed_from_u64(
+        plan.seed ^ (conn.wrapping_mul(0x9e37_79b9_7f4a_7c15)) ^ direction.tag(),
+    );
+    let _ = src.set_read_timeout(Some(PUMP_TICK));
+    let mut frame_idx = 0u64;
+    let mut bytes_sent = 0u64;
+    let mut blackholed = false;
+    let teardown = |src: &TcpStream, dst: &TcpStream| {
+        let _ = src.shutdown(Shutdown::Both);
+        let _ = dst.shutdown(Shutdown::Both);
+    };
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            teardown(&src, &dst);
+            return;
+        }
+        let frame = match wire::read_frame(&mut src) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => {
+                // Clean EOF: half-close the forward direction so the
+                // peer sees it too.
+                let _ = dst.shutdown(Shutdown::Write);
+                return;
+            }
+            Err(FrameError::Io(e))
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                continue;
+            }
+            Err(_) => {
+                teardown(&src, &dst);
+                return;
+            }
+        };
+        let fault = plan.decide(&mut rng, conn, direction, frame_idx);
+        frame_idx += 1;
+        if blackholed {
+            // Keep reading (so the sender never blocks) but forward
+            // nothing.
+            continue;
+        }
+        let mut buf = Vec::with_capacity(frame.payload.len() + 18);
+        wire::write_frame_deadline(
+            &mut buf,
+            frame.request_id,
+            frame.opcode,
+            frame.deadline_ms,
+            &frame.payload,
+        );
+        match fault {
+            Some(Fault::Drop) => {
+                stats.drops.fetch_add(1, Ordering::Relaxed);
+                teardown(&src, &dst);
+                return;
+            }
+            Some(Fault::Truncate) => {
+                stats.truncations.fetch_add(1, Ordering::Relaxed);
+                let cut = buf.len() - frame.payload.len() / 2 - 1;
+                let fragment = &buf[..cut.max(1)];
+                let _ = dst.write_all(fragment);
+                stats
+                    .bytes_forwarded
+                    .fetch_add(fragment.len() as u64, Ordering::Relaxed);
+                teardown(&src, &dst);
+                return;
+            }
+            Some(Fault::Blackhole) => {
+                stats.blackholes.fetch_add(1, Ordering::Relaxed);
+                blackholed = true;
+                continue;
+            }
+            Some(Fault::Delay(d)) => {
+                stats.delays.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(d);
+            }
+            None => {}
+        }
+        // Byte-budget cut: forward only up to the budget, then drop the
+        // connection mid-stream.
+        if let Some(budget) = plan.cut_after_bytes {
+            let remaining = budget.saturating_sub(bytes_sent);
+            if (buf.len() as u64) > remaining {
+                let fragment = &buf[..remaining as usize];
+                if !fragment.is_empty() {
+                    let _ = dst.write_all(fragment);
+                    stats
+                        .bytes_forwarded
+                        .fetch_add(fragment.len() as u64, Ordering::Relaxed);
+                }
+                stats.drops.fetch_add(1, Ordering::Relaxed);
+                teardown(&src, &dst);
+                return;
+            }
+        }
+        if dst.write_all(&buf).is_err() {
+            teardown(&src, &dst);
+            return;
+        }
+        bytes_sent += buf.len() as u64;
+        stats.frames_forwarded.fetch_add(1, Ordering::Relaxed);
+        stats
+            .bytes_forwarded
+            .fetch_add(buf.len() as u64, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_spec_parses() {
+        let plan = FaultPlan::parse(
+            "seed=42,drop=0.05,truncate=0.02,delay=0.1:5,blackhole=0.01,cut-after=4096",
+        )
+        .expect("parses");
+        assert_eq!(plan.seed, 42);
+        assert!((plan.drop_rate - 0.05).abs() < 1e-9);
+        assert!((plan.truncate_rate - 0.02).abs() < 1e-9);
+        assert!((plan.delay_rate - 0.1).abs() < 1e-9);
+        assert_eq!(plan.delay, Duration::from_millis(5));
+        assert!((plan.blackhole_rate - 0.01).abs() < 1e-9);
+        assert_eq!(plan.cut_after_bytes, Some(4096));
+
+        let scripted = FaultPlan::parse("script=0/s2c/0/drop+1/c2s/2/truncate").expect("parses");
+        assert_eq!(
+            scripted.script,
+            vec![
+                ScriptedFault {
+                    conn: 0,
+                    direction: Direction::ServerToClient,
+                    frame: 0,
+                    fault: Fault::Drop,
+                },
+                ScriptedFault {
+                    conn: 1,
+                    direction: Direction::ClientToServer,
+                    frame: 2,
+                    fault: Fault::Truncate,
+                },
+            ]
+        );
+
+        assert!(FaultPlan::parse("drop=1.5").is_err());
+        assert!(FaultPlan::parse("volume=11").is_err());
+        assert!(FaultPlan::parse("script=0/xyz/0/drop").is_err());
+        assert!(FaultPlan::parse("seed").is_err());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let plan = FaultPlan {
+            seed: 7,
+            drop_rate: 0.2,
+            truncate_rate: 0.2,
+            blackhole_rate: 0.1,
+            delay_rate: 0.3,
+            ..FaultPlan::default()
+        };
+        let draw = |conn: u64, dir: Direction| -> Vec<Option<Fault>> {
+            let mut rng = StdRng::seed_from_u64(
+                plan.seed ^ (conn.wrapping_mul(0x9e37_79b9_7f4a_7c15)) ^ dir.tag(),
+            );
+            (0..64)
+                .map(|i| plan.decide(&mut rng, conn, dir, i))
+                .collect()
+        };
+        assert_eq!(
+            draw(0, Direction::ClientToServer),
+            draw(0, Direction::ClientToServer)
+        );
+        assert_ne!(
+            draw(0, Direction::ClientToServer),
+            draw(1, Direction::ClientToServer),
+            "different connections draw different schedules"
+        );
+        assert_ne!(
+            draw(0, Direction::ClientToServer),
+            draw(0, Direction::ServerToClient),
+            "directions draw independent schedules"
+        );
+        let faults: usize = draw(0, Direction::ClientToServer)
+            .iter()
+            .filter(|f| f.is_some())
+            .count();
+        assert!(faults > 0, "rates this high must inject something");
+    }
+
+    #[test]
+    fn scripted_faults_override_dice() {
+        let plan = FaultPlan {
+            script: vec![ScriptedFault {
+                conn: 3,
+                direction: Direction::ServerToClient,
+                frame: 2,
+                fault: Fault::Drop,
+            }],
+            ..FaultPlan::default()
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(
+            plan.decide(&mut rng, 3, Direction::ServerToClient, 2),
+            Some(Fault::Drop)
+        );
+        assert_eq!(plan.decide(&mut rng, 3, Direction::ServerToClient, 1), None);
+        assert_eq!(plan.decide(&mut rng, 2, Direction::ServerToClient, 2), None);
+    }
+}

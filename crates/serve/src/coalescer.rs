@@ -11,18 +11,80 @@
 //! up behind it — load itself creates the grouping, no timer needed.
 
 use bur_core::{Batch, Bur, CoreError, Op};
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 /// Ops merged into a single round before the committer cuts it off
 /// (bounds commit latency under a firehose; the remainder queues for
 /// the next round).
 const MAX_ROUND_OPS: usize = 8192;
+
+/// Tuning knobs for one index's coalescer, set server-wide via
+/// `ServerConfig` / `burd --queue-limit`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoalescerConfig {
+    /// Admission ceiling: a write batch is refused with
+    /// [`ApplyError::Overloaded`] when accepting it would push the
+    /// queued-or-in-flight op count past this. Half of it is the
+    /// degraded-mode watermark ([`Coalescer::is_degraded`]): queries
+    /// are shed before writes, so the write path keeps its budget.
+    pub max_queued_ops: usize,
+    /// Bound on the retry-dedup table: distinct client sessions
+    /// remembered (last sequence number + cached ack each). Oldest
+    /// completed sessions are evicted first.
+    pub max_sessions: usize,
+}
+
+impl Default for CoalescerConfig {
+    fn default() -> Self {
+        CoalescerConfig {
+            max_queued_ops: 16_384,
+            max_sessions: 1024,
+        }
+    }
+}
+
+/// Why a submission was refused or abandoned without (full) effect.
+/// Distinct from the stringly-typed commit errors because the server
+/// maps each variant to its own wire response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyError {
+    /// Shed at admission: the bounded queue is full. No side effects;
+    /// retry after backoff.
+    Overloaded {
+        /// Ops queued or in flight when the batch was refused.
+        queued: usize,
+        /// The configured admission ceiling.
+        limit: usize,
+    },
+    /// The deadline passed before the batch was committed. No side
+    /// effects; safe to retry with a fresh deadline.
+    Expired,
+    /// The batch (or the index) rejected it; the message crosses the
+    /// wire verbatim. Partial-failure messages name the failing op.
+    Rejected(String),
+}
+
+impl fmt::Display for ApplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ApplyError::Overloaded { queued, limit } => {
+                write!(f, "overloaded: {queued} ops queued (limit {limit})")
+            }
+            ApplyError::Expired => write!(f, "deadline expired before commit"),
+            ApplyError::Rejected(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ApplyError {}
 
 /// Durable acknowledgement for one coalesced submission.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,6 +110,17 @@ pub struct CoalescerStats {
     pub submissions: u64,
     /// Total operations committed.
     pub ops: u64,
+    /// Write batches refused at admission (queue full).
+    pub shed_writes: u64,
+    /// Submissions whose deadline passed before commit.
+    pub expired: u64,
+    /// Retried batches answered from the dedup table instead of
+    /// re-applying.
+    pub dedup_hits: u64,
+    /// Client sessions currently tracked by the dedup table.
+    pub dedup_sessions: u64,
+    /// Ops queued or in flight right now (admission gauge).
+    pub queued_ops: u64,
 }
 
 impl CoalescerStats {
@@ -62,9 +135,18 @@ impl CoalescerStats {
     }
 }
 
+/// How a round-level failure reaches the submitting thread; `Expired`
+/// guarantees the ops were *not* applied (the committer drops expired
+/// submissions before batching them).
+enum RoundError {
+    Expired,
+    Failed(String),
+}
+
 struct Submission {
     ops: Vec<Op>,
-    reply: SyncSender<Result<WriteAck, String>>,
+    deadline: Option<Instant>,
+    reply: SyncSender<Result<WriteAck, RoundError>>,
 }
 
 #[derive(Default)]
@@ -72,6 +154,146 @@ struct SharedStats {
     rounds: AtomicU64,
     submissions: AtomicU64,
     ops: AtomicU64,
+    shed_writes: AtomicU64,
+    expired: AtomicU64,
+    queued_ops: AtomicUsize,
+}
+
+// ---- retry dedup -----------------------------------------------------------
+
+enum SlotState {
+    /// The original attempt is somewhere between admission and ack;
+    /// duplicates wait on the condvar instead of re-applying.
+    InFlight,
+    /// The attempt finished; duplicates replay this result.
+    Done(Result<WriteAck, String>),
+}
+
+struct SessionSlot {
+    seq: u64,
+    state: SlotState,
+    /// Logical clock for least-recently-touched eviction.
+    tick: u64,
+}
+
+/// What [`DedupTable::begin`] decided for an incoming `(session, seq)`.
+enum Admission {
+    /// First sighting — caller must apply and then call `finish` (or
+    /// `abandon` if it never reached the committer).
+    Fresh,
+    /// A duplicate of a finished attempt — return this result verbatim.
+    Replay(Result<WriteAck, String>),
+    /// The session has already moved past this sequence number.
+    Stale,
+    /// A duplicate arrived while the original was in flight and the
+    /// wait for it outlived the duplicate's deadline.
+    WaitExpired,
+}
+
+/// Bounded per-session retry memory: the highest sequence number seen
+/// and the cached outcome for it. One entry per client session, evicted
+/// least-recently-touched once `max_sessions` is exceeded (only
+/// completed entries are evictable).
+struct DedupTable {
+    max_sessions: usize,
+    slots: Mutex<HashMap<u128, SessionSlot>>,
+    done: Condvar,
+    hits: AtomicU64,
+    ticks: AtomicU64,
+}
+
+impl DedupTable {
+    fn new(max_sessions: usize) -> Self {
+        DedupTable {
+            max_sessions: max_sessions.max(1),
+            slots: Mutex::new(HashMap::new()),
+            done: Condvar::new(),
+            hits: AtomicU64::new(0),
+            ticks: AtomicU64::new(0),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.ticks.fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn begin(&self, session: u128, seq: u64, deadline: Option<Instant>) -> Admission {
+        let mut slots = self.slots.lock();
+        loop {
+            match slots.get_mut(&session) {
+                Some(slot) if slot.seq > seq => return Admission::Stale,
+                Some(slot) if slot.seq == seq => match &slot.state {
+                    SlotState::Done(result) => {
+                        slot.tick = self.tick();
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Admission::Replay(result.clone());
+                    }
+                    SlotState::InFlight => match deadline {
+                        Some(d) => {
+                            if self.done.wait_until(&mut slots, d).timed_out() {
+                                return Admission::WaitExpired;
+                            }
+                        }
+                        None => self.done.wait(&mut slots),
+                    },
+                },
+                _ => {
+                    if slots.len() >= self.max_sessions {
+                        // Evict the least-recently-touched completed
+                        // session; in-flight ones must keep their slot.
+                        let victim = slots
+                            .iter()
+                            .filter(|(_, s)| matches!(s.state, SlotState::Done(_)))
+                            .min_by_key(|(_, s)| s.tick)
+                            .map(|(k, _)| *k);
+                        if let Some(victim) = victim {
+                            slots.remove(&victim);
+                        }
+                    }
+                    let tick = self.tick();
+                    slots.insert(
+                        session,
+                        SessionSlot {
+                            seq,
+                            state: SlotState::InFlight,
+                            tick,
+                        },
+                    );
+                    return Admission::Fresh;
+                }
+            }
+        }
+    }
+
+    /// Record the outcome of a fresh attempt and wake duplicates.
+    fn finish(&self, session: u128, seq: u64, result: Result<WriteAck, String>) {
+        let mut slots = self.slots.lock();
+        if let Some(slot) = slots.get_mut(&session) {
+            if slot.seq == seq && matches!(slot.state, SlotState::InFlight) {
+                slot.state = SlotState::Done(result);
+                slot.tick = self.tick();
+            }
+        }
+        drop(slots);
+        self.done.notify_all();
+    }
+
+    /// Forget a fresh attempt that had no effect (shed, expired, or the
+    /// index shut down) so a retry of the same sequence starts over.
+    fn abandon(&self, session: u128, seq: u64) {
+        let mut slots = self.slots.lock();
+        if let Some(slot) = slots.get(&session) {
+            if slot.seq == seq && matches!(slot.state, SlotState::InFlight) {
+                slots.remove(&session);
+            }
+        }
+        drop(slots);
+        self.done.notify_all();
+    }
+
+    fn sessions(&self) -> usize {
+        self.slots.lock().len()
+    }
 }
 
 /// Per-index write coalescer. Clonable via `Arc` at the registry
@@ -81,6 +303,8 @@ pub struct Coalescer {
     tx: Mutex<Option<Sender<Submission>>>,
     worker: Mutex<Option<JoinHandle<()>>>,
     stats: Arc<SharedStats>,
+    dedup: DedupTable,
+    config: CoalescerConfig,
 }
 
 impl std::fmt::Debug for Coalescer {
@@ -92,9 +316,15 @@ impl std::fmt::Debug for Coalescer {
 }
 
 impl Coalescer {
-    /// Start a committer thread for `bur`.
+    /// Start a committer thread for `bur` with default limits.
     #[must_use]
     pub fn new(bur: Bur) -> Self {
+        Self::with_config(bur, CoalescerConfig::default())
+    }
+
+    /// Start a committer thread for `bur` with explicit limits.
+    #[must_use]
+    pub fn with_config(bur: Bur, config: CoalescerConfig) -> Self {
         let (tx, rx) = mpsc::channel::<Submission>();
         let stats = Arc::new(SharedStats::default());
         let worker_stats = Arc::clone(&stats);
@@ -106,12 +336,37 @@ impl Coalescer {
             tx: Mutex::new(Some(tx)),
             worker: Mutex::new(Some(worker)),
             stats,
+            dedup: DedupTable::new(config.max_sessions),
+            config,
         }
     }
 
-    /// Submit a batch and block until it is durable. Errors are
-    /// stringly-typed because they cross the wire verbatim.
+    /// Submit a batch without retry protection or a deadline and block
+    /// until it is durable. Errors are stringly-typed because they
+    /// cross the wire verbatim.
     pub fn apply(&self, ops: Vec<Op>) -> Result<WriteAck, String> {
+        self.apply_session(0, 0, ops, None)
+            .map_err(|e| e.to_string())
+    }
+
+    /// Submit a batch and block until it is durable, refused, or past
+    /// `deadline`.
+    ///
+    /// A non-zero `session` enables retry deduplication: the table
+    /// remembers the highest `seq` per session together with its
+    /// outcome, so a retried batch (same `session`, same `seq`) replays
+    /// the original ack or error instead of applying twice. Duplicates
+    /// that arrive while the original is still in flight wait for it.
+    /// [`ApplyError::Overloaded`] and [`ApplyError::Expired`] guarantee
+    /// "no side effects", which is what makes blind client retries
+    /// safe.
+    pub fn apply_session(
+        &self,
+        session: u128,
+        seq: u64,
+        ops: Vec<Op>,
+        deadline: Option<Instant>,
+    ) -> Result<WriteAck, ApplyError> {
         if ops.is_empty() {
             return Ok(WriteAck {
                 lsn: 0,
@@ -119,19 +374,108 @@ impl Coalescer {
                 merged: 0,
             });
         }
+        if deadline.is_some_and(|d| Instant::now() >= d) {
+            self.stats.expired.fetch_add(1, Ordering::Relaxed);
+            return Err(ApplyError::Expired);
+        }
+        if session != 0 {
+            match self.dedup.begin(session, seq, deadline) {
+                Admission::Fresh => {}
+                Admission::Replay(result) => return result.map_err(ApplyError::Rejected),
+                Admission::Stale => {
+                    return Err(ApplyError::Rejected(format!(
+                        "stale sequence {seq} for session {session:#034x}"
+                    )))
+                }
+                Admission::WaitExpired => {
+                    self.stats.expired.fetch_add(1, Ordering::Relaxed);
+                    return Err(ApplyError::Expired);
+                }
+            }
+        }
+        match self.submit(ops, deadline) {
+            Ok(ack) => {
+                if session != 0 {
+                    self.dedup.finish(session, seq, Ok(ack));
+                }
+                Ok(ack)
+            }
+            Err(ApplyError::Rejected(msg)) => {
+                // Cache deterministic rejections too: a retried
+                // partial-failure batch must replay the original error,
+                // not re-apply its successful prefix.
+                if session != 0 {
+                    self.dedup.finish(session, seq, Err(msg.clone()));
+                }
+                Err(ApplyError::Rejected(msg))
+            }
+            Err(e) => {
+                // Shed or expired: nothing was applied, so a retry of
+                // the same sequence must start from scratch.
+                if session != 0 {
+                    self.dedup.abandon(session, seq);
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Admission control + queueing + the blocking wait for the ack.
+    fn submit(&self, ops: Vec<Op>, deadline: Option<Instant>) -> Result<WriteAck, ApplyError> {
+        let n = ops.len();
+        let queued = self.stats.queued_ops.load(Ordering::Relaxed);
+        if queued + n > self.config.max_queued_ops {
+            self.stats.shed_writes.fetch_add(1, Ordering::Relaxed);
+            return Err(ApplyError::Overloaded {
+                queued,
+                limit: self.config.max_queued_ops,
+            });
+        }
         let tx = match &*self.tx.lock() {
             Some(tx) => tx.clone(),
-            None => return Err("index is shutting down".into()),
+            None => return Err(ApplyError::Rejected("index is shutting down".into())),
         };
         let (reply_tx, reply_rx) = mpsc::sync_channel(1);
-        tx.send(Submission {
+        self.stats.queued_ops.fetch_add(n, Ordering::Relaxed);
+        let sent = tx.send(Submission {
             ops,
+            deadline,
             reply: reply_tx,
-        })
-        .map_err(|_| "index is shutting down".to_string())?;
-        reply_rx
-            .recv()
-            .map_err(|_| "committer exited before acknowledging".to_string())?
+        });
+        if sent.is_err() {
+            self.stats.queued_ops.fetch_sub(n, Ordering::Relaxed);
+            return Err(ApplyError::Rejected("index is shutting down".into()));
+        }
+        let outcome = reply_rx.recv();
+        self.stats.queued_ops.fetch_sub(n, Ordering::Relaxed);
+        match outcome {
+            Ok(Ok(ack)) => Ok(ack),
+            Ok(Err(RoundError::Failed(msg))) => Err(ApplyError::Rejected(msg)),
+            Ok(Err(RoundError::Expired)) => {
+                self.stats.expired.fetch_add(1, Ordering::Relaxed);
+                Err(ApplyError::Expired)
+            }
+            Err(_) => Err(ApplyError::Rejected(
+                "committer exited before acknowledging".into(),
+            )),
+        }
+    }
+
+    /// Ops queued or in flight right now.
+    #[must_use]
+    pub fn queued_ops(&self) -> usize {
+        self.stats.queued_ops.load(Ordering::Relaxed)
+    }
+
+    /// Whether the write queue is past its degraded-mode watermark
+    /// (half the admission ceiling). The server sheds queries — but not
+    /// writes — while this holds.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        if self.config.max_queued_ops == 0 {
+            return true;
+        }
+        self.queued_ops() >= (self.config.max_queued_ops / 2).max(1)
     }
 
     /// Counters so far.
@@ -141,6 +485,11 @@ impl Coalescer {
             rounds: self.stats.rounds.load(Ordering::Relaxed),
             submissions: self.stats.submissions.load(Ordering::Relaxed),
             ops: self.stats.ops.load(Ordering::Relaxed),
+            shed_writes: self.stats.shed_writes.load(Ordering::Relaxed),
+            expired: self.stats.expired.load(Ordering::Relaxed),
+            dedup_hits: self.dedup.hits.load(Ordering::Relaxed),
+            dedup_sessions: self.dedup.sessions() as u64,
+            queued_ops: self.stats.queued_ops.load(Ordering::Relaxed) as u64,
         }
     }
 
@@ -164,6 +513,16 @@ impl Drop for Coalescer {
 
 fn committer_loop(bur: &Bur, rx: &Receiver<Submission>, stats: &SharedStats) {
     let mut carryover: VecDeque<Submission> = VecDeque::new();
+    // Expired submissions are answered without ever joining a batch —
+    // that is the "no side effects" half of the deadline contract.
+    let admit = |sub: Submission, round: &mut Vec<Submission>, round_ops: &mut usize| {
+        if sub.deadline.is_some_and(|d| Instant::now() >= d) {
+            let _ = sub.reply.send(Err(RoundError::Expired));
+            return;
+        }
+        *round_ops += sub.ops.len();
+        round.push(sub);
+    };
     loop {
         let mut round: Vec<Submission> = Vec::new();
         let mut round_ops = 0usize;
@@ -171,20 +530,14 @@ fn committer_loop(bur: &Bur, rx: &Receiver<Submission>, stats: &SharedStats) {
         // before taking new work, preserving arrival order.
         while round_ops < MAX_ROUND_OPS {
             match carryover.pop_front() {
-                Some(sub) => {
-                    round_ops += sub.ops.len();
-                    round.push(sub);
-                }
+                Some(sub) => admit(sub, &mut round, &mut round_ops),
                 None => break,
             }
         }
         if round.is_empty() {
             // Idle: block until work arrives or every sender is gone.
             match rx.recv() {
-                Ok(sub) => {
-                    round_ops += sub.ops.len();
-                    round.push(sub);
-                }
+                Ok(sub) => admit(sub, &mut round, &mut round_ops),
                 Err(_) => return,
             }
         }
@@ -192,12 +545,13 @@ fn committer_loop(bur: &Bur, rx: &Receiver<Submission>, stats: &SharedStats) {
         // the previous round — this is the coalescing window.
         while round_ops < MAX_ROUND_OPS {
             match rx.try_recv() {
-                Ok(sub) => {
-                    round_ops += sub.ops.len();
-                    round.push(sub);
-                }
+                Ok(sub) => admit(sub, &mut round, &mut round_ops),
                 Err(_) => break,
             }
+        }
+        if round.is_empty() {
+            // Everything drawn this round had already expired.
+            continue;
         }
         commit_round(bur, round, &mut carryover, stats);
     }
@@ -223,7 +577,7 @@ fn commit_round(
                 Err(e) => {
                     let msg = format!("commit applied but durability wait failed: {e}");
                     for sub in round {
-                        let _ = sub.reply.send(Err(msg.clone()));
+                        let _ = sub.reply.send(Err(RoundError::Failed(msg.clone())));
                     }
                     return;
                 }
@@ -272,10 +626,10 @@ fn commit_round(
                     // Contains the failing op.
                     failed_round = true;
                     let local = op_index - offset;
-                    let _ = sub.reply.send(Err(format!(
+                    let _ = sub.reply.send(Err(RoundError::Failed(format!(
                         "batch operation #{local} failed: {source} \
                          (operations before it were applied)"
-                    )));
+                    ))));
                 }
                 offset += len;
             }
@@ -286,7 +640,7 @@ fn commit_round(
         Err(e) => {
             let msg = format!("batch rejected: {e}");
             for sub in round {
-                let _ = sub.reply.send(Err(msg.clone()));
+                let _ = sub.reply.send(Err(RoundError::Failed(msg.clone())));
             }
         }
     }

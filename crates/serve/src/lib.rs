@@ -19,6 +19,9 @@
 //!   request dispatch, graceful shutdown.
 //! - [`metrics`]: per-opcode log-bucket latency histograms and server
 //!   counters behind the `metrics` opcode.
+//! - [`chaos`]: a frame-aware TCP chaos proxy (seeded, scriptable
+//!   fault plans) — the network analogue of the storage layer's
+//!   `FaultyDisk` — used by the fault-tolerance drills.
 //!
 //! ```no_run
 //! use bur_serve::{start, ServerConfig};
@@ -29,6 +32,7 @@
 //! # Ok::<(), bur_serve::ServeError>(())
 //! ```
 
+pub mod chaos;
 pub mod coalescer;
 pub mod metrics;
 pub mod protocol;
@@ -36,7 +40,8 @@ pub mod registry;
 pub mod server;
 pub mod wire;
 
-pub use coalescer::{Coalescer, CoalescerStats, WriteAck};
+pub use chaos::{ChaosProxy, ChaosStats, Direction, Fault, FaultPlan, ScriptedFault};
+pub use coalescer::{ApplyError, Coalescer, CoalescerConfig, CoalescerStats, WriteAck};
 pub use metrics::{LatencyHistogram, ServerMetrics};
 pub use protocol::{Request, Response, StrategyKind, WireNeighbor};
 pub use registry::{IndexEntry, IndexRegistry, ServeError, ServeResult};

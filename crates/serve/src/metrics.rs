@@ -111,6 +111,17 @@ pub struct ServerMetrics {
     pub malformed_frames: AtomicU64,
     /// Requests answered with an error response.
     pub request_errors: AtomicU64,
+    /// Requests whose deadline passed before (or while) they were
+    /// served; answered with an `expired` frame, no side effects.
+    pub requests_expired: AtomicU64,
+    /// Queries shed in degraded mode (answered `overloaded`).
+    pub queries_shed: AtomicU64,
+    /// Write batches shed at the coalescer's admission ceiling
+    /// (answered `overloaded`).
+    pub writes_shed: AtomicU64,
+    /// Retried applies answered from a dedup table instead of
+    /// re-applying.
+    pub dedup_hits: AtomicU64,
 }
 
 impl ServerMetrics {
@@ -162,6 +173,26 @@ impl ServerMetrics {
             &mut out,
             "request_errors",
             self.request_errors.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "requests_expired",
+            self.requests_expired.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "queries_shed",
+            self.queries_shed.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "writes_shed",
+            self.writes_shed.load(Ordering::Relaxed),
+        );
+        gauge(
+            &mut out,
+            "dedup_hits",
+            self.dedup_hits.load(Ordering::Relaxed),
         );
         for (i, &(_, label)) in TRACKED.iter().enumerate() {
             let h = &self.histograms[i];

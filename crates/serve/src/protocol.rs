@@ -59,6 +59,13 @@ pub mod opcode {
     pub const COUNT: u8 = 0x87;
     /// Plaintext payload (stats / metrics dumps).
     pub const TEXT: u8 = 0x88;
+    /// Load shed: the request was refused without side effects because
+    /// the server is over its queue watermark (or degraded). Retryable
+    /// after backoff.
+    pub const OVERLOADED: u8 = 0x89;
+    /// Deadline exceeded: the request's deadline passed before the
+    /// server started (or finished queueing) it; it had no effect.
+    pub const EXPIRED: u8 = 0x8a;
 }
 
 /// Update strategy selector carried by `Create` (paper defaults on the
@@ -152,6 +159,13 @@ pub enum Request {
     Apply {
         /// Registry name.
         index: String,
+        /// Client session id for retry deduplication; `0` opts out of
+        /// dedup (fire-and-forget clients, hand-rolled tools).
+        session: u128,
+        /// Monotonic per-session batch sequence number. A retried batch
+        /// resends the same `seq`; the server answers from its dedup
+        /// table instead of applying twice.
+        seq: u64,
         /// The operations, in application order.
         ops: Vec<Op>,
     },
@@ -251,6 +265,18 @@ pub enum Response {
     Text {
         /// The dump.
         text: String,
+    },
+    /// The server shed this request under load; it had no side effects
+    /// and may be retried after backoff.
+    Overloaded {
+        /// What was shed and why (queue depth, degraded mode).
+        message: String,
+    },
+    /// The request's deadline passed before it was served; it had no
+    /// side effects.
+    Expired {
+        /// Which stage noticed the expiry.
+        message: String,
     },
 }
 
@@ -365,8 +391,16 @@ impl Request {
                 put::u8(&mut out, u8::from(*durable));
             }
             Request::Open { name } | Request::Close { name } => put::str(&mut out, name),
-            Request::Apply { index, ops } => {
+            Request::Apply {
+                index,
+                session,
+                seq,
+                ops,
+            } => {
                 put::str(&mut out, index);
+                put::u64(&mut out, *session as u64);
+                put::u64(&mut out, (*session >> 64) as u64);
+                put::u64(&mut out, *seq);
                 put::u32(&mut out, ops.len() as u32);
                 for op in ops {
                     put_op(&mut out, op);
@@ -405,6 +439,10 @@ impl Request {
             opcode::LIST => Request::List,
             opcode::APPLY => {
                 let index = r.str("index name")?;
+                let session_lo = r.u64("session lo")?;
+                let session_hi = r.u64("session hi")?;
+                let session = (u128::from(session_hi) << 64) | u128::from(session_lo);
+                let seq = r.u64("session seq")?;
                 let n = r.u32("op count")? as usize;
                 // The frame ceiling already bounds `n`; this guards a
                 // length field inconsistent with the payload size.
@@ -417,7 +455,12 @@ impl Request {
                 for _ in 0..n {
                     ops.push(get_op(&mut r)?);
                 }
-                Request::Apply { index, ops }
+                Request::Apply {
+                    index,
+                    session,
+                    seq,
+                    ops,
+                }
             }
             opcode::QUERY => Request::Query {
                 index: r.str("index name")?,
@@ -459,6 +502,8 @@ impl Response {
             Response::NeighborChunk { .. } => opcode::NEIGHBOR_CHUNK,
             Response::Count { .. } => opcode::COUNT,
             Response::Text { .. } => opcode::TEXT,
+            Response::Overloaded { .. } => opcode::OVERLOADED,
+            Response::Expired { .. } => opcode::EXPIRED,
         }
     }
 
@@ -501,6 +546,9 @@ impl Response {
                 }
             }
             Response::Count { value } => put::u64(&mut out, *value),
+            Response::Overloaded { message } | Response::Expired { message } => {
+                put::str(&mut out, message);
+            }
             Response::Text { text } => {
                 // Texts can exceed the u16 string limit; length-prefix
                 // with u32 instead.
@@ -574,6 +622,12 @@ impl Response {
             }
             opcode::COUNT => Response::Count {
                 value: r.u64("count")?,
+            },
+            opcode::OVERLOADED => Response::Overloaded {
+                message: r.str("overloaded message")?,
+            },
+            opcode::EXPIRED => Response::Expired {
+                message: r.str("expired message")?,
             },
             opcode::TEXT => {
                 let n = r.u32("text length")? as usize;
@@ -676,6 +730,12 @@ mod tests {
             Response::Text {
                 text: "bur_requests_total{op=\"apply\"} 12\n".into(),
             },
+            Response::Overloaded {
+                message: "write queue full (8192 ops)".into(),
+            },
+            Response::Expired {
+                message: "deadline passed before dispatch".into(),
+            },
         ] {
             roundtrip_response(&resp);
         }
@@ -712,6 +772,9 @@ mod tests {
         // a huge allocation.
         let mut apply = Vec::new();
         put::str(&mut apply, "a");
+        put::u64(&mut apply, 1); // session lo
+        put::u64(&mut apply, 2); // session hi
+        put::u64(&mut apply, 3); // seq
         put::u32(&mut apply, u32::MAX);
         assert!(Request::decode(opcode::APPLY, &apply).is_err());
     }
@@ -744,8 +807,15 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(256))]
 
         #[test]
-        fn apply_roundtrips(name in arb_name(), ops in proptest::collection::vec(arb_op(), 0..64)) {
-            roundtrip_request(&Request::Apply { index: name, ops });
+        fn apply_roundtrips(
+            name in arb_name(),
+            session_lo in any::<u64>(),
+            session_hi in any::<u64>(),
+            seq in any::<u64>(),
+            ops in proptest::collection::vec(arb_op(), 0..64),
+        ) {
+            let session = (u128::from(session_hi) << 64) | u128::from(session_lo);
+            roundtrip_request(&Request::Apply { index: name, session, seq, ops });
         }
 
         #[test]

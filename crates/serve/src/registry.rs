@@ -1,7 +1,7 @@
 //! Multi-tenant index registry: named indexes living in one data
 //! directory, each paired with its own write [`Coalescer`].
 
-use crate::coalescer::Coalescer;
+use crate::coalescer::{Coalescer, CoalescerConfig};
 use crate::protocol::StrategyKind;
 use bur_core::{Bur, CoreError, IndexBuilder};
 use parking_lot::Mutex;
@@ -85,6 +85,7 @@ pub struct IndexEntry {
 pub struct IndexRegistry {
     root: PathBuf,
     entries: Mutex<BTreeMap<String, Arc<IndexEntry>>>,
+    coalescer_config: CoalescerConfig,
 }
 
 fn valid_name(name: &str) -> bool {
@@ -100,11 +101,19 @@ impl IndexRegistry {
     /// Open a registry rooted at `root`, creating the directory if
     /// needed. No indexes are opened eagerly.
     pub fn new(root: impl Into<PathBuf>) -> ServeResult<Self> {
+        Self::with_config(root, CoalescerConfig::default())
+    }
+
+    /// [`IndexRegistry::new`] with explicit per-index coalescer limits
+    /// (queue ceiling, dedup-table bound) applied to every index this
+    /// registry opens.
+    pub fn with_config(root: impl Into<PathBuf>, config: CoalescerConfig) -> ServeResult<Self> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
         Ok(IndexRegistry {
             root,
             entries: Mutex::new(BTreeMap::new()),
+            coalescer_config: config,
         })
     }
 
@@ -146,14 +155,14 @@ impl IndexRegistry {
             builder = builder.durable();
         }
         let bur = builder.file(&file).create().build()?;
-        entries.insert(name.to_string(), Self::entry(name, bur));
+        entries.insert(name.to_string(), self.entry(name, bur));
         Ok(())
     }
 
-    fn entry(name: &str, bur: Bur) -> Arc<IndexEntry> {
+    fn entry(&self, name: &str, bur: Bur) -> Arc<IndexEntry> {
         Arc::new(IndexEntry {
             name: name.to_string(),
-            coalescer: Coalescer::new(bur.clone()),
+            coalescer: Coalescer::with_config(bur.clone(), self.coalescer_config),
             bur,
         })
     }
@@ -172,7 +181,7 @@ impl IndexRegistry {
             return Err(ServeError::NotFound(name.to_string()));
         }
         let bur = IndexBuilder::new().file(&file).open().build()?;
-        let entry = Self::entry(name, bur);
+        let entry = self.entry(name, bur);
         entries.insert(name.to_string(), Arc::clone(&entry));
         Ok(entry)
     }

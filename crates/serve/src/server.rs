@@ -3,7 +3,7 @@
 //! protocol, and the graceful-shutdown contract (stop accepting → join
 //! connections → drain coalescers → flush and checkpoint every index).
 
-use crate::coalescer::WriteAck;
+use crate::coalescer::{ApplyError, CoalescerConfig, WriteAck};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{Request, Response, WireNeighbor};
 use crate::registry::{IndexRegistry, ServeResult};
@@ -34,15 +34,21 @@ pub struct ServerConfig {
     /// Connection-pool bound: further clients are refused with an
     /// error frame, not queued.
     pub max_connections: usize,
+    /// Per-index write-queue admission ceiling (ops queued or in
+    /// flight); batches past it are shed with `overloaded` frames, and
+    /// half of it is the degraded-mode watermark that sheds queries.
+    pub max_queued_ops: usize,
 }
 
 impl ServerConfig {
-    /// Defaults: loopback on an OS-assigned port, 64 connections.
+    /// Defaults: loopback on an OS-assigned port, 64 connections,
+    /// 16384-op write queues.
     pub fn new(data_dir: impl Into<std::path::PathBuf>) -> Self {
         ServerConfig {
             data_dir: data_dir.into(),
             addr: "127.0.0.1:0".to_string(),
             max_connections: 64,
+            max_queued_ops: CoalescerConfig::default().max_queued_ops,
         }
     }
 }
@@ -51,6 +57,7 @@ struct ConnCtx {
     registry: Arc<IndexRegistry>,
     metrics: Arc<ServerMetrics>,
     stop: Arc<AtomicBool>,
+    degraded: Arc<AtomicBool>,
     addr: SocketAddr,
 }
 
@@ -62,6 +69,7 @@ pub struct ServerHandle {
     registry: Arc<IndexRegistry>,
     metrics: Arc<ServerMetrics>,
     stop: Arc<AtomicBool>,
+    degraded: Arc<AtomicBool>,
     accept: Mutex<Option<JoinHandle<Vec<JoinHandle<()>>>>>,
 }
 
@@ -75,15 +83,23 @@ impl std::fmt::Debug for ServerHandle {
 
 /// Bind, start the accept loop, return immediately.
 pub fn start(config: ServerConfig) -> ServeResult<ServerHandle> {
-    let registry = Arc::new(IndexRegistry::new(&config.data_dir)?);
+    let registry = Arc::new(IndexRegistry::with_config(
+        &config.data_dir,
+        CoalescerConfig {
+            max_queued_ops: config.max_queued_ops,
+            ..CoalescerConfig::default()
+        },
+    )?);
     let metrics = Arc::new(ServerMetrics::default());
     let stop = Arc::new(AtomicBool::new(false));
+    let degraded = Arc::new(AtomicBool::new(false));
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let ctx = Arc::new(ConnCtx {
         registry: Arc::clone(&registry),
         metrics: Arc::clone(&metrics),
         stop: Arc::clone(&stop),
+        degraded: Arc::clone(&degraded),
         addr,
     });
     let max_connections = config.max_connections.max(1);
@@ -96,6 +112,7 @@ pub fn start(config: ServerConfig) -> ServeResult<ServerHandle> {
         registry,
         metrics,
         stop,
+        degraded,
         accept: Mutex::new(Some(accept)),
     })
 }
@@ -117,6 +134,20 @@ impl ServerHandle {
     #[must_use]
     pub fn metrics(&self) -> &Arc<ServerMetrics> {
         &self.metrics
+    }
+
+    /// Force (or clear) degraded mode: while set, queries are shed with
+    /// `overloaded` frames and writes keep flowing. The same mode also
+    /// engages automatically when an index's write queue crosses its
+    /// watermark; this override is for drills and manual load relief.
+    pub fn set_degraded(&self, degraded: bool) {
+        self.degraded.store(degraded, Ordering::SeqCst);
+    }
+
+    /// Whether the manual degraded-mode override is set.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
     }
 
     /// Ask the server to stop and block until it has: stop accepting,
@@ -243,6 +274,11 @@ fn connection_loop(mut stream: TcpStream, ctx: &ConnCtx) {
             }
         };
         let started = Instant::now();
+        // Relative budget → absolute deadline, anchored at frame
+        // receipt (clients and servers need not share a clock).
+        let deadline = frame
+            .deadline_ms
+            .map(|ms| started + Duration::from_millis(u64::from(ms)));
         let req = match Request::decode(frame.opcode, &frame.payload) {
             Ok(req) => req,
             Err(e) => {
@@ -258,7 +294,7 @@ fn connection_loop(mut stream: TcpStream, ctx: &ConnCtx) {
             }
         };
         let is_shutdown = matches!(req, Request::Shutdown);
-        let io = serve_request(&mut stream, frame.request_id, req, ctx);
+        let io = serve_request(&mut stream, frame.request_id, req, ctx, deadline);
         ctx.metrics.record(frame.opcode, started.elapsed());
         if io.is_err() {
             break;
@@ -271,7 +307,13 @@ fn connection_loop(mut stream: TcpStream, ctx: &ConnCtx) {
     }
 }
 
-fn serve_request(stream: &mut TcpStream, id: u64, req: Request, ctx: &ConnCtx) -> io::Result<()> {
+fn serve_request(
+    stream: &mut TcpStream,
+    id: u64,
+    req: Request,
+    ctx: &ConnCtx,
+    deadline: Option<Instant>,
+) -> io::Result<()> {
     let reply = |stream: &mut TcpStream, resp: Response| -> io::Result<()> {
         if matches!(resp, Response::Err { .. }) {
             ctx.metrics.request_errors.fetch_add(1, Ordering::Relaxed);
@@ -281,6 +323,18 @@ fn serve_request(stream: &mut TcpStream, id: u64, req: Request, ctx: &ConnCtx) -
     let err = |e: &dyn std::fmt::Display| Response::Err {
         message: e.to_string(),
     };
+    // A request that is already past its deadline gets an `expired`
+    // frame instead of a coalescer slot or an index lock; the
+    // connection itself stays healthy.
+    if deadline.is_some_and(|d| Instant::now() >= d) {
+        ctx.metrics.requests_expired.fetch_add(1, Ordering::Relaxed);
+        return reply(
+            stream,
+            Response::Expired {
+                message: "deadline passed before dispatch".to_string(),
+            },
+        );
+    }
     match req {
         Request::Ping => reply(stream, Response::Pong),
         Request::Shutdown => reply(stream, Response::Ok),
@@ -316,30 +370,57 @@ fn serve_request(stream: &mut TcpStream, id: u64, req: Request, ctx: &ConnCtx) -
             };
             reply(stream, resp)
         }
-        Request::Apply { index, ops } => {
+        Request::Apply {
+            index,
+            session,
+            seq,
+            ops,
+        } => {
             let resp = match ctx.registry.get(&index) {
-                Ok(entry) => match entry.coalescer.apply(ops) {
-                    Ok(WriteAck {
-                        lsn,
-                        applied,
-                        merged,
-                    }) => Response::Ack {
-                        lsn,
-                        applied,
-                        merged,
-                    },
-                    Err(message) => Response::Err { message },
-                },
+                Ok(entry) => {
+                    let before = entry.coalescer.stats().dedup_hits;
+                    match entry.coalescer.apply_session(session, seq, ops, deadline) {
+                        Ok(WriteAck {
+                            lsn,
+                            applied,
+                            merged,
+                        }) => {
+                            let hits = entry.coalescer.stats().dedup_hits - before;
+                            ctx.metrics.dedup_hits.fetch_add(hits, Ordering::Relaxed);
+                            Response::Ack {
+                                lsn,
+                                applied,
+                                merged,
+                            }
+                        }
+                        Err(e @ ApplyError::Overloaded { .. }) => {
+                            ctx.metrics.writes_shed.fetch_add(1, Ordering::Relaxed);
+                            Response::Overloaded {
+                                message: e.to_string(),
+                            }
+                        }
+                        Err(e @ ApplyError::Expired) => {
+                            ctx.metrics.requests_expired.fetch_add(1, Ordering::Relaxed);
+                            Response::Expired {
+                                message: e.to_string(),
+                            }
+                        }
+                        Err(ApplyError::Rejected(message)) => Response::Err { message },
+                    }
+                }
                 Err(e) => err(&e),
             };
             reply(stream, resp)
         }
         Request::Query { index, window } => {
-            let cursor = match ctx
-                .registry
-                .get(&index)
-                .and_then(|entry| entry.bur.query(&window).map_err(Into::into))
-            {
+            let entry = match ctx.registry.get(&index) {
+                Ok(entry) => entry,
+                Err(e) => return reply(stream, err(&e)),
+            };
+            if let Some(resp) = shed_query(ctx, &entry) {
+                return reply(stream, resp);
+            }
+            let cursor = match entry.bur.query(&window) {
                 Ok(cursor) => cursor,
                 Err(e) => return reply(stream, err(&e)),
             };
@@ -349,11 +430,14 @@ fn serve_request(stream: &mut TcpStream, id: u64, req: Request, ctx: &ConnCtx) -
             })
         }
         Request::Knn { index, point, k } => {
-            let neighbors: Vec<WireNeighbor> = match ctx
-                .registry
-                .get(&index)
-                .and_then(|entry| entry.bur.nearest(point, k as usize).map_err(Into::into))
-            {
+            let entry = match ctx.registry.get(&index) {
+                Ok(entry) => entry,
+                Err(e) => return reply(stream, err(&e)),
+            };
+            if let Some(resp) = shed_query(ctx, &entry) {
+                return reply(stream, resp);
+            }
+            let neighbors: Vec<WireNeighbor> = match entry.bur.nearest(point, k as usize) {
                 Ok(cursor) => cursor
                     .map(|n| WireNeighbor {
                         oid: n.oid,
@@ -392,6 +476,24 @@ fn serve_request(stream: &mut TcpStream, id: u64, req: Request, ctx: &ConnCtx) -
             },
         ),
     }
+}
+
+/// Degraded-mode check for read requests: queries are shed — with a
+/// retryable `overloaded` frame — when the operator forced degraded
+/// mode or the index's write queue is past its watermark. Writes are
+/// never shed here; the coalescer's own admission ceiling governs them.
+fn shed_query(ctx: &ConnCtx, entry: &crate::registry::IndexEntry) -> Option<Response> {
+    if ctx.degraded.load(Ordering::SeqCst) || entry.coalescer.is_degraded() {
+        ctx.metrics.queries_shed.fetch_add(1, Ordering::Relaxed);
+        return Some(Response::Overloaded {
+            message: format!(
+                "degraded: query shed ({} ops queued on {:?}); retry later",
+                entry.coalescer.queued_ops(),
+                entry.name
+            ),
+        });
+    }
+    None
 }
 
 /// Send `items` as a sequence of chunk frames under one request id,
@@ -441,6 +543,12 @@ fn index_stats_text(entry: &crate::registry::IndexEntry) -> String {
     gauge("coalescer_rounds", co.rounds);
     gauge("coalescer_submissions", co.submissions);
     gauge("coalescer_ops", co.ops);
+    gauge("coalescer_shed_writes", co.shed_writes);
+    gauge("coalescer_expired", co.expired);
+    gauge("coalescer_dedup_hits", co.dedup_hits);
+    gauge("coalescer_dedup_sessions", co.dedup_sessions);
+    gauge("coalescer_queued_ops", co.queued_ops);
+    gauge("degraded", u64::from(entry.coalescer.is_degraded()));
     if let Some(wal) = bur.wal_stats() {
         gauge("wal_records", wal.records);
         gauge("wal_commits", wal.commits);

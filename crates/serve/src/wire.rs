@@ -2,29 +2,49 @@
 //! response travels in, plus the little-endian primitive codec the
 //! payload encoders share.
 //!
-//! One frame on the wire is
+//! One frame on the wire (framing version 2) is
 //!
 //! ```text
-//! len: u32 LE | request_id: u64 LE | opcode: u8 | payload: [u8]
+//! len: u32 LE | request_id: u64 LE | opcode: u8 | flags: u8
+//!             | deadline_ms: u32 LE (iff flags & 0x01) | payload: [u8]
 //! ```
 //!
-//! where `len` counts everything after itself (so `len >= 9`), and
+//! where `len` counts everything after itself (so `len >= 10`), and
 //! `request_id` is chosen by the client and echoed verbatim in every
 //! response frame belonging to that request (streamed responses send
-//! several frames under one id). Frames larger than
-//! [`MAX_FRAME_BYTES`] are rejected before any allocation, so a
-//! malicious or corrupt length prefix cannot balloon server memory.
+//! several frames under one id). The `flags` byte versions the header:
+//! bit 0 ([`FLAG_DEADLINE`]) marks an optional relative deadline in
+//! milliseconds (a budget, not a wall-clock time, so client and server
+//! clocks need not agree); all other bits must be zero and are rejected
+//! with [`WireError::BadFlags`] so a future header extension cannot be
+//! silently misparsed. Frames larger than [`MAX_FRAME_BYTES`] are
+//! rejected before any allocation, so a malicious or corrupt length
+//! prefix cannot balloon server memory.
 
 use std::fmt;
 use std::io::{self, Read};
+use std::time::Instant;
 
 /// Hard ceiling on one frame's `len` field (4 MiB). Large batches and
 /// query results are chunked well below this; anything above it is a
 /// corrupt or hostile frame.
 pub const MAX_FRAME_BYTES: u32 = 4 << 20;
 
-/// Bytes of the fixed header covered by `len`: request id + opcode.
-pub const FRAME_HEADER_BYTES: u32 = 8 + 1;
+/// Bytes of the fixed header covered by `len`: request id + opcode +
+/// flags. The optional deadline field adds [`DEADLINE_FIELD_BYTES`]
+/// more when [`FLAG_DEADLINE`] is set.
+pub const FRAME_HEADER_BYTES: u32 = 8 + 1 + 1;
+
+/// Header flag bit 0: the header carries a `deadline_ms: u32` field
+/// directly after the flags byte.
+pub const FLAG_DEADLINE: u8 = 0x01;
+
+/// Size of the optional deadline field.
+pub const DEADLINE_FIELD_BYTES: u32 = 4;
+
+/// Mask of flag bits this framing version understands; anything else in
+/// the flags byte is a framing error.
+const KNOWN_FLAGS: u8 = FLAG_DEADLINE;
 
 /// A decoding failure. The connection that produced it is broken by
 /// contract: the server answers with an error frame where it still can
@@ -40,6 +60,8 @@ pub enum WireError {
     BadLength(u32),
     /// No such opcode.
     UnknownOpcode(u8),
+    /// The flags byte carries bits this framing version does not know.
+    BadFlags(u8),
     /// A well-framed payload that does not parse as its opcode demands.
     BadPayload(String),
     /// A payload parsed but left unconsumed trailing bytes.
@@ -55,6 +77,7 @@ impl fmt::Display for WireError {
                 "bad frame length {len} (frame ceiling {MAX_FRAME_BYTES}, floor {FRAME_HEADER_BYTES})"
             ),
             WireError::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            WireError::BadFlags(flags) => write!(f, "unknown header flags {flags:#04x}"),
             WireError::BadPayload(msg) => write!(f, "bad payload: {msg}"),
             WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after payload"),
         }
@@ -104,27 +127,70 @@ pub struct Frame {
     pub request_id: u64,
     /// What the payload means.
     pub opcode: u8,
+    /// Remaining time budget for serving this request, in milliseconds,
+    /// if the sender attached one. `Some(0)` means "already expired on
+    /// arrival" by contract.
+    pub deadline_ms: Option<u32>,
     /// Opcode-specific bytes.
     pub payload: Vec<u8>,
 }
 
-/// Append one frame to `out` (the only frame writer — client and server
-/// share it).
+/// Append one frame without a deadline to `out` (client and server
+/// share the writer; responses never carry deadlines).
 pub fn write_frame(out: &mut Vec<u8>, request_id: u64, opcode: u8, payload: &[u8]) {
-    let len = FRAME_HEADER_BYTES + payload.len() as u32;
+    write_frame_deadline(out, request_id, opcode, None, payload);
+}
+
+/// Append one frame, optionally carrying a relative deadline budget in
+/// milliseconds.
+pub fn write_frame_deadline(
+    out: &mut Vec<u8>,
+    request_id: u64,
+    opcode: u8,
+    deadline_ms: Option<u32>,
+    payload: &[u8],
+) {
+    let extra = if deadline_ms.is_some() {
+        DEADLINE_FIELD_BYTES
+    } else {
+        0
+    };
+    let len = FRAME_HEADER_BYTES + extra + payload.len() as u32;
     out.extend_from_slice(&len.to_le_bytes());
     out.extend_from_slice(&request_id.to_le_bytes());
     out.push(opcode);
+    match deadline_ms {
+        Some(ms) => {
+            out.push(FLAG_DEADLINE);
+            out.extend_from_slice(&ms.to_le_bytes());
+        }
+        None => out.push(0),
+    }
     out.extend_from_slice(payload);
 }
 
 /// Read one frame. `Ok(None)` means the peer closed the connection
 /// cleanly *between* frames; a close inside a frame is
 /// [`WireError::Truncated`]. The length prefix is validated before the
-/// payload is allocated.
+/// payload is allocated. Once a frame has started, read timeouts are
+/// ridden out indefinitely (the server's stop-flag tick only applies
+/// between frames).
 pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, FrameError> {
+    read_frame_deadline(r, None)
+}
+
+/// [`read_frame`] with a bound on how long a *started* frame may take:
+/// once `deadline` passes mid-frame the read fails with
+/// [`io::ErrorKind::TimedOut`] instead of riding out socket timeouts
+/// forever. Clients use this so a black-holed server cannot hang them;
+/// the connection is unusable afterwards (the stream may be mid-frame)
+/// and must be dropped.
+pub fn read_frame_deadline(
+    r: &mut impl Read,
+    deadline: Option<Instant>,
+) -> Result<Option<Frame>, FrameError> {
     let mut len_buf = [0u8; 4];
-    match read_exact_or_eof(r, &mut len_buf)? {
+    match read_exact_or_eof(r, &mut len_buf, false, deadline)? {
         ReadOutcome::Eof => return Ok(None),
         ReadOutcome::Partial => return Err(WireError::Truncated("length prefix").into()),
         ReadOutcome::Full => {}
@@ -134,18 +200,46 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Frame>, FrameError> {
         return Err(WireError::BadLength(len).into());
     }
     let mut head = [0u8; FRAME_HEADER_BYTES as usize];
-    if !matches!(read_exact_or_eof(r, &mut head)?, ReadOutcome::Full) {
+    if !matches!(
+        read_exact_or_eof(r, &mut head, true, deadline)?,
+        ReadOutcome::Full
+    ) {
         return Err(WireError::Truncated("frame header").into());
     }
     let request_id = u64::from_le_bytes(head[..8].try_into().expect("8 bytes"));
     let opcode = head[8];
-    let mut payload = vec![0u8; (len - FRAME_HEADER_BYTES) as usize];
-    if !matches!(read_exact_or_eof(r, &mut payload)?, ReadOutcome::Full) {
+    let flags = head[9];
+    if flags & !KNOWN_FLAGS != 0 {
+        return Err(WireError::BadFlags(flags).into());
+    }
+    let mut body_len = len - FRAME_HEADER_BYTES;
+    let deadline_ms = if flags & FLAG_DEADLINE != 0 {
+        if body_len < DEADLINE_FIELD_BYTES {
+            return Err(WireError::BadLength(len).into());
+        }
+        let mut field = [0u8; DEADLINE_FIELD_BYTES as usize];
+        if !matches!(
+            read_exact_or_eof(r, &mut field, true, deadline)?,
+            ReadOutcome::Full
+        ) {
+            return Err(WireError::Truncated("deadline field").into());
+        }
+        body_len -= DEADLINE_FIELD_BYTES;
+        Some(u32::from_le_bytes(field))
+    } else {
+        None
+    };
+    let mut payload = vec![0u8; body_len as usize];
+    if !matches!(
+        read_exact_or_eof(r, &mut payload, true, deadline)?,
+        ReadOutcome::Full
+    ) {
         return Err(WireError::Truncated("payload").into());
     }
     Ok(Some(Frame {
         request_id,
         opcode,
+        deadline_ms,
         payload,
     }))
 }
@@ -157,15 +251,23 @@ enum ReadOutcome {
 }
 
 /// `read_exact` that distinguishes a clean EOF before the first byte
-/// from one mid-buffer, and rides out read timeouts once a frame has
-/// started (a peer that began a frame is mid-write; abandoning the read
-/// would desynchronise the stream).
-fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<ReadOutcome> {
+/// from one mid-buffer. With `started` set (any frame byte already
+/// consumed) read timeouts are ridden out — a peer that began a frame
+/// is mid-write, and abandoning the read would desynchronise the
+/// stream — unless `deadline` has passed, in which case the wait ends
+/// with [`io::ErrorKind::TimedOut`] and the caller must discard the
+/// connection.
+fn read_exact_or_eof(
+    r: &mut impl Read,
+    buf: &mut [u8],
+    started: bool,
+    deadline: Option<Instant>,
+) -> io::Result<ReadOutcome> {
     let mut filled = 0;
     while filled < buf.len() {
         match r.read(&mut buf[filled..]) {
             Ok(0) => {
-                return Ok(if filled == 0 {
+                return Ok(if filled == 0 && !started {
                     ReadOutcome::Eof
                 } else {
                     ReadOutcome::Partial
@@ -174,11 +276,21 @@ fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> io::Result<ReadOutcom
             Ok(n) => filled += n,
             Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
             Err(e)
-                if filled > 0
+                if (started || filled > 0)
                     && matches!(
                         e.kind(),
                         io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-                    ) => {}
+                    ) =>
+            {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "frame read deadline exceeded",
+                        ));
+                    }
+                }
+            }
             Err(e) => return Err(e),
         }
     }

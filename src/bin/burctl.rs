@@ -15,6 +15,7 @@
 //! burctl serve <data-dir> [--addr HOST:PORT] [--max-conns N]
 //! burctl ping --addr HOST:PORT
 //! burctl remote-query --addr HOST:PORT <index> <min_x> <min_y> <max_x> <max_y>
+//! burctl chaos <listen> <upstream> [--plan <spec>]
 //! ```
 //!
 //! `build` creates a demonstration index from a seeded uniform workload;
@@ -32,6 +33,12 @@
 //! (equivalent to the standalone `burd` binary), `ping` checks a
 //! running server's liveness, and `remote-query` runs a window query
 //! against a named index over the network through `bur-client`.
+//!
+//! `chaos` runs a standalone frame-aware fault-injecting TCP proxy in
+//! front of a running server — point clients at `<listen>` and it
+//! forwards to `<upstream>`, dropping, truncating, delaying or
+//! black-holing frames per the seeded `--plan` spec. Used to rehearse
+//! client retry/timeout behavior against a real server.
 
 use bur::core::{Batch, IndexBuilder, IndexOptions, RTreeIndex};
 use bur::geom::{Point, Rect};
@@ -60,6 +67,19 @@ fn usage() -> ExitCode {
          \x20 burctl serve <data-dir> [--addr HOST:PORT] [--max-conns N]\n\
          \x20 burctl ping --addr HOST:PORT\n\
          \x20 burctl remote-query --addr HOST:PORT <index> <min_x> <min_y> <max_x> <max_y>\n\
+         \x20 burctl chaos <listen> <upstream> [--plan <spec>]\n\
+         \n\
+         chaos runs a fault-injecting TCP proxy in the foreground:\n\
+         clients connect to <listen> (port 0 lets the OS pick; the bound\n\
+         address is printed as `chaos proxy listening on <addr> -> <upstream>`)\n\
+         and frames are forwarded to the burd server at <upstream> with\n\
+         faults injected per --plan, a comma-separated spec:\n\
+         `seed=42,drop=0.05,truncate=0.02,delay=0.1:5,blackhole=0.01,cut-after=4096`\n\
+         (rates are per-frame probabilities; delay=RATE:MILLIS; cut-after\n\
+         cuts the connection after N forwarded bytes per direction;\n\
+         script=CONN/c2s|s2c/FRAME/drop|truncate|blackhole|delay pins a\n\
+         fault to an exact frame, `+`-separated to stack). The same seed\n\
+         replays the same fault schedule. Runs until killed.\n\
          \n\
          serve runs the burd server in the foreground over <data-dir>\n\
          (named indexes, one `<name>.bur` file each; create them over the\n\
@@ -689,6 +709,35 @@ fn cmd_remote_query(rest: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_chaos(rest: &[String]) -> Result<(), String> {
+    let mut plan_spec = None;
+    let mut positional = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--plan" {
+            plan_spec = Some(it.next().ok_or("--plan needs a spec")?.clone());
+        } else {
+            positional.push(arg.clone());
+        }
+    }
+    let [listen, upstream] = positional.as_slice() else {
+        return Err("chaos needs <listen> <upstream> [--plan <spec>]".into());
+    };
+    let plan = match plan_spec {
+        Some(spec) => bur::serve::FaultPlan::parse(&spec).map_err(|e| format!("--plan: {e}"))?,
+        None => bur::serve::FaultPlan::default(),
+    };
+    let proxy = bur::serve::ChaosProxy::start(listen, upstream.as_str(), plan)
+        .map_err(|e| format!("start proxy: {e}"))?;
+    use std::io::Write as _;
+    println!("chaos proxy listening on {} -> {upstream}", proxy.addr());
+    let _ = std::io::stdout().flush();
+    // Foreground tool: runs until killed (the proxy threads do the work).
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
@@ -701,9 +750,10 @@ fn main() -> ExitCode {
     }
     // The networked commands address a server, not a file — handle them
     // before the `<cmd> <path>` split.
-    if matches!(cmd, "ping" | "remote-query") {
+    if matches!(cmd, "ping" | "remote-query" | "chaos") {
         let result = match cmd {
             "ping" => cmd_ping(rest),
+            "chaos" => cmd_chaos(rest),
             _ => cmd_remote_query(rest),
         };
         return match result {

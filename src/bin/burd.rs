@@ -1,7 +1,7 @@
 //! `burd` — the bur network server daemon.
 //!
 //! ```text
-//! burd <data-dir> [--addr HOST:PORT] [--max-conns N]
+//! burd <data-dir> [--addr HOST:PORT] [--max-conns N] [--queue-limit N]
 //! ```
 //!
 //! Binds, prints `burd listening on <addr>` (machine-parseable — with
@@ -15,10 +15,13 @@ use std::io::Write;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: burd <data-dir> [--addr HOST:PORT] [--max-conns N]\n\
+        "usage: burd <data-dir> [--addr HOST:PORT] [--max-conns N] [--queue-limit N]\n\
          \n\
          Serve the named indexes under <data-dir> over the bur wire\n\
-         protocol. Defaults: --addr 127.0.0.1:4000, --max-conns 64.\n\
+         protocol. Defaults: --addr 127.0.0.1:4000, --max-conns 64,\n\
+         --queue-limit 16384 (write ops queued per index before new\n\
+         batches are shed with `overloaded`; at half the limit the\n\
+         server degrades and sheds queries first).\n\
          Use --addr with port 0 to let the OS pick; the bound address\n\
          is printed as `burd listening on <addr>`."
     );
@@ -41,6 +44,10 @@ fn main() {
             },
             "--max-conns" => match args.next().and_then(|n| n.parse().ok()) {
                 Some(n) => config.max_connections = n,
+                None => usage(),
+            },
+            "--queue-limit" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) => config.max_queued_ops = n,
                 None => usage(),
             },
             _ => usage(),

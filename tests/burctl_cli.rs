@@ -415,10 +415,92 @@ fn networked_commands_report_usage_errors() {
         "{}",
         String::from_utf8_lossy(&out.stderr)
     );
-    // The help text documents the serving trio.
+    // The help text documents the serving trio and the chaos proxy.
     let out = burctl(&["--help"]);
     let help = String::from_utf8_lossy(&out.stderr).into_owned();
-    for needle in ["serve <data-dir>", "ping --addr", "remote-query --addr"] {
+    for needle in [
+        "serve <data-dir>",
+        "ping --addr",
+        "remote-query --addr",
+        "chaos <listen> <upstream>",
+        "--plan",
+        "seed=42",
+    ] {
         assert!(help.contains(needle), "help is missing {needle:?}");
     }
+
+    // chaos argument errors: missing operands and a bad plan spec.
+    let out = burctl(&["chaos", "127.0.0.1:0"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("<listen> <upstream>"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = burctl(&["chaos", "127.0.0.1:0", "127.0.0.1:1", "--plan", "drop=2.0"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("--plan"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+/// Spawn `burctl chaos` in front of a real in-process server and drive
+/// traffic through it: a pass-through plan forwards pings verbatim, a
+/// drop-everything plan kills every attempt.
+#[test]
+fn chaos_subcommand_proxies_and_injects() {
+    use bur::client::{BurClient, ClientConfig, RetryPolicy};
+    use bur::serve::{start, ServerConfig};
+    use std::io::{BufRead, BufReader};
+    use std::process::Stdio;
+    use std::time::Duration;
+
+    let dir = TempDir::new("ctl-chaos");
+    let handle = start(ServerConfig::new(dir.file("data"))).expect("server starts");
+    let upstream = handle.addr().to_string();
+
+    let spawn_proxy = |plan: &str| {
+        let mut proxy = Command::new(env!("CARGO_BIN_EXE_burctl"))
+            .args(["chaos", "127.0.0.1:0", &upstream, "--plan", plan])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("burctl chaos spawns");
+        let mut banner = String::new();
+        BufReader::new(proxy.stdout.take().expect("piped stdout"))
+            .read_line(&mut banner)
+            .expect("banner");
+        let addr = banner
+            .trim()
+            .strip_prefix("chaos proxy listening on ")
+            .and_then(|rest| rest.split(" -> ").next())
+            .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+            .to_string();
+        (proxy, addr)
+    };
+    let config = ClientConfig {
+        connect_attempts: 3,
+        max_connect_elapsed: Duration::from_secs(2),
+        op_timeout: Some(Duration::from_millis(500)),
+        retry: RetryPolicy::none(),
+        ..Default::default()
+    };
+
+    // Pass-through plan: pings round-trip through the proxy.
+    let (mut proxy, addr) = spawn_proxy("seed=1");
+    let mut c = BurClient::connect_with(&addr, &config).expect("connect via proxy");
+    c.ping().expect("ping through pass-through proxy");
+    proxy.kill().expect("kill proxy");
+    proxy.wait().expect("reap proxy");
+
+    // Drop-everything plan: the first frame kills the connection.
+    let (mut proxy, addr) = spawn_proxy("seed=1,drop=1.0");
+    let mut c = BurClient::connect_with(&addr, &config).expect("connect via proxy");
+    assert!(c.ping().is_err(), "drop=1.0 must fail every request");
+    proxy.kill().expect("kill proxy");
+    proxy.wait().expect("reap proxy");
+
+    handle.shutdown();
 }

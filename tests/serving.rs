@@ -343,7 +343,16 @@ fn acked_writes_survive_server_kill_and_restart() {
     let dir = TempDir::new("serving-kill");
     let data = dir.file("data");
     let (mut child, addr) = spawn_burd(&data);
-    let mut c = BurClient::connect(&addr).expect("connect");
+    // No in-flight retries: this test asserts the *connection* dies on
+    // kill, so the client must surface the first failure, not mask it
+    // by retrying against the dead address for seconds.
+    let config = bur::client::ClientConfig {
+        connect_attempts: 2,
+        max_connect_elapsed: std::time::Duration::from_secs(2),
+        retry: bur::client::RetryPolicy::none(),
+        ..Default::default()
+    };
+    let mut c = BurClient::connect_with(&addr, &config).expect("connect");
     c.create_index("fleet", "gbu", true).expect("create");
     let mut acked = 0u64;
     for b in 0..BATCHES {
