@@ -4,6 +4,7 @@
 //! ```text
 //! servebench [--batches N] [--per-batch N] [--out FILE]
 //! servebench --chaos [--seed S] [--drop RATE] [--batches N] [--per-batch N] [--out FILE]
+//! servebench --shards [--batches N] [--per-batch N] [--queries N] [--out FILE]
 //! ```
 //!
 //! Starts an in-process `burd` (temp data directory, durable GBU
@@ -19,6 +20,15 @@
 //! asks the 16-connection ratio to be at least twice the 1-connection
 //! ratio.
 //!
+//! `--shards` profiles the Hilbert-range sharding axis: the same
+//! durable GBU workload at 1, 2, 4 and 8 shards (4 client connections
+//! each) plus an unsharded baseline, recording write throughput and
+//! window-query p50/p99 per shard count as `BENCH_shard.json`. The
+//! recorded target (`single_shard_overhead_max: 1.15`) asks the
+//! one-shard sharded index to stay within 15% of the plain index's
+//! write throughput — the routing layer must be close to free when it
+//! routes everything to one place.
+//!
 //! `--chaos` measures fault tolerance instead of raw throughput: the
 //! same server sits behind a seeded [`ChaosProxy`] dropping `--drop`
 //! (default 10%) of frames, and 4 retrying clients push their batches
@@ -30,7 +40,7 @@
 
 use bur_client::{BurClient, ClientConfig, RetryPolicy};
 use bur_core::Batch;
-use bur_geom::Point;
+use bur_geom::{Point, Rect};
 use bur_serve::{start, ChaosProxy, FaultPlan, ServerConfig};
 use std::fmt::Write as _;
 use std::process::ExitCode;
@@ -104,6 +114,8 @@ fn run(connections: usize, batches: u64, per_batch: u64) -> RunResult {
         .registry()
         .get("bench")
         .expect("entry")
+        .as_plain()
+        .expect("plain index")
         .coalescer
         .stats();
     handle.shutdown();
@@ -117,6 +129,164 @@ fn run(connections: usize, batches: u64, per_batch: u64) -> RunResult {
         p99_us: quantile(&latencies, 0.99),
         coalescing_ratio: stats.ratio(),
     }
+}
+
+struct ShardRunResult {
+    /// 0 encodes the plain (unsharded) baseline.
+    shards: u32,
+    ops_per_sec: f64,
+    apply_p50_us: f64,
+    apply_p99_us: f64,
+    query_p50_us: f64,
+    query_p99_us: f64,
+}
+
+/// One `--shards` data point: 4 connections write, then one connection
+/// runs window queries; `shards == None` is the plain baseline.
+fn run_sharded(shards: Option<u32>, batches: u64, per_batch: u64, queries: u64) -> ShardRunResult {
+    const CONNECTIONS: u64 = 4;
+    let dir = std::env::temp_dir().join(format!(
+        "bur-servebench-shard-{}-{}",
+        std::process::id(),
+        shards.unwrap_or(0)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let handle = start(ServerConfig::new(&dir)).expect("server starts");
+    let mut admin = BurClient::connect(handle.addr()).expect("connect");
+    match shards {
+        Some(n) => admin
+            .create_sharded_index("bench", "gbu", true, n)
+            .expect("create sharded"),
+        None => admin.create_index("bench", "gbu", true).expect("create"),
+    }
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..CONNECTIONS)
+        .map(|t| {
+            let addr = handle.addr();
+            std::thread::spawn(move || {
+                let mut client = BurClient::connect(addr).expect("connect");
+                let mut latencies = Vec::with_capacity(batches as usize);
+                for b in 0..batches {
+                    let base = t * 1_000_000_000 + b * per_batch;
+                    let mut batch = Batch::new();
+                    for oid in base..base + per_batch {
+                        batch.insert(oid, pos(oid));
+                    }
+                    let t0 = Instant::now();
+                    client.apply("bench", &batch).expect("apply");
+                    latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut apply: Vec<f64> = workers
+        .into_iter()
+        .flat_map(|w| w.join().expect("worker"))
+        .collect();
+    let elapsed = started.elapsed().as_secs_f64();
+    apply.sort_by(|a, b| a.total_cmp(b));
+
+    // Query phase: small scattered windows, latency measured per call
+    // (a sharded index scatter-gathers only the overlapping shards).
+    let mut query: Vec<f64> = Vec::with_capacity(queries as usize);
+    for q in 0..queries {
+        let c = pos(q.wrapping_mul(0x5851_f42d_4c95_7f2d));
+        let window = Rect::new(c.x, c.y, (c.x + 0.08).min(1.0), (c.y + 0.08).min(1.0));
+        let t0 = Instant::now();
+        let hits: Result<Vec<u64>, _> = admin.query("bench", &window).expect("query").collect();
+        hits.expect("stream");
+        query.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    query.sort_by(|a, b| a.total_cmp(b));
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let total_ops = CONNECTIONS * batches * per_batch;
+    ShardRunResult {
+        shards: shards.unwrap_or(0),
+        ops_per_sec: total_ops as f64 / elapsed,
+        apply_p50_us: quantile(&apply, 0.50),
+        apply_p99_us: quantile(&apply, 0.99),
+        query_p50_us: quantile(&query, 0.50),
+        query_p99_us: quantile(&query, 0.99),
+    }
+}
+
+/// `--shards` mode: the sharding axis (plain baseline, then 1/2/4/8
+/// shards), recorded as `BENCH_shard.json`.
+fn run_shard_axis(batches: u64, per_batch: u64, queries: u64, out: &str) -> ExitCode {
+    let label = |shards: u32| -> String {
+        if shards == 0 {
+            "plain".to_string()
+        } else {
+            format!("{shards} shard(s)")
+        }
+    };
+    let results: Vec<ShardRunResult> = [None, Some(1), Some(2), Some(4), Some(8)]
+        .into_iter()
+        .map(|shards| {
+            let r = run_sharded(shards, batches, per_batch, queries);
+            eprintln!(
+                "{:>10}: {:9.0} ops/s, apply p50 {:7.0} µs p99 {:7.0} µs, \
+                 query p50 {:7.0} µs p99 {:7.0} µs",
+                label(r.shards),
+                r.ops_per_sec,
+                r.apply_p50_us,
+                r.apply_p99_us,
+                r.query_p50_us,
+                r.query_p99_us
+            );
+            r
+        })
+        .collect();
+
+    // The router must be close to free when there is nothing to route:
+    // plain throughput over one-shard sharded throughput.
+    let plain = results[0].ops_per_sec.max(1.0);
+    let one_shard = results[1].ops_per_sec.max(1.0);
+    let overhead = plain / one_shard;
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"serve_shards\",");
+    let _ = writeln!(json, "  \"connections\": 4,");
+    let _ = writeln!(json, "  \"batches_per_connection\": {batches},");
+    let _ = writeln!(json, "  \"ops_per_batch\": {per_batch},");
+    let _ = writeln!(json, "  \"queries\": {queries},");
+    let _ = writeln!(json, "  \"runs\": [");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"shards\": {}, \"ops_per_sec\": {:.0}, \"apply_p50_us\": {:.1}, \
+             \"apply_p99_us\": {:.1}, \"query_p50_us\": {:.1}, \"query_p99_us\": {:.1}}}{}",
+            r.shards,
+            r.ops_per_sec,
+            r.apply_p50_us,
+            r.apply_p99_us,
+            r.query_p50_us,
+            r.query_p99_us,
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"single_shard_overhead\": {overhead:.3},");
+    let _ = writeln!(
+        json,
+        "  \"targets\": {{\"single_shard_overhead_max\": 1.15}},"
+    );
+    let _ = writeln!(json, "  \"targets_met\": {}", overhead <= 1.15);
+    let _ = writeln!(json, "}}");
+    if let Err(e) = std::fs::write(out, &json) {
+        eprintln!("servebench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "\nsingle-shard overhead vs plain: {overhead:.2}x (target <= 1.15x)\n\
+         written to {out}"
+    );
+    ExitCode::SUCCESS
 }
 
 /// `--chaos` mode: drive the server through a frame-dropping proxy
@@ -197,6 +367,8 @@ fn run_chaos(seed: u64, drop_rate: f64, batches: u64, per_batch: u64, out: &str)
         .registry()
         .get("bench")
         .expect("entry")
+        .as_plain()
+        .expect("plain index")
         .coalescer
         .stats()
         .dedup_hits;
@@ -264,11 +436,18 @@ fn main() -> ExitCode {
     let mut per_batch = 32u64;
     let mut out: Option<String> = None;
     let mut chaos = false;
+    let mut shards = false;
+    let mut queries = 400u64;
     let mut seed = 42u64;
     let mut drop_rate = 0.10f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--shards" => shards = true,
+            "--queries" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => queries = v,
+                None => return usage(),
+            },
             "--batches" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(v) => batches = v,
                 None => return usage(),
@@ -300,6 +479,10 @@ fn main() -> ExitCode {
     if chaos {
         let out = out.unwrap_or_else(|| "BENCH_chaos.json".to_string());
         return run_chaos(seed, drop_rate, batches, per_batch, &out);
+    }
+    if shards {
+        let out = out.unwrap_or_else(|| "BENCH_shard.json".to_string());
+        return run_shard_axis(batches, per_batch, queries, &out);
     }
     let out = out.unwrap_or_else(|| "BENCH_serve.json".to_string());
 
@@ -361,7 +544,8 @@ fn main() -> ExitCode {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: servebench [--batches N] [--per-batch N] [--out FILE]\n\
-         \x20      servebench --chaos [--seed S] [--drop RATE] [--batches N] [--per-batch N] [--out FILE]"
+         \x20      servebench --chaos [--seed S] [--drop RATE] [--batches N] [--per-batch N] [--out FILE]\n\
+         \x20      servebench --shards [--batches N] [--per-batch N] [--queries N] [--out FILE]"
     );
     ExitCode::FAILURE
 }

@@ -465,6 +465,28 @@ impl BurClient {
         })
     }
 
+    /// Create a named index sharded `shards` ways by Hilbert-key range:
+    /// the server hosts every shard behind the one logical name (writes
+    /// route by key, queries scatter-gather). Single-attempt like
+    /// [`BurClient::create_index`].
+    pub fn create_sharded_index(
+        &mut self,
+        name: &str,
+        strategy: &str,
+        durable: bool,
+        shards: u32,
+    ) -> ClientResult<()> {
+        let strategy = StrategyKind::parse(strategy).ok_or_else(|| {
+            ClientError::Protocol(format!("unknown strategy {strategy:?} (td, lbu, gbu)"))
+        })?;
+        self.expect_ok(&Request::CreateSharded {
+            name: name.to_string(),
+            strategy,
+            durable,
+            shards,
+        })
+    }
+
     /// Open a named index (idempotent, retried).
     pub fn open_index(&mut self, name: &str) -> ClientResult<()> {
         self.with_retry(|c| {

@@ -895,6 +895,12 @@ impl Bur {
         self.shared.inner.read().height()
     }
 
+    /// Minimum bounding rectangle of everything indexed, or
+    /// [`Rect::EMPTY`] when the index holds nothing.
+    pub fn bounds(&self) -> CoreResult<Rect> {
+        self.shared.inner.read().bounds()
+    }
+
     /// The construction options.
     #[must_use]
     pub fn options(&self) -> IndexOptions {

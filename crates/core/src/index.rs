@@ -757,6 +757,17 @@ impl RTreeIndex {
         self.tree.height
     }
 
+    /// Minimum bounding rectangle of everything indexed — the root
+    /// node's MBR — or [`Rect::EMPTY`] when the index holds nothing.
+    /// Costs one (usually cached) page read; used by the shard router to
+    /// prune shards whose contents cannot beat a kNN candidate.
+    pub fn bounds(&self) -> CoreResult<Rect> {
+        if self.tree.len == 0 {
+            return Ok(Rect::EMPTY);
+        }
+        Ok(self.tree.read_node(self.tree.root)?.mbr())
+    }
+
     /// The construction options.
     #[must_use]
     pub fn options(&self) -> &IndexOptions {

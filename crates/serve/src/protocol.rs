@@ -24,6 +24,8 @@ pub mod opcode {
     pub const CLOSE: u8 = 0x04;
     /// List indexes (open and on disk).
     pub const LIST: u8 = 0x05;
+    /// Create a named index sharded N ways by Hilbert-key range.
+    pub const CREATE_SHARDED: u8 = 0x06;
     /// Apply a write batch (coalesced server-side).
     pub const APPLY: u8 = 0x10;
     /// Window query (streamed response).
@@ -138,6 +140,20 @@ pub enum Request {
         strategy: StrategyKind,
         /// Write-ahead-logged durability (required for durable acks).
         durable: bool,
+    },
+    /// Create the named index split into `shards` Hilbert-range shards.
+    /// The server hosts every shard behind the one logical name: writes
+    /// route by key, queries scatter-gather (see `docs/ARCHITECTURE.md`,
+    /// "Sharding").
+    CreateSharded {
+        /// Registry name (shard files get `.s<k>` suffixes on disk).
+        name: String,
+        /// Update strategy family, applied to every shard.
+        strategy: StrategyKind,
+        /// Write-ahead-logged durability (required for durable acks).
+        durable: bool,
+        /// Number of shards (1..=1024).
+        shards: u32,
     },
     /// Open the named index (a no-op if it is already open).
     Open {
@@ -362,6 +378,7 @@ impl Request {
         match self {
             Request::Ping => opcode::PING,
             Request::Create { .. } => opcode::CREATE,
+            Request::CreateSharded { .. } => opcode::CREATE_SHARDED,
             Request::Open { .. } => opcode::OPEN,
             Request::Close { .. } => opcode::CLOSE,
             Request::List => opcode::LIST,
@@ -389,6 +406,17 @@ impl Request {
                 put::str(&mut out, name);
                 put::u8(&mut out, strategy.to_wire());
                 put::u8(&mut out, u8::from(*durable));
+            }
+            Request::CreateSharded {
+                name,
+                strategy,
+                durable,
+                shards,
+            } => {
+                put::str(&mut out, name);
+                put::u8(&mut out, strategy.to_wire());
+                put::u8(&mut out, u8::from(*durable));
+                put::u32(&mut out, *shards);
             }
             Request::Open { name } | Request::Close { name } => put::str(&mut out, name),
             Request::Apply {
@@ -429,6 +457,12 @@ impl Request {
                 name: r.str("index name")?,
                 strategy: StrategyKind::from_wire(r.u8("strategy")?)?,
                 durable: r.u8("durable flag")? != 0,
+            },
+            opcode::CREATE_SHARDED => Request::CreateSharded {
+                name: r.str("index name")?,
+                strategy: StrategyKind::from_wire(r.u8("strategy")?)?,
+                durable: r.u8("durable flag")? != 0,
+                shards: r.u32("shard count")?,
             },
             opcode::OPEN => Request::Open {
                 name: r.str("index name")?,
@@ -680,6 +714,12 @@ mod tests {
                 name: "fleet".into(),
                 strategy: StrategyKind::Generalized,
                 durable: true,
+            },
+            Request::CreateSharded {
+                name: "grid".into(),
+                strategy: StrategyKind::Generalized,
+                durable: true,
+                shards: 8,
             },
             Request::Open { name: "a".into() },
             Request::Close { name: "a".into() },

@@ -4,6 +4,7 @@
 use crate::coalescer::{Coalescer, CoalescerConfig};
 use crate::protocol::StrategyKind;
 use bur_core::{Bur, CoreError, IndexBuilder};
+use bur_shard::{ShardError, ShardOptions, ShardedBur};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -14,7 +15,8 @@ use std::sync::Arc;
 #[derive(Debug)]
 pub enum ServeError {
     /// The index name contains characters outside `[A-Za-z0-9_.-]`, is
-    /// empty, or starts with a dot.
+    /// empty, starts with a dot, or collides with the reserved
+    /// `<name>.s<k>` shard-file stems.
     BadName(String),
     /// The named index is neither open nor present on disk.
     NotFound(String),
@@ -22,6 +24,8 @@ pub enum ServeError {
     AlreadyExists(String),
     /// Propagated core failure.
     Core(CoreError),
+    /// Propagated sharding-layer failure.
+    Shard(ShardError),
     /// Filesystem failure outside the index files proper.
     Io(std::io::Error),
 }
@@ -31,11 +35,13 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::BadName(name) => write!(
                 f,
-                "bad index name {name:?}: use [A-Za-z0-9_.-], non-empty, no leading dot"
+                "bad index name {name:?}: use [A-Za-z0-9_.-], non-empty, no leading dot, \
+                 no `.s<digits>` suffix"
             ),
             ServeError::NotFound(name) => write!(f, "index {name:?} not found"),
             ServeError::AlreadyExists(name) => write!(f, "index {name:?} already exists"),
             ServeError::Core(e) => write!(f, "{e}"),
+            ServeError::Shard(e) => write!(f, "{e}"),
             ServeError::Io(e) => write!(f, "io: {e}"),
         }
     }
@@ -45,6 +51,7 @@ impl std::error::Error for ServeError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ServeError::Core(e) => Some(e),
+            ServeError::Shard(e) => Some(e),
             ServeError::Io(e) => Some(e),
             _ => None,
         }
@@ -54,6 +61,12 @@ impl std::error::Error for ServeError {
 impl From<CoreError> for ServeError {
     fn from(e: CoreError) -> Self {
         ServeError::Core(e)
+    }
+}
+
+impl From<ShardError> for ServeError {
+    fn from(e: ShardError) -> Self {
+        ServeError::Shard(e)
     }
 }
 
@@ -77,15 +90,109 @@ pub struct IndexEntry {
     pub coalescer: Coalescer,
 }
 
-/// Named indexes in one data directory. Each index lives at
-/// `<root>/<name>.bur`; opening is idempotent and crash-safe (`Open`
-/// mode replays the write-ahead log when the stored metadata records a
-/// log anchor).
+/// One open *sharded* index: the logical handle plus one write
+/// coalescer per shard. `Apply` batches split by routing key and each
+/// sub-batch funnels through its shard's coalescer under the client's
+/// unchanged `(session, seq)` — the split is deterministic for a fixed
+/// routing map, so per-shard retry dedup stays exactly-once.
+#[derive(Debug)]
+pub struct ShardedEntry {
+    /// Registry name.
+    pub name: String,
+    /// The logical index over all shards (reads go straight here).
+    pub sharded: ShardedBur,
+    /// Per-shard write paths, indexed by shard id.
+    pub coalescers: Vec<Coalescer>,
+}
+
+impl ShardedEntry {
+    /// Whether any shard's write queue is past its degraded watermark.
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.coalescers.iter().any(Coalescer::is_degraded)
+    }
+
+    /// Ops queued across every shard's coalescer.
+    #[must_use]
+    pub fn queued_ops(&self) -> usize {
+        self.coalescers.iter().map(Coalescer::queued_ops).sum()
+    }
+}
+
+/// Either kind of open index the registry can hand out.
+#[derive(Debug, Clone)]
+pub enum Entry {
+    /// A single-shard index (one file, one coalescer).
+    Plain(Arc<IndexEntry>),
+    /// A sharded index (N shard files + a shard manifest).
+    Sharded(Arc<ShardedEntry>),
+}
+
+impl Entry {
+    /// Registry name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        match self {
+            Entry::Plain(e) => &e.name,
+            Entry::Sharded(e) => &e.name,
+        }
+    }
+
+    /// Objects in the index (summed across shards when sharded).
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        match self {
+            Entry::Plain(e) => e.bur.len(),
+            Entry::Sharded(e) => e.sharded.len(),
+        }
+    }
+
+    /// Whether the index holds nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The plain (unsharded) entry, if this is one.
+    #[must_use]
+    pub fn as_plain(&self) -> Option<&Arc<IndexEntry>> {
+        match self {
+            Entry::Plain(e) => Some(e),
+            Entry::Sharded(_) => None,
+        }
+    }
+
+    /// The sharded entry, if this is one.
+    #[must_use]
+    pub fn as_sharded(&self) -> Option<&Arc<ShardedEntry>> {
+        match self {
+            Entry::Plain(_) => None,
+            Entry::Sharded(e) => Some(e),
+        }
+    }
+}
+
+/// Named indexes in one data directory. A plain index lives at
+/// `<root>/<name>.bur`; a sharded one at `<root>/<name>.s<k>.bur` (one
+/// file per shard) plus the `<root>/<name>.shardmap` routing manifest.
+/// Opening is idempotent and crash-safe (`Open` mode replays each write-
+/// ahead log; an interrupted shard migration rolls back or forward from
+/// the manifest).
 #[derive(Debug)]
 pub struct IndexRegistry {
     root: PathBuf,
-    entries: Mutex<BTreeMap<String, Arc<IndexEntry>>>,
+    entries: Mutex<BTreeMap<String, Entry>>,
     coalescer_config: CoalescerConfig,
+}
+
+/// Shard files of a sharded index are named `<name>.s<k>.bur`, so a
+/// stem ending in `.s<digits>` is reserved and refused as an index name.
+fn is_shard_stem(name: &str) -> bool {
+    name.rsplit_once('.').is_some_and(|(_, suffix)| {
+        suffix.len() >= 2
+            && suffix.starts_with('s')
+            && suffix[1..].bytes().all(|b| b.is_ascii_digit())
+    })
 }
 
 fn valid_name(name: &str) -> bool {
@@ -95,6 +202,7 @@ fn valid_name(name: &str) -> bool {
         && name
             .chars()
             .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '-'))
+        && !is_shard_stem(name)
 }
 
 impl IndexRegistry {
@@ -127,12 +235,32 @@ impl IndexRegistry {
         self.root.join(format!("{name}.bur"))
     }
 
+    fn shard_file_for(&self, name: &str, shard: u32) -> PathBuf {
+        self.root.join(format!("{name}.s{shard}.bur"))
+    }
+
+    fn manifest_for(&self, name: &str) -> PathBuf {
+        self.root.join(format!("{name}.shardmap"))
+    }
+
     fn check_name(name: &str) -> ServeResult<()> {
         if valid_name(name) {
             Ok(())
         } else {
             Err(ServeError::BadName(name.to_string()))
         }
+    }
+
+    fn builder_for(strategy: StrategyKind, durable: bool) -> IndexBuilder {
+        let mut builder = match strategy {
+            StrategyKind::TopDown => IndexBuilder::top_down(),
+            StrategyKind::Localized => IndexBuilder::localized(),
+            StrategyKind::Generalized => IndexBuilder::generalized(),
+        };
+        if durable {
+            builder = builder.durable();
+        }
+        builder
     }
 
     /// Create a named index. Refuses to clobber an existing one.
@@ -143,19 +271,55 @@ impl IndexRegistry {
             return Err(ServeError::AlreadyExists(name.to_string()));
         }
         let file = self.file_for(name);
-        if file.exists() {
+        if file.exists() || self.manifest_for(name).exists() {
             return Err(ServeError::AlreadyExists(name.to_string()));
         }
-        let mut builder = match strategy {
-            StrategyKind::TopDown => IndexBuilder::top_down(),
-            StrategyKind::Localized => IndexBuilder::localized(),
-            StrategyKind::Generalized => IndexBuilder::generalized(),
-        };
-        if durable {
-            builder = builder.durable();
+        let bur = Self::builder_for(strategy, durable)
+            .file(&file)
+            .create()
+            .build()?;
+        entries.insert(name.to_string(), Entry::Plain(self.entry(name, bur)));
+        Ok(())
+    }
+
+    /// Create a named index sharded `shards` ways by Hilbert-key range.
+    /// Shard files land at `<name>.s<k>.bur` and the routing manifest at
+    /// `<name>.shardmap`. Refuses to clobber an existing index of
+    /// either kind.
+    pub fn create_sharded(
+        &self,
+        name: &str,
+        strategy: StrategyKind,
+        durable: bool,
+        shards: u32,
+    ) -> ServeResult<()> {
+        Self::check_name(name)?;
+        if shards == 0 || shards > 1024 {
+            return Err(ServeError::Shard(ShardError::Config(format!(
+                "shard count {shards} outside 1..=1024"
+            ))));
         }
-        let bur = builder.file(&file).create().build()?;
-        entries.insert(name.to_string(), self.entry(name, bur));
+        let mut entries = self.entries.lock();
+        if entries.contains_key(name) {
+            return Err(ServeError::AlreadyExists(name.to_string()));
+        }
+        if self.file_for(name).exists() || self.manifest_for(name).exists() {
+            return Err(ServeError::AlreadyExists(name.to_string()));
+        }
+        let mut burs = Vec::with_capacity(shards as usize);
+        for k in 0..shards {
+            let bur = Self::builder_for(strategy, durable)
+                .file(self.shard_file_for(name, k))
+                .create()
+                .build()?;
+            burs.push(bur);
+        }
+        let sharded =
+            ShardedBur::with_manifest(burs, ShardOptions::default(), self.manifest_for(name))?;
+        entries.insert(
+            name.to_string(),
+            Entry::Sharded(self.sharded_entry(name, sharded)),
+        );
         Ok(())
     }
 
@@ -167,33 +331,72 @@ impl IndexRegistry {
         })
     }
 
+    fn sharded_entry(&self, name: &str, sharded: ShardedBur) -> Arc<ShardedEntry> {
+        let coalescers = (0..sharded.shard_count())
+            .map(|k| Coalescer::with_config(sharded.shard(k).clone(), self.coalescer_config))
+            .collect();
+        Arc::new(ShardedEntry {
+            name: name.to_string(),
+            sharded,
+            coalescers,
+        })
+    }
+
     /// Open the named index from disk, or return the already-open
-    /// entry. `Open` mode auto-recovers from the write-ahead log, so
+    /// entry. The kind is auto-detected: a `<name>.shardmap` manifest
+    /// means sharded, a bare `<name>.bur` means plain. `Open` mode
+    /// auto-recovers from each write-ahead log, and an interrupted
+    /// shard migration is rolled back or forward from the manifest, so
     /// this is also the post-crash path.
-    pub fn open(&self, name: &str) -> ServeResult<Arc<IndexEntry>> {
+    pub fn open(&self, name: &str) -> ServeResult<Entry> {
         Self::check_name(name)?;
         let mut entries = self.entries.lock();
         if let Some(entry) = entries.get(name) {
-            return Ok(Arc::clone(entry));
+            return Ok(entry.clone());
         }
-        let file = self.file_for(name);
-        if !file.exists() {
-            return Err(ServeError::NotFound(name.to_string()));
-        }
-        let bur = IndexBuilder::new().file(&file).open().build()?;
-        let entry = self.entry(name, bur);
-        entries.insert(name.to_string(), Arc::clone(&entry));
+        let manifest = self.manifest_for(name);
+        let entry = if manifest.exists() {
+            let m = bur_shard::load_manifest(&manifest)?;
+            let mut burs = Vec::with_capacity(m.shards as usize);
+            for k in 0..m.shards {
+                let file = self.shard_file_for(name, k);
+                if !file.exists() {
+                    return Err(ServeError::Shard(ShardError::Manifest(format!(
+                        "manifest names {} shards but {} is missing",
+                        m.shards,
+                        file.display()
+                    ))));
+                }
+                burs.push(IndexBuilder::new().file(&file).open().build()?);
+            }
+            let sharded = ShardedBur::with_manifest(burs, ShardOptions::default(), manifest)?;
+            Entry::Sharded(self.sharded_entry(name, sharded))
+        } else {
+            let file = self.file_for(name);
+            if !file.exists() {
+                return Err(ServeError::NotFound(name.to_string()));
+            }
+            let bur = IndexBuilder::new().file(&file).open().build()?;
+            Entry::Plain(self.entry(name, bur))
+        };
+        entries.insert(name.to_string(), entry.clone());
         Ok(entry)
     }
 
     /// The open entry for `name`, opening it from disk on demand.
-    pub fn get(&self, name: &str) -> ServeResult<Arc<IndexEntry>> {
+    pub fn get(&self, name: &str) -> ServeResult<Entry> {
         self.open(name)
     }
 
-    /// Close the named index: drain its coalescer, flush and persist.
-    /// Late `Apply` submissions racing the close are refused by the
-    /// drained coalescer rather than lost.
+    /// Every currently open entry (metrics, maintenance sweeps).
+    #[must_use]
+    pub fn open_entries(&self) -> Vec<Entry> {
+        self.entries.lock().values().cloned().collect()
+    }
+
+    /// Close the named index: drain its coalescer(s), flush and
+    /// persist. Late `Apply` submissions racing the close are refused by
+    /// the drained coalescers rather than lost.
     pub fn close(&self, name: &str) -> ServeResult<()> {
         Self::check_name(name)?;
         let entry = {
@@ -202,13 +405,25 @@ impl IndexRegistry {
                 .remove(name)
                 .ok_or_else(|| ServeError::NotFound(name.to_string()))?
         };
-        entry.coalescer.shutdown();
-        entry.bur.persist()?;
+        match entry {
+            Entry::Plain(e) => {
+                e.coalescer.shutdown();
+                e.bur.persist()?;
+            }
+            Entry::Sharded(e) => {
+                for c in &e.coalescers {
+                    c.shutdown();
+                }
+                e.sharded.persist()?;
+            }
+        }
         Ok(())
     }
 
-    /// Every index this registry knows about: open entries plus `.bur`
-    /// files on disk, as `(name, open)` pairs sorted by name.
+    /// Every index this registry knows about: open entries plus index
+    /// files on disk, as `(name, open)` pairs sorted by name. A sharded
+    /// index appears once under its logical name (its `<name>.s<k>.bur`
+    /// shard files are not listed individually).
     pub fn list(&self) -> ServeResult<Vec<(String, bool)>> {
         let mut names: BTreeMap<String, bool> = self
             .entries
@@ -218,10 +433,13 @@ impl IndexRegistry {
             .collect();
         for dirent in std::fs::read_dir(&self.root)? {
             let path = dirent?.path();
-            if path.extension().and_then(|e| e.to_str()) != Some("bur") {
+            let ext = path.extension().and_then(|e| e.to_str());
+            if !matches!(ext, Some("bur" | "shardmap")) {
                 continue;
             }
             if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                // `valid_name` rejects `<name>.s<k>` shard-file stems,
+                // so a sharded index is listed only via its manifest.
                 if valid_name(stem) {
                     names.entry(stem.to_string()).or_insert(false);
                 }
@@ -233,13 +451,23 @@ impl IndexRegistry {
     /// Close every open index (drain, flush, persist). The registry
     /// stays usable; this is the graceful-shutdown tail.
     pub fn shutdown(&self) {
-        let entries: Vec<Arc<IndexEntry>> = {
+        let entries: Vec<Entry> = {
             let mut map = self.entries.lock();
             std::mem::take(&mut *map).into_values().collect()
         };
         for entry in entries {
-            entry.coalescer.shutdown();
-            let _ = entry.bur.persist();
+            match entry {
+                Entry::Plain(e) => {
+                    e.coalescer.shutdown();
+                    let _ = e.bur.persist();
+                }
+                Entry::Sharded(e) => {
+                    for c in &e.coalescers {
+                        c.shutdown();
+                    }
+                    let _ = e.sharded.persist();
+                }
+            }
         }
     }
 }
@@ -257,6 +485,20 @@ mod tests {
         dir
     }
 
+    fn plain(entry: Entry) -> Arc<IndexEntry> {
+        match entry {
+            Entry::Plain(e) => e,
+            Entry::Sharded(_) => panic!("expected a plain entry"),
+        }
+    }
+
+    fn sharded(entry: Entry) -> Arc<ShardedEntry> {
+        match entry {
+            Entry::Sharded(e) => e,
+            Entry::Plain(_) => panic!("expected a sharded entry"),
+        }
+    }
+
     #[test]
     fn create_open_close_list_roundtrip() {
         let root = tempdir("lifecycle");
@@ -267,7 +509,7 @@ mod tests {
             reg.create("fleet", StrategyKind::Generalized, true),
             Err(ServeError::AlreadyExists(_))
         ));
-        let entry = reg.get("fleet").expect("get");
+        let entry = plain(reg.get("fleet").expect("get"));
         entry
             .coalescer
             .apply(vec![Op::Insert {
@@ -279,9 +521,54 @@ mod tests {
         reg.close("fleet").expect("close");
         assert_eq!(reg.list().expect("list"), vec![("fleet".into(), false)]);
         // Reopen from disk; the insert survived.
-        let entry = reg.open("fleet").expect("reopen");
+        let entry = plain(reg.open("fleet").expect("reopen"));
         assert_eq!(entry.bur.len(), 1);
         assert_eq!(reg.list().expect("list"), vec![("fleet".into(), true)]);
+        reg.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn sharded_lifecycle_roundtrip() {
+        let root = tempdir("sharded");
+        let reg = IndexRegistry::new(&root).expect("registry");
+        reg.create_sharded("grid", StrategyKind::Generalized, true, 4)
+            .expect("create sharded");
+        // Name now taken for both kinds.
+        assert!(matches!(
+            reg.create("grid", StrategyKind::Generalized, true),
+            Err(ServeError::AlreadyExists(_))
+        ));
+        assert!(matches!(
+            reg.create_sharded("grid", StrategyKind::Generalized, true, 2),
+            Err(ServeError::AlreadyExists(_))
+        ));
+        let entry = sharded(reg.get("grid").expect("get"));
+        assert_eq!(entry.coalescers.len(), 4);
+        // Writes through per-shard coalescers, routed by key.
+        let ops: Vec<Op> = (0..32u64)
+            .map(|i| Op::Insert {
+                oid: i,
+                rect: Rect::from_point(Point::new((i as f32) / 32.0, ((i * 7) % 32) as f32 / 32.0)),
+            })
+            .collect();
+        let routed = entry.sharded.route_for_write(&ops).expect("route");
+        assert!(routed.parts().len() > 1, "spread over shards");
+        for (shard, sub) in routed.parts() {
+            entry.coalescers[*shard as usize]
+                .apply(sub.clone())
+                .expect("apply");
+        }
+        drop(routed);
+        assert_eq!(entry.sharded.len(), 32);
+        // The logical name lists once; shard files are not listed.
+        assert_eq!(reg.list().expect("list"), vec![("grid".into(), true)]);
+        reg.close("grid").expect("close");
+        assert_eq!(reg.list().expect("list"), vec![("grid".into(), false)]);
+        // Reopen auto-detects the sharded kind and finds every object.
+        let entry = sharded(reg.open("grid").expect("reopen"));
+        assert_eq!(entry.sharded.len(), 32);
+        assert_eq!(entry.sharded.shard_count(), 4);
         reg.shutdown();
         let _ = std::fs::remove_dir_all(&root);
     }
@@ -290,7 +577,9 @@ mod tests {
     fn names_are_validated() {
         let root = tempdir("names");
         let reg = IndexRegistry::new(&root).expect("registry");
-        for bad in ["", ".hidden", "a/b", "a b", "..", "x\u{0}"] {
+        for bad in [
+            "", ".hidden", "a/b", "a b", "..", "x\u{0}", "grid.s0", "a.s12",
+        ] {
             assert!(
                 matches!(
                     reg.create(bad, StrategyKind::TopDown, false),
@@ -299,7 +588,16 @@ mod tests {
                 "accepted {bad:?}"
             );
         }
+        // `.s<digits>`-free names that merely resemble shard stems pass.
+        reg.create("a.sx", StrategyKind::TopDown, false)
+            .expect("a.sx is fine");
+        reg.create("b.s", StrategyKind::TopDown, false)
+            .expect("b.s is fine");
         assert!(matches!(reg.open("missing"), Err(ServeError::NotFound(_))));
+        assert!(matches!(
+            reg.create_sharded("z", StrategyKind::TopDown, false, 0),
+            Err(ServeError::Shard(_))
+        ));
         let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -3,10 +3,10 @@
 //! protocol, and the graceful-shutdown contract (stop accepting → join
 //! connections → drain coalescers → flush and checkpoint every index).
 
-use crate::coalescer::{ApplyError, CoalescerConfig, WriteAck};
+use crate::coalescer::{ApplyError, Coalescer, CoalescerConfig, WriteAck};
 use crate::metrics::ServerMetrics;
 use crate::protocol::{Request, Response, WireNeighbor};
-use crate::registry::{IndexRegistry, ServeResult};
+use crate::registry::{Entry, IndexRegistry, ServeResult, ShardedEntry};
 use crate::wire::{self, FrameError};
 use parking_lot::Mutex;
 use std::io::{self, Write};
@@ -38,17 +38,23 @@ pub struct ServerConfig {
     /// flight); batches past it are shed with `overloaded` frames, and
     /// half of it is the degraded-mode watermark that sheds queries.
     pub max_queued_ops: usize,
+    /// Shard count for plain `create` requests: with a value > 1 the
+    /// server creates every new index sharded that many ways
+    /// (`burd --shards N`). Explicit `create_sharded` requests carry
+    /// their own count and ignore this.
+    pub default_shards: u32,
 }
 
 impl ServerConfig {
     /// Defaults: loopback on an OS-assigned port, 64 connections,
-    /// 16384-op write queues.
+    /// 16384-op write queues, unsharded creates.
     pub fn new(data_dir: impl Into<std::path::PathBuf>) -> Self {
         ServerConfig {
             data_dir: data_dir.into(),
             addr: "127.0.0.1:0".to_string(),
             max_connections: 64,
             max_queued_ops: CoalescerConfig::default().max_queued_ops,
+            default_shards: 1,
         }
     }
 }
@@ -59,6 +65,7 @@ struct ConnCtx {
     stop: Arc<AtomicBool>,
     degraded: Arc<AtomicBool>,
     addr: SocketAddr,
+    default_shards: u32,
 }
 
 /// A running server. Dropping the handle does NOT stop the server;
@@ -101,6 +108,7 @@ pub fn start(config: ServerConfig) -> ServeResult<ServerHandle> {
         stop: Arc::clone(&stop),
         degraded: Arc::clone(&degraded),
         addr,
+        default_shards: config.default_shards.max(1),
     });
     let max_connections = config.max_connections.max(1);
     let accept = std::thread::Builder::new()
@@ -343,7 +351,33 @@ fn serve_request(
             strategy,
             durable,
         } => {
-            let resp = match ctx.registry.create(&name, strategy, durable) {
+            // `burd --shards N` makes every plain create sharded N ways.
+            let resp = if ctx.default_shards > 1 {
+                match ctx
+                    .registry
+                    .create_sharded(&name, strategy, durable, ctx.default_shards)
+                {
+                    Ok(()) => Response::Ok,
+                    Err(e) => err(&e),
+                }
+            } else {
+                match ctx.registry.create(&name, strategy, durable) {
+                    Ok(()) => Response::Ok,
+                    Err(e) => err(&e),
+                }
+            };
+            reply(stream, resp)
+        }
+        Request::CreateSharded {
+            name,
+            strategy,
+            durable,
+            shards,
+        } => {
+            let resp = match ctx
+                .registry
+                .create_sharded(&name, strategy, durable, shards)
+            {
                 Ok(()) => Response::Ok,
                 Err(e) => err(&e),
             };
@@ -377,73 +411,93 @@ fn serve_request(
             ops,
         } => {
             let resp = match ctx.registry.get(&index) {
-                Ok(entry) => {
-                    let before = entry.coalescer.stats().dedup_hits;
-                    match entry.coalescer.apply_session(session, seq, ops, deadline) {
+                Ok(Entry::Plain(entry)) => {
+                    match coalesced_apply(ctx, &entry.coalescer, session, seq, ops, deadline) {
                         Ok(WriteAck {
                             lsn,
                             applied,
                             merged,
-                        }) => {
-                            let hits = entry.coalescer.stats().dedup_hits - before;
-                            ctx.metrics.dedup_hits.fetch_add(hits, Ordering::Relaxed);
-                            Response::Ack {
-                                lsn,
-                                applied,
-                                merged,
-                            }
-                        }
-                        Err(e @ ApplyError::Overloaded { .. }) => {
-                            ctx.metrics.writes_shed.fetch_add(1, Ordering::Relaxed);
-                            Response::Overloaded {
-                                message: e.to_string(),
-                            }
-                        }
-                        Err(e @ ApplyError::Expired) => {
-                            ctx.metrics.requests_expired.fetch_add(1, Ordering::Relaxed);
-                            Response::Expired {
-                                message: e.to_string(),
-                            }
-                        }
-                        Err(ApplyError::Rejected(message)) => Response::Err { message },
+                        }) => Response::Ack {
+                            lsn,
+                            applied,
+                            merged,
+                        },
+                        Err(resp) => resp,
                     }
+                }
+                Ok(Entry::Sharded(entry)) => {
+                    apply_sharded(ctx, &entry, session, seq, &ops, deadline)
                 }
                 Err(e) => err(&e),
             };
             reply(stream, resp)
         }
-        Request::Query { index, window } => {
-            let entry = match ctx.registry.get(&index) {
-                Ok(entry) => entry,
-                Err(e) => return reply(stream, err(&e)),
-            };
-            if let Some(resp) = shed_query(ctx, &entry) {
-                return reply(stream, resp);
+        Request::Query { index, window } => match ctx.registry.get(&index) {
+            Ok(Entry::Plain(entry)) => {
+                if let Some(resp) = shed_query(ctx, &entry) {
+                    return reply(stream, resp);
+                }
+                let cursor = match entry.bur.query(&window) {
+                    Ok(cursor) => cursor,
+                    Err(e) => return reply(stream, err(&e)),
+                };
+                stream_chunks(stream, id, cursor.remaining(), |ids| Response::IdChunk {
+                    ids: ids.to_vec(),
+                    last: false,
+                })
             }
-            let cursor = match entry.bur.query(&window) {
-                Ok(cursor) => cursor,
-                Err(e) => return reply(stream, err(&e)),
-            };
-            stream_chunks(stream, id, cursor.remaining(), |ids| Response::IdChunk {
-                ids: ids.to_vec(),
-                last: false,
-            })
-        }
+            Ok(Entry::Sharded(entry)) => {
+                if let Some(resp) = shed_sharded_query(ctx, &entry) {
+                    return reply(stream, resp);
+                }
+                let mut scatter = match entry.sharded.query(&window) {
+                    Ok(scatter) => scatter,
+                    Err(e) => return reply(stream, err(&e)),
+                };
+                let mut ids = Vec::new();
+                bur_shard::ScatterQuery::collect_into(&mut scatter, &mut ids);
+                stream_chunks(stream, id, &ids, |ids| Response::IdChunk {
+                    ids: ids.to_vec(),
+                    last: false,
+                })
+            }
+            Err(e) => reply(stream, err(&e)),
+        },
         Request::Knn { index, point, k } => {
-            let entry = match ctx.registry.get(&index) {
-                Ok(entry) => entry,
-                Err(e) => return reply(stream, err(&e)),
-            };
-            if let Some(resp) = shed_query(ctx, &entry) {
-                return reply(stream, resp);
-            }
-            let neighbors: Vec<WireNeighbor> = match entry.bur.nearest(point, k as usize) {
-                Ok(cursor) => cursor
-                    .map(|n| WireNeighbor {
-                        oid: n.oid,
-                        distance: n.distance,
-                    })
-                    .collect(),
+            let neighbors: Vec<WireNeighbor> = match ctx.registry.get(&index) {
+                Ok(Entry::Plain(entry)) => {
+                    if let Some(resp) = shed_query(ctx, &entry) {
+                        return reply(stream, resp);
+                    }
+                    match entry.bur.nearest(point, k as usize) {
+                        Ok(cursor) => cursor
+                            .map(|n| WireNeighbor {
+                                oid: n.oid,
+                                distance: n.distance,
+                            })
+                            .collect(),
+                        Err(e) => return reply(stream, err(&e)),
+                    }
+                }
+                Ok(Entry::Sharded(entry)) => {
+                    if let Some(resp) = shed_sharded_query(ctx, &entry) {
+                        return reply(stream, resp);
+                    }
+                    match entry
+                        .sharded
+                        .nearest(point, k as usize)
+                        .and_then(bur_shard::MergedNeighbors::try_collect)
+                    {
+                        Ok(neighbors) => neighbors
+                            .into_iter()
+                            .map(|n| WireNeighbor {
+                                oid: n.oid,
+                                distance: n.distance,
+                            })
+                            .collect(),
+                        Err(e) => return reply(stream, err(&e)),
+                    }
+                }
                 Err(e) => return reply(stream, err(&e)),
             };
             stream_chunks(stream, id, &neighbors, |chunk| Response::NeighborChunk {
@@ -453,28 +507,118 @@ fn serve_request(
         }
         Request::Len { index } => {
             let resp = match ctx.registry.get(&index) {
-                Ok(entry) => Response::Count {
-                    value: entry.bur.len(),
-                },
+                Ok(entry) => Response::Count { value: entry.len() },
                 Err(e) => err(&e),
             };
             reply(stream, resp)
         }
         Request::Stats { index } => {
             let resp = match ctx.registry.get(&index) {
-                Ok(entry) => Response::Text {
+                Ok(Entry::Plain(entry)) => Response::Text {
                     text: index_stats_text(&entry),
+                },
+                Ok(Entry::Sharded(entry)) => Response::Text {
+                    text: sharded_stats_text(&entry),
                 },
                 Err(e) => err(&e),
             };
             reply(stream, resp)
         }
-        Request::Metrics => reply(
-            stream,
-            Response::Text {
-                text: ctx.metrics.render(),
-            },
-        ),
+        Request::Metrics => {
+            // The server-wide dump plus the per-shard gauges of every
+            // open sharded index.
+            let mut text = ctx.metrics.render();
+            for entry in ctx.registry.open_entries() {
+                if let Entry::Sharded(e) = entry {
+                    text.push_str(&shard_gauges(&e));
+                }
+            }
+            reply(stream, Response::Text { text })
+        }
+    }
+}
+
+/// Submit one op list to one coalescer, translating coalescer failures
+/// into their wire responses and counting the shared metrics.
+fn coalesced_apply(
+    ctx: &ConnCtx,
+    coalescer: &Coalescer,
+    session: u128,
+    seq: u64,
+    ops: Vec<bur_core::Op>,
+    deadline: Option<Instant>,
+) -> Result<WriteAck, Response> {
+    let before = coalescer.stats().dedup_hits;
+    match coalescer.apply_session(session, seq, ops, deadline) {
+        Ok(ack) => {
+            let hits = coalescer.stats().dedup_hits - before;
+            ctx.metrics.dedup_hits.fetch_add(hits, Ordering::Relaxed);
+            Ok(ack)
+        }
+        Err(e @ ApplyError::Overloaded { .. }) => {
+            ctx.metrics.writes_shed.fetch_add(1, Ordering::Relaxed);
+            Err(Response::Overloaded {
+                message: e.to_string(),
+            })
+        }
+        Err(e @ ApplyError::Expired) => {
+            ctx.metrics.requests_expired.fetch_add(1, Ordering::Relaxed);
+            Err(Response::Expired {
+                message: e.to_string(),
+            })
+        }
+        Err(ApplyError::Rejected(message)) => Err(Response::Err { message }),
+    }
+}
+
+/// Apply one client batch to a sharded index: split by routing key
+/// (waiting out any migration overlapping the ops) and funnel each
+/// sub-batch through its shard's coalescer under the client's unchanged
+/// `(session, seq)`.
+///
+/// A shed or expiry after some shards already applied is still safe to
+/// surface as retryable: the split is deterministic for a fixed routing
+/// map, so a retry re-sends identical sub-batches and the shards that
+/// already applied answer from their dedup tables instead of applying
+/// twice.
+fn apply_sharded(
+    ctx: &ConnCtx,
+    entry: &ShardedEntry,
+    session: u128,
+    seq: u64,
+    ops: &[bur_core::Op],
+    deadline: Option<Instant>,
+) -> Response {
+    let routed = match entry.sharded.route_for_write(ops) {
+        Ok(routed) => routed,
+        Err(e) => {
+            return Response::Err {
+                message: e.to_string(),
+            }
+        }
+    };
+    let mut lsn = 0u64;
+    let mut applied = 0u64;
+    let mut merged = 0u64;
+    for (shard, sub) in routed.parts() {
+        let coalescer = &entry.coalescers[*shard as usize];
+        match coalesced_apply(ctx, coalescer, session, seq, sub.clone(), deadline) {
+            Ok(ack) => {
+                // Shard logs are independent; the folded LSN is only an
+                // "everything acked" watermark, like AggregateTicket's.
+                lsn = lsn.max(ack.lsn);
+                applied += ack.applied;
+                merged = merged.max(ack.merged);
+            }
+            Err(resp) => return resp,
+        }
+    }
+    Response::Ack {
+        // A cross-shard update ran as delete + insert; count it as the
+        // one logical op the client submitted.
+        applied: applied.saturating_sub(routed.split_updates()),
+        lsn,
+        merged,
     }
 }
 
@@ -489,6 +633,24 @@ fn shed_query(ctx: &ConnCtx, entry: &crate::registry::IndexEntry) -> Option<Resp
             message: format!(
                 "degraded: query shed ({} ops queued on {:?}); retry later",
                 entry.coalescer.queued_ops(),
+                entry.name
+            ),
+        });
+    }
+    None
+}
+
+/// [`shed_query`] for a sharded index: one shard past its watermark
+/// sheds the whole scatter (a gather blocked on the hot shard would
+/// hold every other shard's results hostage anyway).
+fn shed_sharded_query(ctx: &ConnCtx, entry: &ShardedEntry) -> Option<Response> {
+    if ctx.degraded.load(Ordering::SeqCst) || entry.is_degraded() {
+        ctx.metrics.queries_shed.fetch_add(1, Ordering::Relaxed);
+        return Some(Response::Overloaded {
+            message: format!(
+                "degraded: query shed ({} ops queued across {} shards of {:?}); retry later",
+                entry.queued_ops(),
+                entry.coalescers.len(),
                 entry.name
             ),
         });
@@ -557,5 +719,57 @@ fn index_stats_text(entry: &crate::registry::IndexEntry) -> String {
         gauge("wal_last_lsn", wal.last_lsn);
         gauge("wal_durable_lsn", wal.durable_lsn);
     }
+    out
+}
+
+/// The `stats` opcode's plaintext gauge dump for one sharded index:
+/// logical totals plus the per-shard gauges from [`shard_gauges`].
+fn sharded_stats_text(entry: &ShardedEntry) -> String {
+    let label = &entry.name;
+    let stats = entry.sharded.stats();
+    let mut out = String::with_capacity(1024);
+    let mut gauge = |name: &str, v: u64| {
+        out.push_str(&format!("bur_{name}{{index=\"{label}\"}} {v}\n"));
+    };
+    gauge("objects", entry.sharded.len());
+    gauge("durable", u64::from(entry.sharded.is_durable()));
+    gauge("shards", stats.shards.len() as u64);
+    gauge("shard_epoch", stats.epoch);
+    gauge("shard_segments", stats.segments as u64);
+    gauge("shard_migrating", u64::from(stats.migrating));
+    gauge("degraded", u64::from(entry.is_degraded()));
+    out.push_str(&shard_gauges(entry));
+    out
+}
+
+/// Per-shard size/depth/queue gauges plus the imbalance ratio, labeled
+/// `{index, shard}`; appended to both `stats` and the server-wide
+/// `metrics` dump.
+fn shard_gauges(entry: &ShardedEntry) -> String {
+    let label = &entry.name;
+    let stats = entry.sharded.stats();
+    let mut out = String::with_capacity(256 * stats.shards.len());
+    for (k, load) in stats.shards.iter().enumerate() {
+        let mut gauge = |name: &str, v: u64| {
+            out.push_str(&format!(
+                "bur_{name}{{index=\"{label}\",shard=\"{k}\"}} {v}\n"
+            ));
+        };
+        gauge("shard_objects", load.len);
+        gauge("shard_height", u64::from(load.height));
+        let co = entry.coalescers[k].stats();
+        gauge("shard_queued_ops", co.queued_ops);
+        gauge("shard_coalescer_rounds", co.rounds);
+        gauge("shard_dedup_hits", co.dedup_hits);
+        gauge(
+            "shard_degraded",
+            u64::from(entry.coalescers[k].is_degraded()),
+        );
+    }
+    // Milli-units: the gauge grammar is integer-only.
+    out.push_str(&format!(
+        "bur_shard_imbalance_milli{{index=\"{label}\"}} {}\n",
+        (stats.imbalance * 1000.0) as u64
+    ));
     out
 }

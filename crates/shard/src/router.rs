@@ -1,0 +1,288 @@
+//! The range map: who owns which Hilbert-key range.
+//!
+//! The routing state of a sharded index is a sorted list of
+//! [`Segment`]s covering the whole key space `[0, 4^order)`. Every key
+//! has exactly one owner at any instant; a migration in flight is an
+//! explicit [`Migration`] overlay, not a second owner, so point-op
+//! routing stays single-shard throughout.
+
+use bur_geom::hilbert::HilbertRange;
+
+/// One contiguous run of Hilbert keys owned by a shard. Segments are
+/// half-open: a segment covers `[start, next_segment.start)` (the last
+/// one covers up to the key-space end).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// First key of the run.
+    pub start: u64,
+    /// Owning shard index.
+    pub shard: u32,
+}
+
+/// A range migration in flight (see the migration protocol in
+/// `docs/ARCHITECTURE.md`): keys in `[lo, hi)` are moving from shard
+/// `from` to shard `to`. While pending, writes into the range are
+/// frozen and overlapping reads scatter to both sides and deduplicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Migration {
+    /// First key of the moving range.
+    pub lo: u64,
+    /// One past the last key of the moving range.
+    pub hi: u64,
+    /// Current owner (authoritative until the flip).
+    pub from: u32,
+    /// New owner (authoritative after the flip).
+    pub to: u32,
+    /// Whether ownership has flipped to `to` (the commit point).
+    pub flipped: bool,
+}
+
+/// The routing table: sorted segments plus the pending migration, if
+/// any. Guarded by the sharded handle's `RwLock`; the epoch counter
+/// lives next to the lock, not here.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RangeMap {
+    segments: Vec<Segment>,
+    key_space: u64,
+    pending: Option<Migration>,
+}
+
+impl RangeMap {
+    /// Even split of `[0, key_space)` across `shards` shards, in curve
+    /// order (shard 0 gets the lowest keys).
+    #[must_use]
+    pub fn even(shards: u32, key_space: u64) -> Self {
+        debug_assert!(shards > 0);
+        let per = (key_space / u64::from(shards)).max(1);
+        let segments = (0..shards)
+            .map(|s| Segment {
+                start: u64::from(s) * per,
+                shard: s,
+            })
+            .collect();
+        Self {
+            segments,
+            key_space,
+            pending: None,
+        }
+    }
+
+    /// Rebuild from persisted segments (must be sorted, start at 0).
+    pub fn from_segments(
+        segments: Vec<Segment>,
+        key_space: u64,
+        pending: Option<Migration>,
+    ) -> Result<Self, String> {
+        if segments.is_empty() {
+            return Err("range map has no segments".into());
+        }
+        if segments[0].start != 0 {
+            return Err("range map does not start at key 0".into());
+        }
+        for w in segments.windows(2) {
+            if w[0].start >= w[1].start {
+                return Err("range map segments out of order".into());
+            }
+        }
+        if segments.last().expect("non-empty").start >= key_space {
+            return Err("range map segment beyond the key space".into());
+        }
+        Ok(Self {
+            segments,
+            key_space,
+            pending,
+        })
+    }
+
+    /// One past the largest representable key.
+    #[must_use]
+    pub fn key_space(&self) -> u64 {
+        self.key_space
+    }
+
+    /// The sorted segments (diagnostics / persistence).
+    #[must_use]
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+
+    /// The migration in flight, if any.
+    #[must_use]
+    pub fn pending(&self) -> Option<&Migration> {
+        self.pending.as_ref()
+    }
+
+    pub(crate) fn set_pending(&mut self, m: Option<Migration>) {
+        self.pending = m;
+    }
+
+    /// The shard owning `key` right now. During a migration the `from`
+    /// shard stays the owner until the flip, then `to` takes over.
+    #[must_use]
+    pub fn owner(&self, key: u64) -> u32 {
+        if let Some(m) = &self.pending {
+            if m.lo <= key && key < m.hi {
+                return if m.flipped { m.to } else { m.from };
+            }
+        }
+        self.base_owner(key)
+    }
+
+    /// Segment lookup ignoring the migration overlay.
+    fn base_owner(&self, key: u64) -> u32 {
+        let i = self
+            .segments
+            .partition_point(|s| s.start <= key)
+            .saturating_sub(1);
+        self.segments[i].shard
+    }
+
+    /// Every shard whose owned key range overlaps any of `ranges`.
+    /// Returns a sorted, deduplicated shard list. A pending migration
+    /// overlapping the ranges contributes **both** sides (the caller
+    /// must deduplicate gathered results in that case — see
+    /// [`RangeMap::pending_overlaps`]).
+    #[must_use]
+    pub fn shards_overlapping(&self, ranges: &[HilbertRange]) -> Vec<u32> {
+        let mut out: Vec<u32> = Vec::new();
+        for (i, seg) in self.segments.iter().enumerate() {
+            let end = self.segments.get(i + 1).map_or(self.key_space, |n| n.start);
+            if ranges.iter().any(|r| r.overlaps(seg.start, end)) {
+                out.push(seg.shard);
+            }
+        }
+        if let Some(m) = &self.pending {
+            if ranges.iter().any(|r| r.overlaps(m.lo, m.hi)) {
+                out.push(m.from);
+                out.push(m.to);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Whether the pending migration (if any) overlaps one of `ranges`.
+    #[must_use]
+    pub fn pending_overlaps(&self, ranges: &[HilbertRange]) -> bool {
+        self.pending
+            .as_ref()
+            .is_some_and(|m| ranges.iter().any(|r| r.overlaps(m.lo, m.hi)))
+    }
+
+    /// Whether `[lo, hi)` is owned entirely by `shard` (required before
+    /// a migration may start).
+    #[must_use]
+    pub fn owned_entirely_by(&self, lo: u64, hi: u64, shard: u32) -> bool {
+        if lo >= hi || hi > self.key_space {
+            return false;
+        }
+        for (i, seg) in self.segments.iter().enumerate() {
+            let end = self.segments.get(i + 1).map_or(self.key_space, |n| n.start);
+            if seg.start < hi && lo < end && seg.shard != shard {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Reassign `[lo, hi)` to `shard`, splitting segments at the
+    /// boundaries as needed and coalescing equal neighbors after. The
+    /// migration overlay is ignored: this *is* the flip.
+    pub(crate) fn assign(&mut self, lo: u64, hi: u64, shard: u32) {
+        debug_assert!(lo < hi && hi <= self.key_space);
+        // Candidate boundaries: every old segment start plus the two
+        // new cut points; each boundary's owner decides the new map.
+        let mut bounds: Vec<u64> = self.segments.iter().map(|s| s.start).collect();
+        bounds.push(lo);
+        if hi < self.key_space {
+            bounds.push(hi);
+        }
+        bounds.sort_unstable();
+        bounds.dedup();
+        let mut next: Vec<Segment> = Vec::with_capacity(bounds.len());
+        for b in bounds {
+            let owner = if lo <= b && b < hi {
+                shard
+            } else {
+                self.base_owner(b)
+            };
+            match next.last() {
+                Some(last) if last.shard == owner => {}
+                _ => next.push(Segment {
+                    start: b,
+                    shard: owner,
+                }),
+            }
+        }
+        self.segments = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_routes_in_curve_order() {
+        let map = RangeMap::even(4, 1 << 8);
+        assert_eq!(map.segments().len(), 4);
+        assert_eq!(map.owner(0), 0);
+        assert_eq!(map.owner(63), 0);
+        assert_eq!(map.owner(64), 1);
+        assert_eq!(map.owner(255), 3);
+    }
+
+    #[test]
+    fn assign_splits_and_coalesces() {
+        let mut map = RangeMap::even(2, 100);
+        // [0,50)→0, [50,100)→1; move [20,30) to shard 1.
+        map.assign(20, 30, 1);
+        assert_eq!(map.owner(19), 0);
+        assert_eq!(map.owner(20), 1);
+        assert_eq!(map.owner(29), 1);
+        assert_eq!(map.owner(30), 0);
+        assert_eq!(map.owner(50), 1);
+        // Moving it back restores the original two segments.
+        map.assign(20, 30, 0);
+        assert_eq!(map.segments().len(), 2);
+        assert_eq!(map.owner(25), 0);
+    }
+
+    #[test]
+    fn assign_whole_segment_coalesces_neighbors() {
+        let mut map = RangeMap::even(4, 400);
+        map.assign(100, 200, 0); // shard 1's whole range to shard 0
+        assert_eq!(map.owner(150), 0);
+        assert_eq!(map.segments().len(), 3); // [0,200)→0 coalesced
+        assert!(map.owned_entirely_by(0, 200, 0));
+        assert!(!map.owned_entirely_by(150, 250, 0));
+    }
+
+    #[test]
+    fn overlap_scatter_includes_both_sides_of_a_migration() {
+        let mut map = RangeMap::even(2, 100);
+        let ranges = [HilbertRange { start: 40, end: 60 }];
+        assert_eq!(map.shards_overlapping(&ranges), vec![0, 1]);
+        let narrow = [HilbertRange { start: 10, end: 20 }];
+        assert_eq!(map.shards_overlapping(&narrow), vec![0]);
+        map.set_pending(Some(Migration {
+            lo: 10,
+            hi: 20,
+            from: 0,
+            to: 1,
+            flipped: false,
+        }));
+        assert!(map.pending_overlaps(&narrow));
+        assert_eq!(map.shards_overlapping(&narrow), vec![0, 1]);
+        assert_eq!(map.owner(15), 0);
+        map.set_pending(Some(Migration {
+            lo: 10,
+            hi: 20,
+            from: 0,
+            to: 1,
+            flipped: true,
+        }));
+        assert_eq!(map.owner(15), 1);
+    }
+}

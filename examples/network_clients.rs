@@ -78,6 +78,8 @@ fn main() {
         .registry()
         .get("fleet")
         .expect("entry")
+        .as_plain()
+        .expect("plain index")
         .coalescer
         .stats();
     println!(

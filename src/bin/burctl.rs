@@ -16,6 +16,10 @@
 //! burctl ping --addr HOST:PORT
 //! burctl remote-query --addr HOST:PORT <index> <min_x> <min_y> <max_x> <max_y>
 //! burctl chaos <listen> <upstream> [--plan <spec>]
+//! burctl shard create --addr HOST:PORT <name> --shards N [--strategy td|lbu|gbu] [--durable]
+//! burctl shard map <data-dir> <name>
+//! burctl shard move <data-dir> <name> <lo> <hi> <to-shard>
+//! burctl shard rebalance <data-dir> <name>
 //! ```
 //!
 //! `build` creates a demonstration index from a seeded uniform workload;
@@ -39,6 +43,14 @@
 //! forwards to `<upstream>`, dropping, truncating, delaying or
 //! black-holing frames per the seeded `--plan` spec. Used to rehearse
 //! client retry/timeout behavior against a real server.
+//!
+//! The `shard` family manages Hilbert-range sharded indexes. `shard
+//! create` asks a running server to build an index as N range shards
+//! behind one logical name; `shard map` prints a sharded index's
+//! routing manifest (key-range segments, epoch, slack, any in-flight
+//! migration); `shard move` and `shard rebalance` open the shard files
+//! directly to migrate a key range or run the imbalance heuristic —
+//! run those two only against a **stopped** server.
 
 use bur::core::{Batch, IndexBuilder, IndexOptions, RTreeIndex};
 use bur::geom::{Point, Rect};
@@ -68,6 +80,20 @@ fn usage() -> ExitCode {
          \x20 burctl ping --addr HOST:PORT\n\
          \x20 burctl remote-query --addr HOST:PORT <index> <min_x> <min_y> <max_x> <max_y>\n\
          \x20 burctl chaos <listen> <upstream> [--plan <spec>]\n\
+         \x20 burctl shard create --addr HOST:PORT <name> --shards N [--strategy td|lbu|gbu] [--durable]\n\
+         \x20 burctl shard map <data-dir> <name>\n\
+         \x20 burctl shard move <data-dir> <name> <lo> <hi> <to-shard>\n\
+         \x20 burctl shard rebalance <data-dir> <name>\n\
+         \n\
+         the shard family manages Hilbert-range sharded indexes: create\n\
+         asks a running server to build <name> as N key-range shards\n\
+         behind one logical name (writes route by key, queries scatter-\n\
+         gather); map prints the routing manifest (<name>.shardmap) —\n\
+         key-range segments, epoch, extent slack, in-flight migration;\n\
+         move migrates the Hilbert keys [lo, hi) to <to-shard> and\n\
+         rebalance runs imbalance-driven migration steps until even.\n\
+         map/move/rebalance open the files directly: run them only\n\
+         against a STOPPED server.\n\
          \n\
          chaos runs a fault-injecting TCP proxy in the foreground:\n\
          clients connect to <listen> (port 0 lets the OS pick; the bound\n\
@@ -738,6 +764,169 @@ fn cmd_chaos(rest: &[String]) -> Result<(), String> {
     }
 }
 
+/// Open an existing sharded index from its manifest and shard files —
+/// the offline mirror of the server registry's auto-detecting open.
+/// Must not race a running server over the same files.
+fn open_sharded(dir: &str, name: &str) -> Result<bur::shard::ShardedBur, String> {
+    let manifest = std::path::Path::new(dir).join(format!("{name}.shardmap"));
+    let m = bur::shard::load_manifest(&manifest)
+        .map_err(|e| format!("cannot load {}: {e}", manifest.display()))?;
+    let mut burs = Vec::with_capacity(m.shards as usize);
+    for k in 0..m.shards {
+        let file = std::path::Path::new(dir).join(format!("{name}.s{k}.bur"));
+        burs.push(
+            IndexBuilder::new()
+                .file(&file)
+                .open()
+                .build()
+                .map_err(|e| format!("cannot open {}: {e}", file.display()))?,
+        );
+    }
+    bur::shard::ShardedBur::with_manifest(burs, bur::shard::ShardOptions::default(), manifest)
+        .map_err(|e| e.to_string())
+}
+
+fn shard_create(rest: &[String]) -> Result<(), String> {
+    let (addr, leftover) = parse_addr(rest)?;
+    let mut name = None;
+    let mut shards = None;
+    let mut strategy = "gbu".to_string();
+    let mut durable = false;
+    let mut it = leftover.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--shards" => {
+                shards = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<u32>().ok())
+                        .ok_or("--shards needs a number")?,
+                );
+            }
+            "--strategy" => strategy = it.next().ok_or("--strategy needs td|lbu|gbu")?.clone(),
+            "--durable" => durable = true,
+            other if name.is_none() && !other.starts_with("--") => name = Some(other.to_string()),
+            other => return Err(format!("unexpected argument {other}")),
+        }
+    }
+    let name = name.ok_or("shard create needs <name>")?;
+    let shards = shards.ok_or("--shards N is required")?;
+    let mut client =
+        bur::client::BurClient::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client
+        .create_sharded_index(&name, &strategy, durable, shards)
+        .map_err(|e| format!("create: {e}"))?;
+    println!(
+        "created sharded index {name:?} at {addr}: {shards} shards, strategy {strategy}{}",
+        if durable { ", durable" } else { "" }
+    );
+    Ok(())
+}
+
+fn shard_map(rest: &[String]) -> Result<(), String> {
+    let [dir, name] = rest else {
+        return Err("shard map needs <data-dir> <name>".into());
+    };
+    let path = std::path::Path::new(dir).join(format!("{name}.shardmap"));
+    let m = bur::shard::load_manifest(&path)
+        .map_err(|e| format!("cannot load {}: {e}", path.display()))?;
+    let space = bur::shard::key_space_for(m.order);
+    println!("manifest : {}", path.display());
+    println!("order    : {} ({space} Hilbert keys)", m.order);
+    println!("budget   : {} ranges per window decomposition", m.budget);
+    println!("shards   : {}", m.shards);
+    println!("epoch    : {}", m.epoch);
+    println!("slack    : half-extent w {} h {}", m.slack.0, m.slack.1);
+    println!("segments : {}", m.segments.len());
+    for (i, seg) in m.segments.iter().enumerate() {
+        let end = m.segments.get(i + 1).map_or(space, |next| next.start);
+        println!("  [{}..{}) -> shard {}", seg.start, end, seg.shard);
+    }
+    match &m.migration {
+        Some(mg) => println!(
+            "migration: [{}..{}) shard {} -> {} ({})",
+            mg.lo,
+            mg.hi,
+            mg.from,
+            mg.to,
+            if mg.flipped {
+                "committed; rolls forward on open"
+            } else {
+                "intent; rolls back on open"
+            }
+        ),
+        None => println!("migration: none"),
+    }
+    Ok(())
+}
+
+fn shard_move(rest: &[String]) -> Result<(), String> {
+    let [dir, name, lo, hi, to] = rest else {
+        return Err("shard move needs <data-dir> <name> <lo> <hi> <to-shard>".into());
+    };
+    let lo: u64 = lo.parse().map_err(|_| format!("bad lo {lo}"))?;
+    let hi: u64 = hi.parse().map_err(|_| format!("bad hi {hi}"))?;
+    let to: u32 = to.parse().map_err(|_| format!("bad to-shard {to}"))?;
+    let sharded = open_sharded(dir, name)?;
+    let report = sharded
+        .migrate_range(lo, hi, to)
+        .map_err(|e| format!("migrate: {e}"))?;
+    sharded.persist().map_err(|e| format!("persist: {e}"))?;
+    println!(
+        "moved {} objects [{lo}..{hi}) shard {} -> {} (epoch {})",
+        report.moved, report.from, report.to, report.epoch
+    );
+    Ok(())
+}
+
+fn shard_rebalance(rest: &[String]) -> Result<(), String> {
+    let [dir, name] = rest else {
+        return Err("shard rebalance needs <data-dir> <name>".into());
+    };
+    let sharded = open_sharded(dir, name)?;
+    let mut steps = 0u32;
+    while let Some(report) = sharded
+        .rebalance_step()
+        .map_err(|e| format!("rebalance: {e}"))?
+    {
+        steps += 1;
+        println!(
+            "step {steps}: moved {} objects shard {} -> {} (epoch {})",
+            report.moved, report.from, report.to, report.epoch
+        );
+        // The heuristic converges, but cap the walk so a pathological
+        // distribution cannot spin this tool forever.
+        if steps >= 64 {
+            break;
+        }
+    }
+    sharded.persist().map_err(|e| format!("persist: {e}"))?;
+    let stats = sharded.stats();
+    println!(
+        "{steps} step(s); imbalance {:.3} over {} shards ({} segments, epoch {})",
+        stats.imbalance,
+        stats.shards.len(),
+        stats.segments,
+        stats.epoch
+    );
+    for (k, s) in stats.shards.iter().enumerate() {
+        println!("  shard {k}: {} objects, height {}", s.len, s.height);
+    }
+    Ok(())
+}
+
+fn cmd_shard(rest: &[String]) -> Result<(), String> {
+    let Some((sub, rest)) = rest.split_first() else {
+        return Err("shard needs a subcommand: create | map | move | rebalance".into());
+    };
+    match sub.as_str() {
+        "create" => shard_create(rest),
+        "map" => shard_map(rest),
+        "move" => shard_move(rest),
+        "rebalance" => shard_rebalance(rest),
+        other => Err(format!("unknown shard subcommand {other}")),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
@@ -748,12 +937,13 @@ fn main() -> ExitCode {
         usage();
         return ExitCode::SUCCESS;
     }
-    // The networked commands address a server, not a file — handle them
-    // before the `<cmd> <path>` split.
-    if matches!(cmd, "ping" | "remote-query" | "chaos") {
+    // The networked commands and the shard family don't follow the
+    // `<cmd> <path>` shape — handle them before the split.
+    if matches!(cmd, "ping" | "remote-query" | "chaos" | "shard") {
         let result = match cmd {
             "ping" => cmd_ping(rest),
             "chaos" => cmd_chaos(rest),
+            "shard" => cmd_shard(rest),
             _ => cmd_remote_query(rest),
         };
         return match result {

@@ -1,7 +1,7 @@
 //! `burd` — the bur network server daemon.
 //!
 //! ```text
-//! burd <data-dir> [--addr HOST:PORT] [--max-conns N] [--queue-limit N]
+//! burd <data-dir> [--addr HOST:PORT] [--max-conns N] [--queue-limit N] [--shards N]
 //! ```
 //!
 //! Binds, prints `burd listening on <addr>` (machine-parseable — with
@@ -15,13 +15,16 @@ use std::io::Write;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: burd <data-dir> [--addr HOST:PORT] [--max-conns N] [--queue-limit N]\n\
+        "usage: burd <data-dir> [--addr HOST:PORT] [--max-conns N] [--queue-limit N] [--shards N]\n\
          \n\
          Serve the named indexes under <data-dir> over the bur wire\n\
          protocol. Defaults: --addr 127.0.0.1:4000, --max-conns 64,\n\
          --queue-limit 16384 (write ops queued per index before new\n\
          batches are shed with `overloaded`; at half the limit the\n\
          server degrades and sheds queries first).\n\
+         With --shards N > 1 every `create` request builds the index\n\
+         as N Hilbert-range shards behind its one logical name: writes\n\
+         route by key, queries scatter-gather across the shards.\n\
          Use --addr with port 0 to let the OS pick; the bound address\n\
          is printed as `burd listening on <addr>`."
     );
@@ -49,6 +52,10 @@ fn main() {
             "--queue-limit" => match args.next().and_then(|n| n.parse().ok()) {
                 Some(n) => config.max_queued_ops = n,
                 None => usage(),
+            },
+            "--shards" => match args.next().and_then(|n| n.parse().ok()) {
+                Some(n) if n >= 1 => config.default_shards = n,
+                _ => usage(),
             },
             _ => usage(),
         }

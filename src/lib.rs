@@ -25,6 +25,10 @@
 //! * [`repl`] (`bur-repl`) — warm-standby replication: WAL shipping
 //!   ([`repl::LogShipper`]), follower replay ([`repl::Follower`]) and
 //!   failover promotion;
+//! * [`shard`] (`bur-shard`) — Hilbert-range sharding: the
+//!   [`shard::ShardedBur`] facade routes writes by Hilbert key across N
+//!   shard indexes, scatter-gathers window and kNN queries, and
+//!   migrates key ranges between shards under an epoch protocol;
 //! * [`workload`] (`bur-workload`) — the GSTD-like moving-object
 //!   workload generator;
 //! * [`serve`] (`bur-serve`) — the `burd` network server: the wire
@@ -121,6 +125,7 @@ pub use bur_geom as geom;
 pub use bur_hashindex as hashindex;
 pub use bur_repl as repl;
 pub use bur_serve as serve;
+pub use bur_shard as shard;
 pub use bur_storage as storage;
 pub use bur_wal as wal;
 pub use bur_workload as workload;

@@ -150,6 +150,7 @@ fn randomized_fault_plans_lose_nothing_and_apply_once() {
         "acked-write loss or double-apply detected"
     );
     let entry = handle.registry().get("drill").expect("entry");
+    let entry = entry.as_plain().expect("plain index");
     let stats = entry.coalescer.stats();
     assert_eq!(
         stats.submissions, acked_batches,
@@ -203,6 +204,7 @@ fn retried_apply_over_killed_connection_returns_original_ack() {
     assert!(c.reconnects() >= 1, "the drop must have forced a reconnect");
 
     let entry = handle.registry().get("idx").expect("entry");
+    let entry = entry.as_plain().expect("plain index");
     let stats = entry.coalescer.stats();
     assert_eq!(stats.submissions, 1, "the retry must not resubmit");
     assert_eq!(stats.dedup_hits, 1, "the retry must hit the dedup table");
@@ -359,6 +361,7 @@ fn zero_queue_limit_sheds_writes_with_overloaded() {
             >= 1
     );
     let entry = handle.registry().get("idx").expect("entry");
+    let entry = entry.as_plain().expect("plain index");
     assert!(
         entry.coalescer.is_degraded(),
         "zero limit is always degraded"

@@ -103,6 +103,7 @@ fn concurrent_clients_coalesce_and_match_oracle() {
 
     // Coalescing observed: fewer group-commit rounds than client batches.
     let entry = handle.registry().get("fleet").expect("entry");
+    let entry = entry.as_plain().expect("plain index");
     let stats = entry.coalescer.stats();
     let total_batches = THREADS * BATCHES;
     assert_eq!(stats.submissions, total_batches);
