@@ -166,7 +166,7 @@ impl RTreeIndex {
         // ---- install the built root ----
         let root_entry = level_entries[0];
         tree.bulk_set_root(root_entry.child)?;
-        tree.len = items.len() as u64;
+        *tree.len.get_mut() = items.len() as u64;
         // A durable index checkpoints the freshly built tree as its base
         // image; one checkpoint is far cheaper than logging every page.
         if durable {
@@ -269,7 +269,7 @@ impl RTreeIndex {
 
         let root_entry = level_entries[0];
         tree.bulk_set_root(root_entry.child)?;
-        tree.len = items.len() as u64;
+        *tree.len.get_mut() = items.len() as u64;
         if durable {
             tree.pool.set_wal_mode(true);
         }

@@ -1,47 +1,115 @@
 //! The leaf-local concurrent write path: plan-then-write batches that
 //! never leave their leaf granules.
 //!
-//! [`crate::Bur::apply`] classifies a pure-update batch by the leaf each
-//! object currently occupies (its DGL granule) and hands every group to
-//! this module **under a shared tree granule and a shared physical
-//! lock** — several batches on disjoint leaves run at the same time.
-//! The path is two-phase:
+//! [`crate::Bur::apply`] classifies a batch by the leaf each operation
+//! lands on (its DGL granule) and hands every group to this module
+//! **under a shared tree granule and a shared physical lock** — several
+//! batches on disjoint leaves run at the same time. Since the coupled
+//! structural path, groups carry *mixed* operations: bottom-up updates,
+//! inserts whose target leaf was chosen by a read-only
+//! containment-constrained descent, and deletes located through the
+//! object-id hash. The path is two-phase:
 //!
-//! 1. **Plan** ([`plan_group`]): replay the group's updates against an
+//! 1. **Plan** ([`plan_group`]): replay the group's ops against an
 //!    in-memory shadow of the leaf and of its *official* MBR (the rect
 //!    stored in the parent entry), reading pages but writing nothing.
-//!    Every op must resolve to the strategy's leaf-local outcomes —
-//!    `InPlace`, or `Extended` with the enlargement bounded by the
-//!    parent node MBR. Anything else (sibling shift, underflow, ascent,
-//!    a root leaf, a GBU fast mover whose τ policy prefers the shift)
-//!    reports "escalate", and the **whole batch** falls back to the
-//!    classic exclusive path with zero pages written.
+//!    Every op must resolve leaf-locally — updates to `InPlace` or
+//!    `Extended`, inserts to an append whose official-rect growth stays
+//!    inside the parent node MBR, deletes to a removal that keeps the
+//!    leaf at or above min-fill. An insert that finds the leaf full
+//!    reports [`Planned::MakeRoom`]: the caller splits that one leaf
+//!    under a short exclusive section (its own commit) and retries the
+//!    batch on the shared path. Anything else (sibling shift, underflow,
+//!    ascent, a GBU fast mover whose τ policy prefers the shift)
+//!    reports [`Planned::Escalate`], and the **whole batch** falls back
+//!    to the classic exclusive path with zero pages written.
 //! 2. **Execute** ([`execute_group`]): write the final shadow states —
 //!    parent entry first, then the leaf ("grow before move"), each under
-//!    its page write latch.
+//!    its page write latch — then refresh the leaf's hash entries, the
+//!    summary fullness bit and, for a root-leaf group, the seqlock root
+//!    MBR.
 //!
 //! Because nothing is written until every op of every group has a
 //! feasible plan, the one-group-commit-record-per-batch contract
-//! survives escalation trivially, and a concurrently applied batch
-//! produces *exactly* the state sequential application would: ops on
-//! the same leaf replay in batch order against the shadow, and ops on
-//! different leaves only interact through the parent node MBR — which
-//! leaf-local outcomes never change (enlargements are clipped to it).
-//! The full argument lives in `docs/ARCHITECTURE.md` ("Latching
+//! survives escalation trivially. A concurrently applied batch produces
+//! the *logical* state sequential application would — the same object
+//! set, each object at the position its own op sequence dictates. The
+//! physical arrangement may differ in benign slack only: a delete does
+//! not re-tighten the parent entry rect the way CondenseTree would, and
+//! an insert lands in the leaf the pre-batch tree suggested. Containment
+//! (parent entry rect ⊇ leaf content) and the stability of every parent
+//! *node* MBR hold throughout, which is what keeps the GBU summary
+//! exact. The full argument lives in `docs/ARCHITECTURE.md` ("Latching
 //! protocol").
 
 use crate::config::UpdateStrategy;
 use crate::error::CoreResult;
 use crate::gbu::iextend_mbr;
 use crate::index::RTreeIndex;
-use crate::node::{Node, ObjectId};
+use crate::node::{LeafEntry, Node, ObjectId};
 use crate::stats::UpdateOutcome;
 use bur_geom::{Point, Rect};
 use bur_storage::{PageId, INVALID_PAGE};
 
-/// One update destined for a leaf group: `(position in the original
-/// batch, object, old location, new location)`.
-pub(crate) type GroupOp = (usize, ObjectId, Point, Point);
+/// One operation destined for a leaf group, tagged with its position in
+/// the original batch (error attribution).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum GroupOp {
+    /// Bottom-up update of `oid` from `old` to `new`.
+    Update {
+        pos: usize,
+        oid: ObjectId,
+        old: Point,
+        new: Point,
+    },
+    /// Insert of `oid` into this leaf (chosen by
+    /// `RTreeIndex::locate_insert_leaf`).
+    Insert {
+        pos: usize,
+        oid: ObjectId,
+        rect: Rect,
+    },
+    /// Delete of `oid`, located here by the object-id hash.
+    Delete {
+        pos: usize,
+        oid: ObjectId,
+        position: Point,
+    },
+}
+
+impl GroupOp {
+    /// Position in the original batch.
+    pub(crate) fn pos(&self) -> usize {
+        match *self {
+            GroupOp::Update { pos, .. }
+            | GroupOp::Insert { pos, .. }
+            | GroupOp::Delete { pos, .. } => pos,
+        }
+    }
+}
+
+/// What one planned op will do (stats + report accounting).
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum OpEffect {
+    /// An update, with the outcome class it resolved to.
+    Update(UpdateOutcome),
+    /// An insert.
+    Insert,
+    /// A delete.
+    Delete,
+}
+
+/// Outcome of planning one leaf group.
+pub(crate) enum Planned {
+    /// Feasible: the fully planned effect, ready to execute.
+    Ready(GroupPlan),
+    /// An insert found the leaf full: split it under a short exclusive
+    /// section (a content-neutral preparatory split) and retry.
+    MakeRoom(PageId),
+    /// Not leaf-local: replay the whole batch on the exclusive path
+    /// (nothing has been written).
+    Escalate,
+}
 
 /// The fully planned effect of one leaf group (no page written yet).
 pub(crate) struct GroupPlan {
@@ -50,59 +118,69 @@ pub(crate) struct GroupPlan {
     /// Final shadow state of the leaf node.
     leaf: Node,
     /// `(parent page, entry index, final official rect)` when the
-    /// official MBR grew; `None` when every op stayed in place.
+    /// official MBR grew; `None` when every op stayed in place (and for
+    /// root-leaf groups, which have no parent).
     parent: Option<(PageId, usize, Rect)>,
-    /// Per-op outcomes in group order (stats recording).
-    pub(crate) outcomes: Vec<UpdateOutcome>,
+    /// Per-op effects in group order (stats + report recording).
+    pub(crate) outcomes: Vec<OpEffect>,
+    /// Objects to point at this leaf in the hash index (inserts).
+    hash_add: Vec<ObjectId>,
+    /// Objects to drop from the hash index (deletes).
+    hash_del: Vec<ObjectId>,
+    /// Net object-count change (inserts − deletes), applied at commit.
+    pub(crate) len_delta: i64,
+    /// New root MBR to publish through the summary seqlock — root-leaf
+    /// groups only (the `Granule::Leaf(root)` X guarantees the single
+    /// writer the seqlock requires).
+    root_mbr: Option<Rect>,
 }
 
 /// Plan `ops` (in batch order) against the leaf on `leaf_pid`.
-///
-/// Returns `Ok(None)` when any op needs more than the leaf-local
-/// repairs; the caller then escalates the whole batch — nothing has
-/// been written, so the classic path replays it from scratch and its
-/// result is identical to sequential application.
-pub(crate) fn plan_group(
-    index: &RTreeIndex,
-    leaf_pid: PageId,
-    ops: &[GroupOp],
-) -> CoreResult<Option<GroupPlan>> {
+pub(crate) fn plan_group(index: &RTreeIndex, leaf_pid: PageId, ops: &[GroupOp]) -> Planned {
+    match plan_group_inner(index, leaf_pid, ops) {
+        Ok(planned) => planned,
+        // Read errors surface identically on the exclusive replay.
+        Err(_) => Planned::Escalate,
+    }
+}
+
+fn plan_group_inner(index: &RTreeIndex, leaf_pid: PageId, ops: &[GroupOp]) -> CoreResult<Planned> {
     let tree = &index.tree;
-    // A root leaf may grow its own MBR (summary root-MBR + meta state):
-    // always escalate it.
     if leaf_pid == tree.root || tree.height < 2 {
-        return Ok(None);
+        return plan_root_leaf_group(index, ops);
     }
     let mut leaf = tree.read_node(leaf_pid)?;
     if !leaf.is_leaf() {
         // Stale hash entry; the classic path surfaces the real error.
-        return Ok(None);
+        return Ok(Planned::Escalate);
     }
+    let leaf_cap = tree.leaf_cap();
     // Locate the parent exactly the way the strategy would: LBU through
     // the leaf's parent pointer, GBU through the summary (which also
-    // supplies the bounding parent MBR without a page read).
+    // supplies the bounding parent MBR without a page read — and reads
+    // it without blocking on any writer, the lock-free planning path).
     let (parent_pid, summary_mbr) = match tree.opts.strategy {
         UpdateStrategy::Localized(_) => {
             if leaf.parent == INVALID_PAGE {
-                return Ok(None);
+                return Ok(Planned::Escalate);
             }
             (leaf.parent, None)
         }
         UpdateStrategy::Generalized(_) => {
             let summary = tree.summary.as_ref().expect("GBU requires the summary");
             let Some(ppid) = summary.find_parent_at(leaf_pid, 1) else {
-                return Ok(None);
+                return Ok(Planned::Escalate);
             };
             let Some(mbr) = summary.entry(ppid).map(|e| e.mbr) else {
-                return Ok(None);
+                return Ok(Planned::Escalate);
             };
             (ppid, Some(mbr))
         }
-        UpdateStrategy::TopDown => return Ok(None),
+        UpdateStrategy::TopDown => return Ok(Planned::Escalate),
     };
     let parent = tree.read_node(parent_pid)?;
     let Some(pidx) = parent.child_index(leaf_pid) else {
-        return Ok(None);
+        return Ok(Planned::Escalate);
     };
     // The bound on any extension. Stable for the whole shared phase:
     // concurrent groups only enlarge sibling entries *within* it, so the
@@ -111,55 +189,169 @@ pub(crate) fn plan_group(
     let official0 = parent.internal_entries()[pidx].rect;
     let mut official = official0;
     let mut outcomes = Vec::with_capacity(ops.len());
-    for &(_, oid, old, new) in ops {
-        if let UpdateStrategy::Generalized(_) = tree.opts.strategy {
-            // The O(1) root-MBR check; a miss means a top-down update.
-            let summary = tree.summary.as_ref().expect("GBU requires the summary");
-            if !summary.root_mbr().contains_point(&new) {
-                return Ok(None);
-            }
-        }
-        let Some(idx) = leaf.oid_index(oid) else {
-            // Not in the locked leaf (duplicate-update races cannot
-            // happen under the granule, so this is corruption); the
-            // classic path reports it.
-            return Ok(None);
-        };
-        let new_rect = Rect::from_point(new);
-        if leaf.mbr().contains_point(&new) || official.contains_point(&new) {
-            leaf.leaf_entries_mut()[idx].rect = new_rect;
-            outcomes.push(UpdateOutcome::InPlace);
-            continue;
-        }
-        let enlarged = match tree.opts.strategy {
-            UpdateStrategy::Localized(p) => {
-                official.expanded_uniform(p.epsilon).clipped_to(&parent_mbr)
-            }
-            UpdateStrategy::Generalized(p) => {
-                // Fast movers (moved > τ) try the sibling shift *before*
-                // the extension — a non-leaf-local repair. Keep the τ
-                // policy by escalating them.
-                if old.distance(&new) > p.distance_threshold {
-                    return Ok(None);
+    let mut hash_add = Vec::new();
+    let mut hash_del = Vec::new();
+    let mut len_delta = 0i64;
+    for op in ops {
+        match *op {
+            GroupOp::Update { oid, old, new, .. } => {
+                if let UpdateStrategy::Generalized(_) = tree.opts.strategy {
+                    // The O(1) root-MBR check (a lock-free seqlock read);
+                    // a miss means a top-down update.
+                    let summary = tree.summary.as_ref().expect("GBU requires the summary");
+                    if !summary.root_mbr().contains_point(&new) {
+                        return Ok(Planned::Escalate);
+                    }
                 }
-                iextend_mbr(official, new, p.epsilon, parent_mbr)
+                let Some(idx) = leaf.oid_index(oid) else {
+                    // Not in the locked leaf (duplicate-update races
+                    // cannot happen under the granule, so this is an
+                    // earlier same-batch delete or corruption); the
+                    // classic path resolves it.
+                    return Ok(Planned::Escalate);
+                };
+                let new_rect = Rect::from_point(new);
+                if leaf.mbr().contains_point(&new) || official.contains_point(&new) {
+                    leaf.leaf_entries_mut()[idx].rect = new_rect;
+                    outcomes.push(OpEffect::Update(UpdateOutcome::InPlace));
+                    continue;
+                }
+                let enlarged = match tree.opts.strategy {
+                    UpdateStrategy::Localized(p) => {
+                        official.expanded_uniform(p.epsilon).clipped_to(&parent_mbr)
+                    }
+                    UpdateStrategy::Generalized(p) => {
+                        // Fast movers (moved > τ) try the sibling shift
+                        // *before* the extension — a non-leaf-local
+                        // repair. Keep the τ policy by escalating them.
+                        if old.distance(&new) > p.distance_threshold {
+                            return Ok(Planned::Escalate);
+                        }
+                        iextend_mbr(official, new, p.epsilon, parent_mbr)
+                    }
+                    UpdateStrategy::TopDown => unreachable!("rejected above"),
+                };
+                if !enlarged.contains_point(&new) {
+                    // Needs a shift, an ascent or a top-down update.
+                    return Ok(Planned::Escalate);
+                }
+                official = enlarged;
+                leaf.leaf_entries_mut()[idx].rect = new_rect;
+                outcomes.push(OpEffect::Update(UpdateOutcome::Extended));
             }
-            UpdateStrategy::TopDown => unreachable!("rejected above"),
-        };
-        if !enlarged.contains_point(&new) {
-            // Needs a shift, an ascent or a top-down update.
-            return Ok(None);
+            GroupOp::Insert { oid, rect, .. } => {
+                if leaf.count() >= leaf_cap {
+                    return Ok(Planned::MakeRoom(leaf_pid));
+                }
+                if !official.contains_rect(&rect) {
+                    let grown = official.union(&rect);
+                    if !parent_mbr.contains_rect(&grown) {
+                        // Would grow an ancestor MBR: off the shared path.
+                        return Ok(Planned::Escalate);
+                    }
+                    official = grown;
+                }
+                leaf.leaf_entries_mut().push(LeafEntry { oid, rect });
+                hash_add.push(oid);
+                len_delta += 1;
+                outcomes.push(OpEffect::Insert);
+            }
+            GroupOp::Delete { oid, position, .. } => {
+                let Some(idx) = leaf.oid_index(oid) else {
+                    return Ok(Planned::Escalate);
+                };
+                if !leaf.leaf_entries()[idx].rect.contains_point(&position) {
+                    // The sequential FindLeaf descent might miss this
+                    // entry (stated position outside its rect): escalate
+                    // so the result stays exactly sequential.
+                    return Ok(Planned::Escalate);
+                }
+                leaf.leaf_entries_mut().swap_remove(idx);
+                hash_del.push(oid);
+                len_delta -= 1;
+                outcomes.push(OpEffect::Delete);
+            }
         }
-        official = enlarged;
-        leaf.leaf_entries_mut()[idx].rect = new_rect;
-        outcomes.push(UpdateOutcome::Extended);
+    }
+    if leaf.count() < tree.min_fill_leaf() {
+        // Underflow needs CondenseTree (non-leaf-local).
+        return Ok(Planned::Escalate);
     }
     let parent = (official != official0).then_some((parent_pid, pidx, official));
-    Ok(Some(GroupPlan {
+    Ok(Planned::Ready(GroupPlan {
         leaf_pid,
         leaf,
         parent,
         outcomes,
+        hash_add,
+        hash_del,
+        len_delta,
+        root_mbr: None,
+    }))
+}
+
+/// Plan a group whose granule is the root leaf (height-1 tree): there is
+/// no parent entry, no min-fill floor and no official rect to respect —
+/// the root MBR simply follows the content, published at execute time
+/// through the summary seqlock. Only an overflow (insert into a full
+/// root leaf) leaves the shared path, and it does so as a make-room
+/// split (which grows the root) rather than a whole-batch escalation.
+fn plan_root_leaf_group(index: &RTreeIndex, ops: &[GroupOp]) -> CoreResult<Planned> {
+    let tree = &index.tree;
+    let root = tree.root;
+    let mut leaf = tree.read_node(root)?;
+    if !leaf.is_leaf() {
+        // Height raced upward since grouping (cannot happen under the
+        // shared physical lock; defensive).
+        return Ok(Planned::Escalate);
+    }
+    let leaf_cap = tree.leaf_cap();
+    let mut outcomes = Vec::with_capacity(ops.len());
+    let mut hash_add = Vec::new();
+    let mut hash_del = Vec::new();
+    let mut len_delta = 0i64;
+    for op in ops {
+        match *op {
+            GroupOp::Update { oid, new, .. } => {
+                let Some(idx) = leaf.oid_index(oid) else {
+                    return Ok(Planned::Escalate);
+                };
+                leaf.leaf_entries_mut()[idx].rect = Rect::from_point(new);
+                outcomes.push(OpEffect::Update(UpdateOutcome::InPlace));
+            }
+            GroupOp::Insert { oid, rect, .. } => {
+                if leaf.count() >= leaf_cap {
+                    return Ok(Planned::MakeRoom(root));
+                }
+                leaf.leaf_entries_mut().push(LeafEntry { oid, rect });
+                hash_add.push(oid);
+                len_delta += 1;
+                outcomes.push(OpEffect::Insert);
+            }
+            GroupOp::Delete { oid, position, .. } => {
+                let Some(idx) = leaf.oid_index(oid) else {
+                    return Ok(Planned::Escalate);
+                };
+                if !leaf.leaf_entries()[idx].rect.contains_point(&position) {
+                    return Ok(Planned::Escalate);
+                }
+                leaf.leaf_entries_mut().swap_remove(idx);
+                hash_del.push(oid);
+                len_delta -= 1;
+                outcomes.push(OpEffect::Delete);
+            }
+        }
+    }
+    let root_mbr = Some(leaf.mbr());
+    Ok(Planned::Ready(GroupPlan {
+        leaf_pid: root,
+        leaf,
+        parent: None,
+        outcomes,
+        hash_add,
+        hash_del,
+        len_delta,
+        root_mbr,
     }))
 }
 
@@ -176,7 +368,11 @@ pub(crate) fn plan_group(
 /// parent lands first ("grow before move"): a crash or a concurrent
 /// query between the two writes observes only benign slack — a parent
 /// entry rect covering strictly more than the leaf content — never an
-/// object outside its official MBR.
+/// object outside its official MBR. The hash entries, summary fullness
+/// bit and (root-leaf groups) seqlock root MBR are refreshed after the
+/// leaf write: they are main-memory state rebuilt on recovery, so crash
+/// ordering does not apply, and the leaf granule serializes them per
+/// leaf.
 pub(crate) fn execute_group(
     index: &RTreeIndex,
     plan: &GroupPlan,
@@ -199,5 +395,23 @@ pub(crate) fn execute_group(
     plan.leaf.encode(&mut guard.write());
     drop(guard);
     written.push(plan.leaf_pid);
+    if let Some(h) = &tree.hash {
+        for &oid in &plan.hash_add {
+            h.insert(oid, plan.leaf_pid)?;
+        }
+        for &oid in &plan.hash_del {
+            h.remove(oid)?;
+        }
+    }
+    if let Some(s) = &tree.summary {
+        if plan.len_delta != 0 {
+            let full = plan.leaf.count() >= tree.leaf_cap();
+            let registered = s.set_leaf_full_shared(plan.leaf_pid, full);
+            debug_assert!(registered, "concurrent leaf vanished from the summary");
+        }
+        if let Some(mbr) = plan.root_mbr {
+            s.publish_root_mbr(mbr);
+        }
+    }
     Ok(())
 }

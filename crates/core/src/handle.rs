@@ -10,14 +10,18 @@
 //!
 //! Since the latch-per-page rework the granule discipline is physical,
 //! not just logical: the engine sits behind a reader-writer lock, and a
-//! [`Bur::apply`] batch of pure bottom-up updates runs under the
-//! *shared* side — several such batches on disjoint leaf granules plan
-//! and write **at the same time**, each page access serialized only by
-//! its per-frame latch ([`bur_storage::PageWriteLatch`]). A batch that
-//! needs structural surgery (splits, shifts, ascents, inserts, deletes,
-//! top-down updates) escalates to the exclusive side before writing
-//! anything. The full protocol — latch ordering, pin-vs-latch rules,
-//! the deadlock-avoidance argument — is normative in
+//! [`Bur::apply`] batch of bottom-up updates, inserts and deletes runs
+//! under the *shared* side — several such batches on disjoint leaf
+//! granules plan and write **at the same time**, each page access
+//! serialized only by its per-frame latch
+//! ([`bur_storage::PageWriteLatch`]). An insert that finds its leaf
+//! full splits it as a short exclusive *make-room* commit and retries
+//! shared; a batch that still needs non-leaf-local surgery (top-down
+//! updates, sibling shifts, underflows, MBR ascents) escalates to the
+//! exclusive side before writing anything, counted in
+//! [`crate::stats::OpSnapshot::escalations`]. The full protocol — latch
+//! ordering, pin-vs-latch rules, the safe-node (make-room) rule, the
+//! deadlock-avoidance argument — is normative in
 //! `docs/ARCHITECTURE.md` ("Latching protocol").
 //!
 //! The write path is **batch-first**: [`Bur::apply`] takes a [`Batch`]
@@ -49,7 +53,7 @@
 //! ```
 
 use crate::batch::{Batch, BatchReport, Op};
-use crate::concurrent::{self, GroupOp, GroupPlan};
+use crate::concurrent::{self, GroupOp, GroupPlan, OpEffect, Planned};
 use crate::config::{IndexOptions, UpdateStrategy};
 use crate::error::{CoreError, CoreResult};
 use crate::index::{RTreeIndex, RecoveryReport};
@@ -61,9 +65,16 @@ use bur_geom::{Point, Rect};
 use bur_storage::{IoSnapshot, PageId};
 use bur_wal::{Lsn, WalStatsSnapshot, WalWaiter};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
 use std::sync::Arc;
+
+/// How many make-room splits one `apply` call may perform before giving
+/// up and escalating: each split frees ~half a leaf, so repeated
+/// `MakeRoom` verdicts mean the batch concentrates inserts faster than
+/// preparatory splits can make room — the exclusive path handles that
+/// better than a split storm would.
+const MAKE_ROOM_ATTEMPTS: u32 = 4;
 
 /// At most this many spare query buffers are kept for recycling; extra
 /// cursors dropped concurrently just free their buffer.
@@ -138,6 +149,10 @@ enum SharedAttempt {
     /// Not leaf-local: replay the whole batch on the exclusive path
     /// (nothing has been written).
     Escalate,
+    /// An insert found this leaf full: split it as its own short
+    /// exclusive commit (a content-neutral preparatory split), then
+    /// retry the batch on the shared path. Nothing has been written.
+    MakeRoom(PageId),
     /// Pending single-op commits must be flushed under the exclusive
     /// lock before a concurrent commit may log its pages.
     FlushPending,
@@ -324,26 +339,41 @@ impl Bur {
     /// [`bur_storage::SyncPolicy::Async`], [`CommitTicket::wait`] is the
     /// hard durability ack.
     ///
-    /// Locking: a batch of pure bottom-up updates X-locks the granules
-    /// of the leaves it touches under a **shared** tree granule and the
-    /// **shared** physical lock — batches on disjoint leaves plan and
-    /// write concurrently (see the module docs and
-    /// `docs/ARCHITECTURE.md`). A batch containing inserts, deletes or
-    /// top-down updates — or any update that needs more than leaf-local
-    /// repair (a sibling shift, an underflow, an MBR ascent) — escalates
-    /// to the exclusive tree granule before a single page is written, so
-    /// the result is always identical to sequential application.
+    /// Locking: batches of bottom-up updates, inserts and deletes
+    /// X-lock the granules of the leaves they touch under a **shared**
+    /// tree granule and the **shared** physical lock — batches on
+    /// disjoint leaves (including structural ones) plan and write
+    /// concurrently (see the module docs and `docs/ARCHITECTURE.md`).
+    /// An insert that finds its leaf full triggers a *make-room* split:
+    /// that one leaf is split under a short exclusive section as its
+    /// own commit record and the batch retries shared. A batch that
+    /// still cannot stay leaf-local — top-down updates, sibling shifts,
+    /// underflows, MBR ascents, same-batch operations on one object —
+    /// escalates to the exclusive tree granule before a single page is
+    /// written, so the result is always logically identical to
+    /// sequential application (the physical tree may differ by benign
+    /// slack only; see `crate::concurrent`). Escalations are counted in
+    /// [`crate::stats::OpSnapshot::escalations`].
     pub fn apply(&self, batch: &Batch) -> CoreResult<CommitTicket> {
         self.check_writable()?;
         if batch.is_empty() {
             let index = self.shared.inner.read();
             return Ok(self.ticket(&index, BatchReport::default(), CommitBatch::default()));
         }
+        let mut room_attempts = 0u32;
         loop {
             match self.apply_shared_phase(batch)? {
                 SharedAttempt::Done(ticket) => {
                     self.checkpoint_if_due()?;
                     return Ok(ticket);
+                }
+                SharedAttempt::MakeRoom(pid) if room_attempts < MAKE_ROOM_ATTEMPTS => {
+                    room_attempts += 1;
+                    let (mut index, _tree) = self.lock_excl();
+                    // `false` means the leaf moved on (split by a racing
+                    // batch, emptied, dissolved): just retry shared.
+                    index.make_room(pid)?;
+                    continue;
                 }
                 SharedAttempt::FlushPending => {
                     // Single-op commits pending from before the shared
@@ -357,7 +387,7 @@ impl Bur {
                     std::thread::yield_now();
                     continue;
                 }
-                SharedAttempt::Escalate => {}
+                SharedAttempt::Escalate | SharedAttempt::MakeRoom(_) => {}
             }
             // Classic exclusive path: the whole batch under the write
             // lock and the exclusive tree granule, applied by the engine
@@ -369,6 +399,7 @@ impl Bur {
                 .try_lock(Granule::Tree, LockMode::Exclusive)
             {
                 Ok(_tree) => {
+                    index.op_stats().escalations.fetch_add(1, Ordering::Relaxed);
                     let result = index.apply_batch(batch);
                     // A group commit record covered everything applied
                     // (the whole batch, or — on error — the prefix
@@ -409,24 +440,85 @@ impl Bur {
         if matches!(index.options().strategy, UpdateStrategy::TopDown) {
             return Ok(SharedAttempt::Escalate);
         }
-        // Group the ops by the leaf currently holding their object (its
-        // DGL granule), preserving batch order within each group. An op
-        // that is not a bottom-up update — or an unknown object, which
-        // the strategy will turn into an error — escalates.
+        // Group the ops by their DGL granule: updates and deletes by
+        // the leaf currently holding their object (the hash index),
+        // inserts by a read-only containment-constrained descent
+        // (`locate_insert_leaf`), preserving batch order within each
+        // group. Escalations here are the cases the shared path cannot
+        // resolve faithfully:
+        //   * an update of an unknown object (the strategy turns it
+        //     into an error on the exclusive path);
+        //   * an insert of an existing object, or one with an invalid
+        //     rect (sequential `insert_rect` rejects both);
+        //   * an insert with no containment-feasible leaf (it must
+        //     enlarge some internal entry);
+        //   * a later op touching an object inserted earlier in this
+        //     same batch — the pre-batch hash cannot place it, so the
+        //     whole batch replays sequentially.
+        // A delete of an unknown object is not escalated: sequential
+        // application counts it in `missing_deletes` and writes
+        // nothing, which the shared path reproduces exactly.
         let mut groups: Vec<(PageId, Vec<GroupOp>)> = Vec::new();
         let mut group_of: HashMap<PageId, usize> = HashMap::new();
+        let mut inserted_here: HashSet<ObjectId> = HashSet::new();
+        let mut missing_deletes = 0u64;
         for (i, op) in batch.ops().iter().enumerate() {
-            let Op::Update { oid, old, new } = *op else {
-                return Ok(SharedAttempt::Escalate);
-            };
-            let Some(pid) = index.locate_leaf(oid)? else {
-                return Ok(SharedAttempt::Escalate);
+            let (pid, gop) = match *op {
+                Op::Update { oid, old, new } => {
+                    if inserted_here.contains(&oid) {
+                        return Ok(SharedAttempt::Escalate);
+                    }
+                    let Some(pid) = index.locate_leaf(oid)? else {
+                        return Ok(SharedAttempt::Escalate);
+                    };
+                    (
+                        pid,
+                        GroupOp::Update {
+                            pos: i,
+                            oid,
+                            old,
+                            new,
+                        },
+                    )
+                }
+                Op::Insert { oid, rect } => {
+                    if !rect.is_valid()
+                        || inserted_here.contains(&oid)
+                        || index.locate_leaf(oid)?.is_some()
+                    {
+                        return Ok(SharedAttempt::Escalate);
+                    }
+                    let Some(pid) = index.locate_insert_leaf(&rect)? else {
+                        return Ok(SharedAttempt::Escalate);
+                    };
+                    inserted_here.insert(oid);
+                    (pid, GroupOp::Insert { pos: i, oid, rect })
+                }
+                Op::Delete { oid, position } => {
+                    if inserted_here.contains(&oid) {
+                        return Ok(SharedAttempt::Escalate);
+                    }
+                    match index.locate_leaf(oid)? {
+                        Some(pid) => (
+                            pid,
+                            GroupOp::Delete {
+                                pos: i,
+                                oid,
+                                position,
+                            },
+                        ),
+                        None => {
+                            missing_deletes += 1;
+                            continue;
+                        }
+                    }
+                }
             };
             let slot = *group_of.entry(pid).or_insert_with(|| {
                 groups.push((pid, Vec::new()));
                 groups.len() - 1
             });
-            groups[slot].1.push((i, oid, old, new));
+            groups[slot].1.push(gop);
         }
         if index.pending_commits() > 0 {
             return Ok(SharedAttempt::FlushPending);
@@ -455,24 +547,24 @@ impl Bur {
         self.shared
             .inflight_peak
             .fetch_max(entered, Ordering::Relaxed);
-        let result = self.apply_concurrent(&index, batch, &groups);
+        let result = self.apply_concurrent(&index, batch, &groups, missing_deletes);
         self.shared.inflight.fetch_sub(1, Ordering::Relaxed);
-        match result? {
-            Some(ticket) => Ok(SharedAttempt::Done(ticket)),
-            None => Ok(SharedAttempt::Escalate),
-        }
+        result
     }
 
     /// Plan-then-write `batch` (grouped by leaf) inside the shared
-    /// phase. Returns `Ok(None)` when any op needs more than leaf-local
-    /// repair — nothing has been written at that point, so the caller's
-    /// escalated replay is exactly sequential application.
+    /// phase. Returns `Escalate` when any op needs more than leaf-local
+    /// repair and `MakeRoom` when an insert found its leaf full —
+    /// nothing has been written at either point, so the caller's next
+    /// move (escalated replay, or a preparatory split and a shared
+    /// retry) starts from an untouched tree.
     fn apply_concurrent(
         &self,
         index: &RTreeIndex,
         batch: &Batch,
         groups: &[(PageId, Vec<GroupOp>)],
-    ) -> CoreResult<Option<CommitTicket>> {
+        missing_deletes: u64,
+    ) -> CoreResult<SharedAttempt> {
         let threads = self
             .shared
             .executor_threads
@@ -483,9 +575,10 @@ impl Bur {
         let mut plans: Vec<GroupPlan> = Vec::with_capacity(groups.len());
         if threads <= 1 {
             for (pid, ops) in groups {
-                match concurrent::plan_group(index, *pid, ops)? {
-                    Some(plan) => plans.push(plan),
-                    None => return Ok(None),
+                match concurrent::plan_group(index, *pid, ops) {
+                    Planned::Ready(plan) => plans.push(plan),
+                    Planned::MakeRoom(pid) => return Ok(SharedAttempt::MakeRoom(pid)),
+                    Planned::Escalate => return Ok(SharedAttempt::Escalate),
                 }
             }
         } else {
@@ -507,9 +600,10 @@ impl Bur {
                     .collect::<Vec<_>>()
             });
             for plan in planned {
-                match plan? {
-                    Some(plan) => plans.push(plan),
-                    None => return Ok(None),
+                match plan {
+                    Planned::Ready(plan) => plans.push(plan),
+                    Planned::MakeRoom(pid) => return Ok(SharedAttempt::MakeRoom(pid)),
+                    Planned::Escalate => return Ok(SharedAttempt::Escalate),
                 }
             }
         }
@@ -566,34 +660,53 @@ impl Bur {
             // torn page set, then surface the error. The applied set is
             // group-granular here, the one documented divergence from
             // the sequential path's strict-prefix contract.
-            let done: u64 = plans
+            let done_plans: Vec<&GroupPlan> = plans
                 .iter()
                 .filter(|p| written.binary_search(&p.leaf_pid).is_ok())
-                .map(|p| p.outcomes.len() as u64)
-                .sum();
-            index.commit_batch_pages(done, &written)?;
+                .collect();
+            let done: u64 = done_plans.iter().map(|p| p.outcomes.len() as u64).sum();
+            let delta: i64 = done_plans.iter().map(|p| p.len_delta).sum();
+            index.commit_batch_pages(done, &written, delta)?;
             if index.is_durable() {
-                for plan in &plans {
-                    if written.binary_search(&plan.leaf_pid).is_ok() {
-                        self.shared
-                            .batcher
-                            .note_n(Granule::Leaf(plan.leaf_pid), plan.outcomes.len() as u64);
-                    }
+                for plan in &done_plans {
+                    self.shared
+                        .batcher
+                        .note_n(Granule::Leaf(plan.leaf_pid), plan.outcomes.len() as u64);
                 }
                 self.shared.batcher.drain();
             }
             return Err(CoreError::Batch {
-                op_index: groups[slot].1[0].0,
+                op_index: groups[slot].1[0].pos(),
                 source: Box::new(source),
             });
         }
+        let mut report = BatchReport {
+            applied: batch.len() as u64,
+            missing_deletes,
+            ..BatchReport::default()
+        };
+        let stats = index.op_stats();
         for plan in &plans {
-            for outcome in &plan.outcomes {
-                index.op_stats().record_update(*outcome);
+            for effect in &plan.outcomes {
+                match effect {
+                    OpEffect::Update(outcome) => {
+                        report.updated += 1;
+                        stats.record_update(*outcome);
+                    }
+                    OpEffect::Insert => {
+                        report.inserted += 1;
+                        stats.inserts.fetch_add(1, Ordering::Relaxed);
+                    }
+                    OpEffect::Delete => {
+                        report.deleted += 1;
+                        stats.deletes.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
         }
+        let delta: i64 = plans.iter().map(|p| p.len_delta).sum();
         let lsn = index
-            .commit_batch_pages(batch.len() as u64, &written)?
+            .commit_batch_pages(batch.len() as u64, &written, delta)?
             .unwrap_or(0);
         let hooks = if index.is_durable() {
             for (pid, ops) in groups {
@@ -605,12 +718,7 @@ impl Bur {
         } else {
             CommitBatch::default()
         };
-        let report = BatchReport {
-            applied: batch.len() as u64,
-            updated: batch.len() as u64,
-            ..BatchReport::default()
-        };
-        Ok(Some(CommitTicket {
+        Ok(SharedAttempt::Done(CommitTicket {
             report,
             hooks,
             lsn,
@@ -697,12 +805,19 @@ impl Bur {
     /// Move an object, acquiring the DGL granules its strategy requires:
     /// bottom-up updates take the granule of the object's current leaf
     /// exclusively under a shared tree granule; top-down updates take
-    /// the tree granule exclusively. A single update holds the physical
-    /// write lock either way — it may escalate to structural surgery
-    /// mid-flight; route bulk updates through [`Bur::apply`], whose
-    /// plan-first batches overlap physically.
+    /// the tree granule exclusively. A bottom-up update that plans
+    /// leaf-local (in place or an extension within the parent MBR) runs
+    /// through the same shared planner as [`Bur::apply`] — under the
+    /// **shared** physical lock, overlapping other single-op updates and
+    /// concurrent batches — and only falls back to the physical write
+    /// lock when it needs structural surgery (or when commit batching is
+    /// amortizing single-op records, which the shared path cannot join).
     pub fn update(&self, oid: ObjectId, old: Point, new: Point) -> CoreResult<UpdateOutcome> {
         self.check_writable()?;
+        if let Some(outcome) = self.try_update_shared(oid, old, new)? {
+            self.checkpoint_if_due()?;
+            return Ok(outcome);
+        }
         loop {
             let mut index = self.shared.inner.write();
             let bottom_up = !matches!(index.options().strategy, UpdateStrategy::TopDown);
@@ -745,6 +860,81 @@ impl Bur {
                 }
             }
         }
+    }
+
+    /// One non-blocking attempt at running a single bottom-up update on
+    /// the shared (concurrent) write path: a batch of one, planned and
+    /// written under the shared physical lock and the object's leaf
+    /// granule. `Ok(None)` means "take the exclusive path" — because the
+    /// strategy is top-down, commit batching is amortizing single-op
+    /// records, other commits are pending, a granule was refused, or the
+    /// plan needs structural surgery (only that last case counts as an
+    /// escalation).
+    fn try_update_shared(
+        &self,
+        oid: ObjectId,
+        old: Point,
+        new: Point,
+    ) -> CoreResult<Option<UpdateOutcome>> {
+        let index = self.shared.inner.read();
+        if matches!(index.options().strategy, UpdateStrategy::TopDown) {
+            return Ok(None);
+        }
+        if index.is_durable() && self.shared.batch_target.load(Ordering::Relaxed) > 1 {
+            // Joining the shared path would force a commit record per
+            // op, defeating the batching the caller asked for.
+            return Ok(None);
+        }
+        if index.pending_commits() > 0 {
+            return Ok(None);
+        }
+        let Some(pid) = index.locate_leaf(oid)? else {
+            // Unknown object: the exclusive path surfaces the error.
+            return Ok(None);
+        };
+        let Ok(_tree) = self.shared.locks.try_lock(Granule::Tree, LockMode::Shared) else {
+            return Ok(None);
+        };
+        let Ok(_leaf) = self
+            .shared
+            .locks
+            .try_lock(Granule::Leaf(pid), LockMode::Exclusive)
+        else {
+            return Ok(None);
+        };
+        let entered = self.shared.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.shared
+            .inflight_peak
+            .fetch_max(entered, Ordering::Relaxed);
+        let result = (|| {
+            let ops = [GroupOp::Update {
+                pos: 0,
+                oid,
+                old,
+                new,
+            }];
+            let plan = match concurrent::plan_group(&index, pid, &ops) {
+                Planned::Ready(plan) => plan,
+                // MakeRoom cannot come out of an update plan; treat it
+                // like any non-leaf-local verdict.
+                Planned::Escalate | Planned::MakeRoom(_) => {
+                    index.op_stats().escalations.fetch_add(1, Ordering::Relaxed);
+                    return Ok(None);
+                }
+            };
+            let mut written = Vec::new();
+            concurrent::execute_group(&index, &plan, &mut written)?;
+            written.sort_unstable();
+            written.dedup();
+            let OpEffect::Update(outcome) = plan.outcomes[0] else {
+                unreachable!("an update op planned to a non-update effect");
+            };
+            index.op_stats().record_update(outcome);
+            index.commit_batch_pages(1, &written, 0)?;
+            Ok(Some(outcome))
+        })();
+        self.shared.inflight.fetch_sub(1, Ordering::Relaxed);
+        result
     }
 
     // ---- streaming queries -----------------------------------------------
@@ -873,6 +1063,15 @@ impl Bur {
     #[must_use]
     pub fn peak_concurrent_batches(&self) -> usize {
         self.shared.inflight_peak.load(Ordering::Relaxed)
+    }
+
+    /// Reset the [`Bur::peak_concurrent_batches`] high watermark to the
+    /// number of batches inside the concurrent path right now (0 when
+    /// quiesced), so per-phase measurements — a benchmark's 1-writer
+    /// and 8-writer runs, say — don't inherit an earlier phase's peak.
+    pub fn reset_peak_concurrent_batches(&self) {
+        let now = self.shared.inflight.load(Ordering::Relaxed);
+        self.shared.inflight_peak.store(now, Ordering::Relaxed);
     }
 
     // ---- introspection ---------------------------------------------------

@@ -15,7 +15,7 @@ use bur_geom::{Point, Rect};
 use bur_hashindex::{HashIndexConfig, LinearHashIndex};
 use bur_storage::{BufferPool, DiskBackend, IoStats, PageId, PoolConfig, INVALID_PAGE};
 use bur_wal::{Wal, WalRecord, WalStatsSnapshot};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// What recovery ([`crate::IndexBuilder`]'s [`crate::OpenMode::Recover`]
@@ -70,7 +70,7 @@ impl std::fmt::Debug for RTreeIndex {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RTreeIndex")
             .field("strategy", &self.tree.opts.strategy.name())
-            .field("len", &self.tree.len)
+            .field("len", &self.tree.len())
             .field("height", &self.tree.height)
             .field("root", &self.tree.root)
             .finish_non_exhaustive()
@@ -226,7 +226,7 @@ impl RTreeIndex {
             opts,
             root: snap.root,
             height: snap.height,
-            len: snap.len,
+            len: AtomicU64::new(snap.len),
             free_pages: snap.free_pages.clone(),
             summary,
             hash,
@@ -336,9 +336,29 @@ impl RTreeIndex {
 
     /// Group-commit one concurrently applied batch: its own page set plus
     /// a single commit record (see `RTree::wal_commit_pages` for the
-    /// invariants). Returns the record's LSN, `None` without a WAL.
-    pub(crate) fn commit_batch_pages(&self, ops: u64, pages: &[PageId]) -> CoreResult<Option<u64>> {
-        self.tree.wal_commit_pages(ops, pages)
+    /// invariants). `len_delta` is the batch's net insert/delete count,
+    /// applied under the commit lock so the record's snapshot is exact.
+    /// Returns the record's LSN, `None` without a WAL.
+    pub(crate) fn commit_batch_pages(
+        &self,
+        ops: u64,
+        pages: &[PageId],
+        len_delta: i64,
+    ) -> CoreResult<Option<u64>> {
+        self.tree.wal_commit_pages(ops, pages, len_delta)
+    }
+
+    /// Content-neutral preparatory split of the full leaf on `pid`,
+    /// committed as its own record (see [`RTree::preparatory_split`]).
+    /// Returns `false` (writing nothing) when the leaf no longer needs
+    /// the room.
+    pub(crate) fn make_room(&mut self, pid: PageId) -> CoreResult<bool> {
+        if !self.tree.preparatory_split(pid)? {
+            return Ok(false);
+        }
+        self.tree.wal_commit()?;
+        self.tree.wal_flush_commit()?;
+        Ok(true)
     }
 
     /// `true` when the WAL checkpoint cadence has been reached. The
@@ -600,7 +620,7 @@ impl RTreeIndex {
             }
         }
         self.tree.insert_object(LeafEntry { oid, rect })?;
-        self.tree.len += 1;
+        self.tree.len.fetch_add(1, Ordering::Relaxed);
         self.tree.stats.inserts.fetch_add(1, Ordering::Relaxed);
         self.tree.wal_commit()?;
         Ok(())
@@ -611,7 +631,7 @@ impl RTreeIndex {
     pub fn delete(&mut self, oid: ObjectId, position: Point) -> CoreResult<bool> {
         let found = self.tree.delete_object(oid, position)?;
         if found {
-            self.tree.len -= 1;
+            self.tree.len.fetch_sub(1, Ordering::Relaxed);
             self.tree.stats.deletes.fetch_add(1, Ordering::Relaxed);
             self.tree.wal_commit()?;
         }
@@ -742,13 +762,13 @@ impl RTreeIndex {
     /// Number of indexed objects.
     #[must_use]
     pub fn len(&self) -> u64 {
-        self.tree.len
+        self.tree.len()
     }
 
     /// `true` when no objects are indexed.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.tree.len == 0
+        self.tree.len() == 0
     }
 
     /// Number of levels (1 = the root is a leaf).
@@ -762,7 +782,7 @@ impl RTreeIndex {
     /// Costs one (usually cached) page read; used by the shard router to
     /// prune shards whose contents cannot beat a kNN candidate.
     pub fn bounds(&self) -> CoreResult<Rect> {
-        if self.tree.len == 0 {
+        if self.tree.len() == 0 {
             return Ok(Rect::EMPTY);
         }
         Ok(self.tree.read_node(self.tree.root)?.mbr())
@@ -844,6 +864,55 @@ impl RTreeIndex {
         match &self.tree.hash {
             Some(h) => Ok(h.get(oid)?),
             None => Ok(None),
+        }
+    }
+
+    /// Read-only containment-constrained ChooseLeaf for the concurrent
+    /// insert path: descend from the root picking, above level 1, only
+    /// subtrees whose entry rect already *contains* `rect` (growing an
+    /// ancestor MBR is off the shared path), and at level 1 the leaf
+    /// entry by Guttman least enlargement among candidates whose grown
+    /// rect stays inside the parent node's MBR (the benign-slack bound).
+    /// Returns `None` when no such leaf exists — the caller escalates.
+    pub(crate) fn locate_insert_leaf(&self, rect: &Rect) -> CoreResult<Option<PageId>> {
+        let tree = &self.tree;
+        if tree.height < 2 {
+            return Ok(Some(tree.root));
+        }
+        let mut pid = tree.root;
+        loop {
+            let node = tree.read_node(pid)?;
+            let entries = node.internal_entries();
+            if node.level > 1 {
+                let mut best: Option<(PageId, f32)> = None;
+                for e in entries {
+                    if e.rect.contains_rect(rect) {
+                        let area = e.rect.area();
+                        if best.is_none_or(|(_, a)| area < a) {
+                            best = Some((e.child, area));
+                        }
+                    }
+                }
+                let Some((child, _)) = best else {
+                    return Ok(None);
+                };
+                pid = child;
+                continue;
+            }
+            // Level 1: the node MBR bounds any official-rect growth.
+            let bound = node.mbr();
+            let mut best: Option<(PageId, f32, f32)> = None;
+            for e in entries {
+                if !bound.contains_rect(&e.rect.union(rect)) {
+                    continue;
+                }
+                let enlarge = e.rect.enlargement(rect);
+                let area = e.rect.area();
+                if best.is_none_or(|(_, be, ba)| (enlarge, area) < (be, ba)) {
+                    best = Some((e.child, enlarge, area));
+                }
+            }
+            return Ok(best.map(|(child, _, _)| child));
         }
     }
 }

@@ -111,6 +111,15 @@ op_stats! {
     forced_reinserts,
     /// Entries evicted and re-inserted by R* forced reinsertion.
     forced_reinserted_entries,
+    /// Batches that fell off the concurrent (shared-lock) write path
+    /// onto the exclusive path. The headline observable of the coupled
+    /// structural path: disjoint structural batches should keep this
+    /// near zero where the pre-coupling path escalated every one.
+    escalations,
+    /// Preparatory ("make-room") splits: a full leaf split as its own
+    /// commit under a short exclusive section so the batch that needed
+    /// the room could retry on the shared path.
+    make_room_splits,
 }
 
 impl OpStats {
@@ -134,7 +143,7 @@ impl fmt::Display for OpSnapshot {
             f,
             "updates={} (in_place={} extended={} shifted={} ascended={} top_down={}) \
              inserts={} deletes={} queries={} splits={} condenses={} reinserted={} piggybacked={} \
-             forced_reinserts={} forced_reinserted={}",
+             forced_reinserts={} forced_reinserted={} escalations={} make_room_splits={}",
             self.updates,
             self.upd_in_place,
             self.upd_extended,
@@ -150,6 +159,8 @@ impl fmt::Display for OpSnapshot {
             self.piggybacked,
             self.forced_reinserts,
             self.forced_reinserted_entries,
+            self.escalations,
+            self.make_room_splits,
         )
     }
 }

@@ -19,6 +19,89 @@
 use bur_geom::{Point, Rect};
 use bur_storage::PageId;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Seqlock over the cached root MBR: the one summary datum the
+/// concurrent write path reads on *every* plan (Algorithm 2's O(1)
+/// root-MBR check) and the admission gate for shared-path inserts.
+///
+/// The four `f32` coordinates pack into two `u64` payload words guarded
+/// by a sequence counter (odd while a writer is mid-publish). Readers
+/// retry until they observe an even, unchanged sequence — so reads are
+/// wait-free for readers in practice and never block on (or are blocked
+/// by) a writer. Writers must be externally serialized: every
+/// `store` happens either under the structure lock's write side or
+/// under the root leaf's exclusive granule, which never coexist.
+#[derive(Debug)]
+pub struct RootMbrCell {
+    seq: AtomicU64,
+    lo: AtomicU64,
+    hi: AtomicU64,
+}
+
+fn pack(a: f32, b: f32) -> u64 {
+    (u64::from(a.to_bits()) << 32) | u64::from(b.to_bits())
+}
+
+fn unpack(w: u64) -> (f32, f32) {
+    (f32::from_bits((w >> 32) as u32), f32::from_bits(w as u32))
+}
+
+impl Default for RootMbrCell {
+    fn default() -> Self {
+        Self::new(Rect::EMPTY)
+    }
+}
+
+impl RootMbrCell {
+    /// A cell initialized to `mbr`.
+    #[must_use]
+    pub fn new(mbr: Rect) -> Self {
+        let cell = RootMbrCell {
+            seq: AtomicU64::new(0),
+            lo: AtomicU64::new(0),
+            hi: AtomicU64::new(0),
+        };
+        cell.store(mbr);
+        cell
+    }
+
+    /// Publish a new root MBR. Callers must hold either the structure
+    /// lock's write side or the root leaf's exclusive granule (single
+    /// writer); the seqlock only protects readers from torn reads.
+    pub fn store(&self, mbr: Rect) {
+        let s = self.seq.load(Ordering::Relaxed);
+        self.seq.store(s.wrapping_add(1), Ordering::Release);
+        self.lo.store(pack(mbr.min_x, mbr.min_y), Ordering::Release);
+        self.hi.store(pack(mbr.max_x, mbr.max_y), Ordering::Release);
+        self.seq.store(s.wrapping_add(2), Ordering::Release);
+    }
+
+    /// Lock-free snapshot of the root MBR.
+    #[must_use]
+    pub fn load(&self) -> Rect {
+        loop {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 & 1 == 1 {
+                std::hint::spin_loop();
+                continue;
+            }
+            let lo = self.lo.load(Ordering::Acquire);
+            let hi = self.hi.load(Ordering::Acquire);
+            if self.seq.load(Ordering::Acquire) == s1 {
+                let (min_x, min_y) = unpack(lo);
+                let (max_x, max_y) = unpack(hi);
+                return Rect {
+                    min_x,
+                    min_y,
+                    max_x,
+                    max_y,
+                };
+            }
+        }
+    }
+}
 
 /// One direct-access-table entry: a summary of one internal node.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,28 +116,51 @@ pub struct SummaryEntry {
     pub children: Vec<PageId>,
 }
 
-/// Growable bit vector keyed by page id.
-#[derive(Debug, Default, Clone)]
+/// Growable bit vector keyed by page id. The words are atomic so the
+/// concurrent write path can flip an *existing* bit through `&self`
+/// ([`BitVec::set_shared`]); growth still requires `&mut self` and so
+/// stays on the exclusive path, where every leaf page is first
+/// registered.
+#[derive(Debug, Default)]
 struct BitVec {
-    words: Vec<u64>,
+    words: Vec<AtomicU64>,
 }
 
 impl BitVec {
     fn set(&mut self, i: u32, v: bool) {
         let (w, b) = ((i / 64) as usize, i % 64);
         if w >= self.words.len() {
-            self.words.resize(w + 1, 0);
+            self.words.resize_with(w + 1, AtomicU64::default);
         }
+        let word = self.words[w].get_mut();
         if v {
-            self.words[w] |= 1 << b;
+            *word |= 1 << b;
         } else {
-            self.words[w] &= !(1 << b);
+            *word &= !(1 << b);
         }
+    }
+
+    /// Flip an already-allocated bit without `&mut`. Returns `false`
+    /// (no-op) when the bit's word was never allocated — the caller must
+    /// escalate rather than lose the update.
+    fn set_shared(&self, i: u32, v: bool) -> bool {
+        let (w, b) = ((i / 64) as usize, i % 64);
+        let Some(word) = self.words.get(w) else {
+            return false;
+        };
+        if v {
+            word.fetch_or(1 << b, Ordering::Release);
+        } else {
+            word.fetch_and(!(1 << b), Ordering::Release);
+        }
+        true
     }
 
     fn get(&self, i: u32) -> bool {
         let (w, b) = ((i / 64) as usize, i % 64);
-        self.words.get(w).is_some_and(|word| word & (1 << b) != 0)
+        self.words
+            .get(w)
+            .is_some_and(|word| word.load(Ordering::Acquire) & (1 << b) != 0)
     }
 
     fn size_bytes(&self) -> usize {
@@ -73,25 +179,32 @@ pub struct SummaryStructure {
     leaf_full: BitVec,
     /// Bit vector: page id is a live leaf (for maintenance checks).
     leaf_present: BitVec,
-    /// Cached MBR of the root node. The paper's table covers internal
-    /// nodes only; caching the root MBR additionally makes the O(1) root
-    /// check of Algorithm 2 work even while the tree is a single leaf.
-    root_mbr: Rect,
+    /// Cached MBR of the root node, behind a seqlock so it can be read
+    /// without any lock and republished through `&self` under the root
+    /// leaf's exclusive granule. The paper's table covers internal nodes
+    /// only; caching the root MBR additionally makes the O(1) root check
+    /// of Algorithm 2 work even while the tree is a single leaf. The
+    /// `Arc` lets `Bur` hand out the cell for lock-free snapshots that
+    /// outlive the structure lock.
+    root_mbr: Arc<RootMbrCell>,
 }
 
 impl SummaryStructure {
     /// Empty summary.
     #[must_use]
     pub fn new() -> Self {
-        Self {
-            root_mbr: Rect::EMPTY,
-            ..Self::default()
-        }
+        Self::default()
     }
 
-    /// Drop all state (used when rebuilding from a tree scan).
+    /// Drop all state (used when rebuilding from a tree scan). The root
+    /// MBR cell is reset in place, not replaced, so lock-free snapshots
+    /// handed out earlier keep observing the live value.
     pub fn clear(&mut self) {
-        *self = Self::new();
+        self.levels.clear();
+        self.pos.clear();
+        self.leaf_full = BitVec::default();
+        self.leaf_present = BitVec::default();
+        self.root_mbr.store(Rect::EMPTY);
     }
 
     // ---- direct access table maintenance --------------------------------
@@ -172,13 +285,27 @@ impl SummaryStructure {
 
     /// Record the root MBR (tree calls this when the root node changes).
     pub fn set_root_mbr(&mut self, mbr: Rect) {
-        self.root_mbr = mbr;
+        self.root_mbr.store(mbr);
+    }
+
+    /// Republish the root MBR through `&self` — the concurrent path's
+    /// variant of [`SummaryStructure::set_root_mbr`], legal only under
+    /// the root leaf's exclusive granule (which serializes writers).
+    pub fn publish_root_mbr(&self, mbr: Rect) {
+        self.root_mbr.store(mbr);
     }
 
     /// O(1) root-MBR check used by Algorithm 2's first step.
     #[must_use]
     pub fn root_mbr(&self) -> Rect {
-        self.root_mbr
+        self.root_mbr.load()
+    }
+
+    /// Shared handle on the root-MBR seqlock, for snapshots that must
+    /// not take the structure lock (single-op admission, metrics).
+    #[must_use]
+    pub fn root_mbr_cell(&self) -> Arc<RootMbrCell> {
+        Arc::clone(&self.root_mbr)
     }
 
     // ---- leaf bit vector ---------------------------------------------------
@@ -193,6 +320,18 @@ impl SummaryStructure {
     pub fn remove_leaf(&mut self, pid: PageId) {
         self.leaf_present.set(pid, false);
         self.leaf_full.set(pid, false);
+    }
+
+    /// Flip the fullness bit of an *already registered* leaf through
+    /// `&self` — the concurrent path's variant of
+    /// [`SummaryStructure::set_leaf`], legal only under that leaf's
+    /// exclusive granule. Returns `false` (and changes nothing) when the
+    /// leaf was never registered; the caller must escalate.
+    pub fn set_leaf_full_shared(&self, pid: PageId, full: bool) -> bool {
+        if !self.leaf_present.get(pid) {
+            return false;
+        }
+        self.leaf_full.set_shared(pid, full)
     }
 
     /// `true` when the leaf is known and marked full — consulted before a
@@ -431,5 +570,67 @@ mod tests {
         assert!(s.root_mbr().is_empty());
         s.set_root_mbr(r(0.0, 0.0, 0.5, 0.5));
         assert_eq!(s.root_mbr(), r(0.0, 0.0, 0.5, 0.5));
+    }
+
+    #[test]
+    fn shared_leaf_bit_flips() {
+        let mut s = sample();
+        assert!(s.set_leaf_full_shared(1, true));
+        assert!(s.is_leaf_full(1));
+        assert!(s.set_leaf_full_shared(2, false));
+        assert!(!s.is_leaf_full(2));
+        // Unregistered leaves refuse the shared flip.
+        assert!(!s.set_leaf_full_shared(77, true));
+        assert!(!s.is_leaf_full(77));
+        // Clearing keeps refusing gracefully.
+        s.clear();
+        assert!(!s.set_leaf_full_shared(1, true));
+    }
+
+    #[test]
+    fn root_mbr_seqlock_outlives_clear() {
+        let mut s = SummaryStructure::new();
+        let cell = s.root_mbr_cell();
+        s.publish_root_mbr(r(0.1, 0.2, 0.3, 0.4));
+        assert_eq!(cell.load(), r(0.1, 0.2, 0.3, 0.4));
+        s.set_root_mbr(r(0.0, 0.0, 1.0, 1.0));
+        assert_eq!(cell.load(), r(0.0, 0.0, 1.0, 1.0));
+        // The cell is reset in place, not replaced, on rebuilds.
+        s.clear();
+        assert!(cell.load().is_empty());
+    }
+
+    #[test]
+    fn root_mbr_seqlock_concurrent_readers() {
+        let s = std::sync::Arc::new(SummaryStructure::new());
+        s.publish_root_mbr(r(0.0, 0.0, 1.0, 1.0));
+        let writer = {
+            let s = std::sync::Arc::clone(&s);
+            std::thread::spawn(move || {
+                for i in 1..2_000u32 {
+                    let v = i as f32;
+                    s.publish_root_mbr(r(v, v, v + 1.0, v + 1.0));
+                }
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let s = std::sync::Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..2_000 {
+                        let got = s.root_mbr();
+                        // Never a torn mix of two publishes: width and
+                        // height are exactly 1 for every published rect.
+                        assert_eq!(got.max_x - got.min_x, 1.0);
+                        assert_eq!(got.max_y - got.min_y, 1.0);
+                        assert_eq!(got.min_x, got.min_y);
+                    }
+                })
+            })
+            .collect();
+        writer.join().unwrap();
+        for rd in readers {
+            rd.join().unwrap();
+        }
     }
 }

@@ -112,8 +112,11 @@ pub(crate) struct RTree {
     pub(crate) root: PageId,
     /// Number of levels (1 = the root is a leaf).
     pub(crate) height: u16,
-    /// Number of indexed objects.
-    pub(crate) len: u64,
+    /// Number of indexed objects. Atomic because concurrent batches
+    /// carrying inserts/deletes apply their delta through a shared
+    /// reference at commit time ([`RTree::wal_commit_pages`]); every
+    /// other mutation happens under `&mut self`.
+    pub(crate) len: AtomicU64,
     /// Pages freed by CondenseTree, reused before fresh allocation.
     pub(crate) free_pages: Vec<PageId>,
     /// GBU's main-memory summary structure.
@@ -161,7 +164,7 @@ impl RTree {
             opts,
             root,
             height: 1,
-            len: 0,
+            len: AtomicU64::new(0),
             free_pages: Vec::new(),
             summary,
             hash,
@@ -290,7 +293,7 @@ impl RTree {
             page_size: self.opts.page_size,
             root: self.root,
             height: self.height,
-            len: self.len,
+            len: self.len.load(Ordering::Relaxed),
             hash_head,
             free_pages: self.free_pages.clone(),
             wal_anchor: self.wal.as_ref().map_or(INVALID_PAGE, |h| h.wal.anchor()),
@@ -384,8 +387,10 @@ impl RTree {
     /// in the log. Correctness leans on two invariants the shared write
     /// phase upholds while any concurrent batch is in flight:
     ///
-    /// * no operation changes `len`, `root`, `height` or the free list,
-    ///   so the snapshot in the record is consistent; and
+    /// * no operation changes `root`, `height` or the free list, and the
+    ///   object count only moves by each batch's `len_delta`, applied
+    ///   here under `commit_lock` *before* the snapshot — so record K's
+    ///   `len` covers exactly the batches whose records precede it; and
     /// * no single-op commits are pending (`pending_ops == 0`), so every
     ///   WAL-touched page outside `pages` belongs to another in-flight
     ///   batch, which logs it under its own record (until then the
@@ -396,11 +401,18 @@ impl RTree {
     /// enlargements are monotone and bounded by the parent node MBR, and
     /// the other batch's leaf write (the actual object move) is gated
     /// until its own commit record lands ("grow before move").
-    pub(crate) fn wal_commit_pages(&self, ops: u64, pages: &[PageId]) -> CoreResult<Option<Lsn>> {
+    pub(crate) fn wal_commit_pages(
+        &self,
+        ops: u64,
+        pages: &[PageId],
+        len_delta: i64,
+    ) -> CoreResult<Option<Lsn>> {
         let Some(handle) = self.wal.as_ref() else {
+            self.apply_len_delta(len_delta);
             return Ok(None);
         };
         let _serial = handle.commit_lock.lock();
+        self.apply_len_delta(len_delta);
         for &pid in pages {
             let guard = self.pool.fetch(pid)?;
             let lsn = handle.wal.append_page(pid, &guard.read())?;
@@ -416,6 +428,26 @@ impl RTree {
             .commits_since_checkpoint
             .fetch_add(ops, Ordering::Relaxed);
         Ok(Some(lsn))
+    }
+
+    /// Current object count.
+    pub(crate) fn len(&self) -> u64 {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Shift the object count by a concurrent batch's net insert/delete
+    /// delta (called under `commit_lock` on durable indexes, so records
+    /// observe a consistent count).
+    pub(crate) fn apply_len_delta(&self, delta: i64) {
+        match delta {
+            0 => {}
+            d if d > 0 => {
+                self.len.fetch_add(d as u64, Ordering::Relaxed);
+            }
+            d => {
+                self.len.fetch_sub(d.unsigned_abs(), Ordering::Relaxed);
+            }
+        }
     }
 
     /// `true` when the checkpoint cadence has been reached. Readable
@@ -860,6 +892,105 @@ impl RTree {
         Ok(())
     }
 
+    // ---- make-room (preparatory) splits -------------------------------------
+
+    /// Record the root-first chain of internal ancestors of `target`
+    /// into `path` (excluding `target` itself). Returns `false` when the
+    /// page is not reachable — e.g. it was condensed away since the
+    /// caller looked it up.
+    pub(crate) fn path_to(
+        &self,
+        from: PageId,
+        target: PageId,
+        path: &mut Vec<PageId>,
+    ) -> CoreResult<bool> {
+        if from == target {
+            return Ok(true);
+        }
+        let node = self.read_node(from)?;
+        let NodeEntries::Internal(v) = &node.entries else {
+            return Ok(false);
+        };
+        path.push(from);
+        for e in v {
+            if self.path_to(e.child, target, path)? {
+                return Ok(true);
+            }
+        }
+        path.pop();
+        Ok(false)
+    }
+
+    /// Content-neutral preparatory split ("make room"): split the full
+    /// leaf on `leaf_pid` and propagate the new entries upward —
+    /// splitting overfull ancestors and growing the root if needed — so
+    /// a concurrent batch that found the leaf full can retry on the
+    /// shared path. No logical content changes; R* forced reinsertion is
+    /// bypassed (there is no in-flight insert to re-drive evictions).
+    /// Returns `false` (and writes nothing) when the leaf no longer
+    /// needs the room — a racing batch may have made it first.
+    ///
+    /// Must run under the exclusive structure lock: it changes
+    /// parent/child links, possibly `root` and `height`, and allocates
+    /// pages.
+    pub(crate) fn preparatory_split(&mut self, leaf_pid: PageId) -> CoreResult<bool> {
+        let node = match self.read_node(leaf_pid) {
+            Ok(n) => n,
+            // The page may have been condensed away and recycled.
+            Err(_) => return Ok(false),
+        };
+        if !node.is_leaf() || node.count() < self.leaf_cap() {
+            return Ok(false);
+        }
+        let mut path = Vec::new();
+        if !self.path_to(self.root, leaf_pid, &mut path)? {
+            return Ok(false);
+        }
+        let (_, mut child_mbr, mut pending) = self.split_node(leaf_pid, node)?;
+        let mut child_pid = leaf_pid;
+        while let Some(anc) = path.pop() {
+            let mut parent = self.read_node(anc)?;
+            let idx = parent
+                .child_index(child_pid)
+                .ok_or(CoreError::CorruptNode {
+                    pid: anc,
+                    reason: "make-room path does not link to child",
+                })?;
+            let old_mbr = parent.mbr();
+            // Exact child MBR — a make-room split re-tightens any
+            // ε-extended official slack, like AdjustTree on arrival.
+            parent.internal_entries_mut()[idx].rect = child_mbr;
+            if let Some(e) = pending.take() {
+                if self.parent_pointers() && parent.level == 1 {
+                    self.set_parent_pointer(e.child, anc)?;
+                }
+                parent.internal_entries_mut().push(e);
+                if parent.count() > self.internal_cap() {
+                    let (_, mbr_a, sp) = self.split_node(anc, parent)?;
+                    child_pid = anc;
+                    child_mbr = mbr_a;
+                    pending = sp;
+                    continue;
+                }
+            }
+            let new_mbr = parent.mbr();
+            self.write_node(anc, &parent)?;
+            if new_mbr == old_mbr {
+                // Nothing propagates further; the remaining ancestors'
+                // entry rects still cover this subtree.
+                pending = None;
+                break;
+            }
+            child_pid = anc;
+            child_mbr = new_mbr;
+        }
+        if let Some(e) = pending {
+            self.grow_root(child_pid, child_mbr, e)?;
+        }
+        self.stats.make_room_splits.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
+    }
+
     // ---- deletion -----------------------------------------------------------
 
     /// Delete the entry of `oid` whose position is `pos`. Returns `false`
@@ -1132,18 +1263,18 @@ impl RTree {
             &mut object_count,
             &mut leaf_count,
         )?;
-        if object_count != self.len {
+        if object_count != self.len() {
             return Err(CoreError::InvariantViolation(format!(
                 "len says {} objects, tree holds {object_count}",
-                self.len
+                self.len()
             )));
         }
         if let Some(h) = &self.hash {
-            if h.len() as u64 != self.len {
+            if h.len() as u64 != self.len() {
                 return Err(CoreError::InvariantViolation(format!(
                     "hash index has {} entries, tree holds {}",
                     h.len(),
-                    self.len
+                    self.len()
                 )));
             }
         }

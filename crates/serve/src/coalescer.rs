@@ -190,6 +190,21 @@ enum Admission {
     WaitExpired,
 }
 
+/// One completed retry-dedup slot, exportable across coalescers (see
+/// [`Coalescer::export_dedup`] / [`Coalescer::merge_dedup`]). Carries
+/// the session's highest finished sequence number and the cached
+/// outcome a retry of that sequence must replay.
+#[derive(Debug, Clone)]
+pub struct DedupEntry {
+    /// Client session id.
+    pub session: u128,
+    /// Highest finished sequence number for the session.
+    pub seq: u64,
+    /// The outcome to replay: the original ack, or the original
+    /// deterministic rejection.
+    pub ack: Result<WriteAck, String>,
+}
+
 /// Bounded per-session retry memory: the highest sequence number seen
 /// and the cached outcome for it. One entry per client session, evicted
 /// least-recently-touched once `max_sessions` is exceeded (only
@@ -293,6 +308,64 @@ impl DedupTable {
 
     fn sessions(&self) -> usize {
         self.slots.lock().len()
+    }
+
+    /// Snapshot every completed slot. In-flight slots are skipped: they
+    /// belong to submissions still working through *this* coalescer,
+    /// and their waiters sit on this table's condvar.
+    fn export(&self) -> Vec<DedupEntry> {
+        self.slots
+            .lock()
+            .iter()
+            .filter_map(|(session, slot)| match &slot.state {
+                SlotState::Done(result) => Some(DedupEntry {
+                    session: *session,
+                    seq: slot.seq,
+                    ack: result.clone(),
+                }),
+                SlotState::InFlight => None,
+            })
+            .collect()
+    }
+
+    /// Adopt exported slots from another coalescer's table. A donated
+    /// entry lands only where it advances knowledge: inserted when the
+    /// session is unknown here, replacing a *completed* slot at a lower
+    /// sequence. On an equal sequence the local slot wins — a batch
+    /// split across shards reuses one `(session, seq)` with different
+    /// per-shard payloads, and the local ack is the one this shard's
+    /// retries must replay. In-flight local slots are never displaced
+    /// (their originals still own them). Over-capacity trims the
+    /// least-recently-touched completed slots, same policy as `begin`.
+    fn merge(&self, entries: Vec<DedupEntry>) {
+        let mut slots = self.slots.lock();
+        for entry in entries {
+            match slots.get(&entry.session) {
+                Some(slot) if slot.seq >= entry.seq => continue,
+                Some(slot) if matches!(slot.state, SlotState::InFlight) => continue,
+                _ => {}
+            }
+            let tick = self.tick();
+            slots.insert(
+                entry.session,
+                SessionSlot {
+                    seq: entry.seq,
+                    state: SlotState::Done(entry.ack),
+                    tick,
+                },
+            );
+        }
+        while slots.len() > self.max_sessions {
+            let victim = slots
+                .iter()
+                .filter(|(_, s)| matches!(s.state, SlotState::Done(_)))
+                .min_by_key(|(_, s)| s.tick)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(victim) => slots.remove(&victim),
+                None => break,
+            };
+        }
     }
 }
 
@@ -476,6 +549,32 @@ impl Coalescer {
             return true;
         }
         self.queued_ops() >= (self.config.max_queued_ops / 2).max(1)
+    }
+
+    /// Snapshot this coalescer's completed retry-dedup entries, for
+    /// handover to another shard's coalescer via
+    /// [`Self::merge_dedup`]. Exactly-once retry protection is
+    /// per-coalescer state: when a range migration re-homes a key range
+    /// (`ShardedBur::migrate_range`), a retry of an already-acked batch
+    /// routes to the *recipient* shard, whose table has never seen the
+    /// `(session, seq)` — without the handover it would apply the batch
+    /// a second time. Dedup slots are keyed by session, not key range,
+    /// so the whole table travels; donated entries are advisory
+    /// replay-cache state and never displace fresher local knowledge.
+    #[must_use]
+    pub fn export_dedup(&self) -> Vec<DedupEntry> {
+        self.dedup.export()
+    }
+
+    /// Adopt exported retry-dedup entries from a donor coalescer (see
+    /// [`Self::export_dedup`]): inserted when the session is unknown
+    /// here, replacing a completed slot at a lower sequence, dropped
+    /// otherwise — on an equal sequence the local slot wins, because a
+    /// batch split across shards reuses one `(session, seq)` with
+    /// different per-shard payloads and local retries must replay the
+    /// local ack.
+    pub fn merge_dedup(&self, entries: Vec<DedupEntry>) {
+        self.dedup.merge(entries);
     }
 
     /// Counters so far.
@@ -710,6 +809,57 @@ mod tests {
             stats.rounds,
             stats.submissions
         );
+    }
+
+    #[test]
+    fn dedup_handover_merges_without_displacing_local_knowledge() {
+        let donor_bur = mem_bur();
+        let donor = Coalescer::new(donor_bur.clone());
+        let recipient_bur = mem_bur();
+        let recipient = Coalescer::new(recipient_bur.clone());
+
+        // Donor finishes (1, 3) with 4 ops and (4, 7) with 2 ops.
+        donor.apply_session(1, 3, inserts(0..4), None).expect("ack");
+        donor
+            .apply_session(4, 7, inserts(10..12), None)
+            .expect("ack");
+        // Recipient already knows session 1 at the SAME seq (its half of
+        // a split batch: 3 ops) and session 2 at a HIGHER seq.
+        let local = recipient
+            .apply_session(1, 3, inserts(20..23), None)
+            .expect("ack");
+        recipient
+            .apply_session(2, 5, inserts(30..32), None)
+            .expect("ack");
+
+        recipient.merge_dedup(donor.export_dedup());
+        let len_before = recipient_bur.len();
+
+        // Unknown session: the donated entry replays verbatim, applying
+        // nothing here.
+        let replayed = recipient
+            .apply_session(4, 7, inserts(10..12), None)
+            .expect("replayed");
+        assert_eq!(replayed.applied, 2, "the donor's ack came back");
+        assert_eq!(recipient_bur.len(), len_before, "nothing re-applied");
+
+        // Equal seq: the local slot wins — split batches share a
+        // (session, seq) with different per-shard payloads.
+        let same = recipient
+            .apply_session(1, 3, inserts(20..23), None)
+            .expect("replayed");
+        assert_eq!(same.applied, local.applied);
+        assert_eq!(same.lsn, local.lsn);
+
+        // Lower donated seq never rolls a session backwards.
+        let err = recipient
+            .apply_session(2, 1, inserts(40..41), None)
+            .expect_err("stale");
+        assert!(err.to_string().contains("stale"), "{err}");
+
+        assert!(recipient.stats().dedup_hits >= 2);
+        donor.shutdown();
+        recipient.shutdown();
     }
 
     #[test]

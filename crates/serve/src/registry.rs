@@ -95,6 +95,12 @@ pub struct IndexEntry {
 /// sub-batch funnels through its shard's coalescer under the client's
 /// unchanged `(session, seq)` — the split is deterministic for a fixed
 /// routing map, so per-shard retry dedup stays exactly-once.
+///
+/// The coalescers are `Arc`-shared with the sharded handle's migration
+/// hook: when `migrate_range` re-homes a key range, the donor
+/// coalescer's completed dedup entries merge into the recipient's right
+/// before the ownership flip, so a retry that crosses the migration
+/// replays its original ack on the new owner instead of re-applying.
 #[derive(Debug)]
 pub struct ShardedEntry {
     /// Registry name.
@@ -102,20 +108,20 @@ pub struct ShardedEntry {
     /// The logical index over all shards (reads go straight here).
     pub sharded: ShardedBur,
     /// Per-shard write paths, indexed by shard id.
-    pub coalescers: Vec<Coalescer>,
+    pub coalescers: Vec<Arc<Coalescer>>,
 }
 
 impl ShardedEntry {
     /// Whether any shard's write queue is past its degraded watermark.
     #[must_use]
     pub fn is_degraded(&self) -> bool {
-        self.coalescers.iter().any(Coalescer::is_degraded)
+        self.coalescers.iter().any(|c| c.is_degraded())
     }
 
     /// Ops queued across every shard's coalescer.
     #[must_use]
     pub fn queued_ops(&self) -> usize {
-        self.coalescers.iter().map(Coalescer::queued_ops).sum()
+        self.coalescers.iter().map(|c| c.queued_ops()).sum()
     }
 }
 
@@ -332,9 +338,23 @@ impl IndexRegistry {
     }
 
     fn sharded_entry(&self, name: &str, sharded: ShardedBur) -> Arc<ShardedEntry> {
-        let coalescers = (0..sharded.shard_count())
-            .map(|k| Coalescer::with_config(sharded.shard(k).clone(), self.coalescer_config))
+        let coalescers: Vec<Arc<Coalescer>> = (0..sharded.shard_count())
+            .map(|k| {
+                Arc::new(Coalescer::with_config(
+                    sharded.shard(k).clone(),
+                    self.coalescer_config,
+                ))
+            })
             .collect();
+        // Exactly-once across rebalances: hand the donor's completed
+        // retry-dedup entries to the recipient before each migration's
+        // ownership flip. The hook runs while writes into the moving
+        // range are frozen, so no slot it exports can race a retry.
+        let hooked = coalescers.clone();
+        sharded.set_migration_hook(move |from, to| {
+            let donor = &hooked[from as usize];
+            hooked[to as usize].merge_dedup(donor.export_dedup());
+        });
         Arc::new(ShardedEntry {
             name: name.to_string(),
             sharded,

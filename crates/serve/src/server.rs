@@ -526,13 +526,28 @@ fn serve_request(
         }
         Request::Metrics => {
             // The server-wide dump plus the per-shard gauges of every
-            // open sharded index.
+            // open sharded index, and the escalation total across every
+            // open index (the shared write path's contention tripwire).
             let mut text = ctx.metrics.render();
+            let mut escalations = 0u64;
             for entry in ctx.registry.open_entries() {
-                if let Entry::Sharded(e) = entry {
-                    text.push_str(&shard_gauges(&e));
+                match entry {
+                    Entry::Plain(e) => {
+                        escalations += e.bur.with_op_stats(|s| s.snapshot()).escalations;
+                    }
+                    Entry::Sharded(e) => {
+                        for k in 0..e.sharded.shard_count() {
+                            escalations += e
+                                .sharded
+                                .shard(k)
+                                .with_op_stats(|s| s.snapshot())
+                                .escalations;
+                        }
+                        text.push_str(&shard_gauges(&e));
+                    }
                 }
             }
+            text.push_str(&format!("burd_escalations {escalations}\n"));
             reply(stream, Response::Text { text })
         }
     }
@@ -701,6 +716,12 @@ fn index_stats_text(entry: &crate::registry::IndexEntry) -> String {
     gauge("op_deletes", ops.deletes);
     gauge("op_queries", ops.queries);
     gauge("op_splits", ops.splits);
+    gauge("op_escalations", ops.escalations);
+    gauge("op_make_room_splits", ops.make_room_splits);
+    gauge(
+        "peak_concurrent_batches",
+        bur.peak_concurrent_batches() as u64,
+    );
     let co = entry.coalescer.stats();
     gauge("coalescer_rounds", co.rounds);
     gauge("coalescer_submissions", co.submissions);
@@ -761,6 +782,14 @@ fn shard_gauges(entry: &ShardedEntry) -> String {
         gauge("shard_queued_ops", co.queued_ops);
         gauge("shard_coalescer_rounds", co.rounds);
         gauge("shard_dedup_hits", co.dedup_hits);
+        gauge(
+            "shard_escalations",
+            entry
+                .sharded
+                .shard(k)
+                .with_op_stats(|s| s.snapshot())
+                .escalations,
+        );
         gauge(
             "shard_degraded",
             u64::from(entry.coalescers[k].is_degraded()),

@@ -11,6 +11,10 @@
 //!   eaten by the network returns the *original* ack from the server's
 //!   dedup table — observable as `dedup_hits` in stats — instead of
 //!   applying twice.
+//! - **Exactly-once across migrations.** A retry that crosses a
+//!   completed `migrate_range` re-routes to the recipient shard and
+//!   still replays the original ack: the donor's dedup entries move
+//!   with the range at the ownership flip.
 //! - **Deadlines.** An expired request gets an `expired` error frame
 //!   and the connection stays usable; a black-holed server cannot hang
 //!   a client thread.
@@ -22,15 +26,18 @@
 mod common;
 
 use bur::client::{BurClient, ClientConfig, ClientError, RetryPolicy};
-use bur::core::Batch;
+use bur::core::{Batch, Op};
 use bur::geom::{Point, Rect};
 use bur::serve::wire;
 use bur::serve::{
-    start, ChaosProxy, Direction, Fault, FaultPlan, Response, ScriptedFault, ServerConfig,
+    start, ChaosProxy, Direction, Fault, FaultPlan, IndexRegistry, Response, ScriptedFault,
+    ServerConfig, StrategyKind,
 };
 use common::TempDir;
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Deterministic pseudo-random position for an object id.
@@ -218,8 +225,188 @@ fn retried_apply_over_killed_connection_returns_original_ack() {
     );
     let metrics = admin.metrics().expect("metrics");
     assert!(metrics.contains("burd_dedup_hits 1"), "{metrics}");
+    // The shared write path's contention counters are on both surfaces.
+    assert!(text.contains("bur_op_escalations{index=\"idx\"}"), "{text}");
+    assert!(metrics.contains("burd_escalations"), "{metrics}");
 
     proxy.shutdown();
+    handle.shutdown();
+}
+
+/// The retry-across-migration hole, deterministically: an apply lands
+/// on shard 0, its ack is "eaten", and before the retry arrives a
+/// range migration re-homes the whole batch onto shard 1. The retry
+/// re-routes under the flipped map and reaches a coalescer that never
+/// saw the original `(session, seq)` — the migration hook must have
+/// handed shard 0's dedup entry over, so the retry replays the
+/// original ack instead of re-applying (which would double-insert, or
+/// fail an already-acked batch on the duplicate-oid check).
+#[test]
+fn retry_across_migration_replays_original_ack_without_reapplying() {
+    let dir = TempDir::new("chaos-migrate-dedup");
+    let reg = IndexRegistry::new(dir.path()).expect("registry");
+    reg.create_sharded("idx", StrategyKind::Generalized, true, 2)
+        .expect("create sharded");
+    let entry = reg.get("idx").expect("get");
+    let entry = entry.as_sharded().expect("sharded");
+
+    // All ops cluster near the curve origin, so the batch routes whole
+    // to the low-key shard.
+    let ops: Vec<Op> = (0..25u64)
+        .map(|i| Op::Insert {
+            oid: 1000 + i,
+            rect: Rect::from_point(Point::new(0.001 + i as f32 * 1e-4, 0.002)),
+        })
+        .collect();
+
+    // The original attempt, exactly as the server applies it: route,
+    // then funnel each part through its shard's coalescer under the
+    // client's unchanged (session, seq).
+    let routed = entry.sharded.route_for_write(&ops).expect("route");
+    assert_eq!(routed.parts().len(), 1, "one donor shard");
+    let (donor, sub) = &routed.parts()[0];
+    let donor = *donor;
+    let original = entry.coalescers[donor as usize]
+        .apply_session(0xfeed, 9, sub.clone(), None)
+        .expect("original apply");
+    assert_eq!(original.applied, 25);
+    // Release the writer registration so the migration can drain it.
+    drop(routed);
+
+    // The ack never reached the client; before the retry shows up, a
+    // rebalance moves the low quarter of the key space away.
+    let key_space = 1u64 << (2 * entry.sharded.order());
+    let report = entry
+        .sharded
+        .migrate_range(0, key_space / 4, 1 - donor)
+        .expect("migrate");
+    assert_eq!(report.moved, 25, "the whole batch moved");
+
+    // The retry re-routes under the flipped map: same (session, seq),
+    // different shard.
+    let routed = entry.sharded.route_for_write(&ops).expect("re-route");
+    assert_eq!(routed.parts().len(), 1);
+    let (recipient, sub) = &routed.parts()[0];
+    assert_ne!(*recipient, donor, "ownership flipped");
+    let before = entry.coalescers[*recipient as usize].stats();
+    let replay = entry.coalescers[*recipient as usize]
+        .apply_session(0xfeed, 9, sub.clone(), None)
+        .expect("the retry must replay, not re-apply");
+    assert_eq!(replay.lsn, original.lsn, "the original ack came back");
+    assert_eq!(replay.applied, original.applied);
+    let after = entry.coalescers[*recipient as usize].stats();
+    assert_eq!(after.dedup_hits, before.dedup_hits + 1);
+    assert_eq!(
+        after.submissions, before.submissions,
+        "the retry must not resubmit on the recipient"
+    );
+    assert_eq!(entry.sharded.len(), 25, "applied exactly once");
+    reg.shutdown();
+}
+
+/// The randomized version: `CHAOS_MIGRATE_PLANS` (default 200) seeded
+/// fault plans of unique-oid inserts through an ack-eating proxy while
+/// a background rebalancer ping-pongs a slice of the key space between
+/// the two shards. Retries land before, during (write-frozen, so they
+/// wait) and after migrations; the final length is an exact oracle —
+/// a lost acked write shrinks it, a double-applied retry fails the
+/// apply outright on the duplicate-oid check.
+#[test]
+fn migration_crossing_retries_lose_nothing_and_apply_once() {
+    let plans = env_u64("CHAOS_MIGRATE_PLANS", 200);
+    let base_seed = env_u64("CHAOS_BASE_SEED", 0x5eed_cafe);
+    const BATCHES_PER_PLAN: u64 = 2;
+    const OPS_PER_BATCH: u64 = 10;
+
+    let dir = TempDir::new("chaos-migrate-drill");
+    let handle = start(ServerConfig::new(dir.file("data"))).expect("server starts");
+    let direct = handle.addr();
+    let mut admin = BurClient::connect(direct).expect("admin connects");
+    admin
+        .create_sharded_index("drill", "gbu", true, 2)
+        .expect("create");
+
+    // Background rebalancer: ping-pong ownership of the low sixteenth
+    // of the key space for the whole drill. Writes whose ops touch the
+    // moving range freeze until the flip completes, so every migration
+    // is a chance for a retry to cross it.
+    let entry = handle.registry().get("drill").expect("entry");
+    let entry = entry.as_sharded().expect("sharded").clone();
+    let sharded = entry.sharded.clone();
+    let key_space = 1u64 << (2 * sharded.order());
+    let stop = Arc::new(AtomicBool::new(false));
+    let migrations = Arc::new(AtomicU64::new(0));
+    let migrator = {
+        let stop = Arc::clone(&stop);
+        let migrations = Arc::clone(&migrations);
+        std::thread::spawn(move || {
+            let mut owner = 0u32;
+            while !stop.load(Ordering::Relaxed) {
+                sharded
+                    .migrate_range(0, key_space / 16, 1 - owner)
+                    .expect("migrate");
+                owner = 1 - owner;
+                migrations.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(3));
+            }
+        })
+    };
+
+    let mut next_oid = 0u64;
+    let mut acked_ops = 0u64;
+    let mut total_retries = 0u64;
+    let mut total_faults = 0u64;
+    for plan_idx in 0..plans {
+        let seed = base_seed.wrapping_add(plan_idx);
+        let plan = FaultPlan {
+            seed,
+            drop_rate: 0.08,
+            truncate_rate: 0.04,
+            delay_rate: 0.10,
+            delay: Duration::from_millis(1),
+            ..FaultPlan::default()
+        };
+        let proxy = ChaosProxy::start("127.0.0.1:0", direct, plan).expect("proxy starts");
+        let mut c = BurClient::connect_with(proxy.addr(), &chaos_client_config())
+            .unwrap_or_else(|e| panic!("seed {seed}: connect through proxy: {e}"));
+        for _ in 0..BATCHES_PER_PLAN {
+            let base = next_oid;
+            next_oid += OPS_PER_BATCH;
+            let ack = c
+                .apply("drill", &insert_batch(base..base + OPS_PER_BATCH))
+                .unwrap_or_else(|e| panic!("seed {seed}: apply exhausted its retries: {e}"));
+            assert_eq!(ack.applied, OPS_PER_BATCH, "seed {seed}: short ack");
+            acked_ops += OPS_PER_BATCH;
+        }
+        total_retries += c.retries();
+        drop(c);
+        total_faults += proxy.stats().faults();
+        proxy.shutdown();
+    }
+    stop.store(true, Ordering::Relaxed);
+    migrator.join().expect("migrator");
+
+    assert!(
+        migrations.load(Ordering::Relaxed) > 0,
+        "the rebalancer never migrated"
+    );
+    // The oracle: exactly the acked inserts, each exactly once, spread
+    // across whichever shards the rebalancer left them on.
+    assert_eq!(
+        admin.len("drill").expect("len"),
+        acked_ops,
+        "acked-write loss or double-apply across a migration"
+    );
+    if plans >= 20 {
+        assert!(total_faults > 0, "the proxy never injected a fault");
+        assert!(total_retries > 0, "no client ever retried");
+        let dedup_hits: u64 = entry.coalescers.iter().map(|c| c.stats().dedup_hits).sum();
+        assert!(
+            dedup_hits >= 1,
+            "no retry was ever answered from a dedup table \
+             ({total_retries} retries, {total_faults} faults)"
+        );
+    }
     handle.shutdown();
 }
 

@@ -1,17 +1,25 @@
 //! The concurrent `Bur::apply` write path under real parallelism.
 //!
-//! Three contracts from the latch-per-page rework:
+//! Four contracts from the latch-per-page rework and the coupled
+//! structural path:
 //!
 //! 1. batches on disjoint leaf granules physically overlap (the
 //!    handle's in-flight high watermark proves two batches were inside
-//!    the write path at the same moment);
+//!    the write path at the same moment) — and since the coupled path,
+//!    that includes *structural* batches of inserts and deletes, which
+//!    stay on the shared side instead of escalating;
 //! 2. overlapping-granule batches — several threads hammering objects
-//!    interleaved on the same leaves — still produce exactly the state
-//!    a per-object sequential oracle predicts, whether a batch ran
-//!    concurrently or escalated;
+//!    interleaved on the same leaves, with mixed inserts, deletes and
+//!    updates — still produce exactly the state a per-object sequential
+//!    oracle predicts, whether a batch ran concurrently, triggered a
+//!    make-room split, or escalated;
 //! 3. a crash leaves every concurrent batch all-or-nothing: one group
 //!    commit record per batch, so recovery lands each writer's object
-//!    set on a single batch boundary.
+//!    set on a single batch boundary;
+//! 4. a power cut anywhere around a make-room (preparatory) split —
+//!    including between the parent-entry RMW and the leaf writes of the
+//!    batch that rode on it — recovers to a valid tree with every
+//!    acknowledged insert present (benign slack composes with splits).
 
 use bur::prelude::*;
 use bur::storage::{FaultKind, FaultyDisk, MemDisk};
@@ -119,6 +127,92 @@ fn disjoint_granule_batches_overlap_physically() {
     });
 }
 
+#[test]
+fn structural_batches_overlap_without_escalating() {
+    const N: u64 = 4_000;
+    const THREADS: u64 = 8;
+    const ROUNDS: usize = 40;
+    const PER_BATCH: u64 = 16;
+    let bur = durable_grid(N);
+    let base_escalations = bur.with_op_stats(|s| s.snapshot()).escalations;
+
+    // Each thread owns a horizontal strip of the unit square and churns
+    // fresh objects inside it: a batch of inserts, then a batch deleting
+    // the same objects. Strips are spatially disjoint, so the batches
+    // land on disjoint leaves and the coupled path lets them overlap —
+    // the workload that escalated wholesale before make-room splits and
+    // shared-path inserts/deletes existed.
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let bur = &bur;
+            s.spawn(move || {
+                for round in 0..ROUNDS {
+                    let mut ins = Batch::new();
+                    let mut del = Batch::new();
+                    for i in 0..PER_BATCH {
+                        let oid = 1_000_000 + t * 1_000_000 + round as u64 * PER_BATCH + i;
+                        let p = Point::new(
+                            (i as f32 + 0.37) / PER_BATCH as f32,
+                            (t as f32 + (round % 7) as f32 / 8.0 + 0.05) / THREADS as f32,
+                        );
+                        ins.insert(oid, p);
+                        del.delete(oid, p);
+                    }
+                    bur.apply(&ins).unwrap();
+                    bur.apply(&del).unwrap();
+                }
+            });
+        }
+    });
+
+    assert!(
+        bur.peak_concurrent_batches() >= 2,
+        "structural batches never overlapped (peak {})",
+        bur.peak_concurrent_batches()
+    );
+    let stats = bur.with_op_stats(|s| s.snapshot());
+    let total_batches = THREADS * ROUNDS as u64 * 2;
+    let escalated = stats.escalations - base_escalations;
+    assert!(
+        escalated <= total_batches / 10,
+        "structural batches escalated too often: {escalated} of {total_batches}"
+    );
+    assert_eq!(bur.len(), N, "churned objects must all be gone");
+    assert_eq!(stats.inserts, N + THREADS * ROUNDS as u64 * PER_BATCH);
+    assert_eq!(stats.deletes, THREADS * ROUNDS as u64 * PER_BATCH);
+    bur.validate().unwrap();
+    assert_eq!(bur.lock_manager().locked_granules(), 0);
+}
+
+#[test]
+fn peak_concurrent_batches_resets_between_runs() {
+    let bur = durable_grid(200);
+    let mut batch = Batch::new();
+    for oid in 0..50u64 {
+        batch.update(oid, home(oid), Point::new(home(oid).x + 0.001, home(oid).y));
+    }
+    bur.apply(&batch).unwrap();
+    assert!(
+        bur.peak_concurrent_batches() >= 1,
+        "a shared-path batch must register in the watermark"
+    );
+    bur.reset_peak_concurrent_batches();
+    assert_eq!(
+        bur.peak_concurrent_batches(),
+        0,
+        "reset with no batch in flight must zero the watermark"
+    );
+    let mut batch = Batch::new();
+    for oid in 0..50u64 {
+        batch.update(oid, Point::new(home(oid).x + 0.001, home(oid).y), home(oid));
+    }
+    bur.apply(&batch).unwrap();
+    assert!(
+        bur.peak_concurrent_batches() >= 1,
+        "the watermark must accumulate again after a reset"
+    );
+}
+
 /// Number of writer threads in the oracle proptest; object `oid` is
 /// owned by thread `oid % WRITERS`, so ownership is disjoint while the
 /// *leaves* are shared by every thread.
@@ -212,6 +306,234 @@ proptest! {
             (any::<u8>(), (0.0f32..1.0, 0.0f32..1.0)), 1..150),
     ) {
         run_oracle_case(IndexOptions::generalized(), &moves)?;
+    }
+}
+
+/// Writer threads in the mixed structural oracle proptest.
+const MIXED_WRITERS: u64 = 8;
+/// Objects per thread in the mixed proptest.
+const MIXED_PER_THREAD: u64 = 24;
+
+/// Replay a generated stream of mixed operations — updates, deletes and
+/// (re-)inserts — through 8 concurrent writers, then compare against a
+/// sequential per-object oracle. Thread `t` owns the objects with
+/// `oid % MIXED_WRITERS == t`, so the final state of each object is
+/// determined by its owner's stream alone, while the *leaves* (and the
+/// make-room/escalation machinery) are shared by everybody.
+fn run_mixed_oracle_case(
+    opts: IndexOptions,
+    ops: &[(u8, u8, (f32, f32))],
+) -> Result<(), TestCaseError> {
+    let n = MIXED_WRITERS * MIXED_PER_THREAD;
+    let bur = IndexBuilder::with_options(opts).build().unwrap();
+    let mut batch = Batch::new();
+    for oid in 0..n {
+        batch.insert(oid, home(oid));
+    }
+    bur.apply(&batch).unwrap();
+
+    // Deal each generated op to its owner thread, resolving it against
+    // the object's tracked state so every batch is well-formed (updates
+    // of absent objects become inserts, inserts of present objects
+    // become updates; deletes of absent objects stay in — they exercise
+    // the missing-delete path).
+    #[derive(Clone, Copy)]
+    enum MixedOp {
+        Update(u64, Point, Point),
+        Insert(u64, Point),
+        Delete(u64, Point),
+        MissingDelete(u64),
+    }
+    let mut per_thread: Vec<Vec<MixedOp>> = vec![Vec::new(); MIXED_WRITERS as usize];
+    let mut present: Vec<Option<Point>> = (0..n).map(|oid| Some(home(oid))).collect();
+    for &(k, kind, (x, y)) in ops {
+        let t = u64::from(k) % MIXED_WRITERS;
+        let oid = (u64::from(k) % MIXED_PER_THREAD) * MIXED_WRITERS + t;
+        let new = Point::new(x, y);
+        let op = match (kind % 3, present[oid as usize]) {
+            (0, Some(cur)) | (2, Some(cur)) => {
+                present[oid as usize] = Some(new);
+                MixedOp::Update(oid, cur, new)
+            }
+            (0, None) | (2, None) => {
+                present[oid as usize] = Some(new);
+                MixedOp::Insert(oid, new)
+            }
+            (1, Some(cur)) => {
+                present[oid as usize] = None;
+                MixedOp::Delete(oid, cur)
+            }
+            (1, None) => MixedOp::MissingDelete(oid),
+            _ => unreachable!(),
+        };
+        per_thread[t as usize].push(op);
+    }
+
+    std::thread::scope(|s| {
+        for (t, thread_ops) in per_thread.iter().enumerate() {
+            let bur = &bur;
+            s.spawn(move || {
+                for chunk in thread_ops.chunks(6) {
+                    let mut batch = Batch::new();
+                    for op in chunk {
+                        match *op {
+                            MixedOp::Update(oid, old, new) => batch.update(oid, old, new),
+                            MixedOp::Insert(oid, p) => batch.insert(oid, p),
+                            MixedOp::Delete(oid, p) => batch.delete(oid, p),
+                            MixedOp::MissingDelete(oid) => batch.delete(oid, Point::new(7.0, 7.0)),
+                        };
+                    }
+                    let ticket = bur.apply(&batch).unwrap();
+                    assert_eq!(ticket.report().applied as usize, chunk.len(), "thread {t}");
+                }
+            });
+        }
+    });
+
+    bur.validate()
+        .map_err(|e| TestCaseError::fail(format!("invariant violated: {e}")))?;
+    let alive = present.iter().flatten().count() as u64;
+    prop_assert_eq!(bur.len(), alive, "object count diverged from the oracle");
+    let world = Rect::new(-1.0, -1.0, 8.0, 8.0);
+    let mut ids: Vec<u64> = bur.query(&world).unwrap().collect();
+    ids.sort_unstable();
+    ids.dedup();
+    prop_assert_eq!(ids.len() as u64, alive, "object lost or duplicated");
+    bur.with_index(|index| {
+        for (oid, state) in present.iter().enumerate() {
+            let oid = oid as u64;
+            match state {
+                Some(p) => prop_assert!(
+                    index.point_query(*p).unwrap().contains(&oid),
+                    "object {} not at the oracle position {:?}",
+                    oid,
+                    p
+                ),
+                None => prop_assert!(!ids.contains(&oid), "deleted object {} still indexed", oid),
+            }
+        }
+        Ok(())
+    })?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn mixed_structural_applies_match_oracle_gbu(
+        ops in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), (0.0f32..1.0, 0.0f32..1.0)), 1..200),
+    ) {
+        run_mixed_oracle_case(IndexOptions::generalized(), &ops)?;
+    }
+
+    #[test]
+    fn mixed_structural_applies_match_oracle_lbu(
+        ops in proptest::collection::vec(
+            (any::<u8>(), any::<u8>(), (0.0f32..1.0, 0.0f32..1.0)), 1..200),
+    ) {
+        run_mixed_oracle_case(IndexOptions::localized(), &ops)?;
+    }
+}
+
+/// Power-cut sweep through make-room (preparatory) splits: clustered
+/// insert batches drive leaves to capacity so the shared path keeps
+/// splitting ahead of itself, and the cut lands at every stage of the
+/// pipeline — inside the split's own commit, between it and the riding
+/// batch, and between the batch's parent-entry RMW and its leaf writes.
+/// Recovery must always produce a valid tree containing every
+/// acknowledged insert (benign slack composes with splits).
+#[test]
+fn make_room_splits_survive_power_cuts() {
+    const BATCHES: u64 = 40;
+    const PER_BATCH: u64 = 8;
+    let wopts = WalOptions {
+        sync: SyncPolicy::EveryCommit,
+        checkpoint_every: 1_000_000,
+        ..WalOptions::default()
+    };
+    let opts = IndexOptions::generalized().with_durability(Durability::Wal(wopts));
+
+    // Clustered positions: consecutive oids crowd a few tight spots, so
+    // leaves fill and the make-room path fires repeatedly.
+    let spot = |oid: u64| {
+        let cluster = (oid / 64) % 4;
+        Point::new(
+            0.2 + cluster as f32 * 0.2 + (oid % 8) as f32 * 1e-4,
+            0.5 + ((oid / 8) % 8) as f32 * 1e-4,
+        )
+    };
+
+    // Control run (no faults): this workload must actually exercise the
+    // make-room path on the shared side, otherwise the sweep proves
+    // nothing.
+    {
+        let bur = IndexBuilder::with_options(opts).build().unwrap();
+        let mut oid = 0u64;
+        for _ in 0..BATCHES {
+            let mut batch = Batch::new();
+            for _ in 0..PER_BATCH {
+                batch.insert(oid, spot(oid));
+                oid += 1;
+            }
+            bur.apply(&batch).unwrap();
+        }
+        let stats = bur.with_op_stats(|s| s.snapshot());
+        assert!(
+            stats.make_room_splits > 0,
+            "workload never triggered a make-room split (escalations {})",
+            stats.escalations
+        );
+        bur.validate().unwrap();
+    }
+
+    for cut in [8u64, 21, 55, 89, 144, 233, 377] {
+        let inner = Arc::new(MemDisk::new(1024));
+        let faulty = Arc::new(FaultyDisk::new(inner.clone()));
+        let bur = IndexBuilder::with_options(opts)
+            .disk(faulty.clone())
+            .build()
+            .unwrap();
+        faulty.inject(FaultKind::TornWrite { after_writes: cut });
+        let mut acked = 0u64;
+        let mut oid = 0u64;
+        for _ in 0..BATCHES {
+            let mut batch = Batch::new();
+            for _ in 0..PER_BATCH {
+                batch.insert(oid, spot(oid));
+                oid += 1;
+            }
+            // EveryCommit: an Ok apply is a synced group commit record.
+            match bur.apply(&batch) {
+                Ok(_) => acked = oid,
+                Err(_) => break,
+            }
+        }
+        drop(bur); // crash
+
+        let (recovered, _report) = IndexBuilder::with_options(opts)
+            .disk(inner)
+            .recover()
+            .build_index_with_report()
+            .unwrap();
+        recovered.validate().unwrap();
+        assert!(
+            recovered.len() >= acked,
+            "cut {cut}: acknowledged inserts lost ({} < {acked})",
+            recovered.len()
+        );
+        assert_eq!(
+            recovered.len() % PER_BATCH,
+            0,
+            "cut {cut}: recovery landed inside a batch"
+        );
+        for o in 0..acked {
+            assert!(
+                recovered.point_query(spot(o)).unwrap().contains(&o),
+                "cut {cut}: acknowledged object {o} missing after recovery"
+            );
+        }
     }
 }
 
